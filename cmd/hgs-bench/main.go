@@ -1,0 +1,58 @@
+// Command hgs-bench regenerates the paper's evaluation tables and
+// figures (Khurana & Deshpande, EDBT 2016, §6) on the scaled synthetic
+// datasets and prints the plotted series.
+//
+// Usage:
+//
+//	hgs-bench                 # run everything
+//	hgs-bench -list           # list experiment ids
+//	hgs-bench -run fig11      # run one experiment
+//	HGS_SCALE=4 hgs-bench     # scale all datasets 4x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hgs/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "", "comma-free experiment id to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(bench.Runners))
+		for id := range bench.Runners {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := bench.DefaultScale()
+	fmt.Printf("# HGS evaluation harness — scale: %d wiki nodes, %d friendster nodes, %d dblp entities\n",
+		sc.WikiNodes, sc.FriendsterCommunities*sc.FriendsterSize, sc.DBLPAuthors+sc.DBLPPapers)
+	fmt.Printf("# started %s\n\n", time.Now().Format(time.RFC3339))
+
+	if *run != "" {
+		runner, ok := bench.Runners[*run]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hgs-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		runner(sc).Print(os.Stdout)
+		return
+	}
+	// Stream results as each experiment completes.
+	for _, id := range bench.Order {
+		bench.Runners[id](sc).Print(os.Stdout)
+	}
+}

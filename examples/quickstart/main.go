@@ -1,0 +1,82 @@
+// Quickstart: build a Historical Graph Store over a small evolving
+// graph, then exercise the retrieval primitives the paper's Figure 1
+// enumerates — snapshots, static nodes, node histories, neighborhoods,
+// and neighborhood versions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hgs"
+)
+
+func main() {
+	// A tiny social network's history: people join, befriend, change
+	// jobs, and one account is deleted.
+	events := []hgs.Event{
+		{Time: 1, Kind: hgs.AddNode, Node: 1},
+		{Time: 2, Kind: hgs.SetNodeAttr, Node: 1, Key: "name", Value: "ada"},
+		{Time: 3, Kind: hgs.AddNode, Node: 2},
+		{Time: 4, Kind: hgs.SetNodeAttr, Node: 2, Key: "name", Value: "bob"},
+		{Time: 5, Kind: hgs.AddEdge, Node: 1, Other: 2},
+		{Time: 6, Kind: hgs.AddNode, Node: 3},
+		{Time: 7, Kind: hgs.SetNodeAttr, Node: 3, Key: "name", Value: "cyd"},
+		{Time: 8, Kind: hgs.AddEdge, Node: 2, Other: 3},
+		{Time: 9, Kind: hgs.SetNodeAttr, Node: 1, Key: "job", Value: "analyst"},
+		{Time: 10, Kind: hgs.AddEdge, Node: 1, Other: 3},
+		{Time: 11, Kind: hgs.SetNodeAttr, Node: 1, Key: "job", Value: "manager"},
+		{Time: 12, Kind: hgs.RemoveEdge, Node: 1, Other: 2},
+		{Time: 13, Kind: hgs.RemoveNode, Node: 2},
+		{Time: 14, Kind: hgs.AddNode, Node: 4},
+		{Time: 15, Kind: hgs.AddEdge, Node: 4, Other: 3},
+	}
+
+	store, err := hgs.Open(hgs.Options{Machines: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Load(events); err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot retrieval: the whole graph as of a past timepoint.
+	for _, t := range []hgs.Time{5, 10, 15} {
+		g, err := store.Snapshot(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%-2d  %d nodes, %d edges, density %.3f\n",
+			t, g.NumNodes(), g.NumEdges(), g.Density())
+	}
+
+	// Static node retrieval: one person's state in the past.
+	ns, err := store.Node(1, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nada at t=9: job=%s, %d friends\n", ns.Attrs["job"], ns.Degree())
+
+	// Node history: every change to ada, with version intervals.
+	h, err := store.NodeHistory(1, 0, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nada's history (%d changes):\n", len(h.Events))
+	for _, v := range h.Versions() {
+		fmt.Printf("  %v  job=%-8s friends=%d\n", v.Valid, v.State.Attrs["job"], v.State.Degree())
+	}
+
+	// Neighborhood retrieval and its evolution.
+	hood, err := store.KHop(3, 1, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncyd's 1-hop at t=15: %d nodes, %d edges\n", hood.NumNodes(), hood.NumEdges())
+
+	sh, err := store.KHopHistory(3, 1, 6, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cyd's neighborhood changed at times %v\n", sh.ChangePoints())
+}

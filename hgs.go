@@ -1,0 +1,242 @@
+// Package hgs is the Historical Graph Store: a system for storing large
+// volumes of historical graph data and running temporal graph analytics
+// against it, reproducing Khurana & Deshpande, "Storing and Analyzing
+// Historical Graph Data at Scale" (EDBT 2016).
+//
+// A Store wraps the two components of the paper:
+//
+//   - the Temporal Graph Index (TGI), which compactly persists the entire
+//     change history of a graph in a (simulated) distributed key-value
+//     store and retrieves snapshots, node histories, and neighborhood
+//     versions, and
+//   - the Temporal Graph Analysis Framework (TAF), which runs
+//     set-of-temporal-nodes analytics on a parallel compute engine.
+//
+// Quickstart:
+//
+//	store, _ := hgs.Open(hgs.Options{})
+//	_ = store.Load(events)                  // chronological events
+//	g, _ := store.Snapshot(t)               // graph as of t
+//	h, _ := store.NodeHistory(42, t0, t1)   // one node's evolution
+//	a := store.Analytics(4)                 // 4 workers
+//	son, _ := a.SON().Timeslice(hgs.NewInterval(t0, t1)).Fetch()
+package hgs
+
+import (
+	"fmt"
+
+	"hgs/internal/core"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/partition"
+	"hgs/internal/sparklite"
+	"hgs/internal/taf"
+	"hgs/internal/temporal"
+)
+
+// Re-exported model types. The full method sets are documented on the
+// internal definitions.
+type (
+	// Time is a discrete timepoint (user-defined clock: Unix millis,
+	// sequence numbers, ...).
+	Time = temporal.Time
+	// Interval is a half-open time range [Start, End).
+	Interval = temporal.Interval
+	// NodeID identifies a vertex across the whole history.
+	NodeID = graph.NodeID
+	// Event is one atomic change to the graph.
+	Event = graph.Event
+	// EventKind enumerates change types.
+	EventKind = graph.EventKind
+	// Graph is an in-memory snapshot with the network metrics library.
+	Graph = graph.Graph
+	// NodeState is a node's state at one point in time.
+	NodeState = graph.NodeState
+	// Attrs is a key-value attribute map.
+	Attrs = graph.Attrs
+	// NodeHistory is a node's evolution over an interval.
+	NodeHistory = core.NodeHistory
+	// SubgraphHistory is a neighborhood's evolution over an interval.
+	SubgraphHistory = core.SubgraphHistory
+	// FetchOptions tunes a single retrieval (parallel fetch factor c).
+	FetchOptions = core.FetchOptions
+)
+
+// Event kind constants re-exported for event construction.
+const (
+	AddNode     = graph.AddNode
+	RemoveNode  = graph.RemoveNode
+	AddEdge     = graph.AddEdge
+	RemoveEdge  = graph.RemoveEdge
+	SetNodeAttr = graph.SetNodeAttr
+	DelNodeAttr = graph.DelNodeAttr
+	SetEdgeAttr = graph.SetEdgeAttr
+	DelEdgeAttr = graph.DelEdgeAttr
+)
+
+// NewInterval returns the half-open interval [start, end).
+func NewInterval(start, end Time) Interval { return temporal.NewInterval(start, end) }
+
+// Options configure a Store. The zero value is a sensible single-machine
+// development setup; the fields mirror the paper's knobs.
+type Options struct {
+	// Machines is the storage cluster size m (default 2).
+	Machines int
+	// Replication is the storage replication factor r (default 1).
+	Replication int
+	// SimulateLatency enables the storage latency model (off for unit
+	// tests, on for benchmarks).
+	SimulateLatency bool
+
+	// TimespanEvents, EventlistSize, Arity, HorizontalPartitions and
+	// PartitionSize are the TGI construction parameters (§4.4); zero
+	// values take the defaults (200k, 25k, 2, 4, 500).
+	TimespanEvents       int
+	EventlistSize        int
+	Arity                int
+	HorizontalPartitions int
+	PartitionSize        int
+	// LocalityPartitioning uses min-cut-style micro-partitioning instead
+	// of random hashing (§4.5).
+	LocalityPartitioning bool
+	// Replicate1Hop stores auxiliary frontier micro-deltas to speed up
+	// 1-hop neighborhood retrieval (§4.5, Figure 5d).
+	Replicate1Hop bool
+	// Compress gzip-compresses stored blobs (Figure 13a).
+	Compress bool
+	// FetchClients is the default parallel fetch factor c (default 4).
+	FetchClients int
+}
+
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if o.TimespanEvents > 0 {
+		cfg.TimespanEvents = o.TimespanEvents
+	}
+	if o.EventlistSize > 0 {
+		cfg.EventlistSize = o.EventlistSize
+	}
+	if o.Arity > 0 {
+		cfg.Arity = o.Arity
+	}
+	if o.HorizontalPartitions > 0 {
+		cfg.HorizontalPartitions = o.HorizontalPartitions
+	}
+	if o.PartitionSize > 0 {
+		cfg.PartitionSize = o.PartitionSize
+	}
+	if o.LocalityPartitioning {
+		cfg.Partitioning = partition.Locality
+	}
+	cfg.Replicate1Hop = o.Replicate1Hop
+	cfg.Compress = o.Compress
+	if o.FetchClients > 0 {
+		cfg.FetchClients = o.FetchClients
+	}
+	return cfg
+}
+
+// Store is a Historical Graph Store instance.
+type Store struct {
+	cluster *kvstore.Cluster
+	tgi     *core.TGI
+	loaded  bool
+}
+
+// Open creates an empty store per the options. Call Load to index a
+// history.
+func Open(opts Options) (*Store, error) {
+	machines := opts.Machines
+	if machines < 1 {
+		machines = 2
+	}
+	replication := opts.Replication
+	if replication < 1 {
+		replication = 1
+	}
+	lat := kvstore.LatencyModel{}
+	if opts.SimulateLatency {
+		lat = kvstore.DefaultLatency()
+	}
+	cluster := kvstore.NewCluster(kvstore.Config{Machines: machines, Replication: replication, Latency: lat})
+	cfg := opts.coreConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Store{cluster: cluster, tgi: core.New(cluster, cfg)}, nil
+}
+
+// Load builds the index over a complete history. Events must be
+// chronological with strictly increasing timestamps.
+func (s *Store) Load(events []Event) error {
+	if s.loaded {
+		return fmt.Errorf("hgs: store already loaded; use Append for updates")
+	}
+	if err := s.tgi.BuildAll(events); err != nil {
+		return err
+	}
+	s.loaded = true
+	return nil
+}
+
+// Append ingests a batch of new events after the indexed history.
+func (s *Store) Append(events []Event) error {
+	if !s.loaded {
+		return s.Load(events)
+	}
+	return s.tgi.Append(events)
+}
+
+// Snapshot retrieves the graph as of time tt.
+func (s *Store) Snapshot(tt Time) (*Graph, error) {
+	return s.tgi.GetSnapshot(tt, nil)
+}
+
+// SnapshotWith retrieves a snapshot with explicit fetch options.
+func (s *Store) SnapshotWith(tt Time, opts *FetchOptions) (*Graph, error) {
+	return s.tgi.GetSnapshot(tt, opts)
+}
+
+// Node retrieves one node's state as of tt (nil if absent).
+func (s *Store) Node(id NodeID, tt Time) (*NodeState, error) {
+	return s.tgi.GetNodeAt(id, tt)
+}
+
+// NodeHistory retrieves a node's evolution over [ts, te).
+func (s *Store) NodeHistory(id NodeID, ts, te Time) (*NodeHistory, error) {
+	return s.tgi.GetNodeHistory(id, ts, te, nil)
+}
+
+// KHop retrieves the k-hop neighborhood subgraph of id as of tt.
+func (s *Store) KHop(id NodeID, k int, tt Time) (*Graph, error) {
+	return s.tgi.GetKHopNeighborhood(id, k, tt, nil)
+}
+
+// KHopHistory retrieves the evolution of id's k-hop neighborhood over
+// [ts, te).
+func (s *Store) KHopHistory(id NodeID, k int, ts, te Time) (*SubgraphHistory, error) {
+	return s.tgi.GetKHopHistory(id, k, ts, te, nil)
+}
+
+// Snapshots retrieves multiple snapshots concurrently.
+func (s *Store) Snapshots(times []Time) ([]*Graph, error) {
+	return s.tgi.GetSnapshotsAt(times, nil)
+}
+
+// TimeRange returns the [first, last] event times of the indexed history.
+func (s *Store) TimeRange() (Time, Time, error) { return s.tgi.TimeRange() }
+
+// Stats reports storage statistics.
+func (s *Store) Stats() (core.Stats, error) { return s.tgi.Stats() }
+
+// TGI exposes the underlying index for advanced use.
+func (s *Store) TGI() *core.TGI { return s.tgi }
+
+// Cluster exposes the backing store (metrics, latency toggling).
+func (s *Store) Cluster() *kvstore.Cluster { return s.cluster }
+
+// Analytics opens a TAF session with the given number of compute
+// workers (the paper's Spark cluster size).
+func (s *Store) Analytics(workers int) *Analytics {
+	return &Analytics{h: taf.NewHandler(s.tgi, sparklite.NewContext(workers))}
+}

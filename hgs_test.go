@@ -1,0 +1,217 @@
+package hgs
+
+import (
+	"math"
+	"testing"
+
+	"hgs/internal/graph"
+	"hgs/internal/workload"
+)
+
+func smallOptions() Options {
+	return Options{
+		Machines:             2,
+		TimespanEvents:       2000,
+		EventlistSize:        400,
+		HorizontalPartitions: 2,
+		PartitionSize:        100,
+	}
+}
+
+func loadWiki(t *testing.T, opts Options, nodes int) (*Store, []Event) {
+	t.Helper()
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: nodes, EdgesPerNode: 3, Seed: 42})
+	store, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	return store, events
+}
+
+// mustGraph replays the raw history up to and including tt (the oracle).
+func mustGraph(events []Event, tt Time) *Graph {
+	g := graph.New()
+	for _, e := range events {
+		if e.Time > tt {
+			break
+		}
+		g.Apply(e)
+	}
+	return g
+}
+
+func TestStoreEndToEnd(t *testing.T) {
+	store, events := loadWiki(t, smallOptions(), 800)
+	lo, hi, err := store.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != events[0].Time || hi != events[len(events)-1].Time {
+		t.Fatalf("time range [%d,%d]", lo, hi)
+	}
+	mid := (lo + hi) / 2
+	g, err := store.Snapshot(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(mustGraph(events, mid)) {
+		t.Fatal("snapshot mismatch")
+	}
+	ns, err := store.Node(5, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustGraph(events, hi).Node(5)
+	if (ns == nil) != (want == nil) || (ns != nil && !ns.Equal(want)) {
+		t.Fatal("node state mismatch")
+	}
+	h, err := store.NodeHistory(5, lo, hi+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.StateAt(mid); (got == nil) != (mustGraph(events, mid).Node(5) == nil) {
+		t.Fatal("history state mismatch")
+	}
+	sub, err := store.KHop(5, 1, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Equal(mustGraph(events, mid).KHopSubgraph(5, 1)) {
+		t.Fatal("k-hop mismatch")
+	}
+	st, err := store.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != len(events) {
+		t.Fatalf("stats events = %d", st.Events)
+	}
+}
+
+func TestStoreAppend(t *testing.T) {
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 600, EdgesPerNode: 3, Seed: 7})
+	cut := len(events) * 2 / 3
+	store, err := Open(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(events[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Append(events[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	hi := events[len(events)-1].Time
+	g, err := store.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(mustGraph(events, hi)) {
+		t.Fatal("post-append snapshot mismatch")
+	}
+	if err := store.Load(events); err == nil {
+		t.Fatal("double Load must fail")
+	}
+}
+
+func TestAnalyticsSurface(t *testing.T) {
+	store, events := loadWiki(t, smallOptions(), 600)
+	_, hi, _ := store.TimeRange()
+	a := store.Analytics(2)
+
+	son, err := a.SON().Timeslice(NewInterval(hi/2, hi+1)).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evolution of density matches direct measurement.
+	series := Evolution(son, GraphDensity, 3, nil)
+	for _, s := range series {
+		want := mustGraph(events, s.Time).Density()
+		if math.Abs(s.Value-want) > 1e-12 {
+			t.Fatalf("density at %d: %v != %v", s.Time, s.Value, want)
+		}
+	}
+	// Highest-LCC node via SoTS (the paper's Figure 7a query).
+	sots, err := a.SOTS(1).TimesliceAt(hi).Fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcc := SubgraphComputeKV(sots, func(st *SubgraphT) float64 {
+		return st.StateAt(hi).LocalClusteringCoefficient(st.Root())
+	})
+	bestID, best := NodeID(-1), -1.0
+	for id, v := range lcc {
+		if v > best || (v == best && id < bestID) {
+			bestID, best = id, v
+		}
+	}
+	wantG := mustGraph(events, hi)
+	for _, id := range wantG.NodeIDs() {
+		if v := wantG.LocalClusteringCoefficient(id); v > best+1e-12 {
+			t.Fatalf("missed higher LCC at node %d: %v > %v", id, v, best)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	_, err := Open(Options{TimespanEvents: 10, EventlistSize: 100})
+	if err == nil {
+		t.Fatal("invalid options must fail")
+	}
+}
+
+func TestFullOptionMatrix(t *testing.T) {
+	// Locality partitioning + 1-hop replication + compression, end to
+	// end through the public API.
+	events := workload.Friendster(workload.FriendsterConfig{
+		Communities: 6, CommunitySize: 80, IntraDegree: 5, InterFraction: 0.05, Seed: 9,
+	})
+	store, err := Open(Options{
+		Machines:             3,
+		Replication:          2,
+		TimespanEvents:       len(events)/2 + 1,
+		EventlistSize:        len(events) / 10,
+		PartitionSize:        60,
+		HorizontalPartitions: 2,
+		LocalityPartitioning: true,
+		Replicate1Hop:        true,
+		Compress:             true,
+		FetchClients:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, _ := store.TimeRange()
+	mid := (lo + hi) / 2
+	want := mustGraph(events, mid)
+	got, err := store.Snapshot(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("snapshot mismatch under locality+replication+compression")
+	}
+	for _, id := range []NodeID{0, 81, 200} {
+		hood, err := store.KHop(id, 1, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hood.Equal(want.KHopSubgraph(id, 1)) {
+			t.Fatalf("1-hop of %d mismatch", id)
+		}
+	}
+	// Multi-point retrieval APIs.
+	gs, err := store.Snapshots([]Time{lo + 10, mid, hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 || !gs[1].Equal(want) {
+		t.Fatal("multipoint snapshots wrong")
+	}
+}

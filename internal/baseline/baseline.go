@@ -1,0 +1,344 @@
+// Package baseline implements the prior temporal-index designs the paper
+// compares TGI against (§4.2, Table 1): the Log and Copy extremes of
+// Salzberg & Tsotras, their Copy+Log hybrid, a vertex-centric index, and
+// the authors' earlier DeltaGraph (as a degenerate TGI configuration).
+// All baselines store through the same simulated key-value cluster so
+// that read/byte counters and latencies are directly comparable.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"hgs/internal/codec"
+	"hgs/internal/delta"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
+)
+
+// History is a node's evolution over an interval: state at the start plus
+// subsequent touching events (the baseline-comparable subset of TGI's
+// NodeHistory).
+type History struct {
+	ID       graph.NodeID
+	Interval temporal.Interval
+	Initial  *graph.NodeState
+	Events   []graph.Event
+}
+
+// Index is the retrieval contract every baseline implements.
+type Index interface {
+	// Name identifies the index design.
+	Name() string
+	// Build constructs the index from a chronological event stream with
+	// strictly increasing timestamps.
+	Build(events []graph.Event) error
+	// Snapshot returns the graph state at time tt.
+	Snapshot(tt temporal.Time) (*graph.Graph, error)
+	// StaticNode returns one node's state at time tt (nil if absent).
+	StaticNode(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error)
+	// NodeVersions returns one node's history over [ts, te).
+	NodeVersions(id graph.NodeID, ts, te temporal.Time) (*History, error)
+	// StorageBytes reports the logical size of the stored index.
+	StorageBytes() int64
+}
+
+// replayPrefix applies events with Time <= tt onto g.
+func replayPrefix(g *graph.Graph, events []graph.Event, tt temporal.Time) error {
+	for _, e := range events {
+		if e.Time > tt {
+			break
+		}
+		if err := g.Apply(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Log ---
+
+// LogIndex is the pure Log approach: the history is a single sequence of
+// eventlist chunks; every query replays from the beginning (minimal
+// storage, maximal reconstruction cost).
+type LogIndex struct {
+	store     *kvstore.Cluster
+	cdc       codec.Codec
+	chunkSize int
+	chunks    int
+	start     temporal.Time
+	end       temporal.Time
+	chunkEnd  []temporal.Time // last event time per chunk
+}
+
+// NewLogIndex creates a Log index storing eventlists of chunkSize events.
+func NewLogIndex(store *kvstore.Cluster, chunkSize int) *LogIndex {
+	if chunkSize < 1 {
+		chunkSize = 1000
+	}
+	return &LogIndex{store: store, chunkSize: chunkSize}
+}
+
+func (ix *LogIndex) Name() string { return "log" }
+
+func (ix *LogIndex) Build(events []graph.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("baseline: empty history")
+	}
+	// Expand RemoveNode so node-filtered replays stay exact.
+	w := graph.New()
+	expanded := make([]graph.Event, 0, len(events))
+	for _, e := range events {
+		for _, x := range graph.ExpandRemoveNode(w, e) {
+			expanded = append(expanded, x)
+			w.Apply(x)
+		}
+	}
+	ix.start, ix.end = events[0].Time, events[len(events)-1].Time
+	ix.chunks = 0
+	for off := 0; off < len(expanded); off += ix.chunkSize {
+		endOff := min(off+ix.chunkSize, len(expanded))
+		blob, err := ix.cdc.EncodeEvents(expanded[off:endOff])
+		if err != nil {
+			return err
+		}
+		ix.store.Put("log", fmt.Sprintf("c%08d", ix.chunks), "events", blob)
+		ix.chunkEnd = append(ix.chunkEnd, expanded[endOff-1].Time)
+		ix.chunks++
+	}
+	return nil
+}
+
+// readChunksThrough fetches chunks until the one containing tt.
+func (ix *LogIndex) readChunksThrough(tt temporal.Time) ([][]graph.Event, error) {
+	var lists [][]graph.Event
+	for i := 0; i < ix.chunks; i++ {
+		blob, ok := ix.store.Get("log", fmt.Sprintf("c%08d", i), "events")
+		if !ok {
+			return nil, fmt.Errorf("baseline: missing log chunk %d", i)
+		}
+		evs, err := ix.cdc.DecodeEvents(blob)
+		if err != nil {
+			return nil, err
+		}
+		lists = append(lists, evs)
+		if ix.chunkEnd[i] > tt {
+			break
+		}
+	}
+	return lists, nil
+}
+
+func (ix *LogIndex) Snapshot(tt temporal.Time) (*graph.Graph, error) {
+	lists, err := ix.readChunksThrough(tt)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	for _, evs := range lists {
+		if err := replayPrefix(g, evs, tt); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (ix *LogIndex) StaticNode(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
+	// The log has no entity access path: replay everything, keep one node.
+	g, err := ix.Snapshot(tt)
+	if err != nil {
+		return nil, err
+	}
+	if ns := g.Node(id); ns != nil {
+		return ns.Clone(), nil
+	}
+	return nil, nil
+}
+
+func (ix *LogIndex) NodeVersions(id graph.NodeID, ts, te temporal.Time) (*History, error) {
+	initial, err := ix.StaticNode(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	lists, err := ix.readChunksThrough(te)
+	if err != nil {
+		return nil, err
+	}
+	h := &History{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
+	for _, evs := range lists {
+		for _, e := range evs {
+			if e.Time > ts && e.Time < te && e.Touches(id) {
+				h.Events = append(h.Events, e)
+			}
+		}
+	}
+	return h, nil
+}
+
+func (ix *LogIndex) StorageBytes() int64 { return ix.store.LogicalBytes() }
+
+// --- Copy ---
+
+// CopyIndex is the pure Copy approach: a full materialized snapshot at
+// every point of change (direct access, quadratic storage).
+type CopyIndex struct {
+	store *kvstore.Cluster
+	cdc   codec.Codec
+	times []temporal.Time // time of each stored copy, ascending
+}
+
+// NewCopyIndex creates a Copy index.
+func NewCopyIndex(store *kvstore.Cluster) *CopyIndex {
+	return &CopyIndex{store: store}
+}
+
+func (ix *CopyIndex) Name() string { return "copy" }
+
+func (ix *CopyIndex) Build(events []graph.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("baseline: empty history")
+	}
+	g := graph.New()
+	ix.times = ix.times[:0]
+	for i := 0; i < len(events); {
+		tt := events[i].Time
+		for i < len(events) && events[i].Time == tt {
+			if err := g.Apply(events[i]); err != nil {
+				return err
+			}
+			i++
+		}
+		blob, err := ix.cdc.EncodeDelta(delta.FromGraph(g))
+		if err != nil {
+			return err
+		}
+		ix.store.Put("copy", fmt.Sprintf("t%020d", tt), "snapshot", blob)
+		ix.times = append(ix.times, tt)
+	}
+	return nil
+}
+
+// copyAt returns the latest stored copy at or before tt (empty graph when
+// tt precedes the history).
+func (ix *CopyIndex) copyAt(tt temporal.Time) (*graph.Graph, error) {
+	i := sort.Search(len(ix.times), func(i int) bool { return ix.times[i] > tt })
+	if i == 0 {
+		return graph.New(), nil
+	}
+	blob, ok := ix.store.Get("copy", fmt.Sprintf("t%020d", ix.times[i-1]), "snapshot")
+	if !ok {
+		return nil, fmt.Errorf("baseline: missing copy at %d", ix.times[i-1])
+	}
+	d, err := ix.cdc.DecodeDelta(blob)
+	if err != nil {
+		return nil, err
+	}
+	return d.Materialize(), nil
+}
+
+func (ix *CopyIndex) Snapshot(tt temporal.Time) (*graph.Graph, error) { return ix.copyAt(tt) }
+
+func (ix *CopyIndex) StaticNode(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
+	g, err := ix.copyAt(tt)
+	if err != nil {
+		return nil, err
+	}
+	if ns := g.Node(id); ns != nil {
+		return ns.Clone(), nil
+	}
+	return nil, nil
+}
+
+func (ix *CopyIndex) NodeVersions(id graph.NodeID, ts, te temporal.Time) (*History, error) {
+	// Version retrieval under Copy reads every snapshot in the range and
+	// diffs consecutive node states (the |S|·|G| row of Table 1).
+	initial, err := ix.StaticNode(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	h := &History{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
+	prev := initial
+	for _, tt := range ix.times {
+		if tt <= ts || tt >= te {
+			continue
+		}
+		cur, err := ix.StaticNode(id, tt)
+		if err != nil {
+			return nil, err
+		}
+		if !statesEqual(prev, cur) {
+			h.Events = append(h.Events, synthesizeChange(id, tt, prev, cur)...)
+			prev = cur
+		}
+	}
+	return h, nil
+}
+
+func (ix *CopyIndex) StorageBytes() int64 { return ix.store.LogicalBytes() }
+
+func statesEqual(a, b *graph.NodeState) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Equal(b)
+}
+
+// synthesizeChange converts a state transition into a minimal event
+// sequence (Copy has no event log, so versions are reconstructed as
+// diffs between consecutive copies).
+func synthesizeChange(id graph.NodeID, tt temporal.Time, prev, cur *graph.NodeState) []graph.Event {
+	var out []graph.Event
+	if cur == nil {
+		return append(out, graph.Event{Time: tt, Kind: graph.RemoveNode, Node: id})
+	}
+	if prev == nil {
+		out = append(out, graph.Event{Time: tt, Kind: graph.AddNode, Node: id})
+		prev = graph.NewNodeState(id)
+	}
+	for k, v := range cur.Attrs {
+		if pv, ok := prev.Attrs[k]; !ok || pv != v {
+			out = append(out, graph.Event{Time: tt, Kind: graph.SetNodeAttr, Node: id, Key: k, Value: v})
+		}
+	}
+	for k := range prev.Attrs {
+		if _, ok := cur.Attrs[k]; !ok {
+			out = append(out, graph.Event{Time: tt, Kind: graph.DelNodeAttr, Node: id, Key: k})
+		}
+	}
+	for k, es := range cur.Edges {
+		u, v := id, k.Other
+		if !k.Out {
+			u, v = k.Other, id
+		}
+		pes, existed := prev.Edges[k]
+		if !existed {
+			out = append(out, graph.Event{Time: tt, Kind: graph.AddEdge, Node: u, Other: v})
+		}
+		// Edge attribute diffs (both for new and surviving edges).
+		for ak, av := range es.Attrs {
+			if !existed || pes.Attrs[ak] != av {
+				out = append(out, graph.Event{Time: tt, Kind: graph.SetEdgeAttr, Node: u, Other: v, Key: ak, Value: av})
+			}
+		}
+		if existed {
+			for ak := range pes.Attrs {
+				if _, ok := es.Attrs[ak]; !ok {
+					out = append(out, graph.Event{Time: tt, Kind: graph.DelEdgeAttr, Node: u, Other: v, Key: ak})
+				}
+			}
+		}
+	}
+	for k := range prev.Edges {
+		if _, ok := cur.Edges[k]; !ok {
+			e := graph.Event{Time: tt, Kind: graph.RemoveEdge}
+			if k.Out {
+				e.Node, e.Other = id, k.Other
+			} else {
+				e.Node, e.Other = k.Other, id
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"hgs/internal/codec"
+	"hgs/internal/delta"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
+)
+
+// CopyLogIndex is the Copy+Log hybrid: full snapshots every SnapshotEvery
+// events with eventlist chunks between them. Snapshot retrieval reads one
+// copy plus the boundary eventlists; version retrieval must still scan
+// every eventlist in range (no entity access path).
+type CopyLogIndex struct {
+	store *kvstore.Cluster
+	cdc   codec.Codec
+	// SnapshotEvery is the copy spacing in events; ChunkSize is the
+	// eventlist granularity.
+	snapshotEvery int
+	chunkSize     int
+
+	snapTimes   []temporal.Time
+	chunkEnd    []temporal.Time
+	chunkOfSnap []int // chunk index at which each snapshot sits
+}
+
+// NewCopyLogIndex creates a Copy+Log index.
+func NewCopyLogIndex(store *kvstore.Cluster, snapshotEvery, chunkSize int) *CopyLogIndex {
+	if snapshotEvery < 1 {
+		snapshotEvery = 10000
+	}
+	if chunkSize < 1 || chunkSize > snapshotEvery {
+		chunkSize = max(1, snapshotEvery/10)
+	}
+	return &CopyLogIndex{store: store, snapshotEvery: snapshotEvery, chunkSize: chunkSize}
+}
+
+func (ix *CopyLogIndex) Name() string { return "copy+log" }
+
+func (ix *CopyLogIndex) Build(events []graph.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("baseline: empty history")
+	}
+	w := graph.New()
+	expanded := make([]graph.Event, 0, len(events))
+	for _, e := range events {
+		for _, x := range graph.ExpandRemoveNode(w, e) {
+			expanded = append(expanded, x)
+			w.Apply(x)
+		}
+	}
+
+	g := graph.New()
+	chunkIdx := 0
+	storeSnap := func() error {
+		blob, err := ix.cdc.EncodeDelta(delta.FromGraph(g))
+		if err != nil {
+			return err
+		}
+		// Called after the snapTimes append: index of the copy just added.
+		ix.store.Put("cl_snap", fmt.Sprintf("s%08d", len(ix.snapTimes)-1), "snapshot", blob)
+		return nil
+	}
+	// Initial empty snapshot anchors queries before the first copy point.
+	ix.snapTimes = append(ix.snapTimes, expanded[0].Time-1)
+	ix.chunkOfSnap = append(ix.chunkOfSnap, 0)
+	if err := storeSnap(); err != nil {
+		return err
+	}
+	for off := 0; off < len(expanded); off += ix.chunkSize {
+		endOff := min(off+ix.chunkSize, len(expanded))
+		chunk := expanded[off:endOff]
+		blob, err := ix.cdc.EncodeEvents(chunk)
+		if err != nil {
+			return err
+		}
+		ix.store.Put("cl_log", fmt.Sprintf("c%08d", chunkIdx), "events", blob)
+		ix.chunkEnd = append(ix.chunkEnd, chunk[len(chunk)-1].Time)
+		chunkIdx++
+		for _, e := range chunk {
+			if err := g.Apply(e); err != nil {
+				return err
+			}
+		}
+		if endOff%ix.snapshotEvery == 0 || endOff == len(expanded) {
+			ix.snapTimes = append(ix.snapTimes, chunk[len(chunk)-1].Time)
+			ix.chunkOfSnap = append(ix.chunkOfSnap, chunkIdx)
+			if err := storeSnap(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ix *CopyLogIndex) Snapshot(tt temporal.Time) (*graph.Graph, error) {
+	// Latest copy at or before tt, then replay chunks forward.
+	si := sort.Search(len(ix.snapTimes), func(i int) bool { return ix.snapTimes[i] > tt })
+	if si == 0 {
+		return graph.New(), nil
+	}
+	si--
+	blob, ok := ix.store.Get("cl_snap", fmt.Sprintf("s%08d", si), "snapshot")
+	if !ok {
+		return nil, fmt.Errorf("baseline: missing copy+log snapshot %d", si)
+	}
+	d, err := ix.cdc.DecodeDelta(blob)
+	if err != nil {
+		return nil, err
+	}
+	g := d.Materialize()
+	for ci := ix.chunkOfSnap[si]; ci < len(ix.chunkEnd); ci++ {
+		if ci > 0 && ix.chunkEnd[ci-1] > tt {
+			break
+		}
+		evBlob, ok := ix.store.Get("cl_log", fmt.Sprintf("c%08d", ci), "events")
+		if !ok {
+			return nil, fmt.Errorf("baseline: missing copy+log chunk %d", ci)
+		}
+		evs, err := ix.cdc.DecodeEvents(evBlob)
+		if err != nil {
+			return nil, err
+		}
+		if err := replayPrefix(g, evs, tt); err != nil {
+			return nil, err
+		}
+		if ix.chunkEnd[ci] > tt {
+			break
+		}
+	}
+	return g, nil
+}
+
+func (ix *CopyLogIndex) StaticNode(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
+	// Copy+Log has no entity path either: full snapshot, then filter.
+	g, err := ix.Snapshot(tt)
+	if err != nil {
+		return nil, err
+	}
+	if ns := g.Node(id); ns != nil {
+		return ns.Clone(), nil
+	}
+	return nil, nil
+}
+
+func (ix *CopyLogIndex) NodeVersions(id graph.NodeID, ts, te temporal.Time) (*History, error) {
+	initial, err := ix.StaticNode(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	h := &History{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
+	// Scan every eventlist overlapping the range (|G|/|E| reads).
+	for ci := 0; ci < len(ix.chunkEnd); ci++ {
+		if ix.chunkEnd[ci] <= ts {
+			continue
+		}
+		if ci > 0 && ix.chunkEnd[ci-1] >= te {
+			break
+		}
+		blob, ok := ix.store.Get("cl_log", fmt.Sprintf("c%08d", ci), "events")
+		if !ok {
+			return nil, fmt.Errorf("baseline: missing copy+log chunk %d", ci)
+		}
+		evs, err := ix.cdc.DecodeEvents(blob)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range evs {
+			if e.Time > ts && e.Time < te && e.Touches(id) {
+				h.Events = append(h.Events, e)
+			}
+		}
+	}
+	return h, nil
+}
+
+func (ix *CopyLogIndex) StorageBytes() int64 { return ix.store.LogicalBytes() }

@@ -1,0 +1,113 @@
+package baseline
+
+import "fmt"
+
+// CostParams are the symbolic quantities of the paper's Table 1.
+type CostParams struct {
+	Changes       float64 // |G|: number of changes in the graph
+	Nodes         float64 // |N|: number of nodes
+	SnapshotSize  float64 // |S|: size of a snapshot
+	EventlistSize float64 // |E|: eventlist size
+	TreeHeight    float64 // h: height of the DeltaGraph/TGI tree
+	NodeChanges   float64 // |V|: number of changes to one node
+	Neighbors     float64 // |R|: neighbors of a node
+	Partitions    float64 // p: number of micro-partitions in TGI
+	NodeChunks    float64 // |C|: per-node chunk count (vertex-centric)
+}
+
+// DeriveCostParams fills the dependent quantities from dataset-level
+// figures, mirroring how the evaluation instantiates Table 1.
+func DeriveCostParams(changes, nodes, eventlistSize, arity, partitionSize int) CostParams {
+	h := 1.0
+	leaves := float64(changes)/float64(eventlistSize) + 1
+	for n := leaves; n > 1; n /= float64(arity) {
+		h++
+	}
+	snapshot := float64(nodes)
+	return CostParams{
+		Changes:       float64(changes),
+		Nodes:         float64(nodes),
+		SnapshotSize:  snapshot,
+		EventlistSize: float64(eventlistSize),
+		TreeHeight:    h,
+		NodeChanges:   float64(changes) / float64(max(nodes, 1)),
+		Neighbors:     float64(changes) / float64(max(nodes, 1)), // avg degree proxy
+		Partitions:    max(snapshot/float64(max(partitionSize, 1)), 1),
+		NodeChunks:    max(float64(changes)/float64(max(nodes, 1))/float64(max(eventlistSize, 1)), 1),
+	}
+}
+
+// QueryCost is one Table 1 cell pair: the cumulative delta size fetched
+// (Σ|∆|) and the number of deltas fetched (Σ1).
+type QueryCost struct {
+	Work    float64 // Σ|∆|
+	Fetches float64 // Σ1
+}
+
+func (q QueryCost) String() string { return fmt.Sprintf("%.3g / %.3g", q.Work, q.Fetches) }
+
+// CostRow is one index's row of Table 1.
+type CostRow struct {
+	Index          string
+	Size           float64
+	Snapshot       QueryCost
+	StaticVertex   QueryCost
+	VertexVersions QueryCost
+	OneHop         QueryCost
+	OneHopVersions QueryCost
+}
+
+// CostTable evaluates the closed forms of Table 1 for the given
+// parameters, in the paper's row order.
+func CostTable(p CostParams) []CostRow {
+	G, N, S, E := p.Changes, p.Nodes, p.SnapshotSize, p.EventlistSize
+	h, V, R, pp, C := p.TreeHeight, p.NodeChanges, p.Neighbors, p.Partitions, p.NodeChunks
+	logAll := QueryCost{Work: G, Fetches: G / E}
+	return []CostRow{
+		{
+			Index: "Log", Size: G,
+			Snapshot: logAll, StaticVertex: logAll, VertexVersions: logAll,
+			OneHop: logAll, OneHopVersions: logAll,
+		},
+		{
+			Index: "Copy", Size: G * G,
+			Snapshot:       QueryCost{S, 1},
+			StaticVertex:   QueryCost{S, 1},
+			VertexVersions: QueryCost{S * G, G},
+			OneHop:         QueryCost{S, 1},
+			OneHopVersions: QueryCost{S * G, G},
+		},
+		{
+			Index: "Copy+Log", Size: G * G / E,
+			Snapshot:       QueryCost{S + E, 2},
+			StaticVertex:   QueryCost{S + E, 2},
+			VertexVersions: QueryCost{G, G / E},
+			OneHop:         QueryCost{S + E, 2},
+			OneHopVersions: QueryCost{G, G / E},
+		},
+		{
+			Index: "Node Centric", Size: 2 * G,
+			Snapshot:       QueryCost{2 * G, N},
+			StaticVertex:   QueryCost{C, 1},
+			VertexVersions: QueryCost{C, 1},
+			OneHop:         QueryCost{R * V, R},
+			OneHopVersions: QueryCost{R * V, R},
+		},
+		{
+			Index: "DeltaGraph", Size: G * (h + 1),
+			Snapshot:       QueryCost{h*S + E, 2 * h},
+			StaticVertex:   QueryCost{h*S + E, 2 * h},
+			VertexVersions: QueryCost{G, G / E},
+			OneHop:         QueryCost{h * (S + E), 2 * h},
+			OneHopVersions: QueryCost{G, G / E},
+		},
+		{
+			Index: "TGI", Size: G * (2*h + 3),
+			Snapshot:       QueryCost{h*S + E, 2 * h},
+			StaticVertex:   QueryCost{(h*S + E) / pp, 2 * h},
+			VertexVersions: QueryCost{V * (1 + S/pp), V + 1},
+			OneHop:         QueryCost{h * (S + E) / pp, 2 * h},
+			OneHopVersions: QueryCost{V * (1 + S/pp), V + 1},
+		},
+	}
+}

@@ -1,0 +1,66 @@
+package baseline
+
+import (
+	"hgs/internal/core"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
+)
+
+// TGIAdapter exposes a core.TGI through the baseline Index interface so
+// the comparison harness can run every design through one code path. With
+// core.DeltaGraphConfig it degenerates into the DeltaGraph baseline
+// (monolithic deltas, single horizontal partition — §4.2).
+type TGIAdapter struct {
+	name string
+	cfg  core.Config
+	tgi  *core.TGI
+	st   *kvstore.Cluster
+}
+
+// NewTGIAdapter wraps a TGI configuration as a baseline index.
+func NewTGIAdapter(name string, store *kvstore.Cluster, cfg core.Config) *TGIAdapter {
+	return &TGIAdapter{name: name, cfg: cfg, st: store}
+}
+
+// NewDeltaGraph returns the DeltaGraph baseline over the given store,
+// with the paper-equivalent parameterization of TGI.
+func NewDeltaGraph(store *kvstore.Cluster, eventlistSize int) *TGIAdapter {
+	cfg := core.DeltaGraphConfig()
+	if eventlistSize > 0 {
+		cfg.EventlistSize = eventlistSize
+	}
+	return NewTGIAdapter("deltagraph", store, cfg)
+}
+
+func (a *TGIAdapter) Name() string { return a.name }
+
+// TGI returns the wrapped index (nil before Build).
+func (a *TGIAdapter) TGI() *core.TGI { return a.tgi }
+
+func (a *TGIAdapter) Build(events []graph.Event) error {
+	tgi, err := core.Build(a.st, a.cfg, events)
+	if err != nil {
+		return err
+	}
+	a.tgi = tgi
+	return nil
+}
+
+func (a *TGIAdapter) Snapshot(tt temporal.Time) (*graph.Graph, error) {
+	return a.tgi.GetSnapshot(tt, nil)
+}
+
+func (a *TGIAdapter) StaticNode(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
+	return a.tgi.GetNodeAt(id, tt)
+}
+
+func (a *TGIAdapter) NodeVersions(id graph.NodeID, ts, te temporal.Time) (*History, error) {
+	h, err := a.tgi.GetNodeHistory(id, ts, te, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &History{ID: h.ID, Interval: h.Interval, Initial: h.Initial, Events: h.Events}, nil
+}
+
+func (a *TGIAdapter) StorageBytes() int64 { return a.st.LogicalBytes() }

@@ -1,0 +1,411 @@
+// Package codec provides the binary wire format used to persist deltas,
+// node states and eventlists in the key-value store (the paper serialized
+// with Python Pickle; we use a compact varint-based format so that stored
+// byte sizes — which drive the simulated I/O cost model — are realistic).
+// Every blob starts with a one-byte header that records whether the
+// payload is gzip-compressed, so compressed and uncompressed indexes can
+// coexist (paper Figure 13a compares both).
+package codec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"hgs/internal/delta"
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// Header flags.
+const (
+	flagPlain byte = 0x00
+	flagGzip  byte = 0x01
+)
+
+var (
+	// ErrCorrupt reports a malformed or truncated blob.
+	ErrCorrupt = errors.New("codec: corrupt blob")
+)
+
+// Codec encodes and decodes store blobs. The zero value is an
+// uncompressed codec; set Compress for gzip framing.
+type Codec struct {
+	// Compress enables gzip compression of encoded payloads.
+	Compress bool
+}
+
+// buffer wraps the low-level primitives of the wire format.
+type buffer struct {
+	buf bytes.Buffer
+}
+
+func (b *buffer) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.buf.Write(tmp[:n])
+}
+
+func (b *buffer) varint(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	b.buf.Write(tmp[:n])
+}
+
+func (b *buffer) str(s string) {
+	b.uvarint(uint64(len(s)))
+	b.buf.WriteString(s)
+}
+
+func (b *buffer) bool(v bool) {
+	if v {
+		b.buf.WriteByte(1)
+	} else {
+		b.buf.WriteByte(0)
+	}
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.data) {
+		return "", ErrCorrupt
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	if r.pos >= len(r.data) {
+		return false, ErrCorrupt
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v != 0, nil
+}
+
+// count validates a decoded element count against the bytes remaining
+// (every element takes at least one byte), so a corrupt varint cannot
+// drive a huge preallocation.
+func (r *reader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining %d bytes", ErrCorrupt, n, len(r.data)-r.pos)
+	}
+	return int(n), nil
+}
+
+// encodeAttrs writes attribute maps with sorted keys for deterministic
+// output (stable blob sizes and content-addressable tests).
+func encodeAttrs(b *buffer, a graph.Attrs) {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		b.str(k)
+		b.str(a[k])
+	}
+}
+
+func decodeAttrs(r *reader) (graph.Attrs, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	a := make(graph.Attrs, n)
+	for i := 0; i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		a[k] = v
+	}
+	return a, nil
+}
+
+func encodeNodeState(b *buffer, ns *graph.NodeState) {
+	b.varint(int64(ns.ID))
+	encodeAttrs(b, ns.Attrs)
+	// Deterministic edge order: by (Other, Out).
+	keys := make([]graph.EdgeKey, 0, len(ns.Edges))
+	for k := range ns.Edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Other != keys[j].Other {
+			return keys[i].Other < keys[j].Other
+		}
+		return !keys[i].Out && keys[j].Out
+	})
+	b.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		b.varint(int64(k.Other))
+		b.bool(k.Out)
+		encodeAttrs(b, ns.Edges[k].Attrs)
+	}
+}
+
+func decodeNodeState(r *reader) (*graph.NodeState, error) {
+	id, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := decodeAttrs(r)
+	if err != nil {
+		return nil, err
+	}
+	ns := &graph.NodeState{ID: graph.NodeID(id), Attrs: attrs}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		ns.Edges = make(map[graph.EdgeKey]*graph.EdgeState, n)
+		for i := 0; i < n; i++ {
+			other, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			out, err := r.bool()
+			if err != nil {
+				return nil, err
+			}
+			ea, err := decodeAttrs(r)
+			if err != nil {
+				return nil, err
+			}
+			ns.Edges[graph.EdgeKey{Other: graph.NodeID(other), Out: out}] = &graph.EdgeState{Attrs: ea}
+		}
+	}
+	return ns, nil
+}
+
+// EncodeDelta serializes a delta (component states + tombstones).
+func (c Codec) EncodeDelta(d *delta.Delta) ([]byte, error) {
+	var b buffer
+	ids := make([]graph.NodeID, 0, len(d.Nodes))
+	for id := range d.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	b.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		encodeNodeState(&b, d.Nodes[id])
+	}
+	tombs := make([]graph.NodeID, 0, len(d.Tombstones))
+	for id := range d.Tombstones {
+		tombs = append(tombs, id)
+	}
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i] < tombs[j] })
+	b.uvarint(uint64(len(tombs)))
+	for _, id := range tombs {
+		b.varint(int64(id))
+	}
+	return c.frame(b.buf.Bytes())
+}
+
+// DecodeDelta parses a blob produced by EncodeDelta.
+func (c Codec) DecodeDelta(blob []byte) (*delta.Delta, error) {
+	data, err := unframe(blob)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{data: data}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	d := delta.New()
+	for i := 0; i < n; i++ {
+		ns, err := decodeNodeState(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Nodes[ns.ID] = ns
+	}
+	tn, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < tn; i++ {
+		id, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		d.MarkDeleted(graph.NodeID(id))
+	}
+	return d, nil
+}
+
+// EncodeEvents serializes an event slice; times are delta-encoded against
+// the previous event, which makes dense eventlists very compact.
+func (c Codec) EncodeEvents(events []graph.Event) ([]byte, error) {
+	var b buffer
+	b.uvarint(uint64(len(events)))
+	var prev temporal.Time
+	for _, e := range events {
+		b.varint(int64(e.Time - prev))
+		prev = e.Time
+		b.buf.WriteByte(byte(e.Kind))
+		b.varint(int64(e.Node))
+		b.varint(int64(e.Other))
+		b.str(e.Key)
+		b.str(e.Value)
+	}
+	return c.frame(b.buf.Bytes())
+}
+
+// DecodeEvents parses a blob produced by EncodeEvents.
+func (c Codec) DecodeEvents(blob []byte) ([]graph.Event, error) {
+	data, err := unframe(blob)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{data: data}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	events := make([]graph.Event, 0, n)
+	var prev temporal.Time
+	for i := 0; i < n; i++ {
+		dt, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += temporal.Time(dt)
+		if r.pos >= len(r.data) {
+			return nil, ErrCorrupt
+		}
+		kind := graph.EventKind(r.data[r.pos])
+		r.pos++
+		node, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		other, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, graph.Event{
+			Time: prev, Kind: kind,
+			Node: graph.NodeID(node), Other: graph.NodeID(other),
+			Key: key, Value: val,
+		})
+	}
+	return events, nil
+}
+
+// EncodeNodeState serializes a single node state.
+func (c Codec) EncodeNodeState(ns *graph.NodeState) ([]byte, error) {
+	var b buffer
+	encodeNodeState(&b, ns)
+	return c.frame(b.buf.Bytes())
+}
+
+// DecodeNodeState parses a blob produced by EncodeNodeState.
+func (c Codec) DecodeNodeState(blob []byte) (*graph.NodeState, error) {
+	data, err := unframe(blob)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNodeState(&reader{data: data})
+}
+
+// frame prepends the header byte and compresses when enabled.
+func (c Codec) frame(payload []byte) ([]byte, error) {
+	if !c.Compress {
+		out := make([]byte, 0, len(payload)+1)
+		out = append(out, flagPlain)
+		return append(out, payload...), nil
+	}
+	var zbuf bytes.Buffer
+	zbuf.WriteByte(flagGzip)
+	zw, err := gzip.NewWriterLevel(&zbuf, gzip.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("codec: gzip init: %w", err)
+	}
+	if _, err := zw.Write(payload); err != nil {
+		return nil, fmt.Errorf("codec: gzip write: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("codec: gzip close: %w", err)
+	}
+	return zbuf.Bytes(), nil
+}
+
+// unframe strips the header and decompresses as needed; decode works
+// regardless of the codec's own Compress flag.
+func unframe(blob []byte) ([]byte, error) {
+	if len(blob) == 0 {
+		return nil, ErrCorrupt
+	}
+	switch blob[0] {
+	case flagPlain:
+		return blob[1:], nil
+	case flagGzip:
+		zr, err := gzip.NewReader(bytes.NewReader(blob[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("codec: gzip open: %w", err)
+		}
+		defer zr.Close()
+		data, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("codec: gzip read: %w", err)
+		}
+		return data, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown header 0x%02x", ErrCorrupt, blob[0])
+	}
+}

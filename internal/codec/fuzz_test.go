@@ -1,0 +1,66 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeRandomBytesNeverPanics feeds random byte soup into every
+// decoder: they must fail gracefully (error) or succeed, never panic or
+// over-allocate (the count guard caps preallocation at blob size).
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Codec{}
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(200)
+		blob := make([]byte, n)
+		rng.Read(blob)
+		if n > 0 && rng.Intn(2) == 0 {
+			blob[0] = flagPlain // exercise the body parsers, not just framing
+		}
+		c.DecodeDelta(blob)
+		c.DecodeEvents(blob)
+		c.DecodeNodeState(blob)
+	}
+}
+
+// TestDecodeMutatedBlobs corrupts valid blobs one byte at a time; decode
+// must either error or produce some result without panicking.
+func TestDecodeMutatedBlobs(t *testing.T) {
+	c := Codec{}
+	d := randDelta(5, 60)
+	blob, err := c.EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(blob); pos += 3 {
+		for _, b := range []byte{0x00, 0xFF, blob[pos] ^ 0x40} {
+			mut := append([]byte(nil), blob...)
+			mut[pos] = b
+			c.DecodeDelta(mut)
+		}
+	}
+	evBlob, err := c.EncodeEvents(randEvents(6, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(evBlob); pos += 3 {
+		mut := append([]byte(nil), evBlob...)
+		mut[pos] ^= 0xA5
+		c.DecodeEvents(mut)
+	}
+}
+
+// TestHugeCountRejected verifies the count guard: a blob declaring an
+// enormous element count but holding few bytes must error out fast.
+func TestHugeCountRejected(t *testing.T) {
+	// flagPlain + uvarint(2^40) and nothing else.
+	blob := []byte{flagPlain, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	c := Codec{}
+	if _, err := c.DecodeDelta(blob); err == nil {
+		t.Fatal("huge count must be rejected")
+	}
+	if _, err := c.DecodeEvents(blob); err == nil {
+		t.Fatal("huge count must be rejected")
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hgs/internal/delta"
+	"hgs/internal/graph"
+	"hgs/internal/partition"
+	"hgs/internal/temporal"
+)
+
+// BuildAll constructs the index from the full history (paper §4.4,
+// Construction): events are cut into timespans; each timespan is analyzed
+// (partitioning), split into horizontal partitions, and indexed one
+// horizontal partition at a time.
+func (t *TGI) BuildAll(events []graph.Event) error {
+	if err := t.cfg.Validate(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("core: cannot build an index over zero events")
+	}
+	if err := validateEvents(events); err != nil {
+		return err
+	}
+	carry := graph.New()
+	tsid := 0
+	for off := 0; off < len(events); off += t.cfg.TimespanEvents {
+		end := min(off+t.cfg.TimespanEvents, len(events))
+		var err error
+		carry, err = t.buildTimespan(tsid, carry, events[off:end])
+		if err != nil {
+			return err
+		}
+		tsid++
+	}
+	return t.storeGraphMeta(&GraphMeta{
+		Name:          "tgi",
+		Start:         events[0].Time,
+		End:           events[len(events)-1].Time,
+		Events:        len(events),
+		TimespanCount: tsid,
+		Config:        t.cfg,
+	})
+}
+
+// spanPartitioning computes, per horizontal partition, the number of
+// micro-partitions and (for locality mode) the node→pid assignment over
+// the collapsed span graph (paper §4.5).
+type spanPartitioning struct {
+	npids  []int
+	assign []partition.Assignment // nil for random mode
+}
+
+func (sp *spanPartitioning) pidOf(t *TGI, sid int, id graph.NodeID) int {
+	if sp.assign != nil {
+		if pid, ok := sp.assign[sid][id]; ok {
+			return pid
+		}
+	}
+	return partition.HashPID(id, sp.npids[sid])
+}
+
+func (t *TGI) computeSpanPartitioning(start *graph.Graph, events []graph.Event, iv temporal.Interval) *spanPartitioning {
+	ns := t.cfg.HorizontalPartitions
+	collapsed := partition.Collapse(start, events, iv, t.cfg.Omega, t.cfg.NodeWeighting)
+
+	// Split the collapsed graph by horizontal partition.
+	perSidNodes := make([]int, ns)
+	for id := range collapsed.NodeW {
+		perSidNodes[t.sidOf(id)]++
+	}
+	sp := &spanPartitioning{npids: make([]int, ns)}
+	for sid := 0; sid < ns; sid++ {
+		sp.npids[sid] = max(1, (perSidNodes[sid]+t.cfg.PartitionSize-1)/t.cfg.PartitionSize)
+	}
+	if t.cfg.Partitioning != partition.Locality {
+		return sp
+	}
+	// Locality: partition each sid's projection of the collapsed graph.
+	sub := make([]*partition.WeightedGraph, ns)
+	for sid := range sub {
+		sub[sid] = partition.NewWeightedGraph()
+	}
+	for id, w := range collapsed.NodeW {
+		sid := t.sidOf(id)
+		sub[sid].AddNode(id, w)
+	}
+	for p, w := range collapsed.EdgeW {
+		su, sv := t.sidOf(p.U), t.sidOf(p.V)
+		if su == sv {
+			sub[su].AddEdge(p.U, p.V, w)
+		}
+	}
+	sp.assign = make([]partition.Assignment, ns)
+	for sid := 0; sid < ns; sid++ {
+		sp.assign[sid] = partition.LocalityAssign(sub[sid], sp.npids[sid], 2)
+	}
+	return sp
+}
+
+// buildTimespan indexes one timespan given the graph state at its start;
+// it returns the state at its end (the carry for the next span).
+func (t *TGI) buildTimespan(tsid int, start *graph.Graph, events []graph.Event) (*graph.Graph, error) {
+	l := t.cfg.EventlistSize
+	ne := (len(events) + l - 1) / l
+	spanStart := events[0].Time
+	spanEnd := events[len(events)-1].Time
+	iv := temporal.NewInterval(spanStart, spanEnd+1)
+	sp := t.computeSpanPartitioning(start, events, iv)
+	ns := t.cfg.HorizontalPartitions
+	pkeyOf := func(sid int) string { return placementKey(tsid, sid) }
+
+	// Leaf checkpoint times: leaf 0 is the state just before the span's
+	// first event; leaf i>0 is the state after eventlist i-1.
+	leafTimes := make([]temporal.Time, 0, ne+1)
+	leafTimes = append(leafTimes, spanStart-1)
+	for el := 0; el < ne; el++ {
+		endIdx := min((el+1)*l, len(events)) - 1
+		leafTimes = append(leafTimes, events[endIdx].Time)
+	}
+
+	// Persist the locality pid maps (Micropartitions table).
+	if sp.assign != nil {
+		var tmp [binary.MaxVarintLen64]byte
+		for sid := 0; sid < ns; sid++ {
+			for id, pid := range sp.assign[sid] {
+				n := binary.PutVarint(tmp[:], int64(pid))
+				t.store.Put(TableMicroPart, pkeyOf(sid), nodeCKey(id), tmp[:n])
+			}
+		}
+	}
+
+	var carryOut *graph.Graph
+	var leafPaths [][]int
+	deltaCount := 0
+	for sid := 0; sid < ns; sid++ {
+		// Replay the span on a private clone, cutting leaves and
+		// collecting per-pid eventlists, version chains, and (optionally)
+		// 1-hop replication frontiers for this horizontal partition.
+		w := start.Clone()
+		inSid := func(id graph.NodeID) bool { return t.sidOf(id) == sid }
+		extractLeaf := func() *delta.Delta {
+			d := delta.New()
+			w.Range(func(ns *graph.NodeState) bool {
+				if inSid(ns.ID) {
+					d.Nodes[ns.ID] = ns.Clone()
+				}
+				return true
+			})
+			return d
+		}
+
+		leaves := make([]*delta.Delta, 0, ne+1)
+		leaves = append(leaves, extractLeaf())
+		if t.cfg.Replicate1Hop {
+			t.storeAuxLeaf(tsid, sid, 0, w, sp)
+		}
+
+		vcs := make(map[graph.NodeID][]vcEntry)
+		for el := 0; el < ne; el++ {
+			chunk := events[el*l : min((el+1)*l, len(events))]
+			// Frontier membership at the leaf preceding this eventlist,
+			// for aux eventlist replication.
+			var frontier map[graph.NodeID]map[int]struct{} // node -> pids it fronts
+			if t.cfg.Replicate1Hop {
+				frontier = t.frontierMembership(w, sid, sp)
+			}
+			perPid := make(map[int][]graph.Event)
+			perPidAux := make(map[int][]graph.Event)
+			appendVC := func(id graph.NodeID, tt temporal.Time) {
+				entries := vcs[id]
+				if len(entries) == 0 || entries[len(entries)-1].el != el {
+					entries = append(entries, vcEntry{el: el})
+				}
+				last := &entries[len(entries)-1]
+				if n := len(last.times); n == 0 || last.times[n-1] != tt {
+					last.times = append(last.times, tt)
+				}
+				vcs[id] = entries
+			}
+			for _, orig := range chunk {
+				// RemoveNode implicitly rewrites every neighbor's state
+				// (incident edges vanish); expand it into explicit
+				// RemoveEdge events so neighbors' eventlists and version
+				// chains record the change. Expansion is deterministic, so
+				// every horizontal partition synthesizes identical events.
+				for _, e := range expandEvent(w, orig) {
+					touched := []graph.NodeID{e.Node}
+					if e.Kind.IsEdge() && e.Other != e.Node {
+						touched = append(touched, e.Other)
+					}
+					seenPid := make(map[int]bool, 2)
+					for _, id := range touched {
+						if !inSid(id) {
+							continue
+						}
+						pid := sp.pidOf(t, sid, id)
+						if !seenPid[pid] {
+							seenPid[pid] = true
+							perPid[pid] = append(perPid[pid], e)
+						}
+						appendVC(id, e.Time)
+					}
+					if frontier != nil {
+						// Replicate into the aux eventlist of every
+						// micro-partition fronted by a touched node — even
+						// when the event also lands in that partition's
+						// main eventlist, because the two replay onto
+						// different graphs (partition vs frontier states).
+						seenAux := make(map[int]bool, 2)
+						for _, id := range touched {
+							for pid := range frontier[id] {
+								if !seenAux[pid] {
+									seenAux[pid] = true
+									perPidAux[pid] = append(perPidAux[pid], e)
+								}
+							}
+						}
+					}
+					if err := w.Apply(e); err != nil {
+						return nil, fmt.Errorf("core: build timespan %d: %w", tsid, err)
+					}
+				}
+			}
+			for pid, evs := range perPid {
+				blob, err := t.cdc.EncodeEvents(evs)
+				if err != nil {
+					return nil, err
+				}
+				t.store.Put(TableEvents, pkeyOf(sid), eventCKey(el, pid), blob)
+			}
+			for pid, evs := range perPidAux {
+				blob, err := t.cdc.EncodeEvents(evs)
+				if err != nil {
+					return nil, err
+				}
+				t.store.Put(TableAuxEvents, pkeyOf(sid), eventCKey(el, pid), blob)
+			}
+			leaves = append(leaves, extractLeaf())
+			if t.cfg.Replicate1Hop {
+				t.storeAuxLeaf(tsid, sid, el+1, w, sp)
+			}
+		}
+
+		// Hierarchical temporal compression: build and persist the tree.
+		stored, paths := buildDeltaTree(leaves, t.cfg.Arity)
+		leafPaths = paths
+		deltaCount = len(stored)
+		for _, sd := range stored {
+			if err := t.storeMicroDeltas(TableDeltas, pkeyOf(sid), sd.did, sd.data, sid, sp); err != nil {
+				return nil, err
+			}
+		}
+
+		// Version chains.
+		for id, entries := range vcs {
+			t.store.Put(TableVersions, pkeyOf(sid), nodeCKey(id), encodeVC(entries))
+		}
+
+		if sid == ns-1 {
+			carryOut = w
+		}
+	}
+
+	if err := t.storeTimespanMeta(&TimespanMeta{
+		TSID:           tsid,
+		Start:          spanStart,
+		End:            spanEnd,
+		LeafTimes:      leafTimes,
+		EventlistCount: ne,
+		EventCount:     len(events),
+		LeafPaths:      leafPaths,
+		DeltaCount:     deltaCount,
+		NPids:          sp.npids,
+		Partitioning:   t.cfg.Partitioning.String(),
+		Arity:          t.cfg.Arity,
+	}); err != nil {
+		return nil, err
+	}
+	return carryOut, nil
+}
+
+// expandEvent is graph.ExpandRemoveNode; see there for the contract.
+func expandEvent(w *graph.Graph, e graph.Event) []graph.Event {
+	return graph.ExpandRemoveNode(w, e)
+}
+
+// storeMicroDeltas splits a tree delta by micro-partition and persists
+// each non-empty piece under the composite delta key.
+func (t *TGI) storeMicroDeltas(table, pkey string, did int, d *delta.Delta, sid int, sp *spanPartitioning) error {
+	parts := make(map[int]*delta.Delta)
+	for id, ns := range d.Nodes {
+		pid := sp.pidOf(t, sid, id)
+		p, ok := parts[pid]
+		if !ok {
+			p = delta.New()
+			parts[pid] = p
+		}
+		p.Nodes[id] = ns
+	}
+	for id := range d.Tombstones {
+		pid := sp.pidOf(t, sid, id)
+		p, ok := parts[pid]
+		if !ok {
+			p = delta.New()
+			parts[pid] = p
+		}
+		p.MarkDeleted(id)
+	}
+	pids := make([]int, 0, len(parts))
+	for pid := range parts {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		blob, err := t.cdc.EncodeDelta(parts[pid])
+		if err != nil {
+			return err
+		}
+		t.store.Put(table, pkey, deltaCKey(did, pid), blob)
+	}
+	return nil
+}
+
+// frontierMembership maps every node to the set of micro-partitions of
+// horizontal partition sid whose frontier it belongs to: the node is
+// adjacent to a member of (sid,pid) but is not itself in (sid,pid).
+func (t *TGI) frontierMembership(w *graph.Graph, sid int, sp *spanPartitioning) map[graph.NodeID]map[int]struct{} {
+	out := make(map[graph.NodeID]map[int]struct{})
+	w.Range(func(ns *graph.NodeState) bool {
+		if t.sidOf(ns.ID) != sid {
+			return true
+		}
+		pid := sp.pidOf(t, sid, ns.ID)
+		for k := range ns.Edges {
+			nb := k.Other
+			if t.sidOf(nb) == sid && sp.pidOf(t, sid, nb) == pid {
+				continue // same micro-partition
+			}
+			set, ok := out[nb]
+			if !ok {
+				set = make(map[int]struct{})
+				out[nb] = set
+			}
+			set[pid] = struct{}{}
+		}
+		return true
+	})
+	return out
+}
+
+// storeAuxLeaf persists, for every micro-partition of (tsid, sid), the
+// auxiliary micro-delta holding its frontier nodes' states at this leaf
+// (paper §4.5, Figure 5d). Frontier states carry only the edges whose
+// other endpoint lies inside the partition∪frontier closure: any 1-hop
+// query rooted in the partition only needs edges among {root}∪N(root) ⊆
+// members∪frontier, and the restriction keeps replication from copying
+// high-degree frontier nodes' entire adjacency into every aux row.
+func (t *TGI) storeAuxLeaf(tsid, sid, leafIdx int, w *graph.Graph, sp *spanPartitioning) {
+	fm := t.frontierMembership(w, sid, sp)
+	// closures[pid] = member set ∪ frontier set of that micro-partition.
+	closures := make(map[int]map[graph.NodeID]struct{})
+	closure := func(pid int) map[graph.NodeID]struct{} {
+		set, ok := closures[pid]
+		if !ok {
+			set = make(map[graph.NodeID]struct{})
+			closures[pid] = set
+		}
+		return set
+	}
+	w.Range(func(ns *graph.NodeState) bool {
+		if t.sidOf(ns.ID) == sid {
+			closure(sp.pidOf(t, sid, ns.ID))[ns.ID] = struct{}{}
+		}
+		return true
+	})
+	for nb, pids := range fm {
+		for pid := range pids {
+			closure(pid)[nb] = struct{}{}
+		}
+	}
+
+	parts := make(map[int]*delta.Delta)
+	for nb, pids := range fm {
+		ns := w.Node(nb)
+		if ns == nil {
+			continue
+		}
+		for pid := range pids {
+			p, ok := parts[pid]
+			if !ok {
+				p = delta.New()
+				parts[pid] = p
+			}
+			set := closures[pid]
+			restricted := &graph.NodeState{ID: ns.ID, Attrs: ns.Attrs.Clone()}
+			for k, es := range ns.Edges {
+				if _, in := set[k.Other]; in {
+					if restricted.Edges == nil {
+						restricted.Edges = make(map[graph.EdgeKey]*graph.EdgeState)
+					}
+					restricted.Edges[k] = es.Clone()
+				}
+			}
+			p.Nodes[nb] = restricted
+		}
+	}
+	for pid, d := range parts {
+		blob, err := t.cdc.EncodeDelta(d)
+		if err != nil {
+			continue // encoding cannot fail for in-memory states
+		}
+		t.store.Put(TableAux, placementKey(tsid, sid), deltaCKey(leafIdx, pid), blob)
+	}
+}

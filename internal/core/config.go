@@ -1,0 +1,148 @@
+// Package core implements the Temporal Graph Index (TGI), the paper's
+// primary contribution (§4): a partitioned, hierarchically
+// temporally-compressed index over the entire history of a graph, stored
+// in a distributed key-value store, supporting snapshot retrieval, node
+// histories, and neighborhood (version) retrieval with parallel fetch.
+//
+// Layout (paper §4.4): history is cut into timespans; the graph is
+// horizontally partitioned by a random hash of node id into ns partitions
+// (sid); within each (timespan, sid) a DeltaGraph-style tree of derived
+// partitioned snapshots is built over leaf checkpoints spaced every
+// EventlistSize events; every stored delta and eventlist is split into
+// micro-deltas of roughly PartitionSize nodes (pid) by a per-timespan
+// partition map (random or locality); version chains record, per node,
+// which eventlists contain its changes.
+package core
+
+import (
+	"fmt"
+
+	"hgs/internal/partition"
+)
+
+// Table names in the backing store: the paper's five Cassandra tables
+// (Deltas, Versions, Timespans, Graph, Micropartitions), with eventlists
+// split out of Deltas into their own table for clearer key spaces, plus
+// two auxiliary tables for 1-hop replication.
+const (
+	TableDeltas    = "deltas"    // micro-deltas of snapshots/derived snapshots
+	TableEvents    = "events"    // micro-eventlists
+	TableVersions  = "versions"  // per-node version chains
+	TableTimespans = "timespans" // per-timespan metadata
+	TableGraph     = "graph"     // global graph metadata
+	TableMicroPart = "micropart" // node→pid maps (locality partitioning)
+	TableAux       = "aux"       // 1-hop replication: frontier micro-deltas
+	TableAuxEvents = "auxevents" // 1-hop replication: frontier micro-eventlists
+)
+
+// Config holds the TGI construction parameters (paper §4.4: timespan
+// length ts, horizontal partitions ns, eventlist size l, micro-delta
+// partition size psize, plus the partitioning strategy knobs of §4.5).
+type Config struct {
+	// TimespanEvents is the number of events per timespan (uniform
+	// time-span length in number of events — the paper's practical choice).
+	TimespanEvents int
+	// EventlistSize is l: events per eventlist; leaf checkpoints are
+	// spaced this many events apart.
+	EventlistSize int
+	// Arity is the fan-in k of the hierarchical delta tree.
+	Arity int
+	// HorizontalPartitions is ns: the number of hash partitions that
+	// spread each delta across the cluster.
+	HorizontalPartitions int
+	// PartitionSize is psize: target node count per micro-delta.
+	PartitionSize int
+	// Partitioning selects random or locality micro-partitioning.
+	Partitioning partition.Kind
+	// Omega is the temporal-collapse function for locality partitioning.
+	Omega partition.Omega
+	// NodeWeighting is the node-weight option for locality partitioning.
+	NodeWeighting partition.NodeWeighting
+	// Replicate1Hop stores auxiliary frontier micro-deltas to accelerate
+	// 1-hop neighborhood retrieval.
+	Replicate1Hop bool
+	// Compress gzip-compresses stored blobs.
+	Compress bool
+	// FetchClients is c: the default number of parallel query processors
+	// used by retrieval operations.
+	FetchClients int
+}
+
+// DefaultConfig returns the defaults used throughout the evaluation
+// unless a figure varies a parameter (ps=500, random partitioning).
+func DefaultConfig() Config {
+	return Config{
+		TimespanEvents:       200_000,
+		EventlistSize:        25_000,
+		Arity:                2,
+		HorizontalPartitions: 4,
+		PartitionSize:        500,
+		Partitioning:         partition.Random,
+		Omega:                partition.OmegaUnionMax,
+		NodeWeighting:        partition.NodeWeightUniform,
+		Replicate1Hop:        false,
+		Compress:             false,
+		FetchClients:         4,
+	}
+}
+
+// normalize clamps invalid values to sane minimums.
+func (c *Config) normalize() {
+	if c.TimespanEvents < 1 {
+		c.TimespanEvents = 200_000
+	}
+	if c.EventlistSize < 1 {
+		c.EventlistSize = 25_000
+	}
+	if c.EventlistSize > c.TimespanEvents {
+		c.EventlistSize = c.TimespanEvents
+	}
+	if c.Arity < 2 {
+		c.Arity = 2
+	}
+	if c.HorizontalPartitions < 1 {
+		c.HorizontalPartitions = 1
+	}
+	if c.PartitionSize < 1 {
+		c.PartitionSize = 500
+	}
+	if c.FetchClients < 1 {
+		c.FetchClients = 1
+	}
+}
+
+// Validate reports configuration errors that normalize cannot repair.
+func (c Config) Validate() error {
+	if c.TimespanEvents < c.EventlistSize {
+		return fmt.Errorf("core: TimespanEvents (%d) < EventlistSize (%d)", c.TimespanEvents, c.EventlistSize)
+	}
+	return nil
+}
+
+// DeltaGraphConfig returns the configuration that degenerates TGI into
+// the DeltaGraph index of the authors' prior work (ICDE 2013): monolithic
+// deltas (one huge micro-partition, one horizontal partition) and no
+// version chains are consulted. Used as a baseline (paper §4.2, Table 1).
+func DeltaGraphConfig() Config {
+	c := DefaultConfig()
+	c.HorizontalPartitions = 1
+	c.PartitionSize = 1 << 30
+	return c
+}
+
+// FetchOptions tune a single retrieval call.
+type FetchOptions struct {
+	// Clients overrides Config.FetchClients when > 0 (the experiments'
+	// parallel fetch factor c).
+	Clients int
+}
+
+func (c Config) clients(opts *FetchOptions) int {
+	if opts != nil && opts.Clients > 0 {
+		return opts.Clients
+	}
+	if c.FetchClients > 0 {
+		return c.FetchClients
+	}
+	return 1
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hgs/internal/delta"
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// runParallel executes tasks with c concurrent query-processor workers
+// (the paper's QPs, Figure 3c): the query manager plans the key set and
+// the QPs fetch and decode in parallel.
+func runParallel(c int, tasks []func() error) error {
+	if c < 1 {
+		c = 1
+	}
+	if c > len(tasks) {
+		c = len(tasks)
+	}
+	if c <= 1 {
+		for _, task := range tasks {
+			if err := task(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	ch := make(chan func() error)
+	for i := 0; i < c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range ch {
+				if err := task(); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for _, task := range tasks {
+		ch <- task
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// eventLess is a deterministic total order over events: by time, then by
+// the remaining fields. Original events have unique times; only the
+// build-time expansion of RemoveNode produces same-time groups, and those
+// converge to the same state under any order.
+func eventLess(a, b graph.Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Other != b.Other {
+		return a.Other < b.Other
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Value < b.Value
+}
+
+// mergeSortEvents merges per-partition event streams into one
+// chronological stream, dropping the duplicates that arise because edge
+// events are replicated into both endpoints' micro-eventlists.
+func mergeSortEvents(lists [][]graph.Event) []graph.Event {
+	var all []graph.Event
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return eventLess(all[i], all[j]) })
+	out := all[:0]
+	for i, e := range all {
+		if i > 0 && e == all[i-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// GetSnapshot retrieves the state of the graph at time tt (Algorithm 1):
+// fetch the micro-deltas along the root-to-leaf path nearest below tt in
+// every horizontal partition, sum them in path order, then replay the
+// boundary eventlist up to tt.
+func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
+	tm, err := t.timespanFor(tt)
+	if err != nil {
+		return nil, err
+	}
+	leaf := tm.leafFor(tt)
+	path := tm.LeafPaths[leaf]
+	ns := t.cfg.HorizontalPartitions
+
+	type deltaRow struct {
+		sid, did int
+		parts    []*delta.Delta
+	}
+	deltaRows := make([]deltaRow, 0, ns*len(path))
+	eventLists := make([][]graph.Event, 0, ns)
+	var mu sync.Mutex
+
+	var tasks []func() error
+	for sid := 0; sid < ns; sid++ {
+		pkey := placementKey(tm.TSID, sid)
+		for _, did := range path {
+			sid, did := sid, did
+			tasks = append(tasks, func() error {
+				rows := t.store.ScanPrefix(TableDeltas, pkey, deltaPrefix(did))
+				parts := make([]*delta.Delta, 0, len(rows))
+				for _, row := range rows {
+					d, err := t.cdc.DecodeDelta(row.Value)
+					if err != nil {
+						return fmt.Errorf("core: decode delta %s/%s: %w", pkey, row.CKey, err)
+					}
+					parts = append(parts, d)
+				}
+				mu.Lock()
+				deltaRows = append(deltaRows, deltaRow{sid: sid, did: did, parts: parts})
+				mu.Unlock()
+				return nil
+			})
+		}
+		if leaf < tm.EventlistCount {
+			el := leaf
+			tasks = append(tasks, func() error {
+				rows := t.store.ScanPrefix(TableEvents, pkey, eventPrefix(el))
+				for _, row := range rows {
+					evs, err := t.cdc.DecodeEvents(row.Value)
+					if err != nil {
+						return fmt.Errorf("core: decode events %s/%s: %w", pkey, row.CKey, err)
+					}
+					mu.Lock()
+					eventLists = append(eventLists, evs)
+					mu.Unlock()
+				}
+				return nil
+			})
+		}
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+
+	// Merge: per horizontal partition, apply path deltas in root→leaf
+	// order (delta sum). Partitions own disjoint node sets, so each sid
+	// merges into its own graph in parallel and the per-sid graphs then
+	// combine by moving states.
+	didOrder := make(map[int]int, len(path))
+	for i, did := range path {
+		didOrder[did] = i
+	}
+	sort.Slice(deltaRows, func(i, j int) bool {
+		if deltaRows[i].sid != deltaRows[j].sid {
+			return deltaRows[i].sid < deltaRows[j].sid
+		}
+		return didOrder[deltaRows[i].did] < didOrder[deltaRows[j].did]
+	})
+	sidGraphs := make([]*graph.Graph, ns)
+	mergeTasks := make([]func() error, 0, ns)
+	for sid := 0; sid < ns; sid++ {
+		sid := sid
+		mergeTasks = append(mergeTasks, func() error {
+			sg := graph.New()
+			for _, row := range deltaRows {
+				if row.sid != sid {
+					continue
+				}
+				for _, part := range row.parts {
+					part.MoveTo(sg)
+				}
+			}
+			sidGraphs[sid] = sg
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), mergeTasks); err != nil {
+		return nil, err
+	}
+	g := graph.New()
+	for _, sg := range sidGraphs {
+		sg.Range(func(nsn *graph.NodeState) bool {
+			g.PutNode(nsn)
+			return true
+		})
+	}
+	// Boundary eventlist replay up to and including tt.
+	for _, e := range mergeSortEvents(eventLists) {
+		if e.Time > tt {
+			break
+		}
+		if err := g.Apply(e); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// fetchMicroPartition reconstructs the state at time tt of one
+// micro-partition (tsid, sid, pid): the path micro-deltas plus the
+// boundary micro-eventlist prefix. This is the unit of work for node and
+// neighborhood queries.
+func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Time) (*graph.Graph, error) {
+	leaf := tm.leafFor(tt)
+	pkey := placementKey(tm.TSID, sid)
+	g := graph.New()
+	for _, did := range tm.LeafPaths[leaf] {
+		blob, ok := t.store.Get(TableDeltas, pkey, deltaCKey(did, pid))
+		if !ok {
+			continue
+		}
+		d, err := t.cdc.DecodeDelta(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode delta %s/%s: %w", pkey, deltaCKey(did, pid), err)
+		}
+		d.MoveTo(g)
+	}
+	if leaf < tm.EventlistCount {
+		if blob, ok := t.store.Get(TableEvents, pkey, eventCKey(leaf, pid)); ok {
+			evs, err := t.cdc.DecodeEvents(blob)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range evs {
+				if e.Time > tt {
+					break
+				}
+				if err := g.Apply(e); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// GetNodeAt retrieves the state of a single node at time tt, or nil if
+// the node does not exist then. Only the node's own micro-partition chain
+// is read (the entity-centric access path of Table 1's TGI row).
+func (t *TGI) GetNodeAt(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
+	tm, err := t.timespanFor(tt)
+	if err != nil {
+		return nil, err
+	}
+	sid := t.sidOf(id)
+	pid, err := t.pidOf(tm, sid, id)
+	if err != nil {
+		return nil, err
+	}
+	g, err := t.fetchMicroPartition(tm, sid, pid, tt)
+	if err != nil {
+		return nil, err
+	}
+	ns := g.Node(id)
+	if ns == nil {
+		return nil, nil
+	}
+	return ns.Clone(), nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// NodeHistory is the evolution of one node over an interval: its state at
+// the interval start plus every event touching it afterwards (the result
+// of Algorithm 2).
+type NodeHistory struct {
+	ID       graph.NodeID
+	Interval temporal.Interval
+	// Initial is the node state at Interval.Start, nil if the node did
+	// not exist then.
+	Initial *graph.NodeState
+	// Events are the changes touching the node with Start < Time < End,
+	// chronological.
+	Events []graph.Event
+}
+
+// VersionCount returns the number of recorded changes.
+func (h *NodeHistory) VersionCount() int { return len(h.Events) }
+
+// StateAt replays the history to the node's state at time tt (which must
+// lie in the history's interval); nil if the node does not exist at tt.
+func (h *NodeHistory) StateAt(tt temporal.Time) *graph.NodeState {
+	g := graph.New()
+	if h.Initial != nil {
+		g.PutNode(h.Initial.Clone())
+	}
+	for _, e := range h.Events {
+		if e.Time > tt {
+			break
+		}
+		g.Apply(e)
+	}
+	ns := g.Node(h.ID)
+	if ns == nil {
+		return nil
+	}
+	return ns.Clone()
+}
+
+// Versions materializes the distinct states of the node with their
+// validity intervals (paper Definition 6's decomposition).
+func (h *NodeHistory) Versions() []graph.Version {
+	var out []graph.Version
+	g := graph.New()
+	if h.Initial != nil {
+		g.PutNode(h.Initial.Clone())
+	}
+	cur := h.Interval.Start
+	snapshot := func() *graph.NodeState {
+		if ns := g.Node(h.ID); ns != nil {
+			return ns.Clone()
+		}
+		return nil
+	}
+	prev := snapshot()
+	for i := 0; i < len(h.Events); {
+		tt := h.Events[i].Time
+		for i < len(h.Events) && h.Events[i].Time == tt {
+			g.Apply(h.Events[i])
+			i++
+		}
+		next := snapshot()
+		if !nodeStatesEqual(prev, next) {
+			if prev != nil {
+				out = append(out, graph.Version{State: prev, Valid: temporal.Interval{Start: cur, End: tt}})
+			}
+			prev = next
+			cur = tt
+		}
+	}
+	if prev != nil {
+		out = append(out, graph.Version{State: prev, Valid: temporal.Interval{Start: cur, End: h.Interval.End}})
+	}
+	return out
+}
+
+func nodeStatesEqual(a, b *graph.NodeState) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Equal(b)
+}
+
+// GetNodeHistory retrieves a node's history over [ts, te) following
+// Algorithm 2: reconstruct the state at ts through the node's
+// micro-partition, then use the version chain to fetch exactly the
+// micro-eventlists containing its changes.
+func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return nil, err
+	}
+	initial, err := t.GetNodeAt(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	h := &NodeHistory{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
+	sid := t.sidOf(id)
+
+	// Collect (timespan, eventlist) references from version chains.
+	type elRef struct {
+		tm *TimespanMeta
+		el int
+	}
+	var refs []elRef
+	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
+		tm, err := t.loadTimespanMeta(tsid)
+		if err != nil {
+			return nil, err
+		}
+		if tm.End <= ts || tm.Start >= te {
+			continue
+		}
+		blob, ok := t.store.Get(TableVersions, placementKey(tsid, sid), nodeCKey(id))
+		if !ok {
+			continue
+		}
+		entries, err := decodeVC(blob)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			// Skip eventlists with no change inside (ts, te).
+			hasInRange := false
+			for _, tt := range e.times {
+				if tt > ts && tt < te {
+					hasInRange = true
+					break
+				}
+			}
+			if hasInRange {
+				refs = append(refs, elRef{tm: tm, el: e.el})
+			}
+		}
+	}
+
+	// Fetch the referenced micro-eventlists in parallel and filter.
+	pidCache := make(map[int]int) // tsid -> pid
+	var mu sync.Mutex
+	lists := make([][]graph.Event, len(refs))
+	tasks := make([]func() error, 0, len(refs))
+	for i, ref := range refs {
+		i, ref := i, ref
+		tasks = append(tasks, func() error {
+			mu.Lock()
+			pid, ok := pidCache[ref.tm.TSID]
+			mu.Unlock()
+			if !ok {
+				var err error
+				pid, err = t.pidOf(ref.tm, sid, id)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				pidCache[ref.tm.TSID] = pid
+				mu.Unlock()
+			}
+			blob, found := t.store.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, pid))
+			if !found {
+				return nil
+			}
+			evs, err := t.cdc.DecodeEvents(blob)
+			if err != nil {
+				return err
+			}
+			var mine []graph.Event
+			for _, e := range evs {
+				if e.Touches(id) && e.Time > ts && e.Time < te {
+					mine = append(mine, e)
+				}
+			}
+			lists[i] = mine
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+	h.Events = mergeSortEvents(lists)
+	return h, nil
+}
+
+// GetNodeHistoryScan retrieves a node's history without consulting
+// version chains: it scans every micro-eventlist of the node's partition
+// across the overlapping timespans and filters. This is the ablation
+// baseline quantifying what the Versions table buys (DESIGN.md §6).
+func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return nil, err
+	}
+	initial, err := t.GetNodeAt(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	h := &NodeHistory{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
+	sid := t.sidOf(id)
+	type ref struct {
+		tm *TimespanMeta
+		el int
+	}
+	var refs []ref
+	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
+		tm, err := t.loadTimespanMeta(tsid)
+		if err != nil {
+			return nil, err
+		}
+		if tm.End <= ts || tm.Start >= te {
+			continue
+		}
+		for el := 0; el < tm.EventlistCount; el++ {
+			if tm.LeafTimes[el+1] <= ts || tm.LeafTimes[el] >= te {
+				continue
+			}
+			refs = append(refs, ref{tm: tm, el: el})
+		}
+	}
+	lists := make([][]graph.Event, len(refs))
+	tasks := make([]func() error, 0, len(refs))
+	for i, r := range refs {
+		i, r := i, r
+		tasks = append(tasks, func() error {
+			pid, err := t.pidOf(r.tm, sid, id)
+			if err != nil {
+				return err
+			}
+			blob, ok := t.store.Get(TableEvents, placementKey(r.tm.TSID, sid), eventCKey(r.el, pid))
+			if !ok {
+				return nil
+			}
+			evs, err := t.cdc.DecodeEvents(blob)
+			if err != nil {
+				return err
+			}
+			var mine []graph.Event
+			for _, e := range evs {
+				if e.Touches(id) && e.Time > ts && e.Time < te {
+					mine = append(mine, e)
+				}
+			}
+			lists[i] = mine
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+	h.Events = mergeSortEvents(lists)
+	return h, nil
+}
+
+// ChangeTimes returns the timepoints at which the node changed within
+// [ts, te), read from version chains only (no eventlist fetches).
+func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Time, error) {
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return nil, err
+	}
+	sid := t.sidOf(id)
+	var out []temporal.Time
+	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
+		tm, err := t.loadTimespanMeta(tsid)
+		if err != nil {
+			return nil, err
+		}
+		if tm.End < ts || tm.Start >= te {
+			continue
+		}
+		blob, ok := t.store.Get(TableVersions, placementKey(tsid, sid), nodeCKey(id))
+		if !ok {
+			continue
+		}
+		entries, err := decodeVC(blob)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			for _, tt := range e.times {
+				if tt >= ts && tt < te {
+					out = append(out, tt)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// GetKHopViaSnapshot retrieves the k-hop neighborhood of a node at time
+// tt by fetching the whole snapshot and filtering (Algorithm 3) — the
+// right plan for large k.
+func (t *TGI) GetKHopViaSnapshot(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
+	g, err := t.GetSnapshot(tt, opts)
+	if err != nil {
+		return nil, err
+	}
+	return g.KHopSubgraph(id, k), nil
+}
+
+// GetKHopNeighborhood retrieves the k-hop neighborhood at time tt by
+// expanding outward from the node, fetching only the micro-partitions
+// that contain frontier nodes (Algorithm 4). With 1-hop replication the
+// first hop is served from the auxiliary micro-deltas (paper §4.5,
+// Figure 5d).
+func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
+	tm, err := t.timespanFor(tt)
+	if err != nil {
+		return nil, err
+	}
+	// states holds completely reconstructed node states.
+	states := make(map[graph.NodeID]*graph.NodeState)
+	fetched := make(map[[2]int]bool) // (sid,pid) micro-partitions already read
+	var mu sync.Mutex
+
+	// fetchGroup pulls a set of micro-partitions in parallel and registers
+	// every state they contain.
+	fetchGroup := func(groups map[[2]int][]graph.NodeID) error {
+		var tasks []func() error
+		for key := range groups {
+			key := key
+			if fetched[key] {
+				continue
+			}
+			fetched[key] = true
+			tasks = append(tasks, func() error {
+				g, err := t.fetchMicroPartition(tm, key[0], key[1], tt)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				g.Range(func(ns *graph.NodeState) bool {
+					// Only nodes that belong to this micro-partition are
+					// complete; others are implicit edge endpoints.
+					if t.sidOf(ns.ID) == key[0] {
+						if pid, err := t.pidOf(tm, key[0], ns.ID); err == nil && pid == key[1] {
+							states[ns.ID] = ns.Clone()
+						}
+					}
+					return true
+				})
+				return nil
+			})
+		}
+		return runParallel(t.cfg.clients(opts), tasks)
+	}
+
+	groupOf := func(ids []graph.NodeID) (map[[2]int][]graph.NodeID, error) {
+		groups := make(map[[2]int][]graph.NodeID)
+		for _, nid := range ids {
+			sid := t.sidOf(nid)
+			pid, err := t.pidOf(tm, sid, nid)
+			if err != nil {
+				return nil, err
+			}
+			groups[[2]int{sid, pid}] = append(groups[[2]int{sid, pid}], nid)
+		}
+		return groups, nil
+	}
+
+	// Hop 0: the root's own micro-partition.
+	rootGroups, err := groupOf([]graph.NodeID{id})
+	if err != nil {
+		return nil, err
+	}
+	if err := fetchGroup(rootGroups); err != nil {
+		return nil, err
+	}
+	if states[id] == nil {
+		return graph.New(), nil // node absent at tt
+	}
+
+	// With replication, the hop-1 frontier states come from the aux rows.
+	// Aux states carry partition-restricted edge lists, which are exact
+	// for 1-hop retrieval but incomplete for further expansion, so deeper
+	// queries take the per-partition path.
+	if t.cfg.Replicate1Hop && k == 1 {
+		if err := t.applyAux(tm, states, id, tt); err != nil {
+			return nil, err
+		}
+	}
+
+	members := map[graph.NodeID]struct{}{id: {}}
+	frontier := []graph.NodeID{id}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		// Collect neighbor ids of the frontier.
+		nextSet := make(map[graph.NodeID]struct{})
+		for _, nid := range frontier {
+			ns := states[nid]
+			if ns == nil {
+				continue
+			}
+			for _, nb := range ns.Neighbors() {
+				if _, in := members[nb]; !in {
+					nextSet[nb] = struct{}{}
+				}
+			}
+		}
+		// Fetch states for unknown members of the next frontier.
+		var missing []graph.NodeID
+		next := make([]graph.NodeID, 0, len(nextSet))
+		for nb := range nextSet {
+			members[nb] = struct{}{}
+			next = append(next, nb)
+			if states[nb] == nil {
+				missing = append(missing, nb)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		if len(missing) > 0 {
+			groups, err := groupOf(missing)
+			if err != nil {
+				return nil, err
+			}
+			if err := fetchGroup(groups); err != nil {
+				return nil, err
+			}
+		}
+		frontier = next
+	}
+
+	// Induce the subgraph on the collected members. States assembled from
+	// aux rows may know an edge from one side only (restricted frontier
+	// adjacency); symmetrizing completes the mirrors before induction.
+	full := graph.New()
+	for nid := range members {
+		if ns := states[nid]; ns != nil {
+			full.PutNode(ns.Clone())
+		}
+	}
+	full.Symmetrize()
+	ids := make([]graph.NodeID, 0, len(members))
+	for nid := range members {
+		ids = append(ids, nid)
+	}
+	return full.Subgraph(ids), nil
+}
+
+// applyAux loads the auxiliary frontier micro-delta for the root's
+// micro-partition and replays its aux eventlist prefix, registering the
+// frontier states at tt.
+func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeState, id graph.NodeID, tt temporal.Time) error {
+	sid := t.sidOf(id)
+	pid, err := t.pidOf(tm, sid, id)
+	if err != nil {
+		return err
+	}
+	leaf := tm.leafFor(tt)
+	pkey := placementKey(tm.TSID, sid)
+	blob, ok := t.store.Get(TableAux, pkey, deltaCKey(leaf, pid))
+	if !ok {
+		return nil
+	}
+	d, err := t.cdc.DecodeDelta(blob)
+	if err != nil {
+		return err
+	}
+	g := d.Materialize()
+	if leaf < tm.EventlistCount {
+		if evBlob, ok := t.store.Get(TableAuxEvents, pkey, eventCKey(leaf, pid)); ok {
+			evs, err := t.cdc.DecodeEvents(evBlob)
+			if err != nil {
+				return err
+			}
+			for _, e := range evs {
+				if e.Time > tt {
+					break
+				}
+				if err := g.Apply(e); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Register only nodes present in the aux delta itself (frontier
+	// members at the leaf) — their states are complete through tt.
+	for nid := range d.Nodes {
+		if ns := g.Node(nid); ns != nil {
+			states[nid] = ns.Clone()
+		}
+	}
+	return nil
+}
+
+// SubgraphHistory is the evolution of a neighborhood over an interval:
+// its state at the start plus the events touching its members
+// (the result of Algorithm 5 and its k-hop generalization).
+type SubgraphHistory struct {
+	Root     graph.NodeID
+	K        int
+	Interval temporal.Interval
+	// Initial is the neighborhood subgraph at Interval.Start.
+	Initial *graph.Graph
+	// Members is the tracked node set (the neighborhood at the start).
+	Members []graph.NodeID
+	// Events are changes touching any member with Start < Time < End,
+	// chronological and deduplicated.
+	Events []graph.Event
+}
+
+// StateAt replays the history to the subgraph state at time tt, inducing
+// on the tracked member set.
+func (sh *SubgraphHistory) StateAt(tt temporal.Time) *graph.Graph {
+	g := sh.Initial.Clone()
+	for _, e := range sh.Events {
+		if e.Time > tt {
+			break
+		}
+		g.Apply(e)
+	}
+	return g.Subgraph(sh.Members)
+}
+
+// ChangePoints returns the distinct event times in the history.
+func (sh *SubgraphHistory) ChangePoints() []temporal.Time {
+	var out []temporal.Time
+	for _, e := range sh.Events {
+		if n := len(out); n == 0 || out[n-1] != e.Time {
+			out = append(out, e.Time)
+		}
+	}
+	return out
+}
+
+// GetKHopHistory retrieves the evolution of the k-hop neighborhood of a
+// node over [ts, te): the neighborhood subgraph at ts, then every event
+// touching its members (Algorithm 5 generalized; the member set is fixed
+// at ts — the closed-world semantics used by the paper's
+// NodeComputeDelta evaluation).
+func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts *FetchOptions) (*SubgraphHistory, error) {
+	initial, err := t.GetKHopNeighborhood(id, k, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	members := initial.NodeIDs()
+	if len(members) == 0 {
+		members = []graph.NodeID{id}
+	}
+	sh := &SubgraphHistory{
+		Root:     id,
+		K:        k,
+		Interval: temporal.Interval{Start: ts, End: te},
+		Initial:  initial,
+		Members:  members,
+	}
+
+	// Fetch member histories in parallel, deduplicating micro-eventlist
+	// reads per (tsid, sid, el, pid).
+	memberSet := make(map[graph.NodeID]struct{}, len(members))
+	for _, m := range members {
+		memberSet[m] = struct{}{}
+	}
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return nil, err
+	}
+	type rowKey struct {
+		tsid, sid, el, pid int
+	}
+	rows := make(map[rowKey]struct{})
+	var rowMu sync.Mutex
+	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
+		tm, err := t.loadTimespanMeta(tsid)
+		if err != nil {
+			return nil, err
+		}
+		if tm.End <= ts || tm.Start >= te {
+			continue
+		}
+		// Which (el, pid) rows contain changes of members? Consult the
+		// version chains of every member.
+		tasks := make([]func() error, 0, len(members))
+		for _, m := range members {
+			m := m
+			tasks = append(tasks, func() error {
+				sid := t.sidOf(m)
+				blob, ok := t.store.Get(TableVersions, placementKey(tsid, sid), nodeCKey(m))
+				if !ok {
+					return nil
+				}
+				entries, err := decodeVC(blob)
+				if err != nil {
+					return err
+				}
+				pid, err := t.pidOf(tm, sid, m)
+				if err != nil {
+					return err
+				}
+				for _, e := range entries {
+					for _, tt := range e.times {
+						if tt > ts && tt < te {
+							rowMu.Lock()
+							rows[rowKey{tsid, sid, e.el, pid}] = struct{}{}
+							rowMu.Unlock()
+							break
+						}
+					}
+				}
+				return nil
+			})
+		}
+		if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fetch the deduplicated rows and filter to member-touching events.
+	var lists [][]graph.Event
+	var listMu sync.Mutex
+	tasks := make([]func() error, 0, len(rows))
+	for key := range rows {
+		key := key
+		tasks = append(tasks, func() error {
+			blob, ok := t.store.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
+			if !ok {
+				return nil
+			}
+			evs, err := t.cdc.DecodeEvents(blob)
+			if err != nil {
+				return err
+			}
+			var keep []graph.Event
+			for _, e := range evs {
+				if e.Time <= ts || e.Time >= te {
+					continue
+				}
+				_, a := memberSet[e.Node]
+				_, b := memberSet[e.Other]
+				if a || (e.Kind.IsEdge() && b) {
+					keep = append(keep, e)
+				}
+			}
+			listMu.Lock()
+			lists = append(lists, keep)
+			listMu.Unlock()
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+	sh.Events = mergeSortEvents(lists)
+	return sh, nil
+}
+
+// Get1HopHistory is Algorithm 5: the 1-hop specialization of
+// GetKHopHistory.
+func (t *TGI) Get1HopHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*SubgraphHistory, error) {
+	return t.GetKHopHistory(id, 1, ts, te, opts)
+}
+
+// GetKHopAt retrieves the k-hop neighborhood of a node at each of the
+// given timepoints — the paper's second form of neighborhood evolution
+// query ("requesting the state of the neighborhood at multiple specific
+// time points", §4.6), executed as concurrent single-neighborhood
+// fetches.
+func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, len(times))
+	tasks := make([]func() error, 0, len(times))
+	for i, tt := range times {
+		i, tt := i, tt
+		tasks = append(tasks, func() error {
+			g, err := t.GetKHopNeighborhood(id, k, tt, &FetchOptions{Clients: 1})
+			if err != nil {
+				return err
+			}
+			out[i] = g
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetSnapshotsAt retrieves multiple snapshots (the multipoint snapshot
+// primitive of Figure 1), fetching them concurrently.
+func (t *TGI) GetSnapshotsAt(times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, len(times))
+	tasks := make([]func() error, 0, len(times))
+	for i, tt := range times {
+		i, tt := i, tt
+		tasks = append(tasks, func() error {
+			g, err := t.GetSnapshot(tt, &FetchOptions{Clients: 1})
+			if err != nil {
+				return err
+			}
+			out[i] = g
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

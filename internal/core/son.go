@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// FetchNodeHistories is the bulk retrieval behind the analytics
+// framework's SoN fetch (paper §5.2, Figure 10): for every node selected
+// by keep (nil = all), its state at iv.Start plus its events over
+// (iv.Start, iv.End), returned grouped by horizontal partition so each
+// TGI query processor's stream lands directly in one analytics-engine
+// partition without funnelling through a coordinator.
+func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) bool, opts *FetchOptions) ([][]*NodeHistory, error) {
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return nil, err
+	}
+	ns := t.cfg.HorizontalPartitions
+	out := make([][]*NodeHistory, ns)
+	tasks := make([]func() error, 0, ns)
+	for sid := 0; sid < ns; sid++ {
+		sid := sid
+		tasks = append(tasks, func() error {
+			histories, err := t.fetchSidHistories(gm, sid, iv, keep)
+			if err != nil {
+				return err
+			}
+			out[sid] = histories
+			return nil
+		})
+	}
+	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fetchSidHistories runs one query processor's share of a SoN fetch.
+func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, keep func(graph.NodeID) bool) ([]*NodeHistory, error) {
+	owned := func(id graph.NodeID) bool {
+		return t.sidOf(id) == sid && (keep == nil || keep(id))
+	}
+
+	// 1. Initial states: the sid's partitioned snapshot at iv.Start.
+	init, err := t.fetchSidSnapshot(sid, iv.Start)
+	if err != nil {
+		return nil, err
+	}
+
+	// 2. Events over the window, deduplicated then grouped per node.
+	var lists [][]graph.Event
+	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
+		tm, err := t.loadTimespanMeta(tsid)
+		if err != nil {
+			return nil, err
+		}
+		if tm.End <= iv.Start || tm.Start >= iv.End {
+			continue
+		}
+		pkey := placementKey(tsid, sid)
+		for el := 0; el < tm.EventlistCount; el++ {
+			// Eventlist el covers (LeafTimes[el], LeafTimes[el+1]].
+			if tm.LeafTimes[el+1] <= iv.Start || tm.LeafTimes[el] >= iv.End {
+				continue
+			}
+			rows := t.store.ScanPrefix(TableEvents, pkey, eventPrefix(el))
+			for _, row := range rows {
+				evs, err := t.cdc.DecodeEvents(row.Value)
+				if err != nil {
+					return nil, fmt.Errorf("core: decode events %s/%s: %w", pkey, row.CKey, err)
+				}
+				var win []graph.Event
+				for _, e := range evs {
+					if e.Time > iv.Start && e.Time < iv.End {
+						win = append(win, e)
+					}
+				}
+				lists = append(lists, win)
+			}
+		}
+	}
+	merged := mergeSortEvents(lists)
+	perNode := make(map[graph.NodeID][]graph.Event)
+	for _, e := range merged {
+		if owned(e.Node) {
+			perNode[e.Node] = append(perNode[e.Node], e)
+		}
+		if e.Kind.IsEdge() && e.Other != e.Node && owned(e.Other) {
+			perNode[e.Other] = append(perNode[e.Other], e)
+		}
+	}
+
+	// 3. Assemble temporal nodes: anything alive at the start or touched
+	// during the window.
+	ids := make(map[graph.NodeID]struct{})
+	init.Range(func(nsn *graph.NodeState) bool {
+		if owned(nsn.ID) {
+			ids[nsn.ID] = struct{}{}
+		}
+		return true
+	})
+	for id := range perNode {
+		ids[id] = struct{}{}
+	}
+	ordered := make([]graph.NodeID, 0, len(ids))
+	for id := range ids {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	histories := make([]*NodeHistory, 0, len(ordered))
+	for _, id := range ordered {
+		h := &NodeHistory{ID: id, Interval: iv, Events: perNode[id]}
+		if nsn := init.Node(id); nsn != nil {
+			h.Initial = nsn.Clone()
+		}
+		histories = append(histories, h)
+	}
+	return histories, nil
+}
+
+// fetchSidSnapshot reconstructs one horizontal partition's state at tt
+// (the per-sid slice of Algorithm 1).
+func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time) (*graph.Graph, error) {
+	tm, err := t.timespanFor(tt)
+	if err != nil {
+		return nil, err
+	}
+	leaf := tm.leafFor(tt)
+	pkey := placementKey(tm.TSID, sid)
+	g := graph.New()
+	for _, did := range tm.LeafPaths[leaf] {
+		rows := t.store.ScanPrefix(TableDeltas, pkey, deltaPrefix(did))
+		for _, row := range rows {
+			d, err := t.cdc.DecodeDelta(row.Value)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode delta %s/%s: %w", pkey, row.CKey, err)
+			}
+			d.MoveTo(g)
+		}
+	}
+	if leaf < tm.EventlistCount {
+		rows := t.store.ScanPrefix(TableEvents, pkey, eventPrefix(leaf))
+		var lists [][]graph.Event
+		for _, row := range rows {
+			evs, err := t.cdc.DecodeEvents(row.Value)
+			if err != nil {
+				return nil, err
+			}
+			lists = append(lists, evs)
+		}
+		for _, e := range mergeSortEvents(lists) {
+			if e.Time > tt {
+				break
+			}
+			if err := g.Apply(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"hgs/internal/codec"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
+)
+
+// TGI is the Temporal Graph Index: construction (Index Manager), metadata
+// caching and retrieval planning (Query Manager) over a distributed
+// key-value store (paper Figure 3c).
+type TGI struct {
+	cfg   Config
+	store *kvstore.Cluster
+	cdc   codec.Codec
+	meta  *metaStore
+}
+
+// New creates an index handle over the given store. The store may be
+// empty (build with Build/Append) or already contain an index written
+// with the same configuration.
+func New(store *kvstore.Cluster, cfg Config) *TGI {
+	cfg.normalize()
+	return &TGI{
+		cfg:   cfg,
+		store: store,
+		cdc:   codec.Codec{Compress: cfg.Compress},
+		meta:  newMetaStore(),
+	}
+}
+
+// Build constructs a fresh index over the complete event history.
+// Events must be chronologically sorted with strictly increasing
+// timestamps (a total order over changes; see DESIGN.md).
+func Build(store *kvstore.Cluster, cfg Config, events []graph.Event) (*TGI, error) {
+	t := New(store, cfg)
+	if err := t.BuildAll(events); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Config returns the index configuration.
+func (t *TGI) Config() Config { return t.cfg }
+
+// Store returns the backing cluster (used by benchmarks for metrics).
+func (t *TGI) Store() *kvstore.Cluster { return t.store }
+
+// TimeRange returns the [first, last] event times covered by the index.
+func (t *TGI) TimeRange() (temporal.Time, temporal.Time, error) {
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return 0, 0, err
+	}
+	return gm.Start, gm.End, nil
+}
+
+// validateEvents enforces the strictly-increasing-time contract.
+func validateEvents(events []graph.Event) error {
+	for i := 1; i < len(events); i++ {
+		if events[i].Time <= events[i-1].Time {
+			return fmt.Errorf("core: event %d time %d not after previous time %d (strictly increasing times required)",
+				i, events[i].Time, events[i-1].Time)
+		}
+	}
+	return nil
+}

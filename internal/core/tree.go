@@ -1,0 +1,95 @@
+package core
+
+import (
+	"hgs/internal/delta"
+)
+
+// storedDelta is one tree delta ready for persistence: the root is stored
+// in full; every other node stores its difference from its parent (the
+// "derived partitioned snapshot" of §4.3(b)).
+type storedDelta struct {
+	did  int
+	data *delta.Delta
+}
+
+type treeNode struct {
+	d        *delta.Delta
+	children []*treeNode
+	did      int
+	leafIdx  int // >= 0 for leaves
+}
+
+// buildDeltaTree constructs the hierarchical delta tree over the leaf
+// snapshots: parents are intersections of their children (paper §4.3(b)),
+// the root is stored explicitly, and each child stores child − parent.
+// It returns the deltas to persist and, per leaf, the root-to-leaf did
+// path whose in-order sum reconstructs the leaf.
+func buildDeltaTree(leaves []*delta.Delta, arity int) (stored []storedDelta, leafPaths [][]int) {
+	if len(leaves) == 0 {
+		return nil, nil
+	}
+	level := make([]*treeNode, len(leaves))
+	for i, d := range leaves {
+		level[i] = &treeNode{d: d, leafIdx: i}
+	}
+	for len(level) > 1 {
+		var next []*treeNode
+		for i := 0; i < len(level); i += arity {
+			end := min(i+arity, len(level))
+			group := level[i:end]
+			if len(group) == 1 {
+				// A lone node is promoted unchanged.
+				next = append(next, group[0])
+				continue
+			}
+			ds := make([]*delta.Delta, len(group))
+			for j, n := range group {
+				ds[j] = n.d
+			}
+			parent := &treeNode{d: delta.IntersectAll(ds), children: group, leafIdx: -1}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	root := level[0]
+
+	// Assign dids in BFS order from the root so sibling micro-deltas of
+	// one level cluster together on disk.
+	queue := []*treeNode{root}
+	order := make([]*treeNode, 0, 2*len(leaves))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.did = len(order)
+		order = append(order, n)
+		queue = append(queue, n.children...)
+	}
+
+	// Stored content: root in full, others as difference from parent.
+	stored = make([]storedDelta, 0, len(order))
+	stored = append(stored, storedDelta{did: root.did, data: root.d})
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		for _, c := range n.children {
+			stored = append(stored, storedDelta{did: c.did, data: delta.Diff(c.d, n.d)})
+			walk(c)
+		}
+	}
+	walk(root)
+
+	// Leaf paths.
+	leafPaths = make([][]int, len(leaves))
+	var paths func(n *treeNode, path []int)
+	paths = func(n *treeNode, path []int) {
+		path = append(path, n.did)
+		if n.leafIdx >= 0 && len(n.children) == 0 {
+			leafPaths[n.leafIdx] = append([]int(nil), path...)
+			return
+		}
+		for _, c := range n.children {
+			paths(c, path)
+		}
+	}
+	paths(root, nil)
+	return stored, leafPaths
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"hgs/internal/graph"
+)
+
+// Append ingests a new batch of events at the end of the history (paper
+// §4.4, Update: "the update process involves creating an independent TGI
+// with the new events, and merging it with the original TGI"). Full
+// timespans are immutable; a trailing partial timespan is rebuilt from
+// its stored eventlists merged with the new batch.
+func (t *TGI) Append(events []graph.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := validateEvents(events); err != nil {
+		return err
+	}
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return err
+	}
+	if events[0].Time <= gm.End {
+		return fmt.Errorf("core: append batch starts at %d, not after indexed history end %d", events[0].Time, gm.End)
+	}
+
+	// Decide whether the last timespan must be rebuilt.
+	lastTSID := gm.TimespanCount - 1
+	lastMeta, err := t.loadTimespanMeta(lastTSID)
+	if err != nil {
+		return err
+	}
+	combined := events
+	rebuildFrom := lastTSID + 1
+	var carry *graph.Graph
+	if lastMeta.EventCount < t.cfg.TimespanEvents {
+		// Recover the partial span's events from its stored eventlists and
+		// merge the new batch behind them.
+		recovered, err := t.spanEvents(lastMeta)
+		if err != nil {
+			return err
+		}
+		combined = append(recovered, events...)
+		rebuildFrom = lastTSID
+		// State just before the partial span started.
+		if lastTSID == 0 {
+			carry = graph.New()
+		} else {
+			carry, err = t.GetSnapshot(lastMeta.Start-1, nil)
+			if err != nil {
+				return err
+			}
+		}
+		t.dropTimespan(lastTSID)
+	} else {
+		carry, err = t.GetSnapshot(gm.End, nil)
+		if err != nil {
+			return err
+		}
+	}
+
+	tsid := rebuildFrom
+	for off := 0; off < len(combined); off += t.cfg.TimespanEvents {
+		end := min(off+t.cfg.TimespanEvents, len(combined))
+		carry, err = t.buildTimespan(tsid, carry, combined[off:end])
+		if err != nil {
+			return err
+		}
+		tsid++
+	}
+
+	gm.Events += len(events)
+	gm.End = events[len(events)-1].Time
+	gm.TimespanCount = tsid
+	t.meta.invalidate()
+	return t.storeGraphMeta(gm)
+}
+
+// spanEvents recovers the full (expanded) event stream of a timespan from
+// its stored micro-eventlists.
+func (t *TGI) spanEvents(tm *TimespanMeta) ([]graph.Event, error) {
+	var lists [][]graph.Event
+	for sid := 0; sid < t.cfg.HorizontalPartitions; sid++ {
+		rows := t.store.ScanPartition(TableEvents, placementKey(tm.TSID, sid))
+		for _, row := range rows {
+			evs, err := t.cdc.DecodeEvents(row.Value)
+			if err != nil {
+				return nil, fmt.Errorf("core: recover span %d events: %w", tm.TSID, err)
+			}
+			lists = append(lists, evs)
+		}
+	}
+	return mergeSortEvents(lists), nil
+}
+
+// dropTimespan removes every stored row of a timespan across all tables.
+func (t *TGI) dropTimespan(tsid int) {
+	for sid := 0; sid < t.cfg.HorizontalPartitions; sid++ {
+		pkey := placementKey(tsid, sid)
+		for _, table := range []string{TableDeltas, TableEvents, TableVersions, TableMicroPart, TableAux, TableAuxEvents} {
+			t.store.DropPartition(table, pkey)
+		}
+	}
+	t.store.Delete(TableTimespans, fmt.Sprintf("t%05d", tsid), "meta")
+}

@@ -1,0 +1,314 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// randGraph replays a random event stream into a graph.
+func randGraph(seed int64, n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		u := graph.NodeID(rng.Intn(15))
+		v := graph.NodeID(rng.Intn(15))
+		switch rng.Intn(6) {
+		case 0:
+			g.AddNode(u)
+		case 1:
+			g.RemoveNode(u)
+		case 2, 3:
+			g.AddEdge(u, v)
+		case 4:
+			g.RemoveEdge(u, v)
+		case 5:
+			g.Apply(graph.Event{Kind: graph.SetNodeAttr, Node: u, Key: "k", Value: string(rune('a' + rng.Intn(3)))})
+		}
+	}
+	return g
+}
+
+func TestSumIdentity(t *testing.T) {
+	d := FromGraph(randGraph(1, 50))
+	got := d.Clone().Sum(New())
+	if !got.Equal(d) {
+		t.Fatal("∆ + φ != ∆")
+	}
+}
+
+func TestDiffSelfIsEmpty(t *testing.T) {
+	d := FromGraph(randGraph(2, 50))
+	if !Diff(d, d).Empty() {
+		t.Fatal("∆ − ∆ != φ")
+	}
+	if !Diff(New(), d).Empty() {
+		t.Fatal("φ − ∆ != φ")
+	}
+	if !Diff(d, New()).Equal(d) {
+		t.Fatal("∆ − φ != ∆")
+	}
+}
+
+func TestIntersectWithEmpty(t *testing.T) {
+	d := FromGraph(randGraph(3, 50))
+	if !Intersect(d, New()).Empty() {
+		t.Fatal("∆ ∩ φ != φ")
+	}
+	if !Intersect(d, d).Equal(d) {
+		t.Fatal("∆ ∩ ∆ != ∆")
+	}
+}
+
+func TestUnionWithEmpty(t *testing.T) {
+	d := FromGraph(randGraph(4, 50))
+	if !Union(d, New()).Equal(d) || !Union(New(), d).Equal(d) {
+		t.Fatal("∆ ∪ φ != ∆")
+	}
+}
+
+func TestSumAssociative(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a := FromGraph(randGraph(s1, 40))
+		b := FromGraph(randGraph(s2, 40))
+		c := FromGraph(randGraph(s3, 40))
+		left := a.Clone().Sum(b).Sum(c)
+		right := a.Clone().Sum(b.Clone().Sum(c))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionCommutative(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := FromGraph(randGraph(s1, 40))
+		b := FromGraph(randGraph(s2, 40))
+		return Intersect(a, b).Equal(Intersect(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchicalReconstruction(t *testing.T) {
+	// The DeltaGraph invariant (paper §4.2): with parent = ∩ children and
+	// stored derived deltas child − parent, each child is reconstructed as
+	// parent + (child − parent).
+	f := func(s1, s2, s3 int64) bool {
+		children := []*Delta{
+			FromGraph(randGraph(s1, 60)),
+			FromGraph(randGraph(s2, 60)),
+			FromGraph(randGraph(s3, 60)),
+		}
+		parent := IntersectAll(children)
+		for _, child := range children {
+			derived := Diff(child, parent)
+			if !parent.Clone().Sum(derived).Equal(child) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformRewritesSnapshots(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		from := FromGraph(randGraph(s1, 60))
+		to := FromGraph(randGraph(s2, 60))
+		tr := Transform(from, to)
+		// The summed delta retains tombstones (so further sums compose),
+		// so compare the materialized states.
+		return from.Clone().Sum(tr).Materialize().Equal(to.Materialize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	d := FromGraph(randGraph(7, 80))
+	even := d.Restrict(func(id graph.NodeID) bool { return id%2 == 0 })
+	odd := d.Restrict(func(id graph.NodeID) bool { return id%2 == 1 })
+	if even.Cardinality()+odd.Cardinality() != d.Cardinality() {
+		t.Fatal("restriction does not partition the delta")
+	}
+	if !Union(even, odd).Equal(d) {
+		t.Fatal("union of restrictions != original")
+	}
+}
+
+func TestMarkDeletedAndSum(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(1, 2)
+	base := FromGraph(g)
+	del := New()
+	del.MarkDeleted(1)
+	got := base.Clone().Sum(del).Materialize()
+	if got.Has(1) {
+		t.Fatal("tombstone did not delete node")
+	}
+	// Materialize applies tombstones only via ApplyTo; check ApplyTo too.
+	g2 := g.Clone()
+	del.ApplyTo(g2)
+	if g2.Has(1) || len(g2.Node(2).Edges) != 0 {
+		t.Fatal("ApplyTo tombstone did not cascade edge removal")
+	}
+}
+
+func TestCardinalityAndSize(t *testing.T) {
+	g := graph.New()
+	g.AddEdge(1, 2)
+	g.AddNode(3)
+	d := FromGraph(g)
+	if d.Cardinality() != 3 {
+		t.Fatalf("Cardinality = %d, want 3", d.Cardinality())
+	}
+	// sizes: node1 (1+1 edge) + node2 (1+1 mirror) + node3 (1) = 5
+	if d.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", d.Size())
+	}
+}
+
+func TestMaterializeMatchesSource(t *testing.T) {
+	g := randGraph(11, 100)
+	if !FromGraph(g).Materialize().Equal(g) {
+		t.Fatal("FromGraph → Materialize is not identity")
+	}
+}
+
+func TestEventListFilters(t *testing.T) {
+	evs := []graph.Event{
+		{Time: 1, Kind: graph.AddNode, Node: 1},
+		{Time: 2, Kind: graph.AddEdge, Node: 1, Other: 2},
+		{Time: 3, Kind: graph.AddNode, Node: 3},
+		{Time: 3, Kind: graph.SetNodeAttr, Node: 1, Key: "k", Value: "v"},
+		{Time: 5, Kind: graph.RemoveEdge, Node: 1, Other: 2},
+	}
+	el := NewEventList(temporal.NewInterval(0, 10), evs)
+	if el.FilterByTime(temporal.NewInterval(2, 4)).Len() != 3 {
+		t.Fatal("FilterByTime wrong count")
+	}
+	if el.FilterByNode(2).Len() != 2 {
+		t.Fatal("FilterByNode(2) should see both edge events")
+	}
+	part := el.Restrict(func(id graph.NodeID) bool { return id == 3 })
+	if part.Len() != 1 || part.Events[0].Kind != graph.AddNode {
+		t.Fatalf("Restrict wrong: %v", part.Events)
+	}
+}
+
+func TestEventListApplyUpTo(t *testing.T) {
+	evs := []graph.Event{
+		{Time: 1, Kind: graph.AddNode, Node: 1},
+		{Time: 2, Kind: graph.AddNode, Node: 2},
+		{Time: 3, Kind: graph.AddNode, Node: 3},
+	}
+	el := NewEventList(temporal.NewInterval(0, 10), evs)
+	g := graph.New()
+	if err := el.ApplyUpTo(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.Has(3) {
+		t.Fatal("ApplyUpTo applied wrong prefix")
+	}
+}
+
+func TestChangePoints(t *testing.T) {
+	evs := []graph.Event{
+		{Time: 1, Kind: graph.AddNode, Node: 1},
+		{Time: 1, Kind: graph.AddNode, Node: 2},
+		{Time: 4, Kind: graph.AddEdge, Node: 1, Other: 2},
+		{Time: 9, Kind: graph.RemoveNode, Node: 2},
+	}
+	el := NewEventList(temporal.NewInterval(0, 10), evs)
+	all := el.ChangePoints(-1)
+	if len(all) != 3 || all[0] != 1 || all[2] != 9 {
+		t.Fatalf("all change points wrong: %v", all)
+	}
+	n2 := el.ChangePoints(2)
+	if len(n2) != 3 {
+		t.Fatalf("node 2 change points wrong: %v", n2)
+	}
+}
+
+func TestEventlistEquivalentToStateDelta(t *testing.T) {
+	// Replaying an eventlist over a snapshot equals materializing the later
+	// snapshot — the Log vs Copy equivalence that all indexes rely on.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var evs []graph.Event
+		for i := 0; i < 120; i++ {
+			u := graph.NodeID(rng.Intn(12))
+			v := graph.NodeID(rng.Intn(12))
+			kind := []graph.EventKind{graph.AddNode, graph.AddEdge, graph.RemoveEdge, graph.RemoveNode, graph.SetNodeAttr}[rng.Intn(5)]
+			evs = append(evs, graph.Event{Time: temporal.Time(i), Kind: kind, Node: u, Other: v, Key: "k", Value: "v"})
+		}
+		mid := 60
+		gMid, err := graph.FromEvents(evs[:mid])
+		if err != nil {
+			return false
+		}
+		gFull, err := graph.FromEvents(evs)
+		if err != nil {
+			return false
+		}
+		// snapshot(mid) + tail events == snapshot(end)
+		reconstructed := FromGraph(gMid).Materialize()
+		el := NewEventList(temporal.NewInterval(temporal.Time(mid), temporal.Time(len(evs))), evs[mid:])
+		if err := el.ApplyTo(reconstructed); err != nil {
+			return false
+		}
+		return reconstructed.Equal(gFull)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveToTransfersOwnership(t *testing.T) {
+	src := randGraph(31, 60)
+	d := FromGraph(src)
+	d.MarkDeleted(9999) // no-op tombstone must not break the move
+	g := graph.New()
+	d.MoveTo(g)
+	if !g.Equal(src.Clone().FilterNodes(func(*graph.NodeState) bool { return true })) && !g.Equal(src) {
+		t.Fatal("MoveTo did not reproduce the source graph")
+	}
+	if len(d.Nodes) != 0 || len(d.Tombstones) != 0 {
+		t.Fatal("MoveTo must drain the delta")
+	}
+}
+
+func TestRestrictToIDs(t *testing.T) {
+	d := FromGraph(randGraph(32, 60))
+	ids := map[graph.NodeID]struct{}{1: {}, 2: {}, 3: {}}
+	r := d.RestrictToIDs(ids)
+	for id := range r.Nodes {
+		if _, ok := ids[id]; !ok {
+			t.Fatalf("leaked id %d", id)
+		}
+	}
+}
+
+func TestUnionLeftBias(t *testing.T) {
+	a := New()
+	sa := graph.NewNodeState(1)
+	sa.Attrs = graph.Attrs{"k": "left"}
+	a.Put(sa)
+	b := New()
+	sb := graph.NewNodeState(1)
+	sb.Attrs = graph.Attrs{"k": "right"}
+	b.Put(sb)
+	u := Union(a, b)
+	if u.Nodes[1].Attrs["k"] != "left" {
+		t.Fatal("Union must keep the left operand on conflict")
+	}
+}

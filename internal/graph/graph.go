@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an in-memory snapshot: a set of node states (the paper's
+// Example 4, "the state of a graph G at a time point"). It is mutable and
+// not safe for concurrent writers; concurrent readers are fine.
+type Graph struct {
+	nodes map[NodeID]*NodeState
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodes: make(map[NodeID]*NodeState)}
+}
+
+// NewWithCapacity returns an empty graph with space for n nodes.
+func NewWithCapacity(n int) *Graph {
+	return &Graph{nodes: make(map[NodeID]*NodeState, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of directed edges (each u->v counted once,
+// even though it is stored on both endpoints).
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, ns := range g.nodes {
+		for k := range ns.Edges {
+			if k.Out {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Node returns the state of node id, or nil if absent. The returned state
+// is the live internal object: callers that mutate it must own the graph.
+func (g *Graph) Node(id NodeID) *NodeState { return g.nodes[id] }
+
+// Has reports whether node id exists.
+func (g *Graph) Has(id NodeID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// NodeIDs returns all node ids in ascending order.
+func (g *Graph) NodeIDs() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range calls f for every node state until f returns false. Iteration
+// order is unspecified.
+func (g *Graph) Range(f func(*NodeState) bool) {
+	for _, ns := range g.nodes {
+		if !f(ns) {
+			return
+		}
+	}
+}
+
+// AddNode creates node id if absent and returns its state.
+func (g *Graph) AddNode(id NodeID) *NodeState {
+	if ns, ok := g.nodes[id]; ok {
+		return ns
+	}
+	ns := NewNodeState(id)
+	g.nodes[id] = ns
+	return ns
+}
+
+// PutNode installs a node state wholesale, replacing any existing state
+// for the same id. The graph takes ownership of ns.
+func (g *Graph) PutNode(ns *NodeState) {
+	g.nodes[ns.ID] = ns
+}
+
+// RemoveNode deletes node id and all incident edges (including the mirror
+// entries on neighbors). It reports whether the node existed.
+func (g *Graph) RemoveNode(id NodeID) bool {
+	ns, ok := g.nodes[id]
+	if !ok {
+		return false
+	}
+	for k := range ns.Edges {
+		if other, ok := g.nodes[k.Other]; ok {
+			delete(other.Edges, EdgeKey{Other: id, Out: !k.Out})
+		}
+	}
+	delete(g.nodes, id)
+	return true
+}
+
+// AddEdge creates the directed edge u->v, creating the endpoints if
+// needed, and returns its state (the existing state if already present).
+func (g *Graph) AddEdge(u, v NodeID) *EdgeState {
+	un := g.AddNode(u)
+	vn := g.AddNode(v)
+	if es, ok := un.Edges[EdgeKey{Other: v, Out: true}]; ok {
+		return es
+	}
+	es := &EdgeState{}
+	if un.Edges == nil {
+		un.Edges = make(map[EdgeKey]*EdgeState)
+	}
+	if vn.Edges == nil {
+		vn.Edges = make(map[EdgeKey]*EdgeState)
+	}
+	un.Edges[EdgeKey{Other: v, Out: true}] = es
+	// The mirror entry shares the EdgeState so attribute updates via either
+	// endpoint stay consistent within one in-memory graph.
+	vn.Edges[EdgeKey{Other: u, Out: false}] = es
+	return es
+}
+
+// RemoveEdge deletes the directed edge u->v from both endpoints and
+// reports whether either side existed. The two sides are removed
+// independently so that replaying an event stream onto a partially
+// materialized graph (a single node or one micro-partition) still clears
+// the mirror entry of the endpoint that is present.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	existed := false
+	if un, ok := g.nodes[u]; ok {
+		if _, ok := un.Edges[EdgeKey{Other: v, Out: true}]; ok {
+			delete(un.Edges, EdgeKey{Other: v, Out: true})
+			existed = true
+		}
+	}
+	if vn, ok := g.nodes[v]; ok {
+		if _, ok := vn.Edges[EdgeKey{Other: u, Out: false}]; ok {
+			delete(vn.Edges, EdgeKey{Other: u, Out: false})
+			existed = true
+		}
+	}
+	return existed
+}
+
+// HasEdge reports whether the directed edge u->v exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	un, ok := g.nodes[u]
+	if !ok {
+		return false
+	}
+	_, ok = un.Edges[EdgeKey{Other: v, Out: true}]
+	return ok
+}
+
+// Apply mutates the graph by one event. Unknown kinds return an error;
+// structurally redundant events (adding an existing node, removing a
+// missing edge) are no-ops, which makes replay idempotent at boundaries.
+func (g *Graph) Apply(e Event) error {
+	switch e.Kind {
+	case AddNode:
+		g.AddNode(e.Node)
+	case RemoveNode:
+		g.RemoveNode(e.Node)
+	case AddEdge:
+		g.AddEdge(e.Node, e.Other)
+	case RemoveEdge:
+		g.RemoveEdge(e.Node, e.Other)
+	case SetNodeAttr:
+		ns := g.AddNode(e.Node)
+		if ns.Attrs == nil {
+			ns.Attrs = make(Attrs)
+		}
+		ns.Attrs[e.Key] = e.Value
+	case DelNodeAttr:
+		if ns, ok := g.nodes[e.Node]; ok && ns.Attrs != nil {
+			delete(ns.Attrs, e.Key)
+		}
+	case SetEdgeAttr:
+		// Update both endpoint copies explicitly: mirror EdgeStates are
+		// shared within graphs built via AddEdge but may be distinct
+		// objects in graphs reconstructed from per-partition deltas.
+		g.AddEdge(e.Node, e.Other)
+		for _, side := range [2]struct {
+			node NodeID
+			key  EdgeKey
+		}{
+			{e.Node, EdgeKey{Other: e.Other, Out: true}},
+			{e.Other, EdgeKey{Other: e.Node, Out: false}},
+		} {
+			if ns, ok := g.nodes[side.node]; ok {
+				if es, ok := ns.Edges[side.key]; ok {
+					if es.Attrs == nil {
+						es.Attrs = make(Attrs)
+					}
+					es.Attrs[e.Key] = e.Value
+				}
+			}
+		}
+	case DelEdgeAttr:
+		for _, side := range [2]struct {
+			node NodeID
+			key  EdgeKey
+		}{
+			{e.Node, EdgeKey{Other: e.Other, Out: true}},
+			{e.Other, EdgeKey{Other: e.Node, Out: false}},
+		} {
+			if ns, ok := g.nodes[side.node]; ok {
+				if es, ok := ns.Edges[side.key]; ok && es.Attrs != nil {
+					delete(es.Attrs, e.Key)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("graph: unknown event kind %v", e.Kind)
+	}
+	return nil
+}
+
+// ApplyAll applies events in slice order, stopping at the first error.
+func (g *Graph) ApplyAll(events []Event) error {
+	for _, e := range events {
+		if err := g.Apply(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromEvents replays a chronological event stream into a fresh graph.
+func FromEvents(events []Event) (*Graph, error) {
+	g := New()
+	if err := g.ApplyAll(events); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewWithCapacity(len(g.nodes))
+	for id, ns := range g.nodes {
+		out.nodes[id] = ns.Clone()
+	}
+	// Restore mirror sharing of EdgeStates within the clone.
+	for _, ns := range out.nodes {
+		for k, es := range ns.Edges {
+			if !k.Out {
+				continue
+			}
+			if other, ok := out.nodes[k.Other]; ok {
+				other.Edges[EdgeKey{Other: ns.ID, Out: false}] = es
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether two graphs hold exactly the same node states.
+func (g *Graph) Equal(o *Graph) bool {
+	if len(g.nodes) != len(o.nodes) {
+		return false
+	}
+	for id, ns := range g.nodes {
+		ons, ok := o.nodes[id]
+		if !ok || !ns.Equal(ons) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subgraph returns the subgraph induced by ids: those nodes and only the
+// edges with both endpoints in ids.
+func (g *Graph) Subgraph(ids []NodeID) *Graph {
+	keep := make(map[NodeID]struct{}, len(ids))
+	for _, id := range ids {
+		keep[id] = struct{}{}
+	}
+	out := NewWithCapacity(len(ids))
+	for id := range keep {
+		ns, ok := g.nodes[id]
+		if !ok {
+			continue
+		}
+		c := &NodeState{ID: id, Attrs: ns.Attrs.Clone()}
+		for k, es := range ns.Edges {
+			if _, in := keep[k.Other]; in {
+				if c.Edges == nil {
+					c.Edges = make(map[EdgeKey]*EdgeState)
+				}
+				c.Edges[k] = es.Clone()
+			}
+		}
+		out.nodes[id] = c
+	}
+	return out
+}
+
+// Neighbors returns the distinct neighbors of id (undirected view), or nil
+// if the node is absent.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	ns, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	return ns.Neighbors()
+}
+
+// KHopIDs returns the ids within k hops of root (undirected), including
+// root itself, implementing the frontier expansion of the paper's
+// Algorithm 3/4 inner loop.
+func (g *Graph) KHopIDs(root NodeID, k int) []NodeID {
+	if !g.Has(root) {
+		return nil
+	}
+	visited := map[NodeID]struct{}{root: {}}
+	frontier := []NodeID{root}
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		var next []NodeID
+		for _, id := range frontier {
+			for _, nb := range g.Neighbors(id) {
+				if _, seen := visited[nb]; !seen {
+					visited[nb] = struct{}{}
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]NodeID, 0, len(visited))
+	for id := range visited {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KHopSubgraph returns the induced subgraph on the k-hop neighborhood of
+// root (Algorithm 3: fetch snapshot then filter).
+func (g *Graph) KHopSubgraph(root NodeID, k int) *Graph {
+	return g.Subgraph(g.KHopIDs(root, k))
+}
+
+// Symmetrize restores mirror consistency: for every edge entry on one
+// endpoint whose other endpoint is present, the counterpart entry is
+// created (sharing the EdgeState) if missing. Graphs assembled from
+// independently reconstructed node states (partition fetches plus
+// replicated frontier states with restricted edge lists) may know an
+// edge from one side only; symmetrizing completes them.
+func (g *Graph) Symmetrize() {
+	for id, ns := range g.nodes {
+		for k, es := range ns.Edges {
+			other, ok := g.nodes[k.Other]
+			if !ok {
+				continue
+			}
+			mk := EdgeKey{Other: id, Out: !k.Out}
+			if _, ok := other.Edges[mk]; !ok {
+				if other.Edges == nil {
+					other.Edges = make(map[EdgeKey]*EdgeState)
+				}
+				other.Edges[mk] = es
+			}
+		}
+	}
+}
+
+// FilterNodes returns the induced subgraph on nodes satisfying pred.
+func (g *Graph) FilterNodes(pred func(*NodeState) bool) *Graph {
+	var ids []NodeID
+	for id, ns := range g.nodes {
+		if pred(ns) {
+			ids = append(ids, id)
+		}
+	}
+	return g.Subgraph(ids)
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(%d nodes, %d edges)", g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,219 @@
+// Package graph provides the static graph model underlying the Historical
+// Graph Store: node states with attributes and embedded adjacency (the
+// node-centric model of the paper, §3.1, where edges are attributes of
+// nodes), atomic change events, an in-memory mutable Graph, and a library
+// of network metrics used by the analytics framework.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"hgs/internal/temporal"
+)
+
+// NodeID uniquely identifies a vertex over the entire history.
+type NodeID int64
+
+// Attrs is a set of key-value attribute pairs attached to a node or edge.
+// A nil Attrs behaves as an empty map for lookups.
+type Attrs map[string]string
+
+// Clone returns a deep copy; cloning nil yields nil.
+func (a Attrs) Clone() Attrs {
+	if a == nil {
+		return nil
+	}
+	out := make(Attrs, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two attribute maps hold exactly the same pairs.
+// nil and empty compare equal.
+func (a Attrs) Equal(b Attrs) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeKey identifies an edge from the perspective of one endpoint: the
+// other endpoint and whether the edge points outward from the owner.
+// A directed edge u->v appears as {Other: v, Out: true} on u and
+// {Other: u, Out: false} on v; the paper replicates edge information with
+// both endpoints (§4.2) and so do we.
+type EdgeKey struct {
+	Other NodeID
+	Out   bool
+}
+
+// EdgeState is the state of one edge: its attributes. The endpoints and
+// direction live in the EdgeKey.
+type EdgeState struct {
+	Attrs Attrs
+}
+
+// Clone returns a deep copy of the edge state.
+func (e *EdgeState) Clone() *EdgeState {
+	if e == nil {
+		return nil
+	}
+	return &EdgeState{Attrs: e.Attrs.Clone()}
+}
+
+// Equal reports deep equality of edge states.
+func (e *EdgeState) Equal(o *EdgeState) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	return e.Attrs.Equal(o.Attrs)
+}
+
+// NodeState is the paper's "static node" (Definition 1): the state of a
+// vertex at one point in time — its id, attribute map, and edge list.
+type NodeState struct {
+	ID    NodeID
+	Attrs Attrs
+	Edges map[EdgeKey]*EdgeState
+}
+
+// NewNodeState returns an empty state for the given node.
+func NewNodeState(id NodeID) *NodeState {
+	return &NodeState{ID: id}
+}
+
+// Clone returns a deep copy of the node state.
+func (n *NodeState) Clone() *NodeState {
+	if n == nil {
+		return nil
+	}
+	out := &NodeState{ID: n.ID, Attrs: n.Attrs.Clone()}
+	if n.Edges != nil {
+		out.Edges = make(map[EdgeKey]*EdgeState, len(n.Edges))
+		for k, v := range n.Edges {
+			out.Edges[k] = v.Clone()
+		}
+	}
+	return out
+}
+
+// Equal reports deep equality of two node states. It is the component
+// equality used by delta intersection (paper Definition 5).
+func (n *NodeState) Equal(o *NodeState) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.ID != o.ID || !n.Attrs.Equal(o.Attrs) || len(n.Edges) != len(o.Edges) {
+		return false
+	}
+	for k, v := range n.Edges {
+		ov, ok := o.Edges[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attr returns the value of a node attribute and whether it is set.
+func (n *NodeState) Attr(key string) (string, bool) {
+	v, ok := n.Attrs[key]
+	return v, ok
+}
+
+// Degree returns the number of distinct neighbors (undirected view;
+// self-loops do not make a node its own neighbor).
+func (n *NodeState) Degree() int {
+	if len(n.Edges) == 0 {
+		return 0
+	}
+	seen := make(map[NodeID]struct{}, len(n.Edges))
+	for k := range n.Edges {
+		if k.Other != n.ID {
+			seen[k.Other] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// OutDegree returns the number of outgoing edges.
+func (n *NodeState) OutDegree() int {
+	d := 0
+	for k := range n.Edges {
+		if k.Out {
+			d++
+		}
+	}
+	return d
+}
+
+// InDegree returns the number of incoming edges.
+func (n *NodeState) InDegree() int { return len(n.Edges) - n.OutDegree() }
+
+// Neighbors returns the distinct neighbor ids in ascending order
+// (undirected view: both in- and out-edges; self-loops excluded).
+func (n *NodeState) Neighbors() []NodeID {
+	if len(n.Edges) == 0 {
+		return nil
+	}
+	seen := make(map[NodeID]struct{}, len(n.Edges))
+	for k := range n.Edges {
+		if k.Other != n.ID {
+			seen[k.Other] = struct{}{}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OutNeighbors returns the targets of outgoing edges in ascending order.
+func (n *NodeState) OutNeighbors() []NodeID {
+	var out []NodeID
+	for k := range n.Edges {
+		if k.Out {
+			out = append(out, k.Other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edge returns the edge state for the given key, or nil.
+func (n *NodeState) Edge(k EdgeKey) *EdgeState { return n.Edges[k] }
+
+// HasEdgeTo reports whether an edge exists between this node and other in
+// either direction.
+func (n *NodeState) HasEdgeTo(other NodeID) bool {
+	if n.Edges == nil {
+		return false
+	}
+	if _, ok := n.Edges[EdgeKey{Other: other, Out: true}]; ok {
+		return true
+	}
+	_, ok := n.Edges[EdgeKey{Other: other, Out: false}]
+	return ok
+}
+
+func (n *NodeState) String() string {
+	return fmt.Sprintf("node(%d, %d attrs, %d edges)", n.ID, len(n.Attrs), len(n.Edges))
+}
+
+// Version is one state of a node together with the interval during which
+// that state was valid (paper Definition 6 decomposes a temporal node into
+// such versions).
+type Version struct {
+	State *NodeState
+	Valid temporal.Interval
+}

@@ -1,0 +1,403 @@
+// Package kvstore simulates the distributed key-value store that backs the
+// Temporal Graph Index. The paper uses an Apache Cassandra cluster; this
+// package reproduces the properties its evaluation depends on:
+//
+//   - data placement by partition key across m storage machines,
+//   - replication factor r with reads served by any replica,
+//   - rows sorted by clustering key within a partition, so that all
+//     micro-partitions of one delta scan contiguously (paper §4.4 item 5),
+//   - per-machine serialized service with a tunable cost model (base cost
+//     per operation plus per-KB transfer cost), which yields the parallel
+//     fetch speedups and saturation of Figures 11–12,
+//   - read/write/byte counters for the cost accounting of Table 1.
+//
+// The store is in-process and safe for concurrent use.
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyModel charges simulated service time per storage operation.
+// With Enabled=false operations only update counters, which keeps unit
+// tests fast while benchmarks exercise the full model.
+type LatencyModel struct {
+	Enabled bool
+	// BaseOp is charged once per request (seek + request overhead).
+	BaseOp time.Duration
+	// PerKB is charged per kilobyte moved.
+	PerKB time.Duration
+}
+
+// DefaultLatency approximates a commodity networked disk-backed store at
+// the scale of our benchmark datasets.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{Enabled: true, BaseOp: 60 * time.Microsecond, PerKB: 250 * time.Microsecond}
+}
+
+// Cost returns the simulated service time for an operation moving n bytes.
+func (lm LatencyModel) Cost(n int) time.Duration {
+	if !lm.Enabled {
+		return 0
+	}
+	return lm.BaseOp + time.Duration(n)*lm.PerKB/1024
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Machines is the number of storage nodes (paper parameter m).
+	Machines int
+	// Replication is the number of replicas per partition (paper r).
+	Replication int
+	// Latency is the per-node service cost model.
+	Latency LatencyModel
+}
+
+// Validate normalizes the configuration.
+func (c *Config) normalize() {
+	if c.Machines < 1 {
+		c.Machines = 1
+	}
+	if c.Replication < 1 {
+		c.Replication = 1
+	}
+	if c.Replication > c.Machines {
+		c.Replication = c.Machines
+	}
+}
+
+// Metrics is a snapshot of cluster-wide counters.
+type Metrics struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Row is one clustered row inside a partition.
+type Row struct {
+	CKey  string
+	Value []byte
+}
+
+// partition holds rows sorted by clustering key.
+type partition struct {
+	rows []Row
+}
+
+func (p *partition) find(ckey string) (int, bool) {
+	i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].CKey >= ckey })
+	return i, i < len(p.rows) && p.rows[i].CKey == ckey
+}
+
+// storageNode is one simulated machine. A mutex serializes service,
+// modelling a single-disk server; the simulated service time is charged
+// while the lock is held so concurrent clients queue exactly as they
+// would on a busy node.
+type storageNode struct {
+	mu     sync.Mutex
+	tables map[string]map[string]*partition
+}
+
+func newStorageNode() *storageNode {
+	return &storageNode{tables: make(map[string]map[string]*partition)}
+}
+
+// Cluster is the simulated distributed store.
+type Cluster struct {
+	cfg     Config
+	nodes   []*storageNode
+	latency atomic.Pointer[LatencyModel]
+
+	rr uint64 // round-robin replica selector
+
+	reads        atomic.Int64
+	writes       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	storedBytes  atomic.Int64
+}
+
+// NewCluster builds a cluster per the configuration.
+func NewCluster(cfg Config) *Cluster {
+	cfg.normalize()
+	c := &Cluster{cfg: cfg, nodes: make([]*storageNode, cfg.Machines)}
+	for i := range c.nodes {
+		c.nodes[i] = newStorageNode()
+	}
+	lm := cfg.Latency
+	c.latency.Store(&lm)
+	return c
+}
+
+// SetLatency swaps the latency model at runtime. Benchmarks build indexes
+// with the model disabled, then enable it for the measured fetch phase.
+func (c *Cluster) SetLatency(lm LatencyModel) {
+	c.latency.Store(&lm)
+}
+
+// Latency returns the current latency model.
+func (c *Cluster) Latency() LatencyModel { return *c.latency.Load() }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Machines returns the number of storage nodes.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+func hashKey(table, pkey string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(table))
+	h.Write([]byte{0})
+	h.Write([]byte(pkey))
+	return h.Sum64()
+}
+
+// replicas returns the node indexes holding the partition, primary first.
+func (c *Cluster) replicas(table, pkey string) []int {
+	primary := int(hashKey(table, pkey) % uint64(c.cfg.Machines))
+	out := make([]int, c.cfg.Replication)
+	for i := range out {
+		out[i] = (primary + i) % c.cfg.Machines
+	}
+	return out
+}
+
+// readReplica picks the replica to serve a read, rotating to spread load
+// across replicas (this is where r>1 increases read capacity, Fig 12c).
+func (c *Cluster) readReplica(table, pkey string) int {
+	reps := c.replicas(table, pkey)
+	if len(reps) == 1 {
+		return reps[0]
+	}
+	n := atomic.AddUint64(&c.rr, 1)
+	return reps[n%uint64(len(reps))]
+}
+
+// simulateWork charges d of service time. Sub-scheduler-granularity
+// waits busy-spin for accuracy; anything longer sleeps so that many
+// simulated clients can wait concurrently without burning cores.
+func simulateWork(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d < 20*time.Microsecond {
+		end := time.Now().Add(d)
+		for time.Now().Before(end) {
+		}
+		return
+	}
+	time.Sleep(d)
+}
+
+// serve runs f on node idx while holding its service lock and charges
+// the operation cost for the byte count f reports. Charging inside the
+// lock models a disk-bound server: a node moving many bytes is busy for
+// proportionally long, so cluster size m and replication r bound the
+// achievable parallel-fetch speedup (paper Figures 11–12).
+func (c *Cluster) serve(idx int, f func(node *storageNode) int) {
+	node := c.nodes[idx]
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	n := f(node)
+	simulateWork(c.Latency().Cost(n))
+}
+
+func (n *storageNode) partitionFor(table, pkey string, create bool) *partition {
+	t, ok := n.tables[table]
+	if !ok {
+		if !create {
+			return nil
+		}
+		t = make(map[string]*partition)
+		n.tables[table] = t
+	}
+	p, ok := t[pkey]
+	if !ok {
+		if !create {
+			return nil
+		}
+		p = &partition{}
+		t[pkey] = p
+	}
+	return p
+}
+
+// Put writes value under (table, pkey, ckey) on every replica,
+// overwriting an existing row.
+func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	for _, idx := range c.replicas(table, pkey) {
+		c.serve(idx, func(node *storageNode) int {
+			p := node.partitionFor(table, pkey, true)
+			if i, ok := p.find(ckey); ok {
+				c.storedBytes.Add(int64(len(v) - len(p.rows[i].Value)))
+				p.rows[i].Value = v
+			} else {
+				p.rows = append(p.rows, Row{})
+				copy(p.rows[i+1:], p.rows[i:])
+				p.rows[i] = Row{CKey: ckey, Value: v}
+				c.storedBytes.Add(int64(len(v) + len(ckey)))
+			}
+			return len(v)
+		})
+	}
+	c.writes.Add(1)
+	c.bytesWritten.Add(int64(len(v)))
+}
+
+// Get reads the row at (table, pkey, ckey) from one replica. The returned
+// slice is a copy.
+func (c *Cluster) Get(table, pkey, ckey string) ([]byte, bool) {
+	var out []byte
+	found := false
+	idx := c.readReplica(table, pkey)
+	c.serve(idx, func(node *storageNode) int {
+		p := node.partitionFor(table, pkey, false)
+		if p == nil {
+			return 0
+		}
+		if i, ok := p.find(ckey); ok {
+			out = append([]byte(nil), p.rows[i].Value...)
+			found = true
+		}
+		return len(out)
+	})
+	c.reads.Add(1)
+	if found {
+		c.bytesRead.Add(int64(len(out)))
+	}
+	return out, found
+}
+
+// ScanPrefix returns all rows in the partition whose clustering key starts
+// with prefix, in clustering order, as one contiguous scan (single
+// operation cost plus bytes).
+func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
+	var out []Row
+	total := 0
+	idx := c.readReplica(table, pkey)
+	c.serve(idx, func(node *storageNode) int {
+		p := node.partitionFor(table, pkey, false)
+		if p == nil {
+			return 0
+		}
+		i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].CKey >= prefix })
+		for ; i < len(p.rows) && strings.HasPrefix(p.rows[i].CKey, prefix); i++ {
+			v := append([]byte(nil), p.rows[i].Value...)
+			out = append(out, Row{CKey: p.rows[i].CKey, Value: v})
+			total += len(v)
+		}
+		return total
+	})
+	c.reads.Add(1)
+	c.bytesRead.Add(int64(total))
+	return out
+}
+
+// ScanPartition returns every row of the partition in clustering order.
+func (c *Cluster) ScanPartition(table, pkey string) []Row {
+	return c.ScanPrefix(table, pkey, "")
+}
+
+// Delete removes a row from all replicas; it reports whether the row
+// existed on the primary.
+func (c *Cluster) Delete(table, pkey, ckey string) bool {
+	existed := false
+	for ri, idx := range c.replicas(table, pkey) {
+		c.serve(idx, func(node *storageNode) int {
+			p := node.partitionFor(table, pkey, false)
+			if p == nil {
+				return 0
+			}
+			if i, ok := p.find(ckey); ok {
+				c.storedBytes.Add(int64(-(len(p.rows[i].Value) + len(ckey))))
+				p.rows = append(p.rows[:i], p.rows[i+1:]...)
+				if ri == 0 {
+					existed = true
+				}
+			}
+			return 0
+		})
+	}
+	c.writes.Add(1)
+	return existed
+}
+
+// DropPartition removes an entire partition from all replicas.
+func (c *Cluster) DropPartition(table, pkey string) {
+	for _, idx := range c.replicas(table, pkey) {
+		c.serve(idx, func(node *storageNode) int {
+			if t, ok := node.tables[table]; ok {
+				if p, ok := t[pkey]; ok {
+					for _, r := range p.rows {
+						c.storedBytes.Add(int64(-(len(r.Value) + len(r.CKey))))
+					}
+					delete(t, pkey)
+				}
+			}
+			return 0
+		})
+	}
+	c.writes.Add(1)
+}
+
+// PartitionKeys returns all partition keys of a table (union over nodes),
+// sorted. Intended for inspection and maintenance, not the data path.
+func (c *Cluster) PartitionKeys(table string) []string {
+	seen := make(map[string]struct{})
+	for _, node := range c.nodes {
+		node.mu.Lock()
+		if t, ok := node.tables[table]; ok {
+			for pk := range t {
+				seen[pk] = struct{}{}
+			}
+		}
+		node.mu.Unlock()
+	}
+	out := make([]string, 0, len(seen))
+	for pk := range seen {
+		out = append(out, pk)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Cluster) Metrics() Metrics {
+	return Metrics{
+		Reads:        c.reads.Load(),
+		Writes:       c.writes.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// ResetMetrics zeroes the read/write counters (stored bytes are kept).
+func (c *Cluster) ResetMetrics() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+}
+
+// StoredBytes returns the physical bytes currently stored across all
+// replicas.
+func (c *Cluster) StoredBytes() int64 { return c.storedBytes.Load() }
+
+// LogicalBytes returns stored bytes divided by the replication factor —
+// the index size figure used in Table 1 comparisons.
+func (c *Cluster) LogicalBytes() int64 {
+	return c.storedBytes.Load() / int64(c.cfg.Replication)
+}
+
+func (c *Cluster) String() string {
+	return fmt.Sprintf("kvstore(m=%d, r=%d)", c.cfg.Machines, c.cfg.Replication)
+}

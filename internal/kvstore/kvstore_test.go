@@ -1,0 +1,216 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestCluster(m, r int) *Cluster {
+	return NewCluster(Config{Machines: m, Replication: r})
+}
+
+func TestPutGet(t *testing.T) {
+	c := newTestCluster(3, 1)
+	c.Put("deltas", "p1", "a", []byte("hello"))
+	got, ok := c.Get("deltas", "p1", "a")
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q,%v", got, ok)
+	}
+	if _, ok := c.Get("deltas", "p1", "missing"); ok {
+		t.Fatal("missing ckey should not be found")
+	}
+	if _, ok := c.Get("deltas", "nope", "a"); ok {
+		t.Fatal("missing partition should not be found")
+	}
+	// Overwrite.
+	c.Put("deltas", "p1", "a", []byte("world"))
+	got, _ = c.Get("deltas", "p1", "a")
+	if string(got) != "world" {
+		t.Fatal("overwrite failed")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := newTestCluster(1, 1)
+	c.Put("t", "p", "k", []byte("abc"))
+	got, _ := c.Get("t", "p", "k")
+	got[0] = 'X'
+	again, _ := c.Get("t", "p", "k")
+	if string(again) != "abc" {
+		t.Fatal("internal storage was mutated through returned slice")
+	}
+}
+
+func TestScanPrefixSortedContiguous(t *testing.T) {
+	c := newTestCluster(2, 1)
+	// Clustering keys like "d0007/p003": all micro-partitions of a delta
+	// must scan contiguously in sorted order.
+	c.Put("deltas", "ts0/s1", "d0002/p001", []byte("b"))
+	c.Put("deltas", "ts0/s1", "d0001/p002", []byte("a2"))
+	c.Put("deltas", "ts0/s1", "d0001/p001", []byte("a1"))
+	c.Put("deltas", "ts0/s1", "d0010/p001", []byte("c"))
+	rows := c.ScanPrefix("deltas", "ts0/s1", "d0001/")
+	if len(rows) != 2 || rows[0].CKey != "d0001/p001" || rows[1].CKey != "d0001/p002" {
+		t.Fatalf("prefix scan wrong: %+v", rows)
+	}
+	all := c.ScanPartition("deltas", "ts0/s1")
+	if len(all) != 4 {
+		t.Fatalf("partition scan returned %d rows", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].CKey >= all[i].CKey {
+			t.Fatal("rows not in clustering order")
+		}
+	}
+}
+
+func TestReplicationServesAfterPrimaryOnly(t *testing.T) {
+	// With r == m every node holds every partition: reads must succeed
+	// regardless of which replica the round-robin picks.
+	c := newTestCluster(3, 3)
+	c.Put("t", "p", "k", []byte("v"))
+	for i := 0; i < 10; i++ {
+		if _, ok := c.Get("t", "p", "k"); !ok {
+			t.Fatal("replica read failed")
+		}
+	}
+}
+
+func TestReplicasDistinctAndStable(t *testing.T) {
+	c := newTestCluster(4, 3)
+	reps := c.replicas("t", "somekey")
+	if len(reps) != 3 {
+		t.Fatalf("want 3 replicas, got %d", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, r := range reps {
+		if seen[r] {
+			t.Fatal("duplicate replica")
+		}
+		seen[r] = true
+	}
+	reps2 := c.replicas("t", "somekey")
+	for i := range reps {
+		if reps[i] != reps2[i] {
+			t.Fatal("replica placement not deterministic")
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCluster(2, 2)
+	c.Put("t", "p", "k", []byte("v"))
+	if !c.Delete("t", "p", "k") {
+		t.Fatal("delete should report existing row")
+	}
+	if _, ok := c.Get("t", "p", "k"); ok {
+		t.Fatal("row still present after delete")
+	}
+	if c.Delete("t", "p", "k") {
+		t.Fatal("second delete should report false")
+	}
+}
+
+func TestDropPartitionAndStoredBytes(t *testing.T) {
+	c := newTestCluster(1, 1)
+	c.Put("t", "p", "k1", []byte("aaaa"))
+	c.Put("t", "p", "k2", []byte("bbbb"))
+	if c.StoredBytes() == 0 {
+		t.Fatal("stored bytes should be positive")
+	}
+	c.DropPartition("t", "p")
+	if c.StoredBytes() != 0 {
+		t.Fatalf("stored bytes after drop = %d, want 0", c.StoredBytes())
+	}
+	if rows := c.ScanPartition("t", "p"); len(rows) != 0 {
+		t.Fatal("partition still has rows")
+	}
+}
+
+func TestLogicalBytesDividesReplication(t *testing.T) {
+	a := newTestCluster(3, 1)
+	b := newTestCluster(3, 3)
+	payload := make([]byte, 1000)
+	a.Put("t", "p", "k", payload)
+	b.Put("t", "p", "k", payload)
+	if a.LogicalBytes() != b.LogicalBytes() {
+		t.Fatalf("logical bytes differ: %d vs %d", a.LogicalBytes(), b.LogicalBytes())
+	}
+	if b.StoredBytes() != 3*a.StoredBytes() {
+		t.Fatalf("physical bytes should triple with r=3: %d vs %d", b.StoredBytes(), a.StoredBytes())
+	}
+}
+
+func TestMetricsCounting(t *testing.T) {
+	c := newTestCluster(2, 1)
+	c.Put("t", "p", "k", []byte("12345"))
+	c.Get("t", "p", "k")
+	c.ScanPartition("t", "p")
+	m := c.Metrics()
+	if m.Writes != 1 || m.Reads != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.BytesRead != 10 || m.BytesWritten != 5 {
+		t.Fatalf("byte counters = %+v", m)
+	}
+	c.ResetMetrics()
+	if m := c.Metrics(); m.Reads != 0 || m.Writes != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPartitionKeys(t *testing.T) {
+	c := newTestCluster(3, 1)
+	for i := 0; i < 10; i++ {
+		c.Put("t", fmt.Sprintf("p%02d", i), "k", []byte("v"))
+	}
+	keys := c.PartitionKeys("t")
+	if len(keys) != 10 || keys[0] != "p00" || keys[9] != "p09" {
+		t.Fatalf("partition keys wrong: %v", keys)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := newTestCluster(4, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pk := fmt.Sprintf("p%d", i%16)
+				ck := fmt.Sprintf("w%d/i%03d", w, i)
+				c.Put("t", pk, ck, []byte{byte(i)})
+				c.Get("t", pk, ck)
+				c.ScanPrefix("t", pk, fmt.Sprintf("w%d/", w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Metrics().Writes; got != 8*200 {
+		t.Fatalf("writes = %d, want %d", got, 8*200)
+	}
+}
+
+func TestLatencyCost(t *testing.T) {
+	lm := LatencyModel{Enabled: true, BaseOp: 100 * time.Microsecond, PerKB: 10 * time.Microsecond}
+	if lm.Cost(0) != 100*time.Microsecond {
+		t.Fatal("base cost wrong")
+	}
+	if lm.Cost(2048) != 120*time.Microsecond {
+		t.Fatalf("cost(2KB) = %v, want 120µs", lm.Cost(2048))
+	}
+	off := LatencyModel{}
+	if off.Cost(1<<20) != 0 {
+		t.Fatal("disabled model must cost 0")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := NewCluster(Config{Machines: 0, Replication: 9})
+	if c.Machines() != 1 || c.Config().Replication != 1 {
+		t.Fatalf("normalization wrong: %+v", c.Config())
+	}
+}

@@ -1,0 +1,44 @@
+// Package taf implements the Temporal Graph Analysis Framework (paper
+// §5): temporal nodes (NodeT) and subgraphs (SubgraphT), sets thereof
+// (SoN, SoTS) as RDDs on the sparklite engine, and the temporal operator
+// library — Selection, Timeslice, Graph, NodeCompute,
+// NodeComputeTemporal, NodeComputeDelta, Compare, Evolution and the
+// temporal aggregations.
+package taf
+
+import (
+	"hgs/internal/core"
+	"hgs/internal/sparklite"
+)
+
+// Handler connects the analytics engine to a Temporal Graph Index (the
+// paper's TGIHandler): it carries the index connection and the cluster
+// compute context.
+type Handler struct {
+	tgi *core.TGI
+	ctx *sparklite.Context
+	// fetchClients is the parallel fetch factor used for TGI retrieval.
+	fetchClients int
+}
+
+// NewHandler builds a handler over an index and a compute context.
+func NewHandler(tgi *core.TGI, ctx *sparklite.Context) *Handler {
+	return &Handler{tgi: tgi, ctx: ctx, fetchClients: tgi.Config().FetchClients}
+}
+
+// WithFetchClients overrides the parallel fetch factor.
+func (h *Handler) WithFetchClients(c int) *Handler {
+	out := *h
+	out.fetchClients = c
+	return &out
+}
+
+// TGI returns the underlying index.
+func (h *Handler) TGI() *core.TGI { return h.tgi }
+
+// Context returns the compute context.
+func (h *Handler) Context() *sparklite.Context { return h.ctx }
+
+func (h *Handler) fetchOpts() *core.FetchOptions {
+	return &core.FetchOptions{Clients: h.fetchClients}
+}

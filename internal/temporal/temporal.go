@@ -1,0 +1,93 @@
+// Package temporal defines the time model shared by every layer of the
+// Historical Graph Store: a discrete, totally ordered timeline and
+// half-open intervals over it.
+//
+// The paper (Khurana & Deshpande, EDBT 2016, §3.1) uses a discrete notion
+// of time; we represent timepoints as int64 (callers may interpret them as
+// Unix milliseconds, event sequence numbers, or any monotone clock).
+package temporal
+
+import "fmt"
+
+// Time is a discrete timepoint on the history's timeline.
+type Time int64
+
+// Sentinel timepoints. MinTime behaves as -infinity and MaxTime as
+// +infinity in interval arithmetic.
+const (
+	MinTime Time = -1 << 62
+	MaxTime Time = 1<<62 - 1
+)
+
+// Interval is a half-open time range [Start, End). This matches the paper's
+// convention for eventlist scopes (ts, te] shifted to the more common
+// [ts, te) used uniformly here; a snapshot at t is the state after applying
+// all events with time <= t.
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// Always is the interval covering the entire timeline.
+var Always = Interval{Start: MinTime, End: MaxTime}
+
+// NewInterval returns [start, end) and panics if end < start, which is
+// always a programming error.
+func NewInterval(start, end Time) Interval {
+	if end < start {
+		panic(fmt.Sprintf("temporal: invalid interval [%d, %d)", start, end))
+	}
+	return Interval{Start: start, End: end}
+}
+
+// Contains reports whether t lies within the half-open interval.
+func (iv Interval) Contains(t Time) bool {
+	return t >= iv.Start && t < iv.End
+}
+
+// Overlaps reports whether the two half-open intervals share any timepoint.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the overlap of the two intervals and whether it is
+// non-empty.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	start := max(iv.Start, other.Start)
+	end := min(iv.End, other.End)
+	if end <= start {
+		return Interval{}, false
+	}
+	return Interval{Start: start, End: end}, true
+}
+
+// Union returns the smallest interval covering both inputs.
+func (iv Interval) Union(other Interval) Interval {
+	return Interval{Start: min(iv.Start, other.Start), End: max(iv.End, other.End)}
+}
+
+// Empty reports whether the interval contains no timepoint.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Duration returns End-Start; it saturates rather than overflowing for the
+// sentinel interval.
+func (iv Interval) Duration() Time {
+	if iv.Empty() {
+		return 0
+	}
+	d := iv.End - iv.Start
+	if d < 0 || d > MaxTime { // saturate with sentinel endpoints
+		return MaxTime
+	}
+	return d
+}
+
+// Midpoint returns the timepoint halfway through the interval, used by the
+// Median temporal-collapse function (paper §4.5).
+func (iv Interval) Midpoint() Time {
+	return iv.Start + (iv.End-iv.Start)/2
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d, %d)", iv.Start, iv.End)
+}

@@ -1,0 +1,127 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := NewInterval(10, 20)
+	cases := []struct {
+		t    Time
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {25, false},
+	}
+	for _, c := range cases {
+		if got := iv.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := NewInterval(0, 10)
+	cases := []struct {
+		b    Interval
+		want bool
+	}{
+		{NewInterval(10, 20), false}, // adjacent half-open
+		{NewInterval(9, 20), true},
+		{NewInterval(-5, 0), false},
+		{NewInterval(-5, 1), true},
+		{NewInterval(3, 7), true},
+		{NewInterval(-5, 20), true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", a, c.b)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := NewInterval(0, 10)
+	b := NewInterval(5, 15)
+	got, ok := a.Intersect(b)
+	if !ok || got != NewInterval(5, 10) {
+		t.Errorf("Intersect = %v, %v; want [5,10), true", got, ok)
+	}
+	if _, ok := a.Intersect(NewInterval(10, 20)); ok {
+		t.Errorf("adjacent intervals must not intersect")
+	}
+}
+
+func TestIntervalUnion(t *testing.T) {
+	got := NewInterval(0, 5).Union(NewInterval(10, 20))
+	if got != NewInterval(0, 20) {
+		t.Errorf("Union = %v, want [0,20)", got)
+	}
+}
+
+func TestEmptyAndDuration(t *testing.T) {
+	if !(Interval{Start: 5, End: 5}).Empty() {
+		t.Error("zero-width interval should be empty")
+	}
+	if NewInterval(3, 9).Duration() != 6 {
+		t.Error("Duration(3,9) != 6")
+	}
+	if Always.Duration() != MaxTime {
+		t.Error("Always.Duration should saturate to MaxTime")
+	}
+	if (Interval{Start: 9, End: 3}).Duration() != 0 {
+		t.Error("inverted interval duration should be 0")
+	}
+}
+
+func TestAlwaysContainsEverything(t *testing.T) {
+	// Any timepoint within the supported domain [MinTime, MaxTime) is
+	// contained in Always.
+	f := func(x int64) bool {
+		t := Time(x) % MaxTime
+		return Always.Contains(t)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectWithinBoth(t *testing.T) {
+	// Property: any point in the intersection is in both intervals, and
+	// intersection is symmetric.
+	f := func(a0, a1, b0, b1 int32, p int32) bool {
+		a := Interval{Start: Time(min(a0, a1)), End: Time(max(a0, a1))}
+		b := Interval{Start: Time(min(b0, b1)), End: Time(max(b0, b1))}
+		iv, ok := a.Intersect(b)
+		iv2, ok2 := b.Intersect(a)
+		if ok != ok2 || iv != iv2 {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		t0 := iv.Start + Time(uint32(p))%max(iv.Duration(), 1)
+		return a.Contains(t0) && b.Contains(t0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewIntervalPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewInterval(5, 3) should panic")
+		}
+	}()
+	NewInterval(5, 3)
+}
+
+func TestMidpoint(t *testing.T) {
+	if NewInterval(10, 20).Midpoint() != 15 {
+		t.Error("Midpoint(10,20) != 15")
+	}
+}

@@ -1,0 +1,284 @@
+// Package workload generates the synthetic datasets standing in for the
+// paper's evaluation data (§6, "Datasets and Notation"; see DESIGN.md
+// §3.4 for the substitution rationale):
+//
+//   - Dataset 1 — Wikipedia citation network: a preferential-attachment
+//     growth graph emitting node-arrival and edge-addition events.
+//   - Datasets 2, 3 — Dataset 1 augmented with synthetic random edge
+//     additions/deletions over time.
+//   - Dataset 4 — Friendster gaming network: a community-structured
+//     (planted partition) graph with uniformly spaced timestamps.
+//   - DBLP-like — bipartite author/paper graph with EntityType node
+//     attributes and attribute churn (the Figure 8/17 workload).
+//
+// All generators are deterministic for a given seed and emit strictly
+// increasing integer timestamps starting at 1, satisfying the index
+// build contract.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+// WikiConfig parameterizes the Wikipedia-like growth network.
+type WikiConfig struct {
+	// Nodes is the number of articles created.
+	Nodes int
+	// EdgesPerNode is the mean number of citations a new article makes.
+	EdgesPerNode int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Wikipedia generates Dataset 1: each new node arrives with citation
+// edges to existing nodes chosen by preferential attachment, producing
+// the heavy-tailed degree distribution of citation networks.
+func Wikipedia(cfg WikiConfig) []graph.Event {
+	if cfg.Nodes < 2 {
+		cfg.Nodes = 2
+	}
+	if cfg.EdgesPerNode < 1 {
+		cfg.EdgesPerNode = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []graph.Event
+	clock := temporal.Time(0)
+	tick := func() temporal.Time { clock++; return clock }
+
+	// Preferential attachment endpoint pool: every edge endpoint appears
+	// once, so sampling uniformly from the pool is degree-proportional.
+	pool := make([]graph.NodeID, 0, cfg.Nodes*cfg.EdgesPerNode*2)
+	events = append(events, graph.Event{Time: tick(), Kind: graph.AddNode, Node: 0})
+	events = append(events, graph.Event{Time: tick(), Kind: graph.AddNode, Node: 1})
+	events = append(events, graph.Event{Time: tick(), Kind: graph.AddEdge, Node: 1, Other: 0})
+	pool = append(pool, 0, 1)
+
+	for i := 2; i < cfg.Nodes; i++ {
+		id := graph.NodeID(i)
+		events = append(events, graph.Event{Time: tick(), Kind: graph.AddNode, Node: id})
+		cites := 1 + rng.Intn(2*cfg.EdgesPerNode-1) // mean ≈ EdgesPerNode
+		seen := map[graph.NodeID]bool{id: true}
+		for c := 0; c < cites; c++ {
+			var target graph.NodeID
+			if rng.Float64() < 0.15 { // uniform exploration component
+				target = graph.NodeID(rng.Intn(i))
+			} else {
+				target = pool[rng.Intn(len(pool))]
+			}
+			if seen[target] {
+				continue
+			}
+			seen[target] = true
+			events = append(events, graph.Event{Time: tick(), Kind: graph.AddEdge, Node: id, Other: target})
+			pool = append(pool, id, target)
+		}
+	}
+	return events
+}
+
+// AugmentConfig parameterizes the synthetic churn of Datasets 2 and 3.
+type AugmentConfig struct {
+	// Extra is the number of churn events to append.
+	Extra int
+	// DeleteFraction is the probability an event deletes an existing
+	// edge rather than adding a new one.
+	DeleteFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Augment appends Extra random edge add/delete events after the end of
+// the base history (the paper adds 333M/733M such events to Dataset 1 to
+// form Datasets 2 and 3; we add the same kind of churn at our scale).
+func Augment(base []graph.Event, cfg AugmentConfig) []graph.Event {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Reconstruct the final state to target real nodes and edges.
+	g, err := graph.FromEvents(base)
+	if err != nil {
+		panic(fmt.Sprintf("workload: base history invalid: %v", err))
+	}
+	ids := g.NodeIDs()
+	type pair struct{ u, v graph.NodeID }
+	var edges []pair
+	edgeSet := make(map[pair]bool)
+	g.Range(func(ns *graph.NodeState) bool {
+		for k := range ns.Edges {
+			if k.Out {
+				p := pair{ns.ID, k.Other}
+				edges = append(edges, p)
+				edgeSet[p] = true
+			}
+		}
+		return true
+	})
+
+	clock := base[len(base)-1].Time
+	out := append([]graph.Event(nil), base...)
+	for i := 0; i < cfg.Extra; i++ {
+		clock++
+		if rng.Float64() < cfg.DeleteFraction && len(edges) > 0 {
+			j := rng.Intn(len(edges))
+			p := edges[j]
+			edges[j] = edges[len(edges)-1]
+			edges = edges[:len(edges)-1]
+			delete(edgeSet, p)
+			out = append(out, graph.Event{Time: clock, Kind: graph.RemoveEdge, Node: p.u, Other: p.v})
+			continue
+		}
+		u := ids[rng.Intn(len(ids))]
+		v := ids[rng.Intn(len(ids))]
+		p := pair{u, v}
+		if u == v || edgeSet[p] {
+			clock-- // retry without consuming a timestamp
+			i--
+			continue
+		}
+		edgeSet[p] = true
+		edges = append(edges, p)
+		out = append(out, graph.Event{Time: clock, Kind: graph.AddEdge, Node: u, Other: v})
+	}
+	return out
+}
+
+// FriendsterConfig parameterizes the community-structured Dataset 4.
+type FriendsterConfig struct {
+	// Communities is the number of planted communities.
+	Communities int
+	// CommunitySize is the node count per community.
+	CommunitySize int
+	// IntraDegree is the mean within-community degree.
+	IntraDegree int
+	// InterFraction is the fraction of edges that cross communities.
+	InterFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Friendster generates Dataset 4: a static social graph with planted
+// community structure whose events carry uniformly spaced synthetic
+// timestamps (the paper adds synthetic dates to a Friendster snapshot).
+// Every node gets a "community" attribute, which the analytics examples
+// use.
+func Friendster(cfg FriendsterConfig) []graph.Event {
+	if cfg.Communities < 1 {
+		cfg.Communities = 1
+	}
+	if cfg.CommunitySize < 2 {
+		cfg.CommunitySize = 2
+	}
+	if cfg.IntraDegree < 1 {
+		cfg.IntraDegree = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Communities * cfg.CommunitySize
+	clock := temporal.Time(0)
+	tick := func() temporal.Time { clock++; return clock }
+
+	var events []graph.Event
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		events = append(events, graph.Event{Time: tick(), Kind: graph.AddNode, Node: id})
+		events = append(events, graph.Event{
+			Time: tick(), Kind: graph.SetNodeAttr, Node: id,
+			Key: "community", Value: fmt.Sprintf("C%03d", i/cfg.CommunitySize),
+		})
+	}
+	type pair struct{ u, v graph.NodeID }
+	seen := make(map[pair]bool)
+	addEdge := func(u, v graph.NodeID) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		events = append(events, graph.Event{Time: tick(), Kind: graph.AddEdge, Node: u, Other: v})
+	}
+	targetEdges := n * cfg.IntraDegree / 2
+	for e := 0; e < targetEdges; e++ {
+		if rng.Float64() < cfg.InterFraction {
+			addEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+			continue
+		}
+		c := rng.Intn(cfg.Communities)
+		base := c * cfg.CommunitySize
+		u := graph.NodeID(base + rng.Intn(cfg.CommunitySize))
+		v := graph.NodeID(base + rng.Intn(cfg.CommunitySize))
+		addEdge(u, v)
+	}
+	return events
+}
+
+// DBLPConfig parameterizes the bipartite author/paper workload.
+type DBLPConfig struct {
+	// Authors and Papers are the entity counts.
+	Authors int
+	Papers  int
+	// AuthorsPerPaper is the mean number of authors per paper.
+	AuthorsPerPaper int
+	// AttrChurn is the number of EntityType attribute-change events
+	// appended after the structure (the Figure 8/17 update stream).
+	AttrChurn int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DBLP generates the bipartite author/paper network with EntityType
+// attributes used by the incremental-computation evaluation.
+func DBLP(cfg DBLPConfig) []graph.Event {
+	if cfg.Authors < 1 {
+		cfg.Authors = 1
+	}
+	if cfg.Papers < 1 {
+		cfg.Papers = 1
+	}
+	if cfg.AuthorsPerPaper < 1 {
+		cfg.AuthorsPerPaper = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clock := temporal.Time(0)
+	tick := func() temporal.Time { clock++; return clock }
+	var events []graph.Event
+
+	authorID := func(i int) graph.NodeID { return graph.NodeID(i) }
+	paperID := func(i int) graph.NodeID { return graph.NodeID(cfg.Authors + i) }
+	for i := 0; i < cfg.Authors; i++ {
+		events = append(events, graph.Event{Time: tick(), Kind: graph.AddNode, Node: authorID(i)})
+		events = append(events, graph.Event{Time: tick(), Kind: graph.SetNodeAttr, Node: authorID(i), Key: "EntityType", Value: "Author"})
+	}
+	for p := 0; p < cfg.Papers; p++ {
+		events = append(events, graph.Event{Time: tick(), Kind: graph.AddNode, Node: paperID(p)})
+		events = append(events, graph.Event{Time: tick(), Kind: graph.SetNodeAttr, Node: paperID(p), Key: "EntityType", Value: "Paper"})
+		k := 1 + rng.Intn(2*cfg.AuthorsPerPaper-1)
+		seen := map[int]bool{}
+		for j := 0; j < k; j++ {
+			a := rng.Intn(cfg.Authors)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			events = append(events, graph.Event{Time: tick(), Kind: graph.AddEdge, Node: authorID(a), Other: paperID(p)})
+		}
+	}
+	// Attribute churn: entity types flip (e.g. disambiguation fixes) —
+	// exactly the event class the incremental operator folds in O(1).
+	n := cfg.Authors + cfg.Papers
+	for i := 0; i < cfg.AttrChurn; i++ {
+		id := graph.NodeID(rng.Intn(n))
+		val := "Author"
+		if rng.Intn(2) == 0 {
+			val = "Paper"
+		}
+		events = append(events, graph.Event{Time: tick(), Kind: graph.SetNodeAttr, Node: id, Key: "EntityType", Value: val})
+	}
+	return events
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"hgs/internal/graph"
+)
+
+func validStream(t *testing.T, events []graph.Event) *graph.Graph {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time <= events[i-1].Time {
+			t.Fatalf("times not strictly increasing at %d", i)
+		}
+	}
+	g, err := graph.FromEvents(events)
+	if err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	return g
+}
+
+func TestWikipediaShape(t *testing.T) {
+	evs := Wikipedia(WikiConfig{Nodes: 2000, EdgesPerNode: 4, Seed: 1})
+	g := validStream(t, evs)
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d, want 2000", g.NumNodes())
+	}
+	if e := g.NumEdges(); e < 4000 || e > 10000 {
+		t.Fatalf("edges = %d, outside plausible band", e)
+	}
+	// Preferential attachment: the max degree must far exceed the mean.
+	maxDeg := 0
+	g.Range(func(ns *graph.NodeState) bool {
+		if d := ns.Degree(); d > maxDeg {
+			maxDeg = d
+		}
+		return true
+	})
+	if float64(maxDeg) < 5*g.AvgDegree() {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestWikipediaDeterminism(t *testing.T) {
+	a := Wikipedia(WikiConfig{Nodes: 500, EdgesPerNode: 3, Seed: 7})
+	b := Wikipedia(WikiConfig{Nodes: 500, EdgesPerNode: 3, Seed: 7})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	c := Wikipedia(WikiConfig{Nodes: 500, EdgesPerNode: 3, Seed: 8})
+	same := len(a) == len(c)
+	if same {
+		same = false
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestAugmentChurn(t *testing.T) {
+	base := Wikipedia(WikiConfig{Nodes: 500, EdgesPerNode: 3, Seed: 2})
+	out := Augment(base, AugmentConfig{Extra: 2000, DeleteFraction: 0.3, Seed: 3})
+	validStream(t, out)
+	if len(out) != len(base)+2000 {
+		t.Fatalf("augmented length %d, want %d", len(out), len(base)+2000)
+	}
+	adds, dels := 0, 0
+	for _, e := range out[len(base):] {
+		switch e.Kind {
+		case graph.AddEdge:
+			adds++
+		case graph.RemoveEdge:
+			dels++
+		default:
+			t.Fatalf("unexpected churn kind %v", e.Kind)
+		}
+	}
+	frac := float64(dels) / float64(adds+dels)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("delete fraction %.2f outside [0.2, 0.4]", frac)
+	}
+	// Churn must start after the base history.
+	if out[len(base)].Time <= base[len(base)-1].Time {
+		t.Fatal("churn does not extend the timeline")
+	}
+}
+
+func TestFriendsterCommunities(t *testing.T) {
+	evs := Friendster(FriendsterConfig{Communities: 8, CommunitySize: 100, IntraDegree: 6, InterFraction: 0.05, Seed: 4})
+	g := validStream(t, evs)
+	if g.NumNodes() != 800 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Every node has a community attribute; most edges stay inside.
+	intra, inter := 0, 0
+	g.Range(func(ns *graph.NodeState) bool {
+		c, ok := ns.Attr("community")
+		if !ok || c == "" {
+			t.Fatalf("node %d missing community", ns.ID)
+		}
+		for k := range ns.Edges {
+			if !k.Out {
+				continue
+			}
+			other := g.Node(k.Other)
+			if oc, _ := other.Attr("community"); oc == c {
+				intra++
+			} else {
+				inter++
+			}
+		}
+		return true
+	})
+	if float64(inter)/float64(intra+inter) > 0.15 {
+		t.Fatalf("too many cross-community edges: %d/%d", inter, intra+inter)
+	}
+}
+
+func TestDBLPBipartite(t *testing.T) {
+	evs := DBLP(DBLPConfig{Authors: 100, Papers: 200, AuthorsPerPaper: 3, AttrChurn: 50, Seed: 5})
+	g := validStream(t, evs)
+	if g.NumNodes() != 300 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	authors := g.AttrCount("EntityType", "Author")
+	papers := g.AttrCount("EntityType", "Paper")
+	if authors+papers != 300 {
+		t.Fatalf("entity types missing: %d+%d", authors, papers)
+	}
+	// Structural edges only connect authors to papers (before churn the
+	// partition is exact; churn flips labels, not edges).
+	churnless := DBLP(DBLPConfig{Authors: 100, Papers: 200, AuthorsPerPaper: 3, AttrChurn: 0, Seed: 5})
+	g2, _ := graph.FromEvents(churnless)
+	g2.Range(func(ns *graph.NodeState) bool {
+		mine, _ := ns.Attr("EntityType")
+		for k := range ns.Edges {
+			theirs, _ := g2.Node(k.Other).Attr("EntityType")
+			if mine == theirs {
+				t.Fatalf("same-type edge %d-%d (%s)", ns.ID, k.Other, mine)
+			}
+		}
+		return true
+	})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// Degenerate configs must not panic and still produce valid streams.
+	validStream(t, Wikipedia(WikiConfig{}))
+	validStream(t, Friendster(FriendsterConfig{}))
+	validStream(t, DBLP(DBLPConfig{}))
+}
