@@ -1,0 +1,34 @@
+# Tier-1 CI gate for the Historical Graph Store. `make ci` is the
+# documented pre-merge check (ROADMAP.md): vet, build, fast tests, and
+# formatting. `make test-full` additionally runs the ~30s bench smoke
+# tests that -short skips.
+
+GO ?= go
+
+.PHONY: ci vet build test test-full fmt-check fmt bench
+
+ci: vet build test fmt-check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+test-full:
+	$(GO) test ./...
+
+fmt-check:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) run ./cmd/hgs-bench

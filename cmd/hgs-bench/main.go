@@ -8,6 +8,8 @@
 //	hgs-bench -list           # list experiment ids
 //	hgs-bench -run fig11      # run one experiment
 //	HGS_SCALE=4 hgs-bench     # scale all datasets 4x
+//	hgs-bench -run fig11 -data /tmp/bench-disk   # same workload on the
+//	                          # durable disk backend (memory vs disk)
 package main
 
 import (
@@ -23,7 +25,17 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "", "comma-free experiment id to run (default: all)")
+	dataDir := flag.String("data", "", "run storage clusters on the durable disk backend under this (fresh) directory, to compare memory vs disk")
 	flag.Parse()
+
+	if *dataDir != "" {
+		if entries, err := os.ReadDir(*dataDir); err == nil && len(entries) > 0 {
+			fmt.Fprintf(os.Stderr, "hgs-bench: -data %s is not empty; benchmarks need a fresh directory\n", *dataDir)
+			os.Exit(1)
+		}
+		bench.SetDataDir(*dataDir)
+		defer bench.ResetCache() // close disk engines before exit
+	}
 
 	if *list {
 		ids := make([]string, 0, len(bench.Runners))

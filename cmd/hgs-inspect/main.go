@@ -6,6 +6,13 @@
 //
 //	hgs-inspect -dataset wiki -nodes 10000
 //	hgs-inspect -dataset friendster -nodes 8000 -locality
+//
+// With -data the store runs on the durable disk backend: the first run
+// builds and persists the index, subsequent runs reattach to it and
+// answer the probe queries without rebuilding:
+//
+//	hgs-inspect -dataset wiki -nodes 10000 -data /tmp/hgs-wiki
+//	hgs-inspect -data /tmp/hgs-wiki   # instant: reuses the index
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"hgs"
 	"hgs/internal/workload"
@@ -26,7 +34,47 @@ func main() {
 	locality := flag.Bool("locality", false, "use locality micro-partitioning")
 	replicate := flag.Bool("replicate-1hop", false, "store 1-hop replication aux deltas")
 	compress := flag.Bool("compress", false, "gzip-compress stored blobs")
+	dataDir := flag.String("data", "", "durable data directory (disk backend); reattaches when it already holds an index")
 	flag.Parse()
+
+	// With a populated -data directory the shape and index parameters
+	// come from disk, so open first and only synthesize events when a
+	// build is actually needed.
+	opts := hgs.Options{
+		LocalityPartitioning: *locality,
+		Replicate1Hop:        *replicate,
+		Compress:             *compress,
+		DataDir:              *dataDir,
+	}
+	if *dataDir != "" {
+		if _, err := os.Stat(filepath.Join(*dataDir, "cluster.json")); err == nil {
+			// Shape flags the user actually typed must still be checked
+			// against the persisted shape; untyped ones adopt it.
+			explicit := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+			probeOpts := hgs.Options{DataDir: *dataDir}
+			if explicit["machines"] {
+				probeOpts.Machines = *machines
+			}
+			if explicit["replication"] {
+				probeOpts.Replication = *replication
+			}
+			probe, err := hgs.Open(probeOpts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !probe.Loaded() {
+				probe.Close()
+				log.Fatalf("hgs-inspect: %s holds a store but no index (interrupted build?); delete it and rerun", *dataDir)
+			}
+			fmt.Printf("reattached to existing index in %s (no rebuild; dataset/index flags come from the store)\n", *dataDir)
+			inspect(probe)
+			if err := probe.Close(); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+	}
 
 	var events []hgs.Event
 	switch *dataset {
@@ -48,23 +96,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	store, err := hgs.Open(hgs.Options{
-		Machines:             *machines,
-		Replication:          *replication,
-		LocalityPartitioning: *locality,
-		Replicate1Hop:        *replicate,
-		Compress:             *compress,
-		TimespanEvents:       max(len(events)/2, 1),
-		EventlistSize:        max(len(events)/16, 1),
-	})
+	opts.Machines = *machines
+	opts.Replication = *replication
+	opts.TimespanEvents = max(len(events)/2, 1)
+	opts.EventlistSize = max(len(events)/16, 1)
+	store, err := hgs.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("building TGI over %d events (m=%d, r=%d, locality=%v)...\n",
-		len(events), *machines, *replication, *locality)
+	fmt.Printf("building TGI over %d events (m=%d, r=%d, locality=%v, durable=%v)...\n",
+		len(events), *machines, *replication, *locality, store.Durable())
 	if err := store.Load(events); err != nil {
 		log.Fatal(err)
 	}
+	inspect(store)
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// inspect prints index statistics and a few probe queries.
+func inspect(store *hgs.Store) {
 
 	st, err := store.Stats()
 	if err != nil {

@@ -1,0 +1,3 @@
+module hgs
+
+go 1.23

@@ -20,11 +20,40 @@
 //	h, _ := store.NodeHistory(42, t0, t1)   // one node's evolution
 //	a := store.Analytics(4)                 // 4 workers
 //	son, _ := a.SON().Timeslice(hgs.NewInterval(t0, t1)).Fetch()
+//
+// # Durable stores
+//
+// By default the store is in-memory and the index disappears with the
+// process. Setting Options.DataDir switches every storage node to the
+// disk-backed WAL/segment engine (internal/backend/disklog): the index
+// is persisted under that directory, Close flushes it, and a later
+// Open with the same DataDir reattaches to the existing index — no
+// Load required, queries work immediately:
+//
+//	store, _ := hgs.Open(hgs.Options{DataDir: "/var/lib/hgs"})
+//	if !store.Loaded() {                    // first run only
+//		_ = store.Load(events)
+//	}
+//	g, _ := store.Snapshot(t)               // also after a restart
+//	defer store.Close()
+//
+// The cluster shape (Machines, Replication) and the TGI construction
+// parameters are persisted with the data. Reopening adopts both:
+// explicitly set Machines/Replication conflicting with the stored
+// shape are rejected, while TGI construction options (TimespanEvents,
+// Compress, ...) are properties of the stored index and are ignored on
+// reattach in favor of the persisted configuration.
 package hgs
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
+	"hgs/internal/backend"
+	"hgs/internal/backend/disklog"
 	"hgs/internal/core"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
@@ -87,6 +116,11 @@ type Options struct {
 	// SimulateLatency enables the storage latency model (off for unit
 	// tests, on for benchmarks).
 	SimulateLatency bool
+	// DataDir, when non-empty, stores every node's data on disk under
+	// this directory (one disklog engine per node) instead of in
+	// memory. The directory is created as needed; reopening a store
+	// over an existing DataDir reattaches to the persisted index.
+	DataDir string
 
 	// TimespanEvents, EventlistSize, Arity, HorizontalPartitions and
 	// PartitionSize are the TGI construction parameters (§4.4); zero
@@ -141,10 +175,95 @@ type Store struct {
 	cluster *kvstore.Cluster
 	tgi     *core.TGI
 	loaded  bool
+	durable bool
 }
 
-// Open creates an empty store per the options. Call Load to index a
-// history.
+// clusterMeta records the cluster shape a data directory was created
+// with, so a reopen cannot silently re-shard persisted partitions.
+type clusterMeta struct {
+	Machines    int `json:"machines"`
+	Replication int `json:"replication"`
+}
+
+// resolveClusterMeta reconciles the requested shape with the shape
+// stored in dataDir. Explicit options conflicting with a persisted
+// shape are an error; unset options adopt it. needsWrite reports that
+// no shape file exists yet — it is written by writeClusterMeta only
+// after the store opens successfully, so a failed Open cannot stamp a
+// shape into an otherwise empty directory.
+func resolveClusterMeta(dataDir string, opts Options, machines, replication int) (m, r int, needsWrite bool, err error) {
+	path := filepath.Join(dataDir, "cluster.json")
+	blob, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var cm clusterMeta
+		if err := json.Unmarshal(blob, &cm); err != nil {
+			return 0, 0, false, fmt.Errorf("hgs: corrupt %s: %w", path, err)
+		}
+		if cm.Machines < 1 || cm.Replication < 1 {
+			return 0, 0, false, fmt.Errorf("hgs: corrupt %s: invalid shape m=%d r=%d", path, cm.Machines, cm.Replication)
+		}
+		if opts.Machines > 0 && opts.Machines != cm.Machines {
+			return 0, 0, false, fmt.Errorf("hgs: data dir %s was created with %d machines, not %d", dataDir, cm.Machines, opts.Machines)
+		}
+		if opts.Replication > 0 && opts.Replication != cm.Replication {
+			return 0, 0, false, fmt.Errorf("hgs: data dir %s was created with replication %d, not %d", dataDir, cm.Replication, opts.Replication)
+		}
+		return cm.Machines, cm.Replication, false, nil
+	case errors.Is(err, os.ErrNotExist):
+		return machines, replication, true, nil
+	default:
+		return 0, 0, false, fmt.Errorf("hgs: %w", err)
+	}
+}
+
+// writeClusterMeta persists the shape durably: tmp file + fsync +
+// rename + directory fsync, so a crash leaves either no shape file or
+// a complete one — a partial cluster.json would silently re-shard the
+// store on the next open.
+func writeClusterMeta(dataDir string, machines, replication int) error {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return fmt.Errorf("hgs: %w", err)
+	}
+	blob, _ := json.Marshal(clusterMeta{Machines: machines, Replication: replication})
+	path := filepath.Join(dataDir, "cluster.json")
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("hgs: %w", err)
+	}
+	if _, err := f.Write(blob); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("hgs: write %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hgs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("hgs: %w", err)
+	}
+	d, err := os.Open(dataDir)
+	if err != nil {
+		return fmt.Errorf("hgs: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("hgs: sync %s: %w", dataDir, err)
+	}
+	return nil
+}
+
+// Open creates a store per the options. With DataDir unset (or set but
+// empty of data) the store starts empty — call Load to index a history.
+// With DataDir pointing at an existing store's directory, Open
+// reattaches to the persisted index: Loaded reports true and queries
+// can run immediately.
 func Open(opts Options) (*Store, error) {
 	machines := opts.Machines
 	if machines < 1 {
@@ -158,12 +277,38 @@ func Open(opts Options) (*Store, error) {
 	if opts.SimulateLatency {
 		lat = kvstore.DefaultLatency()
 	}
-	cluster := kvstore.NewCluster(kvstore.Config{Machines: machines, Replication: replication, Latency: lat})
 	cfg := opts.coreConfig()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Store{cluster: cluster, tgi: core.New(cluster, cfg)}, nil
+	var factory backend.Factory
+	writeShape := false
+	if opts.DataDir != "" {
+		var err error
+		machines, replication, writeShape, err = resolveClusterMeta(opts.DataDir, opts, machines, replication)
+		if err != nil {
+			return nil, err
+		}
+		factory = disklog.Factory(opts.DataDir, disklog.Options{})
+	}
+	cluster, err := kvstore.Open(kvstore.Config{
+		Machines: machines, Replication: replication, Latency: lat, Backend: factory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tgi, attached, err := core.Attach(cluster, cfg)
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	if writeShape {
+		if err := writeClusterMeta(opts.DataDir, machines, replication); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+	}
+	return &Store{cluster: cluster, tgi: tgi, loaded: attached, durable: opts.DataDir != ""}, nil
 }
 
 // Load builds the index over a complete history. Events must be
@@ -176,7 +321,7 @@ func (s *Store) Load(events []Event) error {
 		return err
 	}
 	s.loaded = true
-	return nil
+	return s.cluster.Flush()
 }
 
 // Append ingests a batch of new events after the indexed history.
@@ -184,8 +329,22 @@ func (s *Store) Append(events []Event) error {
 	if !s.loaded {
 		return s.Load(events)
 	}
-	return s.tgi.Append(events)
+	if err := s.tgi.Append(events); err != nil {
+		return err
+	}
+	return s.cluster.Flush()
 }
+
+// Loaded reports whether the store holds an index — after a Load in
+// this process or by reattaching to a durable DataDir.
+func (s *Store) Loaded() bool { return s.loaded }
+
+// Durable reports whether the store persists to disk (DataDir set).
+func (s *Store) Durable() bool { return s.durable }
+
+// Close flushes and closes the backing storage engines. The store must
+// not be used afterwards.
+func (s *Store) Close() error { return s.cluster.Close() }
 
 // Snapshot retrieves the graph as of time tt.
 func (s *Store) Snapshot(tt Time) (*Graph, error) {

@@ -2,6 +2,8 @@ package hgs
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"hgs/internal/graph"
@@ -153,6 +155,157 @@ func TestAnalyticsSurface(t *testing.T) {
 		if v := wantG.LocalClusteringCoefficient(id); v > best+1e-12 {
 			t.Fatalf("missed higher LCC at node %d: %v > %v", id, v, best)
 		}
+	}
+}
+
+// TestDurableRoundTrip is the acceptance test for the disk backend: a
+// store built with DataDir is closed and reopened (as a new process
+// would) without calling Load, and every query must match both the raw
+// history and a fresh in-memory store.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 500, EdgesPerNode: 3, Seed: 11})
+
+	opts := smallOptions()
+	opts.DataDir = dir
+	durable, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable.Loaded() {
+		t.Fatal("fresh data dir must not report loaded")
+	}
+	if !durable.Durable() {
+		t.Fatal("DataDir store must report durable")
+	}
+	if err := durable.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := durable.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reattach with zero options: shape and TGI config come from disk.
+	reopened, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if !reopened.Loaded() {
+		t.Fatal("reopened store must reattach without Load")
+	}
+	if err := reopened.Load(events); err == nil {
+		t.Fatal("Load on a reattached store must fail")
+	}
+
+	mem, err := Open(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	if l, h, err := reopened.TimeRange(); err != nil || l != lo || h != hi {
+		t.Fatalf("time range after reopen: [%d,%d] err=%v", l, h, err)
+	}
+	for _, tt := range []Time{lo, (lo + hi) / 2, hi} {
+		want := mustGraph(events, tt)
+		got, err := reopened.Snapshot(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("snapshot@%d mismatch after reopen", tt)
+		}
+		fromMem, err := mem.Snapshot(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(fromMem) {
+			t.Fatalf("snapshot@%d: disk and memory backends diverge", tt)
+		}
+	}
+	for _, id := range []NodeID{1, 5, 42} {
+		h1, err := reopened.NodeHistory(id, lo, hi+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := mem.NodeHistory(id, lo, hi+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h1.Events) != len(h2.Events) {
+			t.Fatalf("node %d history: %d vs %d events", id, len(h1.Events), len(h2.Events))
+		}
+		k1, err := reopened.KHop(id, 2, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !k1.Equal(mustGraph(events, hi).KHopSubgraph(id, 2)) {
+			t.Fatalf("k-hop of %d mismatch after reopen", id)
+		}
+	}
+
+	// The reattached store accepts appends, and they persist too.
+	extra := []Event{
+		{Time: hi + 10, Kind: AddNode, Node: 990_001},
+		{Time: hi + 20, Kind: AddNode, Node: 990_002},
+		{Time: hi + 30, Kind: AddEdge, Node: 990_001, Other: 990_002},
+	}
+	if err := reopened.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	g, err := third.Snapshot(hi + 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(990_001, 990_002) {
+		t.Fatal("appended edge lost across second reopen")
+	}
+}
+
+func TestDataDirShapeConflictRejected(t *testing.T) {
+	dir := t.TempDir()
+	// A failed Open must not stamp a shape into an empty directory.
+	if _, err := Open(Options{DataDir: dir, TimespanEvents: 10, EventlistSize: 100}); err == nil {
+		t.Fatal("invalid options must fail")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cluster.json")); err == nil {
+		t.Fatal("failed Open left cluster.json behind")
+	}
+	opts := smallOptions()
+	opts.DataDir = dir
+	store, err := Open(opts) // Machines: 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+	bad := smallOptions()
+	bad.DataDir = dir
+	bad.Machines = 5
+	if _, err := Open(bad); err == nil {
+		t.Fatal("conflicting machine count must be rejected")
+	}
+	// Zero options adopt the stored shape.
+	ok, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Close()
+	if got := ok.Cluster().Machines(); got != 2 {
+		t.Fatalf("adopted machines = %d, want 2", got)
 	}
 }
 

@@ -1,0 +1,69 @@
+// Package backend defines the pluggable storage engine behind each node
+// of the kvstore cluster. The cluster keeps the distribution concerns —
+// placement by partition key, replication, the latency cost model and
+// per-node service serialization — while a Backend owns the actual rows
+// of one node: table-scoped partitions of rows sorted by clustering key.
+//
+// Two engines ship with the repository:
+//
+//   - memtable: the original in-process sorted-slice store (no
+//     durability; what the paper's evaluation simulates), and
+//   - disklog: a durable append-only WAL/segment engine with
+//     CRC-checked records, log-replay recovery and compaction.
+//
+// Future adapters (a real Cassandra client, tiered storage, ...) plug in
+// behind the same interface.
+package backend
+
+// Row is one clustered row inside a partition.
+type Row struct {
+	CKey  string
+	Value []byte
+}
+
+// Backend is the storage engine of a single cluster node. The cluster
+// serializes access per node (one operation at a time under the node's
+// service lock), so implementations do not need to be internally
+// synchronized for cluster use — though disklog is, to keep standalone
+// use safe.
+//
+// Ownership: Put may retain the value slice (the cluster hands each
+// backend an immutable copy); Get and ScanPrefix must return values the
+// caller may freely modify.
+//
+// Error model: the read/write methods mirror the cluster's surface and
+// return no errors. Durable engines record I/O failures internally and
+// surface them at the next Flush or Close; a read hitting a failed
+// device reports not-found. Using an engine after Close is a
+// programming error and may panic.
+type Backend interface {
+	// Get returns the value at (table, pkey, ckey).
+	Get(table, pkey, ckey string) ([]byte, bool)
+	// Put stores value under (table, pkey, ckey), overwriting any
+	// existing row. Write errors of durable engines surface at the next
+	// Flush or Close (WAL semantics).
+	Put(table, pkey, ckey string, value []byte)
+	// ScanPrefix returns the partition's rows whose clustering key
+	// starts with prefix, in clustering order.
+	ScanPrefix(table, pkey, prefix string) []Row
+	// Delete removes a row, reporting whether it existed.
+	Delete(table, pkey, ckey string) bool
+	// DropPartition removes an entire partition.
+	DropPartition(table, pkey string)
+	// PartitionKeys returns the sorted partition keys of a table.
+	PartitionKeys(table string) []string
+	// StoredBytes returns the logical live bytes held by this node
+	// (sum over rows of clustering-key and value lengths).
+	StoredBytes() int64
+	// Flush makes all writes accepted so far durable (fsync for disk
+	// engines; no-op for memory) and reports any pending write error.
+	Flush() error
+	// Close flushes and releases the engine. The backend must not be
+	// used afterwards.
+	Close() error
+}
+
+// Factory creates the backend for cluster node idx. Factories are how a
+// cluster is parameterized over engines: the node index lets durable
+// engines derive a per-node directory.
+type Factory func(node int) (Backend, error)

@@ -1,0 +1,90 @@
+package backend_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hgs/internal/backend"
+	"hgs/internal/backend/disklog"
+	"hgs/internal/backend/memtable"
+)
+
+// TestEngineConformance drives both engines through the same random
+// operation stream and requires identical observable behavior: the
+// memtable is the executable spec, disklog must match it bit for bit.
+func TestEngineConformance(t *testing.T) {
+	mem := memtable.New()
+	disk, err := disklog.Open(t.TempDir(), disklog.Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	engines := []backend.Backend{mem, disk}
+
+	rng := rand.New(rand.NewSource(7))
+	tables := []string{"deltas", "events", "versions"}
+	for op := 0; op < 4000; op++ {
+		table := tables[rng.Intn(len(tables))]
+		pkey := fmt.Sprintf("p%02d", rng.Intn(8))
+		ckey := fmt.Sprintf("c%03d", rng.Intn(40))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // put
+			v := make([]byte, rng.Intn(64))
+			rng.Read(v)
+			for _, e := range engines {
+				e.Put(table, pkey, ckey, append([]byte(nil), v...))
+			}
+		case 5: // delete
+			a := mem.Delete(table, pkey, ckey)
+			b := disk.Delete(table, pkey, ckey)
+			if a != b {
+				t.Fatalf("op %d: Delete(%s,%s,%s) = %v vs %v", op, table, pkey, ckey, a, b)
+			}
+		case 6: // drop (rare)
+			if rng.Intn(10) == 0 {
+				for _, e := range engines {
+					e.DropPartition(table, pkey)
+				}
+			}
+		case 7: // get
+			av, aok := mem.Get(table, pkey, ckey)
+			bv, bok := disk.Get(table, pkey, ckey)
+			if aok != bok || !bytes.Equal(av, bv) {
+				t.Fatalf("op %d: Get(%s,%s,%s) diverged", op, table, pkey, ckey)
+			}
+		case 8: // scan
+			prefix := fmt.Sprintf("c%d", rng.Intn(10))
+			ar := mem.ScanPrefix(table, pkey, prefix)
+			br := disk.ScanPrefix(table, pkey, prefix)
+			if len(ar) != len(br) {
+				t.Fatalf("op %d: scan length %d vs %d", op, len(ar), len(br))
+			}
+			for i := range ar {
+				if ar[i].CKey != br[i].CKey || !bytes.Equal(ar[i].Value, br[i].Value) {
+					t.Fatalf("op %d: scan row %d diverged", op, i)
+				}
+			}
+		case 9: // invariants
+			if a, b := mem.StoredBytes(), disk.StoredBytes(); a != b {
+				t.Fatalf("op %d: stored bytes %d vs %d", op, a, b)
+			}
+		}
+	}
+	for _, table := range tables {
+		a := mem.PartitionKeys(table)
+		b := disk.PartitionKeys(table)
+		if len(a) != len(b) {
+			t.Fatalf("partition keys of %s: %v vs %v", table, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("partition keys of %s: %v vs %v", table, a, b)
+			}
+		}
+	}
+	if err := disk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,837 @@
+// Package disklog is a durable storage engine: an append-only log of
+// length-prefixed, CRC32-checksummed records split across numbered
+// segment files, with an in-memory index (table → partition → sorted
+// clustering keys → value location) rebuilt on open by replaying the
+// log. Writes append a record and go to the OS immediately; fsync is
+// batched — automatic every Options.SyncBytes of appended data and
+// unconditional on Flush/Close (WAL group-commit semantics). A torn
+// final record, the signature of a crash mid-write, is detected by the
+// checksum and truncated away on open. Overwritten and deleted rows
+// leave dead bytes behind; a triggered compaction rewrites the live
+// rows into fresh segments and deletes the old files once the dead
+// volume passes a threshold.
+//
+// The engine follows the same interface as the in-memory memtable, so a
+// kvstore cluster can run each node on disk and a store can be closed
+// and reopened by a new process without rebuilding the index.
+package disklog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"hgs/internal/backend"
+)
+
+// Record operations.
+const (
+	opPut  byte = 1
+	opDel  byte = 2
+	opDrop byte = 3
+)
+
+// recHeaderLen is the fixed record prelude: uint32 payload length +
+// uint32 IEEE CRC32 of the payload, both little-endian.
+const recHeaderLen = 8
+
+// maxRecordBytes bounds a decoded payload length so that a corrupt
+// length prefix cannot drive a giant allocation during replay.
+const maxRecordBytes = 1 << 30
+
+// ErrCorrupt reports a record that failed validation during replay in a
+// position where recovery-by-truncation is not safe (a non-final
+// segment: bytes after it are acknowledged data, not a torn tail).
+var ErrCorrupt = errors.New("disklog: corrupt record in non-final segment")
+
+// Options tune the engine. Zero values take the defaults.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 64 MiB).
+	SegmentBytes int64
+	// SyncBytes fsyncs the active segment after this many appended
+	// bytes (default 4 MiB). Flush and Close always fsync.
+	SyncBytes int64
+	// CompactMinDead is the dead-byte floor below which triggered
+	// compaction never runs (default 1 MiB). Compaction triggers after
+	// a write once dead bytes exceed both this floor and the live
+	// bytes.
+	CompactMinDead int64
+	// DisableAutoCompact turns triggered compaction off; Compact can
+	// still be called explicitly.
+	DisableAutoCompact bool
+}
+
+func (o *Options) normalize() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncBytes <= 0 {
+		o.SyncBytes = 4 << 20
+	}
+	if o.CompactMinDead <= 0 {
+		o.CompactMinDead = 1 << 20
+	}
+}
+
+// segment is one log file.
+type segment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64
+}
+
+// idxRow locates one live row's value inside a segment.
+type idxRow struct {
+	ckey string
+	seg  *segment
+	off  int64 // offset of the value bytes within seg
+	vlen int
+	rec  int64 // full record length (header + payload), for dead-byte accounting
+}
+
+// partition holds index rows sorted by clustering key.
+type partition struct {
+	rows []idxRow
+}
+
+func (p *partition) find(ckey string) (int, bool) {
+	i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].ckey >= ckey })
+	return i, i < len(p.rows) && p.rows[i].ckey == ckey
+}
+
+// Store is one node's disk engine. All methods are safe for concurrent
+// use (a single mutex serializes them, matching the single-disk node
+// the cluster models).
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segs []*segment // ascending id; the last one is active for appends
+
+	tables map[string]map[string]*partition
+	stored int64 // logical live bytes: sum of len(ckey)+len(value)
+	live   int64 // on-disk bytes of records that are still the latest version
+	dead   int64 // on-disk bytes superseded by later records (compaction reclaims)
+
+	unsynced int64 // bytes appended since the last fsync
+	werr     error // sticky write error, surfaced by Flush/Close
+	closed   bool
+
+	enc []byte // scratch record-encode buffer
+}
+
+// Open opens (or creates) the engine rooted at dir, replaying the log
+// to rebuild the index. A torn record at the tail of the final segment
+// is truncated away; corruption anywhere else fails the open.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		tables: make(map[string]map[string]*partition),
+	}
+	ids, err := listSegmentIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		seg, err := s.openSegment(id)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	for i, seg := range s.segs {
+		if err := s.replay(seg, i == len(s.segs)-1); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	if len(s.segs) == 0 {
+		if err := s.addSegment(1); err != nil {
+			s.closeFiles() // addSegment may have opened the file before failing
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Factory builds disklog engines, one directory per cluster node,
+// under root.
+func Factory(root string, opts Options) backend.Factory {
+	return func(node int) (backend.Backend, error) {
+		return Open(filepath.Join(root, fmt.Sprintf("node-%03d", node)), opts)
+	}
+}
+
+func segmentName(id int) string { return fmt.Sprintf("seg-%08d.log", id) }
+
+func listSegmentIDs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, "seg-%08d.log", &id); err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+func (s *Store) openSegment(id int) (*segment, error) {
+	path := filepath.Join(s.dir, segmentName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disklog: %w", err)
+	}
+	return &segment{id: id, path: path, f: f, size: st.Size()}, nil
+}
+
+// addSegment creates an empty segment and makes it the active one.
+func (s *Store) addSegment(id int) error {
+	seg, err := s.openSegment(id)
+	if err != nil {
+		return err
+	}
+	s.segs = append(s.segs, seg)
+	return s.syncDir()
+}
+
+// syncDir fsyncs the engine directory so segment creation/removal
+// survives a crash.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("disklog: sync dir: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+}
+
+// --- record encoding -------------------------------------------------
+//
+// record  := len:u32le crc:u32le payload
+// payload := op:byte str(table) str(pkey) [str(ckey)] [str(value)]
+// str     := uvarint(len) bytes
+//
+// ckey is present for put and delete; value only for put. The uvarint
+// string framing reuses internal/codec's wire idiom.
+
+func appendStr(buf []byte, v string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(v)))
+	buf = append(buf, tmp[:n]...)
+	return append(buf, v...)
+}
+
+// encodeRecord builds a full record in s.enc and returns it along with
+// the offset of the value bytes within the record (put only).
+func (s *Store) encodeRecord(op byte, table, pkey, ckey string, value []byte) (rec []byte, valOff int) {
+	payload := s.enc[:0]
+	payload = append(payload, op)
+	payload = appendStr(payload, table)
+	payload = appendStr(payload, pkey)
+	if op != opDrop {
+		payload = appendStr(payload, ckey)
+	}
+	if op == opPut {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], uint64(len(value)))
+		payload = append(payload, tmp[:n]...)
+		valOff = recHeaderLen + len(payload)
+		payload = append(payload, value...)
+	}
+	// Prepend the header by building into a fresh prefix of the scratch
+	// buffer; payload already lives there, so shift via copy into rec.
+	rec = make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[recHeaderLen:], payload)
+	s.enc = payload // keep the grown buffer for reuse
+	return rec, valOff
+}
+
+// appendRecord writes rec to the active segment (rotating first if it
+// is full) and returns the segment and the record's start offset.
+// Write failures poison the engine; they surface on Flush/Close.
+func (s *Store) appendRecord(rec []byte) (*segment, int64) {
+	active := s.segs[len(s.segs)-1]
+	if active.size > 0 && active.size+int64(len(rec)) > s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.werr = errors.Join(s.werr, err)
+			return active, active.size
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	off := active.size
+	if _, err := active.f.WriteAt(rec, off); err != nil {
+		s.werr = errors.Join(s.werr, fmt.Errorf("disklog: append: %w", err))
+		return active, off
+	}
+	active.size += int64(len(rec))
+	s.unsynced += int64(len(rec))
+	if s.unsynced >= s.opts.SyncBytes {
+		if err := active.f.Sync(); err != nil {
+			s.werr = errors.Join(s.werr, fmt.Errorf("disklog: sync: %w", err))
+		}
+		s.unsynced = 0
+	}
+	return active, off
+}
+
+// rotateLocked fsyncs the active segment and starts the next one.
+func (s *Store) rotateLocked() error {
+	active := s.segs[len(s.segs)-1]
+	if err := active.f.Sync(); err != nil {
+		return fmt.Errorf("disklog: sync before rotate: %w", err)
+	}
+	s.unsynced = 0
+	return s.addSegment(active.id + 1)
+}
+
+// --- replay ----------------------------------------------------------
+
+type payloadReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *payloadReader) str() (string, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return "", fmt.Errorf("bad string length")
+	}
+	r.pos += n
+	if uint64(len(r.data)-r.pos) < v {
+		return "", fmt.Errorf("string exceeds payload")
+	}
+	out := string(r.data[r.pos : r.pos+int(v)])
+	r.pos += int(v)
+	return out, nil
+}
+
+// replay scans one segment and applies its records to the index. final
+// marks the last segment: trailing corruption there is a torn write
+// from a crash and is truncated away; anywhere else it is fatal.
+func (s *Store) replay(seg *segment, final bool) error {
+	var (
+		off    int64
+		header [recHeaderLen]byte
+	)
+	corruptAt := int64(-1)
+	for off < seg.size {
+		if seg.size-off < recHeaderLen {
+			corruptAt = off
+			break
+		}
+		if _, err := seg.f.ReadAt(header[:], off); err != nil {
+			return fmt.Errorf("disklog: replay %s: %w", seg.path, err)
+		}
+		plen := int64(binary.LittleEndian.Uint32(header[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if plen > maxRecordBytes || off+recHeaderLen+plen > seg.size {
+			corruptAt = off
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := seg.f.ReadAt(payload, off+recHeaderLen); err != nil {
+			return fmt.Errorf("disklog: replay %s: %w", seg.path, err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			corruptAt = off
+			break
+		}
+		if err := s.applyPayload(seg, off, payload); err != nil {
+			// A CRC-valid record that fails to decode is not a torn
+			// write (those cannot pass the checksum) — it is version
+			// skew or a writer bug, and truncating would silently
+			// delete acknowledged data. Fail the open instead.
+			return fmt.Errorf("disklog: undecodable record in %s at offset %d: %w", seg.path, off, err)
+		}
+		off += recHeaderLen + plen
+	}
+	if corruptAt < 0 {
+		return nil
+	}
+	if !final {
+		return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, seg.path, corruptAt)
+	}
+	if err := seg.f.Truncate(corruptAt); err != nil {
+		return fmt.Errorf("disklog: truncate torn tail of %s: %w", seg.path, err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		return fmt.Errorf("disklog: %w", err)
+	}
+	seg.size = corruptAt
+	return nil
+}
+
+// applyPayload decodes one record payload and applies it to the index.
+func (s *Store) applyPayload(seg *segment, recOff int64, payload []byte) error {
+	if len(payload) < 1 {
+		return fmt.Errorf("empty payload")
+	}
+	r := &payloadReader{data: payload, pos: 1}
+	op := payload[0]
+	table, err := r.str()
+	if err != nil {
+		return err
+	}
+	pkey, err := r.str()
+	if err != nil {
+		return err
+	}
+	recLen := int64(recHeaderLen + len(payload))
+	switch op {
+	case opPut:
+		ckey, err := r.str()
+		if err != nil {
+			return err
+		}
+		vlen, n := binary.Uvarint(r.data[r.pos:])
+		if n <= 0 || uint64(len(r.data)-r.pos-n) < vlen {
+			return fmt.Errorf("bad value length")
+		}
+		valOff := recOff + recHeaderLen + int64(r.pos+n)
+		s.applyPut(table, pkey, idxRow{
+			ckey: ckey, seg: seg, off: valOff, vlen: int(vlen), rec: recLen,
+		})
+	case opDel:
+		ckey, err := r.str()
+		if err != nil {
+			return err
+		}
+		s.applyDelete(table, pkey, ckey)
+		s.dead += recLen // the tombstone itself is reclaimable
+	case opDrop:
+		s.applyDrop(table, pkey)
+		s.dead += recLen
+	default:
+		return fmt.Errorf("unknown op 0x%02x", op)
+	}
+	return nil
+}
+
+func (s *Store) partitionFor(table, pkey string, create bool) *partition {
+	t, ok := s.tables[table]
+	if !ok {
+		if !create {
+			return nil
+		}
+		t = make(map[string]*partition)
+		s.tables[table] = t
+	}
+	p, ok := t[pkey]
+	if !ok {
+		if !create {
+			return nil
+		}
+		p = &partition{}
+		t[pkey] = p
+	}
+	return p
+}
+
+func (s *Store) applyPut(table, pkey string, row idxRow) {
+	p := s.partitionFor(table, pkey, true)
+	i, ok := p.find(row.ckey)
+	if ok {
+		old := p.rows[i]
+		s.stored += int64(row.vlen - old.vlen)
+		s.live += row.rec - old.rec
+		s.dead += old.rec
+		p.rows[i] = row
+		return
+	}
+	p.rows = append(p.rows, idxRow{})
+	copy(p.rows[i+1:], p.rows[i:])
+	p.rows[i] = row
+	s.stored += int64(row.vlen + len(row.ckey))
+	s.live += row.rec
+}
+
+func (s *Store) applyDelete(table, pkey, ckey string) bool {
+	p := s.partitionFor(table, pkey, false)
+	if p == nil {
+		return false
+	}
+	i, ok := p.find(ckey)
+	if !ok {
+		return false
+	}
+	s.stored -= int64(p.rows[i].vlen + len(ckey))
+	s.live -= p.rows[i].rec
+	s.dead += p.rows[i].rec
+	p.rows = append(p.rows[:i], p.rows[i+1:]...)
+	return true
+}
+
+func (s *Store) applyDrop(table, pkey string) bool {
+	t, ok := s.tables[table]
+	if !ok {
+		return false
+	}
+	p, ok := t[pkey]
+	if !ok {
+		return false
+	}
+	for _, r := range p.rows {
+		s.stored -= int64(r.vlen + len(r.ckey))
+		s.live -= r.rec
+		s.dead += r.rec
+	}
+	delete(t, pkey)
+	return true
+}
+
+// --- Backend interface ----------------------------------------------
+
+// mustOpenLocked panics on use after Close: the files are gone, so
+// continuing would silently serve empty results — indistinguishable
+// from data loss.
+func (s *Store) mustOpenLocked() {
+	if s.closed {
+		panic("disklog: use after Close")
+	}
+}
+
+// Put appends a put record and updates the index. Triggered compaction
+// may run before returning.
+func (s *Store) Put(table, pkey, ckey string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	rec, valOff := s.encodeRecord(opPut, table, pkey, ckey, value)
+	seg, off := s.appendRecord(rec)
+	s.applyPut(table, pkey, idxRow{
+		ckey: ckey, seg: seg, off: off + int64(valOff), vlen: len(value), rec: int64(len(rec)),
+	})
+	s.maybeCompactLocked()
+}
+
+// Get reads the row's value back from its segment.
+func (s *Store) Get(table, pkey, ckey string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	p := s.partitionFor(table, pkey, false)
+	if p == nil {
+		return nil, false
+	}
+	i, ok := p.find(ckey)
+	if !ok {
+		return nil, false
+	}
+	v, err := s.readValue(p.rows[i])
+	if err != nil {
+		s.werr = errors.Join(s.werr, err)
+		return nil, false
+	}
+	return v, true
+}
+
+func (s *Store) readValue(row idxRow) ([]byte, error) {
+	out := make([]byte, row.vlen)
+	if row.vlen == 0 {
+		return out, nil
+	}
+	if _, err := row.seg.f.ReadAt(out, row.off); err != nil {
+		return nil, fmt.Errorf("disklog: read %s@%d: %w", row.seg.path, row.off, err)
+	}
+	return out, nil
+}
+
+// ScanPrefix returns the partition's rows with clustering keys starting
+// with prefix, in clustering order.
+func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	p := s.partitionFor(table, pkey, false)
+	if p == nil {
+		return nil
+	}
+	var out []backend.Row
+	i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].ckey >= prefix })
+	for ; i < len(p.rows) && strings.HasPrefix(p.rows[i].ckey, prefix); i++ {
+		v, err := s.readValue(p.rows[i])
+		if err != nil {
+			s.werr = errors.Join(s.werr, err)
+			continue
+		}
+		out = append(out, backend.Row{CKey: p.rows[i].ckey, Value: v})
+	}
+	return out
+}
+
+// Delete appends a tombstone record and removes the row from the index.
+func (s *Store) Delete(table, pkey, ckey string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	p := s.partitionFor(table, pkey, false)
+	if p == nil {
+		return false
+	}
+	if _, ok := p.find(ckey); !ok {
+		return false
+	}
+	rec, _ := s.encodeRecord(opDel, table, pkey, ckey, nil)
+	s.appendRecord(rec)
+	s.applyDelete(table, pkey, ckey)
+	s.dead += int64(len(rec))
+	s.maybeCompactLocked()
+	return true
+}
+
+// DropPartition appends a drop record and removes the partition.
+func (s *Store) DropPartition(table, pkey string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	if t, ok := s.tables[table]; !ok {
+		return
+	} else if _, ok := t[pkey]; !ok {
+		return
+	}
+	rec, _ := s.encodeRecord(opDrop, table, pkey, "", nil)
+	s.appendRecord(rec)
+	s.applyDrop(table, pkey)
+	s.dead += int64(len(rec))
+	s.maybeCompactLocked()
+}
+
+// PartitionKeys returns the sorted partition keys of a table.
+func (s *Store) PartitionKeys(table string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(t))
+	for pk := range t {
+		out = append(out, pk)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StoredBytes returns the logical live bytes held by this engine.
+func (s *Store) StoredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stored
+}
+
+// DeadBytes returns the on-disk bytes reclaimable by compaction.
+func (s *Store) DeadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// Segments returns the number of log files (inspection/testing).
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// Flush fsyncs the active segment and reports any sticky write error.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.closed {
+		return errors.Join(s.werr, errors.New("disklog: store closed"))
+	}
+	if s.unsynced > 0 {
+		if err := s.segs[len(s.segs)-1].f.Sync(); err != nil {
+			s.werr = errors.Join(s.werr, fmt.Errorf("disklog: sync: %w", err))
+		}
+		s.unsynced = 0
+	}
+	return s.werr
+}
+
+// Close flushes and closes every segment file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.werr
+	}
+	err := s.flushLocked()
+	s.closeFiles()
+	s.closed = true
+	return err
+}
+
+// --- compaction ------------------------------------------------------
+
+// maybeCompactLocked runs a compaction when the reclaimable volume
+// exceeds both the configured floor and the live volume (i.e. the log
+// is more than half garbage).
+func (s *Store) maybeCompactLocked() {
+	if s.opts.DisableAutoCompact || s.werr != nil {
+		return
+	}
+	if s.dead < s.opts.CompactMinDead || s.dead <= s.live {
+		return
+	}
+	if err := s.compactLocked(); err != nil {
+		s.werr = errors.Join(s.werr, err)
+	}
+}
+
+// Compact rewrites all live rows into fresh segments and deletes the
+// old files. Crash-safe: the compacted segments carry higher ids than
+// the ones they replace, so a crash between writing them and removing
+// the old files replays both — old records first, then the compacted
+// live rows — converging on the same state.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("disklog: store closed")
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	old := s.segs
+	nextID := old[len(old)-1].id + 1
+
+	// abort removes any partially-written compacted segments and
+	// restores the pre-compaction state. Leaving a partial higher-id
+	// segment behind would be corruption: it replays after the old
+	// segments and its stale rows would shadow post-failure writes.
+	abort := func() {
+		s.removeSegments(s.segs)
+		s.segs = old
+	}
+
+	// Write every live row, in deterministic order, into fresh segments.
+	s.segs = nil
+	if err := s.addSegment(nextID); err != nil {
+		abort()
+		return err
+	}
+	var (
+		newLive   int64
+		newStored int64
+		relocated = make(map[string]map[string]*partition)
+	)
+	tables := make([]string, 0, len(s.tables))
+	for tbl := range s.tables {
+		tables = append(tables, tbl)
+	}
+	sort.Strings(tables)
+	for _, tbl := range tables {
+		pkeys := make([]string, 0, len(s.tables[tbl]))
+		for pk := range s.tables[tbl] {
+			pkeys = append(pkeys, pk)
+		}
+		sort.Strings(pkeys)
+		nt := make(map[string]*partition, len(pkeys))
+		relocated[tbl] = nt
+		for _, pk := range pkeys {
+			oldPart := s.tables[tbl][pk]
+			np := &partition{rows: make([]idxRow, 0, len(oldPart.rows))}
+			nt[pk] = np
+			for _, row := range oldPart.rows {
+				v, err := s.readValue(row)
+				if err != nil {
+					abort()
+					return fmt.Errorf("disklog: compact: %w", err)
+				}
+				rec, valOff := s.encodeRecord(opPut, tbl, pk, row.ckey, v)
+				seg, off := s.appendRecord(rec)
+				if s.werr != nil {
+					abort()
+					return s.werr
+				}
+				np.rows = append(np.rows, idxRow{
+					ckey: row.ckey, seg: seg, off: off + int64(valOff),
+					vlen: row.vlen, rec: int64(len(rec)),
+				})
+				newLive += int64(len(rec))
+				newStored += int64(row.vlen + len(row.ckey))
+			}
+		}
+	}
+	if err := s.segs[len(s.segs)-1].f.Sync(); err != nil {
+		abort()
+		return fmt.Errorf("disklog: compact sync: %w", err)
+	}
+	s.unsynced = 0
+
+	// Point of no return: adopt the new index, then delete old files.
+	s.tables = relocated
+	s.stored = newStored
+	s.live = newLive
+	s.dead = 0
+	s.removeSegments(old)
+	return s.syncDir()
+}
+
+// removeSegments closes and deletes log files.
+func (s *Store) removeSegments(segs []*segment) {
+	for _, seg := range segs {
+		seg.f.Close()
+		os.Remove(seg.path)
+	}
+}
+
+// String describes the engine state (fmt.Stringer, for inspection).
+func (s *Store) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("disklog(%s: %d segments, %dB live, %dB dead)",
+		s.dir, len(s.segs), s.live, s.dead)
+}
+
+var _ backend.Backend = (*Store)(nil)
+var _ io.Closer = (*Store)(nil)

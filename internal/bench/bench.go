@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"hgs/internal/backend/disklog"
 	"hgs/internal/core"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
@@ -140,6 +143,33 @@ func sum(xs []int) int {
 	return t
 }
 
+// --- storage backend selection -----------------------------------------
+
+// dataDir, when set, runs every benchmark cluster on the durable disklog
+// backend under this directory (one subdirectory per cluster) so memory
+// and disk engines can be compared on identical workloads.
+var dataDir atomic.Pointer[string]
+
+// SetDataDir switches benchmark clusters to the disk backend rooted at
+// dir (empty string returns to the in-memory engine). Call before
+// running experiments; cmd/hgs-bench wires this to its -data flag.
+func SetDataDir(dir string) { dataDir.Store(&dir) }
+
+// newCluster builds a store cluster for the experiment identified by
+// key, on disk when SetDataDir is active.
+func newCluster(key string, machines, replication int) *kvstore.Cluster {
+	cfg := kvstore.Config{Machines: machines, Replication: replication}
+	if d := dataDir.Load(); d != nil && *d != "" {
+		sub := filepath.Join(*d, strings.NewReplacer("/", "_", " ", "_").Replace(key))
+		cfg.Backend = disklog.Factory(sub, disklog.Options{})
+	}
+	c, err := kvstore.Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: open cluster %s: %v", key, err))
+	}
+	return c
+}
+
 // --- dataset & index caching -------------------------------------------
 
 // Building a TGI over 10^5 events takes seconds; experiments share
@@ -168,10 +198,16 @@ func cached[T any](key string, build func() T) T {
 	return e.val.(T)
 }
 
-// ResetCache drops all cached datasets and indexes (used by tests).
+// ResetCache drops all cached datasets and indexes (used by tests),
+// closing the storage engines of cached clusters.
 func ResetCache() {
 	cache.Lock()
 	defer cache.Unlock()
+	for _, e := range cache.data {
+		if bi, ok := e.val.(*builtIndex); ok && bi != nil {
+			bi.Cluster.Close()
+		}
+	}
 	cache.data = make(map[string]*cacheEntry)
 }
 
@@ -247,7 +283,7 @@ type builtIndex struct {
 // build and enabled for measurements by the callers.
 func buildIndex(key string, events []graph.Event, machines, replication int, mutate func(*core.Config)) *builtIndex {
 	return cached("idx/"+key, func() *builtIndex {
-		cluster := kvstore.NewCluster(kvstore.Config{Machines: machines, Replication: replication})
+		cluster := newCluster("idx/"+key, machines, replication)
 		cfg := benchTGIConfig(len(events))
 		if mutate != nil {
 			mutate(&cfg)

@@ -49,6 +49,16 @@ func checkResult(t *testing.T, r *Result, wantSeries int) {
 	}
 }
 
+// skipIfShort keeps `go test -short ./...` (the tier-1 gate) to
+// seconds: each smoke test builds multi-index TGIs and runs the full
+// latency model, ~30s combined at tiny scale.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("bench smoke test skipped in -short mode")
+	}
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	ResetCache()
@@ -56,6 +66,7 @@ func TestMain(m *testing.M) {
 }
 
 func TestFig11Smoke(t *testing.T) {
+	skipIfShort(t)
 	r := Fig11(tinyScale())
 	checkResult(t, r, 6)
 	// Parallel fetch must not be slower than serial by a large factor on
@@ -67,21 +78,27 @@ func TestFig11Smoke(t *testing.T) {
 	}
 }
 
-func TestFig12Smoke(t *testing.T) { checkResult(t, Fig12(tinyScale()), 12) }
+func TestFig12Smoke(t *testing.T) {
+	skipIfShort(t)
+	checkResult(t, Fig12(tinyScale()), 12)
+}
 
 func TestFig13Smoke(t *testing.T) {
+	skipIfShort(t)
 	checkResult(t, Fig13a(tinyScale()), 2)
 	checkResult(t, Fig13b(tinyScale()), 3)
 	checkResult(t, Fig13c(tinyScale()), 1)
 }
 
 func TestFig14Smoke(t *testing.T) {
+	skipIfShort(t)
 	checkResult(t, Fig14a(tinyScale()), 3)
 	checkResult(t, Fig14b(tinyScale()), 3)
 	checkResult(t, Fig14c(tinyScale()), 1)
 }
 
 func TestFig15Smoke(t *testing.T) {
+	skipIfShort(t)
 	a := Fig15a(tinyScale())
 	checkResult(t, a, 3)
 	// Shape: locality ("maxflow") partitioning must beat random for
@@ -101,9 +118,13 @@ func TestFig15Smoke(t *testing.T) {
 	checkResult(t, Fig15c(tinyScale()), 3)
 }
 
-func TestFig16Smoke(t *testing.T) { checkResult(t, Fig16(tinyScale()), 2) }
+func TestFig16Smoke(t *testing.T) {
+	skipIfShort(t)
+	checkResult(t, Fig16(tinyScale()), 2)
+}
 
 func TestFig17Smoke(t *testing.T) {
+	skipIfShort(t)
 	r := Fig17(tinyScale())
 	checkResult(t, r, 2)
 	// Shape: incremental computation must beat per-version recomputation
@@ -116,6 +137,7 @@ func TestFig17Smoke(t *testing.T) {
 }
 
 func TestTable1Smoke(t *testing.T) {
+	skipIfShort(t)
 	r := Table1(tinyScale())
 	if len(r.TableRows) < 12 { // 6 analytical + header + 6 measured
 		t.Fatalf("table rows = %d", len(r.TableRows))
@@ -128,6 +150,7 @@ func TestTable1Smoke(t *testing.T) {
 }
 
 func TestAblationsSmoke(t *testing.T) {
+	skipIfShort(t)
 	checkResult(t, AblationArity(tinyScale()), 1)
 	r := AblationVersionChains(tinyScale())
 	checkResult(t, r, 2)

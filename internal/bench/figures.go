@@ -535,7 +535,7 @@ func Table1(sc Scale) *Result {
 
 	// Measured reads on a small history (Copy stores O(G²)).
 	small := workload.Wikipedia(workload.WikiConfig{Nodes: 600, EdgesPerNode: 3, Seed: 11})
-	mk := func() *kvstore.Cluster { return kvstore.NewCluster(kvstore.Config{Machines: 2, Replication: 1}) }
+	mk := func(name string) *kvstore.Cluster { return newCluster("table1/"+name, 2, 1) }
 	tgiCfg := core.DefaultConfig()
 	tgiCfg.TimespanEvents = len(small)
 	tgiCfg.EventlistSize = max(len(small)/10, 1)
@@ -551,14 +551,14 @@ func Table1(sc Scale) *Result {
 	}
 	chunk := max(len(small)/10, 1)
 	indexes := []entryT{
-		withCluster("Log", mk(), func(c *kvstore.Cluster) baseline.Index { return baseline.NewLogIndex(c, chunk) }),
-		withCluster("Copy", mk(), func(c *kvstore.Cluster) baseline.Index { return baseline.NewCopyIndex(c) }),
-		withCluster("Copy+Log", mk(), func(c *kvstore.Cluster) baseline.Index {
+		withCluster("Log", mk("log"), func(c *kvstore.Cluster) baseline.Index { return baseline.NewLogIndex(c, chunk) }),
+		withCluster("Copy", mk("copy"), func(c *kvstore.Cluster) baseline.Index { return baseline.NewCopyIndex(c) }),
+		withCluster("Copy+Log", mk("copylog"), func(c *kvstore.Cluster) baseline.Index {
 			return baseline.NewCopyLogIndex(c, max(len(small)/4, 1), chunk)
 		}),
-		withCluster("Node Centric", mk(), func(c *kvstore.Cluster) baseline.Index { return baseline.NewNodeCentricIndex(c, 50) }),
-		withCluster("DeltaGraph", mk(), func(c *kvstore.Cluster) baseline.Index { return baseline.NewDeltaGraph(c, chunk) }),
-		withCluster("TGI", mk(), func(c *kvstore.Cluster) baseline.Index { return baseline.NewTGIAdapter("tgi", c, tgiCfg) }),
+		withCluster("Node Centric", mk("nodecentric"), func(c *kvstore.Cluster) baseline.Index { return baseline.NewNodeCentricIndex(c, 50) }),
+		withCluster("DeltaGraph", mk("deltagraph"), func(c *kvstore.Cluster) baseline.Index { return baseline.NewDeltaGraph(c, chunk) }),
+		withCluster("TGI", mk("tgi"), func(c *kvstore.Cluster) baseline.Index { return baseline.NewTGIAdapter("tgi", c, tgiCfg) }),
 	}
 	lo, hi := small[0].Time, small[len(small)-1].Time
 	probe := (lo + hi) / 2
@@ -588,6 +588,11 @@ func Table1(sc Scale) *Result {
 			fmt.Sprintf("%d", nodeReads),
 			fmt.Sprintf("%d", verReads),
 		})
+	}
+	// These clusters are not cached; release their engines (file
+	// handles, when the disk backend is active).
+	for _, entry := range indexes {
+		entry.cluster.Close()
 	}
 	res.Elapsed = time.Since(start)
 	return res

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"hgs/internal/codec"
@@ -41,6 +42,32 @@ func Build(store *kvstore.Cluster, cfg Config, events []graph.Event) (*TGI, erro
 		return nil, err
 	}
 	return t, nil
+}
+
+// Attach opens an index handle over a store that may already contain a
+// persisted index (a durable backend reopened by a new process). When
+// graph metadata is found, the configuration it was built with replaces
+// cfg — construction parameters are properties of the stored index, not
+// of the process reading it — and attached reports true; queries can
+// then run without a rebuild. An empty store attaches nothing and the
+// handle behaves exactly like New's.
+func Attach(store *kvstore.Cluster, cfg Config) (*TGI, bool, error) {
+	t := New(store, cfg)
+	blob, ok := store.Get(TableGraph, "graph", "info")
+	if !ok {
+		return t, false, nil
+	}
+	gm := &GraphMeta{}
+	if err := json.Unmarshal(blob, gm); err != nil {
+		return nil, false, fmt.Errorf("core: decode persisted graph metadata: %w", err)
+	}
+	t.cfg = gm.Config
+	t.cfg.normalize()
+	t.cdc = codec.Codec{Compress: t.cfg.Compress}
+	t.meta.mu.Lock()
+	t.meta.graph = gm
+	t.meta.mu.Unlock()
+	return t, true, nil
 }
 
 // Config returns the index configuration.

@@ -1,4 +1,4 @@
-// Package kvstore simulates the distributed key-value store that backs the
+// Package kvstore models the distributed key-value store that backs the
 // Temporal Graph Index. The paper uses an Apache Cassandra cluster; this
 // package reproduces the properties its evaluation depends on:
 //
@@ -11,17 +11,23 @@
 //     fetch speedups and saturation of Figures 11–12,
 //   - read/write/byte counters for the cost accounting of Table 1.
 //
-// The store is in-process and safe for concurrent use.
+// Each node's actual row storage is a pluggable backend.Backend: the
+// default in-memory memtable keeps the store a pure simulation, while a
+// durable engine (backend/disklog) makes the cluster survive process
+// restarts. The cluster is in-process and safe for concurrent use.
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hgs/internal/backend"
+	"hgs/internal/backend/memtable"
 )
 
 // LatencyModel charges simulated service time per storage operation.
@@ -49,7 +55,7 @@ func (lm LatencyModel) Cost(n int) time.Duration {
 	return lm.BaseOp + time.Duration(n)*lm.PerKB/1024
 }
 
-// Config describes a simulated cluster.
+// Config describes a cluster.
 type Config struct {
 	// Machines is the number of storage nodes (paper parameter m).
 	Machines int
@@ -57,6 +63,9 @@ type Config struct {
 	Replication int
 	// Latency is the per-node service cost model.
 	Latency LatencyModel
+	// Backend creates the storage engine of each node. Nil uses the
+	// in-memory memtable engine.
+	Backend backend.Factory
 }
 
 // Validate normalizes the configuration.
@@ -81,35 +90,18 @@ type Metrics struct {
 }
 
 // Row is one clustered row inside a partition.
-type Row struct {
-	CKey  string
-	Value []byte
-}
+type Row = backend.Row
 
-// partition holds rows sorted by clustering key.
-type partition struct {
-	rows []Row
-}
-
-func (p *partition) find(ckey string) (int, bool) {
-	i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].CKey >= ckey })
-	return i, i < len(p.rows) && p.rows[i].CKey == ckey
-}
-
-// storageNode is one simulated machine. A mutex serializes service,
-// modelling a single-disk server; the simulated service time is charged
-// while the lock is held so concurrent clients queue exactly as they
-// would on a busy node.
+// storageNode is one machine. A mutex serializes service, modelling a
+// single-disk server; the simulated service time is charged while the
+// lock is held so concurrent clients queue exactly as they would on a
+// busy node.
 type storageNode struct {
-	mu     sync.Mutex
-	tables map[string]map[string]*partition
+	mu sync.Mutex
+	be backend.Backend
 }
 
-func newStorageNode() *storageNode {
-	return &storageNode{tables: make(map[string]map[string]*partition)}
-}
-
-// Cluster is the simulated distributed store.
+// Cluster is the distributed store.
 type Cluster struct {
 	cfg     Config
 	nodes   []*storageNode
@@ -121,18 +113,42 @@ type Cluster struct {
 	writes       atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
-	storedBytes  atomic.Int64
 }
 
-// NewCluster builds a cluster per the configuration.
-func NewCluster(cfg Config) *Cluster {
+// Open builds a cluster per the configuration, creating each node's
+// storage engine through cfg.Backend (memtable when nil). On factory
+// failure, already-created engines are closed.
+func Open(cfg Config) (*Cluster, error) {
 	cfg.normalize()
+	factory := cfg.Backend
+	if factory == nil {
+		factory = memtable.Factory()
+	}
 	c := &Cluster{cfg: cfg, nodes: make([]*storageNode, cfg.Machines)}
 	for i := range c.nodes {
-		c.nodes[i] = newStorageNode()
+		be, err := factory(i)
+		if err != nil {
+			for _, n := range c.nodes[:i] {
+				n.be.Close()
+			}
+			return nil, fmt.Errorf("kvstore: open node %d: %w", i, err)
+		}
+		c.nodes[i] = &storageNode{be: be}
 	}
 	lm := cfg.Latency
 	c.latency.Store(&lm)
+	return c, nil
+}
+
+// NewCluster builds a cluster per the configuration, panicking if a
+// node's storage engine cannot be created. Use Open for fallible
+// (durable) backends; with the default in-memory engine NewCluster
+// never panics.
+func NewCluster(cfg Config) *Cluster {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -196,37 +212,17 @@ func simulateWork(d time.Duration) {
 	time.Sleep(d)
 }
 
-// serve runs f on node idx while holding its service lock and charges
-// the operation cost for the byte count f reports. Charging inside the
-// lock models a disk-bound server: a node moving many bytes is busy for
-// proportionally long, so cluster size m and replication r bound the
-// achievable parallel-fetch speedup (paper Figures 11–12).
-func (c *Cluster) serve(idx int, f func(node *storageNode) int) {
+// serve runs f on node idx's engine while holding its service lock and
+// charges the operation cost for the byte count f reports. Charging
+// inside the lock models a disk-bound server: a node moving many bytes
+// is busy for proportionally long, so cluster size m and replication r
+// bound the achievable parallel-fetch speedup (paper Figures 11–12).
+func (c *Cluster) serve(idx int, f func(be backend.Backend) int) {
 	node := c.nodes[idx]
 	node.mu.Lock()
 	defer node.mu.Unlock()
-	n := f(node)
+	n := f(node.be)
 	simulateWork(c.Latency().Cost(n))
-}
-
-func (n *storageNode) partitionFor(table, pkey string, create bool) *partition {
-	t, ok := n.tables[table]
-	if !ok {
-		if !create {
-			return nil
-		}
-		t = make(map[string]*partition)
-		n.tables[table] = t
-	}
-	p, ok := t[pkey]
-	if !ok {
-		if !create {
-			return nil
-		}
-		p = &partition{}
-		t[pkey] = p
-	}
-	return p
 }
 
 // Put writes value under (table, pkey, ckey) on every replica,
@@ -235,17 +231,8 @@ func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
 	v := make([]byte, len(value))
 	copy(v, value)
 	for _, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(node *storageNode) int {
-			p := node.partitionFor(table, pkey, true)
-			if i, ok := p.find(ckey); ok {
-				c.storedBytes.Add(int64(len(v) - len(p.rows[i].Value)))
-				p.rows[i].Value = v
-			} else {
-				p.rows = append(p.rows, Row{})
-				copy(p.rows[i+1:], p.rows[i:])
-				p.rows[i] = Row{CKey: ckey, Value: v}
-				c.storedBytes.Add(int64(len(v) + len(ckey)))
-			}
+		c.serve(idx, func(be backend.Backend) int {
+			be.Put(table, pkey, ckey, v)
 			return len(v)
 		})
 	}
@@ -254,20 +241,13 @@ func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
 }
 
 // Get reads the row at (table, pkey, ckey) from one replica. The returned
-// slice is a copy.
+// slice is the caller's to keep.
 func (c *Cluster) Get(table, pkey, ckey string) ([]byte, bool) {
 	var out []byte
 	found := false
 	idx := c.readReplica(table, pkey)
-	c.serve(idx, func(node *storageNode) int {
-		p := node.partitionFor(table, pkey, false)
-		if p == nil {
-			return 0
-		}
-		if i, ok := p.find(ckey); ok {
-			out = append([]byte(nil), p.rows[i].Value...)
-			found = true
-		}
+	c.serve(idx, func(be backend.Backend) int {
+		out, found = be.Get(table, pkey, ckey)
 		return len(out)
 	})
 	c.reads.Add(1)
@@ -284,16 +264,10 @@ func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
 	var out []Row
 	total := 0
 	idx := c.readReplica(table, pkey)
-	c.serve(idx, func(node *storageNode) int {
-		p := node.partitionFor(table, pkey, false)
-		if p == nil {
-			return 0
-		}
-		i := sort.Search(len(p.rows), func(i int) bool { return p.rows[i].CKey >= prefix })
-		for ; i < len(p.rows) && strings.HasPrefix(p.rows[i].CKey, prefix); i++ {
-			v := append([]byte(nil), p.rows[i].Value...)
-			out = append(out, Row{CKey: p.rows[i].CKey, Value: v})
-			total += len(v)
+	c.serve(idx, func(be backend.Backend) int {
+		out = be.ScanPrefix(table, pkey, prefix)
+		for _, r := range out {
+			total += len(r.Value)
 		}
 		return total
 	})
@@ -312,17 +286,9 @@ func (c *Cluster) ScanPartition(table, pkey string) []Row {
 func (c *Cluster) Delete(table, pkey, ckey string) bool {
 	existed := false
 	for ri, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(node *storageNode) int {
-			p := node.partitionFor(table, pkey, false)
-			if p == nil {
-				return 0
-			}
-			if i, ok := p.find(ckey); ok {
-				c.storedBytes.Add(int64(-(len(p.rows[i].Value) + len(ckey))))
-				p.rows = append(p.rows[:i], p.rows[i+1:]...)
-				if ri == 0 {
-					existed = true
-				}
+		c.serve(idx, func(be backend.Backend) int {
+			if be.Delete(table, pkey, ckey) && ri == 0 {
+				existed = true
 			}
 			return 0
 		})
@@ -334,15 +300,8 @@ func (c *Cluster) Delete(table, pkey, ckey string) bool {
 // DropPartition removes an entire partition from all replicas.
 func (c *Cluster) DropPartition(table, pkey string) {
 	for _, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(node *storageNode) int {
-			if t, ok := node.tables[table]; ok {
-				if p, ok := t[pkey]; ok {
-					for _, r := range p.rows {
-						c.storedBytes.Add(int64(-(len(r.Value) + len(r.CKey))))
-					}
-					delete(t, pkey)
-				}
-			}
+		c.serve(idx, func(be backend.Backend) int {
+			be.DropPartition(table, pkey)
 			return 0
 		})
 	}
@@ -355,10 +314,8 @@ func (c *Cluster) PartitionKeys(table string) []string {
 	seen := make(map[string]struct{})
 	for _, node := range c.nodes {
 		node.mu.Lock()
-		if t, ok := node.tables[table]; ok {
-			for pk := range t {
-				seen[pk] = struct{}{}
-			}
+		for _, pk := range node.be.PartitionKeys(table) {
+			seen[pk] = struct{}{}
 		}
 		node.mu.Unlock()
 	}
@@ -368,6 +325,36 @@ func (c *Cluster) PartitionKeys(table string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Flush makes every node's accepted writes durable (fsync for disk
+// engines) and returns the first error encountered.
+func (c *Cluster) Flush() error {
+	var firstErr error
+	for i, node := range c.nodes {
+		node.mu.Lock()
+		err := node.be.Flush()
+		node.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("kvstore: flush node %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// Close flushes and closes every node's engine. The cluster must not be
+// used afterwards.
+func (c *Cluster) Close() error {
+	var errs []error
+	for i, node := range c.nodes {
+		node.mu.Lock()
+		err := node.be.Close()
+		node.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("kvstore: close node %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Metrics returns a snapshot of the counters.
@@ -389,13 +376,21 @@ func (c *Cluster) ResetMetrics() {
 }
 
 // StoredBytes returns the physical bytes currently stored across all
-// replicas.
-func (c *Cluster) StoredBytes() int64 { return c.storedBytes.Load() }
+// replicas (sum of every node engine's live bytes).
+func (c *Cluster) StoredBytes() int64 {
+	var total int64
+	for _, node := range c.nodes {
+		node.mu.Lock()
+		total += node.be.StoredBytes()
+		node.mu.Unlock()
+	}
+	return total
+}
 
 // LogicalBytes returns stored bytes divided by the replication factor —
 // the index size figure used in Table 1 comparisons.
 func (c *Cluster) LogicalBytes() int64 {
-	return c.storedBytes.Load() / int64(c.cfg.Replication)
+	return c.StoredBytes() / int64(c.cfg.Replication)
 }
 
 func (c *Cluster) String() string {
