@@ -1,13 +1,13 @@
 # Tier-1 CI gate for the Historical Graph Store. `make ci` is the
-# documented pre-merge check (ROADMAP.md): vet, build, fast tests, and
-# formatting. `make test-full` additionally runs the ~30s bench smoke
-# tests that -short skips.
+# documented pre-merge check (ROADMAP.md): vet, build, fast tests (with
+# and without the race detector), and formatting. `make test-full`
+# additionally runs the ~30s bench smoke tests that -short skips.
 
 GO ?= go
 
-.PHONY: ci vet build test test-full fmt-check fmt bench
+.PHONY: ci vet build test test-race test-full fmt-check fmt bench bench-cache
 
-ci: vet build test fmt-check
+ci: vet build test test-race fmt-check
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +17,9 @@ build:
 
 test:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race -short ./...
 
 test-full:
 	$(GO) test ./...
@@ -32,3 +35,8 @@ fmt:
 
 bench:
 	$(GO) run ./cmd/hgs-bench
+
+# Cold vs warm decoded-delta cache comparison (KV ops, round-trips,
+# simulated wait per pass).
+bench-cache:
+	$(GO) run ./cmd/hgs-bench -run cache

@@ -7,9 +7,15 @@
 //	hgs-bench                 # run everything
 //	hgs-bench -list           # list experiment ids
 //	hgs-bench -run fig11      # run one experiment
+//	hgs-bench -run cache      # cold vs warm decoded-delta cache passes
 //	HGS_SCALE=4 hgs-bench     # scale all datasets 4x
 //	hgs-bench -run fig11 -data /tmp/bench-disk   # same workload on the
 //	                          # durable disk backend (memory vs disk)
+//
+// Every figure run reports its store metrics (logical KV operations,
+// machine round-trips, simulated service time) and the decoded-delta
+// cache counters as notes, so performance claims are checkable from the
+// CLI output alone.
 package main
 
 import (

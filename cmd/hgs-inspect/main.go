@@ -135,8 +135,8 @@ func inspect(store *hgs.Store) {
 			log.Fatal(err)
 		}
 		m := store.Cluster().Metrics()
-		fmt.Printf("snapshot@%-12d: %6d nodes %7d edges  (%d reads, %d KB)\n",
-			tt, g.NumNodes(), g.NumEdges(), m.Reads, m.BytesRead/1024)
+		fmt.Printf("snapshot@%-12d: %6d nodes %7d edges  (%d reads, %d round-trips, %d KB)\n",
+			tt, g.NumNodes(), g.NumEdges(), m.Reads, m.RoundTrips, m.BytesRead/1024)
 	}
 
 	g, _ := store.Snapshot(hi)
@@ -148,7 +148,23 @@ func inspect(store *hgs.Store) {
 			log.Fatal(err)
 		}
 		m := store.Cluster().Metrics()
-		fmt.Printf("history node %-10d: %4d changes, %d versions  (%d reads, %d KB)\n",
-			id, len(h.Events), len(h.Versions()), m.Reads, m.BytesRead/1024)
+		fmt.Printf("history node %-10d: %4d changes, %d versions  (%d reads, %d round-trips, %d KB)\n",
+			id, len(h.Events), len(h.Versions()), m.Reads, m.RoundTrips, m.BytesRead/1024)
 	}
+
+	// A second pass over the same snapshots shows the decoded-delta
+	// cache at work: warm queries mostly skip the store.
+	store.Cluster().ResetMetrics()
+	for _, tt := range []hgs.Time{lo + (hi-lo)/4, mid, hi} {
+		if _, err := store.Snapshot(tt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	m := store.Cluster().Metrics()
+	st, err = store.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm rerun: 3 snapshots in %d reads, %d round-trips; %s\n",
+		m.Reads, m.RoundTrips, st.Cache)
 }

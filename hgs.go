@@ -43,6 +43,25 @@
 // shape are rejected, while TGI construction options (TimespanEvents,
 // Compress, ...) are properties of the stored index and are ignored on
 // reattach in favor of the persisted configuration.
+//
+// # Caching and statistics
+//
+// Every retrieval runs through a unified fetch layer that plans the key
+// set, batches the reads per storage node (one network round-trip per
+// machine instead of per key), and serves hot decoded deltas from a
+// bytes-bounded LRU cache, so repeated snapshot and node queries mostly
+// skip the store. Options.CacheBytes sizes the cache (default 64 MiB;
+// negative disables it) and Store.Stats reports its effectiveness next
+// to the raw store counters:
+//
+//	store, _ := hgs.Open(hgs.Options{CacheBytes: 256 << 20})
+//	_ = store.Load(events)
+//	g1, _ := store.Snapshot(t)              // cold: reads the store
+//	g2, _ := store.Snapshot(t)              // warm: served from cache
+//	st, _ := store.Stats()
+//	fmt.Println(st.Cache.Hits, st.Cache.Misses)        // delta cache
+//	fmt.Println(st.StoreMetrics.Reads,                 // logical KV ops
+//		st.StoreMetrics.RoundTrips)                // machine visits
 package hgs
 
 import (
@@ -140,6 +159,12 @@ type Options struct {
 	Compress bool
 	// FetchClients is the default parallel fetch factor c (default 4).
 	FetchClients int
+	// CacheBytes bounds the query manager's decoded-delta cache: hot
+	// root-path deltas are decoded once and shared across queries and
+	// analytics workers. Zero selects the 64 MiB default; a negative
+	// value disables caching. A runtime knob of this process — it is
+	// not persisted with a DataDir store.
+	CacheBytes int64
 }
 
 func (o Options) coreConfig() core.Config {
@@ -167,6 +192,7 @@ func (o Options) coreConfig() core.Config {
 	if o.FetchClients > 0 {
 		cfg.FetchClients = o.FetchClients
 	}
+	cfg.CacheBytes = o.CacheBytes
 	return cfg
 }
 

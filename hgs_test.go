@@ -368,3 +368,95 @@ func TestFullOptionMatrix(t *testing.T) {
 		t.Fatal("multipoint snapshots wrong")
 	}
 }
+
+func TestCacheBytesOptionAndStats(t *testing.T) {
+	opts := smallOptions()
+	store, events := loadWiki(t, opts, 600)
+	lo, hi, _ := store.TimeRange()
+	mid := (lo + hi) / 2
+
+	// Two identical snapshots: the second must be served mostly from the
+	// decoded-delta cache, with fewer KV reads.
+	store.Cluster().ResetMetrics()
+	g1, err := store.Snapshot(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := store.Cluster().Metrics().Reads
+	store.Cluster().ResetMetrics()
+	g2, err := store.Snapshot(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := store.Cluster().Metrics().Reads
+	if !g1.Equal(g2) {
+		t.Fatal("warm snapshot differs from cold")
+	}
+	if warm >= cold {
+		t.Fatalf("warm snapshot reads (%d) not below cold (%d)", warm, cold)
+	}
+	st, err := store.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits == 0 || st.Cache.MaxBytes != 64<<20 {
+		t.Fatalf("cache stats = %+v; want hits > 0 and the 64MiB default budget", st.Cache)
+	}
+	if st.StoreMetrics.RoundTrips == 0 {
+		t.Fatal("round-trip counter not surfaced through Stats")
+	}
+
+	// CacheBytes < 0 disables caching entirely.
+	off, err := Open(Options{Machines: 2, CacheBytes: -1,
+		TimespanEvents: 2000, EventlistSize: 400, HorizontalPartitions: 2, PartitionSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Snapshot(mid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Snapshot(mid); err != nil {
+		t.Fatal(err)
+	}
+	stOff, err := off.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOff.Cache.Hits != 0 || stOff.Cache.Misses != 0 || stOff.Cache.MaxBytes != 0 {
+		t.Fatalf("disabled cache recorded traffic: %+v", stOff.Cache)
+	}
+}
+
+func TestCacheBytesSurvivesReattach(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOptions()
+	opts.DataDir = filepath.Join(dir, "store")
+	store, _ := loadWiki(t, opts, 400)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reattach with an explicit budget: the persisted construction config
+	// is adopted, but CacheBytes stays a property of this process.
+	re, err := Open(Options{DataDir: opts.DataDir, CacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.Loaded() {
+		t.Fatal("reattach lost the index")
+	}
+	lo, hi, _ := re.TimeRange()
+	if _, err := re.Snapshot((lo + hi) / 2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := re.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.MaxBytes != 4<<20 {
+		t.Fatalf("reattached cache budget = %d, want the requested 4MiB", st.Cache.MaxBytes)
+	}
+}

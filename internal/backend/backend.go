@@ -63,6 +63,41 @@ type Backend interface {
 	Close() error
 }
 
+// KeyRead names one row of a batched point read.
+type KeyRead struct {
+	Table, PKey, CKey string
+}
+
+// BatchReader is an optional fast path for serving many point reads in
+// one engine call. The cluster probes for it when executing a batched
+// read plan: an engine that implements it resolves the whole batch under
+// a single service charge (and can amortize its own per-call overhead —
+// lock acquisition, partition lookup); engines that do not are served by
+// a Get loop. result[i] is nil exactly when reqs[i] is absent (a present
+// row with an empty value yields a non-nil empty slice), and every
+// returned value is the caller's to keep.
+type BatchReader interface {
+	MultiGet(reqs []KeyRead) [][]byte
+}
+
+// MultiGet serves a batch of point reads through be's BatchReader fast
+// path when available, falling back to one Get per key.
+func MultiGet(be Backend, reqs []KeyRead) [][]byte {
+	if br, ok := be.(BatchReader); ok {
+		return br.MultiGet(reqs)
+	}
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		if v, ok := be.Get(r.Table, r.PKey, r.CKey); ok {
+			if v == nil {
+				v = []byte{}
+			}
+			out[i] = v
+		}
+	}
+	return out
+}
+
 // Factory creates the backend for cluster node idx. Factories are how a
 // cluster is parameterized over engines: the node index lets durable
 // engines derive a per-node directory.

@@ -578,6 +578,33 @@ func (s *Store) readValue(row idxRow) ([]byte, error) {
 	return out, nil
 }
 
+// MultiGet is the batch-read fast path: the whole batch resolves under
+// one lock acquisition. result[i] is nil exactly when reqs[i] is absent
+// (or its segment read failed; the error surfaces at the next Flush).
+func (s *Store) MultiGet(reqs []backend.KeyRead) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		p := s.partitionFor(r.Table, r.PKey, false)
+		if p == nil {
+			continue
+		}
+		j, ok := p.find(r.CKey)
+		if !ok {
+			continue
+		}
+		v, err := s.readValue(p.rows[j])
+		if err != nil {
+			s.werr = errors.Join(s.werr, err)
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}
+
 // ScanPrefix returns the partition's rows with clustering keys starting
 // with prefix, in clustering order.
 func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {

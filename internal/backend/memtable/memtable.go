@@ -88,6 +88,31 @@ func (s *Store) Get(table, pkey, ckey string) ([]byte, bool) {
 	return append([]byte(nil), p.rows[i].Value...), true
 }
 
+// MultiGet is the batch-read fast path: one partition lookup per
+// consecutive (table, pkey) run instead of one per key. result[i] is nil
+// exactly when reqs[i] is absent.
+func (s *Store) MultiGet(reqs []backend.KeyRead) [][]byte {
+	out := make([][]byte, len(reqs))
+	var (
+		p         *partition
+		havePart  bool
+		pt, ppkey string
+	)
+	for i, r := range reqs {
+		if !havePart || r.Table != pt || r.PKey != ppkey {
+			p = s.partitionFor(r.Table, r.PKey, false)
+			pt, ppkey, havePart = r.Table, r.PKey, true
+		}
+		if p == nil {
+			continue
+		}
+		if j, ok := p.find(r.CKey); ok {
+			out[i] = append(make([]byte, 0, len(p.rows[j].Value)), p.rows[j].Value...)
+		}
+	}
+	return out
+}
+
 // ScanPrefix returns the partition's rows with clustering keys starting
 // with prefix, in clustering order, with copied values.
 func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {

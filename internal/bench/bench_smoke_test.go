@@ -156,11 +156,38 @@ func TestAblationsSmoke(t *testing.T) {
 	checkResult(t, r, 2)
 }
 
+func TestCacheBenchSmoke(t *testing.T) {
+	skipIfShort(t)
+	r := CacheBench(tinyScale())
+	if len(r.TableRows) != 3 {
+		t.Fatalf("cache table rows = %d, want 3 passes", len(r.TableRows))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("warm cache")) {
+		t.Fatal("cache result missing warm pass")
+	}
+}
+
+// TestCacheBenchSpeedup is the CLI-visible form of the fetch-layer
+// acceptance bar: the warm pass of the cache workload must issue at
+// least 2× fewer KV operations than the cold pass.
+func TestCacheBenchSpeedup(t *testing.T) {
+	skipIfShort(t)
+	cold, warm := CachePasses(tinyScale())
+	if warm.Reads == 0 || cold.Reads < 2*warm.Reads {
+		t.Fatalf("cold pass %d KV reads, warm pass %d: want >= 2x reduction", cold.Reads, warm.Reads)
+	}
+	if warm.RoundTrips >= cold.RoundTrips {
+		t.Fatalf("warm round-trips %d not below cold %d", warm.RoundTrips, cold.RoundTrips)
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
-		"fig16", "fig17", "ablation-arity", "ablation-vc",
+		"fig16", "fig17", "cache", "ablation-arity", "ablation-vc",
 	}
 	for _, id := range want {
 		if _, ok := Runners[id]; !ok {

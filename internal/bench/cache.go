@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hgs/internal/core"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+)
+
+// CacheBench — cold vs warm retrieval through the unified fetch layer:
+// the same snapshot + node-fetch workload runs twice over a fresh query
+// handle (cold cache, then warm) and once over a cache-disabled handle,
+// reporting logical KV operations, machine round-trips, simulated
+// service time and wall time for each pass. The warm pass exercising
+// the decoded-delta cache must issue at least 2× fewer KV reads than
+// the cold one — the acceptance bar of the fetch-layer refactor,
+// checked by TestCacheBenchSpeedup.
+func CacheBench(sc Scale) *Result {
+	start := time.Now()
+	events := Dataset1(sc)
+	ix := buildIndex("fig11", events, 4, 1, nil)
+	res := &Result{
+		ID:    "cache",
+		Title: "Decoded-delta cache: cold vs warm vs disabled (m=4, c=4)",
+	}
+
+	probes := probeTimes(events, 3)
+	mid := probes[len(probes)/2]
+	full, err := ix.TGI.GetSnapshot(mid, nil)
+	if err != nil {
+		panic(fmt.Sprintf("bench: cache probe snapshot: %v", err))
+	}
+	ids := full.NodeIDs()
+	nodes := make([]graph.NodeID, 0, 32)
+	for i := 0; i < 32 && i < len(ids); i++ {
+		nodes = append(nodes, ids[len(ids)*i/32])
+	}
+
+	workload := func(t *core.TGI) {
+		for _, tt := range probes {
+			if _, err := t.GetSnapshot(tt, &core.FetchOptions{Clients: 4}); err != nil {
+				panic(fmt.Sprintf("bench: cache snapshot: %v", err))
+			}
+		}
+		for _, id := range nodes {
+			if _, err := t.GetNodeAt(id, mid); err != nil {
+				panic(fmt.Sprintf("bench: cache node fetch: %v", err))
+			}
+		}
+	}
+	run := func(t *core.TGI) (kvstore.Metrics, float64) {
+		ix.Cluster.ResetMetrics()
+		sec := timeIt(func() { workload(t) })
+		return ix.Cluster.Metrics(), sec
+	}
+
+	// Fresh handles over the built cluster: one with the default cache
+	// (bench indexes are built cache-off), one with caching disabled,
+	// both with cold metadata.
+	cfg := ix.TGI.Config()
+	cfg.CacheBytes = 0 // default budget
+	cachedTGI := core.New(ix.Cluster, cfg)
+	cfgOff := cfg
+	cfgOff.CacheBytes = -1
+	uncachedTGI := core.New(ix.Cluster, cfgOff)
+
+	ix.Cluster.SetLatency(kvstore.DefaultLatency())
+	defer ix.Cluster.SetLatency(kvstore.LatencyModel{})
+	coldM, coldSec := run(cachedTGI)
+	warmM, warmSec := run(cachedTGI)
+	offM, offSec := run(uncachedTGI)
+
+	res.TableHeader = []string{"pass", "kv reads", "round-trips", "read KB", "sim wait", "elapsed"}
+	row := func(name string, m kvstore.Metrics, sec float64) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%d", m.Reads),
+			fmt.Sprintf("%d", m.RoundTrips),
+			fmt.Sprintf("%d", m.BytesRead/1024),
+			m.SimWait.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.3fs", sec),
+		}
+	}
+	res.TableRows = append(res.TableRows,
+		row("cold cache", coldM, coldSec),
+		row("warm cache", warmM, warmSec),
+		row("cache off", offM, offSec),
+	)
+	if warmM.Reads > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("warm pass issues %.1fx fewer kv reads than cold", float64(coldM.Reads)/float64(warmM.Reads)))
+	}
+	res.Notes = append(res.Notes, cachedTGI.CacheStats().String())
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// CachePasses runs the cache workload without the latency model and
+// returns the cold and warm pass metrics — the testable core of the
+// cache experiment (used by the bench smoke tests).
+func CachePasses(sc Scale) (cold, warm kvstore.Metrics) {
+	events := Dataset1(sc)
+	ix := buildIndex("fig11", events, 4, 1, nil)
+	probes := probeTimes(events, 3)
+	cfg := ix.TGI.Config()
+	cfg.CacheBytes = 0 // default budget (bench indexes are built cache-off)
+	t := core.New(ix.Cluster, cfg)
+	run := func() kvstore.Metrics {
+		ix.Cluster.ResetMetrics()
+		for _, tt := range probes {
+			if _, err := t.GetSnapshot(tt, &core.FetchOptions{Clients: 4}); err != nil {
+				panic(err)
+			}
+		}
+		return ix.Cluster.Metrics()
+	}
+	cold = run()
+	warm = run()
+	return cold, warm
+}

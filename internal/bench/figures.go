@@ -32,7 +32,7 @@ func Fig11(sc Scale) *Result {
 		ID: "fig11", Title: "Snapshot retrieval vs parallel fetch factor (m=4, r=1, ps=500)",
 		XLabel: "snapshot size (node count)", YLabel: "retrieval time (s)",
 	}
-	ix.withLatency(func() {
+	ix.withLatencyMetered(res, "c sweep", func() {
 		for _, c := range []int{1, 2, 4, 8, 16, 32} {
 			s := Series{Name: fmt.Sprintf("c=%d", c)}
 			for _, tt := range probes {
@@ -69,7 +69,7 @@ func Fig12(sc Scale) *Result {
 	}
 	for _, sh := range shapes {
 		ix := buildIndex(fmt.Sprintf("fig12/m%dr%d", sh.m, sh.r), events, sh.m, sh.r, nil)
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, fmt.Sprintf("m=%d,r=%d", sh.m, sh.r), func() {
 			for _, c := range sh.cs {
 				s := Series{Name: fmt.Sprintf("m=%d,r=%d,c=%d", sh.m, sh.r, c)}
 				for _, tt := range probesAll {
@@ -103,7 +103,7 @@ func Fig13a(sc Scale) *Result {
 		}
 		ix := buildIndex("fig13a/"+name, events, 2, 1, func(cfg *core.Config) { cfg.Compress = compress })
 		s := Series{Name: name}
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, name, func() {
 			for _, tt := range probes {
 				var g *graph.Graph
 				sec := timeIt(func() { g, _ = ix.TGI.GetSnapshot(tt, &core.FetchOptions{Clients: 8}) })
@@ -130,7 +130,7 @@ func Fig13b(sc Scale) *Result {
 	for _, ps := range []int{1000, 2000, 4000} {
 		ix := buildIndex(fmt.Sprintf("fig13b/ps%d", ps), events, 4, 1, func(cfg *core.Config) { cfg.PartitionSize = ps })
 		s := Series{Name: fmt.Sprintf("ps=%d", ps)}
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, fmt.Sprintf("ps=%d", ps), func() {
 			for _, tt := range probes {
 				var g *graph.Graph
 				sec := timeIt(func() { g, _ = ix.TGI.GetSnapshot(tt, &core.FetchOptions{Clients: 8}) })
@@ -153,7 +153,7 @@ func Fig13c(sc Scale) *Result {
 		XLabel: "snapshot size (node count)", YLabel: "retrieval time (s)",
 	}
 	s := Series{Name: "Friendster"}
-	ix.withLatency(func() {
+	ix.withLatencyMetered(res, "friendster", func() {
 		for _, tt := range probeTimes(events, 5) {
 			var g *graph.Graph
 			sec := timeIt(func() { g, _ = ix.TGI.GetSnapshot(tt, &core.FetchOptions{Clients: 1}) })
@@ -231,7 +231,7 @@ func Fig14a(sc Scale) *Result {
 	base := benchTGIConfig(len(events)).EventlistSize
 	for _, l := range []int{4 * base, 2 * base, base} {
 		ix := buildIndex(fmt.Sprintf("fig14a/l%d", l), events, 4, 1, func(cfg *core.Config) { cfg.EventlistSize = l })
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, fmt.Sprintf("l=%d", l), func() {
 			res.Series = append(res.Series, versionRetrievalSeries(ix, fmt.Sprintf("l=%d", l), 1, nodes))
 		})
 	}
@@ -249,7 +249,7 @@ func Fig14b(sc Scale) *Result {
 		ID: "fig14b", Title: "Node version retrieval vs parallel fetch factor",
 		XLabel: "version changes", YLabel: "retrieval time (s)",
 	}
-	ix.withLatency(func() {
+	ix.withLatencyMetered(res, "c sweep", func() {
 		for _, c := range []int{1, 2, 4} {
 			res.Series = append(res.Series, versionRetrievalSeries(ix, fmt.Sprintf("c=%d", c), c, nodes))
 		}
@@ -272,7 +272,7 @@ func Fig14c(sc Scale) *Result {
 		ix := buildIndex(fmt.Sprintf("fig14c/ps%d", ps), events, 4, 1, func(cfg *core.Config) { cfg.PartitionSize = ps })
 		lo := events[0].Time
 		hi := events[len(events)-1].Time + 1
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, fmt.Sprintf("ps=%d", ps), func() {
 			total := 0.0
 			for _, id := range nodes {
 				total += timeIt(func() { ix.TGI.GetNodeHistory(id, lo, hi, &core.FetchOptions{Clients: 1}) })
@@ -316,7 +316,7 @@ func Fig15a(sc Scale) *Result {
 	for i, cf := range configs {
 		ix := buildIndex("fig15a/"+cf.name, events, 4, 1, cf.mutate)
 		var avg float64
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, cf.name, func() {
 			total := 0.0
 			for _, id := range sample {
 				total += timeIt(func() { ix.TGI.GetKHopNeighborhood(id, 1, probe, &core.FetchOptions{Clients: 4}) })
@@ -348,7 +348,7 @@ func Fig15b(sc Scale) *Result {
 		events := ds[name]
 		ix := buildIndex("fig15b/"+name, events, 4, 1, nil)
 		s := Series{Name: fmt.Sprintf("%s (%d events)", name, len(events))}
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, name, func() {
 			for _, tt := range probes {
 				var g *graph.Graph
 				sec := timeIt(func() { g, _ = ix.TGI.GetSnapshot(tt, &core.FetchOptions{Clients: 8}) })
@@ -418,7 +418,7 @@ func Fig16(sc Scale) *Result {
 		ID: "fig16", Title: "Node version retrieval, Friendster (m=6, r=1, ps=500)",
 		XLabel: "version changes", YLabel: "retrieval time (s)",
 	}
-	ix.withLatency(func() {
+	ix.withLatencyMetered(res, "c sweep", func() {
 		for _, c := range []int{1, 2} {
 			res.Series = append(res.Series, versionRetrievalSeries(ix, fmt.Sprintf("c=%d", c), c, nodes))
 		}
@@ -541,6 +541,7 @@ func Table1(sc Scale) *Result {
 	tgiCfg.EventlistSize = max(len(small)/10, 1)
 	tgiCfg.PartitionSize = 50
 	tgiCfg.HorizontalPartitions = 2
+	tgiCfg.CacheBytes = -1 // measured rows count store reads, not cache hits
 	type entryT struct {
 		name    string
 		ix      baseline.Index
@@ -611,7 +612,7 @@ func AblationArity(sc Scale) *Result {
 	for _, k := range []int{2, 4, 8} {
 		ix := buildIndex(fmt.Sprintf("abl-arity/%d", k), events, 4, 1, func(cfg *core.Config) { cfg.Arity = k })
 		var sec float64
-		ix.withLatency(func() {
+		ix.withLatencyMetered(res, fmt.Sprintf("arity=%d", k), func() {
 			sec = timeIt(func() { ix.TGI.GetSnapshot(probe, &core.FetchOptions{Clients: 4}) })
 		})
 		st, _ := ix.TGI.Stats()
@@ -638,7 +639,7 @@ func AblationVersionChains(sc Scale) *Result {
 	}
 	withVC := Series{Name: "version chains"}
 	without := Series{Name: "full eventlist scan"}
-	ix.withLatency(func() {
+	ix.withLatencyMetered(res, "fig11 index", func() {
 		for _, id := range nodes {
 			var h *core.NodeHistory
 			sec := timeIt(func() { h, _ = ix.TGI.GetNodeHistory(id, lo, hi, &core.FetchOptions{Clients: 1}) })
@@ -660,6 +661,7 @@ var Order = []string{
 	"fig14a", "fig14b", "fig14c",
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
+	"cache",
 	"ablation-arity", "ablation-vc",
 }
 
@@ -688,6 +690,7 @@ var Runners = map[string]func(Scale) *Result{
 	"fig15c":         Fig15c,
 	"fig16":          Fig16,
 	"fig17":          Fig17,
+	"cache":          CacheBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

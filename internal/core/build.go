@@ -25,6 +25,7 @@ func (t *TGI) BuildAll(events []graph.Event) error {
 	if err := validateEvents(events); err != nil {
 		return err
 	}
+	t.fx.Cache().Purge() // a rebuild invalidates any cached deltas
 	carry := graph.New()
 	tsid := 0
 	for off := 0; off < len(events); off += t.cfg.TimespanEvents {

@@ -17,22 +17,22 @@ package core
 import (
 	"fmt"
 
+	"hgs/internal/fetch"
 	"hgs/internal/partition"
 )
 
-// Table names in the backing store: the paper's five Cassandra tables
-// (Deltas, Versions, Timespans, Graph, Micropartitions), with eventlists
-// split out of Deltas into their own table for clearer key spaces, plus
-// two auxiliary tables for 1-hop replication.
+// Table names in the backing store. The key schema is owned by the
+// unified fetch layer (internal/fetch); these aliases keep the names
+// usable throughout core and its tests.
 const (
-	TableDeltas    = "deltas"    // micro-deltas of snapshots/derived snapshots
-	TableEvents    = "events"    // micro-eventlists
-	TableVersions  = "versions"  // per-node version chains
-	TableTimespans = "timespans" // per-timespan metadata
-	TableGraph     = "graph"     // global graph metadata
-	TableMicroPart = "micropart" // node→pid maps (locality partitioning)
-	TableAux       = "aux"       // 1-hop replication: frontier micro-deltas
-	TableAuxEvents = "auxevents" // 1-hop replication: frontier micro-eventlists
+	TableDeltas    = fetch.TableDeltas
+	TableEvents    = fetch.TableEvents
+	TableVersions  = fetch.TableVersions
+	TableTimespans = fetch.TableTimespans
+	TableGraph     = fetch.TableGraph
+	TableMicroPart = fetch.TableMicroPart
+	TableAux       = fetch.TableAux
+	TableAuxEvents = fetch.TableAuxEvents
 )
 
 // Config holds the TGI construction parameters (paper §4.4: timespan
@@ -66,6 +66,30 @@ type Config struct {
 	// FetchClients is c: the default number of parallel query processors
 	// used by retrieval operations.
 	FetchClients int
+	// CacheBytes bounds the query manager's decoded-delta cache. Zero
+	// selects DefaultCacheBytes; a negative value disables caching.
+	// Unlike the construction parameters above this is a runtime knob of
+	// the reading process, not a property of the stored index: it is not
+	// persisted, and a handle attached to an existing index keeps the
+	// value it was opened with.
+	CacheBytes int64 `json:"-"`
+}
+
+// DefaultCacheBytes is the decoded-delta cache budget used when
+// Config.CacheBytes is zero (64 MiB).
+const DefaultCacheBytes = 64 << 20
+
+// cacheBudget maps the CacheBytes knob to the cache constructor's
+// convention (<= 0 disables).
+func (c Config) cacheBudget() int64 {
+	switch {
+	case c.CacheBytes < 0:
+		return 0
+	case c.CacheBytes == 0:
+		return DefaultCacheBytes
+	default:
+		return c.CacheBytes
+	}
 }
 
 // DefaultConfig returns the defaults used throughout the evaluation

@@ -5,52 +5,21 @@ import (
 	"sort"
 	"sync"
 
-	"hgs/internal/delta"
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/temporal"
 )
 
 // runParallel executes tasks with c concurrent query-processor workers
-// (the paper's QPs, Figure 3c): the query manager plans the key set and
-// the QPs fetch and decode in parallel.
+// (the paper's QPs, Figure 3c): the query manager plans the key set, the
+// fetch executor moves the bytes in per-node batches, and the QPs decode
+// and merge in parallel. The worker pool itself lives in the fetch layer
+// (fetch.Parallel) so the two halves share one implementation.
 func runParallel(c int, tasks []func() error) error {
 	if c < 1 {
 		c = 1
 	}
-	if c > len(tasks) {
-		c = len(tasks)
-	}
-	if c <= 1 {
-		for _, task := range tasks {
-			if err := task(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	ch := make(chan func() error)
-	for i := 0; i < c; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for task := range ch {
-				if err := task(); err != nil {
-					errOnce.Do(func() { firstErr = err })
-				}
-			}
-		}()
-	}
-	for _, task := range tasks {
-		ch <- task
-	}
-	close(ch)
-	wg.Wait()
-	return firstErr
+	return fetch.Parallel(c, len(tasks), func(i int) error { return tasks[i]() })
 }
 
 // eventLess is a deterministic total order over events: by time, then by
@@ -96,9 +65,10 @@ func mergeSortEvents(lists [][]graph.Event) []graph.Event {
 }
 
 // GetSnapshot retrieves the state of the graph at time tt (Algorithm 1):
-// fetch the micro-deltas along the root-to-leaf path nearest below tt in
-// every horizontal partition, sum them in path order, then replay the
-// boundary eventlist up to tt.
+// plan the micro-deltas along the root-to-leaf path nearest below tt in
+// every horizontal partition plus the boundary eventlists, execute the
+// plan as one batched fetch round (cache-served where hot), sum the
+// deltas in path order, then replay the boundary eventlist up to tt.
 func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
@@ -107,90 +77,59 @@ func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, e
 	leaf := tm.leafFor(tt)
 	path := tm.LeafPaths[leaf]
 	ns := t.cfg.HorizontalPartitions
+	clients := t.cfg.clients(opts)
 
-	type deltaRow struct {
-		sid, did int
-		parts    []*delta.Delta
-	}
-	deltaRows := make([]deltaRow, 0, ns*len(path))
-	eventLists := make([][]graph.Event, 0, ns)
-	var mu sync.Mutex
-
-	var tasks []func() error
+	plan := fetch.NewPlan()
 	for sid := 0; sid < ns; sid++ {
-		pkey := placementKey(tm.TSID, sid)
 		for _, did := range path {
-			sid, did := sid, did
-			tasks = append(tasks, func() error {
-				rows := t.store.ScanPrefix(TableDeltas, pkey, deltaPrefix(did))
-				parts := make([]*delta.Delta, 0, len(rows))
-				for _, row := range rows {
-					d, err := t.cdc.DecodeDelta(row.Value)
-					if err != nil {
-						return fmt.Errorf("core: decode delta %s/%s: %w", pkey, row.CKey, err)
-					}
-					parts = append(parts, d)
-				}
-				mu.Lock()
-				deltaRows = append(deltaRows, deltaRow{sid: sid, did: did, parts: parts})
-				mu.Unlock()
-				return nil
-			})
+			plan.DeltaGroup(tm.TSID, sid, did)
 		}
 		if leaf < tm.EventlistCount {
-			el := leaf
-			tasks = append(tasks, func() error {
-				rows := t.store.ScanPrefix(TableEvents, pkey, eventPrefix(el))
-				for _, row := range rows {
-					evs, err := t.cdc.DecodeEvents(row.Value)
-					if err != nil {
-						return fmt.Errorf("core: decode events %s/%s: %w", pkey, row.CKey, err)
-					}
-					mu.Lock()
-					eventLists = append(eventLists, evs)
-					mu.Unlock()
-				}
-				return nil
-			})
+			plan.Scan(TableEvents, placementKey(tm.TSID, sid), eventPrefix(leaf))
 		}
 	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	res, err := t.fx.Exec(plan, clients)
+	if err != nil {
 		return nil, err
 	}
 
 	// Merge: per horizontal partition, apply path deltas in root→leaf
 	// order (delta sum). Partitions own disjoint node sets, so each sid
 	// merges into its own graph in parallel and the per-sid graphs then
-	// combine by moving states.
-	didOrder := make(map[int]int, len(path))
-	for i, did := range path {
-		didOrder[did] = i
-	}
-	sort.Slice(deltaRows, func(i, j int) bool {
-		if deltaRows[i].sid != deltaRows[j].sid {
-			return deltaRows[i].sid < deltaRows[j].sid
-		}
-		return didOrder[deltaRows[i].did] < didOrder[deltaRows[j].did]
-	})
+	// combine by moving states. Cache-shared deltas clone their states
+	// in; private decodes move them (Result.Merge picks the fast path).
 	sidGraphs := make([]*graph.Graph, ns)
+	var (
+		evMu       sync.Mutex
+		eventLists [][]graph.Event
+	)
 	mergeTasks := make([]func() error, 0, ns)
 	for sid := 0; sid < ns; sid++ {
 		sid := sid
 		mergeTasks = append(mergeTasks, func() error {
 			sg := graph.New()
-			for _, row := range deltaRows {
-				if row.sid != sid {
-					continue
-				}
-				for _, part := range row.parts {
-					part.MoveTo(sg)
+			for _, did := range path {
+				for _, part := range res.Group(tm.TSID, sid, did) {
+					res.Merge(part.Delta, sg)
 				}
 			}
 			sidGraphs[sid] = sg
+			if leaf < tm.EventlistCount {
+				pkey := placementKey(tm.TSID, sid)
+				for _, row := range res.Scan(TableEvents, pkey, eventPrefix(leaf)) {
+					evs, err := t.cdc.DecodeEvents(row.Value)
+					if err != nil {
+						return fmt.Errorf("core: decode events %s/%s: %w", pkey, row.CKey, err)
+					}
+					evMu.Lock()
+					eventLists = append(eventLists, evs)
+					evMu.Unlock()
+				}
+			}
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.clients(opts), mergeTasks); err != nil {
+	if err := runParallel(clients, mergeTasks); err != nil {
 		return nil, err
 	}
 	g := graph.New()
@@ -212,27 +151,28 @@ func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, e
 	return g, nil
 }
 
-// fetchMicroPartition reconstructs the state at time tt of one
-// micro-partition (tsid, sid, pid): the path micro-deltas plus the
-// boundary micro-eventlist prefix. This is the unit of work for node and
-// neighborhood queries.
-func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Time) (*graph.Graph, error) {
-	leaf := tm.leafFor(tt)
-	pkey := placementKey(tm.TSID, sid)
-	g := graph.New()
+// planMicroPartition adds one micro-partition's reconstruction chain —
+// the path micro-deltas and the boundary micro-eventlist — to a plan.
+func planMicroPartition(plan *fetch.Plan, tm *TimespanMeta, sid, pid, leaf int) {
 	for _, did := range tm.LeafPaths[leaf] {
-		blob, ok := t.store.Get(TableDeltas, pkey, deltaCKey(did, pid))
-		if !ok {
-			continue
-		}
-		d, err := t.cdc.DecodeDelta(blob)
-		if err != nil {
-			return nil, fmt.Errorf("core: decode delta %s/%s: %w", pkey, deltaCKey(did, pid), err)
-		}
-		d.MoveTo(g)
+		plan.DeltaPart(tm.TSID, sid, did, pid)
 	}
 	if leaf < tm.EventlistCount {
-		if blob, ok := t.store.Get(TableEvents, pkey, eventCKey(leaf, pid)); ok {
+		plan.Get(TableEvents, placementKey(tm.TSID, sid), eventCKey(leaf, pid))
+	}
+}
+
+// assembleMicroPartition reconstructs the state at tt of one planned
+// micro-partition from an executed plan.
+func (t *TGI) assembleMicroPartition(res *fetch.Result, tm *TimespanMeta, sid, pid, leaf int, tt temporal.Time) (*graph.Graph, error) {
+	g := graph.New()
+	for _, did := range tm.LeafPaths[leaf] {
+		if d := res.Part(tm.TSID, sid, did, pid); d != nil {
+			res.Merge(d, g)
+		}
+	}
+	if leaf < tm.EventlistCount {
+		if blob, ok := res.Get(TableEvents, placementKey(tm.TSID, sid), eventCKey(leaf, pid)); ok {
 			evs, err := t.cdc.DecodeEvents(blob)
 			if err != nil {
 				return nil, err
@@ -248,6 +188,21 @@ func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Ti
 		}
 	}
 	return g, nil
+}
+
+// fetchMicroPartition reconstructs the state at time tt of one
+// micro-partition (tsid, sid, pid): the path micro-deltas plus the
+// boundary micro-eventlist prefix, fetched as a single batched plan.
+// This is the unit of work for node and neighborhood queries.
+func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Time) (*graph.Graph, error) {
+	leaf := tm.leafFor(tt)
+	plan := fetch.NewPlan()
+	planMicroPartition(plan, tm, sid, pid, leaf)
+	res, err := t.fx.Exec(plan, 1)
+	if err != nil {
+		return nil, err
+	}
+	return t.assembleMicroPartition(res, tm, sid, pid, leaf, tt)
 }
 
 // GetNodeAt retrieves the state of a single node at time tt, or nil if

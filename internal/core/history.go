@@ -2,8 +2,8 @@ package core
 
 import (
 	"sort"
-	"sync"
 
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/temporal"
 )
@@ -89,28 +89,10 @@ func nodeStatesEqual(a, b *graph.NodeState) bool {
 	return a.Equal(b)
 }
 
-// GetNodeHistory retrieves a node's history over [ts, te) following
-// Algorithm 2: reconstruct the state at ts through the node's
-// micro-partition, then use the version chain to fetch exactly the
-// micro-eventlists containing its changes.
-func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
-	gm, err := t.loadGraphMeta()
-	if err != nil {
-		return nil, err
-	}
-	initial, err := t.GetNodeAt(id, ts)
-	if err != nil {
-		return nil, err
-	}
-	h := &NodeHistory{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
-	sid := t.sidOf(id)
-
-	// Collect (timespan, eventlist) references from version chains.
-	type elRef struct {
-		tm *TimespanMeta
-		el int
-	}
-	var refs []elRef
+// overlappingSpans returns the metadata of every timespan intersecting
+// [ts, te).
+func (t *TGI) overlappingSpans(gm *GraphMeta, ts, te temporal.Time) ([]*TimespanMeta, error) {
+	var out []*TimespanMeta
 	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
 		tm, err := t.loadTimespanMeta(tsid)
 		if err != nil {
@@ -119,7 +101,26 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 		if tm.End <= ts || tm.Start >= te {
 			continue
 		}
-		blob, ok := t.store.Get(TableVersions, placementKey(tsid, sid), nodeCKey(id))
+		out = append(out, tm)
+	}
+	return out, nil
+}
+
+// versionChains fetches the version-chain rows of one node across the
+// given spans in a single batched read, returning the decoded entries
+// per span (nil where the node has no chain in that span).
+func (t *TGI) versionChains(spans []*TimespanMeta, sid int, id graph.NodeID, clients int) ([][]vcEntry, error) {
+	plan := fetch.NewPlan()
+	for _, tm := range spans {
+		plan.Get(TableVersions, placementKey(tm.TSID, sid), nodeCKey(id))
+	}
+	res, err := t.fx.Exec(plan, clients)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]vcEntry, len(spans))
+	for i, tm := range spans {
+		blob, ok := res.Get(TableVersions, placementKey(tm.TSID, sid), nodeCKey(id))
 		if !ok {
 			continue
 		}
@@ -127,43 +128,37 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 		if err != nil {
 			return nil, err
 		}
-		for _, e := range entries {
-			// Skip eventlists with no change inside (ts, te).
-			hasInRange := false
-			for _, tt := range e.times {
-				if tt > ts && tt < te {
-					hasInRange = true
-					break
-				}
-			}
-			if hasInRange {
-				refs = append(refs, elRef{tm: tm, el: e.el})
-			}
-		}
+		out[i] = entries
 	}
+	return out, nil
+}
 
-	// Fetch the referenced micro-eventlists in parallel and filter.
-	pidCache := make(map[int]int) // tsid -> pid
-	var mu sync.Mutex
+// elRef names one micro-eventlist a history retrieval must read.
+type elRef struct {
+	tm  *TimespanMeta
+	el  int
+	pid int
+}
+
+// fetchHistoryEvents fetches the referenced micro-eventlists as one
+// batched read, decodes them with `clients` parallel query processors,
+// and returns the chronological, deduplicated events touching id within
+// (ts, te).
+func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te temporal.Time, clients int) ([]graph.Event, error) {
+	plan := fetch.NewPlan()
+	for _, ref := range refs {
+		plan.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, ref.pid))
+	}
+	res, err := t.fx.Exec(plan, clients)
+	if err != nil {
+		return nil, err
+	}
 	lists := make([][]graph.Event, len(refs))
 	tasks := make([]func() error, 0, len(refs))
 	for i, ref := range refs {
 		i, ref := i, ref
 		tasks = append(tasks, func() error {
-			mu.Lock()
-			pid, ok := pidCache[ref.tm.TSID]
-			mu.Unlock()
-			if !ok {
-				var err error
-				pid, err = t.pidOf(ref.tm, sid, id)
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				pidCache[ref.tm.TSID] = pid
-				mu.Unlock()
-			}
-			blob, found := t.store.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, pid))
+			blob, found := res.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, ref.pid))
 			if !found {
 				return nil
 			}
@@ -181,15 +176,71 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	if err := runParallel(clients, tasks); err != nil {
 		return nil, err
 	}
-	h.Events = mergeSortEvents(lists)
+	return mergeSortEvents(lists), nil
+}
+
+// GetNodeHistory retrieves a node's history over [ts, te) following
+// Algorithm 2: reconstruct the state at ts through the node's
+// micro-partition, then use the version chains to plan exactly the
+// micro-eventlists containing its changes, fetched as one batched read.
+func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
+	gm, err := t.loadGraphMeta()
+	if err != nil {
+		return nil, err
+	}
+	initial, err := t.GetNodeAt(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	h := &NodeHistory{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
+	sid := t.sidOf(id)
+	clients := t.cfg.clients(opts)
+
+	spans, err := t.overlappingSpans(gm, ts, te)
+	if err != nil {
+		return nil, err
+	}
+	chains, err := t.versionChains(spans, sid, id, clients)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect (timespan, eventlist) references whose chains record a
+	// change inside (ts, te).
+	var refs []elRef
+	for i, tm := range spans {
+		pid := -1
+		for _, e := range chains[i] {
+			hasInRange := false
+			for _, tt := range e.times {
+				if tt > ts && tt < te {
+					hasInRange = true
+					break
+				}
+			}
+			if !hasInRange {
+				continue
+			}
+			if pid < 0 {
+				if pid, err = t.pidOf(tm, sid, id); err != nil {
+					return nil, err
+				}
+			}
+			refs = append(refs, elRef{tm: tm, el: e.el, pid: pid})
+		}
+	}
+	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients)
+	if err != nil {
+		return nil, err
+	}
 	return h, nil
 }
 
 // GetNodeHistoryScan retrieves a node's history without consulting
-// version chains: it scans every micro-eventlist of the node's partition
+// version chains: it plans every micro-eventlist of the node's partition
 // across the overlapping timespans and filters. This is the ablation
 // baseline quantifying what the Versions table buys (DESIGN.md §6).
 func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
@@ -203,69 +254,44 @@ func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *Fe
 	}
 	h := &NodeHistory{ID: id, Interval: temporal.Interval{Start: ts, End: te}, Initial: initial}
 	sid := t.sidOf(id)
-	type ref struct {
-		tm *TimespanMeta
-		el int
+	clients := t.cfg.clients(opts)
+
+	spans, err := t.overlappingSpans(gm, ts, te)
+	if err != nil {
+		return nil, err
 	}
-	var refs []ref
-	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
-		tm, err := t.loadTimespanMeta(tsid)
+	var refs []elRef
+	for _, tm := range spans {
+		pid, err := t.pidOf(tm, sid, id)
 		if err != nil {
 			return nil, err
-		}
-		if tm.End <= ts || tm.Start >= te {
-			continue
 		}
 		for el := 0; el < tm.EventlistCount; el++ {
 			if tm.LeafTimes[el+1] <= ts || tm.LeafTimes[el] >= te {
 				continue
 			}
-			refs = append(refs, ref{tm: tm, el: el})
+			refs = append(refs, elRef{tm: tm, el: el, pid: pid})
 		}
 	}
-	lists := make([][]graph.Event, len(refs))
-	tasks := make([]func() error, 0, len(refs))
-	for i, r := range refs {
-		i, r := i, r
-		tasks = append(tasks, func() error {
-			pid, err := t.pidOf(r.tm, sid, id)
-			if err != nil {
-				return err
-			}
-			blob, ok := t.store.Get(TableEvents, placementKey(r.tm.TSID, sid), eventCKey(r.el, pid))
-			if !ok {
-				return nil
-			}
-			evs, err := t.cdc.DecodeEvents(blob)
-			if err != nil {
-				return err
-			}
-			var mine []graph.Event
-			for _, e := range evs {
-				if e.Touches(id) && e.Time > ts && e.Time < te {
-					mine = append(mine, e)
-				}
-			}
-			lists[i] = mine
-			return nil
-		})
-	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients)
+	if err != nil {
 		return nil, err
 	}
-	h.Events = mergeSortEvents(lists)
 	return h, nil
 }
 
 // ChangeTimes returns the timepoints at which the node changed within
-// [ts, te), read from version chains only (no eventlist fetches).
+// [ts, te), read from version chains only (one batched read, no
+// eventlist fetches).
 func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Time, error) {
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
 	}
 	sid := t.sidOf(id)
-	var out []temporal.Time
+	// Historical quirk kept intact: a span ending exactly at ts still
+	// counts as overlapping here (tm.End < ts, not <=).
+	var spans []*TimespanMeta
 	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
 		tm, err := t.loadTimespanMeta(tsid)
 		if err != nil {
@@ -274,14 +300,14 @@ func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Tim
 		if tm.End < ts || tm.Start >= te {
 			continue
 		}
-		blob, ok := t.store.Get(TableVersions, placementKey(tsid, sid), nodeCKey(id))
-		if !ok {
-			continue
-		}
-		entries, err := decodeVC(blob)
-		if err != nil {
-			return nil, err
-		}
+		spans = append(spans, tm)
+	}
+	chains, err := t.versionChains(spans, sid, id, t.cfg.clients(nil))
+	if err != nil {
+		return nil, err
+	}
+	var out []temporal.Time
+	for _, entries := range chains {
 		for _, e := range entries {
 			for _, tt := range e.times {
 				if tt >= ts && tt < te {

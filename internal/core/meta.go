@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
 	"hgs/internal/partition"
@@ -66,21 +67,20 @@ func (tm *TimespanMeta) leafFor(t temporal.Time) int {
 	return i - 1
 }
 
-// Key helpers — composite delta keys {tsid, sid, did, pid} with placement
-// key {tsid, sid} (paper §4.4 items 3–5). Fixed-width decimal components
-// keep clustering order equal to numeric order.
+// Key helpers — the composite key schema lives in the fetch layer
+// (internal/fetch); these aliases keep build and query code terse.
 
-func placementKey(tsid, sid int) string { return fmt.Sprintf("t%05d/s%03d", tsid, sid) }
+func placementKey(tsid, sid int) string { return fetch.PlacementKey(tsid, sid) }
 
-func deltaCKey(did, pid int) string { return fmt.Sprintf("d%05d/p%05d", did, pid) }
+func deltaCKey(did, pid int) string { return fetch.DeltaCKey(did, pid) }
 
-func deltaPrefix(did int) string { return fmt.Sprintf("d%05d/", did) }
+func deltaPrefix(did int) string { return fetch.DeltaPrefix(did) }
 
-func eventCKey(el, pid int) string { return fmt.Sprintf("e%05d/p%05d", el, pid) }
+func eventCKey(el, pid int) string { return fetch.EventCKey(el, pid) }
 
-func eventPrefix(el int) string { return fmt.Sprintf("e%05d/", el) }
+func eventPrefix(el int) string { return fetch.EventPrefix(el) }
 
-func nodeCKey(id graph.NodeID) string { return fmt.Sprintf("n%020d", uint64(id)) }
+func nodeCKey(id graph.NodeID) string { return fetch.NodeCKey(id) }
 
 // sidOf is the paper's fh: a random (hash) function of node id that fixes
 // the horizontal partition of a node for the whole history.
@@ -334,13 +334,17 @@ func (t *TGI) loadPidMap(key string) (map[graph.NodeID]int, error) {
 	return m, nil
 }
 
-// Stats summarizes the stored index (sizes per table, spans, deltas).
+// Stats summarizes the stored index (sizes per table, spans, deltas)
+// and the query layer's runtime counters: KV operations and round-trips
+// (StoreMetrics) plus decoded-delta cache hits, misses and occupancy
+// (Cache).
 type Stats struct {
 	Timespans    int
 	Events       int
 	StoredBytes  int64
 	LogicalBytes int64
 	StoreMetrics kvstore.Metrics
+	Cache        fetch.CacheStats
 }
 
 // Stats returns storage statistics for the index.
@@ -355,5 +359,6 @@ func (t *TGI) Stats() (Stats, error) {
 		StoredBytes:  t.store.StoredBytes(),
 		LogicalBytes: t.store.LogicalBytes(),
 		StoreMetrics: t.store.Metrics(),
+		Cache:        t.fx.Cache().Stats(),
 	}, nil
 }

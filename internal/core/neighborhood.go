@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/temporal"
 )
@@ -20,32 +21,47 @@ func (t *TGI) GetKHopViaSnapshot(id graph.NodeID, k int, tt temporal.Time, opts 
 }
 
 // GetKHopNeighborhood retrieves the k-hop neighborhood at time tt by
-// expanding outward from the node, fetching only the micro-partitions
-// that contain frontier nodes (Algorithm 4). With 1-hop replication the
-// first hop is served from the auxiliary micro-deltas (paper §4.5,
+// expanding outward from the node: each hop plans the micro-partitions
+// containing frontier nodes as one deduplicated read set and executes it
+// as a single batched fetch round (Algorithm 4). With 1-hop replication
+// the first hop is served from the auxiliary micro-deltas (paper §4.5,
 // Figure 5d).
 func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
 	}
+	leaf := tm.leafFor(tt)
 	// states holds completely reconstructed node states.
 	states := make(map[graph.NodeID]*graph.NodeState)
 	fetched := make(map[[2]int]bool) // (sid,pid) micro-partitions already read
 	var mu sync.Mutex
 
-	// fetchGroup pulls a set of micro-partitions in parallel and registers
-	// every state they contain.
+	// fetchGroup pulls a set of micro-partitions in one batched plan and
+	// registers every state they contain.
 	fetchGroup := func(groups map[[2]int][]graph.NodeID) error {
-		var tasks []func() error
+		plan := fetch.NewPlan()
+		keys := make([][2]int, 0, len(groups))
 		for key := range groups {
-			key := key
 			if fetched[key] {
 				continue
 			}
 			fetched[key] = true
+			keys = append(keys, key)
+			planMicroPartition(plan, tm, key[0], key[1], leaf)
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+		res, err := t.fx.Exec(plan, t.cfg.clients(opts))
+		if err != nil {
+			return err
+		}
+		tasks := make([]func() error, 0, len(keys))
+		for _, key := range keys {
+			key := key
 			tasks = append(tasks, func() error {
-				g, err := t.fetchMicroPartition(tm, key[0], key[1], tt)
+				g, err := t.assembleMicroPartition(res, tm, key[0], key[1], leaf, tt)
 				if err != nil {
 					return err
 				}
@@ -160,7 +176,9 @@ func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 
 // applyAux loads the auxiliary frontier micro-delta for the root's
 // micro-partition and replays its aux eventlist prefix, registering the
-// frontier states at tt.
+// frontier states at tt. Both aux rows travel in one batched read, and
+// the decoded aux delta shares the decoded-delta cache (hot roots skip
+// the store entirely).
 func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeState, id graph.NodeID, tt temporal.Time) error {
 	sid := t.sidOf(id)
 	pid, err := t.pidOf(tm, sid, id)
@@ -169,17 +187,22 @@ func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeStat
 	}
 	leaf := tm.leafFor(tt)
 	pkey := placementKey(tm.TSID, sid)
-	blob, ok := t.store.Get(TableAux, pkey, deltaCKey(leaf, pid))
-	if !ok {
-		return nil
+	plan := fetch.NewPlan()
+	plan.AuxPart(tm.TSID, sid, leaf, pid)
+	if leaf < tm.EventlistCount {
+		plan.Get(TableAuxEvents, pkey, eventCKey(leaf, pid))
 	}
-	d, err := t.cdc.DecodeDelta(blob)
+	res, err := t.fx.Exec(plan, 1)
 	if err != nil {
 		return err
 	}
+	d := res.AuxPart(tm.TSID, sid, leaf, pid)
+	if d == nil {
+		return nil
+	}
 	g := d.Materialize()
 	if leaf < tm.EventlistCount {
-		if evBlob, ok := t.store.Get(TableAuxEvents, pkey, eventCKey(leaf, pid)); ok {
+		if evBlob, ok := res.Get(TableAuxEvents, pkey, eventCKey(leaf, pid)); ok {
 			evs, err := t.cdc.DecodeEvents(evBlob)
 			if err != nil {
 				return err
@@ -248,7 +271,9 @@ func (sh *SubgraphHistory) ChangePoints() []temporal.Time {
 // node over [ts, te): the neighborhood subgraph at ts, then every event
 // touching its members (Algorithm 5 generalized; the member set is fixed
 // at ts — the closed-world semantics used by the paper's
-// NodeComputeDelta evaluation).
+// NodeComputeDelta evaluation). The member version chains and the
+// referenced micro-eventlists are each fetched as one batched read per
+// phase.
 func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts *FetchOptions) (*SubgraphHistory, error) {
 	initial, err := t.GetKHopNeighborhood(id, k, ts, opts)
 	if err != nil {
@@ -265,9 +290,6 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 		Initial:  initial,
 		Members:  members,
 	}
-
-	// Fetch member histories in parallel, deduplicating micro-eventlist
-	// reads per (tsid, sid, el, pid).
 	memberSet := make(map[graph.NodeID]struct{}, len(members))
 	for _, m := range members {
 		memberSet[m] = struct{}{}
@@ -276,64 +298,73 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 	if err != nil {
 		return nil, err
 	}
+	clients := t.cfg.clients(opts)
+	spans, err := t.overlappingSpans(gm, ts, te)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: every member's version chain in every overlapping span,
+	// one batched read, deduplicating the micro-eventlist references
+	// per (tsid, sid, el, pid).
+	plan := fetch.NewPlan()
+	for _, tm := range spans {
+		for _, m := range members {
+			plan.Get(TableVersions, placementKey(tm.TSID, t.sidOf(m)), nodeCKey(m))
+		}
+	}
+	res, err := t.fx.Exec(plan, clients)
+	if err != nil {
+		return nil, err
+	}
 	type rowKey struct {
 		tsid, sid, el, pid int
 	}
 	rows := make(map[rowKey]struct{})
-	var rowMu sync.Mutex
-	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
-		tm, err := t.loadTimespanMeta(tsid)
-		if err != nil {
-			return nil, err
-		}
-		if tm.End <= ts || tm.Start >= te {
-			continue
-		}
-		// Which (el, pid) rows contain changes of members? Consult the
-		// version chains of every member.
-		tasks := make([]func() error, 0, len(members))
+	for _, tm := range spans {
 		for _, m := range members {
-			m := m
-			tasks = append(tasks, func() error {
-				sid := t.sidOf(m)
-				blob, ok := t.store.Get(TableVersions, placementKey(tsid, sid), nodeCKey(m))
-				if !ok {
-					return nil
-				}
-				entries, err := decodeVC(blob)
-				if err != nil {
-					return err
-				}
-				pid, err := t.pidOf(tm, sid, m)
-				if err != nil {
-					return err
-				}
-				for _, e := range entries {
-					for _, tt := range e.times {
-						if tt > ts && tt < te {
-							rowMu.Lock()
-							rows[rowKey{tsid, sid, e.el, pid}] = struct{}{}
-							rowMu.Unlock()
-							break
-						}
+			sid := t.sidOf(m)
+			blob, ok := res.Get(TableVersions, placementKey(tm.TSID, sid), nodeCKey(m))
+			if !ok {
+				continue
+			}
+			entries, err := decodeVC(blob)
+			if err != nil {
+				return nil, err
+			}
+			pid, err := t.pidOf(tm, sid, m)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				for _, tt := range e.times {
+					if tt > ts && tt < te {
+						rows[rowKey{tm.TSID, sid, e.el, pid}] = struct{}{}
+						break
 					}
 				}
-				return nil
-			})
-		}
-		if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
-			return nil, err
+			}
 		}
 	}
 
-	// Fetch the deduplicated rows and filter to member-touching events.
-	var lists [][]graph.Event
-	var listMu sync.Mutex
-	tasks := make([]func() error, 0, len(rows))
+	// Phase 2: fetch the deduplicated rows as one batched read and
+	// filter to member-touching events in parallel.
+	keys := make([]rowKey, 0, len(rows))
+	evPlan := fetch.NewPlan()
 	for key := range rows {
-		key := key
+		keys = append(keys, key)
+		evPlan.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
+	}
+	evRes, err := t.fx.Exec(evPlan, clients)
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]graph.Event, len(keys))
+	tasks := make([]func() error, 0, len(keys))
+	for i, key := range keys {
+		i, key := i, key
 		tasks = append(tasks, func() error {
-			blob, ok := t.store.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
+			blob, ok := evRes.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
 			if !ok {
 				return nil
 			}
@@ -352,13 +383,11 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 					keep = append(keep, e)
 				}
 			}
-			listMu.Lock()
-			lists = append(lists, keep)
-			listMu.Unlock()
+			lists[i] = keep
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	if err := runParallel(clients, tasks); err != nil {
 		return nil, err
 	}
 	sh.Events = mergeSortEvents(lists)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/temporal"
 )
@@ -123,7 +124,8 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 }
 
 // fetchSidSnapshot reconstructs one horizontal partition's state at tt
-// (the per-sid slice of Algorithm 1).
+// (the per-sid slice of Algorithm 1): one batched plan for the path
+// delta groups and the boundary eventlist, cache-served where hot.
 func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
@@ -131,21 +133,26 @@ func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time) (*graph.Graph, error) 
 	}
 	leaf := tm.leafFor(tt)
 	pkey := placementKey(tm.TSID, sid)
+	plan := fetch.NewPlan()
+	for _, did := range tm.LeafPaths[leaf] {
+		plan.DeltaGroup(tm.TSID, sid, did)
+	}
+	if leaf < tm.EventlistCount {
+		plan.Scan(TableEvents, pkey, eventPrefix(leaf))
+	}
+	res, err := t.fx.Exec(plan, 1)
+	if err != nil {
+		return nil, err
+	}
 	g := graph.New()
 	for _, did := range tm.LeafPaths[leaf] {
-		rows := t.store.ScanPrefix(TableDeltas, pkey, deltaPrefix(did))
-		for _, row := range rows {
-			d, err := t.cdc.DecodeDelta(row.Value)
-			if err != nil {
-				return nil, fmt.Errorf("core: decode delta %s/%s: %w", pkey, row.CKey, err)
-			}
-			d.MoveTo(g)
+		for _, part := range res.Group(tm.TSID, sid, did) {
+			res.Merge(part.Delta, g)
 		}
 	}
 	if leaf < tm.EventlistCount {
-		rows := t.store.ScanPrefix(TableEvents, pkey, eventPrefix(leaf))
 		var lists [][]graph.Event
-		for _, row := range rows {
+		for _, row := range res.Scan(TableEvents, pkey, eventPrefix(leaf)) {
 			evs, err := t.cdc.DecodeEvents(row.Value)
 			if err != nil {
 				return nil, err

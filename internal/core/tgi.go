@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hgs/internal/codec"
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
 	"hgs/internal/temporal"
@@ -12,12 +13,15 @@ import (
 
 // TGI is the Temporal Graph Index: construction (Index Manager), metadata
 // caching and retrieval planning (Query Manager) over a distributed
-// key-value store (paper Figure 3c).
+// key-value store (paper Figure 3c). Every retrieval runs through the
+// unified fetch layer (fx): planned key sets, batched per-node reads,
+// and the decoded-delta cache.
 type TGI struct {
 	cfg   Config
 	store *kvstore.Cluster
 	cdc   codec.Codec
 	meta  *metaStore
+	fx    *fetch.Executor
 }
 
 // New creates an index handle over the given store. The store may be
@@ -25,11 +29,13 @@ type TGI struct {
 // with the same configuration.
 func New(store *kvstore.Cluster, cfg Config) *TGI {
 	cfg.normalize()
+	cdc := codec.Codec{Compress: cfg.Compress}
 	return &TGI{
 		cfg:   cfg,
 		store: store,
-		cdc:   codec.Codec{Compress: cfg.Compress},
+		cdc:   cdc,
 		meta:  newMetaStore(),
+		fx:    fetch.NewExecutor(store, cdc, fetch.NewCache(cfg.cacheBudget())),
 	}
 }
 
@@ -61,9 +67,13 @@ func Attach(store *kvstore.Cluster, cfg Config) (*TGI, bool, error) {
 	if err := json.Unmarshal(blob, gm); err != nil {
 		return nil, false, fmt.Errorf("core: decode persisted graph metadata: %w", err)
 	}
+	// Construction parameters come from the store; CacheBytes is a
+	// property of the reading process and survives the adoption.
 	t.cfg = gm.Config
+	t.cfg.CacheBytes = cfg.CacheBytes
 	t.cfg.normalize()
 	t.cdc = codec.Codec{Compress: t.cfg.Compress}
+	t.fx = fetch.NewExecutor(store, t.cdc, fetch.NewCache(t.cfg.cacheBudget()))
 	t.meta.mu.Lock()
 	t.meta.graph = gm
 	t.meta.mu.Unlock()
@@ -75,6 +85,10 @@ func (t *TGI) Config() Config { return t.cfg }
 
 // Store returns the backing cluster (used by benchmarks for metrics).
 func (t *TGI) Store() *kvstore.Cluster { return t.store }
+
+// CacheStats returns the decoded-delta cache counters (zero when the
+// cache is disabled).
+func (t *TGI) CacheStats() fetch.CacheStats { return t.fx.Cache().Stats() }
 
 // TimeRange returns the [first, last] event times covered by the index.
 func (t *TGI) TimeRange() (temporal.Time, temporal.Time, error) {

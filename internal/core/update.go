@@ -75,6 +75,9 @@ func (t *TGI) Append(events []graph.Event) error {
 	gm.End = events[len(events)-1].Time
 	gm.TimespanCount = tsid
 	t.meta.invalidate()
+	// The rebuilt trailing timespan reuses delta ids; drop any decoded
+	// deltas cached for the old rows.
+	t.fx.Cache().Purge()
 	return t.storeGraphMeta(gm)
 }
 

@@ -1,0 +1,221 @@
+package fetch
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hgs/internal/delta"
+)
+
+// Byte-accounting overheads charged per cached entry and per micro-delta
+// on top of the encoded blob size, approximating the decoded in-memory
+// footprint (maps, state headers) the blob length alone undercounts.
+const (
+	entryOverhead = 256
+	partOverhead  = 64
+)
+
+// Cache is a bytes-bounded LRU of decoded micro-deltas, keyed by
+// (tsid, sid, did) group. Hot root and interior deltas of the tree —
+// shared by every snapshot and micro-partition retrieval of a timespan —
+// are decoded once and then served to all queries and TAF workers.
+//
+// An entry holds the decoded micro-deltas of one tree delta by pid. A
+// full prefix scan installs a complete entry (so group lookups and
+// known-absent answers are served without touching the store); a point
+// read installs or extends an incomplete one. Eviction is LRU at entry
+// granularity against a budget of encoded-blob bytes plus fixed
+// overheads.
+//
+// Cached deltas are shared read-only: readers merge them with
+// Delta.ApplyTo (which clones states) and must never call MoveTo.
+// A nil *Cache is valid and caches nothing.
+type Cache struct {
+	mu      sync.Mutex
+	max     int64
+	used    int64
+	ll      *list.List // front = most recently used
+	entries map[GroupKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// cacheEntry is one (tsid, sid, did) group.
+type cacheEntry struct {
+	key   GroupKey
+	parts map[int]*delta.Delta
+	// sorted is the pid-ascending part list, materialized once when the
+	// entry completes so group hits — the hottest path — return it
+	// without re-sorting.
+	sorted   []Part
+	complete bool
+	total    int64
+}
+
+// NewCache returns a cache bounded to maxBytes; maxBytes <= 0 returns
+// nil (caching disabled).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &Cache{max: maxBytes, ll: list.New(), entries: make(map[GroupKey]*list.Element)}
+}
+
+// Group returns the complete micro-delta set of a group, pid-ascending,
+// or ok=false when the group is absent or only partially resident.
+func (c *Cache) Group(k GroupKey) ([]Part, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok || !el.Value.(*cacheEntry).complete {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	// The slice is shared read-only, like the deltas it holds.
+	return el.Value.(*cacheEntry).sorted, true
+}
+
+// Part returns one micro-delta. known reports whether the answer is
+// authoritative: a complete entry knows absence (d == nil, known), an
+// incomplete or missing entry does not (known == false → read the
+// store).
+func (c *Cache) Part(k PartKey) (d *delta.Delta, known bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k.group()]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if d, ok := e.parts[k.PID]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return d, true
+	}
+	if e.complete { // the row provably does not exist
+		c.hits++
+		c.ll.MoveToFront(el)
+		return nil, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// AddGroup installs the complete decoded micro-delta set of a group.
+// sizes[i] is the encoded size of parts[i] (the byte-budget charge).
+func (c *Cache) AddGroup(k GroupKey, parts []Part, sizes []int64) {
+	if c == nil {
+		return
+	}
+	e := &cacheEntry{key: k, parts: make(map[int]*delta.Delta, len(parts)), complete: true, total: entryOverhead}
+	for i, p := range parts {
+		e.parts[p.PID] = p.Delta
+		e.total += sizes[i] + partOverhead
+	}
+	e.sorted = append([]Part(nil), parts...)
+	sort.Slice(e.sorted, func(i, j int) bool { return e.sorted[i].PID < e.sorted[j].PID })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.used -= el.Value.(*cacheEntry).total
+		c.ll.Remove(el)
+	}
+	c.entries[k] = c.ll.PushFront(e)
+	c.used += e.total
+	c.evictLocked()
+}
+
+// AddPart installs one decoded micro-delta into its group without
+// marking the group complete.
+func (c *Cache) AddPart(k PartKey, d *delta.Delta, size int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k.group()]
+	if !ok {
+		e := &cacheEntry{key: k.group(), parts: make(map[int]*delta.Delta, 1), total: entryOverhead}
+		el = c.ll.PushFront(e)
+		c.entries[k.group()] = el
+		c.used += e.total
+	}
+	e := el.Value.(*cacheEntry)
+	if _, exists := e.parts[k.PID]; exists {
+		return
+	}
+	b := size + partOverhead
+	e.parts[k.PID] = d
+	e.total += b
+	c.used += b
+	c.ll.MoveToFront(el)
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until within budget.
+func (c *Cache) evictLocked() {
+	for c.used > c.max && c.ll.Len() > 0 {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, e.key)
+		c.used -= e.total
+		c.evictions++
+	}
+}
+
+// Purge drops every entry (called when the index mutates: Append rebuilds
+// the trailing timespan, so cached deltas for it would be stale).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[GroupKey]*list.Element)
+	c.used = 0
+}
+
+// CacheStats is a snapshot of cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("cache hits=%d misses=%d evictions=%d entries=%d bytes=%d/%d",
+		s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes, s.MaxBytes)
+}
+
+// Stats returns a snapshot of the cache counters (zero for a nil cache).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.used,
+		MaxBytes:  c.max,
+	}
+}

@@ -1,0 +1,207 @@
+package fetch
+
+import (
+	"fmt"
+	"sync"
+
+	"hgs/internal/codec"
+	"hgs/internal/delta"
+	"hgs/internal/kvstore"
+)
+
+// Store is the batched read surface the executor runs plans against;
+// *kvstore.Cluster implements it. Both calls answer positionally.
+type Store interface {
+	MultiGet(refs []kvstore.KeyRef) []kvstore.GetResult
+	MultiScan(refs []kvstore.ScanRef) [][]kvstore.Row
+}
+
+// Executor runs read plans: delta requests are served from the decoded
+// cache when resident, everything else goes to the store as one batched
+// round (a MultiScan and a MultiGet issued concurrently, each charging
+// one simulated round-trip per storage node touched). Freshly decoded
+// deltas are installed in the cache on the way out.
+type Executor struct {
+	store Store
+	cdc   codec.Codec
+	cache *Cache
+}
+
+// NewExecutor builds an executor over a store; cache may be nil
+// (caching disabled).
+func NewExecutor(store Store, cdc codec.Codec, cache *Cache) *Executor {
+	return &Executor{store: store, cdc: cdc, cache: cache}
+}
+
+// Cache returns the executor's delta cache (nil when disabled).
+func (e *Executor) Cache() *Cache { return e.cache }
+
+// Parallel runs f(0..n-1) with up to clients concurrent workers (the
+// paper's query processors), returning the first error. It is the one
+// bounded worker pool of the fetch path; core's retrieval sites drive
+// their decode/merge tasks through it too.
+func Parallel(clients, n int, f func(i int) error) error {
+	if clients > n {
+		clients = n
+	}
+	if clients <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := f(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// Exec runs the plan. clients bounds the decode parallelism (the paper's
+// query-processor count c); the store round is internally parallel per
+// node regardless. The returned deltas are shared with the cache — see
+// Result.
+func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	res := &Result{
+		groups: make(map[GroupKey][]Part, len(p.groups)),
+		parts:  make(map[PartKey]*delta.Delta, len(p.parts)),
+		gets:   make(map[kvstore.KeyRef][]byte, len(p.gets)),
+		scans:  make(map[kvstore.ScanRef][]kvstore.Row, len(p.scans)),
+		shared: e.cache != nil,
+	}
+
+	// 1. Serve delta requests out of the cache.
+	var missGroups []GroupKey
+	for _, k := range p.groups {
+		if parts, ok := e.cache.Group(k); ok {
+			res.groups[k] = parts
+		} else {
+			missGroups = append(missGroups, k)
+		}
+	}
+	var missParts []PartKey
+	for _, k := range p.parts {
+		if d, known := e.cache.Part(k); known {
+			if d != nil {
+				res.parts[k] = d
+			}
+		} else {
+			missParts = append(missParts, k)
+		}
+	}
+
+	// 2. One batched store round for everything that missed: the group
+	// prefixes ride the raw scans' MultiScan, the single micro-deltas
+	// ride the raw gets' MultiGet, issued concurrently.
+	scanRefs := make([]kvstore.ScanRef, 0, len(missGroups)+len(p.scans))
+	for _, k := range missGroups {
+		scanRefs = append(scanRefs, kvstore.ScanRef{
+			Table: k.Table, PKey: PlacementKey(k.TSID, k.SID), Prefix: DeltaPrefix(k.DID),
+		})
+	}
+	scanRefs = append(scanRefs, p.scans...)
+	getRefs := make([]kvstore.KeyRef, 0, len(missParts)+len(p.gets))
+	for _, k := range missParts {
+		getRefs = append(getRefs, kvstore.KeyRef{
+			Table: k.Table, PKey: PlacementKey(k.TSID, k.SID), CKey: DeltaCKey(k.DID, k.PID),
+		})
+	}
+	getRefs = append(getRefs, p.gets...)
+
+	var (
+		scanRows [][]kvstore.Row
+		getVals  []kvstore.GetResult
+		wg       sync.WaitGroup
+	)
+	if len(scanRefs) > 0 {
+		wg.Add(1)
+		go func() { defer wg.Done(); scanRows = e.store.MultiScan(scanRefs) }()
+	}
+	if len(getRefs) > 0 {
+		wg.Add(1)
+		go func() { defer wg.Done(); getVals = e.store.MultiGet(getRefs) }()
+	}
+	wg.Wait()
+
+	// 3. Decode the missed deltas in parallel, installing them in the
+	// cache as they complete.
+	var mu sync.Mutex
+	if err := Parallel(clients, len(missGroups), func(i int) error {
+		k := missGroups[i]
+		rows := scanRows[i]
+		parts := make([]Part, 0, len(rows))
+		sizes := make([]int64, 0, len(rows))
+		for _, row := range rows {
+			pid, err := ParsePID(row.CKey)
+			if err != nil {
+				return err
+			}
+			d, err := e.cdc.DecodeDelta(row.Value)
+			if err != nil {
+				return fmt.Errorf("fetch: decode delta %s/%s: %w", PlacementKey(k.TSID, k.SID), row.CKey, err)
+			}
+			parts = append(parts, Part{PID: pid, Delta: d})
+			sizes = append(sizes, int64(len(row.Value)))
+		}
+		e.cache.AddGroup(k, parts, sizes)
+		mu.Lock()
+		res.groups[k] = parts
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := Parallel(clients, len(missParts), func(i int) error {
+		k := missParts[i]
+		gv := getVals[i]
+		if !gv.Found {
+			return nil
+		}
+		d, err := e.cdc.DecodeDelta(gv.Value)
+		if err != nil {
+			return fmt.Errorf("fetch: decode delta %s/%s: %w",
+				PlacementKey(k.TSID, k.SID), DeltaCKey(k.DID, k.PID), err)
+		}
+		e.cache.AddPart(k, d, int64(len(gv.Value)))
+		mu.Lock()
+		res.parts[k] = d
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// 4. Raw results, positionally after the delta requests.
+	for i, ref := range p.scans {
+		res.scans[ref] = scanRows[len(missGroups)+i]
+	}
+	for i, ref := range p.gets {
+		if gv := getVals[len(missParts)+i]; gv.Found {
+			res.gets[ref] = gv.Value
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package fetch
+
+import (
+	"hgs/internal/delta"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+)
+
+// GroupKey names one tree delta within a horizontal partition: every
+// micro-delta sharing the DeltaPrefix(DID) under PlacementKey(TSID, SID)
+// of one delta-bearing table (TableDeltas, or TableAux where DID is the
+// leaf index). This is the caching granularity — a snapshot wants all of
+// it, a micro-partition fetch wants one pid of it.
+type GroupKey struct {
+	Table          string
+	TSID, SID, DID int
+}
+
+// PartKey names a single micro-delta.
+type PartKey struct {
+	Table               string
+	TSID, SID, DID, PID int
+}
+
+func (p PartKey) group() GroupKey { return GroupKey{p.Table, p.TSID, p.SID, p.DID} }
+
+// Plan is a deduplicated read set for one retrieval. Add requests in any
+// order — duplicates collapse — then hand the plan to Executor.Exec and
+// read results back by the same coordinates.
+type Plan struct {
+	groups   []GroupKey
+	groupSet map[GroupKey]struct{}
+	parts    []PartKey
+	partSet  map[PartKey]struct{}
+	gets     []kvstore.KeyRef
+	getSet   map[kvstore.KeyRef]struct{}
+	scans    []kvstore.ScanRef
+	scanSet  map[kvstore.ScanRef]struct{}
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{
+		groupSet: make(map[GroupKey]struct{}),
+		partSet:  make(map[PartKey]struct{}),
+		getSet:   make(map[kvstore.KeyRef]struct{}),
+		scanSet:  make(map[kvstore.ScanRef]struct{}),
+	}
+}
+
+// DeltaGroup requests every micro-delta of tree delta did (one prefix
+// scan, or a cache hit when the whole group is resident).
+func (p *Plan) DeltaGroup(tsid, sid, did int) {
+	k := GroupKey{TableDeltas, tsid, sid, did}
+	if _, ok := p.groupSet[k]; ok {
+		return
+	}
+	p.groupSet[k] = struct{}{}
+	p.groups = append(p.groups, k)
+}
+
+// DeltaPart requests one micro-delta. A part already covered by a
+// requested group is still planned independently — the group scan and
+// the point read deduplicate at the cache, not the plan (plans mixing
+// both for the same delta are not produced by the query sites).
+func (p *Plan) DeltaPart(tsid, sid, did, pid int) {
+	p.part(PartKey{TableDeltas, tsid, sid, did, pid})
+}
+
+// AuxPart requests one auxiliary frontier micro-delta (1-hop
+// replication): the TableAux row at DeltaCKey(leaf, pid). Aux deltas
+// share the decoded cache with tree deltas — hot frontier rows are
+// decoded once across queries.
+func (p *Plan) AuxPart(tsid, sid, leaf, pid int) {
+	p.part(PartKey{TableAux, tsid, sid, leaf, pid})
+}
+
+func (p *Plan) part(k PartKey) {
+	if _, ok := p.partSet[k]; ok {
+		return
+	}
+	p.partSet[k] = struct{}{}
+	p.parts = append(p.parts, k)
+}
+
+// Get requests one raw row (version chains, eventlists, aux rows —
+// anything that is not a cached delta).
+func (p *Plan) Get(table, pkey, ckey string) {
+	k := kvstore.KeyRef{Table: table, PKey: pkey, CKey: ckey}
+	if _, ok := p.getSet[k]; ok {
+		return
+	}
+	p.getSet[k] = struct{}{}
+	p.gets = append(p.gets, k)
+}
+
+// Scan requests one raw prefix scan.
+func (p *Plan) Scan(table, pkey, prefix string) {
+	k := kvstore.ScanRef{Table: table, PKey: pkey, Prefix: prefix}
+	if _, ok := p.scanSet[k]; ok {
+		return
+	}
+	p.scanSet[k] = struct{}{}
+	p.scans = append(p.scans, k)
+}
+
+// Size reports the deduplicated request counts (groups, parts, gets,
+// scans) — the planner's unit-test surface.
+func (p *Plan) Size() (groups, parts, gets, scans int) {
+	return len(p.groups), len(p.parts), len(p.gets), len(p.scans)
+}
+
+// Empty reports whether the plan holds no requests.
+func (p *Plan) Empty() bool {
+	return len(p.groups) == 0 && len(p.parts) == 0 && len(p.gets) == 0 && len(p.scans) == 0
+}
+
+// Part is one decoded micro-delta of a group, identified by pid.
+type Part struct {
+	PID   int
+	Delta *delta.Delta
+}
+
+// Result answers an executed plan. When the executor runs with a cache,
+// deltas returned through Group and Part are owned by the cache and
+// shared across queries: callers must treat them as immutable — merge
+// them into graphs with Merge (or Delta.ApplyTo, which clones), never
+// Delta.MoveTo. With caching disabled every delta is a private decode
+// and Merge transfers ownership instead of cloning.
+type Result struct {
+	groups map[GroupKey][]Part
+	parts  map[PartKey]*delta.Delta
+	gets   map[kvstore.KeyRef][]byte
+	scans  map[kvstore.ScanRef][]kvstore.Row
+	// shared records that deltas are (or may be) cache-resident.
+	shared bool
+}
+
+// Merge merges a delta returned by this result into g, preserving the
+// fast path: cache-shared deltas clone their states in (ApplyTo),
+// private decodes move them (MoveTo, no copying). Each delta may be
+// merged at most once per result when the cache is disabled.
+func (r *Result) Merge(d *delta.Delta, g *graph.Graph) {
+	if r.shared {
+		d.ApplyTo(g)
+	} else {
+		d.MoveTo(g)
+	}
+}
+
+// Group returns the micro-deltas of a requested group, pid-ascending.
+func (r *Result) Group(tsid, sid, did int) []Part {
+	return r.groups[GroupKey{TableDeltas, tsid, sid, did}]
+}
+
+// Part returns a requested micro-delta, nil when the row does not exist.
+func (r *Result) Part(tsid, sid, did, pid int) *delta.Delta {
+	return r.parts[PartKey{TableDeltas, tsid, sid, did, pid}]
+}
+
+// AuxPart returns a requested auxiliary micro-delta, nil when absent.
+func (r *Result) AuxPart(tsid, sid, leaf, pid int) *delta.Delta {
+	return r.parts[PartKey{TableAux, tsid, sid, leaf, pid}]
+}
+
+// Get returns a requested raw row.
+func (r *Result) Get(table, pkey, ckey string) ([]byte, bool) {
+	v, ok := r.gets[kvstore.KeyRef{Table: table, PKey: pkey, CKey: ckey}]
+	return v, ok
+}
+
+// Scan returns the rows of a requested prefix scan.
+func (r *Result) Scan(table, pkey, prefix string) []kvstore.Row {
+	return r.scans[kvstore.ScanRef{Table: table, PKey: pkey, Prefix: prefix}]
+}

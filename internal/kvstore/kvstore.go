@@ -81,12 +81,18 @@ func (c *Config) normalize() {
 	}
 }
 
-// Metrics is a snapshot of cluster-wide counters.
+// Metrics is a snapshot of cluster-wide counters. Reads and Writes count
+// logical operations (one per key or prefix scan, even inside a batch);
+// RoundTrips counts physical node visits — a MultiGet touching two
+// machines is many Reads but two RoundTrips. SimWait is the total
+// simulated service time charged by the latency model.
 type Metrics struct {
 	Reads        int64
 	Writes       int64
 	BytesRead    int64
 	BytesWritten int64
+	RoundTrips   int64
+	SimWait      time.Duration
 }
 
 // Row is one clustered row inside a partition.
@@ -113,6 +119,8 @@ type Cluster struct {
 	writes       atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+	roundTrips   atomic.Int64
+	simWait      atomic.Int64 // nanoseconds
 }
 
 // Open builds a cluster per the configuration, creating each node's
@@ -218,11 +226,14 @@ func simulateWork(d time.Duration) {
 // is busy for proportionally long, so cluster size m and replication r
 // bound the achievable parallel-fetch speedup (paper Figures 11–12).
 func (c *Cluster) serve(idx int, f func(be backend.Backend) int) {
+	c.roundTrips.Add(1)
 	node := c.nodes[idx]
 	node.mu.Lock()
 	defer node.mu.Unlock()
 	n := f(node.be)
-	simulateWork(c.Latency().Cost(n))
+	d := c.Latency().Cost(n)
+	c.simWait.Add(int64(d))
+	simulateWork(d)
 }
 
 // Put writes value under (table, pkey, ckey) on every replica,
@@ -279,6 +290,120 @@ func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
 // ScanPartition returns every row of the partition in clustering order.
 func (c *Cluster) ScanPartition(table, pkey string) []Row {
 	return c.ScanPrefix(table, pkey, "")
+}
+
+// KeyRef names one row for a batched cluster read. It is the same
+// triple the backend layer consumes (backend.KeyRead), so a node's
+// batch passes straight through to its engine without conversion.
+type KeyRef = backend.KeyRead
+
+// ScanRef names one prefix scan for a batched cluster read.
+type ScanRef struct {
+	Table, PKey, Prefix string
+}
+
+// GetResult is the outcome of one KeyRef of a MultiGet.
+type GetResult struct {
+	Value []byte
+	Found bool
+}
+
+// groupByNode picks a read replica once per partition (so all keys of a
+// partition travel in the same request) and groups request indexes by
+// the chosen storage node.
+func (c *Cluster) groupByNode(n int, at func(i int) (table, pkey string)) map[int][]int {
+	type part struct{ table, pkey string }
+	nodeOf := make(map[part]int)
+	batches := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		table, pkey := at(i)
+		k := part{table, pkey}
+		node, ok := nodeOf[k]
+		if !ok {
+			node = c.readReplica(table, pkey)
+			nodeOf[k] = node
+		}
+		batches[node] = append(batches[node], i)
+	}
+	return batches
+}
+
+// MultiGet reads a batch of rows, grouping the keys per storage node and
+// serving each node's share in one request: one base-latency charge per
+// machine round-trip instead of per key (the executor half of the
+// query-manager plan, paper Figure 3c). Nodes are visited concurrently,
+// so the wall-clock cost is the busiest node's service time. Results are
+// positional: out[i] answers refs[i].
+func (c *Cluster) MultiGet(refs []KeyRef) []GetResult {
+	out := make([]GetResult, len(refs))
+	if len(refs) == 0 {
+		return out
+	}
+	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
+	var wg sync.WaitGroup
+	for node, idxs := range batches {
+		wg.Add(1)
+		go func(node int, idxs []int) {
+			defer wg.Done()
+			reqs := make([]backend.KeyRead, len(idxs))
+			for j, i := range idxs {
+				reqs[j] = refs[i]
+			}
+			var vals [][]byte
+			c.serve(node, func(be backend.Backend) int {
+				vals = backend.MultiGet(be, reqs)
+				n := 0
+				for _, v := range vals {
+					n += len(v)
+				}
+				return n
+			})
+			total := 0
+			for j, i := range idxs {
+				if v := vals[j]; v != nil {
+					out[i] = GetResult{Value: v, Found: true}
+					total += len(v)
+				}
+			}
+			c.reads.Add(int64(len(idxs)))
+			c.bytesRead.Add(int64(total))
+		}(node, idxs)
+	}
+	wg.Wait()
+	return out
+}
+
+// MultiScan runs a batch of prefix scans, grouped per storage node like
+// MultiGet: each node serves its share of scans under one base-latency
+// charge. out[i] holds the rows of refs[i], in clustering order.
+func (c *Cluster) MultiScan(refs []ScanRef) [][]Row {
+	out := make([][]Row, len(refs))
+	if len(refs) == 0 {
+		return out
+	}
+	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
+	var wg sync.WaitGroup
+	for node, idxs := range batches {
+		wg.Add(1)
+		go func(node int, idxs []int) {
+			defer wg.Done()
+			total := 0
+			c.serve(node, func(be backend.Backend) int {
+				for _, i := range idxs {
+					rows := be.ScanPrefix(refs[i].Table, refs[i].PKey, refs[i].Prefix)
+					for _, r := range rows {
+						total += len(r.Value)
+					}
+					out[i] = rows
+				}
+				return total
+			})
+			c.reads.Add(int64(len(idxs)))
+			c.bytesRead.Add(int64(total))
+		}(node, idxs)
+	}
+	wg.Wait()
+	return out
 }
 
 // Delete removes a row from all replicas; it reports whether the row
@@ -364,6 +489,8 @@ func (c *Cluster) Metrics() Metrics {
 		Writes:       c.writes.Load(),
 		BytesRead:    c.bytesRead.Load(),
 		BytesWritten: c.bytesWritten.Load(),
+		RoundTrips:   c.roundTrips.Load(),
+		SimWait:      time.Duration(c.simWait.Load()),
 	}
 }
 
@@ -373,6 +500,8 @@ func (c *Cluster) ResetMetrics() {
 	c.writes.Store(0)
 	c.bytesRead.Store(0)
 	c.bytesWritten.Store(0)
+	c.roundTrips.Store(0)
+	c.simWait.Store(0)
 }
 
 // StoredBytes returns the physical bytes currently stored across all

@@ -294,3 +294,96 @@ func TestConfigNormalization(t *testing.T) {
 		t.Fatalf("normalization wrong: %+v", c.Config())
 	}
 }
+
+func TestMultiGetMatchesGet(t *testing.T) {
+	c := NewCluster(Config{Machines: 3, Replication: 2})
+	refs := make([]KeyRef, 0, 40)
+	for i := 0; i < 40; i++ {
+		pkey := fmt.Sprintf("p%d", i%5)
+		ckey := fmt.Sprintf("c%02d", i)
+		if i%4 != 3 { // leave every fourth key absent
+			c.Put("t", pkey, ckey, []byte(fmt.Sprintf("v%d", i)))
+		}
+		refs = append(refs, KeyRef{Table: "t", PKey: pkey, CKey: ckey})
+	}
+	got := c.MultiGet(refs)
+	for i, ref := range refs {
+		v, ok := c.Get(ref.Table, ref.PKey, ref.CKey)
+		if ok != got[i].Found {
+			t.Fatalf("ref %d: found=%v, Get says %v", i, got[i].Found, ok)
+		}
+		if ok && string(v) != string(got[i].Value) {
+			t.Fatalf("ref %d: value %q != %q", i, got[i].Value, v)
+		}
+	}
+}
+
+func TestMultiScanMatchesScanPrefix(t *testing.T) {
+	c := NewCluster(Config{Machines: 2, Replication: 1})
+	for p := 0; p < 4; p++ {
+		for i := 0; i < 10; i++ {
+			c.Put("t", fmt.Sprintf("p%d", p), fmt.Sprintf("a%02d", i), []byte{byte(p), byte(i)})
+			c.Put("t", fmt.Sprintf("p%d", p), fmt.Sprintf("b%02d", i), []byte{byte(i)})
+		}
+	}
+	refs := []ScanRef{
+		{Table: "t", PKey: "p0", Prefix: "a"},
+		{Table: "t", PKey: "p1", Prefix: "b"},
+		{Table: "t", PKey: "p2", Prefix: ""},
+		{Table: "t", PKey: "nope", Prefix: "a"},
+	}
+	got := c.MultiScan(refs)
+	for i, ref := range refs {
+		want := c.ScanPrefix(ref.Table, ref.PKey, ref.Prefix)
+		if len(want) != len(got[i]) {
+			t.Fatalf("scan %d: %d rows != %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if want[j].CKey != got[i][j].CKey || string(want[j].Value) != string(got[i][j].Value) {
+				t.Fatalf("scan %d row %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestMultiGetRoundTripAccounting(t *testing.T) {
+	const machines = 3
+	c := NewCluster(Config{Machines: machines, Replication: 1})
+	refs := make([]KeyRef, 0, 60)
+	for i := 0; i < 60; i++ {
+		pkey := fmt.Sprintf("p%d", i%6)
+		ckey := fmt.Sprintf("c%02d", i)
+		c.Put("t", pkey, ckey, []byte("v"))
+		refs = append(refs, KeyRef{Table: "t", PKey: pkey, CKey: ckey})
+	}
+	c.ResetMetrics()
+	c.MultiGet(refs)
+	m := c.Metrics()
+	if m.Reads != int64(len(refs)) {
+		t.Fatalf("Reads = %d, want %d logical ops", m.Reads, len(refs))
+	}
+	if m.RoundTrips > machines {
+		t.Fatalf("RoundTrips = %d, want <= %d (one batch per node)", m.RoundTrips, machines)
+	}
+	// The same keys as single Gets pay one round-trip each.
+	c.ResetMetrics()
+	for _, ref := range refs {
+		c.Get(ref.Table, ref.PKey, ref.CKey)
+	}
+	if m := c.Metrics(); m.RoundTrips != int64(len(refs)) {
+		t.Fatalf("single-key RoundTrips = %d, want %d", m.RoundTrips, len(refs))
+	}
+}
+
+func TestSimWaitAccumulates(t *testing.T) {
+	c := NewCluster(Config{Machines: 1, Replication: 1, Latency: LatencyModel{Enabled: true, BaseOp: time.Microsecond}})
+	c.Put("t", "p", "c", []byte("v"))
+	c.Get("t", "p", "c")
+	if m := c.Metrics(); m.SimWait <= 0 {
+		t.Fatalf("SimWait = %v, want > 0", m.SimWait)
+	}
+	c.ResetMetrics()
+	if m := c.Metrics(); m.SimWait != 0 || m.RoundTrips != 0 {
+		t.Fatalf("reset left %+v", m)
+	}
+}

@@ -645,3 +645,44 @@ func TestTemporalVsDeltaAgreeOnEdgeQuantity(t *testing.T) {
 		}
 	}
 }
+
+// TestSONFetchSharesDeltaCache asserts the analytics fetch path rides
+// the unified fetch layer: a repeated SoN fetch over the same timeslice
+// serves its root-path deltas from the decoded-delta cache, issuing
+// fewer KV reads than the cold fetch and recording cache hits.
+func TestSONFetchSharesDeltaCache(t *testing.T) {
+	h := newHandler(t, 3)
+	cluster := h.TGI().Store()
+	iv := temporal.NewInterval(500, 3000)
+	fetchOnce := func() (*SoN, int64) {
+		cluster.ResetMetrics()
+		son, err := SON(h).Timeslice(iv).Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return son, cluster.Metrics().Reads
+	}
+	cold, coldReads := fetchOnce()
+	warm, warmReads := fetchOnce()
+	if warmReads >= coldReads {
+		t.Fatalf("warm SoN fetch reads (%d) not below cold (%d)", warmReads, coldReads)
+	}
+	if hits := h.TGI().CacheStats().Hits; hits == 0 {
+		t.Fatal("SoN refetch recorded no delta-cache hits")
+	}
+	a, b := cold.Collect(), warm.Collect()
+	if len(a) != len(b) {
+		t.Fatalf("warm SoN has %d nodes, cold %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].ID() != b[i].ID() {
+			t.Fatalf("node order differs at %d", i)
+		}
+		for _, tt := range []temporal.Time{700, 1800, 2900} {
+			x, y := a[i].StateAt(tt), b[i].StateAt(tt)
+			if (x == nil) != (y == nil) || (x != nil && !x.Equal(y)) {
+				t.Fatalf("node %d at %d: warm fetch state differs", a[i].ID(), tt)
+			}
+		}
+	}
+}
