@@ -5,7 +5,12 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-race test-full fmt-check fmt bench bench-cache
+# Fail `make cover` when total -short statement coverage drops below
+# this floor (the tree sits around 71%; the floor leaves headroom for
+# incidental drift, not for untested subsystems).
+COVER_FLOOR ?= 60.0
+
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt bench bench-cache bench-tiering
 
 ci: vet build test test-race fmt-check
 
@@ -24,6 +29,16 @@ test-race:
 test-full:
 	$(GO) test ./...
 
+# Total -short statement coverage with a hard floor; prints the
+# per-function summary so CI logs show what regressed.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -20
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 < f+0) }' && \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; } || true
+
 fmt-check:
 	@files="$$(gofmt -l .)"; \
 	if [ -n "$$files" ]; then \
@@ -40,3 +55,8 @@ bench:
 # simulated wait per pass).
 bench-cache:
 	$(GO) run ./cmd/hgs-bench -run cache
+
+# Tiered backend: sweep the hot-tier budget, report the per-tier read
+# split and simulated wait (Store.Stats proves hot hits skip the disk).
+bench-tiering:
+	$(GO) run ./cmd/hgs-bench -run tiering

@@ -7,12 +7,21 @@
 //	hgs-inspect -dataset wiki -nodes 10000
 //	hgs-inspect -dataset friendster -nodes 8000 -locality
 //
-// With -data the store runs on the durable disk backend: the first run
+// With -data the store runs on a durable disk backend: the first run
 // builds and persists the index, subsequent runs reattach to it and
 // answer the probe queries without rebuilding:
 //
 //	hgs-inspect -dataset wiki -nodes 10000 -data /tmp/hgs-wiki
 //	hgs-inspect -data /tmp/hgs-wiki   # instant: reuses the index
+//
+// -engine selects the storage engine behind -data (disk, or tiered for
+// the hot/cold engine with background compaction; the engine is
+// persisted, reattaching adopts it), and -backup copies the quiesced
+// store into a fresh directory that opens like the original:
+//
+//	hgs-inspect -dataset wiki -data /tmp/hgs-wiki -engine tiered
+//	hgs-inspect -data /tmp/hgs-wiki -backup /tmp/hgs-wiki.bak
+//	hgs-inspect -data /tmp/hgs-wiki.bak   # the backup is a store
 package main
 
 import (
@@ -35,6 +44,10 @@ func main() {
 	replicate := flag.Bool("replicate-1hop", false, "store 1-hop replication aux deltas")
 	compress := flag.Bool("compress", false, "gzip-compress stored blobs")
 	dataDir := flag.String("data", "", "durable data directory (disk backend); reattaches when it already holds an index")
+	engine := flag.String("engine", "", "storage engine for -data: disk | tiered (default: disk, or whatever the directory was created with)")
+	hotBytes := flag.Int64("hot-bytes", 0, "tiered engine: per-node hot-tier budget in bytes (default 32 MiB)")
+	compactRate := flag.Int64("compact-rate", 0, "tiered engine: background flush limit in bytes/sec (default 8 MiB/s; negative = unlimited)")
+	backup := flag.String("backup", "", "after inspecting, copy the quiesced store into this fresh directory")
 	flag.Parse()
 
 	// With a populated -data directory the shape and index parameters
@@ -45,19 +58,30 @@ func main() {
 		Replicate1Hop:        *replicate,
 		Compress:             *compress,
 		DataDir:              *dataDir,
+		Engine:               hgs.StorageEngine(*engine),
+		HotBytes:             *hotBytes,
+		CompactRate:          *compactRate,
 	}
 	if *dataDir != "" {
 		if _, err := os.Stat(filepath.Join(*dataDir, "cluster.json")); err == nil {
-			// Shape flags the user actually typed must still be checked
-			// against the persisted shape; untyped ones adopt it.
+			// Shape and engine flags the user actually typed must still
+			// be checked against the persisted values; untyped ones
+			// adopt them.
 			explicit := map[string]bool{}
 			flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-			probeOpts := hgs.Options{DataDir: *dataDir}
+			probeOpts := hgs.Options{
+				DataDir:     *dataDir,
+				HotBytes:    *hotBytes,
+				CompactRate: *compactRate,
+			}
 			if explicit["machines"] {
 				probeOpts.Machines = *machines
 			}
 			if explicit["replication"] {
 				probeOpts.Replication = *replication
+			}
+			if explicit["engine"] {
+				probeOpts.Engine = hgs.StorageEngine(*engine)
 			}
 			probe, err := hgs.Open(probeOpts)
 			if err != nil {
@@ -67,8 +91,10 @@ func main() {
 				probe.Close()
 				log.Fatalf("hgs-inspect: %s holds a store but no index (interrupted build?); delete it and rerun", *dataDir)
 			}
-			fmt.Printf("reattached to existing index in %s (no rebuild; dataset/index flags come from the store)\n", *dataDir)
+			fmt.Printf("reattached to existing index in %s (engine %s; no rebuild; dataset/index flags come from the store)\n",
+				*dataDir, probe.Engine())
 			inspect(probe)
+			runBackup(probe, *backup)
 			if err := probe.Close(); err != nil {
 				log.Fatal(err)
 			}
@@ -104,15 +130,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("building TGI over %d events (m=%d, r=%d, locality=%v, durable=%v)...\n",
-		len(events), *machines, *replication, *locality, store.Durable())
+	fmt.Printf("building TGI over %d events (m=%d, r=%d, locality=%v, durable=%v, engine=%s)...\n",
+		len(events), *machines, *replication, *locality, store.Durable(), store.Engine())
 	if err := store.Load(events); err != nil {
 		log.Fatal(err)
 	}
 	inspect(store)
+	runBackup(store, *backup)
 	if err := store.Close(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runBackup copies the quiesced store into dir when -backup is set.
+func runBackup(store *hgs.Store, dir string) {
+	if dir == "" {
+		return
+	}
+	if err := store.Backup(dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("backup    : copied store into %s (open it with -data %s)\n", dir, dir)
 }
 
 // inspect prints index statistics and a few probe queries.
@@ -167,4 +205,11 @@ func inspect(store *hgs.Store) {
 	}
 	fmt.Printf("warm rerun: 3 snapshots in %d reads, %d round-trips; %s\n",
 		m.Reads, m.RoundTrips, st.Cache)
+
+	// Tiered stores also report the hot/cold split and background
+	// maintenance since open.
+	if tm := st.StoreMetrics; tm.TierHotReads > 0 || tm.TierColdReads > 0 {
+		fmt.Printf("tiers     : %d hot reads, %d cold reads, %d KB hot resident, %d KB flushed, %d compactions\n",
+			tm.TierHotReads, tm.TierColdReads, tm.TierHotBytes/1024, tm.FlushedBytes/1024, tm.Compactions)
+	}
 }

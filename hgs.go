@@ -37,12 +37,49 @@
 //	g, _ := store.Snapshot(t)               // also after a restart
 //	defer store.Close()
 //
-// The cluster shape (Machines, Replication) and the TGI construction
-// parameters are persisted with the data. Reopening adopts both:
-// explicitly set Machines/Replication conflicting with the stored
-// shape are rejected, while TGI construction options (TimespanEvents,
-// Compress, ...) are properties of the stored index and are ignored on
-// reattach in favor of the persisted configuration.
+// The cluster shape (Machines, Replication), the storage engine, and
+// the TGI construction parameters are persisted with the data.
+// Reopening adopts them: explicitly set Machines/Replication/Engine
+// conflicting with the stored values are rejected, while TGI
+// construction options (TimespanEvents, Compress, ...) are properties
+// of the stored index and are ignored on reattach in favor of the
+// persisted configuration.
+//
+// # Tiered storage and backup
+//
+// With Engine set to EngineTiered (DataDir required), every storage
+// node runs the hot/cold engine: recent writes stay in memory (hot
+// tier, durable via a write-ahead log) and a background goroutine
+// flushes them into disk segments (cold tier) under the CompactRate
+// byte-rate limit, so queries over recent timespans are served without
+// disk reads while history stays durable and cheap:
+//
+//	store, _ := hgs.Open(hgs.Options{
+//		DataDir:     "/var/lib/hgs",
+//		Engine:      hgs.EngineTiered,
+//		HotBytes:    256 << 20, // keep the newest ~256 MiB hot
+//		CompactRate: 16 << 20,  // flush at most 16 MiB/s
+//	})
+//	defer store.Close()
+//	st, _ := store.Stats()
+//	fmt.Println(st.StoreMetrics.TierHotReads,  // served from memory
+//		st.StoreMetrics.TierColdReads)     // fell through to disk
+//
+// Store.Backup copies a quiesced durable store (any disk engine) into a
+// fresh directory that opens like the original:
+//
+//	_ = store.Backup("/backups/hgs-2026-07-28")
+//	copy, _ := hgs.Open(hgs.Options{DataDir: "/backups/hgs-2026-07-28"})
+//
+// The hgs-inspect command exposes the same with -engine tiered and
+// -backup DIR.
+//
+// Concurrency discipline per DataDir: any number of handles may read a
+// disk-engine store concurrently (they share one decoded-delta cache),
+// but at most one may write. A tiered store admits ONE live handle at
+// a time — its background flusher owns the files — enforced with an
+// exclusive directory lock, so a second Open fails fast instead of
+// corrupting the store. The lock dies with the process.
 //
 // # Caching and statistics
 //
@@ -70,10 +107,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"hgs/internal/backend"
 	"hgs/internal/backend/disklog"
+	"hgs/internal/backend/tiered"
 	"hgs/internal/core"
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
 	"hgs/internal/partition"
@@ -125,6 +165,34 @@ const (
 // NewInterval returns the half-open interval [start, end).
 func NewInterval(start, end Time) Interval { return temporal.NewInterval(start, end) }
 
+// StorageEngine selects the per-node storage engine of the cluster.
+type StorageEngine string
+
+const (
+	// EngineAuto picks EngineMemory, or EngineDisk when DataDir is set
+	// (today's defaults). Reattaching to an existing DataDir adopts the
+	// engine it was created with.
+	EngineAuto StorageEngine = ""
+	// EngineMemory is the in-process memtable: no durability, the
+	// paper's simulated cluster.
+	EngineMemory StorageEngine = "memory"
+	// EngineDisk is the durable WAL/segment engine (disklog); requires
+	// DataDir.
+	EngineDisk StorageEngine = "disk"
+	// EngineTiered composes a hot in-memory tier over a cold disklog
+	// tier with rate-limited background flushing; requires DataDir. See
+	// Options.HotBytes and Options.CompactRate.
+	EngineTiered StorageEngine = "tiered"
+)
+
+func (e StorageEngine) valid() bool {
+	switch e {
+	case EngineAuto, EngineMemory, EngineDisk, EngineTiered:
+		return true
+	}
+	return false
+}
+
 // Options configure a Store. The zero value is a sensible single-machine
 // development setup; the fields mirror the paper's knobs.
 type Options struct {
@@ -136,10 +204,25 @@ type Options struct {
 	// tests, on for benchmarks).
 	SimulateLatency bool
 	// DataDir, when non-empty, stores every node's data on disk under
-	// this directory (one disklog engine per node) instead of in
+	// this directory (one disk engine per node) instead of in
 	// memory. The directory is created as needed; reopening a store
 	// over an existing DataDir reattaches to the persisted index.
 	DataDir string
+	// Engine selects the storage engine. The default (EngineAuto)
+	// preserves prior behavior: memory, or disk when DataDir is set.
+	// EngineTiered keeps hot timespans in memory over a cold disk tier.
+	// The engine is persisted with the DataDir; reattaching adopts it,
+	// and an explicitly conflicting Engine is rejected.
+	Engine StorageEngine
+	// HotBytes is the tiered engine's per-node hot-tier budget: once
+	// exceeded, background flushing drains the oldest rows to the cold
+	// tier (default 32 MiB). A runtime knob, not persisted.
+	HotBytes int64
+	// CompactRate caps the tiered engine's background flushing in bytes
+	// per second so compaction never starves foreground I/O (default
+	// 8 MiB/s; negative disables the limit). A runtime knob, not
+	// persisted.
+	CompactRate int64
 
 	// TimespanEvents, EventlistSize, Arity, HorizontalPartitions and
 	// PartitionSize are the TGI construction parameters (§4.4); zero
@@ -198,48 +281,67 @@ func (o Options) coreConfig() core.Config {
 
 // Store is a Historical Graph Store instance.
 type Store struct {
-	cluster *kvstore.Cluster
-	tgi     *core.TGI
-	loaded  bool
-	durable bool
+	cluster  *kvstore.Cluster
+	tgi      *core.TGI
+	loaded   bool
+	durable  bool
+	engine   StorageEngine
+	cacheKey string // shared decoded-delta cache registration (DataDir stores)
 }
 
-// clusterMeta records the cluster shape a data directory was created
-// with, so a reopen cannot silently re-shard persisted partitions.
+// clusterMeta records the cluster shape and storage engine a data
+// directory was created with, so a reopen cannot silently re-shard
+// persisted partitions or misread them through the wrong engine.
 type clusterMeta struct {
-	Machines    int `json:"machines"`
-	Replication int `json:"replication"`
+	Machines    int    `json:"machines"`
+	Replication int    `json:"replication"`
+	Engine      string `json:"engine,omitempty"`
 }
 
-// resolveClusterMeta reconciles the requested shape with the shape
-// stored in dataDir. Explicit options conflicting with a persisted
-// shape are an error; unset options adopt it. needsWrite reports that
-// no shape file exists yet — it is written by writeClusterMeta only
-// after the store opens successfully, so a failed Open cannot stamp a
-// shape into an otherwise empty directory.
-func resolveClusterMeta(dataDir string, opts Options, machines, replication int) (m, r int, needsWrite bool, err error) {
+// resolveClusterMeta reconciles the requested shape and engine with
+// those stored in dataDir. Explicit options conflicting with persisted
+// values are an error; unset options adopt them (directories from
+// before the engine was recorded read as EngineDisk). needsWrite
+// reports that no shape file exists yet — it is written by
+// writeClusterMeta only after the store opens successfully, so a failed
+// Open cannot stamp a shape into an otherwise empty directory.
+func resolveClusterMeta(dataDir string, opts Options, machines, replication int) (m, r int, eng StorageEngine, needsWrite bool, err error) {
+	requested := opts.Engine
+	if requested == EngineAuto {
+		requested = EngineDisk
+	}
 	path := filepath.Join(dataDir, "cluster.json")
 	blob, err := os.ReadFile(path)
 	switch {
 	case err == nil:
 		var cm clusterMeta
 		if err := json.Unmarshal(blob, &cm); err != nil {
-			return 0, 0, false, fmt.Errorf("hgs: corrupt %s: %w", path, err)
+			return 0, 0, "", false, fmt.Errorf("hgs: corrupt %s: %w", path, err)
 		}
 		if cm.Machines < 1 || cm.Replication < 1 {
-			return 0, 0, false, fmt.Errorf("hgs: corrupt %s: invalid shape m=%d r=%d", path, cm.Machines, cm.Replication)
+			return 0, 0, "", false, fmt.Errorf("hgs: corrupt %s: invalid shape m=%d r=%d", path, cm.Machines, cm.Replication)
 		}
 		if opts.Machines > 0 && opts.Machines != cm.Machines {
-			return 0, 0, false, fmt.Errorf("hgs: data dir %s was created with %d machines, not %d", dataDir, cm.Machines, opts.Machines)
+			return 0, 0, "", false, fmt.Errorf("hgs: data dir %s was created with %d machines, not %d", dataDir, cm.Machines, opts.Machines)
 		}
 		if opts.Replication > 0 && opts.Replication != cm.Replication {
-			return 0, 0, false, fmt.Errorf("hgs: data dir %s was created with replication %d, not %d", dataDir, cm.Replication, opts.Replication)
+			return 0, 0, "", false, fmt.Errorf("hgs: data dir %s was created with replication %d, not %d", dataDir, cm.Replication, opts.Replication)
 		}
-		return cm.Machines, cm.Replication, false, nil
+		stored := StorageEngine(cm.Engine)
+		if stored == EngineAuto {
+			stored = EngineDisk // legacy directory, engine not recorded
+		}
+		if !stored.valid() || stored == EngineMemory {
+			return 0, 0, "", false, fmt.Errorf("hgs: corrupt %s: invalid engine %q", path, cm.Engine)
+		}
+		if opts.Engine != EngineAuto && requested != stored {
+			return 0, 0, "", false, fmt.Errorf("hgs: data dir %s was created with the %s engine, not %s", dataDir, stored, requested)
+		}
+		return cm.Machines, cm.Replication, stored, false, nil
 	case errors.Is(err, os.ErrNotExist):
-		return machines, replication, true, nil
+		return machines, replication, requested, true, nil
 	default:
-		return 0, 0, false, fmt.Errorf("hgs: %w", err)
+		return 0, 0, "", false, fmt.Errorf("hgs: %w", err)
 	}
 }
 
@@ -247,11 +349,11 @@ func resolveClusterMeta(dataDir string, opts Options, machines, replication int)
 // rename + directory fsync, so a crash leaves either no shape file or
 // a complete one — a partial cluster.json would silently re-shard the
 // store on the next open.
-func writeClusterMeta(dataDir string, machines, replication int) error {
+func writeClusterMeta(dataDir string, machines, replication int, engine StorageEngine) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return fmt.Errorf("hgs: %w", err)
 	}
-	blob, _ := json.Marshal(clusterMeta{Machines: machines, Replication: replication})
+	blob, _ := json.Marshal(clusterMeta{Machines: machines, Replication: replication, Engine: string(engine)})
 	path := filepath.Join(dataDir, "cluster.json")
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -285,6 +387,56 @@ func writeClusterMeta(dataDir string, machines, replication int) error {
 	return nil
 }
 
+// sharedCaches anchors one decoded-delta cache per open DataDir, so
+// every handle attached to the same stored index shares hot decoded
+// deltas instead of each paying its own cold misses. Entries are
+// refcounted by Open/Close; the budget of the first opener wins.
+var sharedCaches = struct {
+	sync.Mutex
+	m map[string]*sharedCacheEntry
+}{m: make(map[string]*sharedCacheEntry)}
+
+type sharedCacheEntry struct {
+	cache *fetch.Cache
+	refs  int
+}
+
+// acquireSharedCache joins (or creates) the cache shared by dataDir's
+// handles. Handles with caching disabled do not join.
+func acquireSharedCache(dataDir string, budget int64) (key string, c *fetch.Cache) {
+	if budget <= 0 {
+		return "", nil
+	}
+	abs, err := filepath.Abs(dataDir)
+	if err != nil {
+		abs = dataDir
+	}
+	key = filepath.Clean(abs)
+	sharedCaches.Lock()
+	defer sharedCaches.Unlock()
+	e := sharedCaches.m[key]
+	if e == nil {
+		e = &sharedCacheEntry{cache: fetch.NewCache(budget)}
+		sharedCaches.m[key] = e
+	}
+	e.refs++
+	return key, e.cache
+}
+
+func releaseSharedCache(key string) {
+	if key == "" {
+		return
+	}
+	sharedCaches.Lock()
+	defer sharedCaches.Unlock()
+	if e := sharedCaches.m[key]; e != nil {
+		e.refs--
+		if e.refs <= 0 {
+			delete(sharedCaches.m, key)
+		}
+	}
+}
+
 // Open creates a store per the options. With DataDir unset (or set but
 // empty of data) the store starts empty — call Load to index a history.
 // With DataDir pointing at an existing store's directory, Open
@@ -303,38 +455,71 @@ func Open(opts Options) (*Store, error) {
 	if opts.SimulateLatency {
 		lat = kvstore.DefaultLatency()
 	}
+	if !opts.Engine.valid() {
+		return nil, fmt.Errorf("hgs: unknown storage engine %q", opts.Engine)
+	}
+	if opts.DataDir == "" && (opts.Engine == EngineDisk || opts.Engine == EngineTiered) {
+		return nil, fmt.Errorf("hgs: the %s engine requires DataDir", opts.Engine)
+	}
+	if opts.DataDir != "" && opts.Engine == EngineMemory {
+		return nil, fmt.Errorf("hgs: the memory engine cannot persist; unset DataDir or pick a disk engine")
+	}
 	cfg := opts.coreConfig()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var factory backend.Factory
-	writeShape := false
+	var (
+		factory    backend.Factory
+		writeShape bool
+		engine     = EngineMemory
+		cacheKey   string
+	)
 	if opts.DataDir != "" {
 		var err error
-		machines, replication, writeShape, err = resolveClusterMeta(opts.DataDir, opts, machines, replication)
+		machines, replication, engine, writeShape, err = resolveClusterMeta(opts.DataDir, opts, machines, replication)
 		if err != nil {
 			return nil, err
 		}
-		factory = disklog.Factory(opts.DataDir, disklog.Options{})
+		switch engine {
+		case EngineDisk:
+			factory = disklog.Factory(opts.DataDir, disklog.Options{})
+		case EngineTiered:
+			factory = tiered.Factory(opts.DataDir, tiered.Options{
+				HotBytes:    opts.HotBytes,
+				CompactRate: opts.CompactRate,
+			})
+		}
+		// Handles over the same DataDir share one decoded-delta cache.
+		cacheKey, cfg.Cache = acquireSharedCache(opts.DataDir, core.CacheBudget(opts.CacheBytes))
 	}
 	cluster, err := kvstore.Open(kvstore.Config{
 		Machines: machines, Replication: replication, Latency: lat, Backend: factory,
 	})
 	if err != nil {
+		releaseSharedCache(cacheKey)
 		return nil, err
 	}
 	tgi, attached, err := core.Attach(cluster, cfg)
 	if err != nil {
 		cluster.Close()
+		releaseSharedCache(cacheKey)
 		return nil, err
 	}
 	if writeShape {
-		if err := writeClusterMeta(opts.DataDir, machines, replication); err != nil {
+		if err := writeClusterMeta(opts.DataDir, machines, replication, engine); err != nil {
 			cluster.Close()
+			releaseSharedCache(cacheKey)
 			return nil, err
 		}
 	}
-	return &Store{cluster: cluster, tgi: tgi, loaded: attached, durable: opts.DataDir != ""}, nil
+	return &Store{
+		cluster:  cluster,
+		tgi:      tgi,
+		loaded:   attached,
+		durable:  opts.DataDir != "",
+		engine:   engine,
+		cacheKey: cacheKey,
+	}, nil
 }
 
 // Load builds the index over a complete history. Events must be
@@ -368,9 +553,44 @@ func (s *Store) Loaded() bool { return s.loaded }
 // Durable reports whether the store persists to disk (DataDir set).
 func (s *Store) Durable() bool { return s.durable }
 
+// Engine reports the storage engine the store runs on.
+func (s *Store) Engine() StorageEngine { return s.engine }
+
 // Close flushes and closes the backing storage engines. The store must
 // not be used afterwards.
-func (s *Store) Close() error { return s.cluster.Close() }
+func (s *Store) Close() error {
+	releaseSharedCache(s.cacheKey)
+	s.cacheKey = ""
+	return s.cluster.Close()
+}
+
+// Backup writes a consistent copy of a quiesced durable store into dir:
+// every node engine's on-disk state plus the cluster metadata, laid out
+// exactly like a DataDir, so `hgs.Open(Options{DataDir: dir})` opens
+// the copy. The store must not receive writes while the backup runs
+// (each node is copied under its service lock after a full flush);
+// concurrent reads are fine. dir must not already hold a store.
+func (s *Store) Backup(dir string) error {
+	if !s.durable {
+		return fmt.Errorf("hgs: backup requires a durable store (DataDir)")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cluster.json")); err == nil {
+		return fmt.Errorf("hgs: backup target %s already holds a store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("hgs: %w", err)
+	}
+	if err := s.cluster.Flush(); err != nil {
+		return err
+	}
+	if err := s.cluster.Backup(dir); err != nil {
+		return err
+	}
+	// The metadata is written last: a backup without cluster.json is
+	// visibly incomplete rather than silently openable.
+	cfg := s.cluster.Config()
+	return writeClusterMeta(dir, cfg.Machines, cfg.Replication, s.engine)
+}
 
 // Snapshot retrieves the graph as of time tt.
 func (s *Store) Snapshot(tt Time) (*Graph, error) {

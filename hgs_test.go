@@ -460,3 +460,264 @@ func TestCacheBytesSurvivesReattach(t *testing.T) {
 		t.Fatalf("reattached cache budget = %d, want the requested 4MiB", st.Cache.MaxBytes)
 	}
 }
+
+// TestTieredDurableRoundTrip is the acceptance test for the tiered
+// engine: queries over a tiered store match the in-memory oracle, hot
+// hits are visible in the per-tier counters, and a close/reopen cycle
+// (which drops the hot tier into the WAL) loses nothing.
+func TestTieredDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 400, EdgesPerNode: 3, Seed: 13})
+
+	opts := smallOptions()
+	opts.DataDir = dir
+	opts.Engine = EngineTiered
+	opts.HotBytes = 64 << 10 // small: most of the index migrates cold
+	opts.CompactRate = -1
+	store, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Engine() != EngineTiered {
+		t.Fatalf("engine = %q, want tiered", store.Engine())
+	}
+	if err := store.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := store.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []Time{lo, (lo + hi) / 2, hi} {
+		g, err := store.Snapshot(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(mustGraph(events, tt)) {
+			t.Fatalf("tiered snapshot@%d mismatch", tt)
+		}
+	}
+	st, err := store.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoreMetrics.TierHotReads == 0 && st.StoreMetrics.TierColdReads == 0 {
+		t.Fatal("tiered store reported no per-tier reads")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reattach with zero options: the tiered engine is adopted from
+	// cluster.json.
+	reopened, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Engine() != EngineTiered {
+		t.Fatalf("reopened engine = %q, want tiered", reopened.Engine())
+	}
+	if !reopened.Loaded() {
+		t.Fatal("reopened tiered store must reattach without Load")
+	}
+	g, err := reopened.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(mustGraph(events, hi)) {
+		t.Fatal("tiered snapshot mismatch after reopen")
+	}
+	// A conflicting explicit engine is rejected.
+	bad := Options{DataDir: dir, Engine: EngineDisk}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("conflicting engine must be rejected")
+	}
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	if _, err := Open(Options{Engine: "bogus"}); err == nil {
+		t.Fatal("unknown engine must fail")
+	}
+	if _, err := Open(Options{Engine: EngineTiered}); err == nil {
+		t.Fatal("tiered without DataDir must fail")
+	}
+	if _, err := Open(Options{Engine: EngineDisk}); err == nil {
+		t.Fatal("disk without DataDir must fail")
+	}
+	if _, err := Open(Options{Engine: EngineMemory, DataDir: t.TempDir()}); err == nil {
+		t.Fatal("memory engine with DataDir must fail")
+	}
+}
+
+// TestBackupRoundTrip: a backup of a quiesced store opens as a store of
+// its own, answers identically, and is isolated from later writes to
+// the original. Exercised for both disk engines.
+func TestBackupRoundTrip(t *testing.T) {
+	for _, engine := range []StorageEngine{EngineDisk, EngineTiered} {
+		t.Run(string(engine), func(t *testing.T) {
+			dir := t.TempDir()
+			events := workload.Wikipedia(workload.WikiConfig{Nodes: 300, EdgesPerNode: 3, Seed: 17})
+			opts := smallOptions()
+			opts.DataDir = dir
+			opts.Engine = engine
+			if engine == EngineTiered {
+				opts.HotBytes = 32 << 10
+				opts.CompactRate = -1
+			}
+			store, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.Close()
+			if err := store.Load(events); err != nil {
+				t.Fatal(err)
+			}
+			lo, hi, err := store.TimeRange()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			backupDir := filepath.Join(t.TempDir(), "backup")
+			if err := store.Backup(backupDir); err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Backup(backupDir); err == nil {
+				t.Fatal("backup into an existing store must fail")
+			}
+			// Mutate the original after the backup.
+			extra := []Event{{Time: hi + 10, Kind: AddNode, Node: 777_001}}
+			if err := store.Append(extra); err != nil {
+				t.Fatal(err)
+			}
+
+			copyStore, err := Open(Options{DataDir: backupDir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer copyStore.Close()
+			if copyStore.Engine() != engine {
+				t.Fatalf("backup engine = %q, want %q", copyStore.Engine(), engine)
+			}
+			if !copyStore.Loaded() {
+				t.Fatal("backup must reattach to the copied index")
+			}
+			for _, tt := range []Time{lo, (lo + hi) / 2, hi} {
+				g, err := copyStore.Snapshot(tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.Equal(mustGraph(events, tt)) {
+					t.Fatalf("backup snapshot@%d mismatch", tt)
+				}
+			}
+			if n, err := copyStore.Node(777_001, hi+10); err != nil || n != nil {
+				t.Fatalf("post-backup append leaked into the backup (n=%v err=%v)", n, err)
+			}
+		})
+	}
+}
+
+func TestBackupRequiresDurableStore(t *testing.T) {
+	store, err := Open(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if err := store.Backup(t.TempDir()); err == nil {
+		t.Fatal("backup of an in-memory store must fail")
+	}
+}
+
+// TestSharedCacheAcrossHandles: two handles attached to the same
+// DataDir share one decoded-delta cache, so the second reader's cold
+// misses were already paid by the first.
+func TestSharedCacheAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 400, EdgesPerNode: 3, Seed: 21})
+	opts := smallOptions()
+	opts.DataDir = dir
+	builder, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := builder.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := builder.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := builder.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	probe := (lo + hi) / 2
+	a.Cluster().ResetMetrics()
+	if _, err := a.Snapshot(probe); err != nil {
+		t.Fatal(err)
+	}
+	coldReads := a.Cluster().Metrics().Reads
+
+	// B is a different handle over a different cluster object; only the
+	// shared cache can spare it A's delta reads.
+	b.Cluster().ResetMetrics()
+	if _, err := b.Snapshot(probe); err != nil {
+		t.Fatal(err)
+	}
+	warmReads := b.Cluster().Metrics().Reads
+	if warmReads >= coldReads {
+		t.Fatalf("second handle read %d >= first handle's %d: cache not shared", warmReads, coldReads)
+	}
+	st, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatal("second handle saw no cache hits")
+	}
+
+	// A cache-disabled handle does not join (and does not disturb the
+	// shared cache).
+	off, err := Open(Options{DataDir: dir, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if _, err := off.Snapshot(probe); err != nil {
+		t.Fatal(err)
+	}
+	stOff, err := off.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOff.Cache.MaxBytes != 0 {
+		t.Fatal("cache-disabled handle reports an active cache")
+	}
+}
+
+func TestTieredDataDirSingleHandle(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOptions()
+	opts.DataDir = dir
+	opts.Engine = EngineTiered
+	store, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := Open(Options{DataDir: dir}); err == nil {
+		t.Fatal("second handle on a live tiered DataDir must fail (its flusher owns the files)")
+	}
+}

@@ -4,16 +4,25 @@
 // per-node service serialization — while a Backend owns the actual rows
 // of one node: table-scoped partitions of rows sorted by clustering key.
 //
-// Two engines ship with the repository:
+// Three engines ship with the repository:
 //
 //   - memtable: the original in-process sorted-slice store (no
-//     durability; what the paper's evaluation simulates), and
+//     durability; what the paper's evaluation simulates),
 //   - disklog: a durable append-only WAL/segment engine with
-//     CRC-checked records, log-replay recovery and compaction.
+//     CRC-checked records, log-replay recovery and compaction, and
+//   - tiered: a hot in-memory tier (memtable + write-ahead log) over a
+//     cold disklog tier, with rate-limited background flushing — recent
+//     timespans are served from memory, history stays on disk.
 //
-// Future adapters (a real Cassandra client, tiered storage, ...) plug in
-// behind the same interface.
+// Future adapters (a real Cassandra client, an object-storage cold
+// tier, ...) plug in behind the same interface.
 package backend
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
 
 // Row is one clustered row inside a partition.
 type Row struct {
@@ -96,6 +105,67 @@ func MultiGet(be Backend, reqs []KeyRead) [][]byte {
 		}
 	}
 	return out
+}
+
+// TierCounters reports per-tier activity of an engine that places data
+// across a hot (memory) and a cold (disk) tier. HotHits and ColdReads
+// are cumulative row-lookup counters: a lookup served by the hot tier
+// counts once in HotHits and touches no disk; one that falls through to
+// the cold tier (and finds a row there) counts in ColdReads. Flushed*
+// and Compactions count background-maintenance work. HotBytes is a
+// gauge: the live bytes currently resident in the hot tier.
+type TierCounters struct {
+	HotHits      int64
+	ColdReads    int64
+	FlushedRows  int64
+	FlushedBytes int64
+	Compactions  int64
+	HotBytes     int64
+}
+
+// TierCounting is an optional interface of engines that track per-tier
+// activity. The cluster aggregates these into its Metrics and charges
+// the latency model's cold-read penalty from the ColdReads delta of
+// each served operation. Implementations must be cheap and safe to call
+// concurrently with operations (atomic counters).
+type TierCounting interface {
+	TierCounters() TierCounters
+}
+
+// Backuper is an optional interface of durable engines that can write a
+// consistent copy of their on-disk state into a fresh directory. Backup
+// runs with the node's service lock held (the cluster guarantees no
+// foreground operation is in flight) and must quiesce any background
+// work of its own for the duration. The copy must be openable by the
+// same engine as if it were the original directory.
+type Backuper interface {
+	Backup(dir string) error
+}
+
+// CopyFile copies the first size bytes of src into a fresh file at dst
+// and fsyncs the copy — the backup primitive shared by the durable
+// engines. Reading through the open handle (not the path) keeps the
+// copy consistent with the caller's in-memory index even if the file
+// was since renamed or grown. A partial copy is removed on error; dst
+// must not already exist.
+func CopyFile(src *os.File, size int64, dst string) error {
+	f, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("backend: backup: %w", err)
+	}
+	if _, err := io.Copy(f, io.NewSectionReader(src, 0, size)); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(dst)
+		return fmt.Errorf("backend: backup copy %s: %w", dst, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(dst)
+		return fmt.Errorf("backend: backup: %w", err)
+	}
+	return nil
 }
 
 // Factory creates the backend for cluster node idx. Factories are how a

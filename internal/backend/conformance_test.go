@@ -5,15 +5,21 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"hgs/internal/backend"
 	"hgs/internal/backend/disklog"
 	"hgs/internal/backend/memtable"
+	"hgs/internal/backend/tiered"
 )
 
-// TestEngineConformance drives both engines through the same random
+// TestEngineConformance drives every engine through the same random
 // operation stream and requires identical observable behavior: the
-// memtable is the executable spec, disklog must match it bit for bit.
+// memtable is the executable spec; disklog and tiered must match it bit
+// for bit. The tiered engine runs with a tiny hot budget and its
+// background flusher live, so rows migrate between tiers mid-stream —
+// tier placement must be invisible to every read. Batched reads
+// (the BatchReader fast path) are compared against the same spec.
 func TestEngineConformance(t *testing.T) {
 	mem := memtable.New()
 	disk, err := disklog.Open(t.TempDir(), disklog.Options{SegmentBytes: 4096})
@@ -21,7 +27,17 @@ func TestEngineConformance(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer disk.Close()
-	engines := []backend.Backend{mem, disk}
+	tier, err := tiered.Open(t.TempDir(), tiered.Options{
+		HotBytes:        2 << 10, // constant migration during the stream
+		CompactRate:     -1,
+		FlushInterval:   time.Millisecond,
+		WALSegmentBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	engines := map[string]backend.Backend{"disklog": disk, "tiered": tier}
 
 	rng := rand.New(rand.NewSource(7))
 	tables := []string{"deltas", "events", "versions"}
@@ -29,62 +45,97 @@ func TestEngineConformance(t *testing.T) {
 		table := tables[rng.Intn(len(tables))]
 		pkey := fmt.Sprintf("p%02d", rng.Intn(8))
 		ckey := fmt.Sprintf("c%03d", rng.Intn(40))
-		switch rng.Intn(10) {
+		switch rng.Intn(11) {
 		case 0, 1, 2, 3, 4: // put
 			v := make([]byte, rng.Intn(64))
 			rng.Read(v)
+			mem.Put(table, pkey, ckey, append([]byte(nil), v...))
 			for _, e := range engines {
 				e.Put(table, pkey, ckey, append([]byte(nil), v...))
 			}
 		case 5: // delete
-			a := mem.Delete(table, pkey, ckey)
-			b := disk.Delete(table, pkey, ckey)
-			if a != b {
-				t.Fatalf("op %d: Delete(%s,%s,%s) = %v vs %v", op, table, pkey, ckey, a, b)
+			want := mem.Delete(table, pkey, ckey)
+			for name, e := range engines {
+				if got := e.Delete(table, pkey, ckey); got != want {
+					t.Fatalf("op %d: %s Delete(%s,%s,%s) = %v, want %v", op, name, table, pkey, ckey, got, want)
+				}
 			}
 		case 6: // drop (rare)
 			if rng.Intn(10) == 0 {
+				mem.DropPartition(table, pkey)
 				for _, e := range engines {
 					e.DropPartition(table, pkey)
 				}
 			}
 		case 7: // get
-			av, aok := mem.Get(table, pkey, ckey)
-			bv, bok := disk.Get(table, pkey, ckey)
-			if aok != bok || !bytes.Equal(av, bv) {
-				t.Fatalf("op %d: Get(%s,%s,%s) diverged", op, table, pkey, ckey)
+			want, wantOK := mem.Get(table, pkey, ckey)
+			for name, e := range engines {
+				got, ok := e.Get(table, pkey, ckey)
+				if ok != wantOK || !bytes.Equal(got, want) {
+					t.Fatalf("op %d: %s Get(%s,%s,%s) diverged", op, name, table, pkey, ckey)
+				}
 			}
 		case 8: // scan
 			prefix := fmt.Sprintf("c%d", rng.Intn(10))
-			ar := mem.ScanPrefix(table, pkey, prefix)
-			br := disk.ScanPrefix(table, pkey, prefix)
-			if len(ar) != len(br) {
-				t.Fatalf("op %d: scan length %d vs %d", op, len(ar), len(br))
-			}
-			for i := range ar {
-				if ar[i].CKey != br[i].CKey || !bytes.Equal(ar[i].Value, br[i].Value) {
-					t.Fatalf("op %d: scan row %d diverged", op, i)
+			want := mem.ScanPrefix(table, pkey, prefix)
+			for name, e := range engines {
+				got := e.ScanPrefix(table, pkey, prefix)
+				if len(got) != len(want) {
+					t.Fatalf("op %d: %s scan length %d vs %d", op, name, len(got), len(want))
+				}
+				for i := range want {
+					if want[i].CKey != got[i].CKey || !bytes.Equal(want[i].Value, got[i].Value) {
+						t.Fatalf("op %d: %s scan row %d diverged", op, name, i)
+					}
 				}
 			}
 		case 9: // invariants
-			if a, b := mem.StoredBytes(), disk.StoredBytes(); a != b {
-				t.Fatalf("op %d: stored bytes %d vs %d", op, a, b)
+			want := mem.StoredBytes()
+			for name, e := range engines {
+				if got := e.StoredBytes(); got != want {
+					t.Fatalf("op %d: %s stored bytes %d, want %d", op, name, got, want)
+				}
+			}
+		case 10: // batched point reads (BatchReader fast path)
+			reqs := make([]backend.KeyRead, 8)
+			for i := range reqs {
+				reqs[i] = backend.KeyRead{
+					Table: tables[rng.Intn(len(tables))],
+					PKey:  fmt.Sprintf("p%02d", rng.Intn(8)),
+					CKey:  fmt.Sprintf("c%03d", rng.Intn(40)),
+				}
+			}
+			want := backend.MultiGet(mem, reqs)
+			for name, e := range engines {
+				if _, ok := e.(backend.BatchReader); !ok {
+					t.Fatalf("%s must implement the BatchReader fast path", name)
+				}
+				got := backend.MultiGet(e, reqs)
+				for i := range reqs {
+					if (got[i] == nil) != (want[i] == nil) || !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("op %d: %s MultiGet[%d] (%v) diverged", op, name, i, reqs[i])
+					}
+				}
 			}
 		}
 	}
 	for _, table := range tables {
-		a := mem.PartitionKeys(table)
-		b := disk.PartitionKeys(table)
-		if len(a) != len(b) {
-			t.Fatalf("partition keys of %s: %v vs %v", table, a, b)
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("partition keys of %s: %v vs %v", table, a, b)
+		want := mem.PartitionKeys(table)
+		for name, e := range engines {
+			got := e.PartitionKeys(table)
+			if len(got) != len(want) {
+				t.Fatalf("%s partition keys of %s: %v vs %v", name, table, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s partition keys of %s: %v vs %v", name, table, got, want)
+				}
 			}
 		}
 	}
-	if err := disk.Flush(); err != nil {
-		t.Fatal(err)
+	for name, e := range engines {
+		if err := e.Flush(); err != nil {
+			t.Fatalf("%s flush: %v", name, err)
+		}
 	}
 }

@@ -578,6 +578,24 @@ func (s *Store) readValue(row idxRow) ([]byte, error) {
 	return out, nil
 }
 
+// Stat reports whether the row exists and its value length from the
+// in-memory index alone — no disk read. Tiered engines use it for byte
+// accounting of rows shadowed by a hotter tier.
+func (s *Store) Stat(table, pkey, ckey string) (vlen int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	p := s.partitionFor(table, pkey, false)
+	if p == nil {
+		return 0, false
+	}
+	i, ok := p.find(ckey)
+	if !ok {
+		return 0, false
+	}
+	return p.rows[i].vlen, true
+}
+
 // MultiGet is the batch-read fast path: the whole batch resolves under
 // one lock acquisition. result[i] is nil exactly when reqs[i] is absent
 // (or its segment read failed; the error surfaces at the next Flush).
@@ -663,6 +681,17 @@ func (s *Store) DropPartition(table, pkey string) {
 	s.applyDrop(table, pkey)
 	s.dead += int64(len(rec))
 	s.maybeCompactLocked()
+}
+
+// HasPartition reports whether the table holds the partition object
+// (an emptied partition still counts until dropped) — an index-only
+// lookup, no disk access.
+func (s *Store) HasPartition(table, pkey string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	_, ok := s.tables[table][pkey]
+	return ok
 }
 
 // PartitionKeys returns the sorted partition keys of a table.
@@ -842,6 +871,44 @@ func (s *Store) compactLocked() error {
 	s.dead = 0
 	s.removeSegments(old)
 	return s.syncDir()
+}
+
+// Backup writes a consistent copy of the engine's segment files into
+// dir (created if needed, must be empty of segments). The store is
+// quiesced for the duration: the copy happens under the engine lock
+// after an fsync, so the files carry every acknowledged write. The copy
+// opens as a normal disklog directory.
+func (s *Store) Backup(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("disklog: backup of closed store")
+	}
+	if err := s.flushLocked(); err != nil {
+		return fmt.Errorf("disklog: backup: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("disklog: backup: %w", err)
+	}
+	if ids, err := listSegmentIDs(dir); err != nil {
+		return err
+	} else if len(ids) > 0 {
+		return fmt.Errorf("disklog: backup target %s already holds segments", dir)
+	}
+	for _, seg := range s.segs {
+		if err := backend.CopyFile(seg.f, seg.size, filepath.Join(dir, segmentName(seg.id))); err != nil {
+			return err
+		}
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("disklog: backup: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("disklog: backup sync %s: %w", dir, err)
+	}
+	return nil
 }
 
 // removeSegments closes and deletes log files.

@@ -1,0 +1,949 @@
+// Package tiered is a hot/cold storage engine: recent writes live in an
+// in-memory memtable (the hot tier) and are made durable by a
+// write-ahead log, while a background goroutine flushes them into a
+// disklog segment store (the cold tier) under a configurable byte-rate
+// limit. Reads check hot then cold, so the working set the paper calls
+// hot — the newest timespans and deltas, which most queries touch —
+// is served from memory without disk I/O, while historical partitions
+// stay durable and cheap on disk.
+//
+// Write path: every mutation appends one WAL record and applies to the
+// memtable; nothing waits on the cold tier. The flusher moves the
+// oldest hot rows into the cold disklog in small chunks (at most
+// Options.CompactRate bytes per second), fsyncs the cold tier, and only
+// then drops the rows from the memtable and retires WAL segments whose
+// records are all either superseded or durably cold — so a crash at any
+// instant recovers by opening the cold tier and replaying the remaining
+// WAL into the hot tier. Foreground reads never wait on a flush: hot
+// hits touch only the memtable, and the flusher holds no lock while it
+// sleeps off the rate limit.
+//
+// The engine implements backend.Backend, backend.BatchReader,
+// backend.TierCounting (per-tier read counters surfaced through
+// kvstore.Metrics) and backend.Backuper.
+package tiered
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hgs/internal/backend"
+	"hgs/internal/backend/disklog"
+	"hgs/internal/backend/memtable"
+)
+
+// Options tune the engine. Zero values take the defaults.
+type Options struct {
+	// HotBytes is the hot-tier budget: once the memtable's live bytes
+	// exceed it, the background flusher drains the oldest rows to the
+	// cold tier until the memtable is at half the budget (default 32 MiB).
+	HotBytes int64
+	// CompactRate caps background flushing at this many bytes per
+	// second, so a flush storm cannot monopolize the disk foreground
+	// reads are using. Zero selects the 8 MiB/s default; negative
+	// disables the limit.
+	CompactRate int64
+	// FlushInterval is the background maintenance period (default 25ms).
+	FlushInterval time.Duration
+	// WALSegmentBytes rotates the write-ahead log after this many bytes
+	// (default 16 MiB). Smaller segments retire sooner after flushes.
+	WALSegmentBytes int64
+	// WALSyncBytes fsyncs the WAL after this many appended bytes
+	// (default 1 MiB). Flush and Close always fsync.
+	WALSyncBytes int64
+	// Cold tunes the cold-tier disklog. Its triggered auto-compaction is
+	// always disabled: the background goroutine owns cold compaction.
+	Cold disklog.Options
+}
+
+func (o *Options) normalize() {
+	if o.HotBytes <= 0 {
+		o.HotBytes = 32 << 20
+	}
+	if o.CompactRate == 0 {
+		o.CompactRate = 8 << 20
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 25 * time.Millisecond
+	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = 16 << 20
+	}
+	if o.WALSyncBytes <= 0 {
+		o.WALSyncBytes = 1 << 20
+	}
+	o.Cold.DisableAutoCompact = true
+}
+
+// flushChunkBytes bounds one flusher chunk: the unit of work between
+// rate-limit sleeps, and the longest a foreground Delete can be held at
+// the flush gate.
+const flushChunkBytes = 256 << 10
+
+// rowMeta tracks one hot row's flush obligations.
+type rowMeta struct {
+	seg  int    // WAL segment holding the row's latest record
+	ver  uint64 // bumped on every overwrite; flushes of stale versions abort
+	vlen int
+}
+
+// flushItem is one FIFO flush candidate. Stale entries (the row was
+// overwritten or deleted since) are skipped by the version check.
+type flushItem struct {
+	table, pkey, ckey string
+	ver               uint64
+}
+
+// Store is one node's tiered engine. All methods are safe for
+// concurrent use; the background flusher runs until Close.
+type Store struct {
+	dir  string
+	opts Options
+
+	// ioMu serializes cold-tier mutation and WAL retirement: flush
+	// chunks, foreground deletes/drops, cold compaction, backup, and
+	// consistent StoredBytes reads. Lock order: ioMu, then mu, then the
+	// tiers' internal locks. It is never held while sleeping off the
+	// rate limit.
+	ioMu sync.Mutex
+
+	mu   sync.Mutex
+	hot  *memtable.Store
+	wal  *wal
+	cold *disklog.Store
+
+	hotMeta map[string]map[string]*rowMeta // table\0pkey → ckey → meta
+	// shadow holds, for hot rows that also exist in the cold tier, the
+	// cold bytes they hide — so StoredBytes counts each logical row once.
+	shadow      map[string]map[string]int64
+	shadowBytes int64
+	// pending counts, per WAL segment, records whose effect is not yet
+	// durable in the cold tier. A prefix of segments with zero pending
+	// can be deleted.
+	pending map[int]int
+	// tombs lists WAL segments whose delete/drop records have been
+	// applied to the cold tier but not yet fsynced there.
+	tombs []int
+	queue []flushItem
+	ver   uint64
+
+	werr   error
+	closed bool
+	lock   *os.File // flock'd LOCK file: one live handle per directory
+	stop   chan struct{}
+	done   chan struct{}
+	stopFn sync.Once
+
+	flushNow chan struct{}
+
+	hotHits      atomic.Int64
+	coldReads    atomic.Int64
+	flushedRows  atomic.Int64
+	flushedBytes atomic.Int64
+	compactions  atomic.Int64
+	hotBytes     atomic.Int64 // gauge mirror of hot.StoredBytes()
+}
+
+// Open opens (or creates) the engine rooted at dir: the cold tier under
+// dir/cold, the WAL under dir/wal. The WAL is replayed into the hot
+// tier (torn tail truncated), so a store killed mid-flush reopens with
+// every acknowledged write intact. The background flusher starts
+// immediately — which is why the directory is flock'd exclusively: a
+// second live handle would run a second flusher over the same files
+// and corrupt them. The lock dies with the process, so a crash never
+// leaves the directory unopenable. Open fails fast when the directory
+// is already held.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.normalize()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tiered: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := disklog.Open(filepath.Join(dir, "cold"), opts.Cold)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, "wal"), opts.WALSegmentBytes)
+	if err != nil {
+		cold.Close()
+		lock.Close()
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		hot:      memtable.New(),
+		wal:      w,
+		cold:     cold,
+		lock:     lock,
+		hotMeta:  make(map[string]map[string]*rowMeta),
+		shadow:   make(map[string]map[string]int64),
+		pending:  make(map[int]int),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		flushNow: make(chan struct{}, 1),
+	}
+	// Rebuild the hot tier. Replayed deletes and drops are re-applied to
+	// the cold tier too: a crash may have cut in after the WAL append
+	// but before the cold tombstone.
+	err = w.replay(func(segID int, op byte, table, pkey, ckey string, value []byte) error {
+		switch op {
+		case walPut:
+			s.applyHotPut(segID, table, pkey, ckey, value)
+		case walDel:
+			s.applyDelete(segID, table, pkey, ckey)
+		case walDrop:
+			s.applyDrop(segID, table, pkey)
+		}
+		return nil
+	})
+	if err == nil {
+		// Make the re-applied tombstones durable now, clearing their
+		// truncation obligations.
+		if err = cold.Flush(); err == nil {
+			for _, seg := range s.tombs {
+				s.pending[seg]--
+			}
+			s.tombs = nil
+		}
+	}
+	if err != nil {
+		w.closeFiles()
+		cold.Close()
+		lock.Close()
+		return nil, err
+	}
+	s.hotBytes.Store(s.hot.StoredBytes())
+	go s.flushLoop()
+	return s, nil
+}
+
+// lockDir takes an exclusive, non-blocking flock on dir/LOCK. The OS
+// releases it when the holding file closes or the process dies.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tiered: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tiered: %s is already open (its background flusher owns the files); one handle per directory: %w", dir, err)
+	}
+	return f, nil
+}
+
+// Factory builds tiered engines, one directory per cluster node, under
+// root.
+func Factory(root string, opts Options) backend.Factory {
+	return func(node int) (backend.Backend, error) {
+		return Open(filepath.Join(root, fmt.Sprintf("node-%03d", node)), opts)
+	}
+}
+
+func partKey(table, pkey string) string { return table + "\x00" + pkey }
+
+func (s *Store) mustOpenLocked() {
+	if s.closed {
+		panic("tiered: use after Close")
+	}
+}
+
+// gauge refreshes the lock-free hot-size mirror; callers hold mu.
+func (s *Store) gauge() { s.hotBytes.Store(s.hot.StoredBytes()) }
+
+// --- mutation application (shared by foreground ops and WAL replay) ---
+
+func (s *Store) applyHotPut(seg int, table, pkey, ckey string, value []byte) {
+	key := partKey(table, pkey)
+	part := s.hotMeta[key]
+	if part == nil {
+		part = make(map[string]*rowMeta)
+		s.hotMeta[key] = part
+	}
+	s.ver++
+	if meta := part[ckey]; meta != nil {
+		s.pending[meta.seg]--
+		meta.seg, meta.ver, meta.vlen = seg, s.ver, len(value)
+	} else {
+		part[ckey] = &rowMeta{seg: seg, ver: s.ver, vlen: len(value)}
+		if cvlen, ok := s.cold.Stat(table, pkey, ckey); ok {
+			s.addShadow(key, ckey, int64(cvlen+len(ckey)))
+		}
+	}
+	s.pending[seg]++
+	s.hot.Put(table, pkey, ckey, value)
+	s.queue = append(s.queue, flushItem{table: table, pkey: pkey, ckey: ckey, ver: s.ver})
+	s.gauge()
+}
+
+// applyDelete removes the row from both tiers. The caller holds mu (and
+// ioMu on the foreground path; replay runs before the flusher starts).
+func (s *Store) applyDelete(seg int, table, pkey, ckey string) bool {
+	key := partKey(table, pkey)
+	existed := false
+	if part := s.hotMeta[key]; part != nil {
+		if meta := part[ckey]; meta != nil {
+			s.pending[meta.seg]--
+			delete(part, ckey)
+			if len(part) == 0 {
+				delete(s.hotMeta, key)
+			}
+			s.hot.Delete(table, pkey, ckey)
+			s.dropShadow(key, ckey)
+			s.gauge()
+			existed = true
+		}
+	}
+	if s.cold.Delete(table, pkey, ckey) {
+		// The cold tombstone is not yet fsynced; the WAL record must
+		// survive until it is.
+		s.pending[seg]++
+		s.tombs = append(s.tombs, seg)
+		existed = true
+	}
+	return existed
+}
+
+func (s *Store) applyDrop(seg int, table, pkey string) {
+	key := partKey(table, pkey)
+	if part := s.hotMeta[key]; part != nil {
+		for _, meta := range part {
+			s.pending[meta.seg]--
+		}
+		delete(s.hotMeta, key)
+	}
+	// Unconditional: the memtable may hold an empty partition object
+	// whose rows were all flushed to cold (it would still surface in
+	// PartitionKeys).
+	s.hot.DropPartition(table, pkey)
+	s.gauge()
+	if shadows := s.shadow[key]; shadows != nil {
+		for _, amt := range shadows {
+			s.shadowBytes -= amt
+		}
+		delete(s.shadow, key)
+	}
+	if s.cold.HasPartition(table, pkey) {
+		s.cold.DropPartition(table, pkey)
+		s.pending[seg]++
+		s.tombs = append(s.tombs, seg)
+	}
+}
+
+func (s *Store) addShadow(key, ckey string, amt int64) {
+	part := s.shadow[key]
+	if part == nil {
+		part = make(map[string]int64)
+		s.shadow[key] = part
+	}
+	if old, ok := part[ckey]; ok {
+		s.shadowBytes += amt - old
+	} else {
+		s.shadowBytes += amt
+	}
+	part[ckey] = amt
+}
+
+func (s *Store) dropShadow(key, ckey string) {
+	part := s.shadow[key]
+	if part == nil {
+		return
+	}
+	if amt, ok := part[ckey]; ok {
+		s.shadowBytes -= amt
+		delete(part, ckey)
+		if len(part) == 0 {
+			delete(s.shadow, key)
+		}
+	}
+}
+
+// walAppend writes one record, batching fsyncs, and records any write
+// error in the sticky werr (surfaced by Flush/Close, WAL semantics).
+func (s *Store) walAppend(op byte, table, pkey, ckey string, value []byte) int {
+	seg, err := s.wal.append(op, table, pkey, ckey, value)
+	if err != nil {
+		s.werr = errors.Join(s.werr, err)
+		return seg
+	}
+	if s.wal.unsynced >= s.opts.WALSyncBytes {
+		if err := s.wal.fsync(); err != nil {
+			s.werr = errors.Join(s.werr, err)
+		}
+	}
+	return seg
+}
+
+// --- Backend interface ----------------------------------------------
+
+// Put appends a WAL record and lands the row in the hot tier. The cold
+// tier is not touched; the background flusher migrates the row later.
+func (s *Store) Put(table, pkey, ckey string, value []byte) {
+	s.mu.Lock()
+	s.mustOpenLocked()
+	seg := s.walAppend(walPut, table, pkey, ckey, value)
+	s.applyHotPut(seg, table, pkey, ckey, value)
+	over := s.hot.StoredBytes() > s.opts.HotBytes
+	s.mu.Unlock()
+	if over {
+		select {
+		case s.flushNow <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Get reads hot-then-cold: a hot hit is served from memory without any
+// disk access.
+func (s *Store) Get(table, pkey, ckey string) ([]byte, bool) {
+	s.mu.Lock()
+	s.mustOpenLocked()
+	if v, ok := s.hot.Get(table, pkey, ckey); ok {
+		s.mu.Unlock()
+		s.hotHits.Add(1)
+		return v, true
+	}
+	s.mu.Unlock()
+	v, ok := s.cold.Get(table, pkey, ckey)
+	if ok {
+		s.coldReads.Add(1)
+	}
+	return v, ok
+}
+
+// MultiGet is the batch-read fast path: hot rows resolve under one lock
+// acquisition, the misses go to the cold tier as one disklog batch.
+func (s *Store) MultiGet(reqs []backend.KeyRead) [][]byte {
+	out := make([][]byte, len(reqs))
+	var missIdx []int
+	s.mu.Lock()
+	s.mustOpenLocked()
+	hot := 0
+	for i, r := range reqs {
+		if v, ok := s.hot.Get(r.Table, r.PKey, r.CKey); ok {
+			if v == nil {
+				v = []byte{}
+			}
+			out[i] = v
+			hot++
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	s.mu.Unlock()
+	s.hotHits.Add(int64(hot))
+	if len(missIdx) == 0 {
+		return out
+	}
+	miss := make([]backend.KeyRead, len(missIdx))
+	for j, i := range missIdx {
+		miss[j] = reqs[i]
+	}
+	vals := s.cold.MultiGet(miss)
+	cold := 0
+	for j, i := range missIdx {
+		if vals[j] != nil {
+			out[i] = vals[j]
+			cold++
+		}
+	}
+	s.coldReads.Add(int64(cold))
+	return out
+}
+
+// ScanPrefix merges the two tiers' scans in clustering order; a row
+// present in both (mid-flush, or rewritten while its old version is
+// still cold) is served from the hot tier.
+func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
+	s.mu.Lock()
+	s.mustOpenLocked()
+	hotRows := s.hot.ScanPrefix(table, pkey, prefix)
+	s.mu.Unlock()
+	coldRows := s.cold.ScanPrefix(table, pkey, prefix)
+	s.hotHits.Add(int64(len(hotRows)))
+	s.coldReads.Add(int64(len(coldRows)))
+	if len(coldRows) == 0 {
+		return hotRows
+	}
+	if len(hotRows) == 0 {
+		return coldRows
+	}
+	out := make([]backend.Row, 0, len(hotRows)+len(coldRows))
+	i, j := 0, 0
+	for i < len(hotRows) && j < len(coldRows) {
+		switch {
+		case hotRows[i].CKey < coldRows[j].CKey:
+			out = append(out, hotRows[i])
+			i++
+		case hotRows[i].CKey > coldRows[j].CKey:
+			out = append(out, coldRows[j])
+			j++
+		default: // hot shadows cold
+			out = append(out, hotRows[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, hotRows[i:]...)
+	out = append(out, coldRows[j:]...)
+	return out
+}
+
+// Delete removes the row from both tiers. It holds the flush gate so a
+// chunk mid-migration cannot resurrect the row in the cold tier.
+func (s *Store) Delete(table, pkey, ckey string) bool {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	hotHas := false
+	if part := s.hotMeta[partKey(table, pkey)]; part != nil {
+		_, hotHas = part[ckey]
+	}
+	if !hotHas {
+		if _, coldHas := s.cold.Stat(table, pkey, ckey); !coldHas {
+			return false
+		}
+	}
+	seg := s.walAppend(walDel, table, pkey, ckey, nil)
+	return s.applyDelete(seg, table, pkey, ckey)
+}
+
+// DropPartition removes an entire partition from both tiers.
+func (s *Store) DropPartition(table, pkey string) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	// Partition presence is object-level (an emptied partition still
+	// lists in PartitionKeys, matching the memtable spec), so consult
+	// the tiers, not the row sidecar.
+	if !s.hot.HasPartition(table, pkey) && !s.cold.HasPartition(table, pkey) {
+		return
+	}
+	seg := s.walAppend(walDrop, table, pkey, "", nil)
+	s.applyDrop(seg, table, pkey)
+}
+
+// PartitionKeys returns the union of both tiers' partition keys, sorted.
+func (s *Store) PartitionKeys(table string) []string {
+	s.mu.Lock()
+	s.mustOpenLocked()
+	hot := s.hot.PartitionKeys(table)
+	s.mu.Unlock()
+	cold := s.cold.PartitionKeys(table)
+	if len(hot) == 0 {
+		return cold
+	}
+	seen := make(map[string]struct{}, len(hot)+len(cold))
+	out := make([]string, 0, len(hot)+len(cold))
+	for _, pk := range hot {
+		seen[pk] = struct{}{}
+		out = append(out, pk)
+	}
+	for _, pk := range cold {
+		if _, dup := seen[pk]; !dup {
+			out = append(out, pk)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StoredBytes returns the logical live bytes across both tiers,
+// counting rows resident in both exactly once. It waits out an
+// in-flight flush chunk so the accounting is never torn.
+func (s *Store) StoredBytes() int64 {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cold.StoredBytes() + s.hot.StoredBytes() - s.shadowBytes
+}
+
+// Flush makes every accepted write durable: the WAL is fsynced (hot
+// rows survive a crash via replay) and the cold tier syncs its log.
+// Any sticky write error surfaces here.
+func (s *Store) Flush() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.Join(s.werr, errors.New("tiered: store closed"))
+	}
+	return s.flushDurableLocked()
+}
+
+// flushDurableLocked fsyncs both logs and clears satisfied tombstone
+// obligations; callers hold ioMu and mu.
+func (s *Store) flushDurableLocked() error {
+	if err := s.wal.fsync(); err != nil {
+		s.werr = errors.Join(s.werr, err)
+	}
+	if err := s.cold.Flush(); err != nil {
+		s.werr = errors.Join(s.werr, err)
+	} else {
+		for _, seg := range s.tombs {
+			s.pending[seg]--
+		}
+		s.tombs = nil
+	}
+	return s.werr
+}
+
+// Close stops the background flusher, fsyncs both logs, and releases
+// every file. Hot rows are NOT drained to the cold tier: the WAL
+// carries them to the next Open.
+func (s *Store) Close() error {
+	s.stopFlusher()
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.werr
+	}
+	err := s.flushDurableLocked()
+	s.wal.closeFiles()
+	if cerr := s.cold.Close(); cerr != nil {
+		err = errors.Join(err, cerr)
+		s.werr = err
+	}
+	s.lock.Close() // releases the directory flock
+	s.closed = true
+	return err
+}
+
+// Kill simulates a crash (testing aid): background work stops where it
+// is, files close without a final WAL fsync, and the store becomes
+// unusable. The on-disk state is what a new process would find after
+// this one died mid-flight; Open recovers from it.
+func (s *Store) Kill() {
+	s.stopFlusher()
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.wal.closeFiles()
+	s.cold.Close()
+	s.lock.Close()
+}
+
+func (s *Store) stopFlusher() {
+	s.stopFn.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// TierCounters reports the per-tier activity counters (lock-free).
+func (s *Store) TierCounters() backend.TierCounters {
+	return backend.TierCounters{
+		HotHits:      s.hotHits.Load(),
+		ColdReads:    s.coldReads.Load(),
+		FlushedRows:  s.flushedRows.Load(),
+		FlushedBytes: s.flushedBytes.Load(),
+		Compactions:  s.compactions.Load(),
+		HotBytes:     s.hotBytes.Load(),
+	}
+}
+
+// Backup writes a consistent copy of the engine's durable state (cold
+// segments and WAL) into dir, mirroring the on-disk layout so the copy
+// opens as a normal tiered directory. Background flushing is held off
+// for the duration; the caller (the cluster) holds off foreground
+// writes.
+func (s *Store) Backup(dir string) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("tiered: backup of closed store")
+	}
+	if err := s.flushDurableLocked(); err != nil {
+		return fmt.Errorf("tiered: backup: %w", err)
+	}
+	if err := s.cold.Backup(filepath.Join(dir, "cold")); err != nil {
+		return err
+	}
+	walDir := filepath.Join(dir, "wal")
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return fmt.Errorf("tiered: backup: %w", err)
+	}
+	if ids, err := listWALSegmentIDs(walDir); err != nil {
+		return err
+	} else if len(ids) > 0 {
+		return fmt.Errorf("tiered: backup target %s already holds WAL segments", walDir)
+	}
+	for _, seg := range s.wal.segs {
+		if err := backend.CopyFile(seg.f, seg.size, filepath.Join(walDir, walSegmentName(seg.id))); err != nil {
+			return err
+		}
+	}
+	d, err := os.Open(walDir)
+	if err != nil {
+		return fmt.Errorf("tiered: backup: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("tiered: backup sync %s: %w", walDir, err)
+	}
+	return nil
+}
+
+// --- background flusher ----------------------------------------------
+
+func (s *Store) flushLoop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		case <-s.flushNow:
+		}
+		s.maintain()
+	}
+}
+
+// maintain drains the hot tier down to half the budget in rate-limited
+// chunks, then considers cold compaction. The rate-limit sleep holds no
+// locks, so foreground traffic proceeds at full speed between chunks.
+func (s *Store) maintain() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		n := s.flushChunk()
+		if n == 0 {
+			break
+		}
+		if s.opts.CompactRate > 0 {
+			sleep := time.Duration(float64(n) / float64(s.opts.CompactRate) * float64(time.Second))
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(sleep):
+			}
+		}
+	}
+	s.maybeCompactCold()
+}
+
+// flushChunk migrates up to flushChunkBytes of the oldest hot rows into
+// the cold tier and returns the byte count moved (0 when the hot tier
+// is within its low-water mark). The whole chunk — select, cold write,
+// fsync, commit, WAL retirement — runs under the flush gate (ioMu), so
+// deletes cannot interleave with a migration; foreground puts and reads
+// only contend for mu during the brief select and commit phases.
+func (s *Store) flushChunk() int64 {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+
+	type flushRow struct {
+		flushItem
+		seg int
+		val []byte
+	}
+	var (
+		batch []flushRow
+		moved int64
+	)
+	s.mu.Lock()
+	if s.closed || s.werr != nil {
+		s.mu.Unlock()
+		return 0
+	}
+	// Drop the stale queue prefix (rows overwritten or deleted since
+	// they were enqueued) so churn below the budget cannot grow the
+	// queue without bound.
+	for len(s.queue) > 0 {
+		item := s.queue[0]
+		part := s.hotMeta[partKey(item.table, item.pkey)]
+		if part != nil {
+			if meta := part[item.ckey]; meta != nil && meta.ver == item.ver {
+				break
+			}
+		}
+		s.queue = s.queue[1:]
+	}
+	lowWater := s.opts.HotBytes / 2
+	excess := s.hot.StoredBytes() - lowWater
+	for excess > 0 && moved < flushChunkBytes && len(s.queue) > 0 {
+		item := s.queue[0]
+		s.queue = s.queue[1:]
+		part := s.hotMeta[partKey(item.table, item.pkey)]
+		if part == nil {
+			continue
+		}
+		meta := part[item.ckey]
+		if meta == nil || meta.ver != item.ver {
+			continue // superseded or deleted; a fresher queue entry exists if needed
+		}
+		v, ok := s.hot.Get(item.table, item.pkey, item.ckey)
+		if !ok {
+			continue
+		}
+		n := int64(len(item.ckey) + len(v))
+		batch = append(batch, flushRow{flushItem: item, seg: meta.seg, val: v})
+		moved += n
+		excess -= n
+	}
+	tombsOnly := len(batch) == 0 && len(s.tombs) > 0
+	s.mu.Unlock()
+
+	if len(batch) == 0 && !tombsOnly {
+		s.retireWALLocked()
+		return 0
+	}
+
+	// Write + fsync the cold tier outside mu: foreground reads and puts
+	// proceed while the disk works.
+	for _, row := range batch {
+		s.cold.Put(row.table, row.pkey, row.ckey, row.val)
+	}
+	if err := s.cold.Flush(); err != nil {
+		s.mu.Lock()
+		s.werr = errors.Join(s.werr, err)
+		s.mu.Unlock()
+		return 0
+	}
+
+	// Commit: drop migrated rows from the hot tier and retire satisfied
+	// WAL obligations.
+	s.mu.Lock()
+	for _, row := range batch {
+		key := partKey(row.table, row.pkey)
+		part := s.hotMeta[key]
+		var meta *rowMeta
+		if part != nil {
+			meta = part[row.ckey]
+		}
+		if meta == nil {
+			// Unreachable while the flush gate excludes deletes; kept as
+			// a safety net — the cold copy is stale but harmless only if
+			// removed.
+			s.cold.Delete(row.table, row.pkey, row.ckey)
+			continue
+		}
+		if meta.ver != row.ver {
+			// Overwritten mid-write: the hot tier still owns the row and
+			// now shadows the cold copy we just created.
+			s.addShadow(key, row.ckey, int64(len(row.ckey)+len(row.val)))
+			continue
+		}
+		s.pending[meta.seg]--
+		delete(part, row.ckey)
+		if len(part) == 0 {
+			delete(s.hotMeta, key)
+		}
+		s.hot.Delete(row.table, row.pkey, row.ckey)
+		s.dropShadow(key, row.ckey)
+		s.flushedRows.Add(1)
+		s.flushedBytes.Add(int64(len(row.val)))
+	}
+	// The cold fsync above covered every tombstone applied before it.
+	for _, seg := range s.tombs {
+		s.pending[seg]--
+	}
+	s.tombs = nil
+	s.gauge()
+	s.retireWAL()
+	s.mu.Unlock()
+	return moved
+}
+
+// retireWAL deletes the longest prefix of WAL segments with no
+// outstanding obligations; the caller holds ioMu and mu.
+func (s *Store) retireWAL() {
+	for seg, n := range s.pending {
+		if n == 0 {
+			delete(s.pending, seg)
+		}
+	}
+	dropUpTo := s.wal.activeID() - 1
+	for seg := range s.pending {
+		if seg-1 < dropUpTo {
+			dropUpTo = seg - 1
+		}
+	}
+	if dropUpTo < 1 {
+		return
+	}
+	if err := s.wal.dropThrough(dropUpTo); err != nil {
+		s.werr = errors.Join(s.werr, err)
+	}
+}
+
+// retireWALLocked is retireWAL for callers holding only ioMu.
+func (s *Store) retireWALLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.retireWAL()
+}
+
+// maybeCompactCold rewrites the cold tier when it is more than half
+// dead bytes. The compaction holds the flush gate (deletes and flushes
+// wait) but hot-tier reads are untouched.
+func (s *Store) maybeCompactCold() {
+	s.mu.Lock()
+	if s.closed || s.werr != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	dead := s.cold.DeadBytes()
+	floor := s.opts.Cold.CompactMinDead
+	if floor <= 0 {
+		floor = 1 << 20
+	}
+	if dead < floor || dead <= s.cold.StoredBytes() {
+		return
+	}
+	s.ioMu.Lock()
+	err := s.cold.Compact()
+	s.ioMu.Unlock()
+	if err != nil {
+		s.mu.Lock()
+		s.werr = errors.Join(s.werr, err)
+		s.mu.Unlock()
+		return
+	}
+	s.compactions.Add(1)
+}
+
+// String describes the engine state (fmt.Stringer, for inspection).
+func (s *Store) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("tiered(%s: %dB hot, %d wal segments, cold %s)",
+		s.dir, s.hot.StoredBytes(), len(s.wal.segs), s.cold)
+}
+
+var _ backend.Backend = (*Store)(nil)
+var _ backend.BatchReader = (*Store)(nil)
+var _ backend.TierCounting = (*Store)(nil)
+var _ backend.Backuper = (*Store)(nil)

@@ -1,0 +1,387 @@
+package tiered
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hgs/internal/backend"
+)
+
+// fastOptions makes background flushing aggressive so tests exercise
+// tier migration within milliseconds.
+func fastOptions() Options {
+	return Options{
+		HotBytes:      4 << 10,
+		CompactRate:   -1, // unlimited: tests should not sleep
+		FlushInterval: time.Millisecond,
+	}
+}
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func val(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 64) }
+
+func TestHotReadsServeWithoutColdReads(t *testing.T) {
+	// A hot tier large enough for the whole working set: every read is
+	// a hot hit and the cold tier is never consulted for a row.
+	s := open(t, t.TempDir(), Options{HotBytes: 1 << 30, FlushInterval: time.Millisecond})
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), val(i))
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := s.Get("deltas", "p0", fmt.Sprintf("c%03d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d wrong", i)
+		}
+	}
+	tc := s.TierCounters()
+	if tc.HotHits != 50 {
+		t.Fatalf("hot hits = %d, want 50", tc.HotHits)
+	}
+	if tc.ColdReads != 0 {
+		t.Fatalf("cold reads = %d, want 0 (all-hot working set)", tc.ColdReads)
+	}
+	if tc.HotBytes == 0 {
+		t.Fatal("hot bytes gauge empty with resident rows")
+	}
+}
+
+func TestBackgroundFlushMigratesToCold(t *testing.T) {
+	s := open(t, t.TempDir(), fastOptions())
+	defer s.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		s.Put("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i), val(i))
+	}
+	waitFor(t, "hot tier to drain to the low-water mark", func() bool {
+		return s.TierCounters().HotBytes <= 4<<10/2
+	})
+	tc := s.TierCounters()
+	if tc.FlushedRows == 0 || tc.FlushedBytes == 0 {
+		t.Fatalf("no flush activity: %+v", tc)
+	}
+	// Every row is still readable; old rows come from the cold tier.
+	for i := 0; i < n; i++ {
+		v, ok := s.Get("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d lost after flush", i)
+		}
+	}
+	if s.TierCounters().ColdReads == 0 {
+		t.Fatal("expected cold reads for flushed rows")
+	}
+	// Scans merge the tiers in clustering order.
+	rows := s.ScanPrefix("deltas", "p00", "")
+	if len(rows) != n/4 {
+		t.Fatalf("scan returned %d rows, want %d", len(rows), n/4)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].CKey >= rows[i].CKey {
+			t.Fatal("merged scan out of order")
+		}
+	}
+}
+
+func TestWALSegmentsRetireAfterFlush(t *testing.T) {
+	opts := fastOptions()
+	opts.WALSegmentBytes = 1 << 10
+	dir := t.TempDir()
+	s := open(t, dir, opts)
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+	}
+	// ~27 segments are written; all but the handful pinned by still-hot
+	// rows (the low-water residue) plus the active segment must retire.
+	waitFor(t, "WAL retirement", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.wal.segs) <= 6
+	})
+}
+
+func TestReopenRecoversBothTiers(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, fastOptions())
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+	}
+	s.Delete("deltas", "p0", "c0000")
+	waitFor(t, "some flushing", func() bool { return s.TierCounters().FlushedRows > 0 })
+	stored := s.StoredBytes()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, fastOptions())
+	defer r.Close()
+	if got := r.StoredBytes(); got != stored {
+		t.Fatalf("stored bytes after reopen: %d, want %d", got, stored)
+	}
+	if _, ok := r.Get("deltas", "p0", "c0000"); ok {
+		t.Fatal("deleted row resurrected after reopen")
+	}
+	for i := 1; i < n; i++ {
+		v, ok := r.Get("deltas", "p0", fmt.Sprintf("c%04d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d lost across reopen", i)
+		}
+	}
+}
+
+func TestKillMidFlushLosesNothing(t *testing.T) {
+	// Throttle flushing hard so the kill lands with the hot tier
+	// partially migrated: some rows only in the WAL, some mid-chunk,
+	// some already cold.
+	opts := Options{
+		HotBytes:      2 << 10,
+		CompactRate:   64 << 10,
+		FlushInterval: time.Millisecond,
+	}
+	dir := t.TempDir()
+	s := open(t, dir, opts)
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Put("deltas", fmt.Sprintf("p%02d", i%8), fmt.Sprintf("c%04d", i), val(i))
+		if i == n/2 {
+			s.Delete("deltas", "p01", "c0001")
+		}
+	}
+	s.Kill() // crash: no final fsync, flusher abandoned where it was
+
+	r := open(t, dir, opts)
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		pk, ck := fmt.Sprintf("p%02d", i%8), fmt.Sprintf("c%04d", i)
+		v, ok := r.Get("deltas", pk, ck)
+		if i == 1 {
+			if ok {
+				t.Fatal("deleted row survived the crash")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d lost in crash (pk=%s ck=%s)", i, pk, ck)
+		}
+	}
+}
+
+func TestTornWALTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{HotBytes: 1 << 30, FlushInterval: time.Hour})
+	for i := 0; i < 20; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), val(i))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+
+	// Simulate a crash mid-append: garbage at the WAL tail.
+	walDir := filepath.Join(dir, "wal")
+	ids, err := listWALSegmentIDs(walDir)
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("wal segments: %v %v", ids, err)
+	}
+	last := filepath.Join(walDir, walSegmentName(ids[len(ids)-1]))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn-half-record")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := open(t, dir, Options{HotBytes: 1 << 30})
+	defer r.Close()
+	for i := 0; i < 20; i++ {
+		if _, ok := r.Get("deltas", "p0", fmt.Sprintf("c%03d", i)); !ok {
+			t.Fatalf("acknowledged row %d lost to torn-tail truncation", i)
+		}
+	}
+}
+
+func TestDeleteDuringFlushDoesNotResurrect(t *testing.T) {
+	// Delete rows continuously while the flusher migrates under a tight
+	// budget; deleted rows must stay gone (the flush gate orders the
+	// cold write and the delete).
+	s := open(t, t.TempDir(), fastOptions())
+	defer s.Close()
+	const n = 300
+	for i := 0; i < n; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+		if i%3 == 0 {
+			if !s.Delete("deltas", "p0", fmt.Sprintf("c%04d", i)) {
+				t.Fatalf("delete of fresh row %d reported absent", i)
+			}
+		}
+	}
+	waitFor(t, "hot drain", func() bool { return s.TierCounters().HotBytes <= 2<<10 })
+	for i := 0; i < n; i++ {
+		_, ok := s.Get("deltas", "p0", fmt.Sprintf("c%04d", i))
+		if i%3 == 0 && ok {
+			t.Fatalf("deleted row %d resurrected", i)
+		}
+		if i%3 != 0 && !ok {
+			t.Fatalf("row %d lost", i)
+		}
+	}
+}
+
+func TestDropPartitionSpansTiers(t *testing.T) {
+	s := open(t, t.TempDir(), fastOptions())
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.Put("deltas", "keep", fmt.Sprintf("c%03d", i), val(i))
+		s.Put("deltas", "drop", fmt.Sprintf("c%03d", i), val(i))
+	}
+	waitFor(t, "some flushing", func() bool { return s.TierCounters().FlushedRows > 0 })
+	s.DropPartition("deltas", "drop")
+	if rows := s.ScanPrefix("deltas", "drop", ""); len(rows) != 0 {
+		t.Fatalf("dropped partition still has %d rows", len(rows))
+	}
+	pks := s.PartitionKeys("deltas")
+	if len(pks) != 1 || pks[0] != "keep" {
+		t.Fatalf("partition keys = %v, want [keep]", pks)
+	}
+}
+
+func TestMultiGetSpansTiers(t *testing.T) {
+	s := open(t, t.TempDir(), fastOptions())
+	defer s.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+	}
+	waitFor(t, "hot drain", func() bool { return s.TierCounters().HotBytes <= 2<<10 })
+	// Keep a few rows hot again.
+	for i := 0; i < 5; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+	}
+	reqs := make([]backend.KeyRead, 0, n+1)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, backend.KeyRead{Table: "deltas", PKey: "p0", CKey: fmt.Sprintf("c%04d", i)})
+	}
+	reqs = append(reqs, backend.KeyRead{Table: "deltas", PKey: "p0", CKey: "absent"})
+	out := s.MultiGet(reqs)
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(out[i], val(i)) {
+			t.Fatalf("batch row %d wrong", i)
+		}
+	}
+	if out[n] != nil {
+		t.Fatal("absent key must be nil in batch result")
+	}
+}
+
+func TestColdCompactionRunsInBackground(t *testing.T) {
+	opts := fastOptions()
+	opts.Cold.CompactMinDead = 1 << 10
+	s := open(t, t.TempDir(), opts)
+	defer s.Close()
+	// Overwrite the same keys repeatedly: each overwrite strands the old
+	// cold record as dead bytes once flushed.
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 40; i++ {
+			s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), val(round))
+		}
+		waitFor(t, "flush round", func() bool { return s.TierCounters().HotBytes <= 2<<10 })
+	}
+	waitFor(t, "background cold compaction", func() bool {
+		return s.TierCounters().Compactions > 0
+	})
+	for i := 0; i < 40; i++ {
+		v, ok := s.Get("deltas", "p0", fmt.Sprintf("c%03d", i))
+		if !ok || !bytes.Equal(v, val(29)) {
+			t.Fatalf("row %d wrong after compaction", i)
+		}
+	}
+}
+
+func TestBackupOpensAsTieredStore(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, fastOptions())
+	const n = 150
+	for i := 0; i < n; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+	}
+	waitFor(t, "some flushing", func() bool { return s.TierCounters().FlushedRows > 0 })
+	backupDir := filepath.Join(t.TempDir(), "backup")
+	if err := s.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	// The original keeps running and changing; the backup is frozen.
+	s.Put("deltas", "p0", "c9999", val(1))
+	defer s.Close()
+
+	b := open(t, backupDir, fastOptions())
+	defer b.Close()
+	for i := 0; i < n; i++ {
+		v, ok := b.Get("deltas", "p0", fmt.Sprintf("c%04d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d missing from backup", i)
+		}
+	}
+	if _, ok := b.Get("deltas", "p0", "c9999"); ok {
+		t.Fatal("post-backup write leaked into the backup")
+	}
+}
+
+func TestFactory(t *testing.T) {
+	root := t.TempDir()
+	f := Factory(root, fastOptions())
+	for node := 0; node < 3; node++ {
+		be, err := f(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be.Put("t", "p", "c", []byte{byte(node)})
+		if err := be.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(filepath.Join(root, fmt.Sprintf("node-%03d", node), "wal")); err != nil {
+			t.Fatalf("node %d wal dir: %v", node, err)
+		}
+	}
+}
+
+func TestSecondOpenOfLiveDirRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, fastOptions())
+	if _, err := Open(dir, fastOptions()); err == nil {
+		t.Fatal("second handle on a live tiered directory must be rejected")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The lock dies with the handle: reopening after Close works.
+	r := open(t, dir, fastOptions())
+	r.Close()
+}

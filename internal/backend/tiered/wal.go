@@ -1,0 +1,353 @@
+package tiered
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The write-ahead log that makes the hot tier durable. It reuses the
+// repository's log idiom (length-prefixed CRC32 records, numbered
+// segment files, torn-tail truncation on the final segment) but stays
+// deliberately dumb: it has no index — the hot memtable IS the index —
+// and records are only ever replayed front to back on open. Segments
+// are deleted from the front once every record in them is either
+// superseded by a newer record or durably flushed into the cold tier.
+
+// walOp mirrors the tiered mutation set.
+const (
+	walPut  byte = 1
+	walDel  byte = 2
+	walDrop byte = 3
+)
+
+// walHeaderLen is the record prelude: uint32 payload length + uint32
+// IEEE CRC32 of the payload, little-endian.
+const walHeaderLen = 8
+
+// walMaxRecordBytes bounds a decoded payload so a corrupt length prefix
+// cannot drive a giant allocation during replay.
+const walMaxRecordBytes = 1 << 30
+
+// errWALCorrupt reports a record that failed validation in a non-final
+// segment, where truncation would silently drop acknowledged data.
+var errWALCorrupt = errors.New("tiered: corrupt WAL record in non-final segment")
+
+type walSegment struct {
+	id   int
+	path string
+	f    *os.File
+	size int64
+}
+
+// wal is the segmented write-ahead log. It is not internally
+// synchronized: the tiered store serializes access under its own lock.
+type wal struct {
+	dir      string
+	segBytes int64
+	segs     []*walSegment // ascending id; last is active
+	unsynced int64
+	enc      []byte
+}
+
+func walSegmentName(id int) string { return fmt.Sprintf("wal-%08d.log", id) }
+
+func listWALSegmentIDs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tiered: %w", err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &id); err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// openWAL opens (or creates) the log rooted at dir without replaying
+// it; the caller replays via replay before accepting writes.
+func openWAL(dir string, segBytes int64) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tiered: %w", err)
+	}
+	w := &wal{dir: dir, segBytes: segBytes}
+	ids, err := listWALSegmentIDs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		seg, err := w.openSegment(id)
+		if err != nil {
+			w.closeFiles()
+			return nil, err
+		}
+		w.segs = append(w.segs, seg)
+	}
+	if len(w.segs) == 0 {
+		if err := w.addSegment(1); err != nil {
+			w.closeFiles()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *wal) openSegment(id int) (*walSegment, error) {
+	path := filepath.Join(w.dir, walSegmentName(id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tiered: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tiered: %w", err)
+	}
+	return &walSegment{id: id, path: path, f: f, size: st.Size()}, nil
+}
+
+func (w *wal) addSegment(id int) error {
+	seg, err := w.openSegment(id)
+	if err != nil {
+		return err
+	}
+	w.segs = append(w.segs, seg)
+	return w.syncDir()
+}
+
+func (w *wal) syncDir() error {
+	d, err := os.Open(w.dir)
+	if err != nil {
+		return fmt.Errorf("tiered: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("tiered: sync wal dir: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) closeFiles() {
+	for _, seg := range w.segs {
+		seg.f.Close()
+	}
+}
+
+func walAppendStr(buf []byte, v string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(v)))
+	buf = append(buf, tmp[:n]...)
+	return append(buf, v...)
+}
+
+// append writes one record and returns the id of the segment it landed
+// in (the hot row's truncation obligation anchor). fsync is batched by
+// the store; a write error is returned for the store's sticky werr.
+func (w *wal) append(op byte, table, pkey, ckey string, value []byte) (segID int, err error) {
+	payload := w.enc[:0]
+	payload = append(payload, op)
+	payload = walAppendStr(payload, table)
+	payload = walAppendStr(payload, pkey)
+	if op != walDrop {
+		payload = walAppendStr(payload, ckey)
+	}
+	if op == walPut {
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], uint64(len(value)))
+		payload = append(payload, tmp[:n]...)
+		payload = append(payload, value...)
+	}
+	rec := make([]byte, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[walHeaderLen:], payload)
+	w.enc = payload
+
+	active := w.segs[len(w.segs)-1]
+	if active.size > 0 && active.size+int64(len(rec)) > w.segBytes {
+		if err := w.rotate(); err != nil {
+			return active.id, err
+		}
+		active = w.segs[len(w.segs)-1]
+	}
+	if _, err := active.f.WriteAt(rec, active.size); err != nil {
+		return active.id, fmt.Errorf("tiered: wal append: %w", err)
+	}
+	active.size += int64(len(rec))
+	w.unsynced += int64(len(rec))
+	return active.id, nil
+}
+
+// rotate fsyncs the active segment and opens the next one.
+func (w *wal) rotate() error {
+	active := w.segs[len(w.segs)-1]
+	if err := active.f.Sync(); err != nil {
+		return fmt.Errorf("tiered: wal sync before rotate: %w", err)
+	}
+	w.unsynced = 0
+	return w.addSegment(active.id + 1)
+}
+
+// fsync makes all appended records durable.
+func (w *wal) fsync() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	if err := w.segs[len(w.segs)-1].f.Sync(); err != nil {
+		return fmt.Errorf("tiered: wal sync: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// activeID returns the id of the segment currently receiving appends.
+func (w *wal) activeID() int { return w.segs[len(w.segs)-1].id }
+
+// dropThrough closes and deletes every segment with id <= maxID. The
+// caller has proven all their records' effects durable in the cold tier
+// (or superseded). The active segment is never dropped.
+func (w *wal) dropThrough(maxID int) error {
+	i := 0
+	for i < len(w.segs)-1 && w.segs[i].id <= maxID {
+		seg := w.segs[i]
+		seg.f.Close()
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("tiered: drop wal segment: %w", err)
+		}
+		i++
+	}
+	if i == 0 {
+		return nil
+	}
+	w.segs = append([]*walSegment(nil), w.segs[i:]...)
+	return w.syncDir()
+}
+
+// replay scans every segment in order, calling apply for each valid
+// record with the id of its segment. A torn record at the tail of the
+// final segment is truncated away (crash mid-append); corruption
+// anywhere else fails the open.
+func (w *wal) replay(apply func(segID int, op byte, table, pkey, ckey string, value []byte) error) error {
+	for si, seg := range w.segs {
+		if err := w.replaySegment(seg, si == len(w.segs)-1, apply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *wal) replaySegment(seg *walSegment, final bool, apply func(segID int, op byte, table, pkey, ckey string, value []byte) error) error {
+	var (
+		off    int64
+		header [walHeaderLen]byte
+	)
+	corruptAt := int64(-1)
+	for off < seg.size {
+		if seg.size-off < walHeaderLen {
+			corruptAt = off
+			break
+		}
+		if _, err := seg.f.ReadAt(header[:], off); err != nil {
+			return fmt.Errorf("tiered: wal replay %s: %w", seg.path, err)
+		}
+		plen := int64(binary.LittleEndian.Uint32(header[0:4]))
+		wantCRC := binary.LittleEndian.Uint32(header[4:8])
+		if plen > walMaxRecordBytes || off+walHeaderLen+plen > seg.size {
+			corruptAt = off
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := seg.f.ReadAt(payload, off+walHeaderLen); err != nil {
+			return fmt.Errorf("tiered: wal replay %s: %w", seg.path, err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			corruptAt = off
+			break
+		}
+		if err := decodeWALPayload(seg.id, payload, apply); err != nil {
+			// CRC-valid but undecodable is version skew or a writer bug,
+			// not a torn write; truncating would drop acknowledged data.
+			return fmt.Errorf("tiered: undecodable WAL record in %s at offset %d: %w", seg.path, off, err)
+		}
+		off += walHeaderLen + plen
+	}
+	if corruptAt < 0 {
+		return nil
+	}
+	if !final {
+		return fmt.Errorf("%w: %s at offset %d", errWALCorrupt, seg.path, corruptAt)
+	}
+	if err := seg.f.Truncate(corruptAt); err != nil {
+		return fmt.Errorf("tiered: truncate torn wal tail of %s: %w", seg.path, err)
+	}
+	if err := seg.f.Sync(); err != nil {
+		return fmt.Errorf("tiered: %w", err)
+	}
+	seg.size = corruptAt
+	return nil
+}
+
+func decodeWALPayload(segID int, payload []byte, apply func(segID int, op byte, table, pkey, ckey string, value []byte) error) error {
+	if len(payload) < 1 {
+		return fmt.Errorf("empty payload")
+	}
+	pos := 1
+	str := func() (string, error) {
+		v, n := binary.Uvarint(payload[pos:])
+		if n <= 0 {
+			return "", fmt.Errorf("bad string length")
+		}
+		pos += n
+		if uint64(len(payload)-pos) < v {
+			return "", fmt.Errorf("string exceeds payload")
+		}
+		out := string(payload[pos : pos+int(v)])
+		pos += int(v)
+		return out, nil
+	}
+	op := payload[0]
+	table, err := str()
+	if err != nil {
+		return err
+	}
+	pkey, err := str()
+	if err != nil {
+		return err
+	}
+	var ckey string
+	var value []byte
+	switch op {
+	case walPut:
+		if ckey, err = str(); err != nil {
+			return err
+		}
+		vlen, n := binary.Uvarint(payload[pos:])
+		if n <= 0 || uint64(len(payload)-pos-n) < vlen {
+			return fmt.Errorf("bad value length")
+		}
+		pos += n
+		value = append([]byte(nil), payload[pos:pos+int(vlen)]...)
+	case walDel:
+		if ckey, err = str(); err != nil {
+			return err
+		}
+	case walDrop:
+	default:
+		return fmt.Errorf("unknown op 0x%02x", op)
+	}
+	return apply(segID, op, table, pkey, ckey, value)
+}

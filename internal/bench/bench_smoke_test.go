@@ -207,3 +207,31 @@ func TestDefaultScaleEnv(t *testing.T) {
 		t.Fatal("bogus HGS_SCALE should fall back to defaults")
 	}
 }
+
+func TestTieringSmoke(t *testing.T) {
+	skipIfShort(t)
+	r := TieringBench(tinyScale())
+	checkResult(t, r, 2)
+	// The acceptance bar of the tiered backend: with an unbounded hot
+	// tier the whole probe workload is served without a single
+	// disk-tier read, and hot hits dominate (the last table row is the
+	// unbounded pass).
+	last := r.TableRows[len(r.TableRows)-1]
+	if last[0] != "unbounded" {
+		t.Fatalf("last row %v is not the unbounded pass", last)
+	}
+	if last[2] != "0" {
+		t.Fatalf("unbounded hot tier still issued %s cold reads", last[2])
+	}
+	if last[1] == "0" {
+		t.Fatal("unbounded pass recorded no hot reads")
+	}
+	// The hit-ratio series must not decrease as the hot tier grows.
+	pts := r.Series[0].Points
+	if pts[len(pts)-1].Y < pts[0].Y {
+		t.Fatalf("hot-hit ratio fell as the hot tier grew: %v", pts)
+	}
+	if pts[len(pts)-1].Y != 1.0 {
+		t.Fatalf("unbounded hot tier hit ratio = %v, want 1.0", pts[len(pts)-1].Y)
+	}
+}

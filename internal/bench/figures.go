@@ -661,7 +661,7 @@ var Order = []string{
 	"fig14a", "fig14b", "fig14c",
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
-	"cache",
+	"cache", "tiering",
 	"ablation-arity", "ablation-vc",
 }
 
@@ -691,6 +691,7 @@ var Runners = map[string]func(Scale) *Result{
 	"fig16":          Fig16,
 	"fig17":          Fig17,
 	"cache":          CacheBench,
+	"tiering":        TieringBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

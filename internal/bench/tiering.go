@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hgs/internal/backend/tiered"
+	"hgs/internal/core"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
+)
+
+// TieringBench sweeps the tiered backend's hot-tier budget over the
+// same index and recent-heavy query workload, reporting the per-tier
+// read split (from kvstore.Metrics) and the simulated service time —
+// the memory-vs-disk DeltaGraph placement trade-off: the bigger the hot
+// tier, the more of the newest timespan's deltas are served without a
+// disk-tier read, and with an all-hot tier the workload must touch the
+// cold tier zero times. Each sweep point builds a fresh tiered store in
+// a temporary directory, lets background flushing settle to the budget,
+// then runs the probes with the latency model (including its per-row
+// cold-read surcharge) enabled.
+func TieringBench(sc Scale) *Result {
+	start := time.Now()
+	events := Dataset1(sc)
+	res := &Result{
+		ID:     "tiering",
+		Title:  "Tiered backend: hot-tier budget vs per-tier reads (m=4, recent-heavy probes)",
+		XLabel: "hot-tier budget per node (KB; last point = unbounded)",
+		YLabel: "hot-hit ratio",
+	}
+	res.TableHeader = []string{"hot budget", "hot reads", "cold reads", "hit ratio", "flushed KB", "sim wait", "elapsed"}
+
+	hitSeries := Series{Name: "hot-hit ratio"}
+	waitSeries := Series{Name: "simulated wait (s)"}
+	probes := probeTimes(events, 6)
+	recent := probes[len(probes)-3:] // the paper's hot assumption: query the newest times
+	allHot := int64(1) << 40
+
+	for _, hotBytes := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20, allHot} {
+		m, wait, sec := tieringPass(events, hotBytes, recent)
+		total := m.TierHotReads + m.TierColdReads
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(m.TierHotReads) / float64(total)
+		}
+		label := fmt.Sprintf("%dKB", hotBytes>>10)
+		if hotBytes == allHot {
+			label = "unbounded"
+		}
+		res.TableRows = append(res.TableRows, []string{
+			label,
+			fmt.Sprintf("%d", m.TierHotReads),
+			fmt.Sprintf("%d", m.TierColdReads),
+			fmt.Sprintf("%.3f", ratio),
+			fmt.Sprintf("%d", m.FlushedBytes/1024),
+			wait.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.3fs", sec),
+		})
+		hitSeries.Points = append(hitSeries.Points, Point{X: float64(hotBytes >> 10), Y: ratio})
+		waitSeries.Points = append(waitSeries.Points, Point{X: float64(hotBytes >> 10), Y: wait.Seconds()})
+		if hotBytes == allHot {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"unbounded hot tier: %d reads served with %d disk-tier reads (hot hits avoid the cold tier entirely)",
+				m.TierHotReads, m.TierColdReads))
+		}
+	}
+	res.Series = append(res.Series, hitSeries, waitSeries)
+	res.Notes = append(res.Notes,
+		"per-tier counters come from Store.Stats/kvstore.Metrics (TierHotReads/TierColdReads); cold rows pay the latency model's ColdRead surcharge")
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// tieringPass builds a tiered store with the given hot budget, waits
+// for background flushing to settle, runs the recent-heavy probe
+// workload under the latency model, and returns the workload's metrics
+// delta, simulated wait, and wall time.
+func tieringPass(events []graph.Event, hotBytes int64, recent []temporal.Time) (kvstore.Metrics, time.Duration, float64) {
+	dir, err := os.MkdirTemp("", "hgs-tiering-")
+	if err != nil {
+		panic(fmt.Sprintf("bench: tiering tempdir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+	cluster, err := kvstore.Open(kvstore.Config{
+		Machines: 4,
+		Backend: tiered.Factory(dir, tiered.Options{
+			HotBytes:      hotBytes,
+			CompactRate:   32 << 20, // generous but finite: settling stays visible
+			FlushInterval: time.Millisecond,
+		}),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: tiering cluster: %v", err))
+	}
+	defer cluster.Close()
+	cfg := benchTGIConfig(len(events))
+	tgi, err := core.Build(cluster, cfg, events)
+	if err != nil {
+		panic(fmt.Sprintf("bench: tiering build: %v", err))
+	}
+
+	// Let the flusher drain the build's write burst down to the budget.
+	deadline := time.Now().Add(30 * time.Second)
+	for cluster.Metrics().TierHotBytes > hotBytes*4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Warm the query-manager metadata (not the variable under study),
+	// pick probe nodes, then measure.
+	full, err := tgi.GetSnapshot(recent[len(recent)-1], nil)
+	if err != nil {
+		panic(fmt.Sprintf("bench: tiering probe: %v", err))
+	}
+	ids := full.NodeIDs()
+	nodes := make([]graph.NodeID, 0, 24)
+	for i := 0; i < 24 && i < len(ids); i++ {
+		nodes = append(nodes, ids[len(ids)*i/24])
+	}
+
+	cluster.ResetMetrics()
+	cluster.SetLatency(kvstore.DefaultLatency())
+	sec := timeIt(func() {
+		for _, tt := range recent {
+			if _, err := tgi.GetSnapshot(tt, &core.FetchOptions{Clients: 4}); err != nil {
+				panic(fmt.Sprintf("bench: tiering snapshot: %v", err))
+			}
+		}
+		for _, id := range nodes {
+			if _, err := tgi.GetNodeAt(id, recent[len(recent)-1]); err != nil {
+				panic(fmt.Sprintf("bench: tiering node fetch: %v", err))
+			}
+		}
+	})
+	cluster.SetLatency(kvstore.LatencyModel{})
+	m := cluster.Metrics()
+	return m, m.SimWait, sec
+}

@@ -73,24 +73,35 @@ type Config struct {
 	// persisted, and a handle attached to an existing index keeps the
 	// value it was opened with.
 	CacheBytes int64 `json:"-"`
+	// Cache, when non-nil, is used as the decoded-delta cache instead of
+	// building a fresh one from CacheBytes — the hook that lets several
+	// handles of the same stored index share one cache, so a second
+	// reader does not re-pay the first one's cold misses. Like
+	// CacheBytes it is a property of the reading process: not persisted,
+	// and kept across an Attach adoption.
+	Cache *fetch.Cache `json:"-"`
 }
 
 // DefaultCacheBytes is the decoded-delta cache budget used when
 // Config.CacheBytes is zero (64 MiB).
 const DefaultCacheBytes = 64 << 20
 
-// cacheBudget maps the CacheBytes knob to the cache constructor's
-// convention (<= 0 disables).
-func (c Config) cacheBudget() int64 {
+// CacheBudget maps a CacheBytes knob to the cache constructor's
+// convention (<= 0 disables): negative disables, zero selects
+// DefaultCacheBytes. The one place the sentinel semantics live —
+// hgs.Open sizes the cache shared across DataDir handles with it.
+func CacheBudget(cacheBytes int64) int64 {
 	switch {
-	case c.CacheBytes < 0:
+	case cacheBytes < 0:
 		return 0
-	case c.CacheBytes == 0:
+	case cacheBytes == 0:
 		return DefaultCacheBytes
 	default:
-		return c.CacheBytes
+		return cacheBytes
 	}
 }
+
+func (c Config) cacheBudget() int64 { return CacheBudget(c.CacheBytes) }
 
 // DefaultConfig returns the defaults used throughout the evaluation
 // unless a figure varies a parameter (ps=500, random partitioning).

@@ -35,8 +35,17 @@ func New(store *kvstore.Cluster, cfg Config) *TGI {
 		store: store,
 		cdc:   cdc,
 		meta:  newMetaStore(),
-		fx:    fetch.NewExecutor(store, cdc, fetch.NewCache(cfg.cacheBudget())),
+		fx:    fetch.NewExecutor(store, cdc, cfg.queryCache()),
 	}
+}
+
+// queryCache resolves the handle's decoded-delta cache: an injected
+// shared cache wins, otherwise a private one is built from CacheBytes.
+func (c Config) queryCache() *fetch.Cache {
+	if c.Cache != nil {
+		return c.Cache
+	}
+	return fetch.NewCache(c.cacheBudget())
 }
 
 // Build constructs a fresh index over the complete event history.
@@ -67,13 +76,15 @@ func Attach(store *kvstore.Cluster, cfg Config) (*TGI, bool, error) {
 	if err := json.Unmarshal(blob, gm); err != nil {
 		return nil, false, fmt.Errorf("core: decode persisted graph metadata: %w", err)
 	}
-	// Construction parameters come from the store; CacheBytes is a
-	// property of the reading process and survives the adoption.
+	// Construction parameters come from the store; CacheBytes and an
+	// injected shared Cache are properties of the reading process and
+	// survive the adoption.
 	t.cfg = gm.Config
 	t.cfg.CacheBytes = cfg.CacheBytes
+	t.cfg.Cache = cfg.Cache
 	t.cfg.normalize()
 	t.cdc = codec.Codec{Compress: t.cfg.Compress}
-	t.fx = fetch.NewExecutor(store, t.cdc, fetch.NewCache(t.cfg.cacheBudget()))
+	t.fx = fetch.NewExecutor(store, t.cdc, t.cfg.queryCache())
 	t.meta.mu.Lock()
 	t.meta.graph = gm
 	t.meta.mu.Unlock()

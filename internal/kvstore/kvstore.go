@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,12 +40,21 @@ type LatencyModel struct {
 	BaseOp time.Duration
 	// PerKB is charged per kilobyte moved.
 	PerKB time.Duration
+	// ColdRead is charged per row lookup that a tiered engine served
+	// from its cold (disk) tier — the seek the hot tier would have
+	// absorbed. Engines without tier counters charge nothing extra.
+	ColdRead time.Duration
 }
 
 // DefaultLatency approximates a commodity networked disk-backed store at
 // the scale of our benchmark datasets.
 func DefaultLatency() LatencyModel {
-	return LatencyModel{Enabled: true, BaseOp: 60 * time.Microsecond, PerKB: 250 * time.Microsecond}
+	return LatencyModel{
+		Enabled:  true,
+		BaseOp:   60 * time.Microsecond,
+		PerKB:    250 * time.Microsecond,
+		ColdRead: 200 * time.Microsecond,
+	}
 }
 
 // Cost returns the simulated service time for an operation moving n bytes.
@@ -86,6 +96,15 @@ func (c *Config) normalize() {
 // RoundTrips counts physical node visits — a MultiGet touching two
 // machines is many Reads but two RoundTrips. SimWait is the total
 // simulated service time charged by the latency model.
+//
+// The Tier* fields aggregate the per-tier counters of engines that
+// implement backend.TierCounting (the tiered hot/cold backend); they
+// stay zero on single-tier engines. TierHotReads row lookups were
+// served from memory without disk I/O, TierColdReads fell through to
+// the disk tier; Compactions and FlushedBytes count the background
+// maintenance that migrated data between tiers. TierHotBytes is a
+// gauge of the bytes currently resident hot (not affected by
+// ResetMetrics).
 type Metrics struct {
 	Reads        int64
 	Writes       int64
@@ -93,6 +112,12 @@ type Metrics struct {
 	BytesWritten int64
 	RoundTrips   int64
 	SimWait      time.Duration
+
+	TierHotReads  int64
+	TierColdReads int64
+	FlushedBytes  int64
+	Compactions   int64
+	TierHotBytes  int64
 }
 
 // Row is one clustered row inside a partition.
@@ -105,6 +130,9 @@ type Row = backend.Row
 type storageNode struct {
 	mu sync.Mutex
 	be backend.Backend
+	// tc is the engine's optional per-tier counter view, asserted once
+	// at open so the serve hot path avoids a type switch per operation.
+	tc backend.TierCounting
 }
 
 // Cluster is the distributed store.
@@ -121,6 +149,12 @@ type Cluster struct {
 	bytesWritten atomic.Int64
 	roundTrips   atomic.Int64
 	simWait      atomic.Int64 // nanoseconds
+
+	// tierBase is the engines' cumulative tier-counter totals at the
+	// last ResetMetrics, so Metrics reports deltas like the atomic
+	// counters do (the HotBytes gauge is exempt).
+	tierBaseMu sync.Mutex
+	tierBase   backend.TierCounters
 }
 
 // Open builds a cluster per the configuration, creating each node's
@@ -141,7 +175,9 @@ func Open(cfg Config) (*Cluster, error) {
 			}
 			return nil, fmt.Errorf("kvstore: open node %d: %w", i, err)
 		}
-		c.nodes[i] = &storageNode{be: be}
+		node := &storageNode{be: be}
+		node.tc, _ = be.(backend.TierCounting)
+		c.nodes[i] = node
 	}
 	lm := cfg.Latency
 	c.latency.Store(&lm)
@@ -230,8 +266,19 @@ func (c *Cluster) serve(idx int, f func(be backend.Backend) int) {
 	node := c.nodes[idx]
 	node.mu.Lock()
 	defer node.mu.Unlock()
+	lm := c.Latency()
+	var coldBefore int64
+	chargeCold := lm.Enabled && lm.ColdRead > 0 && node.tc != nil
+	if chargeCold {
+		coldBefore = node.tc.TierCounters().ColdReads
+	}
 	n := f(node.be)
-	d := c.Latency().Cost(n)
+	d := lm.Cost(n)
+	if chargeCold {
+		// Each row the operation pulled from the cold tier pays the
+		// disk-seek surcharge the hot tier would have absorbed.
+		d += time.Duration(node.tc.TierCounters().ColdReads-coldBefore) * lm.ColdRead
+	}
 	c.simWait.Add(int64(d))
 	simulateWork(d)
 }
@@ -482,8 +529,31 @@ func (c *Cluster) Close() error {
 	return errors.Join(errs...)
 }
 
+// tierTotals sums the cumulative tier counters of every node engine
+// that tracks them.
+func (c *Cluster) tierTotals() backend.TierCounters {
+	var t backend.TierCounters
+	for _, node := range c.nodes {
+		if node.tc == nil {
+			continue
+		}
+		tc := node.tc.TierCounters()
+		t.HotHits += tc.HotHits
+		t.ColdReads += tc.ColdReads
+		t.FlushedRows += tc.FlushedRows
+		t.FlushedBytes += tc.FlushedBytes
+		t.Compactions += tc.Compactions
+		t.HotBytes += tc.HotBytes
+	}
+	return t
+}
+
 // Metrics returns a snapshot of the counters.
 func (c *Cluster) Metrics() Metrics {
+	tiers := c.tierTotals()
+	c.tierBaseMu.Lock()
+	base := c.tierBase
+	c.tierBaseMu.Unlock()
 	return Metrics{
 		Reads:        c.reads.Load(),
 		Writes:       c.writes.Load(),
@@ -491,10 +561,18 @@ func (c *Cluster) Metrics() Metrics {
 		BytesWritten: c.bytesWritten.Load(),
 		RoundTrips:   c.roundTrips.Load(),
 		SimWait:      time.Duration(c.simWait.Load()),
+
+		TierHotReads:  tiers.HotHits - base.HotHits,
+		TierColdReads: tiers.ColdReads - base.ColdReads,
+		FlushedBytes:  tiers.FlushedBytes - base.FlushedBytes,
+		Compactions:   tiers.Compactions - base.Compactions,
+		TierHotBytes:  tiers.HotBytes,
 	}
 }
 
 // ResetMetrics zeroes the read/write counters (stored bytes are kept).
+// Tier counters are cumulative inside the engines, so the reset records
+// a baseline that Metrics subtracts.
 func (c *Cluster) ResetMetrics() {
 	c.reads.Store(0)
 	c.writes.Store(0)
@@ -502,6 +580,33 @@ func (c *Cluster) ResetMetrics() {
 	c.bytesWritten.Store(0)
 	c.roundTrips.Store(0)
 	c.simWait.Store(0)
+	totals := c.tierTotals()
+	c.tierBaseMu.Lock()
+	c.tierBase = totals
+	c.tierBaseMu.Unlock()
+}
+
+// Backup writes a consistent copy of every node engine's durable state
+// into dir (one node-NNN subdirectory each, mirroring the Factory
+// layouts of the disk engines). Each node is copied under its service
+// lock, so no foreground operation is in flight on it; the caller must
+// not issue writes to other nodes concurrently if the backup is to be
+// cluster-consistent. Engines that are not durable (no Backuper) fail
+// the backup.
+func (c *Cluster) Backup(dir string) error {
+	for i, node := range c.nodes {
+		b, ok := node.be.(backend.Backuper)
+		if !ok {
+			return fmt.Errorf("kvstore: backup: node %d engine (%T) is not durable", i, node.be)
+		}
+		node.mu.Lock()
+		err := b.Backup(filepath.Join(dir, fmt.Sprintf("node-%03d", i)))
+		node.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("kvstore: backup node %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // StoredBytes returns the physical bytes currently stored across all

@@ -9,6 +9,7 @@ import (
 
 	"hgs/internal/backend"
 	"hgs/internal/backend/disklog"
+	"hgs/internal/backend/tiered"
 )
 
 func newTestCluster(m, r int) *Cluster {
@@ -385,5 +386,129 @@ func TestSimWaitAccumulates(t *testing.T) {
 	c.ResetMetrics()
 	if m := c.Metrics(); m.SimWait != 0 || m.RoundTrips != 0 {
 		t.Fatalf("reset left %+v", m)
+	}
+}
+
+func TestTierMetricsAggregation(t *testing.T) {
+	c, err := Open(Config{
+		Machines: 2,
+		Backend: tiered.Factory(t.TempDir(), tiered.Options{
+			HotBytes:      1 << 30, // everything stays hot
+			FlushInterval: time.Millisecond,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 32; i++ {
+		c.Put("deltas", fmt.Sprintf("p%d", i%4), fmt.Sprintf("c%02d", i), []byte("v"))
+	}
+	for i := 0; i < 32; i++ {
+		if _, ok := c.Get("deltas", fmt.Sprintf("p%d", i%4), fmt.Sprintf("c%02d", i)); !ok {
+			t.Fatalf("row %d missing", i)
+		}
+	}
+	m := c.Metrics()
+	if m.TierHotReads != 32 {
+		t.Fatalf("TierHotReads = %d, want 32", m.TierHotReads)
+	}
+	if m.TierColdReads != 0 {
+		t.Fatalf("TierColdReads = %d, want 0 for an all-hot working set", m.TierColdReads)
+	}
+	if m.TierHotBytes == 0 {
+		t.Fatal("TierHotBytes gauge empty with resident rows")
+	}
+	// Reset establishes a baseline for the cumulative engine counters;
+	// the gauge survives.
+	c.ResetMetrics()
+	m = c.Metrics()
+	if m.TierHotReads != 0 || m.TierColdReads != 0 {
+		t.Fatalf("tier counters after reset: %+v", m)
+	}
+	if m.TierHotBytes == 0 {
+		t.Fatal("TierHotBytes gauge must survive ResetMetrics")
+	}
+}
+
+func TestColdReadLatencySurcharge(t *testing.T) {
+	dir := t.TempDir()
+	opts := tiered.Options{HotBytes: 1, CompactRate: -1, FlushInterval: time.Millisecond}
+	c, err := Open(Config{Machines: 1, Backend: tiered.Factory(dir, opts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Put("deltas", "p0", "c0", []byte("cold row"))
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Metrics().TierHotBytes > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if c.Metrics().TierHotBytes > 0 {
+		t.Fatal("hot tier never drained")
+	}
+	c.SetLatency(LatencyModel{Enabled: true, ColdRead: time.Millisecond})
+	c.ResetMetrics()
+	if _, ok := c.Get("deltas", "p0", "c0"); !ok {
+		t.Fatal("cold row missing")
+	}
+	m := c.Metrics()
+	if m.TierColdReads != 1 {
+		t.Fatalf("TierColdReads = %d, want 1", m.TierColdReads)
+	}
+	if m.SimWait < time.Millisecond {
+		t.Fatalf("SimWait = %v, want >= 1ms cold surcharge", m.SimWait)
+	}
+}
+
+func TestClusterBackupAndRestore(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factory func(root string) backend.Factory
+	}{
+		{"disklog", func(root string) backend.Factory { return disklog.Factory(root, disklog.Options{}) }},
+		{"tiered", func(root string) backend.Factory {
+			return tiered.Factory(root, tiered.Options{HotBytes: 1 << 10, CompactRate: -1, FlushInterval: time.Millisecond})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := Open(Config{Machines: 3, Backend: tc.factory(t.TempDir())})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			for i := 0; i < 64; i++ {
+				src.Put("deltas", fmt.Sprintf("p%d", i%8), fmt.Sprintf("c%02d", i), []byte(fmt.Sprintf("v%02d", i)))
+			}
+			backupDir := t.TempDir()
+			if err := src.Backup(backupDir); err != nil {
+				t.Fatal(err)
+			}
+			// A write after the backup must not appear in the copy.
+			src.Put("deltas", "p0", "c99", []byte("late"))
+
+			restored, err := Open(Config{Machines: 3, Backend: tc.factory(backupDir)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restored.Close()
+			for i := 0; i < 64; i++ {
+				v, ok := restored.Get("deltas", fmt.Sprintf("p%d", i%8), fmt.Sprintf("c%02d", i))
+				if !ok || string(v) != fmt.Sprintf("v%02d", i) {
+					t.Fatalf("row %d wrong in restored cluster", i)
+				}
+			}
+			if _, ok := restored.Get("deltas", "p0", "c99"); ok {
+				t.Fatal("post-backup write leaked into the backup")
+			}
+		})
+	}
+}
+
+func TestBackupRequiresDurableEngines(t *testing.T) {
+	c := newTestCluster(2, 1)
+	defer c.Close()
+	if err := c.Backup(t.TempDir()); err == nil {
+		t.Fatal("backup of in-memory cluster must fail")
 	}
 }
