@@ -109,11 +109,13 @@ func MultiGet(be Backend, reqs []KeyRead) [][]byte {
 
 // TierCounters reports per-tier activity of an engine that places data
 // across a hot (memory) and a cold (disk) tier. HotHits and ColdReads
-// are cumulative row-lookup counters: a lookup served by the hot tier
-// counts once in HotHits and touches no disk; one that falls through to
-// the cold tier (and finds a row there) counts in ColdReads. Flushed*
-// and Compactions count background-maintenance work. HotBytes is a
-// gauge: the live bytes currently resident in the hot tier.
+// are cumulative row-lookup counters attributed to the tier that
+// SERVED the row: a hot-served lookup counts once in HotHits and pays
+// no cold penalty (even when a scan also read a stale, shadowed copy
+// of the row from the cold log); one served from the cold tier counts
+// in ColdReads. Flushed* and Compactions count background-maintenance
+// work. HotBytes is a gauge: the live bytes currently resident in the
+// hot tier.
 type TierCounters struct {
 	HotHits      int64
 	ColdReads    int64
@@ -172,3 +174,8 @@ func CopyFile(src *os.File, size int64, dst string) error {
 // cluster is parameterized over engines: the node index lets durable
 // engines derive a per-node directory.
 type Factory func(node int) (Backend, error)
+
+// NodeDir names node idx's directory under a store root. Every durable
+// factory and the cluster's Backup must agree on this layout: a drift
+// would make a restored backup open as an empty store.
+func NodeDir(idx int) string { return fmt.Sprintf("node-%03d", idx) }

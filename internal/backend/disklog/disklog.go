@@ -60,9 +60,9 @@ type Options struct {
 	// bytes (default 4 MiB). Flush and Close always fsync.
 	SyncBytes int64
 	// CompactMinDead is the dead-byte floor below which triggered
-	// compaction never runs (default 1 MiB). Compaction triggers after
-	// a write once dead bytes exceed both this floor and the live
-	// bytes.
+	// compaction never runs (default DefaultCompactMinDead). Compaction
+	// triggers after a write once dead bytes exceed both this floor and
+	// the live bytes.
 	CompactMinDead int64
 	// DisableAutoCompact turns triggered compaction off; Compact can
 	// still be called explicitly.
@@ -77,9 +77,14 @@ func (o *Options) normalize() {
 		o.SyncBytes = 4 << 20
 	}
 	if o.CompactMinDead <= 0 {
-		o.CompactMinDead = 1 << 20
+		o.CompactMinDead = DefaultCompactMinDead
 	}
 }
+
+// DefaultCompactMinDead is the CompactMinDead applied when the option
+// is unset. Exported so engines composing a disklog (the tiered store
+// drives cold compaction itself) share the same trigger floor.
+const DefaultCompactMinDead = 1 << 20
 
 // segment is one log file.
 type segment struct {
@@ -174,7 +179,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // under root.
 func Factory(root string, opts Options) backend.Factory {
 	return func(node int) (backend.Backend, error) {
-		return Open(filepath.Join(root, fmt.Sprintf("node-%03d", node)), opts)
+		return Open(filepath.Join(root, backend.NodeDir(node)), opts)
 	}
 }
 

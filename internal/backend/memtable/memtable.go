@@ -75,20 +75,6 @@ func (s *Store) Put(table, pkey, ckey string, value []byte) {
 	s.stored += int64(len(value) + len(ckey))
 }
 
-// Stat reports whether the row exists and its value length, without
-// copying the value. Tiered engines use it for byte accounting.
-func (s *Store) Stat(table, pkey, ckey string) (vlen int, ok bool) {
-	p := s.partitionFor(table, pkey, false)
-	if p == nil {
-		return 0, false
-	}
-	i, ok := p.find(ckey)
-	if !ok {
-		return 0, false
-	}
-	return len(p.rows[i].Value), true
-}
-
 // Get returns a copy of the value at (table, pkey, ckey).
 func (s *Store) Get(table, pkey, ckey string) ([]byte, bool) {
 	p := s.partitionFor(table, pkey, false)

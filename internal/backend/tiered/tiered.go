@@ -18,6 +18,13 @@
 // hits touch only the memtable, and the flusher holds no lock while it
 // sleeps off the rate limit.
 //
+// Error model: a cold-tier or WAL I/O failure is recorded in a sticky
+// error that halts background migration (the safe state — nothing is
+// dropped from the hot tier or retired from the WAL on faith) and is
+// returned by every subsequent Flush and by Close. Callers must stop
+// ingesting once Flush fails; the hgs write path does this naturally
+// because every Load/Append batch ends in a cluster Flush.
+//
 // The engine implements backend.Backend, backend.BatchReader,
 // backend.TierCounting (per-tier read counters surfaced through
 // kvstore.Metrics) and backend.Backuper.
@@ -31,7 +38,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
 
 	"hgs/internal/backend"
@@ -92,6 +98,11 @@ type rowMeta struct {
 	seg  int    // WAL segment holding the row's latest record
 	ver  uint64 // bumped on every overwrite; flushes of stale versions abort
 	vlen int
+	// inFlight marks a row whose live queue entry was popped into a
+	// flush batch that has not committed. An overwrite then supersedes
+	// that batch entry, not a queue entry, so it must not count toward
+	// staleQueued (the first overwrite clears the mark).
+	inFlight bool
 }
 
 // flushItem is one FIFO flush candidate. Stale entries (the row was
@@ -132,11 +143,22 @@ type Store struct {
 	// applied to the cold tier but not yet fsynced there.
 	tombs []int
 	queue []flushItem
-	ver   uint64
+	// staleQueued counts queue entries whose row was overwritten or
+	// deleted since enqueue. The flusher only trims the stale prefix, so
+	// once stale entries dominate the queue it is compacted wholesale —
+	// otherwise churn behind one long-lived under-budget row (which pins
+	// the head) would grow the queue without bound.
+	staleQueued int
+	// draining is the flusher's hysteresis latch: set when hot bytes
+	// exceed HotBytes, cleared once they fall to the HotBytes/2 low
+	// water. Without it the flusher would drain any working set above
+	// the low-water mark, halving the effective hot tier.
+	draining bool
+	ver      uint64
 
 	werr   error
 	closed bool
-	lock   *os.File // flock'd LOCK file: one live handle per directory
+	lock   *dirLock // exclusive LOCK on dir: one live handle per directory
 	stop   chan struct{}
 	done   chan struct{}
 	stopFn sync.Once
@@ -155,11 +177,13 @@ type Store struct {
 // dir/cold, the WAL under dir/wal. The WAL is replayed into the hot
 // tier (torn tail truncated), so a store killed mid-flush reopens with
 // every acknowledged write intact. The background flusher starts
-// immediately — which is why the directory is flock'd exclusively: a
+// immediately — which is why the directory is locked exclusively: a
 // second live handle would run a second flusher over the same files
-// and corrupt them. The lock dies with the process, so a crash never
-// leaves the directory unopenable. Open fails fast when the directory
-// is already held.
+// and corrupt them. On platforms with flock(2) the lock dies with the
+// process, so a crash never leaves the directory unopenable; elsewhere
+// a PID-stamped LOCK file is used and a stale one left by a crash must
+// be removed by hand (the error says which). Open fails fast when the
+// directory is already held.
 func Open(dir string, opts Options) (*Store, error) {
 	opts.normalize()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -171,13 +195,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	cold, err := disklog.Open(filepath.Join(dir, "cold"), opts.Cold)
 	if err != nil {
-		lock.Close()
+		lock.release()
 		return nil, err
 	}
 	w, err := openWAL(filepath.Join(dir, "wal"), opts.WALSegmentBytes)
 	if err != nil {
 		cold.Close()
-		lock.Close()
+		lock.release()
 		return nil, err
 	}
 	s := &Store{
@@ -221,7 +245,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		w.closeFiles()
 		cold.Close()
-		lock.Close()
+		lock.release()
 		return nil, err
 	}
 	s.hotBytes.Store(s.hot.StoredBytes())
@@ -229,25 +253,29 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// lockDir takes an exclusive, non-blocking flock on dir/LOCK. The OS
-// releases it when the holding file closes or the process dies.
-func lockDir(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("tiered: %w", err)
+// dirLock is the exclusive per-directory lock handed out by lockDir
+// (see lock_flock.go and lock_fallback.go for the per-platform
+// implementations).
+type dirLock struct {
+	f *os.File
+	// path is set only by the portable fallback, which must unlink the
+	// LOCK file on release; the flock path leaves the file in place and
+	// lets the OS drop the lock when f closes.
+	path string
+}
+
+func (l *dirLock) release() {
+	l.f.Close()
+	if l.path != "" {
+		os.Remove(l.path)
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("tiered: %s is already open (its background flusher owns the files); one handle per directory: %w", dir, err)
-	}
-	return f, nil
 }
 
 // Factory builds tiered engines, one directory per cluster node, under
 // root.
 func Factory(root string, opts Options) backend.Factory {
 	return func(node int) (backend.Backend, error) {
-		return Open(filepath.Join(root, fmt.Sprintf("node-%03d", node)), opts)
+		return Open(filepath.Join(root, backend.NodeDir(node)), opts)
 	}
 }
 
@@ -274,6 +302,11 @@ func (s *Store) applyHotPut(seg int, table, pkey, ckey string, value []byte) {
 	s.ver++
 	if meta := part[ckey]; meta != nil {
 		s.pending[meta.seg]--
+		if meta.inFlight {
+			meta.inFlight = false
+		} else {
+			s.staleQueued++
+		}
 		meta.seg, meta.ver, meta.vlen = seg, s.ver, len(value)
 	} else {
 		part[ckey] = &rowMeta{seg: seg, ver: s.ver, vlen: len(value)}
@@ -284,7 +317,30 @@ func (s *Store) applyHotPut(seg int, table, pkey, ckey string, value []byte) {
 	s.pending[seg]++
 	s.hot.Put(table, pkey, ckey, value)
 	s.queue = append(s.queue, flushItem{table: table, pkey: pkey, ckey: ckey, ver: s.ver})
+	if len(s.queue) >= 64 && s.staleQueued*2 >= len(s.queue) {
+		s.compactQueue()
+	}
 	s.gauge()
+}
+
+// compactQueue rewrites the queue keeping only live entries (enqueue
+// order preserved). Amortized O(1) per mutation: it runs only when at
+// least half the queue is stale, and every stale entry was minted by
+// one mutation.
+func (s *Store) compactQueue() {
+	live := s.queue[:0]
+	for _, item := range s.queue {
+		if part := s.hotMeta[partKey(item.table, item.pkey)]; part != nil {
+			if meta := part[item.ckey]; meta != nil && meta.ver == item.ver {
+				live = append(live, item)
+			}
+		}
+	}
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = flushItem{} // release the strings
+	}
+	s.queue = live
+	s.staleQueued = 0
 }
 
 // applyDelete removes the row from both tiers. The caller holds mu (and
@@ -295,6 +351,7 @@ func (s *Store) applyDelete(seg int, table, pkey, ckey string) bool {
 	if part := s.hotMeta[key]; part != nil {
 		if meta := part[ckey]; meta != nil {
 			s.pending[meta.seg]--
+			s.staleQueued++
 			delete(part, ckey)
 			if len(part) == 0 {
 				delete(s.hotMeta, key)
@@ -321,6 +378,7 @@ func (s *Store) applyDrop(seg int, table, pkey string) {
 		for _, meta := range part {
 			s.pending[meta.seg]--
 		}
+		s.staleQueued += len(part)
 		delete(s.hotMeta, key)
 	}
 	// Unconditional: the memtable may hold an empty partition object
@@ -472,11 +530,11 @@ func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
 	s.mu.Unlock()
 	coldRows := s.cold.ScanPrefix(table, pkey, prefix)
 	s.hotHits.Add(int64(len(hotRows)))
-	s.coldReads.Add(int64(len(coldRows)))
 	if len(coldRows) == 0 {
 		return hotRows
 	}
 	if len(hotRows) == 0 {
+		s.coldReads.Add(int64(len(coldRows)))
 		return coldRows
 	}
 	out := make([]backend.Row, 0, len(hotRows)+len(coldRows))
@@ -496,6 +554,10 @@ func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
 	}
 	out = append(out, hotRows[i:]...)
 	out = append(out, coldRows[j:]...)
+	// Rows the hot tier shadows were read from the cold log but not
+	// served from it; count only the rows the cold tier contributed so
+	// hit ratios and the cold-read latency surcharge reflect serving.
+	s.coldReads.Add(int64(len(out) - len(hotRows)))
 	return out
 }
 
@@ -622,7 +684,7 @@ func (s *Store) Close() error {
 		err = errors.Join(err, cerr)
 		s.werr = err
 	}
-	s.lock.Close() // releases the directory flock
+	s.lock.release()
 	s.closed = true
 	return err
 }
@@ -643,7 +705,7 @@ func (s *Store) Kill() {
 	s.closed = true
 	s.wal.closeFiles()
 	s.cold.Close()
-	s.lock.Close()
+	s.lock.release()
 }
 
 func (s *Store) stopFlusher() {
@@ -786,18 +848,28 @@ func (s *Store) flushChunk() int64 {
 			}
 		}
 		s.queue = s.queue[1:]
+		s.staleQueued--
+	}
+	stored := s.hot.StoredBytes()
+	if stored > s.opts.HotBytes {
+		s.draining = true
 	}
 	lowWater := s.opts.HotBytes / 2
-	excess := s.hot.StoredBytes() - lowWater
-	for excess > 0 && moved < flushChunkBytes && len(s.queue) > 0 {
+	excess := stored - lowWater
+	if excess <= 0 {
+		s.draining = false
+	}
+	for s.draining && excess > 0 && moved < flushChunkBytes && len(s.queue) > 0 {
 		item := s.queue[0]
 		s.queue = s.queue[1:]
 		part := s.hotMeta[partKey(item.table, item.pkey)]
 		if part == nil {
+			s.staleQueued--
 			continue
 		}
 		meta := part[item.ckey]
 		if meta == nil || meta.ver != item.ver {
+			s.staleQueued--
 			continue // superseded or deleted; a fresher queue entry exists if needed
 		}
 		v, ok := s.hot.Get(item.table, item.pkey, item.ckey)
@@ -805,6 +877,7 @@ func (s *Store) flushChunk() int64 {
 			continue
 		}
 		n := int64(len(item.ckey) + len(v))
+		meta.inFlight = true
 		batch = append(batch, flushRow{flushItem: item, seg: meta.seg, val: v})
 		moved += n
 		excess -= n
@@ -887,7 +960,18 @@ func (s *Store) retireWAL() {
 			dropUpTo = seg - 1
 		}
 	}
-	if dropUpTo < 1 {
+	if dropUpTo < 1 || len(s.wal.segs) <= 1 || s.wal.segs[0].id > dropUpTo {
+		return // nothing would actually drop
+	}
+	// A segment's pending count can reach zero because its records were
+	// superseded by records in a newer segment whose bytes are not yet
+	// fsynced. Deleting the old segment then would leave the row's only
+	// surviving record in the page cache — a power cut loses it entirely,
+	// even if an earlier Flush had made the old version durable. Sync the
+	// WAL first; retirement is infrequent and the sync is a no-op when
+	// the batch fsync already ran.
+	if err := s.wal.fsync(); err != nil {
+		s.werr = errors.Join(s.werr, err)
 		return
 	}
 	if err := s.wal.dropThrough(dropUpTo); err != nil {
@@ -918,7 +1002,7 @@ func (s *Store) maybeCompactCold() {
 	dead := s.cold.DeadBytes()
 	floor := s.opts.Cold.CompactMinDead
 	if floor <= 0 {
-		floor = 1 << 20
+		floor = disklog.DefaultCompactMinDead
 	}
 	if dead < floor || dead <= s.cold.StoredBytes() {
 		return

@@ -125,6 +125,102 @@ func TestWALSegmentsRetireAfterFlush(t *testing.T) {
 	})
 }
 
+func TestRetireWALSyncsSupersedingRecords(t *testing.T) {
+	// A segment's pending count can reach zero because every record in
+	// it was superseded by records in a newer segment. If that newer
+	// segment's bytes are still only in the page cache when the old one
+	// is deleted, a power cut loses the row entirely — so retirement
+	// must fsync the WAL before dropping segments.
+	opts := Options{
+		HotBytes:        1 << 30,   // nothing migrates: retirement is purely by supersession
+		FlushInterval:   time.Hour, // retirement runs only when driven below
+		WALSegmentBytes: 512,
+		WALSyncBytes:    1 << 30, // the batch fsync never fires on its own
+	}
+	s := open(t, t.TempDir(), opts)
+	defer s.Close()
+	// Overwrite one row until the WAL rotates several times: every
+	// record outside the active segment is superseded by one inside it,
+	// and the active segment's tail records are unsynced.
+	for i := 0; i < 40; i++ {
+		s.Put("deltas", "p0", "c0", val(i))
+	}
+	s.mu.Lock()
+	segs, unsynced := len(s.wal.segs), s.wal.unsynced
+	s.mu.Unlock()
+	if segs < 2 || unsynced == 0 {
+		t.Fatalf("precondition not reached: %d segments, %d unsynced bytes", segs, unsynced)
+	}
+	s.flushChunk() // empty batch: runs WAL retirement
+	s.mu.Lock()
+	segs, unsynced = len(s.wal.segs), s.wal.unsynced
+	s.mu.Unlock()
+	if segs != 1 {
+		t.Fatalf("superseded segments did not retire: %d remain", segs)
+	}
+	if unsynced != 0 {
+		t.Fatalf("WAL segments retired with %d unsynced bytes outstanding", unsynced)
+	}
+}
+
+func TestFlushQueueBoundedUnderBudgetChurn(t *testing.T) {
+	// The flusher only trims the queue's stale prefix, and a long-lived
+	// row below the low-water mark pins the head forever. Overwrite
+	// churn behind it must still be compacted away, or the queue grows
+	// by one entry per Put for the life of the store.
+	s := open(t, t.TempDir(), Options{HotBytes: 1 << 30, FlushInterval: time.Hour})
+	defer s.Close()
+	s.Put("deltas", "p0", "pinned", val(0))
+	for i := 0; i < 10000; i++ {
+		s.Put("deltas", "p0", "churn", val(i%251))
+	}
+	s.mu.Lock()
+	qlen := len(s.queue)
+	s.mu.Unlock()
+	// Compaction triggers once stale entries reach half of a 64+ entry
+	// queue, so steady state stays under ~64 for two live rows.
+	if qlen > 100 {
+		t.Fatalf("flush queue holds %d entries for 2 live rows", qlen)
+	}
+}
+
+func TestUnderBudgetWorkingSetStaysHot(t *testing.T) {
+	// Draining is latched by exceeding the budget, not by the low-water
+	// mark alone: a working set between HotBytes/2 and HotBytes must
+	// stay resident, or the effective hot tier is half the configured
+	// budget and reads pay cold-tier latency for no reason.
+	s := open(t, t.TempDir(), Options{HotBytes: 64 << 10, CompactRate: -1, FlushInterval: time.Millisecond})
+	defer s.Close()
+	for i := 0; i < 600; i++ { // ~41 KB: above low water, under budget
+		s.Put("deltas", "p0", fmt.Sprintf("c%04d", i), val(i))
+	}
+	time.Sleep(50 * time.Millisecond) // dozens of flush ticks
+	if tc := s.TierCounters(); tc.FlushedRows != 0 {
+		t.Fatalf("flusher migrated %d rows of an under-budget working set", tc.FlushedRows)
+	}
+}
+
+func TestScanCountsShadowedRowsAsHot(t *testing.T) {
+	// A row resident in both tiers (rewritten after its old version went
+	// cold) is served from the hot tier; a scan must bill it to HotHits
+	// only, or hit ratios sink and the cold-read latency surcharge is
+	// charged for memory-served rows.
+	s := open(t, t.TempDir(), Options{HotBytes: 1 << 30, FlushInterval: time.Hour})
+	defer s.Close()
+	s.cold.Put("deltas", "p0", "c1", val(1)) // stale cold copy
+	s.cold.Put("deltas", "p0", "c2", val(3)) // cold-only row
+	s.Put("deltas", "p0", "c0", val(0))      // hot-only row
+	s.Put("deltas", "p0", "c1", val(2))      // shadows the cold copy
+	rows := s.ScanPrefix("deltas", "p0", "")
+	if len(rows) != 3 || !bytes.Equal(rows[1].Value, val(2)) {
+		t.Fatalf("merged scan wrong: %d rows", len(rows))
+	}
+	tc := s.TierCounters()
+	if tc.HotHits != 2 || tc.ColdReads != 1 {
+		t.Fatalf("scan billed hot=%d cold=%d, want hot=2 cold=1 (shadowed row is hot-served)", tc.HotHits, tc.ColdReads)
+	}
+}
+
 func TestReopenRecoversBothTiers(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir, fastOptions())
@@ -307,9 +403,10 @@ func TestColdCompactionRunsInBackground(t *testing.T) {
 	s := open(t, t.TempDir(), opts)
 	defer s.Close()
 	// Overwrite the same keys repeatedly: each overwrite strands the old
-	// cold record as dead bytes once flushed.
+	// cold record as dead bytes once flushed. Every round exceeds the
+	// 4 KiB budget so the drain latch engages.
 	for round := 0; round < 30; round++ {
-		for i := 0; i < 40; i++ {
+		for i := 0; i < 80; i++ {
 			s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), val(round))
 		}
 		waitFor(t, "flush round", func() bool { return s.TierCounters().HotBytes <= 2<<10 })
@@ -317,7 +414,7 @@ func TestColdCompactionRunsInBackground(t *testing.T) {
 	waitFor(t, "background cold compaction", func() bool {
 		return s.TierCounters().Compactions > 0
 	})
-	for i := 0; i < 40; i++ {
+	for i := 0; i < 80; i++ {
 		v, ok := s.Get("deltas", "p0", fmt.Sprintf("c%03d", i))
 		if !ok || !bytes.Equal(v, val(29)) {
 			t.Fatalf("row %d wrong after compaction", i)

@@ -600,7 +600,7 @@ func (c *Cluster) Backup(dir string) error {
 			return fmt.Errorf("kvstore: backup: node %d engine (%T) is not durable", i, node.be)
 		}
 		node.mu.Lock()
-		err := b.Backup(filepath.Join(dir, fmt.Sprintf("node-%03d", i)))
+		err := b.Backup(filepath.Join(dir, backend.NodeDir(i)))
 		node.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("kvstore: backup node %d: %w", i, err)
