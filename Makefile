@@ -10,7 +10,7 @@ GO ?= go
 # incidental drift, not for untested subsystems).
 COVER_FLOOR ?= 60.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt bench bench-cache bench-tiering
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt bench bench-cache bench-tiering bench-reopen
 
 ci: vet build test test-race fmt-check
 
@@ -60,3 +60,8 @@ bench-cache:
 # split and simulated wait (Store.Stats proves hot hits skip the disk).
 bench-tiering:
 	$(GO) run ./cmd/hgs-bench -run tiering
+
+# Tiered backend restart: post-reopen recent-timespan probes with hot
+# tier warm-up off vs on (hit ratio and simulated wait per pass).
+bench-reopen:
+	$(GO) run ./cmd/hgs-bench -run reopen

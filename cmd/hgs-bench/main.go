@@ -9,6 +9,7 @@
 //	hgs-bench -run fig11      # run one experiment
 //	hgs-bench -run cache      # cold vs warm decoded-delta cache passes
 //	hgs-bench -run tiering    # hot-tier budget sweep on the tiered backend
+//	hgs-bench -run reopen     # post-restart probes, warm-up off vs on
 //	HGS_SCALE=4 hgs-bench     # scale all datasets 4x
 //	hgs-bench -run fig11 -data /tmp/bench-disk   # same workload on the
 //	                          # durable disk backend (memory vs disk)

@@ -22,6 +22,10 @@
 //	hgs-inspect -dataset wiki -data /tmp/hgs-wiki -engine tiered
 //	hgs-inspect -data /tmp/hgs-wiki -backup /tmp/hgs-wiki.bak
 //	hgs-inspect -data /tmp/hgs-wiki.bak   # the backup is a store
+//
+// Reopening a tiered store warms its hot tier from the newest cold
+// segments by default (-warm off restores cold starts); -idle-after
+// tunes when background maintenance may run at full speed.
 package main
 
 import (
@@ -47,6 +51,8 @@ func main() {
 	engine := flag.String("engine", "", "storage engine for -data: disk | tiered (default: disk, or whatever the directory was created with)")
 	hotBytes := flag.Int64("hot-bytes", 0, "tiered engine: per-node hot-tier budget in bytes (default 32 MiB)")
 	compactRate := flag.Int64("compact-rate", 0, "tiered engine: background flush limit in bytes/sec (default 8 MiB/s; negative = unlimited)")
+	warm := flag.String("warm", "", "tiered engine: hot-tier warm-up on reopen: on | off (default on)")
+	idleAfter := flag.Duration("idle-after", 0, "tiered engine: quiet window before full-speed maintenance (default 1s; negative disables)")
 	backup := flag.String("backup", "", "after inspecting, copy the quiesced store into this fresh directory")
 	flag.Parse()
 
@@ -61,6 +67,8 @@ func main() {
 		Engine:               hgs.StorageEngine(*engine),
 		HotBytes:             *hotBytes,
 		CompactRate:          *compactRate,
+		WarmOnOpen:           hgs.WarmMode(*warm),
+		IdleCompactAfter:     *idleAfter,
 	}
 	if *dataDir != "" {
 		if _, err := os.Stat(filepath.Join(*dataDir, "cluster.json")); err == nil {
@@ -70,9 +78,11 @@ func main() {
 			explicit := map[string]bool{}
 			flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 			probeOpts := hgs.Options{
-				DataDir:     *dataDir,
-				HotBytes:    *hotBytes,
-				CompactRate: *compactRate,
+				DataDir:          *dataDir,
+				HotBytes:         *hotBytes,
+				CompactRate:      *compactRate,
+				WarmOnOpen:       hgs.WarmMode(*warm),
+				IdleCompactAfter: *idleAfter,
 			}
 			if explicit["machines"] {
 				probeOpts.Machines = *machines
@@ -209,7 +219,11 @@ func inspect(store *hgs.Store) {
 	// Tiered stores also report the hot/cold split and background
 	// maintenance since open.
 	if tm := st.StoreMetrics; tm.TierHotReads > 0 || tm.TierColdReads > 0 {
-		fmt.Printf("tiers     : %d hot reads, %d cold reads, %d KB hot resident, %d KB flushed, %d compactions\n",
-			tm.TierHotReads, tm.TierColdReads, tm.TierHotBytes/1024, tm.FlushedBytes/1024, tm.Compactions)
+		fmt.Printf("tiers     : %d hot reads, %d cold reads, %d KB hot resident, %d KB flushed, %d compactions (%d idle)\n",
+			tm.TierHotReads, tm.TierColdReads, tm.TierHotBytes/1024, tm.FlushedBytes/1024, tm.Compactions, tm.IdleCompactions)
+		if tm.WarmedRows > 0 {
+			fmt.Printf("warm-up   : %d rows (%d KB) repopulated from cold segments on open\n",
+				tm.WarmedRows, tm.WarmedBytes/1024)
+		}
 	}
 }

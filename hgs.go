@@ -65,6 +65,23 @@
 //	fmt.Println(st.StoreMetrics.TierHotReads,  // served from memory
 //		st.StoreMetrics.TierColdReads)     // fell through to disk
 //
+// Restarts do not demote the hot working set: reopening a tiered
+// DataDir warms memory with the newest cold rows (up to HotBytes, in
+// the background) before the old cold-start behavior would have charged
+// every post-restart read a disk seek. Options.WarmOnOpen controls it —
+// on by default for tiered, WarmOff restores cold starts — and
+// Stats().StoreMetrics reports WarmedRows/WarmedBytes plus a
+// TierWarming gauge that reads zero once every node finished warming.
+//
+// Background maintenance is idle-aware: while queries are in flight,
+// flushing and compaction throttle to CompactRate and the cold log only
+// receives a cheap merge of its small newest segments; after the store
+// has been quiet for Options.IdleCompactAfter (default 1s) maintenance
+// runs at full speed, draining the hot tier into durable cold segments
+// — the drained rows stay memory-resident as warmed copies — and
+// running whole-log cold compaction while nobody is waiting on the
+// disk (IdleCompactions in Stats counts those passes).
+//
 // Store.Backup copies a quiesced durable store (any disk engine) into a
 // fresh directory that opens like the original:
 //
@@ -108,6 +125,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"hgs/internal/backend"
 	"hgs/internal/backend/disklog"
@@ -193,6 +211,29 @@ func (e StorageEngine) valid() bool {
 	return false
 }
 
+// WarmMode selects the tiered engine's hot-tier warm-up behavior on
+// open (Options.WarmOnOpen).
+type WarmMode string
+
+const (
+	// WarmAuto is the default: warm-up on for the tiered engine (other
+	// engines have no tiers to warm).
+	WarmAuto WarmMode = ""
+	// WarmOn enables restart warm-up explicitly.
+	WarmOn WarmMode = "on"
+	// WarmOff opens the tiered engine with an empty hot tier, the
+	// pre-warm-up behavior (every post-restart read starts cold).
+	WarmOff WarmMode = "off"
+)
+
+func (m WarmMode) valid() bool {
+	switch m {
+	case WarmAuto, WarmOn, WarmOff:
+		return true
+	}
+	return false
+}
+
 // Options configure a Store. The zero value is a sensible single-machine
 // development setup; the fields mirror the paper's knobs.
 type Options struct {
@@ -223,6 +264,21 @@ type Options struct {
 	// 8 MiB/s; negative disables the limit). A runtime knob, not
 	// persisted.
 	CompactRate int64
+	// WarmOnOpen controls the tiered engine's restart warm-up: whether
+	// reopening a DataDir repopulates the hot tier from the newest cold
+	// rows (up to HotBytes) so post-restart queries over recent
+	// timespans skip the cold-read penalty. Default on for tiered
+	// (WarmAuto); WarmOff restores the cold-start behavior. A runtime
+	// knob, not persisted.
+	WarmOnOpen WarmMode
+	// IdleCompactAfter is the foreground-quiet window after which the
+	// tiered engine's background maintenance stops throttling to
+	// CompactRate and runs at full speed — draining the hot tier to
+	// durable cold segments (rows stay memory-resident as warmed
+	// copies) and compacting the cold log while nobody is waiting on
+	// the disk (default 1s; negative disables idle-mode maintenance).
+	// A runtime knob, not persisted.
+	IdleCompactAfter time.Duration
 
 	// TimespanEvents, EventlistSize, Arity, HorizontalPartitions and
 	// PartitionSize are the TGI construction parameters (§4.4); zero
@@ -458,6 +514,9 @@ func Open(opts Options) (*Store, error) {
 	if !opts.Engine.valid() {
 		return nil, fmt.Errorf("hgs: unknown storage engine %q", opts.Engine)
 	}
+	if !opts.WarmOnOpen.valid() {
+		return nil, fmt.Errorf("hgs: unknown warm-up mode %q", opts.WarmOnOpen)
+	}
 	if opts.DataDir == "" && (opts.Engine == EngineDisk || opts.Engine == EngineTiered) {
 		return nil, fmt.Errorf("hgs: the %s engine requires DataDir", opts.Engine)
 	}
@@ -485,8 +544,10 @@ func Open(opts Options) (*Store, error) {
 			factory = disklog.Factory(opts.DataDir, disklog.Options{})
 		case EngineTiered:
 			factory = tiered.Factory(opts.DataDir, tiered.Options{
-				HotBytes:    opts.HotBytes,
-				CompactRate: opts.CompactRate,
+				HotBytes:         opts.HotBytes,
+				CompactRate:      opts.CompactRate,
+				DisableWarm:      opts.WarmOnOpen == WarmOff,
+				IdleCompactAfter: opts.IdleCompactAfter,
 			})
 		}
 		// Handles over the same DataDir share one decoded-delta cache.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"hgs/internal/graph"
 	"hgs/internal/workload"
@@ -719,5 +720,110 @@ func TestTieredDataDirSingleHandle(t *testing.T) {
 	defer store.Close()
 	if _, err := Open(Options{DataDir: dir}); err == nil {
 		t.Fatal("second handle on a live tiered DataDir must fail (its flusher owns the files)")
+	}
+}
+
+// TestWarmOnOpenOption exercises the warm-up options end to end: a
+// tiered store whose index went cold is reopened twice — WarmOff (the
+// old cold start) and the WarmAuto default — and only the warmed handle
+// serves the post-restart snapshot without cold-tier reads.
+func TestWarmOnOpenOption(t *testing.T) {
+	dir := t.TempDir()
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 400, EdgesPerNode: 3, Seed: 17})
+
+	opts := smallOptions()
+	opts.DataDir = dir
+	opts.Engine = EngineTiered
+	opts.HotBytes = 1 // force the whole index cold
+	opts.CompactRate = -1
+	opts.WarmOnOpen = WarmOff
+	store, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	_, hi, err := store.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDrained := func(s *Store) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			st, err := s.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.StoreMetrics.TierHotBytes == 0 {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatal("tiered store never drained cold")
+	}
+	waitDrained(store)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshotStats := func(opts Options) (cold int64, warmed int64) {
+		t.Helper()
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			st, err := s.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.StoreMetrics.TierWarming == 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		before, err := s.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Snapshot(hi); err != nil {
+			t.Fatal(err)
+		}
+		after, err := s.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return after.StoreMetrics.TierColdReads - before.StoreMetrics.TierColdReads, after.StoreMetrics.WarmedRows
+	}
+
+	reopen := smallOptions()
+	reopen.DataDir = dir
+	reopen.HotBytes = 256 << 20
+	reopen.CacheBytes = -1 // measure the tiers, not the decoded-delta cache
+	reopen.WarmOnOpen = WarmOff
+	reopen.IdleCompactAfter = -1
+	coldReads, warmed := snapshotStats(reopen)
+	if coldReads == 0 {
+		t.Fatal("WarmOff reopen served the snapshot without cold reads; the index never went cold")
+	}
+	if warmed != 0 {
+		t.Fatalf("WarmOff reopen warmed %d rows", warmed)
+	}
+
+	reopen.WarmOnOpen = WarmAuto // the default: warm-up on for tiered
+	coldReads, warmed = snapshotStats(reopen)
+	if warmed == 0 {
+		t.Fatal("default reopen of a tiered DataDir did not warm the hot tier")
+	}
+	if coldReads != 0 {
+		t.Fatalf("warmed reopen still paid %d cold reads on the recent snapshot", coldReads)
+	}
+
+	if _, err := Open(Options{DataDir: dir, WarmOnOpen: "sideways"}); err == nil {
+		t.Fatal("invalid WarmOnOpen must be rejected")
 	}
 }

@@ -114,32 +114,64 @@ func MultiGet(be Backend, reqs []KeyRead) [][]byte {
 // no cold penalty (even when a scan also read a stale, shadowed copy
 // of the row from the cold log); one served from the cold tier counts
 // in ColdReads. Flushed* and Compactions count background-maintenance
-// work. HotBytes is a gauge: the live bytes currently resident in the
-// hot tier.
+// work; IdleCompactions counts units of full-speed work done inside
+// idle windows — an idle hot-tier drain, an idle segment merge and an
+// idle full compaction each count once, so one idle window can add
+// several (it is not a subset of passes or of Compactions).
+// WarmedRows/WarmedBytes count rows
+// repopulated into memory from the newest cold data (warm-up on open
+// and idle re-warming). HotBytes is a gauge: the live bytes currently
+// resident in memory (hot rows plus warmed cold copies); Warming is a
+// gauge that is 1 while the engine's open-time warm-up is still
+// running.
 type TierCounters struct {
-	HotHits      int64
-	ColdReads    int64
-	FlushedRows  int64
-	FlushedBytes int64
-	Compactions  int64
-	HotBytes     int64
+	HotHits         int64
+	ColdReads       int64
+	FlushedRows     int64
+	FlushedBytes    int64
+	Compactions     int64
+	IdleCompactions int64
+	WarmedRows      int64
+	WarmedBytes     int64
+	HotBytes        int64
+	Warming         int64
 }
 
 // TierCounting is an optional interface of engines that track per-tier
-// activity. The cluster aggregates these into its Metrics and charges
-// the latency model's cold-read penalty from the ColdReads delta of
-// each served operation. Implementations must be cheap and safe to call
-// concurrently with operations (atomic counters).
+// activity. The cluster aggregates these into its Metrics.
+// Implementations must be cheap and safe to call concurrently with
+// operations (atomic counters); the cumulative counters may move from
+// the engine's own background work (flushing, warm-up, compaction) at
+// any time, which is why the latency model does NOT charge from deltas
+// of these gauges — per-operation attribution comes from TierReader.
 type TierCounting interface {
 	TierCounters() TierCounters
 }
 
+// TierReader is an optional interface of tiered engines whose read
+// operations report, per call, how many of the returned rows were
+// served from the cold (disk) tier. The cluster charges the latency
+// model's cold-read surcharge from these exact counts, so concurrent
+// operations and background maintenance can never misbill each other
+// the way diffing a shared cumulative counter around a call would.
+// The value/row semantics match Get, MultiGet and ScanPrefix.
+type TierReader interface {
+	GetTier(table, pkey, ckey string) (value []byte, ok bool, coldRows int)
+	MultiGetTier(reqs []KeyRead) (vals [][]byte, coldRows int)
+	ScanPrefixTier(table, pkey, prefix string) (rows []Row, coldRows int)
+}
+
 // Backuper is an optional interface of durable engines that can write a
 // consistent copy of their on-disk state into a fresh directory. Backup
-// runs with the node's service lock held (the cluster guarantees no
-// foreground operation is in flight) and must quiesce any background
-// work of its own for the duration. The copy must be openable by the
-// same engine as if it were the original directory.
+// must tolerate concurrent foreground operations: the engine snapshots
+// its file set under its own locks (after making accepted writes
+// durable) and copies outside them, deferring any background work that
+// would delete or rewrite the snapshotted files — so reads keep being
+// served while a large backup streams. Writes accepted after the
+// snapshot point are not part of the copy. The target must be validated
+// in full before anything is written: a failing backup leaves the
+// target directory unchanged. The copy must be openable by the same
+// engine as if it were the original directory.
 type Backuper interface {
 	Backup(dir string) error
 }

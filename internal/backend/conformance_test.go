@@ -139,3 +139,108 @@ func TestEngineConformance(t *testing.T) {
 		}
 	}
 }
+
+// TestTieredReopenWarmUpConformance drives the restart path of the
+// tiered engine against the memtable spec: a store whose rows were all
+// flushed cold is closed and reopened with warm-up on; once warmed it
+// must answer the recent-timespan probe bit-for-bit AND without a
+// single cold-tier read, and a Kill() landing in the middle of the
+// warm-up must leave a store that reopens to the same state.
+func TestTieredReopenWarmUpConformance(t *testing.T) {
+	mem := memtable.New()
+	dir := t.TempDir()
+	seedOpts := tiered.Options{
+		HotBytes:        1, // everything drains cold
+		CompactRate:     -1,
+		FlushInterval:   time.Millisecond,
+		WALSegmentBytes: 1 << 10,
+		DisableWarm:     true,
+	}
+	seed, err := tiered.Open(dir, seedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const rows = 500
+	type key struct{ pkey, ckey string }
+	keys := make([]key, 0, rows)
+	for i := 0; i < rows; i++ {
+		k := key{fmt.Sprintf("p%02d", rng.Intn(8)), fmt.Sprintf("c%04d", i)}
+		v := make([]byte, 16+rng.Intn(48))
+		rng.Read(v)
+		mem.Put("deltas", k.pkey, k.ckey, append([]byte(nil), v...))
+		seed.Put("deltas", k.pkey, k.ckey, append([]byte(nil), v...))
+		keys = append(keys, k)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for seed.TierCounters().HotBytes > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if seed.TierCounters().HotBytes > 0 {
+		t.Fatal("seed store never drained cold")
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill in the middle of the warm-up: the half-warmed memory state
+	// dies with the process, the durable state must not care.
+	victim, err := tiered.Open(dir, tiered.Options{HotBytes: 1 << 30, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim.Kill()
+
+	warm, err := tiered.Open(dir, tiered.Options{HotBytes: 1 << 30, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	for warm.TierCounters().Warming != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if warm.TierCounters().Warming != 0 {
+		t.Fatal("warm-up never finished")
+	}
+
+	// The recent-timespan probe: newest half of the keys, point reads,
+	// batched reads and scans — identical to the spec, zero cold reads.
+	coldBase := warm.TierCounters().ColdReads
+	recent := keys[rows/2:]
+	reqs := make([]backend.KeyRead, 0, len(recent))
+	for _, k := range recent {
+		want, wantOK := mem.Get("deltas", k.pkey, k.ckey)
+		got, ok := warm.Get("deltas", k.pkey, k.ckey)
+		if ok != wantOK || !bytes.Equal(got, want) {
+			t.Fatalf("warmed Get(%s,%s) diverged from spec", k.pkey, k.ckey)
+		}
+		reqs = append(reqs, backend.KeyRead{Table: "deltas", PKey: k.pkey, CKey: k.ckey})
+	}
+	gotBatch := backend.MultiGet(warm, reqs)
+	wantBatch := backend.MultiGet(mem, reqs)
+	for i := range reqs {
+		if !bytes.Equal(gotBatch[i], wantBatch[i]) {
+			t.Fatalf("warmed MultiGet[%d] diverged from spec", i)
+		}
+	}
+	if got := warm.TierCounters().ColdReads - coldBase; got != 0 {
+		t.Fatalf("warmed store paid %d cold-tier reads on the recent probe, want 0", got)
+	}
+	// Full scans (old rows included) still match the spec exactly.
+	for p := 0; p < 8; p++ {
+		pkey := fmt.Sprintf("p%02d", p)
+		want := mem.ScanPrefix("deltas", pkey, "")
+		got := warm.ScanPrefix("deltas", pkey, "")
+		if len(got) != len(want) {
+			t.Fatalf("scan of %s: %d rows vs spec %d", pkey, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].CKey != got[i].CKey || !bytes.Equal(want[i].Value, got[i].Value) {
+				t.Fatalf("scan of %s row %d diverged", pkey, i)
+			}
+		}
+	}
+	if got, want := warm.StoredBytes(), mem.StoredBytes(); got != want {
+		t.Fatalf("stored bytes after warm reopen: %d, want %d", got, want)
+	}
+}

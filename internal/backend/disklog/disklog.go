@@ -131,6 +131,9 @@ type Store struct {
 	unsynced int64 // bytes appended since the last fsync
 	werr     error // sticky write error, surfaced by Flush/Close
 	closed   bool
+	// backingUp defers compaction (which closes and deletes segment
+	// files) while Backup copies them outside the engine lock.
+	backingUp bool
 
 	enc []byte // scratch record-encode buffer
 }
@@ -651,6 +654,79 @@ func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
 	return out
 }
 
+// IterNewest streams the live rows in reverse append order — the row
+// whose latest record was written last comes first — calling fn for
+// each until fn returns false. This is the warm-up path of engines
+// layered over a disklog cold tier: the newest rows are exactly the
+// recent timespans a restart should repopulate into memory, and the
+// reverse walk touches only as many segments (back to front) as the
+// caller's budget consumes. Tombstones need no special handling — the
+// index holds live rows only, so deleted rows never surface.
+//
+// The engine lock is released between calls: fn must not re-enter the
+// store, and rows are re-validated against the index per visit, so
+// concurrent deletes (skipped) and compactions (served from the row's
+// new location) are safe.
+func (s *Store) IterNewest(fn func(table, pkey, ckey string, value []byte) bool) error {
+	type ref struct {
+		table, pkey, ckey string
+		off               int64
+	}
+	// One pass over the in-memory index buckets the refs per segment —
+	// O(live rows) snapshot work per call (the strings share the index's
+	// backing, so the transient cost is slice/struct headers, a fraction
+	// of the resident index itself). The per-segment offset sort happens
+	// lazily as the back-to-front walk reaches each segment, so an
+	// early-stopping caller never pays for ordering the old segments it
+	// will not visit — nor their disk reads.
+	s.mu.Lock()
+	s.mustOpenLocked()
+	buckets := make(map[int][]ref)
+	for table, parts := range s.tables {
+		for pkey, p := range parts {
+			for _, row := range p.rows {
+				buckets[row.seg.id] = append(buckets[row.seg.id], ref{table: table, pkey: pkey, ckey: row.ckey, off: row.off})
+			}
+		}
+	}
+	s.mu.Unlock()
+	segIDs := make([]int, 0, len(buckets))
+	for id := range buckets {
+		segIDs = append(segIDs, id)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(segIDs)))
+	for _, id := range segIDs {
+		refs := buckets[id]
+		sort.Slice(refs, func(i, j int) bool { return refs[i].off > refs[j].off })
+		for _, r := range refs {
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return errors.New("disklog: iter on closed store")
+			}
+			p := s.partitionFor(r.table, r.pkey, false)
+			if p == nil {
+				s.mu.Unlock()
+				continue
+			}
+			i, ok := p.find(r.ckey)
+			if !ok {
+				s.mu.Unlock()
+				continue
+			}
+			v, err := s.readValue(p.rows[i])
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			if !fn(r.table, r.pkey, r.ckey, v) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
 // Delete appends a tombstone record and removes the row from the index.
 func (s *Store) Delete(table, pkey, ckey string) bool {
 	s.mu.Lock()
@@ -776,7 +852,7 @@ func (s *Store) Close() error {
 // exceeds both the configured floor and the live volume (i.e. the log
 // is more than half garbage).
 func (s *Store) maybeCompactLocked() {
-	if s.opts.DisableAutoCompact || s.werr != nil {
+	if s.opts.DisableAutoCompact || s.werr != nil || s.backingUp {
 		return
 	}
 	if s.dead < s.opts.CompactMinDead || s.dead <= s.live {
@@ -802,6 +878,9 @@ func (s *Store) Compact() error {
 }
 
 func (s *Store) compactLocked() error {
+	if s.backingUp {
+		return errors.New("disklog: compaction deferred during backup")
+	}
 	old := s.segs
 	nextID := old[len(old)-1].id + 1
 
@@ -878,20 +957,229 @@ func (s *Store) compactLocked() error {
 	return s.syncDir()
 }
 
-// Backup writes a consistent copy of the engine's segment files into
-// dir (created if needed, must be empty of segments). The store is
-// quiesced for the duration: the copy happens under the engine lock
-// after an fsync, so the files carry every acknowledged write. The copy
-// opens as a normal disklog directory.
-func (s *Store) Backup(dir string) error {
+// MergeSmall merges the maximal run of small segments at the tail of
+// the log — the "newest level", where rotation and trickle flushes
+// leave many small files — into fresh segments, dropping superseded
+// put records along the way. Tombstone records are carried over
+// verbatim (a delete in the tail may kill a row recorded in an older,
+// untouched segment; dropping it would resurrect that row on replay),
+// so the merge never has to read the large old segments: exactly the
+// leveled behavior that keeps steady-state compaction cost proportional
+// to the new data, not the whole log. Segments of at most maxBytes
+// (SegmentBytes/4 when <= 0) qualify; fewer than minSegs (floor 2)
+// qualifying segments is a no-op. Returns the number of segments
+// merged. Crash-safe like Compact: merged records land in higher-id
+// segments, so a crash between writing them and removing the originals
+// replays both and converges.
+func (s *Store) MergeSmall(maxBytes int64, minSegs int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		return 0, errors.New("disklog: store closed")
+	}
+	if s.werr != nil || s.backingUp {
+		return 0, nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = s.opts.SegmentBytes / 4
+	}
+	if minSegs < 2 {
+		minSegs = 2
+	}
+	from := len(s.segs)
+	for from > 0 && s.segs[from-1].size <= maxBytes {
+		from--
+	}
+	n := len(s.segs) - from
+	if n < minSegs {
+		return 0, nil
+	}
+	if err := s.mergeTailLocked(from); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// mergeTailLocked rewrites segments [from:] into fresh higher-id
+// segments: live put records and all tombstones are copied verbatim
+// (in order), dead puts are dropped. The index is repointed only after
+// the new segments are synced.
+func (s *Store) mergeTailLocked(from int) error {
+	old := append([]*segment(nil), s.segs[from:]...)
+	keep := s.segs[:from:from]
+	nextID := s.segs[len(s.segs)-1].id + 1
+
+	type repoint struct {
+		table, pkey, ckey string
+		row               idxRow
+	}
+	var (
+		repoints  []repoint
+		deadFreed int64
+	)
+	abort := func() {
+		s.removeSegments(s.segs[from:])
+		s.segs = append(keep, old...)
+	}
+	s.segs = keep
+	if err := s.addSegment(nextID); err != nil {
+		abort()
+		return err
+	}
+	var header [recHeaderLen]byte
+	for _, seg := range old {
+		for off := int64(0); off < seg.size; {
+			if _, err := seg.f.ReadAt(header[:], off); err != nil {
+				abort()
+				return fmt.Errorf("disklog: merge read %s: %w", seg.path, err)
+			}
+			plen := int64(binary.LittleEndian.Uint32(header[0:4]))
+			if plen > maxRecordBytes || off+recHeaderLen+plen > seg.size {
+				abort()
+				return fmt.Errorf("%w: %s at offset %d", ErrCorrupt, seg.path, off)
+			}
+			raw := make([]byte, recHeaderLen+plen)
+			if _, err := seg.f.ReadAt(raw, off); err != nil {
+				abort()
+				return fmt.Errorf("disklog: merge read %s: %w", seg.path, err)
+			}
+			op, table, pkey, ckey, valOff, err := decodeRecordKeys(raw[recHeaderLen:])
+			if err != nil {
+				abort()
+				return fmt.Errorf("disklog: merge: undecodable record in %s at offset %d: %w", seg.path, off, err)
+			}
+			live := false
+			if op == opPut {
+				if p := s.partitionFor(table, pkey, false); p != nil {
+					if i, ok := p.find(ckey); ok {
+						r := p.rows[i]
+						live = r.seg == seg && r.off == off+int64(valOff)
+					}
+				}
+			}
+			switch {
+			case op != opPut: // tombstone: preserve its effect on older segments
+				s.appendRecord(raw)
+				if s.werr != nil {
+					abort()
+					return s.werr
+				}
+			case live:
+				newSeg, newOff := s.appendRecord(raw)
+				if s.werr != nil {
+					abort()
+					return s.werr
+				}
+				repoints = append(repoints, repoint{table: table, pkey: pkey, ckey: ckey, row: idxRow{
+					ckey: ckey, seg: newSeg, off: newOff + int64(valOff),
+					vlen: len(raw) - valOff, rec: int64(len(raw)),
+				}})
+			default: // superseded put: reclaimed
+				deadFreed += int64(len(raw))
+			}
+			off += recHeaderLen + plen
+		}
+	}
+	if err := s.segs[len(s.segs)-1].f.Sync(); err != nil {
+		abort()
+		return fmt.Errorf("disklog: merge sync: %w", err)
+	}
+	s.unsynced = 0
+
+	// Point of no return: adopt the relocations, then delete old files.
+	for _, rp := range repoints {
+		p := s.partitionFor(rp.table, rp.pkey, false)
+		if p == nil {
+			continue
+		}
+		if i, ok := p.find(rp.ckey); ok {
+			p.rows[i] = rp.row
+		}
+	}
+	s.dead -= deadFreed
+	s.removeSegments(old)
+	return s.syncDir()
+}
+
+// decodeRecordKeys decodes a record payload's op and keys without
+// copying the value; valOff is the value's offset within the full
+// record, header included (puts only).
+func decodeRecordKeys(payload []byte) (op byte, table, pkey, ckey string, valOff int, err error) {
+	if len(payload) < 1 {
+		return 0, "", "", "", 0, fmt.Errorf("empty payload")
+	}
+	r := &payloadReader{data: payload, pos: 1}
+	op = payload[0]
+	if table, err = r.str(); err != nil {
+		return
+	}
+	if pkey, err = r.str(); err != nil {
+		return
+	}
+	switch op {
+	case opPut:
+		if ckey, err = r.str(); err != nil {
+			return
+		}
+		vlen, n := binary.Uvarint(r.data[r.pos:])
+		if n <= 0 || uint64(len(r.data)-r.pos-n) < vlen {
+			err = fmt.Errorf("bad value length")
+			return
+		}
+		valOff = recHeaderLen + r.pos + n
+	case opDel:
+		if ckey, err = r.str(); err != nil {
+			return
+		}
+	case opDrop:
+	default:
+		err = fmt.Errorf("unknown op 0x%02x", op)
+	}
+	return
+}
+
+// Backup writes a consistent copy of the engine's segment files into
+// dir (created if needed, must be empty of segments). The segment set
+// and sizes are snapshotted under the engine lock after an fsync (so
+// the copy carries every acknowledged write), but the bulk copy runs
+// outside it: reads and writes proceed while the files are copied —
+// appends past the snapshotted sizes are simply not part of the backup,
+// and compaction (which would delete the files mid-copy) is deferred
+// until the backup finishes. The copy opens as a normal disklog
+// directory.
+func (s *Store) Backup(dir string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return errors.New("disklog: backup of closed store")
 	}
+	if s.backingUp {
+		s.mu.Unlock()
+		return errors.New("disklog: backup already in progress")
+	}
 	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("disklog: backup: %w", err)
 	}
+	type segSnap struct {
+		f    *os.File
+		size int64
+		name string
+	}
+	snap := make([]segSnap, len(s.segs))
+	for i, seg := range s.segs {
+		snap[i] = segSnap{f: seg.f, size: seg.size, name: segmentName(seg.id)}
+	}
+	s.backingUp = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.backingUp = false
+		s.mu.Unlock()
+	}()
+
+	// Validate the whole target before writing anything, so a failure
+	// cannot leave a half-written backup directory behind.
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("disklog: backup: %w", err)
 	}
@@ -900,8 +1188,8 @@ func (s *Store) Backup(dir string) error {
 	} else if len(ids) > 0 {
 		return fmt.Errorf("disklog: backup target %s already holds segments", dir)
 	}
-	for _, seg := range s.segs {
-		if err := backend.CopyFile(seg.f, seg.size, filepath.Join(dir, segmentName(seg.id))); err != nil {
+	for _, seg := range snap {
+		if err := backend.CopyFile(seg.f, seg.size, filepath.Join(dir, seg.name)); err != nil {
 			return err
 		}
 	}

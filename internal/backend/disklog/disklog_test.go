@@ -373,3 +373,140 @@ func diskUsage(t *testing.T, dir string) int64 {
 	}
 	return total
 }
+
+func TestIterNewestOrderAndStop(t *testing.T) {
+	s := open(t, t.TempDir(), Options{SegmentBytes: 256})
+	defer s.Close()
+	for i := 0; i < 30; i++ {
+		s.Put("deltas", fmt.Sprintf("p%d", i%3), fmt.Sprintf("c%03d", i), []byte(fmt.Sprintf("v%03d", i)))
+	}
+	s.Put("deltas", "p0", "c003", []byte("rewritten")) // c003's latest record is now the newest
+	s.Delete("deltas", "p1", "c028")                   // tombstoned rows must never surface
+
+	var got []string
+	err := s.IterNewest(func(table, pkey, ckey string, value []byte) bool {
+		got = append(got, ckey+"="+string(value))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 29 {
+		t.Fatalf("iterated %d rows, want 29 (30 puts, 1 deleted)", len(got))
+	}
+	if got[0] != "c003=rewritten" {
+		t.Fatalf("newest row first, got %q", got[0])
+	}
+	if got[1] != "c029=v029" || got[2] != "c027=v027" {
+		t.Fatalf("reverse append order broken: %v", got[1:3])
+	}
+	for _, g := range got {
+		if g == "c028=v028" {
+			t.Fatal("deleted row surfaced in IterNewest")
+		}
+	}
+
+	// Early stop: the callback's budget bounds the walk.
+	var first []string
+	err = s.IterNewest(func(table, pkey, ckey string, value []byte) bool {
+		first = append(first, ckey)
+		return len(first) < 5
+	})
+	if err != nil || len(first) != 5 {
+		t.Fatalf("early stop walked %d rows (err %v), want 5", len(first), err)
+	}
+}
+
+func TestMergeSmallCoalescesTailSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 128, DisableAutoCompact: true})
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), []byte(fmt.Sprintf("value-%03d", i)))
+	}
+	// Overwrites strand dead records inside the small segments.
+	for i := 0; i < 10; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), []byte(fmt.Sprintf("fresh-%03d", i)))
+	}
+	before := s.Segments()
+	if before < 6 {
+		t.Fatalf("precondition: want many small segments, got %d", before)
+	}
+	deadBefore := s.DeadBytes()
+	n, err := s.MergeSmall(1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < before-1 {
+		t.Fatalf("merged %d of %d segments", n, before)
+	}
+	if s.Segments() >= before {
+		t.Fatalf("segment count did not shrink: %d -> %d", before, s.Segments())
+	}
+	if s.DeadBytes() >= deadBefore {
+		t.Fatalf("merge reclaimed nothing: dead %d -> %d", deadBefore, s.DeadBytes())
+	}
+	for i := 0; i < 40; i++ {
+		want := fmt.Sprintf("value-%03d", i)
+		if i < 10 {
+			want = fmt.Sprintf("fresh-%03d", i)
+		}
+		if v, ok := s.Get("deltas", "p0", fmt.Sprintf("c%03d", i)); !ok || string(v) != want {
+			t.Fatalf("row %d wrong after merge: %q,%v", i, v, ok)
+		}
+	}
+	// The merged log must replay to the same state.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{SegmentBytes: 128, DisableAutoCompact: true})
+	defer r.Close()
+	for i := 0; i < 40; i++ {
+		want := fmt.Sprintf("value-%03d", i)
+		if i < 10 {
+			want = fmt.Sprintf("fresh-%03d", i)
+		}
+		if v, ok := r.Get("deltas", "p0", fmt.Sprintf("c%03d", i)); !ok || string(v) != want {
+			t.Fatalf("row %d wrong after merge+reopen: %q,%v", i, v, ok)
+		}
+	}
+}
+
+func TestMergeSmallPreservesTombstones(t *testing.T) {
+	// A delete whose tombstone sits in a merged tail segment may kill a
+	// row recorded in an older, untouched segment. Dropping the
+	// tombstone during the merge would resurrect that row on replay.
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 128, DisableAutoCompact: true})
+	// An oversized first segment stays out of the mergeable tail.
+	s.Put("deltas", "p0", "victim", bytes.Repeat([]byte("x"), 300))
+	s.Put("deltas", "dropme", "a", bytes.Repeat([]byte("y"), 300))
+	for i := 0; i < 30; i++ {
+		s.Put("deltas", "p1", fmt.Sprintf("c%03d", i), []byte(fmt.Sprintf("filler-%03d", i)))
+	}
+	firstID := s.segs[0].id
+	s.Delete("deltas", "p0", "victim")
+	s.DropPartition("deltas", "dropme")
+	if _, err := s.MergeSmall(256, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.segs[0].id; got != firstID {
+		t.Fatalf("merge touched the old segment (first id %d -> %d)", firstID, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := open(t, dir, Options{SegmentBytes: 128, DisableAutoCompact: true})
+	defer r.Close()
+	if _, ok := r.Get("deltas", "p0", "victim"); ok {
+		t.Fatal("merge dropped a tombstone: deleted row resurrected on replay")
+	}
+	if r.HasPartition("deltas", "dropme") {
+		t.Fatal("merge dropped a drop record: partition resurrected on replay")
+	}
+	for i := 0; i < 30; i++ {
+		if _, ok := r.Get("deltas", "p1", fmt.Sprintf("c%03d", i)); !ok {
+			t.Fatalf("filler row %d lost in merge", i)
+		}
+	}
+}

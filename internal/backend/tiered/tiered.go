@@ -2,10 +2,20 @@
 // in-memory memtable (the hot tier) and are made durable by a
 // write-ahead log, while a background goroutine flushes them into a
 // disklog segment store (the cold tier) under a configurable byte-rate
-// limit. Reads check hot then cold, so the working set the paper calls
-// hot — the newest timespans and deltas, which most queries touch —
-// is served from memory without disk I/O, while historical partitions
+// limit. Reads check memory then cold, so the working set the paper
+// calls hot — the newest timespans and deltas, which most queries touch
+// — is served from memory without disk I/O, while historical partitions
 // stay durable and cheap on disk.
+//
+// Alongside the hot rows, memory holds a warm tier: read-only copies of
+// the newest cold rows, carrying no WAL or flush obligations. On open,
+// warm-up repopulates it from the cold tier's newest rows (up to the
+// HotBytes budget, newest-first, in the background), so a process
+// restart does not demote the recency-skewed working set to cold-read
+// latency; idle-time drains re-home flushed hot rows there, keeping
+// them memory-served after their durability moved to the cold log.
+// Hot rows and warmed copies share the HotBytes budget; under memory
+// pressure warmed copies are evicted first — dropping one costs no I/O.
 //
 // Write path: every mutation appends one WAL record and applies to the
 // memtable; nothing waits on the cold tier. The flusher moves the
@@ -14,9 +24,17 @@
 // then drops the rows from the memtable and retires WAL segments whose
 // records are all either superseded or durably cold — so a crash at any
 // instant recovers by opening the cold tier and replaying the remaining
-// WAL into the hot tier. Foreground reads never wait on a flush: hot
-// hits touch only the memtable, and the flusher holds no lock while it
+// WAL into the hot tier. Foreground reads never wait on a flush: memory
+// hits touch only the memtables, and the flusher holds no lock while it
 // sleeps off the rate limit.
+//
+// Scheduling is idle-aware: while foreground traffic is active,
+// flushing throttles to CompactRate and the cold tier only gets the
+// cheap leveled merge of small newest segments; once the store has been
+// quiet for Options.IdleCompactAfter, maintenance runs at full speed —
+// the hot tier drains completely into cold segments (with the rows kept
+// warm in memory) and whole-log cold compaction runs while nobody is
+// waiting on the disk.
 //
 // Error model: a cold-tier or WAL I/O failure is recorded in a sticky
 // error that halts background migration (the safe state — nothing is
@@ -64,6 +82,17 @@ type Options struct {
 	// WALSyncBytes fsyncs the WAL after this many appended bytes
 	// (default 1 MiB). Flush and Close always fsync.
 	WALSyncBytes int64
+	// DisableWarm turns off hot-tier warm-up: by default, opening a
+	// directory that already holds cold data repopulates memory with the
+	// newest cold rows (up to HotBytes) in the background, so the first
+	// queries after a restart are served like the process never died.
+	DisableWarm bool
+	// IdleCompactAfter is the foreground-quiet window after which
+	// background maintenance stops throttling to CompactRate and runs at
+	// full speed, draining the hot tier into durable cold segments while
+	// keeping the drained rows memory-resident as warmed copies (default
+	// 1s; negative disables idle-mode maintenance entirely).
+	IdleCompactAfter time.Duration
 	// Cold tunes the cold-tier disklog. Its triggered auto-compaction is
 	// always disabled: the background goroutine owns cold compaction.
 	Cold disklog.Options
@@ -84,6 +113,9 @@ func (o *Options) normalize() {
 	}
 	if o.WALSyncBytes <= 0 {
 		o.WALSyncBytes = 1 << 20
+	}
+	if o.IdleCompactAfter == 0 {
+		o.IdleCompactAfter = time.Second
 	}
 	o.Cold.DisableAutoCompact = true
 }
@@ -112,6 +144,23 @@ type flushItem struct {
 	ver               uint64
 }
 
+// warmEntry is the sidecar record of one warmed row: a memory-resident
+// copy of a row whose authoritative version lives in the cold tier.
+// Warmed rows carry no WAL or flush obligations — they are dropped the
+// instant the row is overwritten (the hot tier takes over) or deleted,
+// and evicting one costs no I/O.
+type warmEntry struct {
+	vlen int
+	ver  uint64
+}
+
+// warmRef is one eviction-queue entry; like flushItems, refs whose
+// version no longer matches the sidecar are stale and skipped.
+type warmRef struct {
+	table, pkey, ckey string
+	ver               uint64
+}
+
 // Store is one node's tiered engine. All methods are safe for
 // concurrent use; the background flusher runs until Close.
 type Store struct {
@@ -127,10 +176,20 @@ type Store struct {
 
 	mu   sync.Mutex
 	hot  *memtable.Store
+	warm *memtable.Store // read-only copies of the newest cold rows
 	wal  *wal
 	cold *disklog.Store
 
 	hotMeta map[string]map[string]*rowMeta // table\0pkey → ckey → meta
+	// warmMeta mirrors the warm memtable's rows (same key scheme as
+	// hotMeta); warmBytes is their resident total. warmQueue is the
+	// eviction order, oldest data at the front; warmStale counts queue
+	// entries whose row left the warm tier since enqueue (compacted
+	// wholesale like the flush queue).
+	warmMeta  map[string]map[string]warmEntry
+	warmBytes int64
+	warmQueue []warmRef
+	warmStale int
 	// shadow holds, for hot rows that also exist in the cold tier, the
 	// cold bytes they hide — so StoredBytes counts each logical row once.
 	shadow      map[string]map[string]int64
@@ -165,18 +224,29 @@ type Store struct {
 
 	flushNow chan struct{}
 
-	hotHits      atomic.Int64
-	coldReads    atomic.Int64
-	flushedRows  atomic.Int64
-	flushedBytes atomic.Int64
-	compactions  atomic.Int64
-	hotBytes     atomic.Int64 // gauge mirror of hot.StoredBytes()
+	// lastOp is the UnixNano of the last foreground operation — the
+	// idle-detection clock of the maintenance scheduler.
+	lastOp atomic.Int64
+
+	hotHits         atomic.Int64
+	coldReads       atomic.Int64
+	flushedRows     atomic.Int64
+	flushedBytes    atomic.Int64
+	compactions     atomic.Int64
+	idleCompactions atomic.Int64
+	warmedRows      atomic.Int64
+	warmedBytes     atomic.Int64
+	warming         atomic.Int64 // gauge: 1 while open-time warm-up runs
+	hotBytes        atomic.Int64 // gauge mirror of hot+warm resident bytes
 }
 
 // Open opens (or creates) the engine rooted at dir: the cold tier under
 // dir/cold, the WAL under dir/wal. The WAL is replayed into the hot
 // tier (torn tail truncated), so a store killed mid-flush reopens with
-// every acknowledged write intact. The background flusher starts
+// every acknowledged write intact; unless Options.DisableWarm is set,
+// the background goroutine then warms memory with the newest cold rows
+// up to the HotBytes budget (TierCounters.Warming reads 1 until that
+// finishes). The background flusher starts
 // immediately — which is why the directory is locked exclusively: a
 // second live handle would run a second flusher over the same files
 // and corrupt them. On platforms with flock(2) the lock dies with the
@@ -208,16 +278,19 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:      dir,
 		opts:     opts,
 		hot:      memtable.New(),
+		warm:     memtable.New(),
 		wal:      w,
 		cold:     cold,
 		lock:     lock,
 		hotMeta:  make(map[string]map[string]*rowMeta),
+		warmMeta: make(map[string]map[string]warmEntry),
 		shadow:   make(map[string]map[string]int64),
 		pending:  make(map[int]int),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		flushNow: make(chan struct{}, 1),
 	}
+	s.lastOp.Store(time.Now().UnixNano())
 	// Rebuild the hot tier. Replayed deletes and drops are re-applied to
 	// the cold tier too: a crash may have cut in after the WAL append
 	// but before the cold tombstone.
@@ -249,6 +322,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.hotBytes.Store(s.hot.StoredBytes())
+	if !opts.DisableWarm {
+		s.warming.Store(1)
+	}
 	go s.flushLoop()
 	return s, nil
 }
@@ -287,13 +363,143 @@ func (s *Store) mustOpenLocked() {
 	}
 }
 
-// gauge refreshes the lock-free hot-size mirror; callers hold mu.
-func (s *Store) gauge() { s.hotBytes.Store(s.hot.StoredBytes()) }
+// gauge refreshes the lock-free memory-resident-size mirror (hot rows
+// plus warmed cold copies); callers hold mu.
+func (s *Store) gauge() { s.hotBytes.Store(s.hot.StoredBytes() + s.warmBytes) }
+
+// touch stamps the idle-detection clock; every foreground operation
+// calls it so background maintenance knows when the store is quiet.
+func (s *Store) touch() { s.lastOp.Store(time.Now().UnixNano()) }
+
+// idleNow reports whether no foreground operation has arrived for the
+// idle window.
+func (s *Store) idleNow() bool {
+	if s.opts.IdleCompactAfter < 0 {
+		return false
+	}
+	return time.Since(time.Unix(0, s.lastOp.Load())) >= s.opts.IdleCompactAfter
+}
+
+// --- warm tier (memory-resident copies of cold rows) ------------------
+
+// dropWarmLocked removes a row's warmed copy, if any; callers hold mu.
+func (s *Store) dropWarmLocked(key, table, pkey, ckey string) {
+	part := s.warmMeta[key]
+	if part == nil {
+		return
+	}
+	e, ok := part[ckey]
+	if !ok {
+		return
+	}
+	delete(part, ckey)
+	if len(part) == 0 {
+		delete(s.warmMeta, key)
+	}
+	s.warm.Delete(table, pkey, ckey)
+	s.warmBytes -= int64(e.vlen + len(ckey))
+	s.warmStale++
+	if len(s.warmQueue) >= 64 && s.warmStale*2 >= len(s.warmQueue) {
+		s.compactWarmQueue()
+	}
+	// Refresh the gauge here, not in the callers: deleting a row that
+	// exists only as a warmed copy takes no hot-tier branch, and the
+	// freed bytes must not linger in TierHotBytes.
+	s.gauge()
+}
+
+// compactWarmQueue rewrites the eviction queue keeping live refs only;
+// amortized O(1) per warm mutation, same policy as compactQueue.
+func (s *Store) compactWarmQueue() {
+	live := s.warmQueue[:0]
+	for _, ref := range s.warmQueue {
+		if part := s.warmMeta[partKey(ref.table, ref.pkey)]; part != nil {
+			if e, ok := part[ref.ckey]; ok && e.ver == ref.ver {
+				live = append(live, ref)
+			}
+		}
+	}
+	for i := len(live); i < len(s.warmQueue); i++ {
+		s.warmQueue[i] = warmRef{}
+	}
+	s.warmQueue = live
+	s.warmStale = 0
+}
+
+// warmInsertLocked installs a memory-resident copy of a row that is
+// live in the cold tier, charged against the HotBytes budget. The row
+// must not currently be owned by the hot tier; callers hold mu.
+func (s *Store) warmInsertLocked(table, pkey, ckey string, val []byte) bool {
+	key := partKey(table, pkey)
+	if part := s.hotMeta[key]; part != nil {
+		if _, owned := part[ckey]; owned {
+			return false
+		}
+	}
+	if part := s.warmMeta[key]; part != nil {
+		if _, resident := part[ckey]; resident {
+			return false
+		}
+	}
+	n := int64(len(ckey) + len(val))
+	if s.hot.StoredBytes()+s.warmBytes+n > s.opts.HotBytes {
+		return false
+	}
+	s.ver++
+	part := s.warmMeta[key]
+	if part == nil {
+		part = make(map[string]warmEntry)
+		s.warmMeta[key] = part
+	}
+	part[ckey] = warmEntry{vlen: len(val), ver: s.ver}
+	s.warm.Put(table, pkey, ckey, val)
+	s.warmBytes += n
+	s.warmQueue = append(s.warmQueue, warmRef{table: table, pkey: pkey, ckey: ckey, ver: s.ver})
+	s.gauge()
+	return true
+}
+
+// evictWarmLocked frees warmed copies (front of the queue first — the
+// oldest data) until freed bytes reach want or the warm tier is empty;
+// callers hold mu. Eviction is pure memory release: the rows stay
+// durable in the cold tier.
+func (s *Store) evictWarmLocked(want int64) int64 {
+	var freed int64
+	for freed < want && len(s.warmQueue) > 0 {
+		ref := s.warmQueue[0]
+		s.warmQueue[0] = warmRef{}
+		s.warmQueue = s.warmQueue[1:]
+		part := s.warmMeta[partKey(ref.table, ref.pkey)]
+		if part == nil {
+			s.warmStale--
+			continue
+		}
+		e, ok := part[ref.ckey]
+		if !ok || e.ver != ref.ver {
+			s.warmStale--
+			continue
+		}
+		delete(part, ref.ckey)
+		if len(part) == 0 {
+			delete(s.warmMeta, partKey(ref.table, ref.pkey))
+		}
+		s.warm.Delete(ref.table, ref.pkey, ref.ckey)
+		n := int64(e.vlen + len(ref.ckey))
+		s.warmBytes -= n
+		freed += n
+	}
+	s.gauge()
+	return freed
+}
 
 // --- mutation application (shared by foreground ops and WAL replay) ---
 
 func (s *Store) applyHotPut(seg int, table, pkey, ckey string, value []byte) {
 	key := partKey(table, pkey)
+	// The hot tier takes ownership: a warmed copy of the old version
+	// must not outlive this write (it would shadow the cold tier with
+	// stale data once the row flushes).
+	s.dropWarmLocked(key, table, pkey, ckey)
 	part := s.hotMeta[key]
 	if part == nil {
 		part = make(map[string]*rowMeta)
@@ -347,6 +553,7 @@ func (s *Store) compactQueue() {
 // ioMu on the foreground path; replay runs before the flusher starts).
 func (s *Store) applyDelete(seg int, table, pkey, ckey string) bool {
 	key := partKey(table, pkey)
+	s.dropWarmLocked(key, table, pkey, ckey)
 	existed := false
 	if part := s.hotMeta[key]; part != nil {
 		if meta := part[ckey]; meta != nil {
@@ -374,6 +581,17 @@ func (s *Store) applyDelete(seg int, table, pkey, ckey string) bool {
 
 func (s *Store) applyDrop(seg int, table, pkey string) {
 	key := partKey(table, pkey)
+	if wp := s.warmMeta[key]; wp != nil {
+		for ckey, e := range wp {
+			s.warmBytes -= int64(e.vlen + len(ckey))
+		}
+		s.warmStale += len(wp)
+		delete(s.warmMeta, key)
+		s.warm.DropPartition(table, pkey)
+		if len(s.warmQueue) >= 64 && s.warmStale*2 >= len(s.warmQueue) {
+			s.compactWarmQueue()
+		}
+	}
 	if part := s.hotMeta[key]; part != nil {
 		for _, meta := range part {
 			s.pending[meta.seg]--
@@ -448,11 +666,12 @@ func (s *Store) walAppend(op byte, table, pkey, ckey string, value []byte) int {
 // Put appends a WAL record and lands the row in the hot tier. The cold
 // tier is not touched; the background flusher migrates the row later.
 func (s *Store) Put(table, pkey, ckey string, value []byte) {
+	s.touch()
 	s.mu.Lock()
 	s.mustOpenLocked()
 	seg := s.walAppend(walPut, table, pkey, ckey, value)
 	s.applyHotPut(seg, table, pkey, ckey, value)
-	over := s.hot.StoredBytes() > s.opts.HotBytes
+	over := s.hot.StoredBytes()+s.warmBytes > s.opts.HotBytes
 	s.mu.Unlock()
 	if over {
 		select {
@@ -462,34 +681,60 @@ func (s *Store) Put(table, pkey, ckey string, value []byte) {
 	}
 }
 
-// Get reads hot-then-cold: a hot hit is served from memory without any
-// disk access.
+// Get reads memory-then-cold: hot rows and warmed copies are served
+// without any disk access.
 func (s *Store) Get(table, pkey, ckey string) ([]byte, bool) {
+	v, ok, _ := s.GetTier(table, pkey, ckey)
+	return v, ok
+}
+
+// GetTier is Get plus the per-call cold-row count the cluster's latency
+// model charges (backend.TierReader).
+func (s *Store) GetTier(table, pkey, ckey string) ([]byte, bool, int) {
+	s.touch()
 	s.mu.Lock()
 	s.mustOpenLocked()
 	if v, ok := s.hot.Get(table, pkey, ckey); ok {
 		s.mu.Unlock()
 		s.hotHits.Add(1)
-		return v, true
+		return v, true, 0
+	}
+	if v, ok := s.warm.Get(table, pkey, ckey); ok {
+		s.mu.Unlock()
+		s.hotHits.Add(1)
+		return v, true, 0
 	}
 	s.mu.Unlock()
 	v, ok := s.cold.Get(table, pkey, ckey)
 	if ok {
 		s.coldReads.Add(1)
+		return v, true, 1
 	}
-	return v, ok
+	return v, false, 0
 }
 
 // MultiGet is the batch-read fast path: hot rows resolve under one lock
 // acquisition, the misses go to the cold tier as one disklog batch.
 func (s *Store) MultiGet(reqs []backend.KeyRead) [][]byte {
+	out, _ := s.MultiGetTier(reqs)
+	return out
+}
+
+// MultiGetTier is MultiGet plus the per-call cold-row count
+// (backend.TierReader).
+func (s *Store) MultiGetTier(reqs []backend.KeyRead) ([][]byte, int) {
+	s.touch()
 	out := make([][]byte, len(reqs))
 	var missIdx []int
 	s.mu.Lock()
 	s.mustOpenLocked()
 	hot := 0
 	for i, r := range reqs {
-		if v, ok := s.hot.Get(r.Table, r.PKey, r.CKey); ok {
+		v, ok := s.hot.Get(r.Table, r.PKey, r.CKey)
+		if !ok {
+			v, ok = s.warm.Get(r.Table, r.PKey, r.CKey)
+		}
+		if ok {
 			if v == nil {
 				v = []byte{}
 			}
@@ -502,7 +747,7 @@ func (s *Store) MultiGet(reqs []backend.KeyRead) [][]byte {
 	s.mu.Unlock()
 	s.hotHits.Add(int64(hot))
 	if len(missIdx) == 0 {
-		return out
+		return out, 0
 	}
 	miss := make([]backend.KeyRead, len(missIdx))
 	for j, i := range missIdx {
@@ -517,53 +762,68 @@ func (s *Store) MultiGet(reqs []backend.KeyRead) [][]byte {
 		}
 	}
 	s.coldReads.Add(int64(cold))
-	return out
+	return out, cold
 }
 
-// ScanPrefix merges the two tiers' scans in clustering order; a row
-// present in both (mid-flush, or rewritten while its old version is
-// still cold) is served from the hot tier.
-func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
-	s.mu.Lock()
-	s.mustOpenLocked()
-	hotRows := s.hot.ScanPrefix(table, pkey, prefix)
-	s.mu.Unlock()
-	coldRows := s.cold.ScanPrefix(table, pkey, prefix)
-	s.hotHits.Add(int64(len(hotRows)))
-	if len(coldRows) == 0 {
-		return hotRows
+// mergeRows merges two row slices sorted by clustering key, preferring
+// a's row on equal keys.
+func mergeRows(a, b []backend.Row) []backend.Row {
+	if len(b) == 0 {
+		return a
 	}
-	if len(hotRows) == 0 {
-		s.coldReads.Add(int64(len(coldRows)))
-		return coldRows
+	if len(a) == 0 {
+		return b
 	}
-	out := make([]backend.Row, 0, len(hotRows)+len(coldRows))
+	out := make([]backend.Row, 0, len(a)+len(b))
 	i, j := 0, 0
-	for i < len(hotRows) && j < len(coldRows) {
+	for i < len(a) && j < len(b) {
 		switch {
-		case hotRows[i].CKey < coldRows[j].CKey:
-			out = append(out, hotRows[i])
+		case a[i].CKey < b[j].CKey:
+			out = append(out, a[i])
 			i++
-		case hotRows[i].CKey > coldRows[j].CKey:
-			out = append(out, coldRows[j])
+		case a[i].CKey > b[j].CKey:
+			out = append(out, b[j])
 			j++
-		default: // hot shadows cold
-			out = append(out, hotRows[i])
+		default:
+			out = append(out, a[i])
 			i, j = i+1, j+1
 		}
 	}
-	out = append(out, hotRows[i:]...)
-	out = append(out, coldRows[j:]...)
-	// Rows the hot tier shadows were read from the cold log but not
-	// served from it; count only the rows the cold tier contributed so
-	// hit ratios and the cold-read latency surcharge reflect serving.
-	s.coldReads.Add(int64(len(out) - len(hotRows)))
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
+}
+
+// ScanPrefix merges the tiers' scans in clustering order; a row present
+// in more than one place is served from the hottest copy.
+func (s *Store) ScanPrefix(table, pkey, prefix string) []backend.Row {
+	rows, _ := s.ScanPrefixTier(table, pkey, prefix)
+	return rows
+}
+
+// ScanPrefixTier is ScanPrefix plus the per-call cold-row count
+// (backend.TierReader). Rows the memory tiers shadow may be read from
+// the cold log but are not served from it; only the rows the cold tier
+// actually contributes count as cold, so hit ratios and the cold-read
+// latency surcharge reflect the serving tier.
+func (s *Store) ScanPrefixTier(table, pkey, prefix string) ([]backend.Row, int) {
+	s.touch()
+	s.mu.Lock()
+	s.mustOpenLocked()
+	memRows := mergeRows(s.hot.ScanPrefix(table, pkey, prefix), s.warm.ScanPrefix(table, pkey, prefix))
+	s.mu.Unlock()
+	coldRows := s.cold.ScanPrefix(table, pkey, prefix)
+	s.hotHits.Add(int64(len(memRows)))
+	out := mergeRows(memRows, coldRows)
+	cold := len(out) - len(memRows)
+	s.coldReads.Add(int64(cold))
+	return out, cold
 }
 
 // Delete removes the row from both tiers. It holds the flush gate so a
 // chunk mid-migration cannot resurrect the row in the cold tier.
 func (s *Store) Delete(table, pkey, ckey string) bool {
+	s.touch()
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
@@ -584,6 +844,7 @@ func (s *Store) Delete(table, pkey, ckey string) bool {
 
 // DropPartition removes an entire partition from both tiers.
 func (s *Store) DropPartition(table, pkey string) {
+	s.touch()
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
@@ -679,6 +940,26 @@ func (s *Store) Close() error {
 		return s.werr
 	}
 	err := s.flushDurableLocked()
+	// A fully-drained store (every WAL record superseded or durably
+	// cold) empties its log on a clean close: replaying those records
+	// would only re-promote cold rows into the hot tier at the next
+	// open, overriding the warm-up policy's newest-first choice.
+	if err == nil && len(s.tombs) == 0 {
+		clean := true
+		for _, n := range s.pending {
+			if n != 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			s.retireWAL()
+			if terr := s.wal.truncateActive(); terr != nil {
+				err = errors.Join(err, terr)
+				s.werr = err
+			}
+		}
+	}
 	s.wal.closeFiles()
 	if cerr := s.cold.Close(); cerr != nil {
 		err = errors.Join(err, cerr)
@@ -716,45 +997,91 @@ func (s *Store) stopFlusher() {
 // TierCounters reports the per-tier activity counters (lock-free).
 func (s *Store) TierCounters() backend.TierCounters {
 	return backend.TierCounters{
-		HotHits:      s.hotHits.Load(),
-		ColdReads:    s.coldReads.Load(),
-		FlushedRows:  s.flushedRows.Load(),
-		FlushedBytes: s.flushedBytes.Load(),
-		Compactions:  s.compactions.Load(),
-		HotBytes:     s.hotBytes.Load(),
+		HotHits:         s.hotHits.Load(),
+		ColdReads:       s.coldReads.Load(),
+		FlushedRows:     s.flushedRows.Load(),
+		FlushedBytes:    s.flushedBytes.Load(),
+		Compactions:     s.compactions.Load(),
+		IdleCompactions: s.idleCompactions.Load(),
+		WarmedRows:      s.warmedRows.Load(),
+		WarmedBytes:     s.warmedBytes.Load(),
+		HotBytes:        s.hotBytes.Load(),
+		Warming:         s.warming.Load(),
 	}
+}
+
+// backupCopyHook, when set, runs after the backup has snapshotted its
+// state and released the store lock, before any file is copied — a
+// testing seam proving that foreground reads proceed while a large
+// backup streams.
+var backupCopyHook func()
+
+// hasWALSegments reports whether dir exists and already holds WAL
+// segment files (a missing directory is simply empty).
+func hasWALSegments(dir string) (bool, error) {
+	ids, err := listWALSegmentIDs(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return len(ids) > 0, nil
 }
 
 // Backup writes a consistent copy of the engine's durable state (cold
 // segments and WAL) into dir, mirroring the on-disk layout so the copy
-// opens as a normal tiered directory. Background flushing is held off
-// for the duration; the caller (the cluster) holds off foreground
-// writes.
+// opens as a normal tiered directory. The whole target is validated
+// before anything is written, so a refused backup leaves the directory
+// unchanged. Only the snapshot (fsync both logs, capture the WAL
+// segment list) happens under the store lock; the bulk copy holds just
+// the flush gate (ioMu), which freezes the cold tier and WAL retirement
+// for the duration — foreground reads and puts keep flowing, deletes
+// and background flushing wait. Writes accepted after the snapshot
+// point are not part of the copy (they are a pure suffix of the WAL),
+// so the backup is a consistent point-in-time state.
 func (s *Store) Backup(dir string) error {
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return errors.New("tiered: backup of closed store")
 	}
 	if err := s.flushDurableLocked(); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("tiered: backup: %w", err)
 	}
+	type walSnap struct {
+		f    *os.File
+		size int64
+		name string
+	}
+	snap := make([]walSnap, len(s.wal.segs))
+	for i, seg := range s.wal.segs {
+		snap[i] = walSnap{f: seg.f, size: seg.size, name: walSegmentName(seg.id)}
+	}
+	s.mu.Unlock()
+
+	// Validate the whole target before writing anything.
+	walDir := filepath.Join(dir, "wal")
+	if dirty, err := hasWALSegments(walDir); err != nil {
+		return err
+	} else if dirty {
+		return fmt.Errorf("tiered: backup target %s already holds WAL segments", walDir)
+	}
+	if hook := backupCopyHook; hook != nil {
+		hook()
+	}
+	// cold.Backup re-validates its own target before copying.
 	if err := s.cold.Backup(filepath.Join(dir, "cold")); err != nil {
 		return err
 	}
-	walDir := filepath.Join(dir, "wal")
 	if err := os.MkdirAll(walDir, 0o755); err != nil {
 		return fmt.Errorf("tiered: backup: %w", err)
 	}
-	if ids, err := listWALSegmentIDs(walDir); err != nil {
-		return err
-	} else if len(ids) > 0 {
-		return fmt.Errorf("tiered: backup target %s already holds WAL segments", walDir)
-	}
-	for _, seg := range s.wal.segs {
-		if err := backend.CopyFile(seg.f, seg.size, filepath.Join(walDir, walSegmentName(seg.id))); err != nil {
+	for _, seg := range snap {
+		if err := backend.CopyFile(seg.f, seg.size, filepath.Join(walDir, seg.name)); err != nil {
 			return err
 		}
 	}
@@ -769,10 +1096,14 @@ func (s *Store) Backup(dir string) error {
 	return nil
 }
 
-// --- background flusher ----------------------------------------------
+// --- background maintenance ------------------------------------------
 
 func (s *Store) flushLoop() {
 	defer close(s.done)
+	if !s.opts.DisableWarm {
+		s.warmFromCold()
+	}
+	s.warming.Store(0)
 	ticker := time.NewTicker(s.opts.FlushInterval)
 	defer ticker.Stop()
 	for {
@@ -786,19 +1117,95 @@ func (s *Store) flushLoop() {
 	}
 }
 
-// maintain drains the hot tier down to half the budget in rate-limited
-// chunks, then considers cold compaction. The rate-limit sleep holds no
-// locks, so foreground traffic proceeds at full speed between chunks.
+// warmFromCold repopulates memory with the newest cold rows up to the
+// HotBytes budget: the recency-skewed workloads the hot tier exists for
+// hit the same rows right after a restart that they hit right before
+// it, so the first post-reopen queries should not pay the cold tier's
+// seek for each of them. The newest-first walk stops at the budget —
+// old history is never replayed — and every insert re-validates the row
+// under the store lock, so foreground writes, deletes and a concurrent
+// Kill stay correct. Purely additive in-memory work: a crash at any
+// point leaves the durable state untouched.
+func (s *Store) warmFromCold() {
+	type wrow struct {
+		table, pkey, ckey string
+		val               []byte
+	}
+	var rows []wrow
+	s.mu.Lock()
+	total := s.hot.StoredBytes() + s.warmBytes
+	s.mu.Unlock()
+	budget := s.opts.HotBytes
+	err := s.cold.IterNewest(func(table, pkey, ckey string, value []byte) bool {
+		select {
+		case <-s.stop:
+			return false
+		default:
+		}
+		n := int64(len(ckey) + len(value))
+		if total+n > budget {
+			return false
+		}
+		total += n
+		rows = append(rows, wrow{table: table, pkey: pkey, ckey: ckey, val: value})
+		return true
+	})
+	if err != nil {
+		return // cold read trouble: skip warm-up, the sticky error path owns it
+	}
+	// Insert oldest-first so the eviction queue's front holds the oldest
+	// warmed data.
+	for i := len(rows) - 1; i >= 0; i-- {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		r := rows[i]
+		s.mu.Lock()
+		if s.closed || s.werr != nil {
+			s.mu.Unlock()
+			return
+		}
+		// Skip rows the foreground rewrote or deleted since the walk; a
+		// cold-tier check under mu orders the insert against deletes.
+		if _, stillCold := s.cold.Stat(r.table, r.pkey, r.ckey); stillCold {
+			if s.warmInsertLocked(r.table, r.pkey, r.ckey, r.val) {
+				s.warmedRows.Add(1)
+				s.warmedBytes.Add(int64(len(r.ckey) + len(r.val)))
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// maintain is the idle-aware scheduler. While foreground traffic is
+// active it drains the hot tier down to half the budget in chunks
+// throttled to CompactRate, exactly aggressive enough to keep the
+// budget without starving foreground I/O. Once the store has been quiet
+// for IdleCompactAfter it switches to full speed with a bigger goal:
+// drain the hot tier completely (retiring the WAL) while re-homing the
+// drained rows as warmed in-memory copies, and run the cold-tier
+// compactions (small-segment merge, then full rewrite if worthwhile) —
+// so write-heavy phases never pay compaction on the read path, and the
+// disk work happens when nobody is waiting on the disk. The rate-limit
+// sleep holds no locks.
 func (s *Store) maintain() {
+	idleWork := false
 	for {
 		select {
 		case <-s.stop:
 			return
 		default:
 		}
-		n := s.flushChunk()
+		idle := s.idleNow()
+		n := s.flushChunk(idle)
 		if n == 0 {
 			break
+		}
+		if idle {
+			idleWork = true
+			continue // full speed: no throttle between chunks
 		}
 		if s.opts.CompactRate > 0 {
 			sleep := time.Duration(float64(n) / float64(s.opts.CompactRate) * float64(time.Second))
@@ -809,16 +1216,25 @@ func (s *Store) maintain() {
 			}
 		}
 	}
-	s.maybeCompactCold()
+	if idleWork {
+		s.idleCompactions.Add(1)
+	}
+	s.maybeCompactCold(s.idleNow())
 }
 
 // flushChunk migrates up to flushChunkBytes of the oldest hot rows into
-// the cold tier and returns the byte count moved (0 when the hot tier
-// is within its low-water mark). The whole chunk — select, cold write,
-// fsync, commit, WAL retirement — runs under the flush gate (ioMu), so
-// deletes cannot interleave with a migration; foreground puts and reads
-// only contend for mu during the brief select and commit phases.
-func (s *Store) flushChunk() int64 {
+// the cold tier and returns the byte count moved (0 when nothing needs
+// to move). In the normal (busy) mode it works only while the drain
+// latch is engaged, relieving memory pressure cheapest-first: warmed
+// copies are evicted before any hot row pays cold-tier I/O. In idle
+// mode it ignores the latch and drains the hot tier completely, and the
+// commit phase re-homes each migrated row as a warmed copy (budget
+// permitting) so the data stays memory-served. The whole chunk —
+// select, cold write, fsync, commit, WAL retirement — runs under the
+// flush gate (ioMu), so deletes cannot interleave with a migration;
+// foreground puts and reads only contend for mu during the brief select
+// and commit phases.
+func (s *Store) flushChunk(idle bool) int64 {
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 
@@ -850,16 +1266,31 @@ func (s *Store) flushChunk() int64 {
 		s.queue = s.queue[1:]
 		s.staleQueued--
 	}
-	stored := s.hot.StoredBytes()
-	if stored > s.opts.HotBytes {
+	total := s.hot.StoredBytes() + s.warmBytes
+	// Memory pressure is relieved cheapest-first: warmed copies are
+	// dropped (no I/O) down to the budget itself — eviction needs no
+	// hysteresis, so warmth above the low-water mark is never wasted.
+	// Only if the hot rows alone still exceed the budget does the drain
+	// latch engage and flushing pay cold-tier I/O.
+	if total > s.opts.HotBytes && s.warmBytes > 0 {
+		total -= s.evictWarmLocked(total - s.opts.HotBytes)
+	}
+	if total > s.opts.HotBytes {
 		s.draining = true
 	}
 	lowWater := s.opts.HotBytes / 2
-	excess := stored - lowWater
+	excess := total - lowWater
 	if excess <= 0 {
 		s.draining = false
 	}
-	for s.draining && excess > 0 && moved < flushChunkBytes && len(s.queue) > 0 {
+	drain := s.draining
+	if idle {
+		// Full drain: every hot row becomes durable in the cold tier (the
+		// WAL can then retire); the commit below keeps it memory-resident.
+		excess = s.hot.StoredBytes()
+		drain = excess > 0
+	}
+	for drain && excess > 0 && moved < flushChunkBytes && len(s.queue) > 0 {
 		item := s.queue[0]
 		s.queue = s.queue[1:]
 		part := s.hotMeta[partKey(item.table, item.pkey)]
@@ -934,6 +1365,14 @@ func (s *Store) flushChunk() int64 {
 		s.dropShadow(key, row.ckey)
 		s.flushedRows.Add(1)
 		s.flushedBytes.Add(int64(len(row.val)))
+		if idle {
+			// Idle drain keeps the data memory-served: the row is durable
+			// cold now, its in-memory copy just changed tier.
+			if s.warmInsertLocked(row.table, row.pkey, row.ckey, row.val) {
+				s.warmedRows.Add(1)
+				s.warmedBytes.Add(int64(len(row.ckey) + len(row.val)))
+			}
+		}
 	}
 	// The cold fsync above covered every tombstone applied before it.
 	for _, seg := range s.tombs {
@@ -989,34 +1428,59 @@ func (s *Store) retireWALLocked() {
 	s.retireWAL()
 }
 
-// maybeCompactCold rewrites the cold tier when it is more than half
-// dead bytes. The compaction holds the flush gate (deletes and flushes
-// wait) but hot-tier reads are untouched.
-func (s *Store) maybeCompactCold() {
+// maybeCompactCold runs the cold tier's compactions, leveled by cost.
+// The cheap newest-level merge (coalescing the small segments that
+// rotation and trickle flushes leave at the tail) runs in any mode —
+// its work is proportional to the new data. The full-log rewrite is
+// gated on an idle window: while foreground traffic is active it runs
+// only as an emergency (the log is at least three quarters garbage), so
+// write-heavy scenarios stop paying whole-log compaction on the read
+// path. Both hold the flush gate (deletes and flushes wait); hot-tier
+// reads are untouched.
+func (s *Store) maybeCompactCold(idle bool) {
 	s.mu.Lock()
 	if s.closed || s.werr != nil {
 		s.mu.Unlock()
 		return
 	}
 	s.mu.Unlock()
+	record := func(err error) {
+		if err != nil {
+			s.mu.Lock()
+			s.werr = errors.Join(s.werr, err)
+			s.mu.Unlock()
+			return
+		}
+		s.compactions.Add(1)
+		if idle {
+			s.idleCompactions.Add(1)
+		}
+	}
+	s.ioMu.Lock()
+	n, err := s.cold.MergeSmall(0, 4)
+	s.ioMu.Unlock()
+	if err != nil || n > 0 {
+		record(err)
+		if err != nil {
+			return
+		}
+	}
 	dead := s.cold.DeadBytes()
 	floor := s.opts.Cold.CompactMinDead
 	if floor <= 0 {
 		floor = disklog.DefaultCompactMinDead
 	}
-	if dead < floor || dead <= s.cold.StoredBytes() {
+	live := s.cold.StoredBytes()
+	if dead < floor || dead <= live {
 		return
+	}
+	if !idle && dead <= 3*live {
+		return // defer the full rewrite to an idle window
 	}
 	s.ioMu.Lock()
-	err := s.cold.Compact()
+	err = s.cold.Compact()
 	s.ioMu.Unlock()
-	if err != nil {
-		s.mu.Lock()
-		s.werr = errors.Join(s.werr, err)
-		s.mu.Unlock()
-		return
-	}
-	s.compactions.Add(1)
+	record(err)
 }
 
 // String describes the engine state (fmt.Stringer, for inspection).
@@ -1030,4 +1494,5 @@ func (s *Store) String() string {
 var _ backend.Backend = (*Store)(nil)
 var _ backend.BatchReader = (*Store)(nil)
 var _ backend.TierCounting = (*Store)(nil)
+var _ backend.TierReader = (*Store)(nil)
 var _ backend.Backuper = (*Store)(nil)

@@ -151,7 +151,7 @@ func TestRetireWALSyncsSupersedingRecords(t *testing.T) {
 	if segs < 2 || unsynced == 0 {
 		t.Fatalf("precondition not reached: %d segments, %d unsynced bytes", segs, unsynced)
 	}
-	s.flushChunk() // empty batch: runs WAL retirement
+	s.flushChunk(false) // empty batch: runs WAL retirement
 	s.mu.Lock()
 	segs, unsynced = len(s.wal.segs), s.wal.unsynced
 	s.mu.Unlock()
@@ -481,4 +481,361 @@ func TestSecondOpenOfLiveDirRejected(t *testing.T) {
 	// The lock dies with the handle: reopening after Close works.
 	r := open(t, dir, fastOptions())
 	r.Close()
+}
+
+// waitWarm blocks until the store's open-time warm-up finished.
+func waitWarm(t *testing.T, s *Store) {
+	t.Helper()
+	waitFor(t, "warm-up to finish", func() bool { return s.TierCounters().Warming == 0 })
+}
+
+// coldSeed builds a store whose rows all live in cold segments (tiny
+// hot budget keeps the drain latch engaged; small WAL segments retire
+// behind the flusher), closes it, and returns the directory and row
+// count. The reopened store starts with an empty hot tier — the
+// restart scenario warm-up exists for.
+func coldSeed(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	opts := Options{
+		HotBytes:        1,
+		CompactRate:     -1,
+		FlushInterval:   time.Millisecond,
+		WALSegmentBytes: 1 << 10,
+		DisableWarm:     true,
+	}
+	s := open(t, dir, opts)
+	for i := 0; i < n; i++ {
+		s.Put("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i), val(i))
+	}
+	waitFor(t, "full drain to cold", func() bool { return s.TierCounters().HotBytes == 0 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestWarmUpRepopulatesNewestRows(t *testing.T) {
+	const n = 300
+	dir := coldSeed(t, n)
+	s := open(t, dir, Options{HotBytes: 1 << 30, FlushInterval: time.Millisecond})
+	defer s.Close()
+	waitWarm(t, s)
+	tc := s.TierCounters()
+	// The last few rows may come back via WAL replay (the active WAL
+	// segment never retires) and are hot-owned, not warmed; everything
+	// else must be warmed under an unbounded budget.
+	if tc.WarmedRows < n-20 {
+		t.Fatalf("warmed %d rows, want nearly all %d (budget is unbounded)", tc.WarmedRows, n)
+	}
+	if tc.WarmedBytes == 0 || tc.HotBytes == 0 {
+		t.Fatalf("warm-up accounted nothing: %+v", tc)
+	}
+	// The recent-timespan probe: every row is answered from memory, zero
+	// cold-tier reads.
+	base := tc.ColdReads
+	for i := 0; i < n; i++ {
+		v, ok := s.Get("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d wrong after warm-up", i)
+		}
+	}
+	if got := s.TierCounters().ColdReads - base; got != 0 {
+		t.Fatalf("warmed store paid %d cold reads on the probe, want 0", got)
+	}
+}
+
+func TestWarmUpHonorsBudgetNewestFirst(t *testing.T) {
+	const n = 400
+	dir := coldSeed(t, n)
+	// Budget for roughly a quarter of the data: only the newest rows
+	// come back.
+	s := open(t, dir, Options{HotBytes: 8 << 10, CompactRate: -1, FlushInterval: time.Millisecond})
+	defer s.Close()
+	waitWarm(t, s)
+	tc := s.TierCounters()
+	if tc.WarmedRows == 0 || tc.WarmedRows >= n {
+		t.Fatalf("warmed %d rows, want a strict budget-bounded subset of %d", tc.WarmedRows, n)
+	}
+	if tc.WarmedBytes > 8<<10 {
+		t.Fatalf("warm-up overshot the budget: %d bytes", tc.WarmedBytes)
+	}
+	// The newest row is warm, the oldest is not.
+	base := s.TierCounters().ColdReads
+	if _, ok := s.Get("deltas", fmt.Sprintf("p%02d", (n-1)%4), fmt.Sprintf("c%04d", n-1)); !ok {
+		t.Fatal("newest row missing")
+	}
+	if got := s.TierCounters().ColdReads - base; got != 0 {
+		t.Fatalf("newest row not served warm (%d cold reads)", got)
+	}
+	if _, ok := s.Get("deltas", "p00", "c0000"); !ok {
+		t.Fatal("oldest row missing")
+	}
+	if got := s.TierCounters().ColdReads - base; got != 1 {
+		t.Fatalf("oldest row should be a cold read, counters moved by %d", got)
+	}
+}
+
+func TestWarmUpDisabled(t *testing.T) {
+	dir := coldSeed(t, 100)
+	s := open(t, dir, Options{HotBytes: 1 << 30, DisableWarm: true})
+	defer s.Close()
+	time.Sleep(20 * time.Millisecond)
+	tc := s.TierCounters()
+	if tc.WarmedRows != 0 || tc.Warming != 0 {
+		t.Fatalf("DisableWarm still warmed: %+v", tc)
+	}
+	if _, ok := s.Get("deltas", "p00", "c0000"); !ok {
+		t.Fatal("row missing")
+	}
+	if s.TierCounters().ColdReads == 0 {
+		t.Fatal("cold-start read should hit the cold tier")
+	}
+}
+
+func TestKillMidWarmUpLeavesConsistentStore(t *testing.T) {
+	const n = 400
+	dir := coldSeed(t, n)
+	s := open(t, dir, Options{HotBytes: 1 << 30, FlushInterval: time.Millisecond})
+	s.Kill() // no waiting: the kill races the background warm-up
+
+	r := open(t, dir, Options{HotBytes: 1 << 30, FlushInterval: time.Millisecond})
+	defer r.Close()
+	waitWarm(t, r)
+	for i := 0; i < n; i++ {
+		v, ok := r.Get("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d damaged by kill mid-warm-up", i)
+		}
+	}
+}
+
+func TestWarmedCopyInvalidatedByWriteAndDelete(t *testing.T) {
+	dir := coldSeed(t, 50)
+	s := open(t, dir, Options{HotBytes: 1 << 30, FlushInterval: time.Hour})
+	defer s.Close()
+	waitWarm(t, s)
+	// Overwrite a warmed row: the hot tier takes over; the stale warmed
+	// copy must not survive to shadow the cold tier later.
+	s.Put("deltas", "p01", "c0001", []byte("fresh"))
+	if v, _ := s.Get("deltas", "p01", "c0001"); !bytes.Equal(v, []byte("fresh")) {
+		t.Fatalf("overwrite not visible: %q", v)
+	}
+	gaugeBefore := s.TierCounters().HotBytes
+	if !s.Delete("deltas", "p02", "c0002") {
+		t.Fatal("delete of warmed row reported absent")
+	}
+	if _, ok := s.Get("deltas", "p02", "c0002"); ok {
+		t.Fatal("deleted warmed row still readable")
+	}
+	// Deleting a warmed-only row takes no hot-tier branch; the memory
+	// gauge must still see the freed bytes (the flusher is parked, so
+	// nothing else refreshes it).
+	if got := s.TierCounters().HotBytes; got >= gaugeBefore {
+		t.Fatalf("HotBytes gauge stuck at %d after deleting a warmed row (was %d)", got, gaugeBefore)
+	}
+	s.DropPartition("deltas", "p03")
+	if rows := s.ScanPrefix("deltas", "p03", ""); len(rows) != 0 {
+		t.Fatalf("dropped partition still has %d rows (warmed leftovers)", len(rows))
+	}
+}
+
+func TestIdleSchedulerDrainsAfterQuietWindow(t *testing.T) {
+	// Busy phase: sustained traffic below HotBytes must cause no flush
+	// activity at all. Quiet phase: after the idle window the hot tier
+	// drains fully (WAL retires), while every row stays memory-served.
+	opts := Options{
+		HotBytes:         256 << 10,
+		CompactRate:      -1,
+		FlushInterval:    time.Millisecond,
+		WALSegmentBytes:  1 << 10,
+		IdleCompactAfter: 50 * time.Millisecond,
+	}
+	s := open(t, t.TempDir(), opts)
+	defer s.Close()
+	const n = 500 // ~34 KB, far under budget
+	deadline := time.Now().Add(150 * time.Millisecond)
+	i := 0
+	for time.Now().Before(deadline) {
+		s.Put("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i%n), val(i%n))
+		i++
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond) // sustained, not bursty
+		}
+	}
+	if tc := s.TierCounters(); tc.FlushedRows != 0 {
+		t.Fatalf("flusher migrated %d rows during sustained under-budget traffic", tc.FlushedRows)
+	}
+	// Quiet: the idle window elapses, the drain runs at full speed.
+	waitFor(t, "idle full drain", func() bool {
+		tc := s.TierCounters()
+		return tc.FlushedRows > 0 && tc.IdleCompactions > 0
+	})
+	waitFor(t, "WAL retirement after idle drain", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.wal.segs) == 1 && s.hot.StoredBytes() == 0
+	})
+	// Drained rows stay memory-resident: the probe pays no cold reads.
+	base := s.TierCounters().ColdReads
+	for j := 0; j < n; j++ {
+		if _, ok := s.Get("deltas", fmt.Sprintf("p%02d", j%4), fmt.Sprintf("c%04d", j)); !ok {
+			t.Fatalf("row %d lost in idle drain", j)
+		}
+	}
+	if got := s.TierCounters().ColdReads - base; got != 0 {
+		t.Fatalf("idle drain demoted %d rows to cold reads, want 0 (re-homed warm)", got)
+	}
+}
+
+func TestBackupDoesNotBlockReads(t *testing.T) {
+	s := open(t, t.TempDir(), fastOptions())
+	defer s.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		s.Put("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i), val(i))
+	}
+	waitFor(t, "some flushing", func() bool { return s.TierCounters().FlushedRows > 0 })
+
+	// Park the backup after its snapshot, before the copy — the window
+	// in which the old implementation held the store lock and every Get
+	// on the node stalled.
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	backupCopyHook = func() {
+		close(parked)
+		<-release
+	}
+	defer func() { backupCopyHook = nil }()
+
+	backupDir := filepath.Join(t.TempDir(), "backup")
+	errc := make(chan error, 1)
+	go func() { errc <- s.Backup(backupDir) }()
+	<-parked
+
+	// Reads (hot and cold) and puts complete while the backup is parked
+	// mid-flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if _, ok := s.Get("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i)); !ok {
+				t.Errorf("row %d unreadable during backup", i)
+				return
+			}
+		}
+		s.Put("deltas", "p00", "during-backup", val(1))
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reads blocked behind an in-flight backup")
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// The backup is a consistent pre-snapshot state and opens cleanly.
+	b := open(t, backupDir, fastOptions())
+	defer b.Close()
+	for i := 0; i < n; i++ {
+		v, ok := b.Get("deltas", fmt.Sprintf("p%02d", i%4), fmt.Sprintf("c%04d", i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("row %d missing from backup", i)
+		}
+	}
+	if _, ok := b.Get("deltas", "p00", "during-backup"); ok {
+		t.Fatal("write issued during the backup leaked into the copy")
+	}
+}
+
+func TestBackupIntoDirtyTargetLeavesItUnchanged(t *testing.T) {
+	s := open(t, t.TempDir(), fastOptions())
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put("deltas", "p0", fmt.Sprintf("c%03d", i), val(i))
+	}
+	waitFor(t, "some flushing", func() bool { return s.TierCounters().FlushedRows > 0 })
+
+	snapshot := func(root string) map[string]int64 {
+		out := map[string]int64{}
+		filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err == nil && !info.IsDir() {
+				out[path] = info.Size()
+			}
+			return nil
+		})
+		return out
+	}
+	check := func(t *testing.T, target string) {
+		t.Helper()
+		before := snapshot(target)
+		if err := s.Backup(target); err == nil {
+			t.Fatal("backup into a dirty target must fail")
+		}
+		after := snapshot(target)
+		if len(before) != len(after) {
+			t.Fatalf("failed backup changed the target: %d files -> %d", len(before), len(after))
+		}
+		for p, sz := range before {
+			if after[p] != sz {
+				t.Fatalf("failed backup modified %s", p)
+			}
+		}
+	}
+
+	t.Run("dirty wal", func(t *testing.T) {
+		target := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(target, "wal"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(target, "wal", walSegmentName(1)), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, target)
+	})
+	t.Run("dirty cold", func(t *testing.T) {
+		target := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(target, "cold"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(target, "cold", "seg-00000001.log"), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, target)
+	})
+}
+
+func TestWarmEvictsBeforeHotFlushes(t *testing.T) {
+	// Memory pressure on a warmed store is relieved by dropping warmed
+	// copies (free), not by flushing hot rows (cold-tier I/O): as long
+	// as the hot rows alone fit the budget, FlushedRows stays zero and
+	// the newest warmth survives.
+	const n = 400
+	dir := coldSeed(t, n)
+	s := open(t, dir, Options{HotBytes: 16 << 10, CompactRate: -1, FlushInterval: time.Millisecond})
+	defer s.Close()
+	waitWarm(t, s)
+	warmedBytes := s.TierCounters().WarmedBytes
+	if warmedBytes == 0 {
+		t.Fatal("precondition: nothing warmed")
+	}
+	for i := 0; i < 100; i++ { // ~7 KB of new hot data: under budget on its own
+		s.Put("deltas", "new", fmt.Sprintf("c%04d", i), val(i))
+	}
+	waitFor(t, "memory to settle back to the budget", func() bool {
+		return s.TierCounters().HotBytes <= 16<<10
+	})
+	if tc := s.TierCounters(); tc.FlushedRows != 0 {
+		t.Fatalf("hot rows flushed (%d) while warm eviction could cover the pressure", tc.FlushedRows)
+	}
+	// The newest warmed row survived the partial eviction.
+	base := s.TierCounters().ColdReads
+	if _, ok := s.Get("deltas", fmt.Sprintf("p%02d", (n-1)%4), fmt.Sprintf("c%04d", n-1)); !ok {
+		t.Fatal("newest row missing")
+	}
+	if got := s.TierCounters().ColdReads - base; got != 0 {
+		t.Fatalf("newest warmed row was evicted ahead of older ones (%d cold reads)", got)
+	}
 }

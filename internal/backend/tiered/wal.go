@@ -217,6 +217,25 @@ func (w *wal) fsync() error {
 // activeID returns the id of the segment currently receiving appends.
 func (w *wal) activeID() int { return w.segs[len(w.segs)-1].id }
 
+// truncateActive empties the active segment. The caller has proven
+// every record in it superseded or durably cold (a clean close of a
+// fully-drained store).
+func (w *wal) truncateActive() error {
+	active := w.segs[len(w.segs)-1]
+	if active.size == 0 {
+		return nil
+	}
+	if err := active.f.Truncate(0); err != nil {
+		return fmt.Errorf("tiered: truncate drained wal: %w", err)
+	}
+	if err := active.f.Sync(); err != nil {
+		return fmt.Errorf("tiered: %w", err)
+	}
+	active.size = 0
+	w.unsynced = 0
+	return nil
+}
+
 // dropThrough closes and deletes every segment with id <= maxID. The
 // caller has proven all their records' effects durable in the cold tier
 // (or superseded). The active segment is never dropped.

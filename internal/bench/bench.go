@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
@@ -211,30 +212,67 @@ func ResetCache() {
 	cache.data = make(map[string]*cacheEntry)
 }
 
+// cachedEvents is cached() with an optional on-disk layer: when
+// HGS_DATASET_DIR is set, synthesized datasets are gob-encoded there
+// under the cache key (which embeds every size parameter), so repeated
+// runs — and CI jobs restoring the directory from a build cache — pay
+// the multi-second generation cost once. A corrupt or unreadable file
+// falls back to regeneration and is rewritten.
+func cachedEvents(key string, build func() []graph.Event) []graph.Event {
+	return cached(key, func() []graph.Event {
+		dir := os.Getenv("HGS_DATASET_DIR")
+		if dir == "" {
+			return build()
+		}
+		path := filepath.Join(dir, strings.NewReplacer("/", "_").Replace(key)+".gob")
+		if f, err := os.Open(path); err == nil {
+			var events []graph.Event
+			err := gob.NewDecoder(f).Decode(&events)
+			f.Close()
+			if err == nil && len(events) > 0 {
+				return events
+			}
+		}
+		events := build()
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			tmp := path + ".tmp"
+			if f, err := os.Create(tmp); err == nil {
+				err := gob.NewEncoder(f).Encode(events)
+				if cerr := f.Close(); err == nil && cerr == nil {
+					os.Rename(tmp, path)
+				} else {
+					os.Remove(tmp)
+				}
+			}
+		}
+		return events
+	})
+}
+
 // Dataset1 is the Wikipedia-like growth history.
 func Dataset1(sc Scale) []graph.Event {
-	return cached(fmt.Sprintf("ds1/%d/%d", sc.WikiNodes, sc.WikiEdgesPerNode), func() []graph.Event {
+	return cachedEvents(fmt.Sprintf("ds1/%d/%d", sc.WikiNodes, sc.WikiEdgesPerNode), func() []graph.Event {
 		return workload.Wikipedia(workload.WikiConfig{Nodes: sc.WikiNodes, EdgesPerNode: sc.WikiEdgesPerNode, Seed: 1})
 	})
 }
 
 // Dataset2 augments Dataset 1 with churn (paper: +333M events).
 func Dataset2(sc Scale) []graph.Event {
-	return cached(fmt.Sprintf("ds2/%d", sc.Augment2), func() []graph.Event {
+	return cachedEvents(fmt.Sprintf("ds2/%d/%d/%d", sc.WikiNodes, sc.WikiEdgesPerNode, sc.Augment2), func() []graph.Event {
 		return workload.Augment(Dataset1(sc), workload.AugmentConfig{Extra: sc.Augment2, DeleteFraction: 0.25, Seed: 2})
 	})
 }
 
 // Dataset3 augments Dataset 1 with more churn (paper: +733M events).
 func Dataset3(sc Scale) []graph.Event {
-	return cached(fmt.Sprintf("ds3/%d", sc.Augment3), func() []graph.Event {
+	return cachedEvents(fmt.Sprintf("ds3/%d/%d/%d", sc.WikiNodes, sc.WikiEdgesPerNode, sc.Augment3), func() []graph.Event {
 		return workload.Augment(Dataset1(sc), workload.AugmentConfig{Extra: sc.Augment3, DeleteFraction: 0.25, Seed: 3})
 	})
 }
 
 // Dataset4 is the Friendster-like community graph.
 func Dataset4(sc Scale) []graph.Event {
-	return cached(fmt.Sprintf("ds4/%d/%d", sc.FriendsterCommunities, sc.FriendsterSize), func() []graph.Event {
+	return cachedEvents(fmt.Sprintf("ds4/%d/%d", sc.FriendsterCommunities, sc.FriendsterSize), func() []graph.Event {
 		return workload.Friendster(workload.FriendsterConfig{
 			Communities:   sc.FriendsterCommunities,
 			CommunitySize: sc.FriendsterSize,
@@ -247,7 +285,7 @@ func Dataset4(sc Scale) []graph.Event {
 
 // DatasetDBLP is the bipartite author/paper history for Figure 17.
 func DatasetDBLP(sc Scale) []graph.Event {
-	return cached(fmt.Sprintf("dblp/%d/%d/%d", sc.DBLPAuthors, sc.DBLPPapers, sc.DBLPChurn), func() []graph.Event {
+	return cachedEvents(fmt.Sprintf("dblp/%d/%d/%d", sc.DBLPAuthors, sc.DBLPPapers, sc.DBLPChurn), func() []graph.Event {
 		return workload.DBLP(workload.DBLPConfig{
 			Authors:         sc.DBLPAuthors,
 			Papers:          sc.DBLPPapers,

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -183,11 +184,46 @@ func TestCacheBenchSpeedup(t *testing.T) {
 	}
 }
 
+// TestReopenSmoke is the acceptance bar of the warm-up subsystem: after
+// a restart, the recent-timespan probe workload must be served almost
+// entirely from memory when warm-up is on (hit ratio >= 0.9) and must
+// simulate strictly less wait than the cold reopen.
+func TestReopenSmoke(t *testing.T) {
+	skipIfShort(t)
+	coldM, warmM := ReopenPasses(tinyScale())
+	if coldM.TierColdReads == 0 {
+		t.Fatal("cold reopen issued no disk-tier reads; the build did not go cold")
+	}
+	if warmM.WarmedRows == 0 {
+		t.Fatal("warm reopen recorded no warmed rows")
+	}
+	if ratio := hitRatio(warmM); ratio < 0.9 {
+		t.Fatalf("warm reopen hot-hit ratio = %.3f, want >= 0.9 (hot=%d cold=%d)",
+			ratio, warmM.TierHotReads, warmM.TierColdReads)
+	}
+	if warmM.SimWait >= coldM.SimWait {
+		t.Fatalf("warm reopen sim wait %v not below cold reopen %v", warmM.SimWait, coldM.SimWait)
+	}
+	if hitRatio(warmM) <= hitRatio(coldM) {
+		t.Fatalf("warm-up did not improve the hit ratio: %.3f vs %.3f", hitRatio(warmM), hitRatio(coldM))
+	}
+	r := ReopenBench(tinyScale())
+	if len(r.TableRows) != 2 {
+		t.Fatalf("reopen table rows = %d, want 2 passes", len(r.TableRows))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("warm-up")) {
+		t.Fatal("reopen result missing warm-up note")
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
-		"fig16", "fig17", "cache", "ablation-arity", "ablation-vc",
+		"fig16", "fig17", "cache", "tiering", "reopen",
+		"ablation-arity", "ablation-vc",
 	}
 	for _, id := range want {
 		if _, ok := Runners[id]; !ok {
@@ -233,5 +269,41 @@ func TestTieringSmoke(t *testing.T) {
 	}
 	if pts[len(pts)-1].Y != 1.0 {
 		t.Fatalf("unbounded hot tier hit ratio = %v, want 1.0", pts[len(pts)-1].Y)
+	}
+}
+
+// TestDatasetDiskCache covers the HGS_DATASET_DIR layer the scheduled
+// perf workflow relies on: the first build writes a gob file, a fresh
+// process (simulated by dropping the in-memory cache) loads the same
+// events from disk instead of regenerating.
+func TestDatasetDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("HGS_DATASET_DIR", dir)
+	ResetCache()
+	defer ResetCache()
+	sc := Scale{WikiNodes: 64, WikiEdgesPerNode: 2}
+	first := Dataset1(sc)
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("dataset cache dir holds %d files (err %v), want 1", len(entries), err)
+	}
+	ResetCache() // a new job: in-memory cache gone, disk cache warm
+	second := Dataset1(sc)
+	if len(first) != len(second) {
+		t.Fatalf("disk-cached dataset has %d events, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("disk-cached event %d differs: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+	// A corrupt cache file regenerates instead of failing.
+	ResetCache()
+	if err := os.WriteFile(filepath.Join(dir, entries[0].Name()), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third := Dataset1(sc)
+	if len(third) != len(first) {
+		t.Fatalf("corrupt cache file not regenerated: %d events", len(third))
 	}
 }

@@ -661,7 +661,7 @@ var Order = []string{
 	"fig14a", "fig14b", "fig14c",
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
-	"cache", "tiering",
+	"cache", "tiering", "reopen",
 	"ablation-arity", "ablation-vc",
 }
 
@@ -692,6 +692,7 @@ var Runners = map[string]func(Scale) *Result{
 	"fig17":          Fig17,
 	"cache":          CacheBench,
 	"tiering":        TieringBench,
+	"reopen":         ReopenBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

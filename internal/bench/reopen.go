@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hgs/internal/backend/tiered"
+	"hgs/internal/core"
+	"hgs/internal/graph"
+	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
+)
+
+// ReopenBench measures what a process restart costs the tiered backend
+// with and without hot-tier warm-up. The paper's premise is that
+// queries over recent timespans dominate; pre-warm-up, a restart
+// emptied the hot tier, so exactly those queries paid the cold-read
+// surcharge until the working set trickled back. The experiment builds
+// a tiered index, flushes it cold, closes the store, then reopens it
+// twice — warm-up off (the old cold start) and warm-up on — and runs
+// the same recent-timespan probe workload after each reopen, reporting
+// the per-tier read split and the simulated service time.
+func ReopenBench(sc Scale) *Result {
+	start := time.Now()
+	res := &Result{
+		ID:    "reopen",
+		Title: "Tiered backend restart: recent-timespan probes after reopen, warm-up off vs on (m=4)",
+	}
+	coldM, warmM := ReopenPasses(sc)
+	res.TableHeader = []string{"reopen", "hot reads", "cold reads", "hit ratio", "warmed rows", "warmed KB", "sim wait"}
+	row := func(name string, m kvstore.Metrics) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%d", m.TierHotReads),
+			fmt.Sprintf("%d", m.TierColdReads),
+			fmt.Sprintf("%.3f", hitRatio(m)),
+			fmt.Sprintf("%d", m.WarmedRows),
+			fmt.Sprintf("%d", m.WarmedBytes/1024),
+			m.SimWait.Round(time.Millisecond).String(),
+		}
+	}
+	res.TableRows = append(res.TableRows, row("cold (warm-up off)", coldM), row("warm (warm-up on)", warmM))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("warm-up cuts the post-restart simulated wait from %s to %s (%.1fx)",
+			coldM.SimWait.Round(time.Millisecond), warmM.SimWait.Round(time.Millisecond),
+			float64(coldM.SimWait)/float64(max(int64(warmM.SimWait), 1))),
+		"warm-up repopulates memory from the newest cold rows before the probes run (TierWarming==0); the cold pass serves the same probes from disklog segments")
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// hitRatio is the fraction of tier-counted row lookups served from
+// memory.
+func hitRatio(m kvstore.Metrics) float64 {
+	total := m.TierHotReads + m.TierColdReads
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TierHotReads) / float64(total)
+}
+
+// ReopenPasses is the testable core of the reopen experiment: it
+// returns the probe-workload metrics of the cold reopen (warm-up off)
+// and the warm reopen (warm-up on). The index is built with a tiny hot
+// budget so the build's flushing leaves essentially everything in cold
+// segments with the WAL retired — the on-disk state a long-running
+// store restarts from.
+func ReopenPasses(sc Scale) (coldM, warmM kvstore.Metrics) {
+	events := Dataset1(sc)
+	dir, err := os.MkdirTemp("", "hgs-reopen-")
+	if err != nil {
+		panic(fmt.Sprintf("bench: reopen tempdir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+
+	// Build phase: a 1-byte hot budget keeps the drain latch engaged, so
+	// by the time the gauge reads zero every row is in cold segments and
+	// the WAL is retired — the on-disk state of a store that has been
+	// running (and flushing) for a long time.
+	// Small WAL segments matter: only fully-superseded non-active
+	// segments retire, and whatever the WAL still holds replays straight
+	// back into the hot tier on reopen — with the default 16 MiB
+	// segments a small index would never restart cold at all.
+	buildOpts := tiered.Options{
+		HotBytes:        1,
+		CompactRate:     -1,
+		FlushInterval:   time.Millisecond,
+		WALSegmentBytes: 4 << 10,
+		DisableWarm:     true,
+	}
+	cluster, err := kvstore.Open(kvstore.Config{Machines: 4, Backend: tiered.Factory(dir, buildOpts)})
+	if err != nil {
+		panic(fmt.Sprintf("bench: reopen cluster: %v", err))
+	}
+	cfg := benchTGIConfig(len(events))
+	if _, err := core.Build(cluster, cfg, events); err != nil {
+		panic(fmt.Sprintf("bench: reopen build: %v", err))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for cluster.Metrics().TierHotBytes > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if cluster.Metrics().TierHotBytes > 0 {
+		panic("bench: reopen build never drained cold")
+	}
+	if err := cluster.Close(); err != nil {
+		panic(fmt.Sprintf("bench: reopen close: %v", err))
+	}
+
+	probes := probeTimes(events, 6)
+	recent := probes[len(probes)-3:] // the hot assumption: query the newest times
+	coldM = reopenPass(dir, cfg, recent, true)
+	warmM = reopenPass(dir, cfg, recent, false)
+	return coldM, warmM
+}
+
+// reopenPass reopens the tiered store at dir (a generous hot budget,
+// warm-up per disableWarm), waits for any warm-up to finish, runs the
+// recent-timespan probe workload under the latency model, and returns
+// the workload's metrics delta.
+func reopenPass(dir string, cfg core.Config, recent []temporal.Time, disableWarm bool) kvstore.Metrics {
+	opts := tiered.Options{
+		HotBytes:         64 << 20,
+		CompactRate:      32 << 20,
+		FlushInterval:    time.Millisecond,
+		DisableWarm:      disableWarm,
+		IdleCompactAfter: -1, // measure warm-up alone, not idle re-warming
+	}
+	cluster, err := kvstore.Open(kvstore.Config{Machines: 4, Backend: tiered.Factory(dir, opts)})
+	if err != nil {
+		panic(fmt.Sprintf("bench: reopen pass: %v", err))
+	}
+	defer cluster.Close()
+	tgi, attached, err := core.Attach(cluster, cfg)
+	if err != nil || !attached {
+		panic(fmt.Sprintf("bench: reopen attach: %v (attached=%v)", err, attached))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for cluster.Metrics().TierWarming > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if cluster.Metrics().TierWarming > 0 {
+		panic("bench: reopen warm-up never finished")
+	}
+
+	// The probe nodes must be picked identically in both passes; derive
+	// them from the newest snapshot before metrics are reset.
+	full, err := tgi.GetSnapshot(recent[len(recent)-1], nil)
+	if err != nil {
+		panic(fmt.Sprintf("bench: reopen probe: %v", err))
+	}
+	ids := full.NodeIDs()
+	nodes := make([]graph.NodeID, 0, 24)
+	for i := 0; i < 24 && i < len(ids); i++ {
+		nodes = append(nodes, ids[len(ids)*i/24])
+	}
+
+	// ResetMetrics baselines the cumulative tier counters, so snapshot
+	// the warm-up's work first; the returned metrics carry this reopen's
+	// warmed totals next to the probe-only read split.
+	warmedRows, warmedBytes := cluster.Metrics().WarmedRows, cluster.Metrics().WarmedBytes
+	cluster.ResetMetrics()
+	cluster.SetLatency(kvstore.DefaultLatency())
+	for _, tt := range recent {
+		if _, err := tgi.GetSnapshot(tt, &core.FetchOptions{Clients: 4}); err != nil {
+			panic(fmt.Sprintf("bench: reopen snapshot: %v", err))
+		}
+	}
+	for _, id := range nodes {
+		if _, err := tgi.GetNodeAt(id, recent[len(recent)-1]); err != nil {
+			panic(fmt.Sprintf("bench: reopen node fetch: %v", err))
+		}
+	}
+	cluster.SetLatency(kvstore.LatencyModel{})
+	m := cluster.Metrics()
+	m.WarmedRows, m.WarmedBytes = warmedRows, warmedBytes
+	return m
+}

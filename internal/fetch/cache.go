@@ -39,7 +39,7 @@ type Cache struct {
 	ll      *list.List // front = most recently used
 	entries map[GroupKey]*list.Element
 
-	hits, misses, evictions int64
+	hits, misses, evictions, oversized int64
 }
 
 // cacheEntry is one (tsid, sid, did) group.
@@ -114,6 +114,10 @@ func (c *Cache) Part(k PartKey) (d *delta.Delta, known bool) {
 
 // AddGroup installs the complete decoded micro-delta set of a group.
 // sizes[i] is the encoded size of parts[i] (the byte-budget charge).
+// A group bigger than the whole budget is rejected at admission — one
+// giant snapshot scan must not wipe every hot entry only to be evicted
+// itself on the next add (size-aware admission; counted in
+// CacheStats.Oversized).
 func (c *Cache) AddGroup(k GroupKey, parts []Part, sizes []int64) {
 	if c == nil {
 		return
@@ -127,6 +131,10 @@ func (c *Cache) AddGroup(k GroupKey, parts []Part, sizes []int64) {
 	sort.Slice(e.sorted, func(i, j int) bool { return e.sorted[i].PID < e.sorted[j].PID })
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if e.total > c.max {
+		c.oversized++
+		return
+	}
 	if el, ok := c.entries[k]; ok {
 		c.used -= el.Value.(*cacheEntry).total
 		c.ll.Remove(el)
@@ -137,15 +145,22 @@ func (c *Cache) AddGroup(k GroupKey, parts []Part, sizes []int64) {
 }
 
 // AddPart installs one decoded micro-delta into its group without
-// marking the group complete.
+// marking the group complete. A part that would push its group past the
+// whole budget is rejected like an oversized AddGroup (the group stays
+// incomplete).
 func (c *Cache) AddPart(k PartKey, d *delta.Delta, size int64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	b := size + partOverhead
 	el, ok := c.entries[k.group()]
 	if !ok {
+		if entryOverhead+b > c.max {
+			c.oversized++
+			return
+		}
 		e := &cacheEntry{key: k.group(), parts: make(map[int]*delta.Delta, 1), total: entryOverhead}
 		el = c.ll.PushFront(e)
 		c.entries[k.group()] = el
@@ -155,7 +170,10 @@ func (c *Cache) AddPart(k PartKey, d *delta.Delta, size int64) {
 	if _, exists := e.parts[k.PID]; exists {
 		return
 	}
-	b := size + partOverhead
+	if e.total+b > c.max {
+		c.oversized++
+		return
+	}
 	e.parts[k.PID] = d
 	e.total += b
 	c.used += b
@@ -188,19 +206,22 @@ func (c *Cache) Purge() {
 	c.used = 0
 }
 
-// CacheStats is a snapshot of cache counters.
+// CacheStats is a snapshot of cache counters. Oversized counts entries
+// (or parts) rejected at admission because they alone would exceed the
+// byte budget.
 type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	Oversized int64
 	Entries   int
 	Bytes     int64
 	MaxBytes  int64
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache hits=%d misses=%d evictions=%d entries=%d bytes=%d/%d",
-		s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes, s.MaxBytes)
+	return fmt.Sprintf("cache hits=%d misses=%d evictions=%d oversized=%d entries=%d bytes=%d/%d",
+		s.Hits, s.Misses, s.Evictions, s.Oversized, s.Entries, s.Bytes, s.MaxBytes)
 }
 
 // Stats returns a snapshot of the cache counters (zero for a nil cache).
@@ -214,6 +235,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Oversized: c.oversized,
 		Entries:   len(c.entries),
 		Bytes:     c.used,
 		MaxBytes:  c.max,

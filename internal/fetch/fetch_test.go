@@ -345,3 +345,51 @@ func TestExecutorCachesAuxParts(t *testing.T) {
 		t.Fatalf("aux part fetched %d times; the cache should serve the rerun", st.gets)
 	}
 }
+
+// TestCacheRejectsOversizedEntries pins size-aware admission: a group
+// larger than the whole budget must be refused at the door — before
+// the fix it evicted every resident entry and then lingered (or was
+// itself evicted) without ever being servable, wiping the hot set for
+// nothing.
+func TestCacheRejectsOversizedEntries(t *testing.T) {
+	const budget = 4 * 1024
+	c := NewCache(budget)
+	resident := GroupKey{TableDeltas, 0, 0, 1}
+	c.AddGroup(resident, []Part{{PID: 0, Delta: mkDelta(1)}}, []int64{1024})
+
+	giant := GroupKey{TableDeltas, 0, 0, 99}
+	c.AddGroup(giant, []Part{{PID: 0, Delta: mkDelta(99)}}, []int64{64 * 1024})
+	if _, ok := c.Group(giant); ok {
+		t.Fatal("oversized group admitted")
+	}
+	if _, ok := c.Group(resident); !ok {
+		t.Fatal("oversized group wiped the resident hot set")
+	}
+	st := c.Stats()
+	if st.Oversized != 1 {
+		t.Fatalf("Oversized = %d, want 1", st.Oversized)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("oversized admission evicted %d entries", st.Evictions)
+	}
+
+	// AddPart: a part that alone exceeds the budget is refused too.
+	c.AddPart(PartKey{TableDeltas, 0, 0, 98, 0}, mkDelta(98), 64*1024)
+	if _, known := c.Part(PartKey{TableDeltas, 0, 0, 98, 0}); known {
+		t.Fatal("oversized part admitted")
+	}
+	// And a part that would push an existing group past the budget is
+	// refused while the group's resident parts keep serving.
+	grow := PartKey{TableDeltas, 0, 0, 97, 0}
+	c.AddPart(grow, mkDelta(97), 512)
+	c.AddPart(PartKey{TableDeltas, 0, 0, 97, 1}, mkDelta(97), 64*1024)
+	if d, known := c.Part(grow); !known || d == nil {
+		t.Fatal("rejecting an oversized sibling dropped the resident part")
+	}
+	if st := c.Stats(); st.Oversized != 3 {
+		t.Fatalf("Oversized = %d, want 3", st.Oversized)
+	}
+	if st := c.Stats(); st.Bytes > budget {
+		t.Fatalf("cache over budget after rejections: %d", st.Bytes)
+	}
+}

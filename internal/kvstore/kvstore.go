@@ -102,9 +102,14 @@ func (c *Config) normalize() {
 // stay zero on single-tier engines. TierHotReads row lookups were
 // served from memory without disk I/O, TierColdReads fell through to
 // the disk tier; Compactions and FlushedBytes count the background
-// maintenance that migrated data between tiers. TierHotBytes is a
-// gauge of the bytes currently resident hot (not affected by
-// ResetMetrics).
+// maintenance that migrated data between tiers, IdleCompactions the
+// units of full-speed work done inside idle windows (drains, merges
+// and full compactions each count once). WarmedRows and
+// WarmedBytes count rows the engines repopulated into memory from
+// their newest cold data (restart warm-up). TierHotBytes is a gauge of
+// the bytes currently memory-resident (not affected by ResetMetrics);
+// TierWarming is a gauge counting nodes whose open-time warm-up is
+// still running — zero means every node finished warming.
 type Metrics struct {
 	Reads        int64
 	Writes       int64
@@ -113,11 +118,15 @@ type Metrics struct {
 	RoundTrips   int64
 	SimWait      time.Duration
 
-	TierHotReads  int64
-	TierColdReads int64
-	FlushedBytes  int64
-	Compactions   int64
-	TierHotBytes  int64
+	TierHotReads    int64
+	TierColdReads   int64
+	FlushedBytes    int64
+	Compactions     int64
+	IdleCompactions int64
+	WarmedRows      int64
+	WarmedBytes     int64
+	TierHotBytes    int64
+	TierWarming     int64
 }
 
 // Row is one clustered row inside a partition.
@@ -130,9 +139,12 @@ type Row = backend.Row
 type storageNode struct {
 	mu sync.Mutex
 	be backend.Backend
-	// tc is the engine's optional per-tier counter view, asserted once
-	// at open so the serve hot path avoids a type switch per operation.
+	// tc and tr are the engine's optional tier interfaces, asserted once
+	// at open so the serve hot path avoids a type switch per operation:
+	// tc aggregates cumulative counters into Metrics, tr reports each
+	// read's exact cold-row count for the latency surcharge.
 	tc backend.TierCounting
+	tr backend.TierReader
 }
 
 // Cluster is the distributed store.
@@ -177,6 +189,7 @@ func Open(cfg Config) (*Cluster, error) {
 		}
 		node := &storageNode{be: be}
 		node.tc, _ = be.(backend.TierCounting)
+		node.tr, _ = be.(backend.TierReader)
 		c.nodes[i] = node
 	}
 	lm := cfg.Latency
@@ -257,27 +270,28 @@ func simulateWork(d time.Duration) {
 }
 
 // serve runs f on node idx's engine while holding its service lock and
-// charges the operation cost for the byte count f reports. Charging
-// inside the lock models a disk-bound server: a node moving many bytes
-// is busy for proportionally long, so cluster size m and replication r
-// bound the achievable parallel-fetch speedup (paper Figures 11–12).
-func (c *Cluster) serve(idx int, f func(be backend.Backend) int) {
+// charges the operation cost for the byte count f reports, plus the
+// cold-read surcharge for each row f reports as served from a disk
+// tier. The cold count comes from the engine's own per-call accounting
+// (backend.TierReader) — never from diffing the engine's cumulative
+// counters around the call, which would bill this operation for cold
+// rows concurrent operations or the engine's background maintenance
+// touched in the meantime. Charging inside the lock models a disk-bound
+// server: a node moving many bytes is busy for proportionally long, so
+// cluster size m and replication r bound the achievable parallel-fetch
+// speedup (paper Figures 11–12).
+func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) {
 	c.roundTrips.Add(1)
 	node := c.nodes[idx]
 	node.mu.Lock()
 	defer node.mu.Unlock()
 	lm := c.Latency()
-	var coldBefore int64
-	chargeCold := lm.Enabled && lm.ColdRead > 0 && node.tc != nil
-	if chargeCold {
-		coldBefore = node.tc.TierCounters().ColdReads
-	}
-	n := f(node.be)
+	n, cold := f(node.be)
 	d := lm.Cost(n)
-	if chargeCold {
+	if lm.Enabled && cold > 0 {
 		// Each row the operation pulled from the cold tier pays the
 		// disk-seek surcharge the hot tier would have absorbed.
-		d += time.Duration(node.tc.TierCounters().ColdReads-coldBefore) * lm.ColdRead
+		d += time.Duration(cold) * lm.ColdRead
 	}
 	c.simWait.Add(int64(d))
 	simulateWork(d)
@@ -289,9 +303,9 @@ func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
 	v := make([]byte, len(value))
 	copy(v, value)
 	for _, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(be backend.Backend) int {
+		c.serve(idx, func(be backend.Backend) (int, int) {
 			be.Put(table, pkey, ckey, v)
-			return len(v)
+			return len(v), 0
 		})
 	}
 	c.writes.Add(1)
@@ -304,9 +318,15 @@ func (c *Cluster) Get(table, pkey, ckey string) ([]byte, bool) {
 	var out []byte
 	found := false
 	idx := c.readReplica(table, pkey)
-	c.serve(idx, func(be backend.Backend) int {
-		out, found = be.Get(table, pkey, ckey)
-		return len(out)
+	tr := c.nodes[idx].tr
+	c.serve(idx, func(be backend.Backend) (int, int) {
+		cold := 0
+		if tr != nil {
+			out, found, cold = tr.GetTier(table, pkey, ckey)
+		} else {
+			out, found = be.Get(table, pkey, ckey)
+		}
+		return len(out), cold
 	})
 	c.reads.Add(1)
 	if found {
@@ -322,12 +342,18 @@ func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
 	var out []Row
 	total := 0
 	idx := c.readReplica(table, pkey)
-	c.serve(idx, func(be backend.Backend) int {
-		out = be.ScanPrefix(table, pkey, prefix)
+	tr := c.nodes[idx].tr
+	c.serve(idx, func(be backend.Backend) (int, int) {
+		cold := 0
+		if tr != nil {
+			out, cold = tr.ScanPrefixTier(table, pkey, prefix)
+		} else {
+			out = be.ScanPrefix(table, pkey, prefix)
+		}
 		for _, r := range out {
 			total += len(r.Value)
 		}
-		return total
+		return total, cold
 	})
 	c.reads.Add(1)
 	c.bytesRead.Add(int64(total))
@@ -396,14 +422,20 @@ func (c *Cluster) MultiGet(refs []KeyRef) []GetResult {
 			for j, i := range idxs {
 				reqs[j] = refs[i]
 			}
+			tr := c.nodes[node].tr
 			var vals [][]byte
-			c.serve(node, func(be backend.Backend) int {
-				vals = backend.MultiGet(be, reqs)
+			c.serve(node, func(be backend.Backend) (int, int) {
+				cold := 0
+				if tr != nil {
+					vals, cold = tr.MultiGetTier(reqs)
+				} else {
+					vals = backend.MultiGet(be, reqs)
+				}
 				n := 0
 				for _, v := range vals {
 					n += len(v)
 				}
-				return n
+				return n, cold
 			})
 			total := 0
 			for j, i := range idxs {
@@ -434,16 +466,25 @@ func (c *Cluster) MultiScan(refs []ScanRef) [][]Row {
 		wg.Add(1)
 		go func(node int, idxs []int) {
 			defer wg.Done()
+			tr := c.nodes[node].tr
 			total := 0
-			c.serve(node, func(be backend.Backend) int {
+			c.serve(node, func(be backend.Backend) (int, int) {
+				cold := 0
 				for _, i := range idxs {
-					rows := be.ScanPrefix(refs[i].Table, refs[i].PKey, refs[i].Prefix)
+					var rows []Row
+					if tr != nil {
+						var scanCold int
+						rows, scanCold = tr.ScanPrefixTier(refs[i].Table, refs[i].PKey, refs[i].Prefix)
+						cold += scanCold
+					} else {
+						rows = be.ScanPrefix(refs[i].Table, refs[i].PKey, refs[i].Prefix)
+					}
 					for _, r := range rows {
 						total += len(r.Value)
 					}
 					out[i] = rows
 				}
-				return total
+				return total, cold
 			})
 			c.reads.Add(int64(len(idxs)))
 			c.bytesRead.Add(int64(total))
@@ -458,11 +499,11 @@ func (c *Cluster) MultiScan(refs []ScanRef) [][]Row {
 func (c *Cluster) Delete(table, pkey, ckey string) bool {
 	existed := false
 	for ri, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(be backend.Backend) int {
+		c.serve(idx, func(be backend.Backend) (int, int) {
 			if be.Delete(table, pkey, ckey) && ri == 0 {
 				existed = true
 			}
-			return 0
+			return 0, 0
 		})
 	}
 	c.writes.Add(1)
@@ -472,9 +513,9 @@ func (c *Cluster) Delete(table, pkey, ckey string) bool {
 // DropPartition removes an entire partition from all replicas.
 func (c *Cluster) DropPartition(table, pkey string) {
 	for _, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(be backend.Backend) int {
+		c.serve(idx, func(be backend.Backend) (int, int) {
 			be.DropPartition(table, pkey)
-			return 0
+			return 0, 0
 		})
 	}
 	c.writes.Add(1)
@@ -543,7 +584,11 @@ func (c *Cluster) tierTotals() backend.TierCounters {
 		t.FlushedRows += tc.FlushedRows
 		t.FlushedBytes += tc.FlushedBytes
 		t.Compactions += tc.Compactions
+		t.IdleCompactions += tc.IdleCompactions
+		t.WarmedRows += tc.WarmedRows
+		t.WarmedBytes += tc.WarmedBytes
 		t.HotBytes += tc.HotBytes
+		t.Warming += tc.Warming
 	}
 	return t
 }
@@ -562,11 +607,15 @@ func (c *Cluster) Metrics() Metrics {
 		RoundTrips:   c.roundTrips.Load(),
 		SimWait:      time.Duration(c.simWait.Load()),
 
-		TierHotReads:  tiers.HotHits - base.HotHits,
-		TierColdReads: tiers.ColdReads - base.ColdReads,
-		FlushedBytes:  tiers.FlushedBytes - base.FlushedBytes,
-		Compactions:   tiers.Compactions - base.Compactions,
-		TierHotBytes:  tiers.HotBytes,
+		TierHotReads:    tiers.HotHits - base.HotHits,
+		TierColdReads:   tiers.ColdReads - base.ColdReads,
+		FlushedBytes:    tiers.FlushedBytes - base.FlushedBytes,
+		Compactions:     tiers.Compactions - base.Compactions,
+		IdleCompactions: tiers.IdleCompactions - base.IdleCompactions,
+		WarmedRows:      tiers.WarmedRows - base.WarmedRows,
+		WarmedBytes:     tiers.WarmedBytes - base.WarmedBytes,
+		TierHotBytes:    tiers.HotBytes,
+		TierWarming:     tiers.Warming,
 	}
 }
 
@@ -588,21 +637,19 @@ func (c *Cluster) ResetMetrics() {
 
 // Backup writes a consistent copy of every node engine's durable state
 // into dir (one node-NNN subdirectory each, mirroring the Factory
-// layouts of the disk engines). Each node is copied under its service
-// lock, so no foreground operation is in flight on it; the caller must
-// not issue writes to other nodes concurrently if the backup is to be
-// cluster-consistent. Engines that are not durable (no Backuper) fail
-// the backup.
+// layouts of the disk engines). The engines snapshot themselves under
+// their own locks and copy outside them (backend.Backuper), so reads —
+// including reads served by the node being copied — proceed while a
+// large backup streams; the caller must not issue writes concurrently
+// if the backup is to be cluster-consistent. Engines that are not
+// durable (no Backuper) fail the backup.
 func (c *Cluster) Backup(dir string) error {
 	for i, node := range c.nodes {
 		b, ok := node.be.(backend.Backuper)
 		if !ok {
 			return fmt.Errorf("kvstore: backup: node %d engine (%T) is not durable", i, node.be)
 		}
-		node.mu.Lock()
-		err := b.Backup(filepath.Join(dir, backend.NodeDir(i)))
-		node.mu.Unlock()
-		if err != nil {
+		if err := b.Backup(filepath.Join(dir, backend.NodeDir(i))); err != nil {
 			return fmt.Errorf("kvstore: backup node %d: %w", i, err)
 		}
 	}

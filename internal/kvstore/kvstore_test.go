@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"hgs/internal/backend"
 	"hgs/internal/backend/disklog"
+	"hgs/internal/backend/memtable"
 	"hgs/internal/backend/tiered"
 )
 
@@ -510,5 +512,163 @@ func TestBackupRequiresDurableEngines(t *testing.T) {
 	defer c.Close()
 	if err := c.Backup(t.TempDir()); err == nil {
 		t.Fatal("backup of in-memory cluster must fail")
+	}
+}
+
+// tierStub is a storage stub whose cumulative ColdReads gauge moves
+// from background maintenance concurrently with foreground reads —
+// the scenario in which diffing the shared gauge around a serve bills
+// one caller for rows somebody else touched. The TierReader side
+// reports the true per-call count: exactly one cold row per found Get.
+type tierStub struct {
+	backend.Backend
+	cold int64 // cumulative, moved by reads AND background noise
+}
+
+func (s *tierStub) TierCounters() backend.TierCounters {
+	return backend.TierCounters{ColdReads: atomic.LoadInt64(&s.cold)}
+}
+
+func (s *tierStub) GetTier(table, pkey, ckey string) ([]byte, bool, int) {
+	v, ok := s.Backend.Get(table, pkey, ckey)
+	if !ok {
+		return v, ok, 0
+	}
+	atomic.AddInt64(&s.cold, 1)
+	return v, ok, 1
+}
+
+func (s *tierStub) MultiGetTier(reqs []backend.KeyRead) ([][]byte, int) {
+	out := backend.MultiGet(s.Backend, reqs)
+	cold := 0
+	for _, v := range out {
+		if v != nil {
+			cold++
+		}
+	}
+	atomic.AddInt64(&s.cold, int64(cold))
+	return out, cold
+}
+
+func (s *tierStub) ScanPrefixTier(table, pkey, prefix string) ([]backend.Row, int) {
+	rows := s.Backend.ScanPrefix(table, pkey, prefix)
+	atomic.AddInt64(&s.cold, int64(len(rows)))
+	return rows, len(rows)
+}
+
+// TestColdSurchargeExactAttribution pins the billing contract: each
+// operation pays the ColdRead surcharge for exactly the rows IT pulled
+// from the cold tier, even with concurrent readers on the same node and
+// the engine's own background maintenance moving the cumulative gauge
+// the whole time. The pre-fix implementation diffed the shared gauge
+// around the serve and charged foreground callers for that noise.
+func TestColdSurchargeExactAttribution(t *testing.T) {
+	stub := &tierStub{Backend: memtable.New()}
+	c, err := Open(Config{Machines: 1, Backend: func(int) (backend.Backend, error) { return stub, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const rows = 24
+	for i := 0; i < rows; i++ {
+		c.Put("t", "p", fmt.Sprintf("c%02d", i), nil)
+	}
+	c.SetLatency(LatencyModel{Enabled: true, ColdRead: time.Millisecond})
+	c.ResetMetrics()
+
+	// Background maintenance (warm-up, compaction, ...) bumps the
+	// cumulative gauge continuously while the reads run.
+	stopNoise := make(chan struct{})
+	noiseDone := make(chan struct{})
+	go func() {
+		defer close(noiseDone)
+		for {
+			select {
+			case <-stopNoise:
+				return
+			default:
+				atomic.AddInt64(&stub.cold, 1)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rows; i++ {
+				if _, ok := c.Get("t", "p", fmt.Sprintf("c%02d", i)); !ok {
+					t.Errorf("row %d missing", i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopNoise)
+	<-noiseDone
+
+	// 4 workers x 24 found rows x exactly 1 cold row each; BaseOp and
+	// PerKB are zero, so SimWait is purely the surcharge.
+	want := time.Duration(4*rows) * time.Millisecond
+	if got := c.Metrics().SimWait; got != want {
+		t.Fatalf("SimWait = %v, want exactly %v (concurrent readers/background noise misbilled)", got, want)
+	}
+}
+
+func TestWarmUpMetricsAggregation(t *testing.T) {
+	root := t.TempDir()
+	seedOpts := tiered.Options{
+		HotBytes:        1,
+		CompactRate:     -1,
+		FlushInterval:   time.Millisecond,
+		WALSegmentBytes: 1 << 10,
+		DisableWarm:     true,
+	}
+	seed, err := Open(Config{Machines: 2, Backend: tiered.Factory(root, seedOpts)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		seed.Put("deltas", fmt.Sprintf("p%d", i%8), fmt.Sprintf("c%03d", i), []byte(fmt.Sprintf("v%03d", i)))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for seed.Metrics().TierHotBytes > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(Config{Machines: 2, Backend: tiered.Factory(root, tiered.Options{
+		HotBytes: 1 << 30, FlushInterval: time.Millisecond,
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for c.Metrics().TierWarming > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m := c.Metrics()
+	if m.TierWarming != 0 {
+		t.Fatalf("TierWarming = %d after warm-up, want 0", m.TierWarming)
+	}
+	if m.WarmedRows == 0 || m.WarmedBytes == 0 {
+		t.Fatalf("warm-up not aggregated: %+v", m)
+	}
+	// A warmed cluster serves the rows without cold reads.
+	c.ResetMetrics()
+	for i := 0; i < 200; i++ {
+		if _, ok := c.Get("deltas", fmt.Sprintf("p%d", i%8), fmt.Sprintf("c%03d", i)); !ok {
+			t.Fatalf("row %d missing after reopen", i)
+		}
+	}
+	m = c.Metrics()
+	if m.TierColdReads != 0 {
+		t.Fatalf("warmed cluster paid %d cold reads", m.TierColdReads)
+	}
+	if m.WarmedRows != 0 {
+		t.Fatal("ResetMetrics must baseline WarmedRows")
 	}
 }
