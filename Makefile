@@ -10,7 +10,7 @@ GO ?= go
 # incidental drift, not for untested subsystems).
 COVER_FLOOR ?= 60.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt bench bench-cache bench-tiering bench-reopen
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen
 
 ci: vet build test test-race fmt-check
 
@@ -48,11 +48,18 @@ fmt-check:
 fmt:
 	gofmt -w .
 
+# Docs gate: intra-repo markdown links must resolve and every package
+# must carry a package doc comment (scripts/checkdocs).
+docs-check:
+	$(GO) vet ./scripts/...
+	$(GO) run ./scripts/checkdocs
+
 bench:
 	$(GO) run ./cmd/hgs-bench
 
-# Cold vs warm decoded-delta cache comparison (KV ops, round-trips,
-# simulated wait per pass).
+# Cache v2 passes: cold / warm / legacy-v1 / disabled, with the
+# negative-hit ratio on sparse probes and the eviction-quality notes
+# (KV ops, round-trips, simulated wait per pass).
 bench-cache:
 	$(GO) run ./cmd/hgs-bench -run cache
 

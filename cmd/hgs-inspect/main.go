@@ -26,6 +26,13 @@
 // Reopening a tiered store warms its hot tier from the newest cold
 // segments by default (-warm off restores cold starts); -idle-after
 // tunes when background maintenance may run at full speed.
+//
+// -trace records a plan trace for every probe query and prints each
+// retrieval's planned key set and its per-table cache-hit /
+// negative-hit / KV-read breakdown, with exact round-trip and
+// simulated-wait attribution:
+//
+//	hgs-inspect -dataset wiki -nodes 10000 -trace
 package main
 
 import (
@@ -54,6 +61,7 @@ func main() {
 	warm := flag.String("warm", "", "tiered engine: hot-tier warm-up on reopen: on | off (default on)")
 	idleAfter := flag.Duration("idle-after", 0, "tiered engine: quiet window before full-speed maintenance (default 1s; negative disables)")
 	backup := flag.String("backup", "", "after inspecting, copy the quiesced store into this fresh directory")
+	trace := flag.Bool("trace", false, "record per-query plan traces and print each probe's plan/cache/KV breakdown")
 	flag.Parse()
 
 	// With a populated -data directory the shape and index parameters
@@ -69,6 +77,7 @@ func main() {
 		CompactRate:          *compactRate,
 		WarmOnOpen:           hgs.WarmMode(*warm),
 		IdleCompactAfter:     *idleAfter,
+		TracePlans:           *trace,
 	}
 	if *dataDir != "" {
 		if _, err := os.Stat(filepath.Join(*dataDir, "cluster.json")); err == nil {
@@ -83,6 +92,7 @@ func main() {
 				CompactRate:      *compactRate,
 				WarmOnOpen:       hgs.WarmMode(*warm),
 				IdleCompactAfter: *idleAfter,
+				TracePlans:       *trace,
 			}
 			if explicit["machines"] {
 				probeOpts.Machines = *machines
@@ -224,6 +234,15 @@ func inspect(store *hgs.Store) {
 		if tm.WarmedRows > 0 {
 			fmt.Printf("warm-up   : %d rows (%d KB) repopulated from cold segments on open\n",
 				tm.WarmedRows, tm.WarmedBytes/1024)
+		}
+	}
+
+	// With -trace, every probe query above left a plan trace: print the
+	// per-query plan/cache/KV breakdown, oldest first.
+	if traces := store.PlanTraces(); len(traces) > 0 {
+		fmt.Println("plan traces (oldest first):")
+		for _, tr := range traces {
+			fmt.Println(" ", tr)
 		}
 	}
 }

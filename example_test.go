@@ -48,6 +48,27 @@ func ExampleStore_nodeHistory() {
 	// [3, 10) job="manager"
 }
 
+// ExampleStore_planTraces traces retrievals: each query records what it
+// planned, what the decoded-delta cache absorbed (including known
+// absences), and what actually hit the key-value store.
+func ExampleStore_planTraces() {
+	store, _ := hgs.Open(hgs.Options{TracePlans: true})
+	_ = store.Load([]hgs.Event{
+		{Time: 1, Kind: hgs.AddNode, Node: 1},
+		{Time: 2, Kind: hgs.AddNode, Node: 2},
+		{Time: 3, Kind: hgs.AddEdge, Node: 1, Other: 2},
+	})
+	_, _ = store.Snapshot(3) // cold: the plan's delta groups read the store
+	_, _ = store.Snapshot(3) // warm: the cache answers the same plan
+	for _, tr := range store.PlanTraces() {
+		fmt.Printf("%s: read the store? %v cache answered? %v\n",
+			tr.Op, tr.KVReads > 0, tr.CacheHits+tr.NegativeHits > 0)
+	}
+	// Output:
+	// snapshot: read the store? true cache answered? false
+	// snapshot: read the store? false cache answered? true
+}
+
 // ExampleEvolution samples a graph quantity over time with the TAF.
 func ExampleEvolution() {
 	store, _ := hgs.Open(hgs.Options{})

@@ -103,19 +103,36 @@
 // Every retrieval runs through a unified fetch layer that plans the key
 // set, batches the reads per storage node (one network round-trip per
 // machine instead of per key), and serves hot decoded deltas from a
-// bytes-bounded LRU cache, so repeated snapshot and node queries mostly
-// skip the store. Options.CacheBytes sizes the cache (default 64 MiB;
-// negative disables it) and Store.Stats reports its effectiveness next
-// to the raw store counters:
+// bytes-bounded cache, so repeated snapshot and node queries mostly
+// skip the store. The cache is a segmented LRU (one large scan cannot
+// evict the proven-hot protected set) and remembers absence: a point
+// read that found no row installs a tiny negative marker, so repeated
+// probes of sparse history stop issuing KV reads. Options.CacheBytes
+// sizes the cache (default 64 MiB; negative disables it) and
+// Store.Stats reports its effectiveness next to the raw store counters:
 //
 //	store, _ := hgs.Open(hgs.Options{CacheBytes: 256 << 20})
 //	_ = store.Load(events)
 //	g1, _ := store.Snapshot(t)              // cold: reads the store
 //	g2, _ := store.Snapshot(t)              // warm: served from cache
 //	st, _ := store.Stats()
-//	fmt.Println(st.Cache.Hits, st.Cache.Misses)        // delta cache
+//	fmt.Println(st.Cache.Hits, st.Cache.NegativeHits)  // delta cache
 //	fmt.Println(st.StoreMetrics.Reads,                 // logical KV ops
 //		st.StoreMetrics.RoundTrips)                // machine visits
+//
+// # Plan tracing
+//
+// Every retrieval can explain itself: a plan trace records the planned
+// key set, the per-table cache-hit / negative-hit / KV-read breakdown,
+// and the exact round-trips and simulated wait the call was charged.
+// Trace one call by passing FetchOptions.Trace, or set
+// Options.TracePlans to keep a ring of recent traces store-side
+// (Store.PlanTraces, Stats().Traces, hgs-inspect -trace):
+//
+//	tr := &hgs.Trace{}
+//	g, _ := store.SnapshotWith(t, &hgs.FetchOptions{Trace: tr})
+//	rec := tr.Record()
+//	fmt.Println(rec.KVReads, rec.CacheHits, rec.NegativeHits)
 package hgs
 
 import (
@@ -164,8 +181,21 @@ type (
 	NodeHistory = core.NodeHistory
 	// SubgraphHistory is a neighborhood's evolution over an interval.
 	SubgraphHistory = core.SubgraphHistory
-	// FetchOptions tunes a single retrieval (parallel fetch factor c).
+	// FetchOptions tunes a single retrieval (parallel fetch factor c,
+	// per-call plan trace).
 	FetchOptions = core.FetchOptions
+	// Trace collects one retrieval's plan/cache/read breakdown when
+	// passed through FetchOptions.Trace (zero value ready; read it back
+	// with Record).
+	Trace = fetch.Trace
+	// TraceRecord is the immutable snapshot of a plan trace, as returned
+	// by Trace.Record, Store.PlanTraces and Stats().Traces.
+	TraceRecord = fetch.TraceRecord
+	// TableTrace is the per-store-table slice of a TraceRecord.
+	TableTrace = fetch.TableTrace
+	// CacheStats is the decoded-delta cache counter snapshot in
+	// Stats().Cache (hits, negative hits, admissions, protected bytes).
+	CacheStats = fetch.CacheStats
 )
 
 // Event kind constants re-exported for event construction.
@@ -304,6 +334,14 @@ type Options struct {
 	// value disables caching. A runtime knob of this process — it is
 	// not persisted with a DataDir store.
 	CacheBytes int64
+	// TracePlans keeps a plan trace for every retrieval — the planned
+	// key set and its per-table cache-hit / negative-hit / KV-read
+	// breakdown, with exact round-trip and simulated-wait attribution —
+	// in a bounded ring surfaced by Store.PlanTraces and Stats().Traces
+	// (hgs-inspect -trace prints it). Per-call tracing through
+	// FetchOptions.Trace works regardless of this knob. A runtime knob
+	// of this process — not persisted with a DataDir store.
+	TracePlans bool
 }
 
 func (o Options) coreConfig() core.Config {
@@ -332,6 +370,7 @@ func (o Options) coreConfig() core.Config {
 		cfg.FetchClients = o.FetchClients
 	}
 	cfg.CacheBytes = o.CacheBytes
+	cfg.TracePlans = o.TracePlans
 	return cfg
 }
 
@@ -694,6 +733,13 @@ func (s *Store) TimeRange() (Time, Time, error) { return s.tgi.TimeRange() }
 
 // Stats reports storage statistics.
 func (s *Store) Stats() (core.Stats, error) { return s.tgi.Stats() }
+
+// PlanTraces returns the most recent per-query plan traces, oldest
+// first (empty unless Options.TracePlans is set). Each record reports
+// one retrieval's planned key set, its cache-hit / negative-hit /
+// KV-read breakdown per table, and the round-trips and simulated wait
+// it was charged.
+func (s *Store) PlanTraces() []TraceRecord { return s.tgi.PlanTraces() }
 
 // TGI exposes the underlying index for advanced use.
 func (s *Store) TGI() *core.TGI { return s.tgi }

@@ -827,3 +827,57 @@ func TestWarmOnOpenOption(t *testing.T) {
 		t.Fatal("invalid WarmOnOpen must be rejected")
 	}
 }
+
+// TestPlanTraceSurface pins the public tracing surface: TracePlans
+// collects one record per retrieval into Store.PlanTraces/Stats, and a
+// per-call FetchOptions.Trace fills the caller's Trace with the
+// plan/cache/read breakdown.
+func TestPlanTraceSurface(t *testing.T) {
+	opts := smallOptions()
+	opts.TracePlans = true
+	store, _ := loadWiki(t, opts, 400)
+	lo, hi, _ := store.TimeRange()
+	mid := (lo + hi) / 2
+
+	if _, err := store.Snapshot(mid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Snapshot(mid); err != nil {
+		t.Fatal(err)
+	}
+	trs := store.PlanTraces()
+	if len(trs) != 2 {
+		t.Fatalf("PlanTraces = %d records, want 2", len(trs))
+	}
+	cold, warm := trs[0], trs[1]
+	if cold.Op != "snapshot" || cold.KVReads == 0 {
+		t.Fatalf("cold trace = %+v", cold)
+	}
+	if warm.KVReads >= cold.KVReads || warm.CacheHits+warm.NegativeHits == 0 {
+		t.Fatalf("warm trace did not show the cache at work: %+v", warm)
+	}
+	st, err := store.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Traces) != len(trs) {
+		t.Fatalf("Stats.Traces = %d records, want %d", len(st.Traces), len(trs))
+	}
+
+	// Per-call tracing works without the store-side ring.
+	plain, _ := loadWiki(t, smallOptions(), 400)
+	tr := &Trace{}
+	if _, err := plain.SnapshotWith(mid, &FetchOptions{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	rec := tr.Record()
+	if rec.Op != "snapshot" || rec.Execs != 1 || rec.Groups == 0 {
+		t.Fatalf("per-call trace = %+v", rec)
+	}
+	if len(plain.PlanTraces()) != 0 {
+		t.Fatal("per-call tracing leaked into the store-side ring")
+	}
+	if rec.String() == "" {
+		t.Fatal("TraceRecord.String returned nothing")
+	}
+}

@@ -160,13 +160,32 @@ func TestAblationsSmoke(t *testing.T) {
 func TestCacheBenchSmoke(t *testing.T) {
 	skipIfShort(t)
 	r := CacheBench(tinyScale())
-	if len(r.TableRows) != 3 {
-		t.Fatalf("cache table rows = %d, want 3 passes", len(r.TableRows))
+	if len(r.TableRows) != 4 {
+		t.Fatalf("cache table rows = %d, want 4 passes", len(r.TableRows))
 	}
 	var buf bytes.Buffer
 	r.Print(&buf)
-	if !bytes.Contains(buf.Bytes(), []byte("warm cache")) {
-		t.Fatal("cache result missing warm pass")
+	if !bytes.Contains(buf.Bytes(), []byte("warm (v2)")) {
+		t.Fatal("cache result missing warm v2 pass")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("negative-hit ratio")) {
+		t.Fatal("cache result missing the negative-hit ratio note")
+	}
+}
+
+// TestCacheV2NegativeCaching is the acceptance bar of cache v2: on the
+// sparse-history workload the warm pass must answer a nonzero share of
+// its probes from negative entries, and must therefore issue strictly
+// fewer KV reads than the same warm pass over the legacy v1 (PR 2)
+// cache, which re-reads every absent row.
+func TestCacheV2NegativeCaching(t *testing.T) {
+	skipIfShort(t)
+	warmV2, warmV1, warmDelta := CacheV2Passes(tinyScale())
+	if warmDelta.NegativeHits == 0 {
+		t.Fatal("warm v2 pass recorded no negative hits on the sparse-history workload")
+	}
+	if warmV2.Reads >= warmV1.Reads {
+		t.Fatalf("warm v2 pass issued %d KV reads, not fewer than the v1 cache's %d", warmV2.Reads, warmV1.Reads)
 	}
 }
 

@@ -5,71 +5,110 @@ import (
 	"time"
 
 	"hgs/internal/core"
+	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
+	"hgs/internal/temporal"
 )
 
-// CacheBench — cold vs warm retrieval through the unified fetch layer:
-// the same snapshot + node-fetch workload runs twice over a fresh query
-// handle (cold cache, then warm) and once over a cache-disabled handle,
-// reporting logical KV operations, machine round-trips, simulated
-// service time and wall time for each pass. The warm pass exercising
-// the decoded-delta cache must issue at least 2× fewer KV reads than
-// the cold one — the acceptance bar of the fetch-layer refactor,
-// checked by TestCacheBenchSpeedup.
-func CacheBench(sc Scale) *Result {
-	start := time.Now()
-	events := Dataset1(sc)
-	ix := buildIndex("fig11", events, 4, 1, nil)
-	res := &Result{
-		ID:    "cache",
-		Title: "Decoded-delta cache: cold vs warm vs disabled (m=4, c=4)",
+// cacheWorkload is the shared cache-experiment query mix: snapshot
+// retrievals (delta groups + boundary eventlists), node fetches at a
+// populated time (micro-partition point reads), and sparse-history node
+// probes at the earliest indexed time — where most path delta rows for
+// the probed micro-partitions do not exist, so the absent-row handling
+// of the cache is on the measured path.
+func cacheWorkload(t *core.TGI, probes []temporal.Time, nodes []graph.NodeID, early temporal.Time) {
+	mid := probes[len(probes)/2]
+	for _, tt := range probes {
+		if _, err := t.GetSnapshot(tt, &core.FetchOptions{Clients: 4}); err != nil {
+			panic(fmt.Sprintf("bench: cache snapshot: %v", err))
+		}
 	}
+	for _, id := range nodes {
+		if _, err := t.GetNodeAt(id, mid); err != nil {
+			panic(fmt.Sprintf("bench: cache node fetch: %v", err))
+		}
+		if _, err := t.GetNodeAt(id, early); err != nil {
+			panic(fmt.Sprintf("bench: cache sparse probe: %v", err))
+		}
+	}
+}
 
-	probes := probeTimes(events, 3)
+// cacheFixture builds the cache-experiment index and returns the probe
+// times and probed node ids.
+func cacheFixture(sc Scale) (ix *builtIndex, probes []temporal.Time, nodes []graph.NodeID, early temporal.Time) {
+	events := Dataset1(sc)
+	ix = buildIndex("fig11", events, 4, 1, nil)
+	probes = probeTimes(events, 3)
+	early = events[0].Time
 	mid := probes[len(probes)/2]
 	full, err := ix.TGI.GetSnapshot(mid, nil)
 	if err != nil {
 		panic(fmt.Sprintf("bench: cache probe snapshot: %v", err))
 	}
 	ids := full.NodeIDs()
-	nodes := make([]graph.NodeID, 0, 32)
-	for i := 0; i < 32 && i < len(ids); i++ {
-		nodes = append(nodes, ids[len(ids)*i/32])
+	nodes = make([]graph.NodeID, 0, 64)
+	for i := 0; i < 64 && i < len(ids); i++ {
+		nodes = append(nodes, ids[len(ids)*i/64])
+	}
+	return ix, probes, nodes, early
+}
+
+// legacyCache reproduces the PR 2 cache for comparison passes: flat LRU
+// admission (a scan can evict the whole hot set) and no negative
+// caching (absent rows are re-read every probe).
+func legacyCache() *fetch.Cache {
+	return fetch.NewCacheWith(fetch.CacheOptions{
+		MaxBytes:   core.DefaultCacheBytes,
+		PlainLRU:   true,
+		NoNegative: true,
+	})
+}
+
+// CacheBench — the cache v2 experiment: the same snapshot + node-fetch +
+// sparse-probe workload runs cold and warm over a v2 cache handle
+// (segmented-LRU admission, negative caching), warm over a legacy v1
+// cache handle (flat LRU, no negative entries — the PR 2 behavior), and
+// over a cache-disabled handle, reporting logical KV operations,
+// machine round-trips, simulated service time and wall time for each
+// pass. The warm v2 pass must answer part of the workload from negative
+// entries (nonzero negative-hit ratio) and issue strictly fewer KV
+// reads than the v1 warm pass — checked by TestCacheV2NegativeCaching;
+// TestCacheBenchSpeedup keeps the original ≥2× cold/warm bar.
+func CacheBench(sc Scale) *Result {
+	start := time.Now()
+	ix, probes, nodes, early := cacheFixture(sc)
+	res := &Result{
+		ID:    "cache",
+		Title: "Decoded-delta cache v2: cold vs warm vs legacy-v1 vs disabled (m=4, c=4)",
 	}
 
-	workload := func(t *core.TGI) {
-		for _, tt := range probes {
-			if _, err := t.GetSnapshot(tt, &core.FetchOptions{Clients: 4}); err != nil {
-				panic(fmt.Sprintf("bench: cache snapshot: %v", err))
-			}
-		}
-		for _, id := range nodes {
-			if _, err := t.GetNodeAt(id, mid); err != nil {
-				panic(fmt.Sprintf("bench: cache node fetch: %v", err))
-			}
-		}
-	}
 	run := func(t *core.TGI) (kvstore.Metrics, float64) {
 		ix.Cluster.ResetMetrics()
-		sec := timeIt(func() { workload(t) })
+		sec := timeIt(func() { cacheWorkload(t, probes, nodes, early) })
 		return ix.Cluster.Metrics(), sec
 	}
 
-	// Fresh handles over the built cluster: one with the default cache
-	// (bench indexes are built cache-off), one with caching disabled,
-	// both with cold metadata.
+	// Fresh handles over the built cluster: v2 cache (the default), the
+	// legacy v1 cache, and caching disabled, all with cold metadata.
 	cfg := ix.TGI.Config()
-	cfg.CacheBytes = 0 // default budget
-	cachedTGI := core.New(ix.Cluster, cfg)
+	cfg.CacheBytes = 0 // default budget (bench indexes are built cache-off)
+	v2TGI := core.New(ix.Cluster, cfg)
+	cfgV1 := cfg
+	cfgV1.Cache = legacyCache()
+	v1TGI := core.New(ix.Cluster, cfgV1)
 	cfgOff := cfg
 	cfgOff.CacheBytes = -1
 	uncachedTGI := core.New(ix.Cluster, cfgOff)
 
 	ix.Cluster.SetLatency(kvstore.DefaultLatency())
 	defer ix.Cluster.SetLatency(kvstore.LatencyModel{})
-	coldM, coldSec := run(cachedTGI)
-	warmM, warmSec := run(cachedTGI)
+	coldM, coldSec := run(v2TGI)
+	coldStats := v2TGI.CacheStats()
+	warmM, warmSec := run(v2TGI)
+	warmStats := v2TGI.CacheStats()
+	run(v1TGI) // cold v1 pass warms the legacy cache
+	v1M, v1Sec := run(v1TGI)
 	offM, offSec := run(uncachedTGI)
 
 	res.TableHeader = []string{"pass", "kv reads", "round-trips", "read KB", "sim wait", "elapsed"}
@@ -84,21 +123,36 @@ func CacheBench(sc Scale) *Result {
 		}
 	}
 	res.TableRows = append(res.TableRows,
-		row("cold cache", coldM, coldSec),
-		row("warm cache", warmM, warmSec),
+		row("cold (v2)", coldM, coldSec),
+		row("warm (v2)", warmM, warmSec),
+		row("warm (v1 legacy)", v1M, v1Sec),
 		row("cache off", offM, offSec),
 	)
 	if warmM.Reads > 0 {
-		res.Notes = append(res.Notes, fmt.Sprintf("warm pass issues %.1fx fewer kv reads than cold", float64(coldM.Reads)/float64(warmM.Reads)))
+		res.Notes = append(res.Notes, fmt.Sprintf("warm v2 pass issues %.1fx fewer kv reads than cold", float64(coldM.Reads)/float64(warmM.Reads)))
 	}
-	res.Notes = append(res.Notes, cachedTGI.CacheStats().String())
+	// Eviction quality and negative caching, warm pass only (cold-pass
+	// counters subtracted). The ratio is over cache *answers* (positive
+	// + negative hits); misses were not answered by the cache.
+	negHits := warmStats.NegativeHits - coldStats.NegativeHits
+	answers := negHits + (warmStats.Hits - coldStats.Hits)
+	if answers > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("warm v2 negative-hit ratio: %.2f (%d of %d cache answers; each one an absent-row KV read not issued)",
+			float64(negHits)/float64(answers), negHits, answers))
+	}
+	if v1M.Reads > warmM.Reads {
+		res.Notes = append(res.Notes, fmt.Sprintf("warm v2 issues %d fewer kv reads than the v1 (PR 2) cache on the same workload", v1M.Reads-warmM.Reads))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("warm v2 evictions since cold: %d; protected segment: %d KB of %d KB budget",
+		warmStats.Evictions-coldStats.Evictions, warmStats.ProtectedBytes/1024, warmStats.MaxBytes/1024))
+	res.Notes = append(res.Notes, "v2 "+warmStats.String())
 	res.Elapsed = time.Since(start)
 	return res
 }
 
-// CachePasses runs the cache workload without the latency model and
-// returns the cold and warm pass metrics — the testable core of the
-// cache experiment (used by the bench smoke tests).
+// CachePasses runs the snapshot-only cache workload without the latency
+// model and returns the cold and warm pass metrics — the testable core
+// of the original cache experiment (used by TestCacheBenchSpeedup).
 func CachePasses(sc Scale) (cold, warm kvstore.Metrics) {
 	events := Dataset1(sc)
 	ix := buildIndex("fig11", events, 4, 1, nil)
@@ -118,4 +172,37 @@ func CachePasses(sc Scale) (cold, warm kvstore.Metrics) {
 	cold = run()
 	warm = run()
 	return cold, warm
+}
+
+// CacheV2Passes runs the full cache-v2 workload without the latency
+// model and returns the warm-pass metrics of the v2 and legacy-v1
+// caches plus the v2 warm-pass cache-counter deltas — the testable core
+// of the v2 experiment (used by TestCacheV2NegativeCaching).
+func CacheV2Passes(sc Scale) (warmV2, warmV1 kvstore.Metrics, warmDelta fetch.CacheStats) {
+	ix, probes, nodes, early := cacheFixture(sc)
+	cfg := ix.TGI.Config()
+	cfg.CacheBytes = 0
+	v2TGI := core.New(ix.Cluster, cfg)
+	cfgV1 := cfg
+	cfgV1.Cache = legacyCache()
+	v1TGI := core.New(ix.Cluster, cfgV1)
+
+	run := func(t *core.TGI) kvstore.Metrics {
+		ix.Cluster.ResetMetrics()
+		cacheWorkload(t, probes, nodes, early)
+		return ix.Cluster.Metrics()
+	}
+	run(v2TGI) // cold
+	cold := v2TGI.CacheStats()
+	warmV2 = run(v2TGI)
+	warm := v2TGI.CacheStats()
+	run(v1TGI) // cold
+	warmV1 = run(v1TGI)
+	warmDelta = fetch.CacheStats{
+		Hits:         warm.Hits - cold.Hits,
+		Misses:       warm.Misses - cold.Misses,
+		NegativeHits: warm.NegativeHits - cold.NegativeHits,
+		Evictions:    warm.Evictions - cold.Evictions,
+	}
+	return warmV2, warmV1, warmDelta
 }

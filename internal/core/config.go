@@ -80,6 +80,13 @@ type Config struct {
 	// CacheBytes it is a property of the reading process: not persisted,
 	// and kept across an Attach adoption.
 	Cache *fetch.Cache `json:"-"`
+	// TracePlans keeps a plan trace for every retrieval this handle
+	// runs — the planned key set and its cache-hit / negative-hit /
+	// KV-read breakdown — in a bounded ring surfaced by TGI.PlanTraces
+	// and Stats.Traces. A runtime knob of the reading process like
+	// CacheBytes: not persisted, kept across an Attach adoption.
+	// Per-call tracing via FetchOptions.Trace works regardless.
+	TracePlans bool `json:"-"`
 }
 
 // DefaultCacheBytes is the decoded-delta cache budget used when
@@ -170,6 +177,12 @@ type FetchOptions struct {
 	// Clients overrides Config.FetchClients when > 0 (the experiments'
 	// parallel fetch factor c).
 	Clients int
+	// Trace, when non-nil, receives this retrieval's plan trace: the
+	// planned request counts, the cache-hit/negative-hit breakdown per
+	// table, and the exact KV reads, round-trips, bytes and simulated
+	// wait the call charged. Read it back with Trace.Record once the
+	// call returns.
+	Trace *fetch.Trace
 }
 
 func (c Config) clients(opts *FetchOptions) int {

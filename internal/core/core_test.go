@@ -589,9 +589,14 @@ func TestNodeHistoryScanEquivalence(t *testing.T) {
 		}
 	}
 	// And the scan path must cost more store reads (what VCs buy).
+	// Each measured pass runs cold: the negative cache would otherwise
+	// let whichever pass runs second ride the first one's learned
+	// absences, skewing the comparison.
+	tgi.fx.Cache().Purge()
 	tgi.Store().ResetMetrics()
 	tgi.GetNodeHistory(1, 0, 4100, nil)
 	vcReads := tgi.Store().Metrics().Reads
+	tgi.fx.Cache().Purge()
 	tgi.Store().ResetMetrics()
 	tgi.GetNodeHistoryScan(1, 0, 4100, nil)
 	scanReads := tgi.Store().Metrics().Reads

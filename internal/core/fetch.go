@@ -70,6 +70,14 @@ func mergeSortEvents(lists [][]graph.Event) []graph.Event {
 // plan as one batched fetch round (cache-served where hot), sum the
 // deltas in path order, then replay the boundary eventlist up to tt.
 func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
+	tr, own := t.startTrace("snapshot", opts)
+	defer t.finishTrace(tr, own)
+	return t.getSnapshot(tt, opts, tr)
+}
+
+// getSnapshot is GetSnapshot with an explicit trace, so fan-out
+// retrievals (GetSnapshotsAt, k-hop via snapshot) thread their own.
+func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -88,7 +96,7 @@ func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, e
 			plan.Scan(TableEvents, placementKey(tm.TSID, sid), eventPrefix(leaf))
 		}
 	}
-	res, err := t.fx.Exec(plan, clients)
+	res, err := t.fx.ExecTraced(plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +202,11 @@ func (t *TGI) assembleMicroPartition(res *fetch.Result, tm *TimespanMeta, sid, p
 // micro-partition (tsid, sid, pid): the path micro-deltas plus the
 // boundary micro-eventlist prefix, fetched as a single batched plan.
 // This is the unit of work for node and neighborhood queries.
-func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Time) (*graph.Graph, error) {
+func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Time, tr *fetch.Trace) (*graph.Graph, error) {
 	leaf := tm.leafFor(tt)
 	plan := fetch.NewPlan()
 	planMicroPartition(plan, tm, sid, pid, leaf)
-	res, err := t.fx.Exec(plan, 1)
+	res, err := t.fx.ExecTraced(plan, 1, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +217,14 @@ func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Ti
 // the node does not exist then. Only the node's own micro-partition chain
 // is read (the entity-centric access path of Table 1's TGI row).
 func (t *TGI) GetNodeAt(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
+	tr, own := t.startTrace("node-at", nil)
+	defer t.finishTrace(tr, own)
+	return t.getNodeAt(id, tt, tr)
+}
+
+// getNodeAt is GetNodeAt with an explicit trace (threaded by history
+// retrievals for their initial-state fetch).
+func (t *TGI) getNodeAt(id graph.NodeID, tt temporal.Time, tr *fetch.Trace) (*graph.NodeState, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -218,7 +234,7 @@ func (t *TGI) GetNodeAt(id graph.NodeID, tt temporal.Time) (*graph.NodeState, er
 	if err != nil {
 		return nil, err
 	}
-	g, err := t.fetchMicroPartition(tm, sid, pid, tt)
+	g, err := t.fetchMicroPartition(tm, sid, pid, tt, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -109,12 +109,12 @@ func (t *TGI) overlappingSpans(gm *GraphMeta, ts, te temporal.Time) ([]*Timespan
 // versionChains fetches the version-chain rows of one node across the
 // given spans in a single batched read, returning the decoded entries
 // per span (nil where the node has no chain in that span).
-func (t *TGI) versionChains(spans []*TimespanMeta, sid int, id graph.NodeID, clients int) ([][]vcEntry, error) {
+func (t *TGI) versionChains(spans []*TimespanMeta, sid int, id graph.NodeID, clients int, tr *fetch.Trace) ([][]vcEntry, error) {
 	plan := fetch.NewPlan()
 	for _, tm := range spans {
 		plan.Get(TableVersions, placementKey(tm.TSID, sid), nodeCKey(id))
 	}
-	res, err := t.fx.Exec(plan, clients)
+	res, err := t.fx.ExecTraced(plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -144,12 +144,12 @@ type elRef struct {
 // batched read, decodes them with `clients` parallel query processors,
 // and returns the chronological, deduplicated events touching id within
 // (ts, te).
-func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te temporal.Time, clients int) ([]graph.Event, error) {
+func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te temporal.Time, clients int, tr *fetch.Trace) ([]graph.Event, error) {
 	plan := fetch.NewPlan()
 	for _, ref := range refs {
 		plan.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, ref.pid))
 	}
-	res, err := t.fx.Exec(plan, clients)
+	res, err := t.fx.ExecTraced(plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -187,11 +187,13 @@ func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te 
 // micro-partition, then use the version chains to plan exactly the
 // micro-eventlists containing its changes, fetched as one batched read.
 func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
+	tr, own := t.startTrace("node-history", opts)
+	defer t.finishTrace(tr, own)
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
 	}
-	initial, err := t.GetNodeAt(id, ts)
+	initial, err := t.getNodeAt(id, ts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +205,7 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 	if err != nil {
 		return nil, err
 	}
-	chains, err := t.versionChains(spans, sid, id, clients)
+	chains, err := t.versionChains(spans, sid, id, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +234,7 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 			refs = append(refs, elRef{tm: tm, el: e.el, pid: pid})
 		}
 	}
-	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients)
+	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -244,11 +246,13 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 // across the overlapping timespans and filters. This is the ablation
 // baseline quantifying what the Versions table buys (DESIGN.md §6).
 func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
+	tr, own := t.startTrace("node-history-scan", opts)
+	defer t.finishTrace(tr, own)
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
 	}
-	initial, err := t.GetNodeAt(id, ts)
+	initial, err := t.getNodeAt(id, ts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +277,7 @@ func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *Fe
 			refs = append(refs, elRef{tm: tm, el: el, pid: pid})
 		}
 	}
-	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients)
+	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +288,8 @@ func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *Fe
 // [ts, te), read from version chains only (one batched read, no
 // eventlist fetches).
 func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Time, error) {
+	tr, own := t.startTrace("change-times", nil)
+	defer t.finishTrace(tr, own)
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
@@ -302,7 +308,7 @@ func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Tim
 		}
 		spans = append(spans, tm)
 	}
-	chains, err := t.versionChains(spans, sid, id, t.cfg.clients(nil))
+	chains, err := t.versionChains(spans, sid, id, t.cfg.clients(nil), tr)
 	if err != nil {
 		return nil, err
 	}

@@ -336,8 +336,9 @@ func (t *TGI) loadPidMap(key string) (map[graph.NodeID]int, error) {
 
 // Stats summarizes the stored index (sizes per table, spans, deltas)
 // and the query layer's runtime counters: KV operations and round-trips
-// (StoreMetrics) plus decoded-delta cache hits, misses and occupancy
-// (Cache).
+// (StoreMetrics) plus decoded-delta cache hits, misses, negative hits
+// and occupancy (Cache). With Config.TracePlans on, Traces carries the
+// most recent per-query plan traces (oldest first).
 type Stats struct {
 	Timespans    int
 	Events       int
@@ -345,6 +346,7 @@ type Stats struct {
 	LogicalBytes int64
 	StoreMetrics kvstore.Metrics
 	Cache        fetch.CacheStats
+	Traces       []fetch.TraceRecord
 }
 
 // Stats returns storage statistics for the index.
@@ -353,12 +355,16 @@ func (t *TGI) Stats() (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return Stats{
+	st := Stats{
 		Timespans:    gm.TimespanCount,
 		Events:       gm.Events,
 		StoredBytes:  t.store.StoredBytes(),
 		LogicalBytes: t.store.LogicalBytes(),
 		StoreMetrics: t.store.Metrics(),
 		Cache:        t.fx.Cache().Stats(),
-	}, nil
+	}
+	if t.cfg.TracePlans {
+		st.Traces = t.PlanTraces()
+	}
+	return st, nil
 }

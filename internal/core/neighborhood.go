@@ -13,7 +13,9 @@ import (
 // tt by fetching the whole snapshot and filtering (Algorithm 3) — the
 // right plan for large k.
 func (t *TGI) GetKHopViaSnapshot(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
-	g, err := t.GetSnapshot(tt, opts)
+	tr, own := t.startTrace("khop-snapshot", opts)
+	defer t.finishTrace(tr, own)
+	g, err := t.getSnapshot(tt, opts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -27,6 +29,14 @@ func (t *TGI) GetKHopViaSnapshot(id graph.NodeID, k int, tt temporal.Time, opts 
 // the first hop is served from the auxiliary micro-deltas (paper §4.5,
 // Figure 5d).
 func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
+	tr, own := t.startTrace("khop", opts)
+	defer t.finishTrace(tr, own)
+	return t.getKHopNeighborhood(id, k, tt, opts, tr)
+}
+
+// getKHopNeighborhood is GetKHopNeighborhood with an explicit trace
+// (threaded by the multipoint and history variants).
+func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions, tr *fetch.Trace) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -53,7 +63,7 @@ func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 		if len(keys) == 0 {
 			return nil
 		}
-		res, err := t.fx.Exec(plan, t.cfg.clients(opts))
+		res, err := t.fx.ExecTraced(plan, t.cfg.clients(opts), tr)
 		if err != nil {
 			return err
 		}
@@ -113,7 +123,7 @@ func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 	// for 1-hop retrieval but incomplete for further expansion, so deeper
 	// queries take the per-partition path.
 	if t.cfg.Replicate1Hop && k == 1 {
-		if err := t.applyAux(tm, states, id, tt); err != nil {
+		if err := t.applyAux(tm, states, id, tt, tr); err != nil {
 			return nil, err
 		}
 	}
@@ -179,7 +189,7 @@ func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 // frontier states at tt. Both aux rows travel in one batched read, and
 // the decoded aux delta shares the decoded-delta cache (hot roots skip
 // the store entirely).
-func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeState, id graph.NodeID, tt temporal.Time) error {
+func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeState, id graph.NodeID, tt temporal.Time, tr *fetch.Trace) error {
 	sid := t.sidOf(id)
 	pid, err := t.pidOf(tm, sid, id)
 	if err != nil {
@@ -192,7 +202,7 @@ func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeStat
 	if leaf < tm.EventlistCount {
 		plan.Get(TableAuxEvents, pkey, eventCKey(leaf, pid))
 	}
-	res, err := t.fx.Exec(plan, 1)
+	res, err := t.fx.ExecTraced(plan, 1, tr)
 	if err != nil {
 		return err
 	}
@@ -275,7 +285,9 @@ func (sh *SubgraphHistory) ChangePoints() []temporal.Time {
 // referenced micro-eventlists are each fetched as one batched read per
 // phase.
 func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts *FetchOptions) (*SubgraphHistory, error) {
-	initial, err := t.GetKHopNeighborhood(id, k, ts, opts)
+	tr, own := t.startTrace("khop-history", opts)
+	defer t.finishTrace(tr, own)
+	initial, err := t.getKHopNeighborhood(id, k, ts, opts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +325,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 			plan.Get(TableVersions, placementKey(tm.TSID, t.sidOf(m)), nodeCKey(m))
 		}
 	}
-	res, err := t.fx.Exec(plan, clients)
+	res, err := t.fx.ExecTraced(plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +367,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 		keys = append(keys, key)
 		evPlan.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
 	}
-	evRes, err := t.fx.Exec(evPlan, clients)
+	evRes, err := t.fx.ExecTraced(evPlan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -406,12 +418,14 @@ func (t *TGI) Get1HopHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 // time points", §4.6), executed as concurrent single-neighborhood
 // fetches.
 func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
+	tr, own := t.startTrace("khop-at", opts)
+	defer t.finishTrace(tr, own)
 	out := make([]*graph.Graph, len(times))
 	tasks := make([]func() error, 0, len(times))
 	for i, tt := range times {
 		i, tt := i, tt
 		tasks = append(tasks, func() error {
-			g, err := t.GetKHopNeighborhood(id, k, tt, &FetchOptions{Clients: 1})
+			g, err := t.getKHopNeighborhood(id, k, tt, &FetchOptions{Clients: 1}, tr)
 			if err != nil {
 				return err
 			}
@@ -428,12 +442,14 @@ func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *Fet
 // GetSnapshotsAt retrieves multiple snapshots (the multipoint snapshot
 // primitive of Figure 1), fetching them concurrently.
 func (t *TGI) GetSnapshotsAt(times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
+	tr, own := t.startTrace("snapshots", opts)
+	defer t.finishTrace(tr, own)
 	out := make([]*graph.Graph, len(times))
 	tasks := make([]func() error, 0, len(times))
 	for i, tt := range times {
 		i, tt := i, tt
 		tasks = append(tasks, func() error {
-			g, err := t.GetSnapshot(tt, &FetchOptions{Clients: 1})
+			g, err := t.getSnapshot(tt, &FetchOptions{Clients: 1}, tr)
 			if err != nil {
 				return err
 			}

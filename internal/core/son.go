@@ -16,6 +16,8 @@ import (
 // TGI query processor's stream lands directly in one analytics-engine
 // partition without funnelling through a coordinator.
 func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) bool, opts *FetchOptions) ([][]*NodeHistory, error) {
+	tr, own := t.startTrace("son-fetch", opts)
+	defer t.finishTrace(tr, own)
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
@@ -26,7 +28,7 @@ func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) b
 	for sid := 0; sid < ns; sid++ {
 		sid := sid
 		tasks = append(tasks, func() error {
-			histories, err := t.fetchSidHistories(gm, sid, iv, keep)
+			histories, err := t.fetchSidHistories(gm, sid, iv, keep, tr)
 			if err != nil {
 				return err
 			}
@@ -41,19 +43,26 @@ func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) b
 }
 
 // fetchSidHistories runs one query processor's share of a SoN fetch.
-func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, keep func(graph.NodeID) bool) ([]*NodeHistory, error) {
+func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, keep func(graph.NodeID) bool, tr *fetch.Trace) ([]*NodeHistory, error) {
 	owned := func(id graph.NodeID) bool {
 		return t.sidOf(id) == sid && (keep == nil || keep(id))
 	}
 
 	// 1. Initial states: the sid's partitioned snapshot at iv.Start.
-	init, err := t.fetchSidSnapshot(sid, iv.Start)
+	init, err := t.fetchSidSnapshot(sid, iv.Start, tr)
 	if err != nil {
 		return nil, err
 	}
 
-	// 2. Events over the window, deduplicated then grouped per node.
-	var lists [][]graph.Event
+	// 2. Events over the window: plan every in-window eventlist of the
+	// sid as one batched read, then decode, deduplicate and group per
+	// node.
+	type elScan struct {
+		pkey   string
+		prefix string
+	}
+	var scans []elScan
+	plan := fetch.NewPlan()
 	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
 		tm, err := t.loadTimespanMeta(tsid)
 		if err != nil {
@@ -68,20 +77,28 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 			if tm.LeafTimes[el+1] <= iv.Start || tm.LeafTimes[el] >= iv.End {
 				continue
 			}
-			rows := t.store.ScanPrefix(TableEvents, pkey, eventPrefix(el))
-			for _, row := range rows {
-				evs, err := t.cdc.DecodeEvents(row.Value)
-				if err != nil {
-					return nil, fmt.Errorf("core: decode events %s/%s: %w", pkey, row.CKey, err)
-				}
-				var win []graph.Event
-				for _, e := range evs {
-					if e.Time > iv.Start && e.Time < iv.End {
-						win = append(win, e)
-					}
-				}
-				lists = append(lists, win)
+			scans = append(scans, elScan{pkey: pkey, prefix: eventPrefix(el)})
+			plan.Scan(TableEvents, pkey, eventPrefix(el))
+		}
+	}
+	res, err := t.fx.ExecTraced(plan, 1, tr)
+	if err != nil {
+		return nil, err
+	}
+	var lists [][]graph.Event
+	for _, sc := range scans {
+		for _, row := range res.Scan(TableEvents, sc.pkey, sc.prefix) {
+			evs, err := t.cdc.DecodeEvents(row.Value)
+			if err != nil {
+				return nil, fmt.Errorf("core: decode events %s/%s: %w", sc.pkey, row.CKey, err)
 			}
+			var win []graph.Event
+			for _, e := range evs {
+				if e.Time > iv.Start && e.Time < iv.End {
+					win = append(win, e)
+				}
+			}
+			lists = append(lists, win)
 		}
 	}
 	merged := mergeSortEvents(lists)
@@ -126,7 +143,7 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 // fetchSidSnapshot reconstructs one horizontal partition's state at tt
 // (the per-sid slice of Algorithm 1): one batched plan for the path
 // delta groups and the boundary eventlist, cache-served where hot.
-func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time) (*graph.Graph, error) {
+func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time, tr *fetch.Trace) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -140,7 +157,7 @@ func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time) (*graph.Graph, error) 
 	if leaf < tm.EventlistCount {
 		plan.Scan(TableEvents, pkey, eventPrefix(leaf))
 	}
-	res, err := t.fx.Exec(plan, 1)
+	res, err := t.fx.ExecTraced(plan, 1, tr)
 	if err != nil {
 		return nil, err
 	}

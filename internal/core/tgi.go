@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"hgs/internal/codec"
 	"hgs/internal/fetch"
@@ -17,11 +18,12 @@ import (
 // unified fetch layer (fx): planned key sets, batched per-node reads,
 // and the decoded-delta cache.
 type TGI struct {
-	cfg   Config
-	store *kvstore.Cluster
-	cdc   codec.Codec
-	meta  *metaStore
-	fx    *fetch.Executor
+	cfg    Config
+	store  *kvstore.Cluster
+	cdc    codec.Codec
+	meta   *metaStore
+	fx     *fetch.Executor
+	traces *traceRing
 }
 
 // New creates an index handle over the given store. The store may be
@@ -31,11 +33,12 @@ func New(store *kvstore.Cluster, cfg Config) *TGI {
 	cfg.normalize()
 	cdc := codec.Codec{Compress: cfg.Compress}
 	return &TGI{
-		cfg:   cfg,
-		store: store,
-		cdc:   cdc,
-		meta:  newMetaStore(),
-		fx:    fetch.NewExecutor(store, cdc, cfg.queryCache()),
+		cfg:    cfg,
+		store:  store,
+		cdc:    cdc,
+		meta:   newMetaStore(),
+		fx:     fetch.NewExecutor(store, cdc, cfg.queryCache()),
+		traces: newTraceRing(),
 	}
 }
 
@@ -76,12 +79,13 @@ func Attach(store *kvstore.Cluster, cfg Config) (*TGI, bool, error) {
 	if err := json.Unmarshal(blob, gm); err != nil {
 		return nil, false, fmt.Errorf("core: decode persisted graph metadata: %w", err)
 	}
-	// Construction parameters come from the store; CacheBytes and an
-	// injected shared Cache are properties of the reading process and
-	// survive the adoption.
+	// Construction parameters come from the store; CacheBytes, an
+	// injected shared Cache and TracePlans are properties of the
+	// reading process and survive the adoption.
 	t.cfg = gm.Config
 	t.cfg.CacheBytes = cfg.CacheBytes
 	t.cfg.Cache = cfg.Cache
+	t.cfg.TracePlans = cfg.TracePlans
 	t.cfg.normalize()
 	t.cdc = codec.Codec{Compress: t.cfg.Compress}
 	t.fx = fetch.NewExecutor(store, t.cdc, t.cfg.queryCache())
@@ -100,6 +104,67 @@ func (t *TGI) Store() *kvstore.Cluster { return t.store }
 // CacheStats returns the decoded-delta cache counters (zero when the
 // cache is disabled).
 func (t *TGI) CacheStats() fetch.CacheStats { return t.fx.Cache().Stats() }
+
+// traceKeep bounds the per-handle plan-trace ring: enough recent
+// queries to debug a workload without growing with it.
+const traceKeep = 32
+
+// traceRing keeps the most recent plan-trace records of a handle.
+type traceRing struct {
+	mu     sync.Mutex
+	recent []fetch.TraceRecord
+}
+
+func newTraceRing() *traceRing { return &traceRing{} }
+
+func (r *traceRing) add(rec fetch.TraceRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent = append(r.recent, rec)
+	if len(r.recent) > traceKeep {
+		r.recent = append(r.recent[:0], r.recent[len(r.recent)-traceKeep:]...)
+	}
+}
+
+func (r *traceRing) snapshot() []fetch.TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]fetch.TraceRecord(nil), r.recent...)
+}
+
+// startTrace resolves the trace one retrieval should fill: the
+// caller-supplied FetchOptions.Trace when present, else a fresh one
+// when Config.TracePlans is on, else nil (tracing disabled — every
+// fetch.Trace method is nil-safe, so retrieval code threads the result
+// unconditionally). own reports that the TGI created the trace and
+// finishTrace should record it into the ring; caller-supplied traces
+// belong to the caller and are never double-recorded, which also keeps
+// a fan-out retrieval (multiple snapshots sharing one outer trace) one
+// ring entry.
+func (t *TGI) startTrace(op string, opts *FetchOptions) (tr *fetch.Trace, own bool) {
+	if opts != nil && opts.Trace != nil {
+		opts.Trace.SetOp(op)
+		return opts.Trace, false
+	}
+	if !t.cfg.TracePlans {
+		return nil, false
+	}
+	tr = &fetch.Trace{}
+	tr.SetOp(op)
+	return tr, true
+}
+
+// finishTrace records an owned trace into the handle's ring.
+func (t *TGI) finishTrace(tr *fetch.Trace, own bool) {
+	if tr == nil || !own {
+		return
+	}
+	t.traces.add(tr.Record())
+}
+
+// PlanTraces returns the handle's most recent per-query plan traces,
+// oldest first (empty unless Config.TracePlans is on).
+func (t *TGI) PlanTraces() []fetch.TraceRecord { return t.traces.snapshot() }
 
 // TimeRange returns the [first, last] event times covered by the index.
 func (t *TGI) TimeRange() (temporal.Time, temporal.Time, error) {

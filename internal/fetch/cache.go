@@ -9,15 +9,42 @@ import (
 	"hgs/internal/delta"
 )
 
-// Byte-accounting overheads charged per cached entry and per micro-delta
-// on top of the encoded blob size, approximating the decoded in-memory
-// footprint (maps, state headers) the blob length alone undercounts.
+// Byte-accounting overheads charged per cached entry, per micro-delta,
+// and per negative (absence) marker on top of the encoded blob size,
+// approximating the decoded in-memory footprint (maps, state headers)
+// the blob length alone undercounts.
 const (
 	entryOverhead = 256
 	partOverhead  = 64
+	negOverhead   = 16
 )
 
-// Cache is a bytes-bounded LRU of decoded micro-deltas, keyed by
+// protectedShare is the fraction of the byte budget reserved for the
+// protected segment of the segmented LRU: entries that proved reuse (a
+// hit after admission) live there and cannot be evicted by a stream of
+// one-shot insertions, which compete only for the remaining probation
+// share.
+const protectedShare = 0.8
+
+// CacheOptions configure a Cache beyond its byte budget. The zero value
+// of each field selects the v2 defaults; the legacy knobs exist so
+// benchmarks and regression tests can reproduce the v1 (PR 2) behavior
+// and quantify what the v2 policies buy.
+type CacheOptions struct {
+	// MaxBytes bounds the cache; <= 0 disables caching (nil cache).
+	MaxBytes int64
+	// PlainLRU disables the segmented (probation/protected) admission
+	// policy and runs one flat LRU list — the v1 eviction behavior, in
+	// which a single large scan can evict the entire hot set.
+	PlainLRU bool
+	// NoNegative disables negative caching of absent micro-delta rows —
+	// the v1 absence behavior, in which only complete group entries know
+	// absence and repeated point reads of absent rows hit the store
+	// every time.
+	NoNegative bool
+}
+
+// Cache is a bytes-bounded cache of decoded micro-deltas, keyed by
 // (tsid, sid, did) group. Hot root and interior deltas of the tree —
 // shared by every snapshot and micro-partition retrieval of a timespan —
 // are decoded once and then served to all queries and TAF workers.
@@ -25,46 +52,138 @@ const (
 // An entry holds the decoded micro-deltas of one tree delta by pid. A
 // full prefix scan installs a complete entry (so group lookups and
 // known-absent answers are served without touching the store); a point
-// read installs or extends an incomplete one. Eviction is LRU at entry
-// granularity against a budget of encoded-blob bytes plus fixed
-// overheads.
+// read installs or extends an incomplete one, and a point read that
+// found nothing installs a negative marker so the next probe of the
+// same absent row skips the store (see AddNegative).
+//
+// Admission and eviction are a segmented LRU over entries: new entries
+// enter a probation segment, a hit promotes to a protected segment
+// bounded to protectedShare of the budget, and eviction always drains
+// probation first. A one-shot burst of insertions (one huge snapshot
+// scan) therefore competes only for the probation share and cannot
+// evict the resident hot set; an entry bigger than the whole budget is
+// rejected at the door (CacheStats.Oversized, one case of the general
+// admission policy counted by CacheStats.AdmissionRejects).
 //
 // Cached deltas are shared read-only: readers merge them with
 // Delta.ApplyTo (which clones states) and must never call MoveTo.
 // A nil *Cache is valid and caches nothing.
 type Cache struct {
-	mu      sync.Mutex
-	max     int64
-	used    int64
-	ll      *list.List // front = most recently used
-	entries map[GroupKey]*list.Element
+	mu        sync.Mutex
+	max       int64
+	protMax   int64      // protected-segment byte bound (0 in plain-LRU mode)
+	used      int64      // total bytes across both segments
+	protUsed  int64      // bytes in the protected segment
+	probation *list.List // front = most recently used; also the sole list in plain-LRU mode
+	protected *list.List
+	entries   map[GroupKey]*list.Element
 
-	hits, misses, evictions, oversized int64
+	plainLRU   bool
+	noNegative bool
+
+	hits, misses, negativeHits              int64
+	evictions, admissions, admissionRejects int64
+	oversized                               int64
 }
 
 // cacheEntry is one (tsid, sid, did) group.
 type cacheEntry struct {
 	key   GroupKey
 	parts map[int]*delta.Delta
+	// absent marks pids known not to exist (negative markers); complete
+	// entries know absence implicitly and carry no markers.
+	absent map[int]struct{}
 	// sorted is the pid-ascending part list, materialized once when the
 	// entry completes so group hits — the hottest path — return it
 	// without re-sorting.
-	sorted   []Part
-	complete bool
-	total    int64
+	sorted    []Part
+	complete  bool
+	total     int64
+	protected bool // which segment the entry lives in
 }
 
-// NewCache returns a cache bounded to maxBytes; maxBytes <= 0 returns
-// nil (caching disabled).
+// NewCache returns a segmented-LRU cache bounded to maxBytes with
+// negative caching enabled (the v2 defaults); maxBytes <= 0 returns nil
+// (caching disabled).
 func NewCache(maxBytes int64) *Cache {
-	if maxBytes <= 0 {
+	return NewCacheWith(CacheOptions{MaxBytes: maxBytes})
+}
+
+// NewCacheWith returns a cache configured by opts; opts.MaxBytes <= 0
+// returns nil (caching disabled).
+func NewCacheWith(opts CacheOptions) *Cache {
+	if opts.MaxBytes <= 0 {
 		return nil
 	}
-	return &Cache{max: maxBytes, ll: list.New(), entries: make(map[GroupKey]*list.Element)}
+	c := &Cache{
+		max:        opts.MaxBytes,
+		probation:  list.New(),
+		protected:  list.New(),
+		entries:    make(map[GroupKey]*list.Element),
+		plainLRU:   opts.PlainLRU,
+		noNegative: opts.NoNegative,
+	}
+	if !c.plainLRU {
+		c.protMax = int64(float64(opts.MaxBytes) * protectedShare)
+	}
+	return c
+}
+
+// refreshLocked moves an entry to the MRU position of its current
+// segment without promoting it (used by installs; reuse is proven by
+// lookups, not by writes).
+func (c *Cache) refreshLocked(el *list.Element) {
+	if el.Value.(*cacheEntry).protected {
+		c.protected.MoveToFront(el)
+	} else {
+		c.probation.MoveToFront(el)
+	}
+}
+
+// touchLocked registers a hit on an entry's element: move to the front
+// of its segment and, under the segmented policy, promote probation
+// entries into the protected segment (demoting the protected LRU back
+// to probation when the segment overflows its share).
+func (c *Cache) touchLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	if c.plainLRU {
+		c.probation.MoveToFront(el)
+		return
+	}
+	if e.protected {
+		c.protected.MoveToFront(el)
+		return
+	}
+	// Promote: the entry proved reuse.
+	c.probation.Remove(el)
+	e.protected = true
+	c.entries[e.key] = c.protected.PushFront(e)
+	c.protUsed += e.total
+	c.demoteLocked()
+}
+
+// demoteLocked rebalances the protected segment back to its share by
+// moving its LRU entries to probation (demotion, never eviction). It
+// must run after every growth of protUsed — promotion, protected
+// insertion, in-place growth of a protected entry — or the protected
+// segment could swallow the whole budget and starve probation, leaving
+// no room for new entries to prove reuse. A single protected entry is
+// never demoted by its own growth.
+func (c *Cache) demoteLocked() {
+	for c.protUsed > c.protMax && c.protected.Len() > 1 {
+		lru := c.protected.Back()
+		le := lru.Value.(*cacheEntry)
+		c.protected.Remove(lru)
+		le.protected = false
+		c.protUsed -= le.total
+		c.entries[le.key] = c.probation.PushFront(le)
+	}
 }
 
 // Group returns the complete micro-delta set of a group, pid-ascending,
-// or ok=false when the group is absent or only partially resident.
+// or ok=false when the group is absent or only partially resident. An
+// empty complete group is an authoritative absence answer and counts as
+// a negative hit.
 func (c *Cache) Group(k GroupKey) ([]Part, bool) {
 	if c == nil {
 		return nil, false
@@ -76,15 +195,21 @@ func (c *Cache) Group(k GroupKey) ([]Part, bool) {
 		c.misses++
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	if len(e.sorted) == 0 {
+		c.negativeHits++
+	} else {
+		c.hits++
+	}
+	c.touchLocked(el)
 	// The slice is shared read-only, like the deltas it holds.
-	return el.Value.(*cacheEntry).sorted, true
+	return e.sorted, true
 }
 
 // Part returns one micro-delta. known reports whether the answer is
-// authoritative: a complete entry knows absence (d == nil, known), an
-// incomplete or missing entry does not (known == false → read the
+// authoritative: a resident part hits positively; a complete entry or a
+// negative marker knows absence (d == nil, known — a negative hit); an
+// incomplete entry without a marker does not (known == false → read the
 // store).
 func (c *Cache) Part(k PartKey) (d *delta.Delta, known bool) {
 	if c == nil {
@@ -100,12 +225,12 @@ func (c *Cache) Part(k PartKey) (d *delta.Delta, known bool) {
 	e := el.Value.(*cacheEntry)
 	if d, ok := e.parts[k.PID]; ok {
 		c.hits++
-		c.ll.MoveToFront(el)
+		c.touchLocked(el)
 		return d, true
 	}
-	if e.complete { // the row provably does not exist
-		c.hits++
-		c.ll.MoveToFront(el)
+	if _, neg := e.absent[k.PID]; neg || e.complete { // the row provably does not exist
+		c.negativeHits++
+		c.touchLocked(el)
 		return nil, true
 	}
 	c.misses++
@@ -114,10 +239,11 @@ func (c *Cache) Part(k PartKey) (d *delta.Delta, known bool) {
 
 // AddGroup installs the complete decoded micro-delta set of a group.
 // sizes[i] is the encoded size of parts[i] (the byte-budget charge).
-// A group bigger than the whole budget is rejected at admission — one
-// giant snapshot scan must not wipe every hot entry only to be evicted
-// itself on the next add (size-aware admission; counted in
-// CacheStats.Oversized).
+// An empty parts slice installs a complete absence marker for the whole
+// group at fixed cost. A group bigger than the whole budget is rejected
+// at admission — one giant snapshot scan must not wipe every hot entry
+// only to be evicted itself on the next add (size-aware admission;
+// counted in CacheStats.Oversized and AdmissionRejects).
 func (c *Cache) AddGroup(k GroupKey, parts []Part, sizes []int64) {
 	if c == nil {
 		return
@@ -133,14 +259,19 @@ func (c *Cache) AddGroup(k GroupKey, parts []Part, sizes []int64) {
 	defer c.mu.Unlock()
 	if e.total > c.max {
 		c.oversized++
+		c.admissionRejects++
 		return
 	}
 	if el, ok := c.entries[k]; ok {
-		c.used -= el.Value.(*cacheEntry).total
-		c.ll.Remove(el)
+		old := el.Value.(*cacheEntry)
+		c.removeLocked(el)
+		// A completed entry inherits the protection its incomplete
+		// predecessor earned, so completing a hot group does not expose
+		// it to the next scan.
+		e.protected = old.protected && !c.plainLRU
 	}
-	c.entries[k] = c.ll.PushFront(e)
-	c.used += e.total
+	c.admissions++
+	c.insertLocked(e)
 	c.evictLocked()
 }
 
@@ -159,69 +290,182 @@ func (c *Cache) AddPart(k PartKey, d *delta.Delta, size int64) {
 	if !ok {
 		if entryOverhead+b > c.max {
 			c.oversized++
+			c.admissionRejects++
 			return
 		}
 		e := &cacheEntry{key: k.group(), parts: make(map[int]*delta.Delta, 1), total: entryOverhead}
-		el = c.ll.PushFront(e)
-		c.entries[k.group()] = el
-		c.used += e.total
+		c.admissions++
+		el = c.insertLocked(e)
 	}
 	e := el.Value.(*cacheEntry)
 	if _, exists := e.parts[k.PID]; exists {
 		return
 	}
+	if _, neg := e.absent[k.PID]; neg {
+		// The row exists after all; drop the stale absence marker.
+		delete(e.absent, k.PID)
+		c.addBytesLocked(e, -negOverhead)
+	}
 	if e.total+b > c.max {
 		c.oversized++
+		c.admissionRejects++
 		return
 	}
 	e.parts[k.PID] = d
-	e.total += b
-	c.used += b
-	c.ll.MoveToFront(el)
+	c.addBytesLocked(e, b)
+	c.refreshLocked(c.entries[k.group()])
 	c.evictLocked()
 }
 
-// evictLocked drops least-recently-used entries until within budget.
+// AddNegative records that one micro-delta row does not exist (a point
+// read returned nothing), so the next probe of the same absent row is
+// answered from the cache instead of paying a store round. Markers are
+// tiny fixed-cost residents of their group entry; like positive entries
+// they are dropped wholesale by Purge when Append rebuilds the trailing
+// timespan.
+func (c *Cache) AddNegative(k PartKey) {
+	if c == nil || c.noNegative {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k.group()]
+	if !ok {
+		if entryOverhead+negOverhead > c.max {
+			c.oversized++
+			c.admissionRejects++
+			return
+		}
+		e := &cacheEntry{key: k.group(), parts: make(map[int]*delta.Delta), total: entryOverhead}
+		c.admissions++
+		el = c.insertLocked(e)
+	}
+	e := el.Value.(*cacheEntry)
+	if e.complete {
+		return // completeness already answers absence
+	}
+	if _, exists := e.parts[k.PID]; exists {
+		return
+	}
+	if _, exists := e.absent[k.PID]; exists {
+		return
+	}
+	if e.total+negOverhead > c.max {
+		c.admissionRejects++
+		return
+	}
+	if e.absent == nil {
+		e.absent = make(map[int]struct{})
+	}
+	e.absent[k.PID] = struct{}{}
+	c.addBytesLocked(e, negOverhead)
+	c.evictLocked()
+}
+
+// insertLocked places a (new) entry into its segment at MRU position
+// and registers it, charging its bytes.
+func (c *Cache) insertLocked(e *cacheEntry) *list.Element {
+	var el *list.Element
+	if e.protected {
+		el = c.protected.PushFront(e)
+		c.protUsed += e.total
+	} else {
+		el = c.probation.PushFront(e)
+	}
+	c.entries[e.key] = el
+	c.used += e.total
+	if e.protected {
+		c.demoteLocked()
+	}
+	return el
+}
+
+// removeLocked unregisters an entry and refunds its bytes.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	if e.protected {
+		c.protected.Remove(el)
+		c.protUsed -= e.total
+	} else {
+		c.probation.Remove(el)
+	}
+	delete(c.entries, e.key)
+	c.used -= e.total
+}
+
+// addBytesLocked grows (or shrinks) an entry in place, keeping the
+// segment accounting consistent.
+func (c *Cache) addBytesLocked(e *cacheEntry, b int64) {
+	e.total += b
+	c.used += b
+	if e.protected {
+		c.protUsed += b
+		if b > 0 {
+			c.demoteLocked()
+		}
+	}
+}
+
+// evictLocked drops entries until within budget: probation (one-shot
+// candidates) first, the protected segment only when probation is
+// empty.
 func (c *Cache) evictLocked() {
-	for c.used > c.max && c.ll.Len() > 0 {
-		el := c.ll.Back()
-		e := el.Value.(*cacheEntry)
-		c.ll.Remove(el)
-		delete(c.entries, e.key)
-		c.used -= e.total
+	for c.used > c.max {
+		el := c.probation.Back()
+		if el == nil {
+			el = c.protected.Back()
+		}
+		if el == nil {
+			return
+		}
+		c.removeLocked(el)
 		c.evictions++
 	}
 }
 
-// Purge drops every entry (called when the index mutates: Append rebuilds
-// the trailing timespan, so cached deltas for it would be stale).
+// Purge drops every entry — positive and negative — and is called when
+// the index mutates: Append rebuilds the trailing timespan, so cached
+// deltas and absence markers for it would be stale.
 func (c *Cache) Purge() {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
+	c.probation.Init()
+	c.protected.Init()
 	c.entries = make(map[GroupKey]*list.Element)
 	c.used = 0
+	c.protUsed = 0
 }
 
-// CacheStats is a snapshot of cache counters. Oversized counts entries
-// (or parts) rejected at admission because they alone would exceed the
-// byte budget.
+// CacheStats is a snapshot of cache counters.
+//
+// Hits count positive answers (a resident delta or a non-empty group);
+// NegativeHits count authoritative absence answers (an empty complete
+// group, a complete group lacking the pid, or a negative marker) — each
+// one a store read that was not issued. Admissions counts entries
+// accepted into the cache; AdmissionRejects counts entries or parts the
+// admission policy refused, of which Oversized (bigger than the whole
+// budget) is the size-aware case. ProtectedBytes is the gauge of bytes
+// currently in the protected segment — the scan-resistant hot set.
 type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Oversized int64
-	Entries   int
-	Bytes     int64
-	MaxBytes  int64
+	Hits             int64
+	Misses           int64
+	NegativeHits     int64
+	Evictions        int64
+	Admissions       int64
+	AdmissionRejects int64
+	Oversized        int64
+	Entries          int
+	Bytes            int64
+	ProtectedBytes   int64
+	MaxBytes         int64
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache hits=%d misses=%d evictions=%d oversized=%d entries=%d bytes=%d/%d",
-		s.Hits, s.Misses, s.Evictions, s.Oversized, s.Entries, s.Bytes, s.MaxBytes)
+	return fmt.Sprintf("cache hits=%d neghits=%d misses=%d evictions=%d admits=%d rejects=%d oversized=%d entries=%d bytes=%d/%d protected=%d",
+		s.Hits, s.NegativeHits, s.Misses, s.Evictions, s.Admissions, s.AdmissionRejects, s.Oversized, s.Entries, s.Bytes, s.MaxBytes, s.ProtectedBytes)
 }
 
 // Stats returns a snapshot of the cache counters (zero for a nil cache).
@@ -232,12 +476,16 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Oversized: c.oversized,
-		Entries:   len(c.entries),
-		Bytes:     c.used,
-		MaxBytes:  c.max,
+		Hits:             c.hits,
+		Misses:           c.misses,
+		NegativeHits:     c.negativeHits,
+		Evictions:        c.evictions,
+		Admissions:       c.admissions,
+		AdmissionRejects: c.admissionRejects,
+		Oversized:        c.oversized,
+		Entries:          len(c.entries),
+		Bytes:            c.used,
+		ProtectedBytes:   c.protUsed,
+		MaxBytes:         c.max,
 	}
 }

@@ -2,12 +2,26 @@ package fetch
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"hgs/internal/codec"
 	"hgs/internal/delta"
 	"hgs/internal/kvstore"
 )
+
+// partsByPID sorts a decoded group and its parallel size slice together.
+type partsByPID struct {
+	parts []Part
+	sizes []int64
+}
+
+func (p *partsByPID) Len() int           { return len(p.parts) }
+func (p *partsByPID) Less(i, j int) bool { return p.parts[i].PID < p.parts[j].PID }
+func (p *partsByPID) Swap(i, j int) {
+	p.parts[i], p.parts[j] = p.parts[j], p.parts[i]
+	p.sizes[i], p.sizes[j] = p.sizes[j], p.sizes[i]
+}
 
 // Store is the batched read surface the executor runs plans against;
 // *kvstore.Cluster implements it. Both calls answer positionally.
@@ -16,21 +30,37 @@ type Store interface {
 	MultiScan(refs []kvstore.ScanRef) [][]kvstore.Row
 }
 
+// TracedStore is the optional attribution surface of a Store:
+// *kvstore.Cluster implements it, returning with each batched call the
+// exact logical reads, round-trips, bytes and simulated wait that call
+// charged. The executor uses it to fill per-query plan traces; against
+// a plain Store, traces count issued requests but report zero
+// round-trips and wait.
+type TracedStore interface {
+	Store
+	MultiGetStats(refs []kvstore.KeyRef) ([]kvstore.GetResult, kvstore.CallStats)
+	MultiScanStats(refs []kvstore.ScanRef) ([][]kvstore.Row, kvstore.CallStats)
+}
+
 // Executor runs read plans: delta requests are served from the decoded
 // cache when resident, everything else goes to the store as one batched
 // round (a MultiScan and a MultiGet issued concurrently, each charging
 // one simulated round-trip per storage node touched). Freshly decoded
-// deltas are installed in the cache on the way out.
+// deltas are installed in the cache on the way out; point reads that
+// found nothing install negative markers so the next probe of the same
+// absent row skips the store.
 type Executor struct {
-	store Store
-	cdc   codec.Codec
-	cache *Cache
+	store  Store
+	traced TracedStore // non-nil when store supports per-call attribution
+	cdc    codec.Codec
+	cache  *Cache
 }
 
 // NewExecutor builds an executor over a store; cache may be nil
 // (caching disabled).
 func NewExecutor(store Store, cdc codec.Codec, cache *Cache) *Executor {
-	return &Executor{store: store, cdc: cdc, cache: cache}
+	ts, _ := store.(TracedStore)
+	return &Executor{store: store, traced: ts, cdc: cdc, cache: cache}
 }
 
 // Cache returns the executor's delta cache (nil when disabled).
@@ -82,9 +112,16 @@ func Parallel(clients, n int, f func(i int) error) error {
 // node regardless. The returned deltas are shared with the cache — see
 // Result.
 func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
+	return e.ExecTraced(p, clients, nil)
+}
+
+// ExecTraced runs the plan like Exec and additionally folds the
+// execution's plan/cache/read breakdown into tr (nil records nothing).
+func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) {
 	if clients < 1 {
 		clients = 1
 	}
+	tr.addPlanned(len(p.groups), len(p.parts), len(p.gets), len(p.scans))
 	res := &Result{
 		groups: make(map[GroupKey][]Part, len(p.groups)),
 		parts:  make(map[PartKey]*delta.Delta, len(p.parts)),
@@ -98,6 +135,7 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 	for _, k := range p.groups {
 		if parts, ok := e.cache.Group(k); ok {
 			res.groups[k] = parts
+			tr.addHit(k.Table, len(parts) == 0)
 		} else {
 			missGroups = append(missGroups, k)
 		}
@@ -108,6 +146,7 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 			if d != nil {
 				res.parts[k] = d
 			}
+			tr.addHit(k.Table, d == nil)
 		} else {
 			missParts = append(missParts, k)
 		}
@@ -130,6 +169,17 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 		})
 	}
 	getRefs = append(getRefs, p.gets...)
+	if tr != nil {
+		// Logical reads, attributed per table from the issued request
+		// set (one read per key or prefix scan — the same accounting as
+		// kvstore.Metrics.Reads).
+		for _, ref := range scanRefs {
+			tr.addReads(ref.Table, 1)
+		}
+		for _, ref := range getRefs {
+			tr.addReads(ref.Table, 1)
+		}
+	}
 
 	var (
 		scanRows [][]kvstore.Row
@@ -138,13 +188,45 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 	)
 	if len(scanRefs) > 0 {
 		wg.Add(1)
-		go func() { defer wg.Done(); scanRows = e.store.MultiScan(scanRefs) }()
+		go func() {
+			defer wg.Done()
+			if tr != nil && e.traced != nil {
+				var cs kvstore.CallStats
+				scanRows, cs = e.traced.MultiScanStats(scanRefs)
+				tr.addCall(cs)
+			} else {
+				scanRows = e.store.MultiScan(scanRefs)
+			}
+		}()
 	}
 	if len(getRefs) > 0 {
 		wg.Add(1)
-		go func() { defer wg.Done(); getVals = e.store.MultiGet(getRefs) }()
+		go func() {
+			defer wg.Done()
+			if tr != nil && e.traced != nil {
+				var cs kvstore.CallStats
+				getVals, cs = e.traced.MultiGetStats(getRefs)
+				tr.addCall(cs)
+			} else {
+				getVals = e.store.MultiGet(getRefs)
+			}
+		}()
 	}
 	wg.Wait()
+	if tr != nil && e.traced == nil {
+		// No per-call attribution: at least account the bytes moved.
+		var cs kvstore.CallStats
+		for _, rows := range scanRows {
+			for _, r := range rows {
+				cs.BytesRead += int64(len(r.Value))
+			}
+		}
+		for _, gv := range getVals {
+			cs.BytesRead += int64(len(gv.Value))
+		}
+		cs.RoundTrips = 0
+		tr.addCall(cs)
+	}
 
 	// 3. Decode the missed deltas in parallel, installing them in the
 	// cache as they complete.
@@ -166,6 +248,9 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 			parts = append(parts, Part{PID: pid, Delta: d})
 			sizes = append(sizes, int64(len(row.Value)))
 		}
+		// Result.Group promises pid-ascending parts; the store's
+		// clustering order already is, but don't depend on it.
+		sort.Sort(&partsByPID{parts, sizes})
 		e.cache.AddGroup(k, parts, sizes)
 		mu.Lock()
 		res.groups[k] = parts
@@ -178,6 +263,9 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 		k := missParts[i]
 		gv := getVals[i]
 		if !gv.Found {
+			// The row does not exist: remember that, so repeated probes
+			// of sparse history stop issuing KV reads.
+			e.cache.AddNegative(k)
 			return nil
 		}
 		d, err := e.cdc.DecodeDelta(gv.Value)

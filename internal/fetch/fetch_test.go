@@ -393,3 +393,206 @@ func TestCacheRejectsOversizedEntries(t *testing.T) {
 		t.Fatalf("cache over budget after rejections: %d", st.Bytes)
 	}
 }
+
+func TestCacheNegativeMarkers(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := PartKey{TableDeltas, 0, 1, 2, 5}
+	if _, known := c.Part(k); known {
+		t.Fatal("empty cache must not claim absence")
+	}
+	c.AddNegative(k)
+	d, known := c.Part(k)
+	if !known || d != nil {
+		t.Fatal("negative marker should answer absence authoritatively")
+	}
+	st := c.Stats()
+	if st.NegativeHits != 1 {
+		t.Fatalf("NegativeHits = %d, want 1", st.NegativeHits)
+	}
+	// A marker must not block siblings or claim completeness.
+	if _, known := c.Part(PartKey{TableDeltas, 0, 1, 2, 6}); known {
+		t.Fatal("marker for pid 5 must not claim absence of pid 6")
+	}
+	if _, ok := c.Group(GroupKey{TableDeltas, 0, 1, 2}); ok {
+		t.Fatal("an entry holding only markers must not answer group lookups")
+	}
+	// The row appearing later overrides the stale marker.
+	c.AddPart(k, mkDelta(5), 100)
+	if d, known := c.Part(k); !known || d == nil {
+		t.Fatal("resident part must override the stale marker")
+	}
+	// Purge drops markers like positive entries.
+	k9 := PartKey{TableDeltas, 0, 1, 2, 9}
+	c.AddNegative(k9)
+	c.Purge()
+	if _, known := c.Part(k9); known {
+		t.Fatal("purge must drop negative markers")
+	}
+	// The legacy mode records nothing.
+	off := NewCacheWith(CacheOptions{MaxBytes: 1 << 20, NoNegative: true})
+	off.AddNegative(k)
+	if _, known := off.Part(k); known {
+		t.Fatal("NoNegative cache must not remember absence")
+	}
+}
+
+// TestCacheScanResistance pins the segmented admission policy: a
+// one-shot scan far larger than the budget must not evict the
+// proven-hot protected set. The same workload over the v1 plain-LRU
+// policy loses every hot entry — which is exactly the regression this
+// test guards against.
+func TestCacheScanResistance(t *testing.T) {
+	const budget = 64 * 1024
+	workload := func(c *Cache) (kept int) {
+		hot := make([]GroupKey, 8)
+		for i := range hot {
+			hot[i] = GroupKey{TableDeltas, 0, 0, i}
+			c.AddGroup(hot[i], []Part{{PID: 0, Delta: mkDelta(graph.NodeID(i))}}, []int64{2048})
+		}
+		for _, k := range hot { // a second access proves reuse → protected
+			if _, ok := c.Group(k); !ok {
+				t.Fatal("hot group missing before the scan")
+			}
+		}
+		for i := 0; i < 100; i++ { // one-shot scan, ~4x the whole budget
+			c.AddGroup(GroupKey{TableDeltas, 9, 9, i},
+				[]Part{{PID: 0, Delta: mkDelta(graph.NodeID(1000 + i))}}, []int64{2048})
+		}
+		for _, k := range hot {
+			if _, ok := c.Group(k); ok {
+				kept++
+			}
+		}
+		return kept
+	}
+	if kept := workload(NewCache(budget)); kept != 8 {
+		t.Fatalf("segmented admission kept %d of 8 hot groups across the scan, want all 8", kept)
+	}
+	if kept := workload(NewCacheWith(CacheOptions{MaxBytes: budget, PlainLRU: true})); kept != 0 {
+		t.Fatalf("plain LRU kept %d hot groups; the scan should have evicted all of them (the v1 failure mode)", kept)
+	}
+}
+
+// TestCacheSegmentBounds pins the SLRU accounting: the protected
+// segment stays within its share (demoting, not evicting, on overflow)
+// and the whole cache stays within budget.
+func TestCacheSegmentBounds(t *testing.T) {
+	const budget = 8 * 1024
+	c := NewCache(budget)
+	keys := make([]GroupKey, 3)
+	for i := range keys {
+		keys[i] = GroupKey{TableDeltas, 0, 0, i}
+		c.AddGroup(keys[i], []Part{{PID: 0, Delta: mkDelta(graph.NodeID(i))}}, []int64{2048})
+	}
+	for _, k := range keys { // promote all three: overflows the 80% share
+		c.Group(k)
+	}
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("cache over budget: %d > %d", st.Bytes, budget)
+	}
+	if max := budget * 8 / 10; st.ProtectedBytes > int64(max) {
+		t.Fatalf("protected segment over its share: %d > %d", st.ProtectedBytes, max)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("segment overflow evicted %d entries; it must demote instead", st.Evictions)
+	}
+	if st.Admissions != 3 {
+		t.Fatalf("Admissions = %d, want 3", st.Admissions)
+	}
+}
+
+// TestExecutorNegativeCachesAbsentParts: a point read that found no row
+// installs a negative marker, so re-probing the same absent row issues
+// no store call — and the plan trace records the breakdown.
+func TestExecutorNegativeCachesAbsentParts(t *testing.T) {
+	st := newFakeStore()
+	ex := NewExecutor(st, codec.Codec{}, NewCache(1<<20))
+	plan := NewPlan()
+	plan.DeltaPart(0, 0, 0, 7)
+
+	tr := &Trace{}
+	if _, err := ex.ExecTraced(plan, 1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if st.gets != 1 {
+		t.Fatalf("cold probe issued %d MultiGets, want 1", st.gets)
+	}
+	rec := tr.Record()
+	if rec.Parts != 1 || rec.KVReads != 1 || rec.NegativeHits != 0 {
+		t.Fatalf("cold trace = %+v", rec)
+	}
+	if tt := rec.Tables[TableDeltas]; tt.KVReads != 1 {
+		t.Fatalf("cold per-table trace = %+v", tt)
+	}
+
+	tr2 := &Trace{}
+	res, err := ex.ExecTraced(plan, 1, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Part(0, 0, 0, 7); d != nil {
+		t.Fatal("absent part returned a delta")
+	}
+	if st.gets != 1 {
+		t.Fatalf("re-probe of a known-absent row hit the store (%d gets)", st.gets)
+	}
+	rec2 := tr2.Record()
+	if rec2.NegativeHits != 1 || rec2.KVReads != 0 {
+		t.Fatalf("warm trace = %+v", rec2)
+	}
+	if tt := rec2.Tables[TableDeltas]; tt.NegativeHits != 1 || tt.KVReads != 0 {
+		t.Fatalf("warm per-table trace = %+v", tt)
+	}
+	if ex.Cache().Stats().NegativeHits == 0 {
+		t.Fatal("cache counters recorded no negative hit")
+	}
+}
+
+// TestCacheProtectedGrowthRebalances pins the demotion paths the
+// promotion loop does not cover: growing a protected entry in place
+// (AddPart) and completing a protected group (AddGroup inheritance)
+// must rebalance the protected segment back to its share by demoting
+// LRU entries — not silently let it swallow the whole budget and
+// starve probation.
+func TestCacheProtectedGrowthRebalances(t *testing.T) {
+	const budget = 16 * 1024
+	protMax := int64(budget * 8 / 10)
+
+	// In-place growth: three promoted entries, one grows large.
+	c := NewCache(budget)
+	keys := make([]GroupKey, 3)
+	for i := range keys {
+		keys[i] = GroupKey{TableDeltas, 0, 0, i}
+		c.AddGroup(keys[i], []Part{{PID: 0, Delta: mkDelta(graph.NodeID(i))}}, []int64{2048})
+		c.Group(keys[i]) // promote
+	}
+	for pid := 1; pid <= 6; pid++ {
+		c.AddPart(PartKey{TableDeltas, 0, 0, 1, pid}, mkDelta(1), 1024)
+	}
+	st := c.Stats()
+	if st.ProtectedBytes > protMax {
+		t.Fatalf("in-place growth left the protected segment over its share: %d > %d", st.ProtectedBytes, protMax)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("rebalancing evicted %d entries; it must demote", st.Evictions)
+	}
+
+	// Completion inheritance: a promoted group completed by a large scan
+	// charges the new size into the protected segment and must demote.
+	c2 := NewCache(budget)
+	g1 := GroupKey{TableDeltas, 0, 0, 1}
+	g2 := GroupKey{TableDeltas, 0, 0, 2}
+	c2.AddGroup(g1, []Part{{PID: 0, Delta: mkDelta(1)}}, []int64{512})
+	c2.AddGroup(g2, []Part{{PID: 0, Delta: mkDelta(2)}}, []int64{512})
+	c2.Group(g1)
+	c2.Group(g2) // both protected
+	c2.AddGroup(g1, []Part{{PID: 0, Delta: mkDelta(1)}}, []int64{10 * 1024})
+	st2 := c2.Stats()
+	if st2.ProtectedBytes > protMax {
+		t.Fatalf("inherited protection left the segment over its share: %d > %d", st2.ProtectedBytes, protMax)
+	}
+	if _, ok := c2.Group(g2); !ok {
+		t.Fatal("demoted entry was lost instead of moved to probation")
+	}
+}

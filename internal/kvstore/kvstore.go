@@ -280,7 +280,9 @@ func simulateWork(d time.Duration) {
 // server: a node moving many bytes is busy for proportionally long, so
 // cluster size m and replication r bound the achievable parallel-fetch
 // speedup (paper Figures 11–12).
-func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) {
+// serve returns the simulated service time it charged, so batched reads
+// can attribute their exact cost to the calling query (CallStats).
+func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) time.Duration {
 	c.roundTrips.Add(1)
 	node := c.nodes[idx]
 	node.mu.Lock()
@@ -295,6 +297,7 @@ func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) {
 	}
 	c.simWait.Add(int64(d))
 	simulateWork(d)
+	return d
 }
 
 // Put writes value under (table, pkey, ckey) on every replica,
@@ -381,6 +384,33 @@ type GetResult struct {
 	Found bool
 }
 
+// CallStats is the exact accounting of one batched read call: the same
+// quantities the cluster-wide Metrics counters accumulate, attributed
+// to the call that incurred them (the per-call pattern TierReader
+// established for cold-read billing — never diff the shared cumulative
+// counters around a call, which would misattribute concurrent work).
+// The query layer folds these into per-query plan traces.
+type CallStats struct {
+	// Reads counts logical operations (one per key or prefix scan).
+	Reads int64
+	// RoundTrips counts physical storage-node visits.
+	RoundTrips int64
+	// BytesRead counts the value bytes moved.
+	BytesRead int64
+	// SimWait is the simulated service time charged to this call.
+	SimWait time.Duration
+}
+
+// add folds one node visit into the stats under the mutex-free
+// assumption that the caller serializes (each batched read accumulates
+// its goroutines' visits under its own lock).
+func (cs *CallStats) add(reads, bytes int64, wait time.Duration) {
+	cs.Reads += reads
+	cs.RoundTrips++
+	cs.BytesRead += bytes
+	cs.SimWait += wait
+}
+
 // groupByNode picks a read replica once per partition (so all keys of a
 // partition travel in the same request) and groups request indexes by
 // the chosen storage node.
@@ -408,12 +438,25 @@ func (c *Cluster) groupByNode(n int, at func(i int) (table, pkey string)) map[in
 // so the wall-clock cost is the busiest node's service time. Results are
 // positional: out[i] answers refs[i].
 func (c *Cluster) MultiGet(refs []KeyRef) []GetResult {
+	out, _ := c.MultiGetStats(refs)
+	return out
+}
+
+// MultiGetStats is MultiGet with exact per-call attribution: the second
+// return value reports the logical reads, node round-trips, bytes and
+// simulated wait this call (and only this call) charged to the cluster
+// counters.
+func (c *Cluster) MultiGetStats(refs []KeyRef) ([]GetResult, CallStats) {
 	out := make([]GetResult, len(refs))
+	var cs CallStats
 	if len(refs) == 0 {
-		return out
+		return out, cs
 	}
 	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		csMu sync.Mutex
+	)
 	for node, idxs := range batches {
 		wg.Add(1)
 		go func(node int, idxs []int) {
@@ -424,7 +467,7 @@ func (c *Cluster) MultiGet(refs []KeyRef) []GetResult {
 			}
 			tr := c.nodes[node].tr
 			var vals [][]byte
-			c.serve(node, func(be backend.Backend) (int, int) {
+			d := c.serve(node, func(be backend.Backend) (int, int) {
 				cold := 0
 				if tr != nil {
 					vals, cold = tr.MultiGetTier(reqs)
@@ -446,29 +489,43 @@ func (c *Cluster) MultiGet(refs []KeyRef) []GetResult {
 			}
 			c.reads.Add(int64(len(idxs)))
 			c.bytesRead.Add(int64(total))
+			csMu.Lock()
+			cs.add(int64(len(idxs)), int64(total), d)
+			csMu.Unlock()
 		}(node, idxs)
 	}
 	wg.Wait()
-	return out
+	return out, cs
 }
 
 // MultiScan runs a batch of prefix scans, grouped per storage node like
 // MultiGet: each node serves its share of scans under one base-latency
 // charge. out[i] holds the rows of refs[i], in clustering order.
 func (c *Cluster) MultiScan(refs []ScanRef) [][]Row {
+	out, _ := c.MultiScanStats(refs)
+	return out
+}
+
+// MultiScanStats is MultiScan with exact per-call attribution (see
+// MultiGetStats).
+func (c *Cluster) MultiScanStats(refs []ScanRef) ([][]Row, CallStats) {
 	out := make([][]Row, len(refs))
+	var cs CallStats
 	if len(refs) == 0 {
-		return out
+		return out, cs
 	}
 	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		csMu sync.Mutex
+	)
 	for node, idxs := range batches {
 		wg.Add(1)
 		go func(node int, idxs []int) {
 			defer wg.Done()
 			tr := c.nodes[node].tr
 			total := 0
-			c.serve(node, func(be backend.Backend) (int, int) {
+			d := c.serve(node, func(be backend.Backend) (int, int) {
 				cold := 0
 				for _, i := range idxs {
 					var rows []Row
@@ -488,10 +545,13 @@ func (c *Cluster) MultiScan(refs []ScanRef) [][]Row {
 			})
 			c.reads.Add(int64(len(idxs)))
 			c.bytesRead.Add(int64(total))
+			csMu.Lock()
+			cs.add(int64(len(idxs)), int64(total), d)
+			csMu.Unlock()
 		}(node, idxs)
 	}
 	wg.Wait()
-	return out
+	return out, cs
 }
 
 // Delete removes a row from all replicas; it reports whether the row

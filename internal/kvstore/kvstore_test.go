@@ -672,3 +672,47 @@ func TestWarmUpMetricsAggregation(t *testing.T) {
 		t.Fatal("ResetMetrics must baseline WarmedRows")
 	}
 }
+
+// TestCallStatsMatchMetrics pins per-call attribution: the CallStats a
+// batched read returns must equal exactly what the call added to the
+// cluster counters — reads, round-trips, bytes and simulated wait.
+func TestCallStatsMatchMetrics(t *testing.T) {
+	c := NewCluster(Config{
+		Machines: 3, Replication: 1,
+		Latency: LatencyModel{Enabled: true, BaseOp: 2 * time.Microsecond, PerKB: 4 * time.Microsecond},
+	})
+	refs := make([]KeyRef, 0, 40)
+	for i := 0; i < 40; i++ {
+		pkey := fmt.Sprintf("p%d", i%5)
+		ckey := fmt.Sprintf("c%02d", i)
+		c.Put("t", pkey, ckey, []byte(fmt.Sprintf("value-%03d", i)))
+		refs = append(refs, KeyRef{Table: "t", PKey: pkey, CKey: ckey})
+	}
+	refs = append(refs, KeyRef{Table: "t", PKey: "p0", CKey: "missing"})
+
+	c.ResetMetrics()
+	out, cs := c.MultiGetStats(refs)
+	m := c.Metrics()
+	if !out[0].Found || out[len(out)-1].Found {
+		t.Fatalf("unexpected results: first found=%v last found=%v", out[0].Found, out[len(out)-1].Found)
+	}
+	if cs.Reads != m.Reads || cs.RoundTrips != m.RoundTrips || cs.BytesRead != m.BytesRead || cs.SimWait != m.SimWait {
+		t.Fatalf("MultiGetStats %+v != metrics {Reads:%d RoundTrips:%d BytesRead:%d SimWait:%v}",
+			cs, m.Reads, m.RoundTrips, m.BytesRead, m.SimWait)
+	}
+	if cs.Reads != int64(len(refs)) {
+		t.Fatalf("Reads = %d, want %d", cs.Reads, len(refs))
+	}
+
+	c.ResetMetrics()
+	scans := []ScanRef{{Table: "t", PKey: "p0", Prefix: "c"}, {Table: "t", PKey: "p1", Prefix: "c"}, {Table: "t", PKey: "nope", Prefix: ""}}
+	rows, scs := c.MultiScanStats(scans)
+	sm := c.Metrics()
+	if len(rows[0]) == 0 || len(rows[2]) != 0 {
+		t.Fatalf("unexpected scan rows: %d, %d", len(rows[0]), len(rows[2]))
+	}
+	if scs.Reads != sm.Reads || scs.RoundTrips != sm.RoundTrips || scs.BytesRead != sm.BytesRead || scs.SimWait != sm.SimWait {
+		t.Fatalf("MultiScanStats %+v != metrics {Reads:%d RoundTrips:%d BytesRead:%d SimWait:%v}",
+			scs, sm.Reads, sm.RoundTrips, sm.BytesRead, sm.SimWait)
+	}
+}

@@ -1,0 +1,128 @@
+// Command checkdocs is the docs gate of `make docs-check`: it fails
+// when an intra-repo markdown link points at a file that does not
+// exist, or when a Go package has no package doc comment. CI runs it on
+// every push so the README and architecture docs cannot silently rot.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/checkdocs
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// skipDir reports directories that are never scanned: VCS state and
+// any dot-directory (editor/agent state, local tool caches) — those
+// hold untracked files, and linting them would make a local run
+// diverge from CI's clean checkout.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") && name != "."
+}
+
+func main() {
+	fails := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "checkdocs: "+format+"\n", args...)
+		fails++
+	}
+	if err := checkMarkdownLinks(fail); err != nil {
+		fail("%v", err)
+	}
+	if err := checkPackageDocs(fail); err != nil {
+		fail("%v", err)
+	}
+	if fails > 0 {
+		fmt.Fprintf(os.Stderr, "checkdocs: %d problem(s)\n", fails)
+		os.Exit(1)
+	}
+	fmt.Println("checkdocs: markdown links and package docs OK")
+}
+
+// checkMarkdownLinks verifies that every relative link in every .md
+// file resolves to an existing file or directory. External schemes
+// (http, https, mailto) and pure #anchors are ignored.
+func checkMarkdownLinks(fail func(string, ...any)) error {
+	return filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(blob), -1) {
+			target := m[1]
+			if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+				continue // external
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // same-file anchor
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				fail("%s: broken link %q (%s does not exist)", path, m[1], resolved)
+			}
+		}
+		return nil
+	})
+}
+
+// checkPackageDocs verifies that every directory holding Go source has
+// a package doc comment on at least one non-test file.
+func checkPackageDocs(fail func(string, ...any)) error {
+	pkgs := map[string]bool{} // dir -> has a doc comment
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		pkgs[dir] = pkgs[dir] || f.Doc != nil
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for dir, ok := range pkgs {
+		if !ok {
+			fail("package in %s has no package doc comment on any non-test file", dir)
+		}
+	}
+	return nil
+}
