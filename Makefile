@@ -10,7 +10,7 @@ GO ?= go
 # incidental drift, not for untested subsystems).
 COVER_FLOOR ?= 60.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen profile
 
 ci: vet build test test-race fmt-check
 
@@ -72,3 +72,12 @@ bench-tiering:
 # tier warm-up off vs on (hit ratio and simulated wait per pass).
 bench-reopen:
 	$(GO) run ./cmd/hgs-bench -run reopen
+
+# CPU and allocation profiles over the Figure 11 bench workload
+# (snapshot retrieval with parallel fetch — the read hot path). Inspect
+# with `go tool pprof cpu.prof` / `go tool pprof -sample_index=alloc_space alloc.prof`;
+# a live store serves the same profiles on /debug/pprof/ (Options.DebugAddr).
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkFig11SnapshotParallelFetch -benchtime 1x \
+		-cpuprofile cpu.prof -memprofile alloc.prof .
+	@echo "wrote cpu.prof and alloc.prof — e.g.: go tool pprof -top cpu.prof"

@@ -14,6 +14,10 @@
 //	HGS_SCALE=4 hgs-bench     # scale all datasets 4x
 //	hgs-bench -run fig11 -data /tmp/bench-disk   # same workload on the
 //	                          # durable disk backend (memory vs disk)
+//	hgs-bench -json out.json  # also write machine-readable results
+//	                          # (per-pass KV reads, round-trips, sim-wait,
+//	                          # cache ratios, latency quantiles) — the
+//	                          # format scripts/perfdiff ratchets against
 //
 // Every figure run reports its store metrics (logical KV operations,
 // machine round-trips, simulated service time) and the decoded-delta
@@ -35,6 +39,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "", "comma-free experiment id to run (default: all)")
 	dataDir := flag.String("data", "", "run storage clusters on the durable disk backend under this (fresh) directory, to compare memory vs disk")
+	jsonPath := flag.String("json", "", "also write the results as a machine-readable JSON report to this path")
 	flag.Parse()
 
 	if *dataDir != "" {
@@ -63,17 +68,46 @@ func main() {
 		sc.WikiNodes, sc.FriendsterCommunities*sc.FriendsterSize, sc.DBLPAuthors+sc.DBLPPapers)
 	fmt.Printf("# started %s\n\n", time.Now().Format(time.RFC3339))
 
+	var results []*bench.Result
 	if *run != "" {
 		runner, ok := bench.Runners[*run]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "hgs-bench: unknown experiment %q (try -list)\n", *run)
 			os.Exit(1)
 		}
-		runner(sc).Print(os.Stdout)
-		return
+		res := runner(sc)
+		res.Print(os.Stdout)
+		results = append(results, res)
+	} else {
+		// Stream results as each experiment completes.
+		for _, id := range bench.Order {
+			res := bench.Runners[id](sc)
+			res.Print(os.Stdout)
+			results = append(results, res)
+		}
 	}
-	// Stream results as each experiment completes.
-	for _, id := range bench.Order {
-		bench.Runners[id](sc).Print(os.Stdout)
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, sc, results); err != nil {
+			fmt.Fprintf(os.Stderr, "hgs-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote JSON report: %s\n", *jsonPath)
 	}
+}
+
+// writeReport writes the machine-readable run to path (stdout with "-").
+func writeReport(path string, sc bench.Scale, results []*bench.Result) error {
+	rep := &bench.Report{Scale: sc, Results: results}
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

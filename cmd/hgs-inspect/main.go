@@ -33,11 +33,20 @@
 // simulated-wait attribution:
 //
 //	hgs-inspect -dataset wiki -nodes 10000 -trace
+//
+// -metrics replaces the human report with the store's complete metric
+// state in the Prometheus text exposition format — the same bytes the
+// embedded debug server serves on /metrics — after running the usual
+// probe queries so the per-op latency histograms are populated. Build
+// progress goes to stderr, so stdout is a clean scrape:
+//
+//	hgs-inspect -data /tmp/hgs-wiki -metrics > metrics.prom
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -62,7 +71,17 @@ func main() {
 	idleAfter := flag.Duration("idle-after", 0, "tiered engine: quiet window before full-speed maintenance (default 1s; negative disables)")
 	backup := flag.String("backup", "", "after inspecting, copy the quiesced store into this fresh directory")
 	trace := flag.Bool("trace", false, "record per-query plan traces and print each probe's plan/cache/KV breakdown")
+	metrics := flag.Bool("metrics", false, "dump the store's metrics in Prometheus text format on stdout instead of the human report")
 	flag.Parse()
+
+	// With -metrics the human report is silenced and stdout carries only
+	// the exposition; progress lines move to stderr.
+	report := io.Writer(os.Stdout)
+	banner := io.Writer(os.Stdout)
+	if *metrics {
+		report = io.Discard
+		banner = os.Stderr
+	}
 
 	// With a populated -data directory the shape and index parameters
 	// come from disk, so open first and only synthesize events when a
@@ -111,9 +130,10 @@ func main() {
 				probe.Close()
 				log.Fatalf("hgs-inspect: %s holds a store but no index (interrupted build?); delete it and rerun", *dataDir)
 			}
-			fmt.Printf("reattached to existing index in %s (engine %s; no rebuild; dataset/index flags come from the store)\n",
+			fmt.Fprintf(banner, "reattached to existing index in %s (engine %s; no rebuild; dataset/index flags come from the store)\n",
 				*dataDir, probe.Engine())
-			inspect(probe)
+			inspect(probe, report)
+			dumpMetrics(probe, *metrics)
 			runBackup(probe, *backup)
 			if err := probe.Close(); err != nil {
 				log.Fatal(err)
@@ -150,12 +170,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("building TGI over %d events (m=%d, r=%d, locality=%v, durable=%v, engine=%s)...\n",
+	fmt.Fprintf(banner, "building TGI over %d events (m=%d, r=%d, locality=%v, durable=%v, engine=%s)...\n",
 		len(events), *machines, *replication, *locality, store.Durable(), store.Engine())
 	if err := store.Load(events); err != nil {
 		log.Fatal(err)
 	}
-	inspect(store)
+	inspect(store, report)
+	dumpMetrics(store, *metrics)
 	runBackup(store, *backup)
 	if err := store.Close(); err != nil {
 		log.Fatal(err)
@@ -173,17 +194,31 @@ func runBackup(store *hgs.Store, dir string) {
 	fmt.Printf("backup    : copied store into %s (open it with -data %s)\n", dir, dir)
 }
 
-// inspect prints index statistics and a few probe queries.
-func inspect(store *hgs.Store) {
+// dumpMetrics writes the Prometheus exposition to stdout when -metrics
+// is set (inspect already ran the probe queries, so the per-op latency
+// histograms report real retrievals).
+func dumpMetrics(store *hgs.Store, enabled bool) {
+	if !enabled {
+		return
+	}
+	if err := store.WriteMetrics(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// inspect runs index statistics and a few probe queries, reporting to
+// out (io.Discard in -metrics mode: the queries still run and populate
+// the metric registry, only the prose is suppressed).
+func inspect(store *hgs.Store, out io.Writer) {
 
 	st, err := store.Stats()
 	if err != nil {
 		log.Fatal(err)
 	}
 	lo, hi, _ := store.TimeRange()
-	fmt.Printf("indexed   : %d events over [%d, %d] in %d timespans\n", st.Events, lo, hi, st.Timespans)
-	fmt.Printf("storage   : %d bytes logical (%d physical)\n", st.LogicalBytes, st.StoredBytes)
-	fmt.Printf("writes    : %d rows, %d bytes\n", st.StoreMetrics.Writes, st.StoreMetrics.BytesWritten)
+	fmt.Fprintf(out, "indexed   : %d events over [%d, %d] in %d timespans\n", st.Events, lo, hi, st.Timespans)
+	fmt.Fprintf(out, "storage   : %d bytes logical (%d physical)\n", st.LogicalBytes, st.StoredBytes)
+	fmt.Fprintf(out, "writes    : %d rows, %d bytes\n", st.StoreMetrics.Writes, st.StoreMetrics.BytesWritten)
 
 	mid := (lo + hi) / 2
 	for _, tt := range []hgs.Time{lo + (hi-lo)/4, mid, hi} {
@@ -193,7 +228,7 @@ func inspect(store *hgs.Store) {
 			log.Fatal(err)
 		}
 		m := store.Cluster().Metrics()
-		fmt.Printf("snapshot@%-12d: %6d nodes %7d edges  (%d reads, %d round-trips, %d KB)\n",
+		fmt.Fprintf(out, "snapshot@%-12d: %6d nodes %7d edges  (%d reads, %d round-trips, %d KB)\n",
 			tt, g.NumNodes(), g.NumEdges(), m.Reads, m.RoundTrips, m.BytesRead/1024)
 	}
 
@@ -206,7 +241,7 @@ func inspect(store *hgs.Store) {
 			log.Fatal(err)
 		}
 		m := store.Cluster().Metrics()
-		fmt.Printf("history node %-10d: %4d changes, %d versions  (%d reads, %d round-trips, %d KB)\n",
+		fmt.Fprintf(out, "history node %-10d: %4d changes, %d versions  (%d reads, %d round-trips, %d KB)\n",
 			id, len(h.Events), len(h.Versions()), m.Reads, m.RoundTrips, m.BytesRead/1024)
 	}
 
@@ -223,16 +258,16 @@ func inspect(store *hgs.Store) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("warm rerun: 3 snapshots in %d reads, %d round-trips; %s\n",
+	fmt.Fprintf(out, "warm rerun: 3 snapshots in %d reads, %d round-trips; %s\n",
 		m.Reads, m.RoundTrips, st.Cache)
 
 	// Tiered stores also report the hot/cold split and background
 	// maintenance since open.
 	if tm := st.StoreMetrics; tm.TierHotReads > 0 || tm.TierColdReads > 0 {
-		fmt.Printf("tiers     : %d hot reads, %d cold reads, %d KB hot resident, %d KB flushed, %d compactions (%d idle)\n",
+		fmt.Fprintf(out, "tiers     : %d hot reads, %d cold reads, %d KB hot resident, %d KB flushed, %d compactions (%d idle)\n",
 			tm.TierHotReads, tm.TierColdReads, tm.TierHotBytes/1024, tm.FlushedBytes/1024, tm.Compactions, tm.IdleCompactions)
 		if tm.WarmedRows > 0 {
-			fmt.Printf("warm-up   : %d rows (%d KB) repopulated from cold segments on open\n",
+			fmt.Fprintf(out, "warm-up   : %d rows (%d KB) repopulated from cold segments on open\n",
 				tm.WarmedRows, tm.WarmedBytes/1024)
 		}
 	}
@@ -240,9 +275,9 @@ func inspect(store *hgs.Store) {
 	// With -trace, every probe query above left a plan trace: print the
 	// per-query plan/cache/KV breakdown, oldest first.
 	if traces := store.PlanTraces(); len(traces) > 0 {
-		fmt.Println("plan traces (oldest first):")
+		fmt.Fprintln(out, "plan traces (oldest first):")
 		for _, tr := range traces {
-			fmt.Println(" ", tr)
+			fmt.Fprintln(out, " ", tr)
 		}
 	}
 }

@@ -1,0 +1,205 @@
+package hgs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hgs/internal/obs"
+)
+
+// metricFamilies every store must expose regardless of workload — the
+// contract CI's debug-endpoint smoke test asserts.
+var requiredFamilies = []string{
+	"hgs_kv_reads_total",
+	"hgs_kv_writes_total",
+	"hgs_kv_round_trips_total",
+	"hgs_kv_simwait_seconds_total",
+	"hgs_kv_stored_bytes",
+	"hgs_kv_machines",
+	"hgs_cache_hits_total",
+	"hgs_cache_misses_total",
+	"hgs_cache_negative_hits_total",
+	"hgs_cache_bytes",
+	"hgs_op_duration_seconds",
+	"hgs_op_simwait_seconds",
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDebugServerEndpoints boots a store with an ephemeral debug
+// server, runs a small workload, and asserts /metrics serves every
+// required family with the per-op histograms populated, /traces serves
+// the plan-trace ring as JSON, and /debug/pprof/ answers.
+func TestDebugServerEndpoints(t *testing.T) {
+	opts := smallOptions()
+	opts.DebugAddr = "127.0.0.1:0"
+	opts.TracePlans = true
+	store, _ := loadWiki(t, opts, 120)
+	defer store.Close()
+
+	addr := store.DebugAddr()
+	if addr == "" {
+		t.Fatal("DebugAddr empty with Options.DebugAddr set")
+	}
+	if _, err := store.Snapshot(1_000); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := httpGet(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+	if !strings.Contains(body, `hgs_op_duration_seconds_count{op="snapshot"}`) {
+		t.Error("/metrics missing populated snapshot duration histogram")
+	}
+	if !strings.Contains(body, `hgs_op_duration_seconds_count{op="build"}`) {
+		t.Error("/metrics missing populated build duration histogram")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want Prometheus text format 0.0.4", ct)
+	}
+
+	code, body = httpGet(t, "http://"+addr+"/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/traces status = %d", code)
+	}
+	var recs []TraceRecord
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("/traces not JSON trace records: %v", err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Op != "snapshot" {
+		t.Fatalf("/traces = %d records, want trailing snapshot trace", len(recs))
+	}
+
+	code, _ = httpGet(t, "http://"+addr+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}
+
+// TestServeDebugLifecycle exercises the on-demand path: ServeDebug
+// after Open, double-start rejection, and shutdown on Close.
+func TestServeDebugLifecycle(t *testing.T) {
+	store, _ := loadWiki(t, smallOptions(), 60)
+	if store.DebugAddr() != "" {
+		t.Fatal("debug server running without DebugAddr")
+	}
+	addr, err := store.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.DebugAddr(); got != addr {
+		t.Fatalf("DebugAddr = %q, want %q", got, addr)
+	}
+	if _, err := store.ServeDebug("127.0.0.1:0"); err == nil {
+		t.Fatal("second ServeDebug succeeded, want error")
+	}
+	if code, _ := httpGet(t, "http://"+addr+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("debug server still serving after Close")
+	}
+}
+
+// TestProfileEndpointSmoke — skipped with -short — captures a 1-second
+// CPU profile from the live debug server while a query workload runs:
+// the serving-side counterpart of `make profile` (which writes
+// cpu.prof/alloc.prof offline over the same bench workload).
+func TestProfileEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling smoke test skipped in -short runs")
+	}
+	opts := smallOptions()
+	opts.DebugAddr = "127.0.0.1:0"
+	store, events := loadWiki(t, opts, 120)
+	defer store.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		last := events[len(events)-1].Time
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := store.Snapshot(Time(int64(i%10)+1) * last / 10); err != nil {
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	code, body := httpGet(t, "http://"+store.DebugAddr()+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/profile status = %d", code)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty CPU profile")
+	}
+}
+
+// TestWriteMetricsOffline asserts the programmatic exposition path —
+// what hgs-inspect -metrics uses — matches the served families and that
+// registry snapshots diff per-op work.
+func TestWriteMetricsOffline(t *testing.T) {
+	store, _ := loadWiki(t, smallOptions(), 60)
+	defer store.Close()
+
+	before := store.Registry().Snapshot()
+	if _, err := store.Snapshot(500); err != nil {
+		t.Fatal(err)
+	}
+	diff := store.Registry().Snapshot().Diff(before)
+	if h, ok := diff.Hist("hgs_op_duration_seconds", obs.L("op", "snapshot")); !ok || h.Count != 1 {
+		t.Fatalf("snapshot op histogram diff = %+v ok=%v, want exactly 1 observation", h, ok)
+	}
+
+	var b strings.Builder
+	if err := store.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("WriteMetrics missing family %s", fam)
+		}
+	}
+	if reads := store.Cluster().Metrics().Reads; reads > 0 {
+		want := fmt.Sprintf("hgs_kv_reads_total %d", reads)
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteMetrics missing %q", want)
+		}
+	}
+}

@@ -151,6 +151,7 @@ import (
 	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
+	"hgs/internal/obs"
 	"hgs/internal/partition"
 	"hgs/internal/sparklite"
 	"hgs/internal/taf"
@@ -342,6 +343,13 @@ type Options struct {
 	// FetchOptions.Trace works regardless of this knob. A runtime knob
 	// of this process — not persisted with a DataDir store.
 	TracePlans bool
+	// DebugAddr, when non-empty, serves the store's observability
+	// endpoints on this address for the store's lifetime: Prometheus
+	// text-format metrics on /metrics, the Go profiler on
+	// /debug/pprof/*, and the recent plan traces as JSON on /traces.
+	// Use ":0" for an ephemeral port — Store.DebugAddr reports what was
+	// bound. Store.ServeDebug starts the same server on demand instead.
+	DebugAddr string
 }
 
 func (o Options) coreConfig() core.Config {
@@ -378,10 +386,14 @@ func (o Options) coreConfig() core.Config {
 type Store struct {
 	cluster  *kvstore.Cluster
 	tgi      *core.TGI
+	obs      *obs.Registry
 	loaded   bool
 	durable  bool
 	engine   StorageEngine
 	cacheKey string // shared decoded-delta cache registration (DataDir stores)
+
+	debugMu sync.Mutex
+	debug   *debugServer
 }
 
 // clusterMeta records the cluster shape and storage engine a data
@@ -566,6 +578,12 @@ func Open(opts Options) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Every store carries its own metrics registry: the cluster and
+	// cache counters register into it below and the TGI records per-op
+	// latency histograms through cfg.Obs, so /metrics and WriteMetrics
+	// see one coherent view of this store without process-global state.
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
 	var (
 		factory    backend.Factory
 		writeShape bool
@@ -599,6 +617,7 @@ func Open(opts Options) (*Store, error) {
 		releaseSharedCache(cacheKey)
 		return nil, err
 	}
+	cluster.RegisterObs(reg)
 	tgi, attached, err := core.Attach(cluster, cfg)
 	if err != nil {
 		cluster.Close()
@@ -612,14 +631,22 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	return &Store{
+	s := &Store{
 		cluster:  cluster,
 		tgi:      tgi,
+		obs:      reg,
 		loaded:   attached,
 		durable:  opts.DataDir != "",
 		engine:   engine,
 		cacheKey: cacheKey,
-	}, nil
+	}
+	if opts.DebugAddr != "" {
+		if _, err := s.ServeDebug(opts.DebugAddr); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Load builds the index over a complete history. Events must be
@@ -656,12 +683,17 @@ func (s *Store) Durable() bool { return s.durable }
 // Engine reports the storage engine the store runs on.
 func (s *Store) Engine() StorageEngine { return s.engine }
 
-// Close flushes and closes the backing storage engines. The store must
-// not be used afterwards.
+// Close flushes and closes the backing storage engines (and shuts down
+// the debug server when one is running). The store must not be used
+// afterwards.
 func (s *Store) Close() error {
+	derr := s.stopDebug()
 	releaseSharedCache(s.cacheKey)
 	s.cacheKey = ""
-	return s.cluster.Close()
+	if err := s.cluster.Close(); err != nil {
+		return err
+	}
+	return derr
 }
 
 // Backup writes a consistent copy of a quiesced durable store into dir:

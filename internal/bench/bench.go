@@ -12,6 +12,7 @@ package bench
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"hgs/internal/core"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
+	"hgs/internal/obs"
 	"hgs/internal/temporal"
 	"hgs/internal/workload"
 )
@@ -74,27 +76,54 @@ func DefaultScale() Scale {
 
 // Point is one sample of a plotted series.
 type Point struct {
-	X, Y float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Series is one labeled line of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// PassMetrics is the machine-readable measurement of one metered pass:
+// the store-metrics delta, the cache delta and its ratios, and the
+// latency quantiles of the operations the pass ran — what hgs-bench
+// -json emits and scripts/perfdiff ratchets against.
+type PassMetrics struct {
+	Label            string  `json:"label"`
+	KVReads          int64   `json:"kv_reads"`
+	RoundTrips       int64   `json:"round_trips"`
+	BytesRead        int64   `json:"bytes_read"`
+	SimWaitSeconds   float64 `json:"simwait_seconds"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	NegativeHits     int64   `json:"negative_hits"`
+	CacheHitRatio    float64 `json:"cache_hit_ratio"`
+	NegativeHitRatio float64 `json:"negative_hit_ratio"`
+	// Ops and the quantiles summarize the wall-time distribution of the
+	// TGI operations observed during the pass (merged across op kinds).
+	Ops        uint64  `json:"ops"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // Result is one regenerated table or figure.
 type Result struct {
-	ID     string // e.g. "fig11", "table1"
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	ID     string   `json:"id"` // e.g. "fig11", "table1"
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label,omitempty"`
+	YLabel string   `json:"y_label,omitempty"`
+	Series []Series `json:"series,omitempty"`
 	// Table carries row-oriented results (Table 1).
-	TableHeader []string
-	TableRows   [][]string
-	Notes       []string
-	Elapsed     time.Duration
+	TableHeader []string   `json:"table_header,omitempty"`
+	TableRows   [][]string `json:"table_rows,omitempty"`
+	// Passes carries the structured per-pass measurements behind the
+	// human-readable Notes.
+	Passes  []PassMetrics `json:"passes,omitempty"`
+	Notes   []string      `json:"notes,omitempty"`
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Print renders the result as aligned text.
@@ -134,6 +163,32 @@ func (r *Result) Print(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintf(w, "  elapsed: %s\n\n", r.Elapsed.Round(time.Millisecond))
+}
+
+// Report is the machine-readable run hgs-bench -json writes: the scale
+// the datasets were synthesized at plus every experiment's Result,
+// including the structured per-pass measurements. scripts/perfdiff
+// compares two of these.
+type Report struct {
+	Scale   Scale     `json:"scale"`
+	Results []*Result `json:"results"`
+}
+
+// WriteJSON writes the report, indented for diffability.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report written by WriteJSON (scripts/perfdiff reads
+// baseline and current runs with it).
+func ReadJSON(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	if err := json.NewDecoder(r).Decode(rep); err != nil {
+		return nil, fmt.Errorf("bench: decode report: %w", err)
+	}
+	return rep, nil
 }
 
 func sum(xs []int) int {
@@ -315,11 +370,13 @@ func benchTGIConfig(events int) core.Config {
 	return cfg
 }
 
-// builtIndex is a constructed index plus its backing cluster.
+// builtIndex is a constructed index plus its backing cluster and the
+// metrics registry its per-op latency histograms report into.
 type builtIndex struct {
 	TGI     *core.TGI
 	Cluster *kvstore.Cluster
 	Events  []graph.Event
+	Obs     *obs.Registry
 }
 
 // buildIndex constructs (and caches) a TGI over the events with the
@@ -332,11 +389,13 @@ func buildIndex(key string, events []graph.Event, machines, replication int, mut
 		if mutate != nil {
 			mutate(&cfg)
 		}
+		reg := obs.NewRegistry()
+		cfg.Obs = reg
 		tgi, err := core.Build(cluster, cfg, events)
 		if err != nil {
 			panic(fmt.Sprintf("bench: build %s: %v", key, err))
 		}
-		return &builtIndex{TGI: tgi, Cluster: cluster, Events: events}
+		return &builtIndex{TGI: tgi, Cluster: cluster, Events: events, Obs: reg}
 	})
 }
 
@@ -356,17 +415,45 @@ func (b *builtIndex) withLatency(f func()) {
 // withLatencyMetered is withLatency plus measurement: it appends the
 // store-metrics delta of the run (logical KV ops, machine round-trips,
 // bytes, simulated service time) and the index's cache counters to the
-// result, so every figure's perf claims are checkable from the CLI.
+// result's Notes, and the same numbers — plus the cache-delta ratios
+// and the pass's latency quantiles from the per-op histograms — as a
+// structured PassMetrics for -json and the perf ratchet.
 func (b *builtIndex) withLatencyMetered(res *Result, label string, f func()) {
 	before := b.Cluster.Metrics()
+	cacheBefore := b.TGI.CacheStats()
+	obsBefore := b.Obs.Snapshot()
 	b.withLatency(f)
 	after := b.Cluster.Metrics()
+	cacheAfter := b.TGI.CacheStats()
+	obsDiff := b.Obs.Snapshot().Diff(obsBefore)
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"%s: kv reads=%d round-trips=%d read=%dKB simulated-wait=%s; %s",
 		label, after.Reads-before.Reads, after.RoundTrips-before.RoundTrips,
 		(after.BytesRead-before.BytesRead)/1024,
 		(after.SimWait-before.SimWait).Round(time.Millisecond),
-		b.TGI.CacheStats()))
+		cacheAfter))
+
+	pm := PassMetrics{
+		Label:          label,
+		KVReads:        after.Reads - before.Reads,
+		RoundTrips:     after.RoundTrips - before.RoundTrips,
+		BytesRead:      after.BytesRead - before.BytesRead,
+		SimWaitSeconds: (after.SimWait - before.SimWait).Seconds(),
+		CacheHits:      cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:    cacheAfter.Misses - cacheBefore.Misses,
+		NegativeHits:   cacheAfter.NegativeHits - cacheBefore.NegativeHits,
+	}
+	if lookups := pm.CacheHits + pm.CacheMisses + pm.NegativeHits; lookups > 0 {
+		pm.CacheHitRatio = float64(pm.CacheHits) / float64(lookups)
+		pm.NegativeHitRatio = float64(pm.NegativeHits) / float64(lookups)
+	}
+	if h, ok := obsDiff.FamilyHist("hgs_op_duration_seconds"); ok {
+		pm.Ops = h.Count
+		pm.P50Seconds = h.Quantile(0.50)
+		pm.P90Seconds = h.Quantile(0.90)
+		pm.P99Seconds = h.Quantile(0.99)
+	}
+	res.Passes = append(res.Passes, pm)
 }
 
 // timeIt measures f's wall time in seconds.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -324,5 +325,42 @@ func TestDatasetDiskCache(t *testing.T) {
 	third := Dataset1(sc)
 	if len(third) != len(first) {
 		t.Fatalf("corrupt cache file not regenerated: %d events", len(third))
+	}
+}
+
+// TestReportJSONRoundTrip — the -json contract: metered passes carry
+// structured measurements (KV delta, latency quantiles), and a report
+// survives the write/read cycle scripts/perfdiff depends on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	skipIfShort(t)
+	sc := tinyScale()
+	r := Fig11(sc)
+	if len(r.Passes) == 0 {
+		t.Fatal("metered figure produced no PassMetrics")
+	}
+	p := r.Passes[0]
+	if p.Label == "" || p.KVReads <= 0 || p.RoundTrips <= 0 {
+		t.Fatalf("pass not populated: %+v", p)
+	}
+	if p.Ops == 0 || p.P99Seconds < p.P50Seconds || p.P50Seconds <= 0 {
+		t.Fatalf("pass quantiles not populated or inconsistent: %+v", p)
+	}
+	rep := &Report{Scale: sc, Results: []*Result{r}}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != sc {
+		t.Fatalf("scale round-trip: %+v != %+v", back.Scale, sc)
+	}
+	if len(back.Results) != 1 || len(back.Results[0].Passes) != len(r.Passes) {
+		t.Fatal("results or passes lost in round-trip")
+	}
+	if back.Results[0].Passes[0] != p {
+		t.Fatalf("pass round-trip mismatch:\n got %+v\nwant %+v", back.Results[0].Passes[0], p)
 	}
 }

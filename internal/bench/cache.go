@@ -83,10 +83,38 @@ func CacheBench(sc Scale) *Result {
 		Title: "Decoded-delta cache v2: cold vs warm vs legacy-v1 vs disabled (m=4, c=4)",
 	}
 
-	run := func(t *core.TGI) (kvstore.Metrics, float64) {
+	// run meters one pass and appends its structured PassMetrics (KV
+	// delta, cache delta with hit/negative ratios, latency quantiles
+	// from the per-op histograms) for -json and the perf ratchet.
+	run := func(label string, t *core.TGI) (kvstore.Metrics, float64) {
 		ix.Cluster.ResetMetrics()
+		cacheBefore := t.CacheStats()
+		obsBefore := ix.Obs.Snapshot()
 		sec := timeIt(func() { cacheWorkload(t, probes, nodes, early) })
-		return ix.Cluster.Metrics(), sec
+		m := ix.Cluster.Metrics()
+		cacheAfter := t.CacheStats()
+		pm := PassMetrics{
+			Label:          label,
+			KVReads:        m.Reads,
+			RoundTrips:     m.RoundTrips,
+			BytesRead:      m.BytesRead,
+			SimWaitSeconds: m.SimWait.Seconds(),
+			CacheHits:      cacheAfter.Hits - cacheBefore.Hits,
+			CacheMisses:    cacheAfter.Misses - cacheBefore.Misses,
+			NegativeHits:   cacheAfter.NegativeHits - cacheBefore.NegativeHits,
+		}
+		if lookups := pm.CacheHits + pm.CacheMisses + pm.NegativeHits; lookups > 0 {
+			pm.CacheHitRatio = float64(pm.CacheHits) / float64(lookups)
+			pm.NegativeHitRatio = float64(pm.NegativeHits) / float64(lookups)
+		}
+		if h, ok := ix.Obs.Snapshot().Diff(obsBefore).FamilyHist("hgs_op_duration_seconds"); ok {
+			pm.Ops = h.Count
+			pm.P50Seconds = h.Quantile(0.50)
+			pm.P90Seconds = h.Quantile(0.90)
+			pm.P99Seconds = h.Quantile(0.99)
+		}
+		res.Passes = append(res.Passes, pm)
+		return m, sec
 	}
 
 	// Fresh handles over the built cluster: v2 cache (the default), the
@@ -103,13 +131,13 @@ func CacheBench(sc Scale) *Result {
 
 	ix.Cluster.SetLatency(kvstore.DefaultLatency())
 	defer ix.Cluster.SetLatency(kvstore.LatencyModel{})
-	coldM, coldSec := run(v2TGI)
+	coldM, coldSec := run("cold (v2)", v2TGI)
 	coldStats := v2TGI.CacheStats()
-	warmM, warmSec := run(v2TGI)
+	warmM, warmSec := run("warm (v2)", v2TGI)
 	warmStats := v2TGI.CacheStats()
-	run(v1TGI) // cold v1 pass warms the legacy cache
-	v1M, v1Sec := run(v1TGI)
-	offM, offSec := run(uncachedTGI)
+	run("cold (v1 legacy)", v1TGI) // cold v1 pass warms the legacy cache
+	v1M, v1Sec := run("warm (v1 legacy)", v1TGI)
+	offM, offSec := run("cache off", uncachedTGI)
 
 	res.TableHeader = []string{"pass", "kv reads", "round-trips", "read KB", "sim wait", "elapsed"}
 	row := func(name string, m kvstore.Metrics, sec float64) []string {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"hgs/internal/delta"
 	"hgs/internal/graph"
@@ -16,6 +17,7 @@ import (
 // (partitioning), split into horizontal partitions, and indexed one
 // horizontal partition at a time.
 func (t *TGI) BuildAll(events []graph.Event) error {
+	defer t.observeDur("build", time.Now())
 	if err := t.cfg.Validate(); err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"hgs/internal/fetch"
+	"hgs/internal/obs"
 	"hgs/internal/partition"
 )
 
@@ -87,6 +88,15 @@ type Config struct {
 	// CacheBytes: not persisted, kept across an Attach adoption.
 	// Per-call tracing via FetchOptions.Trace works regardless.
 	TracePlans bool `json:"-"`
+	// Obs, when non-nil, is the metrics registry this handle records
+	// into: the decoded-delta cache counters register on construction,
+	// and every retrieval and ingest operation observes its wall time
+	// (and, for retrievals, the simulated storage wait attributed by
+	// the plan trace) into per-op latency histograms. A runtime knob
+	// of the reading process like Cache: not persisted, kept across an
+	// Attach adoption. hgs.Open wires each Store's registry through
+	// here.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultCacheBytes is the decoded-delta cache budget used when

@@ -70,8 +70,8 @@ func mergeSortEvents(lists [][]graph.Event) []graph.Event {
 // plan as one batched fetch round (cache-served where hot), sum the
 // deltas in path order, then replay the boundary eventlist up to tt.
 func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
-	tr, own := t.startTrace("snapshot", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("snapshot", opts)
+	defer done()
 	return t.getSnapshot(tt, opts, tr)
 }
 
@@ -217,8 +217,8 @@ func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Ti
 // the node does not exist then. Only the node's own micro-partition chain
 // is read (the entity-centric access path of Table 1's TGI row).
 func (t *TGI) GetNodeAt(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
-	tr, own := t.startTrace("node-at", nil)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("node-at", nil)
+	defer done()
 	return t.getNodeAt(id, tt, tr)
 }
 

@@ -187,8 +187,8 @@ func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te 
 // micro-partition, then use the version chains to plan exactly the
 // micro-eventlists containing its changes, fetched as one batched read.
 func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
-	tr, own := t.startTrace("node-history", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("node-history", opts)
+	defer done()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
@@ -246,8 +246,8 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 // across the overlapping timespans and filters. This is the ablation
 // baseline quantifying what the Versions table buys (DESIGN.md §6).
 func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
-	tr, own := t.startTrace("node-history-scan", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("node-history-scan", opts)
+	defer done()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
@@ -288,8 +288,8 @@ func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *Fe
 // [ts, te), read from version chains only (one batched read, no
 // eventlist fetches).
 func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Time, error) {
-	tr, own := t.startTrace("change-times", nil)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("change-times", nil)
+	defer done()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err

@@ -13,8 +13,8 @@ import (
 // tt by fetching the whole snapshot and filtering (Algorithm 3) — the
 // right plan for large k.
 func (t *TGI) GetKHopViaSnapshot(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
-	tr, own := t.startTrace("khop-snapshot", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("khop-snapshot", opts)
+	defer done()
 	g, err := t.getSnapshot(tt, opts, tr)
 	if err != nil {
 		return nil, err
@@ -29,8 +29,8 @@ func (t *TGI) GetKHopViaSnapshot(id graph.NodeID, k int, tt temporal.Time, opts 
 // the first hop is served from the auxiliary micro-deltas (paper §4.5,
 // Figure 5d).
 func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions) (*graph.Graph, error) {
-	tr, own := t.startTrace("khop", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("khop", opts)
+	defer done()
 	return t.getKHopNeighborhood(id, k, tt, opts, tr)
 }
 
@@ -285,8 +285,8 @@ func (sh *SubgraphHistory) ChangePoints() []temporal.Time {
 // referenced micro-eventlists are each fetched as one batched read per
 // phase.
 func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts *FetchOptions) (*SubgraphHistory, error) {
-	tr, own := t.startTrace("khop-history", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("khop-history", opts)
+	defer done()
 	initial, err := t.getKHopNeighborhood(id, k, ts, opts, tr)
 	if err != nil {
 		return nil, err
@@ -418,8 +418,8 @@ func (t *TGI) Get1HopHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 // time points", §4.6), executed as concurrent single-neighborhood
 // fetches.
 func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
-	tr, own := t.startTrace("khop-at", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("khop-at", opts)
+	defer done()
 	out := make([]*graph.Graph, len(times))
 	tasks := make([]func() error, 0, len(times))
 	for i, tt := range times {
@@ -442,8 +442,8 @@ func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *Fet
 // GetSnapshotsAt retrieves multiple snapshots (the multipoint snapshot
 // primitive of Figure 1), fetching them concurrently.
 func (t *TGI) GetSnapshotsAt(times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
-	tr, own := t.startTrace("snapshots", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("snapshots", opts)
+	defer done()
 	out := make([]*graph.Graph, len(times))
 	tasks := make([]func() error, 0, len(times))
 	for i, tt := range times {

@@ -16,8 +16,8 @@ import (
 // TGI query processor's stream lands directly in one analytics-engine
 // partition without funnelling through a coordinator.
 func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) bool, opts *FetchOptions) ([][]*NodeHistory, error) {
-	tr, own := t.startTrace("son-fetch", opts)
-	defer t.finishTrace(tr, own)
+	tr, done := t.startTrace("son-fetch", opts)
+	defer done()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"hgs/internal/codec"
 	"hgs/internal/fetch"
 	"hgs/internal/graph"
 	"hgs/internal/kvstore"
+	"hgs/internal/obs"
 	"hgs/internal/temporal"
 )
 
@@ -24,6 +26,10 @@ type TGI struct {
 	meta   *metaStore
 	fx     *fetch.Executor
 	traces *traceRing
+	// opHists caches the per-op latency histogram pair of each
+	// operation name, so the retrieval hot path skips the registry's
+	// family lookup (sync.Map: written once per op, read per call).
+	opHists sync.Map // op string -> *opHist
 }
 
 // New creates an index handle over the given store. The store may be
@@ -32,7 +38,7 @@ type TGI struct {
 func New(store *kvstore.Cluster, cfg Config) *TGI {
 	cfg.normalize()
 	cdc := codec.Codec{Compress: cfg.Compress}
-	return &TGI{
+	t := &TGI{
 		cfg:    cfg,
 		store:  store,
 		cdc:    cdc,
@@ -40,6 +46,8 @@ func New(store *kvstore.Cluster, cfg Config) *TGI {
 		fx:     fetch.NewExecutor(store, cdc, cfg.queryCache()),
 		traces: newTraceRing(),
 	}
+	t.fx.Cache().RegisterObs(cfg.Obs)
+	return t
 }
 
 // queryCache resolves the handle's decoded-delta cache: an injected
@@ -80,15 +88,17 @@ func Attach(store *kvstore.Cluster, cfg Config) (*TGI, bool, error) {
 		return nil, false, fmt.Errorf("core: decode persisted graph metadata: %w", err)
 	}
 	// Construction parameters come from the store; CacheBytes, an
-	// injected shared Cache and TracePlans are properties of the
-	// reading process and survive the adoption.
+	// injected shared Cache, TracePlans and the Obs registry are
+	// properties of the reading process and survive the adoption.
 	t.cfg = gm.Config
 	t.cfg.CacheBytes = cfg.CacheBytes
 	t.cfg.Cache = cfg.Cache
 	t.cfg.TracePlans = cfg.TracePlans
+	t.cfg.Obs = cfg.Obs
 	t.cfg.normalize()
 	t.cdc = codec.Codec{Compress: t.cfg.Compress}
 	t.fx = fetch.NewExecutor(store, t.cdc, t.cfg.queryCache())
+	t.fx.Cache().RegisterObs(t.cfg.Obs)
 	t.meta.mu.Lock()
 	t.meta.graph = gm
 	t.meta.mu.Unlock()
@@ -132,34 +142,86 @@ func (r *traceRing) snapshot() []fetch.TraceRecord {
 	return append([]fetch.TraceRecord(nil), r.recent...)
 }
 
-// startTrace resolves the trace one retrieval should fill: the
-// caller-supplied FetchOptions.Trace when present, else a fresh one
-// when Config.TracePlans is on, else nil (tracing disabled — every
-// fetch.Trace method is nil-safe, so retrieval code threads the result
-// unconditionally). own reports that the TGI created the trace and
-// finishTrace should record it into the ring; caller-supplied traces
-// belong to the caller and are never double-recorded, which also keeps
-// a fan-out retrieval (multiple snapshots sharing one outer trace) one
-// ring entry.
-func (t *TGI) startTrace(op string, opts *FetchOptions) (tr *fetch.Trace, own bool) {
-	if opts != nil && opts.Trace != nil {
-		opts.Trace.SetOp(op)
-		return opts.Trace, false
-	}
-	if !t.cfg.TracePlans {
-		return nil, false
-	}
-	tr = &fetch.Trace{}
-	tr.SetOp(op)
-	return tr, true
+// opHist is the per-op latency histogram pair: retrieval wall time
+// and the simulated storage wait the plan trace attributed.
+type opHist struct {
+	dur, simWait *obs.Histogram
 }
 
-// finishTrace records an owned trace into the handle's ring.
-func (t *TGI) finishTrace(tr *fetch.Trace, own bool) {
-	if tr == nil || !own {
+// Per-op latency histogram family names and help texts (the obs
+// registry keys hgs.Store metrics are exposed under).
+const (
+	opDurationFamily = "hgs_op_duration_seconds"
+	opDurationHelp   = "Wall time of TGI operations by op (retrievals, append, build)."
+	opSimWaitFamily  = "hgs_op_simwait_seconds"
+	opSimWaitHelp    = "Simulated storage service time attributed to retrievals by op."
+)
+
+// opHistFor returns (creating once) the histogram pair of an op.
+func (t *TGI) opHistFor(op string) *opHist {
+	if h, ok := t.opHists.Load(op); ok {
+		return h.(*opHist)
+	}
+	h := &opHist{
+		dur:     t.cfg.Obs.Histogram(opDurationFamily, opDurationHelp, nil, obs.L("op", op)),
+		simWait: t.cfg.Obs.Histogram(opSimWaitFamily, opSimWaitHelp, nil, obs.L("op", op)),
+	}
+	actual, _ := t.opHists.LoadOrStore(op, h)
+	return actual.(*opHist)
+}
+
+// startTrace resolves the trace one retrieval should fill and returns
+// the finisher its caller must defer. The trace is the caller-supplied
+// FetchOptions.Trace when present, else a fresh one when
+// Config.TracePlans or an Obs registry asks for per-retrieval
+// accounting, else nil (every fetch.Trace method is nil-safe, so
+// retrieval code threads the result unconditionally). The finisher
+// records an owned trace into the ring — caller-supplied traces belong
+// to the caller and are never double-recorded, which also keeps a
+// fan-out retrieval (multiple snapshots sharing one outer trace) one
+// ring entry — and observes the operation's wall time and trace-
+// attributed simulated wait into the per-op latency histograms. For a
+// reused caller trace the simulated wait is the delta accumulated
+// during this call, so each retrieval observes only its own cost.
+func (t *TGI) startTrace(op string, opts *FetchOptions) (tr *fetch.Trace, done func()) {
+	start := time.Now()
+	own := false
+	switch {
+	case opts != nil && opts.Trace != nil:
+		tr = opts.Trace
+		tr.SetOp(op)
+	case t.cfg.TracePlans || t.cfg.Obs != nil:
+		tr = &fetch.Trace{}
+		tr.SetOp(op)
+		own = true
+	}
+	var simBase time.Duration
+	if tr != nil && t.cfg.Obs != nil {
+		simBase = tr.Record().SimWait
+	}
+	return tr, func() {
+		if own && t.cfg.TracePlans {
+			t.traces.add(tr.Record())
+		}
+		if t.cfg.Obs == nil {
+			return
+		}
+		h := t.opHistFor(op)
+		h.dur.Observe(time.Since(start).Seconds())
+		if tr != nil {
+			h.simWait.Observe((tr.Record().SimWait - simBase).Seconds())
+		}
+	}
+}
+
+// observeDur records one ingest operation's wall time into the per-op
+// duration histogram (the write path has no plan trace; its simulated
+// wait is charged straight to the cluster counters).
+func (t *TGI) observeDur(op string, start time.Time) {
+	if t.cfg.Obs == nil {
 		return
 	}
-	t.traces.add(tr.Record())
+	t.opHistFor(op).dur.Observe(time.Since(start).Seconds())
 }
 
 // PlanTraces returns the handle's most recent per-query plan traces,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hgs/internal/graph"
 )
@@ -12,6 +13,7 @@ import (
 // timespans are immutable; a trailing partial timespan is rebuilt from
 // its stored eventlists merged with the new batch.
 func (t *TGI) Append(events []graph.Event) error {
+	defer t.observeDur("append", time.Now())
 	if len(events) == 0 {
 		return nil
 	}

@@ -1,0 +1,71 @@
+package kvstore
+
+import "hgs/internal/obs"
+
+// RegisterObs registers the cluster's counters into r as func-backed
+// metric families, sampled at exposition/snapshot time: the logical
+// operation counters (reads, writes, bytes, round-trips, simulated
+// wait) and the per-tier counters aggregated from engines implementing
+// backend.TierCounting. The tier families report the engines' raw
+// cumulative totals (monotone for Prometheus); the operation counters
+// read the same atomics Metrics does and therefore restart from zero
+// after ResetMetrics — scrape-side rate() handles the reset like a
+// process restart. Registering the same cluster again (a re-attached
+// handle) replaces the samplers.
+func (c *Cluster) RegisterObs(r *obs.Registry) {
+	if c == nil || r == nil {
+		return
+	}
+	r.CounterFunc("hgs_kv_reads_total",
+		"Logical KV read operations (one per key or prefix scan, even inside a batch).",
+		func() float64 { return float64(c.reads.Load()) })
+	r.CounterFunc("hgs_kv_writes_total",
+		"Logical KV write operations.",
+		func() float64 { return float64(c.writes.Load()) })
+	r.CounterFunc("hgs_kv_read_bytes_total",
+		"Value bytes moved by KV reads.",
+		func() float64 { return float64(c.bytesRead.Load()) })
+	r.CounterFunc("hgs_kv_written_bytes_total",
+		"Value bytes moved by KV writes.",
+		func() float64 { return float64(c.bytesWritten.Load()) })
+	r.CounterFunc("hgs_kv_round_trips_total",
+		"Physical storage-node visits (one per machine per batched call).",
+		func() float64 { return float64(c.roundTrips.Load()) })
+	r.CounterFunc("hgs_kv_simwait_seconds_total",
+		"Simulated storage service time charged by the latency model.",
+		func() float64 { return float64(c.simWait.Load()) / 1e9 })
+	r.GaugeFunc("hgs_kv_stored_bytes",
+		"Physical bytes currently stored across all replicas.",
+		func() float64 { return float64(c.StoredBytes()) })
+	r.GaugeFunc("hgs_kv_machines",
+		"Storage nodes in the cluster.",
+		func() float64 { return float64(c.cfg.Machines) })
+
+	r.CounterFunc("hgs_tier_hot_reads_total",
+		"Row lookups served from the memory tier of tiered engines.",
+		func() float64 { return float64(c.tierTotals().HotHits) })
+	r.CounterFunc("hgs_tier_cold_reads_total",
+		"Row lookups that fell through to the disk tier of tiered engines.",
+		func() float64 { return float64(c.tierTotals().ColdReads) })
+	r.CounterFunc("hgs_tier_flushed_bytes_total",
+		"Bytes migrated from the hot to the cold tier by background flushing.",
+		func() float64 { return float64(c.tierTotals().FlushedBytes) })
+	r.CounterFunc("hgs_tier_compactions_total",
+		"Background compaction passes of tiered engines.",
+		func() float64 { return float64(c.tierTotals().Compactions) })
+	r.CounterFunc("hgs_tier_idle_compactions_total",
+		"Full-speed maintenance units run inside idle windows.",
+		func() float64 { return float64(c.tierTotals().IdleCompactions) })
+	r.CounterFunc("hgs_tier_warmed_rows_total",
+		"Rows repopulated into memory from cold segments on open.",
+		func() float64 { return float64(c.tierTotals().WarmedRows) })
+	r.CounterFunc("hgs_tier_warmed_bytes_total",
+		"Bytes repopulated into memory from cold segments on open.",
+		func() float64 { return float64(c.tierTotals().WarmedBytes) })
+	r.GaugeFunc("hgs_tier_hot_bytes",
+		"Bytes currently memory-resident in tiered engines.",
+		func() float64 { return float64(c.tierTotals().HotBytes) })
+	r.GaugeFunc("hgs_tier_warming",
+		"Nodes whose open-time hot-tier warm-up is still running.",
+		func() float64 { return float64(c.tierTotals().Warming) })
+}

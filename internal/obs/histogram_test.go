@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	if ExpBuckets(0, 2, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Fatal("invalid parameters did not return nil")
+	}
+}
+
+// TestHistogramBucketAssignment pins the boundary semantics: a sample
+// equal to a bound lands in that bound's bucket (le = less-or-equal,
+// matching the Prometheus convention), and overflow lands in +Inf.
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{2, 2, 2, 2} // (..1], (1..2], (2..4], (4..+Inf)
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 0.5+1+1.5+2+3+4+5+100 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+// TestHistogramQuantileAccuracy feeds a known uniform distribution and
+// checks the estimated quantiles stay within one bucket of the truth —
+// the estimator's documented resolution.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// 1000 samples uniform over (0, 10] against bounds every 0.5: the
+	// interpolated quantile should be accurate to well under a bucket.
+	h := newHistogram(ExpBuckets(0.5, 1.2589, 20)) // ~0.5 .. ~50 log-spaced
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100.0)
+	}
+	s := h.snapshot()
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5.0}, {0.9, 9.0}, {0.95, 9.5}, {0.99, 9.9},
+	} {
+		got := s.Quantile(tc.q)
+		// Bucket growth is ~26%, so the estimate must be within ~26%.
+		if got < tc.want*0.75 || got > tc.want*1.3 {
+			t.Fatalf("q%.2f = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	if m := s.Mean(); math.Abs(m-5.005) > 1e-9 {
+		t.Fatalf("mean = %v, want 5.005", m)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean not zero")
+	}
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // +Inf bucket only
+	s := h.snapshot()
+	if got := s.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow-only q50 = %v, want largest finite bound 2", got)
+	}
+	// Clamped q.
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Fatal("out-of-range q not clamped")
+	}
+}
+
+func TestHistogramSubDiff(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	before := h.snapshot()
+	h.Observe(5)
+	h.Observe(0.5)
+	d := h.snapshot().Sub(before)
+	if d.Count != 2 {
+		t.Fatalf("diff count = %d, want 2", d.Count)
+	}
+	if d.Counts[0] != 1 || d.Counts[1] != 1 || d.Counts[2] != 0 {
+		t.Fatalf("diff buckets = %v", d.Counts)
+	}
+	if d.Sum != 5.5 {
+		t.Fatalf("diff sum = %v, want 5.5", d.Sum)
+	}
+	// Mismatched bounds (zero prev) return the snapshot unchanged.
+	full := h.snapshot()
+	if got := full.Sub(HistSnapshot{}); got.Count != full.Count {
+		t.Fatal("Sub against zero snapshot did not return the full state")
+	}
+}
+
+func TestNilHistogramObserve(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if s := h.snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := newHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	a.Observe(5)
+	b := newHistogram([]float64{1, 10})
+	b.Observe(5)
+	b.Observe(50)
+	m := a.snapshot().Merge(b.snapshot())
+	if m.Count != 4 || m.Sum != 60.5 {
+		t.Fatalf("merge count=%d sum=%v, want 4 and 60.5", m.Count, m.Sum)
+	}
+	if m.Counts[0] != 1 || m.Counts[1] != 2 || m.Counts[2] != 1 {
+		t.Fatalf("merge buckets = %v", m.Counts)
+	}
+	// Zero-value operands pass the other side through.
+	if got := a.snapshot().Merge(HistSnapshot{}); got.Count != 2 {
+		t.Fatal("merge with zero snapshot lost samples")
+	}
+	if got := (HistSnapshot{}).Merge(b.snapshot()); got.Count != 2 {
+		t.Fatal("zero snapshot merge lost samples")
+	}
+}
+
+func TestFamilyHist(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("op_seconds", "", []float64{1, 10}, L("op", "a")).Observe(0.5)
+	r.Histogram("op_seconds", "", []float64{1, 10}, L("op", "b")).Observe(5)
+	r.Histogram("other_seconds", "", []float64{1, 10}).Observe(5)
+	s := r.Snapshot()
+	h, ok := s.FamilyHist("op_seconds")
+	if !ok || h.Count != 2 {
+		t.Fatalf("FamilyHist(op_seconds) count=%d ok=%v, want 2 across ops", h.Count, ok)
+	}
+	// A family name that is a prefix of another must not absorb it.
+	if h, ok := s.FamilyHist("op"); ok || h.Count != 0 {
+		t.Fatal("prefix family name matched foreign series")
+	}
+	if _, ok := s.FamilyHist("missing"); ok {
+		t.Fatal("missing family reported ok")
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("level", "a level")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("reqs_total", "requests").Value() != 5 {
+		t.Fatal("re-lookup did not return the existing counter")
+	}
+	// Distinct labels are distinct series.
+	r.Counter("reqs_total", "requests", L("op", "a")).Add(7)
+	if c.Value() != 5 {
+		t.Fatal("labeled series aliased the unlabeled one")
+	}
+}
+
+func TestFuncBackedMetricsSampledAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 3.0
+	r.CounterFunc("ext_total", "external", func() float64 { return v })
+	r.GaugeFunc("ext_level", "external level", func() float64 { return 2 * v })
+	s1 := r.Snapshot()
+	v = 10
+	s2 := r.Snapshot()
+	if got := s1.Value("ext_total"); got != 3 {
+		t.Fatalf("first sample = %v, want 3", got)
+	}
+	if got := s2.Value("ext_total"); got != 10 {
+		t.Fatalf("second sample = %v, want 10", got)
+	}
+	if got := s2.Value("ext_level"); got != 20 {
+		t.Fatalf("gauge sample = %v, want 20", got)
+	}
+	if got := s2.Diff(s1).Value("ext_total"); got != 7 {
+		t.Fatalf("diff = %v, want 7", got)
+	}
+	// Re-registering replaces the sampler.
+	r.CounterFunc("ext_total", "external", func() float64 { return 99 })
+	if got := r.Snapshot().Value("ext_total"); got != 99 {
+		t.Fatalf("replaced sampler reads %v, want 99", got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", nil).Observe(1)
+	r.CounterFunc("d", "", func() float64 { return 1 })
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	if s := r.Snapshot(); len(s.Values) != 0 || len(s.Hists) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var sb nullWriter
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter family did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestSnapshotDiffUnderConcurrency exercises the registry's
+// snapshot/diff path while counters, gauges and histograms are being
+// hammered from many goroutines — the -race half of the registry
+// contract. The final quiesced diff must account for every recorded
+// event exactly.
+func TestSnapshotDiffUnderConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	h := r.Histogram("lat", "latency", nil, L("op", "x"))
+	base := r.Snapshot()
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := r.Snapshot()
+				_ = s.Diff(base)
+				var nw nullWriter
+				r.WritePrometheus(&nw)
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	d := r.Snapshot().Diff(base)
+	if got := d.Value("ops_total"); got != workers*per {
+		t.Fatalf("counter diff = %v, want %d", got, workers*per)
+	}
+	hs, ok := d.Hist("lat", L("op", "x"))
+	if !ok {
+		t.Fatal("histogram series missing from snapshot")
+	}
+	if hs.Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, workers*per)
+	}
+	var bucketSum uint64
+	for _, c := range hs.Counts {
+		bucketSum += c
+	}
+	if bucketSum != hs.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, hs.Count)
+	}
+}
+
+func TestSnapshotKeysSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Counter("a_total", "")
+	r.Histogram("m_hist", "", nil)
+	keys := r.Snapshot().Keys()
+	want := []string{"a_total", "z_total", "m_hist"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}

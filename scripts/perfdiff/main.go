@@ -1,0 +1,184 @@
+// Command perfdiff is the perf regression ratchet: it compares two
+// hgs-bench -json reports — the previous run (baseline) and the run
+// under test (current) — and fails when any experiment pass regressed
+// beyond the thresholds.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/perfdiff -baseline prev.json -current night.json
+//
+// What ratchets: the deterministic per-pass measurements. KV reads,
+// machine round-trips, bytes read and simulated wait are functions of
+// the plan and the latency model, not of the host, so a nightly-runner
+// noise excuse does not apply — an increase beyond -max-ratio
+// (default 1.25x) fails. Cache and negative-hit ratios failing to a
+// drop beyond -max-ratio-drop (default 0.10) likewise. Wall-clock
+// latency quantiles (p50/p90/p99) are reported for trend reading but
+// never fail the run: shared CI runners make them too noisy to gate on.
+//
+// Tiny baselines are exempt per metric (-noise-floor, default 16):
+// going from 2 KV reads to 4 is doubling, not a regression signal.
+//
+// Exit status: 0 when no pass regressed, 1 on regression, 2 on bad
+// input. The perf workflow promotes the current report to baseline only
+// on success, so a regressed night keeps ratcheting against the last
+// good run instead of normalizing the regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hgs/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "previous run's hgs-bench -json report")
+	currentPath := flag.String("current", "", "this run's hgs-bench -json report")
+	maxRatio := flag.Float64("max-ratio", 1.25, "fail when a deterministic pass metric exceeds baseline by this factor")
+	maxRatioDrop := flag.Float64("max-ratio-drop", 0.10, "fail when a cache or negative-hit ratio drops by more than this (absolute)")
+	noiseFloor := flag.Float64("noise-floor", 16, "skip metrics whose baseline value is below this (too small to ratchet)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "perfdiff: both -baseline and -current are required")
+		os.Exit(2)
+	}
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := readReport(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if baseline.Scale != current.Scale {
+		// Different dataset sizes make every comparison meaningless;
+		// treat the baseline as absent rather than failing on garbage.
+		fmt.Printf("perfdiff: scale changed (%+v -> %+v); skipping comparison, current run becomes the baseline\n",
+			baseline.Scale, current.Scale)
+		return
+	}
+	result := Compare(baseline, current, Thresholds{
+		MaxRatio:     *maxRatio,
+		MaxRatioDrop: *maxRatioDrop,
+		NoiseFloor:   *noiseFloor,
+	})
+	for _, line := range result.Info {
+		fmt.Println("perfdiff:", line)
+	}
+	for _, line := range result.Regressions {
+		fmt.Println("perfdiff: REGRESSION:", line)
+	}
+	fmt.Printf("perfdiff: %d passes compared, %d regressions\n", result.Compared, len(result.Regressions))
+	if len(result.Regressions) > 0 {
+		os.Exit(1)
+	}
+}
+
+func readReport(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := bench.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Thresholds are the ratchet's tolerances.
+type Thresholds struct {
+	// MaxRatio fails a deterministic count metric (KV reads,
+	// round-trips, bytes, simulated wait) above baseline*MaxRatio.
+	MaxRatio float64
+	// MaxRatioDrop fails a cache/negative-hit ratio that dropped by
+	// more than this, absolute.
+	MaxRatioDrop float64
+	// NoiseFloor skips count metrics whose baseline is below it.
+	NoiseFloor float64
+}
+
+// Outcome is one comparison's verdict.
+type Outcome struct {
+	// Compared counts the passes present in both reports.
+	Compared int
+	// Regressions lists threshold violations (non-empty fails the run).
+	Regressions []string
+	// Info lists non-failing observations: new or vanished passes and
+	// wall-clock quantile movements.
+	Info []string
+}
+
+// Compare ratchets current against baseline pass by pass.
+func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
+	type key struct{ id, label string }
+	base := make(map[key]bench.PassMetrics)
+	for _, r := range baseline.Results {
+		for _, p := range r.Passes {
+			base[key{r.ID, p.Label}] = p
+		}
+	}
+	var out Outcome
+	seen := make(map[key]bool)
+	for _, r := range current.Results {
+		for _, p := range r.Passes {
+			k := key{r.ID, p.Label}
+			seen[k] = true
+			b, ok := base[k]
+			if !ok {
+				out.Info = append(out.Info, fmt.Sprintf("%s/%s: new pass, no baseline", k.id, k.label))
+				continue
+			}
+			out.Compared++
+			name := k.id + "/" + k.label
+			counts := []struct {
+				metric   string
+				bas, cur float64
+			}{
+				{"kv_reads", float64(b.KVReads), float64(p.KVReads)},
+				{"round_trips", float64(b.RoundTrips), float64(p.RoundTrips)},
+				{"bytes_read", float64(b.BytesRead), float64(p.BytesRead)},
+				{"simwait_seconds", b.SimWaitSeconds * 1000, p.SimWaitSeconds * 1000}, // compare in ms so the floor bites sanely
+			}
+			for _, c := range counts {
+				if c.bas < th.NoiseFloor {
+					continue
+				}
+				if c.cur > c.bas*th.MaxRatio {
+					out.Regressions = append(out.Regressions, fmt.Sprintf(
+						"%s: %s %.0f -> %.0f (%.2fx > %.2fx allowed)",
+						name, c.metric, c.bas, c.cur, c.cur/c.bas, th.MaxRatio))
+				}
+			}
+			for _, c := range []struct {
+				metric   string
+				bas, cur float64
+			}{
+				{"cache_hit_ratio", b.CacheHitRatio, p.CacheHitRatio},
+				{"negative_hit_ratio", b.NegativeHitRatio, p.NegativeHitRatio},
+			} {
+				if c.bas-c.cur > th.MaxRatioDrop {
+					out.Regressions = append(out.Regressions, fmt.Sprintf(
+						"%s: %s %.3f -> %.3f (drop %.3f > %.3f allowed)",
+						name, c.metric, c.bas, c.cur, c.bas-c.cur, th.MaxRatioDrop))
+				}
+			}
+			// Wall-clock quantiles: informational only (CI runner noise).
+			if b.P99Seconds > 0 && p.P99Seconds > 2*b.P99Seconds {
+				out.Info = append(out.Info, fmt.Sprintf(
+					"%s: p99 %.4fs -> %.4fs (wall clock; not gated)", name, b.P99Seconds, p.P99Seconds))
+			}
+		}
+	}
+	for k := range base {
+		if !seen[k] {
+			out.Info = append(out.Info, fmt.Sprintf("%s/%s: pass vanished from current run", k.id, k.label))
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hgs/internal/bench"
+)
+
+func report(passes ...bench.PassMetrics) *bench.Report {
+	return &bench.Report{
+		Scale:   bench.Scale{WikiNodes: 1000},
+		Results: []*bench.Result{{ID: "fig11", Passes: passes}},
+	}
+}
+
+func pass(label string, kvReads int64) bench.PassMetrics {
+	return bench.PassMetrics{
+		Label:            label,
+		KVReads:          kvReads,
+		RoundTrips:       100,
+		BytesRead:        1 << 20,
+		SimWaitSeconds:   0.5,
+		CacheHitRatio:    0.60,
+		NegativeHitRatio: 0.20,
+		P99Seconds:       0.01,
+	}
+}
+
+var defaults = Thresholds{MaxRatio: 1.25, MaxRatioDrop: 0.10, NoiseFloor: 16}
+
+func TestCompareClean(t *testing.T) {
+	base := report(pass("c sweep", 1000))
+	cur := report(pass("c sweep", 1100)) // 1.1x, inside 1.25x
+	out := Compare(base, cur, defaults)
+	if out.Compared != 1 || len(out.Regressions) != 0 {
+		t.Fatalf("compared=%d regressions=%v, want 1 and none", out.Compared, out.Regressions)
+	}
+}
+
+func TestCompareCountRegression(t *testing.T) {
+	base := report(pass("c sweep", 1000))
+	cur := report(pass("c sweep", 1300)) // 1.3x > 1.25x
+	out := Compare(base, cur, defaults)
+	if len(out.Regressions) != 1 || !strings.Contains(out.Regressions[0], "kv_reads") {
+		t.Fatalf("regressions = %v, want one kv_reads violation", out.Regressions)
+	}
+}
+
+func TestCompareSimWaitRegression(t *testing.T) {
+	base := report(pass("c sweep", 1000))
+	p := pass("c sweep", 1000)
+	p.SimWaitSeconds = 0.7 // 1.4x
+	out := Compare(base, report(p), defaults)
+	if len(out.Regressions) != 1 || !strings.Contains(out.Regressions[0], "simwait") {
+		t.Fatalf("regressions = %v, want one simwait violation", out.Regressions)
+	}
+}
+
+func TestCompareRatioDrop(t *testing.T) {
+	base := report(pass("c sweep", 1000))
+	p := pass("c sweep", 1000)
+	p.CacheHitRatio = 0.45 // drop 0.15 > 0.10
+	out := Compare(base, report(p), defaults)
+	if len(out.Regressions) != 1 || !strings.Contains(out.Regressions[0], "cache_hit_ratio") {
+		t.Fatalf("regressions = %v, want one cache_hit_ratio violation", out.Regressions)
+	}
+}
+
+func TestCompareNoiseFloorExempts(t *testing.T) {
+	base := report(pass("c sweep", 4))
+	p := pass("c sweep", 12) // 3x, but baseline below the floor
+	p.RoundTrips = 100       // keep the other counts clean
+	out := Compare(base, report(p), defaults)
+	for _, r := range out.Regressions {
+		if strings.Contains(r, "kv_reads") {
+			t.Fatalf("kv_reads under the noise floor still regressed: %v", out.Regressions)
+		}
+	}
+}
+
+func TestCompareStructuralChangesAreInfo(t *testing.T) {
+	base := report(pass("old pass", 1000))
+	cur := report(pass("new pass", 5000))
+	out := Compare(base, cur, defaults)
+	if len(out.Regressions) != 0 {
+		t.Fatalf("structural change produced regressions: %v", out.Regressions)
+	}
+	joined := strings.Join(out.Info, "\n")
+	if !strings.Contains(joined, "new pass, no baseline") || !strings.Contains(joined, "vanished") {
+		t.Fatalf("info = %v, want new-pass and vanished notes", out.Info)
+	}
+}
+
+func TestCompareQuantilesNeverGate(t *testing.T) {
+	base := report(pass("c sweep", 1000))
+	p := pass("c sweep", 1000)
+	p.P99Seconds = 1.0 // 100x wall-clock blowup
+	out := Compare(base, report(p), defaults)
+	if len(out.Regressions) != 0 {
+		t.Fatalf("wall-clock quantile gated the run: %v", out.Regressions)
+	}
+	if !strings.Contains(strings.Join(out.Info, "\n"), "p99") {
+		t.Fatalf("info = %v, want a p99 trend note", out.Info)
+	}
+}
