@@ -10,7 +10,7 @@ GO ?= go
 # incidental drift, not for untested subsystems).
 COVER_FLOOR ?= 60.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen profile
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel profile
 
 ci: vet build test test-race fmt-check
 
@@ -72,6 +72,12 @@ bench-tiering:
 # tier warm-up off vs on (hit ratio and simulated wait per pass).
 bench-reopen:
 	$(GO) run ./cmd/hgs-bench -run reopen
+
+# Parallel materialization: warm-cache snapshot retrieval swept over
+# MaterializeWorkers, with speedup, allocs/op and the byte-identity
+# check (set HGS_SCALE>=2 for a meaningful speedup axis on multi-core).
+bench-parallel:
+	$(GO) run ./cmd/hgs-bench -run parallel
 
 # CPU and allocation profiles over the Figure 11 bench workload
 # (snapshot retrieval with parallel fetch — the read hot path). Inspect

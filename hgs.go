@@ -329,6 +329,15 @@ type Options struct {
 	Compress bool
 	// FetchClients is the default parallel fetch factor c (default 4).
 	FetchClients int
+	// MaterializeWorkers bounds the worker pool that applies fetched
+	// micro-deltas and replays boundary eventlists when materializing
+	// snapshots and neighborhoods. Zero selects one worker per CPU
+	// (runtime.GOMAXPROCS); 1 restores fully sequential
+	// materialization. Unlike FetchClients this only changes local CPU
+	// parallelism — results and plan traces are identical for any
+	// value. A runtime knob of this process — not persisted with a
+	// DataDir store.
+	MaterializeWorkers int
 	// CacheBytes bounds the query manager's decoded-delta cache: hot
 	// root-path deltas are decoded once and shared across queries and
 	// analytics workers. Zero selects the 64 MiB default; a negative
@@ -377,6 +386,7 @@ func (o Options) coreConfig() core.Config {
 	if o.FetchClients > 0 {
 		cfg.FetchClients = o.FetchClients
 	}
+	cfg.MaterializeWorkers = o.MaterializeWorkers
 	cfg.CacheBytes = o.CacheBytes
 	cfg.TracePlans = o.TracePlans
 	return cfg

@@ -384,6 +384,11 @@ func TestCacheBytesOptionAndStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	cold := store.Cluster().Metrics().Reads
+	if stCold, err := store.Stats(); err != nil {
+		t.Fatal(err)
+	} else if stCold.StoreMetrics.RoundTrips == 0 {
+		t.Fatal("round-trip counter not surfaced through Stats")
+	}
 	store.Cluster().ResetMetrics()
 	g2, err := store.Snapshot(mid)
 	if err != nil {
@@ -402,9 +407,6 @@ func TestCacheBytesOptionAndStats(t *testing.T) {
 	}
 	if st.Cache.Hits == 0 || st.Cache.MaxBytes != 64<<20 {
 		t.Fatalf("cache stats = %+v; want hits > 0 and the 64MiB default budget", st.Cache)
-	}
-	if st.StoreMetrics.RoundTrips == 0 {
-		t.Fatal("round-trip counter not surfaced through Stats")
 	}
 
 	// CacheBytes < 0 disables caching entirely.

@@ -107,6 +107,13 @@ type PassMetrics struct {
 	P50Seconds float64 `json:"p50_seconds"`
 	P90Seconds float64 `json:"p90_seconds"`
 	P99Seconds float64 `json:"p99_seconds"`
+	// AllocsPerOp is the mean heap allocations per retrieval of the
+	// pass (recorded by the parallel experiment; 0 elsewhere). Ratcheted
+	// by scripts/perfdiff like the other deterministic counts.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// EventlistHits is the pass's cache-hit delta served from cached
+	// boundary micro-eventlists (subset of CacheHits).
+	EventlistHits int64 `json:"eventlist_hits,omitempty"`
 }
 
 // Result is one regenerated table or figure.

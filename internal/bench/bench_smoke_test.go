@@ -192,11 +192,13 @@ func TestCacheV2NegativeCaching(t *testing.T) {
 
 // TestCacheBenchSpeedup is the CLI-visible form of the fetch-layer
 // acceptance bar: the warm pass of the cache workload must issue at
-// least 2× fewer KV operations than the cold pass.
+// least 2× fewer KV operations than the cold pass. Since boundary
+// eventlists became cacheable, zero warm reads is the expected best
+// case (the whole probe set is cache-resident), not a broken pass.
 func TestCacheBenchSpeedup(t *testing.T) {
 	skipIfShort(t)
 	cold, warm := CachePasses(tinyScale())
-	if warm.Reads == 0 || cold.Reads < 2*warm.Reads {
+	if cold.Reads == 0 || cold.Reads < 2*warm.Reads {
 		t.Fatalf("cold pass %d KV reads, warm pass %d: want >= 2x reduction", cold.Reads, warm.Reads)
 	}
 	if warm.RoundTrips >= cold.RoundTrips {
@@ -238,11 +240,56 @@ func TestReopenSmoke(t *testing.T) {
 	}
 }
 
+// TestParallelSmoke is the acceptance bar of parallel materialization:
+// every worker count must produce byte-identical snapshots, the warm
+// sweep must be served from cached eventlists (hits > 0), and parallel
+// passes must not be meaningfully slower than the sequential one. The
+// speedup direction is only asserted where it is physically possible
+// (more than one core); the wall-clock tolerance stays generous because
+// shared runners are noisy.
+func TestParallelSmoke(t *testing.T) {
+	skipIfShort(t)
+	passes := ParallelPasses(tinyScale())
+	if len(passes) != len(parallelWorkerCounts) {
+		t.Fatalf("got %d passes, want %d", len(passes), len(parallelWorkerCounts))
+	}
+	base := passes[0]
+	if base.Workers != 1 {
+		t.Fatalf("first pass workers = %d, want 1", base.Workers)
+	}
+	for _, p := range passes {
+		if p.Digest != base.Digest {
+			t.Fatalf("workers=%d digest %016x differs from workers=1 digest %016x",
+				p.Workers, p.Digest, base.Digest)
+		}
+		if p.EventlistHits == 0 {
+			t.Fatalf("workers=%d warm pass recorded no eventlist cache hits", p.Workers)
+		}
+		if p.AllocsPerOp <= 0 {
+			t.Fatalf("workers=%d pass recorded no allocations: %+v", p.Workers, p)
+		}
+		if p.Workers > 1 && p.Seconds > 2*base.Seconds {
+			t.Errorf("workers=%d (%.4fs) much slower than workers=1 (%.4fs)",
+				p.Workers, p.Seconds, base.Seconds)
+		}
+	}
+	r := ParallelBench(tinyScale())
+	checkResult(t, r, 2)
+	if len(r.Passes) != len(parallelWorkerCounts) {
+		t.Fatalf("parallel result carries %d passes, want %d", len(r.Passes), len(parallelWorkerCounts))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("byte-identical across worker counts: true")) {
+		t.Fatal("parallel result missing the byte-identity note")
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
-		"fig16", "fig17", "cache", "tiering", "reopen",
+		"fig16", "fig17", "cache", "tiering", "reopen", "parallel",
 		"ablation-arity", "ablation-vc",
 	}
 	for _, id := range want {

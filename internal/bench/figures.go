@@ -661,7 +661,7 @@ var Order = []string{
 	"fig14a", "fig14b", "fig14c",
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
-	"cache", "tiering", "reopen",
+	"cache", "tiering", "reopen", "parallel",
 	"ablation-arity", "ablation-vc",
 }
 
@@ -693,6 +693,7 @@ var Runners = map[string]func(Scale) *Result{
 	"cache":          CacheBench,
 	"tiering":        TieringBench,
 	"reopen":         ReopenBench,
+	"parallel":       ParallelBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

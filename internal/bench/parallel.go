@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"hgs/internal/codec"
+	"hgs/internal/core"
+	"hgs/internal/fetch"
+	"hgs/internal/temporal"
+
+	"hgs/internal/graph"
+)
+
+// snapshotDigest hashes a snapshot's content deterministically: every
+// node state is encoded with the canonical codec (sorted attributes and
+// edges) in node-id order. Two snapshots digest equal iff they are
+// byte-identical under the wire format — the check behind the parallel
+// experiment's "same result for any worker count" guarantee.
+func snapshotDigest(g *graph.Graph) uint64 {
+	cdc := codec.Codec{}
+	h := fnv.New64a()
+	for _, id := range g.NodeIDs() {
+		blob, err := cdc.EncodeNodeState(g.Node(id))
+		if err != nil {
+			panic(fmt.Sprintf("bench: digest encode: %v", err))
+		}
+		h.Write(blob)
+	}
+	return h.Sum64()
+}
+
+// WorkerPass is one worker-count measurement of the parallel
+// materialization sweep.
+type WorkerPass struct {
+	// Workers is the MaterializeWorkers setting of the pass.
+	Workers int
+	// Seconds is the wall time of the timed repetitions.
+	Seconds float64
+	// AllocsPerOp is the mean heap allocations per snapshot retrieval.
+	AllocsPerOp float64
+	// EventlistHits is the pass's cached-eventlist hit delta.
+	EventlistHits int64
+	// Digest summarizes the retrieved snapshots' content; all passes
+	// must agree.
+	Digest uint64
+}
+
+// parallelWorkerCounts is the swept MaterializeWorkers axis.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// ParallelPasses runs the parallel-materialization sweep without the
+// latency model and returns one pass per worker count — the testable
+// core of the parallel experiment (used by TestParallelSmoke). The
+// shared decoded cache is warmed first, so the sweep measures
+// materialization CPU (delta application + eventlist replay), not
+// fetches; each pass also digests its snapshots so byte-identity across
+// worker counts is checkable.
+func ParallelPasses(sc Scale) []WorkerPass {
+	events := Dataset1(sc)
+	// More horizontal partitions than the default four: sids are the
+	// snapshot materialization's parallel shards, so the sweep needs
+	// enough of them to occupy the larger worker counts.
+	ix := buildIndex("parallel", events, 4, 1, func(cfg *core.Config) {
+		cfg.HorizontalPartitions = 8
+	})
+	probes := probeTimes(events, 3)
+	shared := fetch.NewCache(core.DefaultCacheBytes)
+	mk := func(w int) *core.TGI {
+		cfg := ix.TGI.Config()
+		cfg.Cache = shared
+		cfg.MaterializeWorkers = w
+		return core.New(ix.Cluster, cfg)
+	}
+	snap := func(t *core.TGI, tt temporal.Time) *graph.Graph {
+		g, err := t.GetSnapshot(tt, nil)
+		if err != nil {
+			panic(fmt.Sprintf("bench: parallel snapshot: %v", err))
+		}
+		return g
+	}
+	// Warm pass: fill the shared cache (deltas, boundary eventlists,
+	// negative markers) so every sweep pass runs KV-free.
+	warmT := mk(0)
+	for _, tt := range probes {
+		snap(warmT, tt)
+	}
+
+	const reps = 3
+	passes := make([]WorkerPass, 0, len(parallelWorkerCounts))
+	for _, w := range parallelWorkerCounts {
+		t := mk(w)
+		before := t.CacheStats()
+		// Digest pass, untimed: hashing is not part of materialization.
+		h := fnv.New64a()
+		for _, tt := range probes {
+			fmt.Fprintf(h, "%016x", snapshotDigest(snap(t, tt)))
+		}
+		runtime.GC()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		ops := 0
+		for rep := 0; rep < reps; rep++ {
+			for _, tt := range probes {
+				snap(t, tt)
+				ops++
+			}
+		}
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		after := t.CacheStats()
+		passes = append(passes, WorkerPass{
+			Workers:       w,
+			Seconds:       sec,
+			AllocsPerOp:   float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+			EventlistHits: after.EventlistHits - before.EventlistHits,
+			Digest:        h.Sum64(),
+		})
+	}
+	return passes
+}
+
+// ParallelBench — the parallel materialization experiment: warm-cache
+// snapshot retrieval swept over MaterializeWorkers ∈ {1,2,4,8},
+// reporting wall-time speedup over the sequential pass, allocations per
+// retrieval (the codec-pooling axis), cached-eventlist hits, and
+// whether every worker count produced byte-identical snapshots.
+// Speedup saturates at min(workers, sids, physical cores); on a
+// single-core host the sweep degenerates to an overhead check.
+func ParallelBench(sc Scale) *Result {
+	start := time.Now()
+	res := &Result{
+		ID:     "parallel",
+		Title:  "Parallel snapshot materialization vs MaterializeWorkers (warm cache, m=4, sids=8)",
+		XLabel: "materialize workers", YLabel: "speedup vs workers=1",
+	}
+	passes := ParallelPasses(sc)
+	base := passes[0]
+	speedup := Series{Name: "speedup"}
+	allocs := Series{Name: "allocs/op"}
+	identical := true
+	res.TableHeader = []string{"workers", "elapsed", "speedup", "allocs/op", "eventlist hits"}
+	for _, p := range passes {
+		su := base.Seconds / p.Seconds
+		speedup.Points = append(speedup.Points, Point{X: float64(p.Workers), Y: su})
+		allocs.Points = append(allocs.Points, Point{X: float64(p.Workers), Y: p.AllocsPerOp})
+		if p.Digest != base.Digest {
+			identical = false
+		}
+		res.TableRows = append(res.TableRows, []string{
+			fmt.Sprintf("%d", p.Workers),
+			fmt.Sprintf("%.3fs", p.Seconds),
+			fmt.Sprintf("%.2fx", su),
+			fmt.Sprintf("%.0f", p.AllocsPerOp),
+			fmt.Sprintf("%d", p.EventlistHits),
+		})
+		res.Passes = append(res.Passes, PassMetrics{
+			Label:         fmt.Sprintf("w=%d", p.Workers),
+			AllocsPerOp:   p.AllocsPerOp,
+			EventlistHits: p.EventlistHits,
+		})
+	}
+	res.Series = append(res.Series, speedup, allocs)
+	res.Notes = append(res.Notes, fmt.Sprintf("snapshots byte-identical across worker counts: %v", identical))
+	res.Notes = append(res.Notes, fmt.Sprintf("host cores: %d (speedup saturates at min(workers, sids, cores))", runtime.NumCPU()))
+	hits, misses := codec.PoolStats()
+	res.Notes = append(res.Notes, fmt.Sprintf("codec pool: %d hits, %d misses since process start", hits, misses))
+	res.Elapsed = time.Since(start)
+	return res
+}

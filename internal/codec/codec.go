@@ -9,7 +9,6 @@ package codec
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -225,7 +224,8 @@ func decodeNodeState(r *reader) (*graph.NodeState, error) {
 
 // EncodeDelta serializes a delta (component states + tombstones).
 func (c Codec) EncodeDelta(d *delta.Delta) ([]byte, error) {
-	var b buffer
+	b := getEncBuffer()
+	defer putEncBuffer(b)
 	ids := make([]graph.NodeID, 0, len(d.Nodes))
 	for id := range d.Nodes {
 		ids = append(ids, id)
@@ -233,7 +233,7 @@ func (c Codec) EncodeDelta(d *delta.Delta) ([]byte, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	b.uvarint(uint64(len(ids)))
 	for _, id := range ids {
-		encodeNodeState(&b, d.Nodes[id])
+		encodeNodeState(b, d.Nodes[id])
 	}
 	tombs := make([]graph.NodeID, 0, len(d.Tombstones))
 	for id := range d.Tombstones {
@@ -249,10 +249,11 @@ func (c Codec) EncodeDelta(d *delta.Delta) ([]byte, error) {
 
 // DecodeDelta parses a blob produced by EncodeDelta.
 func (c Codec) DecodeDelta(blob []byte) (*delta.Delta, error) {
-	data, err := unframe(blob)
+	data, release, err := unframe(blob)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	r := &reader{data: data}
 	n, err := r.count()
 	if err != nil {
@@ -283,7 +284,8 @@ func (c Codec) DecodeDelta(blob []byte) (*delta.Delta, error) {
 // EncodeEvents serializes an event slice; times are delta-encoded against
 // the previous event, which makes dense eventlists very compact.
 func (c Codec) EncodeEvents(events []graph.Event) ([]byte, error) {
-	var b buffer
+	b := getEncBuffer()
+	defer putEncBuffer(b)
 	b.uvarint(uint64(len(events)))
 	var prev temporal.Time
 	for _, e := range events {
@@ -300,10 +302,11 @@ func (c Codec) EncodeEvents(events []graph.Event) ([]byte, error) {
 
 // DecodeEvents parses a blob produced by EncodeEvents.
 func (c Codec) DecodeEvents(blob []byte) ([]graph.Event, error) {
-	data, err := unframe(blob)
+	data, release, err := unframe(blob)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	r := &reader{data: data}
 	n, err := r.count()
 	if err != nil {
@@ -349,21 +352,25 @@ func (c Codec) DecodeEvents(blob []byte) ([]graph.Event, error) {
 
 // EncodeNodeState serializes a single node state.
 func (c Codec) EncodeNodeState(ns *graph.NodeState) ([]byte, error) {
-	var b buffer
-	encodeNodeState(&b, ns)
+	b := getEncBuffer()
+	defer putEncBuffer(b)
+	encodeNodeState(b, ns)
 	return c.frame(b.buf.Bytes())
 }
 
 // DecodeNodeState parses a blob produced by EncodeNodeState.
 func (c Codec) DecodeNodeState(blob []byte) (*graph.NodeState, error) {
-	data, err := unframe(blob)
+	data, release, err := unframe(blob)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	return decodeNodeState(&reader{data: data})
 }
 
-// frame prepends the header byte and compresses when enabled.
+// frame prepends the header byte and compresses when enabled. The
+// returned slice is always freshly allocated (callers hand it to the
+// store); only the compression machinery is pooled.
 func (c Codec) frame(payload []byte) ([]byte, error) {
 	if !c.Compress {
 		out := make([]byte, 0, len(payload)+1)
@@ -372,10 +379,8 @@ func (c Codec) frame(payload []byte) ([]byte, error) {
 	}
 	var zbuf bytes.Buffer
 	zbuf.WriteByte(flagGzip)
-	zw, err := gzip.NewWriterLevel(&zbuf, gzip.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("codec: gzip init: %w", err)
-	}
+	zw := getGzipWriter(&zbuf)
+	defer putGzipWriter(zw)
 	if _, err := zw.Write(payload); err != nil {
 		return nil, fmt.Errorf("codec: gzip write: %w", err)
 	}
@@ -386,26 +391,32 @@ func (c Codec) frame(payload []byte) ([]byte, error) {
 }
 
 // unframe strips the header and decompresses as needed; decode works
-// regardless of the codec's own Compress flag.
-func unframe(blob []byte) ([]byte, error) {
+// regardless of the codec's own Compress flag. The returned data may
+// live in a pooled decompression arena: the caller must invoke release
+// once nothing references it — decode paths satisfy that by copying
+// every byte they keep (strings, parsed numbers) out of the scratch
+// before their deferred release runs.
+func unframe(blob []byte) (data []byte, release func(), err error) {
 	if len(blob) == 0 {
-		return nil, ErrCorrupt
+		return nil, nil, ErrCorrupt
 	}
 	switch blob[0] {
 	case flagPlain:
-		return blob[1:], nil
+		return blob[1:], releaseNone, nil
 	case flagGzip:
-		zr, err := gzip.NewReader(bytes.NewReader(blob[1:]))
+		zr, err := getGzipReader(blob[1:])
 		if err != nil {
-			return nil, fmt.Errorf("codec: gzip open: %w", err)
+			return nil, nil, fmt.Errorf("codec: gzip open: %w", err)
 		}
-		defer zr.Close()
-		data, err := io.ReadAll(zr)
-		if err != nil {
-			return nil, fmt.Errorf("codec: gzip read: %w", err)
+		arena := getDecompBuffer()
+		if _, err := io.Copy(arena, zr); err != nil {
+			putGzipReader(zr)
+			putDecompBuffer(arena)
+			return nil, nil, fmt.Errorf("codec: gzip read: %w", err)
 		}
-		return data, nil
+		putGzipReader(zr)
+		return arena.Bytes(), func() { putDecompBuffer(arena) }, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown header 0x%02x", ErrCorrupt, blob[0])
+		return nil, nil, fmt.Errorf("%w: unknown header 0x%02x", ErrCorrupt, blob[0])
 	}
 }

@@ -1,0 +1,133 @@
+package codec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"sync"
+	"sync/atomic"
+
+	"hgs/internal/obs"
+)
+
+// Allocation pooling for the encode/decode hot paths. Encoding scratch
+// buffers, gzip writers/readers and decompression arenas are recycled
+// through sync.Pools and returned as soon as the blob (or the decoded
+// value) has been built — decoded values themselves are never pooled:
+// they may be installed in the shared decoded-delta cache and must not
+// alias recyclable memory, which is why every decode primitive copies
+// its bytes out of the scratch (reader.str builds fresh strings).
+//
+// Hits and misses are counted per pool Get so GC-pressure savings are
+// observable (PoolStats, RegisterObs). Counters are process-wide, like
+// the pools.
+
+// maxPooledScratch bounds the capacity of recycled buffers: one
+// pathological giant blob must not pin megabytes in every pool slot.
+const maxPooledScratch = 1 << 20
+
+var (
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+
+	encPool    sync.Pool // *buffer: encode scratch
+	gzwPool    sync.Pool // *gzip.Writer, BestSpeed
+	gzrPool    sync.Pool // *gzip.Reader
+	decompPool sync.Pool // *bytes.Buffer: decompression arenas
+)
+
+// counted wraps a pool Get with hit/miss accounting (sync.Pool with no
+// New func returns nil when empty).
+func counted(p *sync.Pool) any {
+	v := p.Get()
+	if v == nil {
+		poolMisses.Add(1)
+	} else {
+		poolHits.Add(1)
+	}
+	return v
+}
+
+func getEncBuffer() *buffer {
+	if v := counted(&encPool); v != nil {
+		b := v.(*buffer)
+		b.buf.Reset()
+		return b
+	}
+	return &buffer{}
+}
+
+func putEncBuffer(b *buffer) {
+	if b.buf.Cap() > maxPooledScratch {
+		return
+	}
+	encPool.Put(b)
+}
+
+func getGzipWriter(w *bytes.Buffer) *gzip.Writer {
+	if v := counted(&gzwPool); v != nil {
+		zw := v.(*gzip.Writer)
+		zw.Reset(w)
+		return zw
+	}
+	zw, _ := gzip.NewWriterLevel(w, gzip.BestSpeed) // BestSpeed is a valid level; no error possible
+	return zw
+}
+
+func putGzipWriter(zw *gzip.Writer) { gzwPool.Put(zw) }
+
+func getGzipReader(data []byte) (*gzip.Reader, error) {
+	if v := counted(&gzrPool); v != nil {
+		zr := v.(*gzip.Reader)
+		if err := zr.Reset(bytes.NewReader(data)); err != nil {
+			return nil, err
+		}
+		return zr, nil
+	}
+	return gzip.NewReader(bytes.NewReader(data))
+}
+
+func putGzipReader(zr *gzip.Reader) {
+	zr.Close()
+	gzrPool.Put(zr)
+}
+
+func getDecompBuffer() *bytes.Buffer {
+	if v := counted(&decompPool); v != nil {
+		b := v.(*bytes.Buffer)
+		b.Reset()
+		return b
+	}
+	return &bytes.Buffer{}
+}
+
+func putDecompBuffer(b *bytes.Buffer) {
+	if b.Cap() > maxPooledScratch {
+		return
+	}
+	decompPool.Put(b)
+}
+
+// releaseNone is the no-op release of decodes that needed no pooled
+// scratch (plain blobs decode in place).
+func releaseNone() {}
+
+// PoolStats returns the cumulative pool hit and miss counts across
+// every codec pool (process-wide).
+func PoolStats() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+// RegisterObs registers the codec pool counters into r. The pools (and
+// therefore the counters) are process-wide, so stores sharing the
+// process expose the same series.
+func RegisterObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("hgs_codec_pool_hits_total",
+		"Codec scratch-buffer pool gets served by a recycled object.",
+		func() float64 { h, _ := PoolStats(); return float64(h) })
+	r.CounterFunc("hgs_codec_pool_misses_total",
+		"Codec scratch-buffer pool gets that had to allocate.",
+		func() float64 { _, m := PoolStats(); return float64(m) })
+}

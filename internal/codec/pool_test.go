@@ -1,0 +1,90 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPooledDecodeDoesNotAlias pins the pooling safety contract: every
+// decode primitive copies bytes out of the (pooled, recycled) scratch
+// arena, so values decoded earlier must survive any number of later
+// encode/decode cycles that reuse the same buffers. Exercised for both
+// the plain and the gzip frame, whose decompression arena is the
+// riskiest recycled buffer.
+func TestPooledDecodeDoesNotAlias(t *testing.T) {
+	for _, c := range []Codec{{}, {Compress: true}} {
+		name := "plain"
+		if c.Compress {
+			name = "gzip"
+		}
+		t.Run(name, func(t *testing.T) {
+			d := randDelta(3, 60)
+			evs := randEvents(4, 80)
+			dBlob, err := c.EncodeDelta(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eBlob, err := c.EncodeEvents(evs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, err := c.DecodeDelta(dBlob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotE, err := c.DecodeEvents(eBlob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Hammer the pools with unrelated work so every pooled arena
+			// the decodes above might alias is recycled and overwritten.
+			for i := int64(0); i < 50; i++ {
+				junk, err := c.EncodeDelta(randDelta(100+i, 80))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.DecodeDelta(junk); err != nil {
+					t.Fatal(err)
+				}
+				jevs, err := c.EncodeEvents(randEvents(200+i, 100))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := c.DecodeEvents(jevs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !gotD.Equal(d) {
+				t.Fatal("earlier decoded delta changed after pool reuse: decode aliased a recycled buffer")
+			}
+			if !reflect.DeepEqual(gotE, evs) {
+				t.Fatal("earlier decoded events changed after pool reuse: decode aliased a recycled buffer")
+			}
+		})
+	}
+}
+
+// TestPoolStatsCount pins the pool accounting surfaced as
+// hgs_codec_pool_{hits,misses}_total: sustained encode/decode traffic
+// must record activity, and — since each loop iteration returns its
+// buffers before the next takes them — mostly as hits.
+func TestPoolStatsCount(t *testing.T) {
+	h0, m0 := PoolStats()
+	c := Codec{Compress: true}
+	for i := int64(0); i < 20; i++ {
+		blob, err := c.EncodeEvents(randEvents(i, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.DecodeEvents(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, m1 := PoolStats()
+	if h1-h0+m1-m0 == 0 {
+		t.Fatal("pool counters did not move under encode/decode traffic")
+	}
+	if h1 == h0 {
+		t.Fatalf("no pool hits across 20 sequential cycles (hits %d->%d, misses %d->%d)", h0, h1, m0, m1)
+	}
+}

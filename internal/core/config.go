@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"hgs/internal/fetch"
 	"hgs/internal/obs"
@@ -88,6 +89,16 @@ type Config struct {
 	// CacheBytes: not persisted, kept across an Attach adoption.
 	// Per-call tracing via FetchOptions.Trace works regardless.
 	TracePlans bool `json:"-"`
+	// MaterializeWorkers bounds the worker pool used to apply fetched
+	// micro-deltas and replay boundary eventlists when materializing
+	// snapshots and neighborhoods. Zero (the default) selects
+	// runtime.GOMAXPROCS(0); 1 restores fully sequential
+	// materialization. Unlike FetchClients — which shapes the I/O plan
+	// and therefore round-trips — this only changes local CPU
+	// parallelism, so results and plan traces are identical for any
+	// value. A runtime knob of the reading process like CacheBytes: not
+	// persisted, kept across an Attach adoption.
+	MaterializeWorkers int `json:"-"`
 	// Obs, when non-nil, is the metrics registry this handle records
 	// into: the decoded-delta cache counters register on construction,
 	// and every retrieval and ingest operation observes its wall time
@@ -203,4 +214,13 @@ func (c Config) clients(opts *FetchOptions) int {
 		return c.FetchClients
 	}
 	return 1
+}
+
+// materializeWorkers resolves the MaterializeWorkers knob: <= 0 means
+// one worker per available CPU.
+func (c Config) materializeWorkers() int {
+	if c.MaterializeWorkers > 0 {
+		return c.MaterializeWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }

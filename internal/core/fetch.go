@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"sort"
-	"sync"
 
 	"hgs/internal/fetch"
 	"hgs/internal/graph"
@@ -93,7 +91,7 @@ func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace)
 			plan.DeltaGroup(tm.TSID, sid, did)
 		}
 		if leaf < tm.EventlistCount {
-			plan.Scan(TableEvents, placementKey(tm.TSID, sid), eventPrefix(leaf))
+			plan.EventGroup(tm.TSID, sid, leaf)
 		}
 	}
 	res, err := t.fx.ExecTraced(plan, clients, tr)
@@ -101,16 +99,19 @@ func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace)
 		return nil, err
 	}
 
-	// Merge: per horizontal partition, apply path deltas in root→leaf
-	// order (delta sum). Partitions own disjoint node sets, so each sid
-	// merges into its own graph in parallel and the per-sid graphs then
-	// combine by moving states. Cache-shared deltas clone their states
-	// in; private decodes move them (Result.Merge picks the fast path).
+	// Materialize: per horizontal partition, apply path deltas in
+	// root→leaf order (delta sum), then replay that partition's boundary
+	// micro-eventlists up to tt. Partitions own disjoint node sets and
+	// every event touching a node is replicated into the node's own
+	// partition's eventlists, so each sid materializes its nodes
+	// completely and in isolation — the whole pipeline parallelizes
+	// across materialize workers with no shared graph state. Edge-event
+	// replay also creates implicit states for foreign endpoints inside a
+	// sid graph; the combine loop keeps only each partition's owned
+	// nodes, so the result is identical to a global sequential replay
+	// for any worker count. Cache-shared deltas clone their states in;
+	// private decodes move them (Result.Merge picks the fast path).
 	sidGraphs := make([]*graph.Graph, ns)
-	var (
-		evMu       sync.Mutex
-		eventLists [][]graph.Event
-	)
 	mergeTasks := make([]func() error, 0, ns)
 	for sid := 0; sid < ns; sid++ {
 		sid := sid
@@ -121,40 +122,36 @@ func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace)
 					res.Merge(part.Delta, sg)
 				}
 			}
-			sidGraphs[sid] = sg
 			if leaf < tm.EventlistCount {
-				pkey := placementKey(tm.TSID, sid)
-				for _, row := range res.Scan(TableEvents, pkey, eventPrefix(leaf)) {
-					evs, err := t.cdc.DecodeEvents(row.Value)
-					if err != nil {
-						return fmt.Errorf("core: decode events %s/%s: %w", pkey, row.CKey, err)
+				parts := res.EventGroup(tm.TSID, sid, leaf)
+				lists := make([][]graph.Event, 0, len(parts))
+				for _, p := range parts {
+					lists = append(lists, p.Events)
+				}
+				for _, e := range mergeSortEvents(lists) {
+					if e.Time > tt {
+						break
 					}
-					evMu.Lock()
-					eventLists = append(eventLists, evs)
-					evMu.Unlock()
+					if err := sg.Apply(e); err != nil {
+						return err
+					}
 				}
 			}
+			sidGraphs[sid] = sg
 			return nil
 		})
 	}
-	if err := runParallel(clients, mergeTasks); err != nil {
+	if err := runParallel(t.cfg.materializeWorkers(), mergeTasks); err != nil {
 		return nil, err
 	}
 	g := graph.New()
-	for _, sg := range sidGraphs {
+	for sid, sg := range sidGraphs {
 		sg.Range(func(nsn *graph.NodeState) bool {
-			g.PutNode(nsn)
+			if t.sidOf(nsn.ID) == sid {
+				g.PutNode(nsn)
+			}
 			return true
 		})
-	}
-	// Boundary eventlist replay up to and including tt.
-	for _, e := range mergeSortEvents(eventLists) {
-		if e.Time > tt {
-			break
-		}
-		if err := g.Apply(e); err != nil {
-			return nil, err
-		}
 	}
 	return g, nil
 }
@@ -166,7 +163,7 @@ func planMicroPartition(plan *fetch.Plan, tm *TimespanMeta, sid, pid, leaf int) 
 		plan.DeltaPart(tm.TSID, sid, did, pid)
 	}
 	if leaf < tm.EventlistCount {
-		plan.Get(TableEvents, placementKey(tm.TSID, sid), eventCKey(leaf, pid))
+		plan.EventPart(tm.TSID, sid, leaf, pid)
 	}
 }
 
@@ -180,11 +177,7 @@ func (t *TGI) assembleMicroPartition(res *fetch.Result, tm *TimespanMeta, sid, p
 		}
 	}
 	if leaf < tm.EventlistCount {
-		if blob, ok := res.Get(TableEvents, placementKey(tm.TSID, sid), eventCKey(leaf, pid)); ok {
-			evs, err := t.cdc.DecodeEvents(blob)
-			if err != nil {
-				return nil, err
-			}
+		if evs, ok := res.EventPart(tm.TSID, sid, leaf, pid); ok {
 			for _, e := range evs {
 				if e.Time > tt {
 					break

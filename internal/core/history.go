@@ -141,13 +141,14 @@ type elRef struct {
 }
 
 // fetchHistoryEvents fetches the referenced micro-eventlists as one
-// batched read, decodes them with `clients` parallel query processors,
-// and returns the chronological, deduplicated events touching id within
-// (ts, te).
+// batched, cache-accounted read, filters them on the materialize-worker
+// pool, and returns the chronological, deduplicated events touching id
+// within (ts, te). Decoded event slices may be shared with the cache;
+// filtering copies the kept events into fresh slices.
 func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te temporal.Time, clients int, tr *fetch.Trace) ([]graph.Event, error) {
 	plan := fetch.NewPlan()
 	for _, ref := range refs {
-		plan.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, ref.pid))
+		plan.EventPart(ref.tm.TSID, sid, ref.el, ref.pid)
 	}
 	res, err := t.fx.ExecTraced(plan, clients, tr)
 	if err != nil {
@@ -158,13 +159,9 @@ func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te 
 	for i, ref := range refs {
 		i, ref := i, ref
 		tasks = append(tasks, func() error {
-			blob, found := res.Get(TableEvents, placementKey(ref.tm.TSID, sid), eventCKey(ref.el, ref.pid))
+			evs, found := res.EventPart(ref.tm.TSID, sid, ref.el, ref.pid)
 			if !found {
 				return nil
-			}
-			evs, err := t.cdc.DecodeEvents(blob)
-			if err != nil {
-				return err
 			}
 			var mine []graph.Event
 			for _, e := range evs {
@@ -176,7 +173,7 @@ func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te 
 			return nil
 		})
 	}
-	if err := runParallel(clients, tasks); err != nil {
+	if err := runParallel(t.cfg.materializeWorkers(), tasks); err != nil {
 		return nil, err
 	}
 	return mergeSortEvents(lists), nil

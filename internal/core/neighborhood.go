@@ -90,7 +90,7 @@ func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 				return nil
 			})
 		}
-		return runParallel(t.cfg.clients(opts), tasks)
+		return runParallel(t.cfg.materializeWorkers(), tasks)
 	}
 
 	groupOf := func(ids []graph.NodeID) (map[[2]int][]graph.NodeID, error) {
@@ -196,11 +196,10 @@ func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeStat
 		return err
 	}
 	leaf := tm.leafFor(tt)
-	pkey := placementKey(tm.TSID, sid)
 	plan := fetch.NewPlan()
 	plan.AuxPart(tm.TSID, sid, leaf, pid)
 	if leaf < tm.EventlistCount {
-		plan.Get(TableAuxEvents, pkey, eventCKey(leaf, pid))
+		plan.AuxEventPart(tm.TSID, sid, leaf, pid)
 	}
 	res, err := t.fx.ExecTraced(plan, 1, tr)
 	if err != nil {
@@ -212,11 +211,7 @@ func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeStat
 	}
 	g := d.Materialize()
 	if leaf < tm.EventlistCount {
-		if evBlob, ok := res.Get(TableAuxEvents, pkey, eventCKey(leaf, pid)); ok {
-			evs, err := t.cdc.DecodeEvents(evBlob)
-			if err != nil {
-				return err
-			}
+		if evs, ok := res.AuxEventPart(tm.TSID, sid, leaf, pid); ok {
 			for _, e := range evs {
 				if e.Time > tt {
 					break
@@ -365,7 +360,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 	evPlan := fetch.NewPlan()
 	for key := range rows {
 		keys = append(keys, key)
-		evPlan.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
+		evPlan.EventPart(key.tsid, key.sid, key.el, key.pid)
 	}
 	evRes, err := t.fx.ExecTraced(evPlan, clients, tr)
 	if err != nil {
@@ -376,13 +371,9 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 	for i, key := range keys {
 		i, key := i, key
 		tasks = append(tasks, func() error {
-			blob, ok := evRes.Get(TableEvents, placementKey(key.tsid, key.sid), eventCKey(key.el, key.pid))
+			evs, ok := evRes.EventPart(key.tsid, key.sid, key.el, key.pid)
 			if !ok {
 				return nil
-			}
-			evs, err := t.cdc.DecodeEvents(blob)
-			if err != nil {
-				return err
 			}
 			var keep []graph.Event
 			for _, e := range evs {
@@ -399,7 +390,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 			return nil
 		})
 	}
-	if err := runParallel(clients, tasks); err != nil {
+	if err := runParallel(t.cfg.materializeWorkers(), tasks); err != nil {
 		return nil, err
 	}
 	sh.Events = mergeSortEvents(lists)

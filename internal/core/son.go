@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"hgs/internal/fetch"
@@ -55,13 +54,14 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 	}
 
 	// 2. Events over the window: plan every in-window eventlist of the
-	// sid as one batched read, then decode, deduplicate and group per
-	// node.
-	type elScan struct {
-		pkey   string
-		prefix string
+	// sid as one batched, cache-accounted eventlist-group read, then
+	// window, deduplicate and group per node. Cached event slices are
+	// shared read-only; windowing filters into fresh slices.
+	type elKey struct {
+		tsid int
+		el   int
 	}
-	var scans []elScan
+	var refs []elKey
 	plan := fetch.NewPlan()
 	for tsid := 0; tsid < gm.TimespanCount; tsid++ {
 		tm, err := t.loadTimespanMeta(tsid)
@@ -71,14 +71,13 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 		if tm.End <= iv.Start || tm.Start >= iv.End {
 			continue
 		}
-		pkey := placementKey(tsid, sid)
 		for el := 0; el < tm.EventlistCount; el++ {
 			// Eventlist el covers (LeafTimes[el], LeafTimes[el+1]].
 			if tm.LeafTimes[el+1] <= iv.Start || tm.LeafTimes[el] >= iv.End {
 				continue
 			}
-			scans = append(scans, elScan{pkey: pkey, prefix: eventPrefix(el)})
-			plan.Scan(TableEvents, pkey, eventPrefix(el))
+			refs = append(refs, elKey{tsid: tsid, el: el})
+			plan.EventGroup(tsid, sid, el)
 		}
 	}
 	res, err := t.fx.ExecTraced(plan, 1, tr)
@@ -86,14 +85,10 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 		return nil, err
 	}
 	var lists [][]graph.Event
-	for _, sc := range scans {
-		for _, row := range res.Scan(TableEvents, sc.pkey, sc.prefix) {
-			evs, err := t.cdc.DecodeEvents(row.Value)
-			if err != nil {
-				return nil, fmt.Errorf("core: decode events %s/%s: %w", sc.pkey, row.CKey, err)
-			}
+	for _, ref := range refs {
+		for _, part := range res.EventGroup(ref.tsid, sid, ref.el) {
 			var win []graph.Event
-			for _, e := range evs {
+			for _, e := range part.Events {
 				if e.Time > iv.Start && e.Time < iv.End {
 					win = append(win, e)
 				}
@@ -149,13 +144,12 @@ func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time, tr *fetch.Trace) (*gra
 		return nil, err
 	}
 	leaf := tm.leafFor(tt)
-	pkey := placementKey(tm.TSID, sid)
 	plan := fetch.NewPlan()
 	for _, did := range tm.LeafPaths[leaf] {
 		plan.DeltaGroup(tm.TSID, sid, did)
 	}
 	if leaf < tm.EventlistCount {
-		plan.Scan(TableEvents, pkey, eventPrefix(leaf))
+		plan.EventGroup(tm.TSID, sid, leaf)
 	}
 	res, err := t.fx.ExecTraced(plan, 1, tr)
 	if err != nil {
@@ -168,13 +162,10 @@ func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time, tr *fetch.Trace) (*gra
 		}
 	}
 	if leaf < tm.EventlistCount {
-		var lists [][]graph.Event
-		for _, row := range res.Scan(TableEvents, pkey, eventPrefix(leaf)) {
-			evs, err := t.cdc.DecodeEvents(row.Value)
-			if err != nil {
-				return nil, err
-			}
-			lists = append(lists, evs)
+		parts := res.EventGroup(tm.TSID, sid, leaf)
+		lists := make([][]graph.Event, 0, len(parts))
+		for _, p := range parts {
+			lists = append(lists, p.Events)
 		}
 		for _, e := range mergeSortEvents(lists) {
 			if e.Time > tt {

@@ -47,6 +47,7 @@ func New(store *kvstore.Cluster, cfg Config) *TGI {
 		traces: newTraceRing(),
 	}
 	t.fx.Cache().RegisterObs(cfg.Obs)
+	codec.RegisterObs(cfg.Obs)
 	return t
 }
 
@@ -88,12 +89,14 @@ func Attach(store *kvstore.Cluster, cfg Config) (*TGI, bool, error) {
 		return nil, false, fmt.Errorf("core: decode persisted graph metadata: %w", err)
 	}
 	// Construction parameters come from the store; CacheBytes, an
-	// injected shared Cache, TracePlans and the Obs registry are
-	// properties of the reading process and survive the adoption.
+	// injected shared Cache, TracePlans, MaterializeWorkers and the Obs
+	// registry are properties of the reading process and survive the
+	// adoption.
 	t.cfg = gm.Config
 	t.cfg.CacheBytes = cfg.CacheBytes
 	t.cfg.Cache = cfg.Cache
 	t.cfg.TracePlans = cfg.TracePlans
+	t.cfg.MaterializeWorkers = cfg.MaterializeWorkers
 	t.cfg.Obs = cfg.Obs
 	t.cfg.normalize()
 	t.cdc = codec.Codec{Compress: t.cfg.Compress}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"hgs/internal/delta"
+	"hgs/internal/graph"
 )
 
 // Byte-accounting overheads charged per cached entry, per micro-delta,
@@ -19,12 +20,21 @@ const (
 	negOverhead   = 16
 )
 
-// protectedShare is the fraction of the byte budget reserved for the
-// protected segment of the segmented LRU: entries that proved reuse (a
-// hit after admission) live there and cannot be evicted by a stream of
+// The protected segment of the segmented LRU holds entries that proved
+// reuse (a hit after admission); they cannot be evicted by a stream of
 // one-shot insertions, which compete only for the remaining probation
-// share.
-const protectedShare = 0.8
+// share. The share is adaptive: every adaptWindow observed hits the
+// cache compares where the hits landed and steps the share toward the
+// segment earning them — a stable hot set grows protection, heavy
+// promotion traffic (new entries still proving reuse) grows probation —
+// bounded to [minProtectedShare, maxProtectedShare].
+const (
+	initialProtectedShare = 0.8
+	minProtectedShare     = 0.5
+	maxProtectedShare     = 0.9
+	adaptWindow           = 512
+	adaptStep             = 0.05
+)
 
 // CacheOptions configure a Cache beyond its byte budget. The zero value
 // of each field selects the v2 defaults; the legacy knobs exist so
@@ -71,6 +81,7 @@ type CacheOptions struct {
 type Cache struct {
 	mu        sync.Mutex
 	max       int64
+	share     float64    // protected-segment share of the budget (adaptive)
 	protMax   int64      // protected-segment byte bound (0 in plain-LRU mode)
 	used      int64      // total bytes across both segments
 	protUsed  int64      // bytes in the protected segment
@@ -82,24 +93,43 @@ type Cache struct {
 	noNegative bool
 
 	hits, misses, negativeHits              int64
+	eventHits                               int64
 	evictions, admissions, admissionRejects int64
 	oversized                               int64
+	winProb, winProt                        int64 // hits per segment in the current adaptation window
 }
 
-// cacheEntry is one (tsid, sid, did) group.
+// cacheEntry is one (tsid, sid, did) group. Delta-table groups hold
+// decoded micro-deltas in parts; eventlist-table groups hold decoded
+// micro-eventlists in events (the key's Table decides the kind — the
+// two never mix within one entry).
 type cacheEntry struct {
 	key   GroupKey
 	parts map[int]*delta.Delta
+	// events holds decoded micro-eventlists by pid (eventlist-table
+	// entries only). Shared read-only like parts.
+	events map[int][]graph.Event
 	// absent marks pids known not to exist (negative markers); complete
 	// entries know absence implicitly and carry no markers.
 	absent map[int]struct{}
 	// sorted is the pid-ascending part list, materialized once when the
 	// entry completes so group hits — the hottest path — return it
 	// without re-sorting.
-	sorted    []Part
-	complete  bool
-	total     int64
-	protected bool // which segment the entry lives in
+	sorted []Part
+	// sortedEvents is the eventlist-table counterpart of sorted.
+	sortedEvents []EventPart
+	complete     bool
+	total        int64
+	protected    bool // which segment the entry lives in
+}
+
+// has reports whether pid is resident, whatever the entry kind.
+func (e *cacheEntry) has(pid int) bool {
+	if _, ok := e.parts[pid]; ok {
+		return true
+	}
+	_, ok := e.events[pid]
+	return ok
 }
 
 // NewCache returns a segmented-LRU cache bounded to maxBytes with
@@ -124,7 +154,8 @@ func NewCacheWith(opts CacheOptions) *Cache {
 		noNegative: opts.NoNegative,
 	}
 	if !c.plainLRU {
-		c.protMax = int64(float64(opts.MaxBytes) * protectedShare)
+		c.share = initialProtectedShare
+		c.protMax = int64(float64(opts.MaxBytes) * c.share)
 	}
 	return c
 }
@@ -151,14 +182,45 @@ func (c *Cache) touchLocked(el *list.Element) {
 		return
 	}
 	if e.protected {
+		c.winProt++
+		c.adaptLocked()
 		c.protected.MoveToFront(el)
 		return
 	}
+	c.winProb++
+	c.adaptLocked()
 	// Promote: the entry proved reuse.
 	c.probation.Remove(el)
 	e.protected = true
 	c.entries[e.key] = c.protected.PushFront(e)
 	c.protUsed += e.total
+	c.demoteLocked()
+}
+
+// adaptLocked steps the protected share once per adaptWindow observed
+// hits, toward whichever segment earned a clear majority of them: hits
+// landing in probation mean new entries are still proving reuse and
+// need room to do so (shrink protection); hits landing in protected
+// mean the hot set is stable and deserves more of the budget (grow it).
+// A near-even split leaves the share alone.
+func (c *Cache) adaptLocked() {
+	if c.winProb+c.winProt < adaptWindow {
+		return
+	}
+	switch {
+	case c.winProb > 2*c.winProt:
+		c.share -= adaptStep
+	case c.winProt > 2*c.winProb:
+		c.share += adaptStep
+	}
+	if c.share < minProtectedShare {
+		c.share = minProtectedShare
+	}
+	if c.share > maxProtectedShare {
+		c.share = maxProtectedShare
+	}
+	c.protMax = int64(float64(c.max) * c.share)
+	c.winProb, c.winProt = 0, 0
 	c.demoteLocked()
 }
 
@@ -235,6 +297,64 @@ func (c *Cache) Part(k PartKey) (d *delta.Delta, known bool) {
 	}
 	c.misses++
 	return nil, false
+}
+
+// EventGroup returns the complete micro-eventlist set of a boundary
+// eventlist, pid-ascending, or ok=false when absent or partial. Like
+// Group, an empty complete group is an authoritative absence answer.
+func (c *Cache) EventGroup(k GroupKey) ([]EventPart, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok || !el.Value.(*cacheEntry).complete {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if len(e.sortedEvents) == 0 {
+		c.negativeHits++
+	} else {
+		c.hits++
+		c.eventHits++
+	}
+	c.touchLocked(el)
+	// The slice and its event slices are shared read-only.
+	return e.sortedEvents, true
+}
+
+// EventPart returns one micro-eventlist. found reports whether the row
+// exists, known whether the answer is authoritative (mirroring Part: a
+// resident list hits, a complete entry or negative marker knows
+// absence, an incomplete entry without a marker sends the caller to
+// the store).
+func (c *Cache) EventPart(k PartKey) (evs []graph.Event, found, known bool) {
+	if c == nil {
+		return nil, false, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k.group()]
+	if !ok {
+		c.misses++
+		return nil, false, false
+	}
+	e := el.Value.(*cacheEntry)
+	if evs, ok := e.events[k.PID]; ok {
+		c.hits++
+		c.eventHits++
+		c.touchLocked(el)
+		return evs, true, true
+	}
+	if _, neg := e.absent[k.PID]; neg || e.complete { // the row provably does not exist
+		c.negativeHits++
+		c.touchLocked(el)
+		return nil, false, true
+	}
+	c.misses++
+	return nil, false, false
 }
 
 // AddGroup installs the complete decoded micro-delta set of a group.
@@ -317,6 +437,81 @@ func (c *Cache) AddPart(k PartKey, d *delta.Delta, size int64) {
 	c.evictLocked()
 }
 
+// AddEventGroup installs the complete decoded micro-eventlist set of a
+// boundary eventlist — the eventlist-table counterpart of AddGroup,
+// under the same admission policy.
+func (c *Cache) AddEventGroup(k GroupKey, parts []EventPart, sizes []int64) {
+	if c == nil {
+		return
+	}
+	e := &cacheEntry{key: k, events: make(map[int][]graph.Event, len(parts)), complete: true, total: entryOverhead}
+	for i, p := range parts {
+		e.events[p.PID] = p.Events
+		e.total += sizes[i] + partOverhead
+	}
+	e.sortedEvents = append([]EventPart(nil), parts...)
+	sort.Slice(e.sortedEvents, func(i, j int) bool { return e.sortedEvents[i].PID < e.sortedEvents[j].PID })
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.total > c.max {
+		c.oversized++
+		c.admissionRejects++
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		old := el.Value.(*cacheEntry)
+		c.removeLocked(el)
+		e.protected = old.protected && !c.plainLRU
+	}
+	c.admissions++
+	c.insertLocked(e)
+	c.evictLocked()
+}
+
+// AddEventPart installs one decoded micro-eventlist into its group
+// without marking the group complete — the eventlist-table counterpart
+// of AddPart.
+func (c *Cache) AddEventPart(k PartKey, evs []graph.Event, size int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := size + partOverhead
+	el, ok := c.entries[k.group()]
+	if !ok {
+		if entryOverhead+b > c.max {
+			c.oversized++
+			c.admissionRejects++
+			return
+		}
+		e := &cacheEntry{key: k.group(), events: make(map[int][]graph.Event, 1), total: entryOverhead}
+		c.admissions++
+		el = c.insertLocked(e)
+	}
+	e := el.Value.(*cacheEntry)
+	if _, exists := e.events[k.PID]; exists {
+		return
+	}
+	if _, neg := e.absent[k.PID]; neg {
+		// The row exists after all; drop the stale absence marker.
+		delete(e.absent, k.PID)
+		c.addBytesLocked(e, -negOverhead)
+	}
+	if e.total+b > c.max {
+		c.oversized++
+		c.admissionRejects++
+		return
+	}
+	if e.events == nil {
+		e.events = make(map[int][]graph.Event, 1)
+	}
+	e.events[k.PID] = evs
+	c.addBytesLocked(e, b)
+	c.refreshLocked(c.entries[k.group()])
+	c.evictLocked()
+}
+
 // AddNegative records that one micro-delta row does not exist (a point
 // read returned nothing), so the next probe of the same absent row is
 // answered from the cache instead of paying a store round. Markers are
@@ -344,7 +539,7 @@ func (c *Cache) AddNegative(k PartKey) {
 	if e.complete {
 		return // completeness already answers absence
 	}
-	if _, exists := e.parts[k.PID]; exists {
+	if e.has(k.PID) {
 		return
 	}
 	if _, exists := e.absent[k.PID]; exists {
@@ -450,9 +645,12 @@ func (c *Cache) Purge() {
 // budget) is the size-aware case. ProtectedBytes is the gauge of bytes
 // currently in the protected segment — the scan-resistant hot set.
 type CacheStats struct {
-	Hits             int64
-	Misses           int64
-	NegativeHits     int64
+	Hits         int64
+	Misses       int64
+	NegativeHits int64
+	// EventlistHits is the subset of Hits answered from cached
+	// micro-eventlists (boundary replay rows served without a KV scan).
+	EventlistHits    int64
 	Evictions        int64
 	Admissions       int64
 	AdmissionRejects int64
@@ -461,11 +659,14 @@ type CacheStats struct {
 	Bytes            int64
 	ProtectedBytes   int64
 	MaxBytes         int64
+	// ProtectedShare is the current adaptive protected-segment share of
+	// the byte budget (0 in plain-LRU mode).
+	ProtectedShare float64
 }
 
 func (s CacheStats) String() string {
-	return fmt.Sprintf("cache hits=%d neghits=%d misses=%d evictions=%d admits=%d rejects=%d oversized=%d entries=%d bytes=%d/%d protected=%d",
-		s.Hits, s.NegativeHits, s.Misses, s.Evictions, s.Admissions, s.AdmissionRejects, s.Oversized, s.Entries, s.Bytes, s.MaxBytes, s.ProtectedBytes)
+	return fmt.Sprintf("cache hits=%d (events=%d) neghits=%d misses=%d evictions=%d admits=%d rejects=%d oversized=%d entries=%d bytes=%d/%d protected=%d share=%.2f",
+		s.Hits, s.EventlistHits, s.NegativeHits, s.Misses, s.Evictions, s.Admissions, s.AdmissionRejects, s.Oversized, s.Entries, s.Bytes, s.MaxBytes, s.ProtectedBytes, s.ProtectedShare)
 }
 
 // Stats returns a snapshot of the cache counters (zero for a nil cache).
@@ -479,6 +680,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:             c.hits,
 		Misses:           c.misses,
 		NegativeHits:     c.negativeHits,
+		EventlistHits:    c.eventHits,
 		Evictions:        c.evictions,
 		Admissions:       c.admissions,
 		AdmissionRejects: c.admissionRejects,
@@ -487,5 +689,6 @@ func (c *Cache) Stats() CacheStats {
 		Bytes:            c.used,
 		ProtectedBytes:   c.protUsed,
 		MaxBytes:         c.max,
+		ProtectedShare:   c.share,
 	}
 }

@@ -1,0 +1,196 @@
+package fetch
+
+import (
+	"testing"
+
+	"hgs/internal/codec"
+	"hgs/internal/graph"
+	"hgs/internal/temporal"
+)
+
+func mkEvents(pid, n int) []graph.Event {
+	evs := make([]graph.Event, n)
+	for i := range evs {
+		evs[i] = graph.Event{
+			Time: temporal.Time(100*pid + i),
+			Kind: graph.AddNode,
+			Node: graph.NodeID(pid*1000 + i),
+		}
+	}
+	return evs
+}
+
+func encEvents(t *testing.T, evs []graph.Event) []byte {
+	t.Helper()
+	blob, err := codec.Codec{}.EncodeEvents(evs)
+	if err != nil {
+		t.Fatalf("EncodeEvents: %v", err)
+	}
+	return blob
+}
+
+// TestCacheEventGroupAndPartLookups pins the eventlist entry kind:
+// boundary micro-eventlists cache under the same keying and lookup
+// contract as micro-deltas, with hits counted in EventlistHits.
+func TestCacheEventGroupAndPartLookups(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := GroupKey{TableEvents, 0, 1, 2}
+	e0, e1 := mkEvents(0, 3), mkEvents(1, 4)
+
+	if _, ok := c.EventGroup(k); ok {
+		t.Fatal("empty cache served an event group")
+	}
+	// Install pid-descending; lookups must come back pid-ascending.
+	c.AddEventGroup(k, []EventPart{{PID: 1, Events: e1}, {PID: 0, Events: e0}}, []int64{64, 64})
+	parts, ok := c.EventGroup(k)
+	if !ok || len(parts) != 2 || parts[0].PID != 0 || parts[1].PID != 1 {
+		t.Fatalf("event group = %+v, ok=%v", parts, ok)
+	}
+	if len(parts[0].Events) != 3 || len(parts[1].Events) != 4 {
+		t.Fatalf("event group part sizes = %d/%d", len(parts[0].Events), len(parts[1].Events))
+	}
+	evs, found, known := c.EventPart(PartKey{TableEvents, 0, 1, 2, 1})
+	if !found || !known || len(evs) != 4 {
+		t.Fatalf("event part = %v found=%v known=%v", evs, found, known)
+	}
+	// A pid the complete group lacks is authoritatively absent.
+	if _, found, known := c.EventPart(PartKey{TableEvents, 0, 1, 2, 9}); found || !known {
+		t.Fatalf("absent pid of a complete group: found=%v known=%v", found, known)
+	}
+	// An eventlist group never answers for the deltas key space.
+	if _, ok := c.Group(GroupKey{TableDeltas, 0, 1, 2}); ok {
+		t.Fatal("eventlist entry leaked into the deltas key space")
+	}
+	st := c.Stats()
+	if st.EventlistHits < 2 {
+		t.Fatalf("EventlistHits = %d, want >= 2", st.EventlistHits)
+	}
+	if st.NegativeHits == 0 {
+		t.Fatal("complete-group absence answer did not count as a negative hit")
+	}
+}
+
+// TestCacheEventPartIncompleteAndNegative pins the point-read
+// lifecycle of eventlist entries: single installed parts answer
+// without completing the group, negative markers record absence, and a
+// later install of the marked row drops the stale marker.
+func TestCacheEventPartIncompleteAndNegative(t *testing.T) {
+	c := NewCache(1 << 20)
+	k := PartKey{TableEvents, 3, 0, 1, 2}
+	c.AddEventPart(k, mkEvents(2, 5), 64)
+
+	if _, ok := c.EventGroup(k.group()); ok {
+		t.Fatal("incomplete entry served a whole event group")
+	}
+	if evs, found, known := c.EventPart(k); !found || !known || len(evs) != 5 {
+		t.Fatalf("resident event part: evs=%v found=%v known=%v", evs, found, known)
+	}
+	// A sibling pid of the incomplete entry is unknown — read the store.
+	other := PartKey{TableEvents, 3, 0, 1, 7}
+	if _, found, known := c.EventPart(other); found || known {
+		t.Fatalf("unknown pid of an incomplete entry: found=%v known=%v", found, known)
+	}
+	// A negative marker makes that absence authoritative.
+	c.AddNegative(other)
+	if _, found, known := c.EventPart(other); found || !known {
+		t.Fatalf("marked-absent pid: found=%v known=%v", found, known)
+	}
+	// The row appears after all (Append wrote it): install must clear
+	// the marker and serve the events.
+	c.AddEventPart(other, mkEvents(7, 2), 32)
+	if evs, found, known := c.EventPart(other); !found || !known || len(evs) != 2 {
+		t.Fatalf("after marker clear: evs=%v found=%v known=%v", evs, found, known)
+	}
+	// An empty complete group is a group-wide absence answer.
+	empty := GroupKey{TableEvents, 9, 9, 9}
+	c.AddEventGroup(empty, nil, nil)
+	if parts, ok := c.EventGroup(empty); !ok || len(parts) != 0 {
+		t.Fatalf("empty complete group: parts=%v ok=%v", parts, ok)
+	}
+}
+
+// TestExecutorCachesEventlists pins the executor integration: a planned
+// event group decodes once, the warm rerun is served entirely from the
+// cache (no store traffic), and point reads of pids the scanned group
+// provably lacks never reach the store.
+func TestExecutorCachesEventlists(t *testing.T) {
+	st := newFakeStore()
+	e0, e1 := mkEvents(0, 4), mkEvents(1, 6)
+	st.put(TableEvents, PlacementKey(0, 0), EventCKey(2, 0), encEvents(t, e0))
+	st.put(TableEvents, PlacementKey(0, 0), EventCKey(2, 1), encEvents(t, e1))
+	ex := NewExecutor(st, codec.Codec{}, NewCache(1<<20))
+
+	for pass := 0; pass < 2; pass++ {
+		plan := NewPlan()
+		plan.EventGroup(0, 0, 2)
+		res, err := ex.Exec(plan, 2)
+		if err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+		parts := res.EventGroup(0, 0, 2)
+		if len(parts) != 2 || parts[0].PID != 0 || parts[1].PID != 1 {
+			t.Fatalf("pass %d: event group = %+v", pass, parts)
+		}
+		if len(parts[0].Events) != 4 || len(parts[1].Events) != 6 {
+			t.Fatalf("pass %d: part sizes = %d/%d", pass, len(parts[0].Events), len(parts[1].Events))
+		}
+	}
+	if st.scans != 1 {
+		t.Fatalf("event group scanned %d times; the cache should serve the rerun", st.scans)
+	}
+	if hits := ex.Cache().Stats().EventlistHits; hits == 0 {
+		t.Fatal("warm event-group rerun recorded no eventlist hits")
+	}
+	// A point read of a pid the complete group lacks: answered from the
+	// cache, no store traffic.
+	p := NewPlan()
+	p.EventPart(0, 0, 2, 42)
+	res, err := ex.Exec(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.EventPart(0, 0, 2, 42); ok {
+		t.Fatal("absent event part returned rows")
+	}
+	if st.gets != 0 {
+		t.Fatalf("known-absent event part read the store (%d gets)", st.gets)
+	}
+}
+
+// TestCacheAdaptiveProtectedShare pins the adaptation loop: a workload
+// whose hits land in probation (fresh entries proving reuse) shrinks
+// the protected share below its initial value; a workload hammering
+// one resident hot entry grows it toward the ceiling.
+func TestCacheAdaptiveProtectedShare(t *testing.T) {
+	// Shrink: every hit is a fresh probation entry's first (promoting)
+	// hit, so probation wins each adaptation window outright.
+	c := NewCache(1 << 20)
+	for i := 0; i < 3*adaptWindow; i++ {
+		k := PartKey{TableDeltas, 0, 0, i, 0}
+		c.AddPart(k, mkDelta(graph.NodeID(i)), 16)
+		if _, known := c.Part(k); !known {
+			t.Fatalf("fresh part %d missed", i)
+		}
+	}
+	if got := c.Stats().ProtectedShare; got >= initialProtectedShare {
+		t.Fatalf("probation-dominated workload: share = %.2f, want < %.2f", got, initialProtectedShare)
+	}
+
+	// Grow: after the first promoting hit, every hit lands in the
+	// protected segment, so protection wins each window.
+	c = NewCache(1 << 20)
+	k := PartKey{TableDeltas, 0, 0, 0, 0}
+	c.AddPart(k, mkDelta(1), 16)
+	for i := 0; i < 3*adaptWindow; i++ {
+		if _, known := c.Part(k); !known {
+			t.Fatal("hot part missed")
+		}
+	}
+	st := c.Stats()
+	if st.ProtectedShare <= initialProtectedShare {
+		t.Fatalf("protected-dominated workload: share = %.2f, want > %.2f", st.ProtectedShare, initialProtectedShare)
+	}
+	if st.ProtectedShare > maxProtectedShare+1e-9 || st.ProtectedShare < minProtectedShare-1e-9 {
+		t.Fatalf("share %.2f escaped [%.2f, %.2f]", st.ProtectedShare, minProtectedShare, maxProtectedShare)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"hgs/internal/codec"
 	"hgs/internal/delta"
+	"hgs/internal/graph"
 	"hgs/internal/kvstore"
 )
 
@@ -21,6 +22,42 @@ func (p *partsByPID) Less(i, j int) bool { return p.parts[i].PID < p.parts[j].PI
 func (p *partsByPID) Swap(i, j int) {
 	p.parts[i], p.parts[j] = p.parts[j], p.parts[i]
 	p.sizes[i], p.sizes[j] = p.sizes[j], p.sizes[i]
+}
+
+// eventPartsByPID is partsByPID for decoded eventlist groups.
+type eventPartsByPID struct {
+	parts []EventPart
+	sizes []int64
+}
+
+func (p *eventPartsByPID) Len() int           { return len(p.parts) }
+func (p *eventPartsByPID) Less(i, j int) bool { return p.parts[i].PID < p.parts[j].PID }
+func (p *eventPartsByPID) Swap(i, j int) {
+	p.parts[i], p.parts[j] = p.parts[j], p.parts[i]
+	p.sizes[i], p.sizes[j] = p.sizes[j], p.sizes[i]
+}
+
+// execScratch holds the per-execution request-building slices. They are
+// sync.Pool-recycled on executor completion: the executor allocates
+// them fresh for every retrieval otherwise, and at high QPS that churn
+// is pure GC pressure (the slices never escape into results — refs are
+// copied by value into result map keys).
+type execScratch struct {
+	missGroups []GroupKey
+	missParts  []PartKey
+	scanRefs   []kvstore.ScanRef
+	getRefs    []kvstore.KeyRef
+}
+
+var scratchPool = sync.Pool{New: func() any { return &execScratch{} }}
+
+func getScratch() *execScratch {
+	s := scratchPool.Get().(*execScratch)
+	s.missGroups = s.missGroups[:0]
+	s.missParts = s.missParts[:0]
+	s.scanRefs = s.scanRefs[:0]
+	s.getRefs = s.getRefs[:0]
+	return s
 }
 
 // Store is the batched read surface the executor runs plans against;
@@ -123,16 +160,29 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 	}
 	tr.addPlanned(len(p.groups), len(p.parts), len(p.gets), len(p.scans))
 	res := &Result{
-		groups: make(map[GroupKey][]Part, len(p.groups)),
-		parts:  make(map[PartKey]*delta.Delta, len(p.parts)),
-		gets:   make(map[kvstore.KeyRef][]byte, len(p.gets)),
-		scans:  make(map[kvstore.ScanRef][]kvstore.Row, len(p.scans)),
-		shared: e.cache != nil,
+		groups:      make(map[GroupKey][]Part, len(p.groups)),
+		parts:       make(map[PartKey]*delta.Delta, len(p.parts)),
+		eventGroups: make(map[GroupKey][]EventPart),
+		eventParts:  make(map[PartKey][]graph.Event),
+		gets:        make(map[kvstore.KeyRef][]byte, len(p.gets)),
+		scans:       make(map[kvstore.ScanRef][]kvstore.Row, len(p.scans)),
+		shared:      e.cache != nil,
 	}
+	scratch := getScratch()
+	defer scratchPool.Put(scratch)
 
-	// 1. Serve delta requests out of the cache.
-	var missGroups []GroupKey
+	// 1. Serve delta and eventlist requests out of the cache.
+	missGroups := scratch.missGroups
 	for _, k := range p.groups {
+		if isEventTable(k.Table) {
+			if parts, ok := e.cache.EventGroup(k); ok {
+				res.eventGroups[k] = parts
+				tr.addHit(k.Table, len(parts) == 0)
+			} else {
+				missGroups = append(missGroups, k)
+			}
+			continue
+		}
 		if parts, ok := e.cache.Group(k); ok {
 			res.groups[k] = parts
 			tr.addHit(k.Table, len(parts) == 0)
@@ -140,8 +190,19 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 			missGroups = append(missGroups, k)
 		}
 	}
-	var missParts []PartKey
+	missParts := scratch.missParts
 	for _, k := range p.parts {
+		if isEventTable(k.Table) {
+			if evs, found, known := e.cache.EventPart(k); known {
+				if found {
+					res.eventParts[k] = evs
+				}
+				tr.addHit(k.Table, !found)
+			} else {
+				missParts = append(missParts, k)
+			}
+			continue
+		}
 		if d, known := e.cache.Part(k); known {
 			if d != nil {
 				res.parts[k] = d
@@ -154,21 +215,23 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 
 	// 2. One batched store round for everything that missed: the group
 	// prefixes ride the raw scans' MultiScan, the single micro-deltas
-	// ride the raw gets' MultiGet, issued concurrently.
-	scanRefs := make([]kvstore.ScanRef, 0, len(missGroups)+len(p.scans))
+	// and micro-eventlists ride the raw gets' MultiGet, issued
+	// concurrently.
+	scanRefs := scratch.scanRefs
 	for _, k := range missGroups {
-		scanRefs = append(scanRefs, kvstore.ScanRef{
-			Table: k.Table, PKey: PlacementKey(k.TSID, k.SID), Prefix: DeltaPrefix(k.DID),
-		})
+		scanRefs = append(scanRefs, k.scanRef())
 	}
 	scanRefs = append(scanRefs, p.scans...)
-	getRefs := make([]kvstore.KeyRef, 0, len(missParts)+len(p.gets))
+	getRefs := scratch.getRefs
 	for _, k := range missParts {
-		getRefs = append(getRefs, kvstore.KeyRef{
-			Table: k.Table, PKey: PlacementKey(k.TSID, k.SID), CKey: DeltaCKey(k.DID, k.PID),
-		})
+		getRefs = append(getRefs, k.keyRef())
 	}
 	getRefs = append(getRefs, p.gets...)
+	// Write the grown slices back so the pool keeps their capacity.
+	scratch.missGroups = missGroups
+	scratch.missParts = missParts
+	scratch.scanRefs = scanRefs
+	scratch.getRefs = getRefs
 	if tr != nil {
 		// Logical reads, attributed per table from the issued request
 		// set (one read per key or prefix scan — the same accounting as
@@ -228,12 +291,34 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 		tr.addCall(cs)
 	}
 
-	// 3. Decode the missed deltas in parallel, installing them in the
-	// cache as they complete.
+	// 3. Decode the missed deltas and eventlists in parallel, installing
+	// them in the cache as they complete.
 	var mu sync.Mutex
 	if err := Parallel(clients, len(missGroups), func(i int) error {
 		k := missGroups[i]
 		rows := scanRows[i]
+		if isEventTable(k.Table) {
+			parts := make([]EventPart, 0, len(rows))
+			sizes := make([]int64, 0, len(rows))
+			for _, row := range rows {
+				pid, err := ParsePID(row.CKey)
+				if err != nil {
+					return err
+				}
+				evs, err := e.cdc.DecodeEvents(row.Value)
+				if err != nil {
+					return fmt.Errorf("fetch: decode events %s/%s: %w", PlacementKey(k.TSID, k.SID), row.CKey, err)
+				}
+				parts = append(parts, EventPart{PID: pid, Events: evs})
+				sizes = append(sizes, int64(len(row.Value)))
+			}
+			sort.Sort(&eventPartsByPID{parts, sizes})
+			e.cache.AddEventGroup(k, parts, sizes)
+			mu.Lock()
+			res.eventGroups[k] = parts
+			mu.Unlock()
+			return nil
+		}
 		parts := make([]Part, 0, len(rows))
 		sizes := make([]int64, 0, len(rows))
 		for _, row := range rows {
@@ -266,6 +351,18 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 			// The row does not exist: remember that, so repeated probes
 			// of sparse history stop issuing KV reads.
 			e.cache.AddNegative(k)
+			return nil
+		}
+		if isEventTable(k.Table) {
+			evs, err := e.cdc.DecodeEvents(gv.Value)
+			if err != nil {
+				return fmt.Errorf("fetch: decode events %s/%s: %w",
+					PlacementKey(k.TSID, k.SID), EventCKey(k.DID, k.PID), err)
+			}
+			e.cache.AddEventPart(k, evs, int64(len(gv.Value)))
+			mu.Lock()
+			res.eventParts[k] = evs
+			mu.Unlock()
 			return nil
 		}
 		d, err := e.cdc.DecodeDelta(gv.Value)

@@ -24,6 +24,9 @@ func (c *Cache) RegisterObs(r *obs.Registry) {
 	r.CounterFunc("hgs_cache_negative_hits_total",
 		"Authoritative absence answers — each one an absent-row KV read not issued.",
 		stat(func(s CacheStats) int64 { return s.NegativeHits }))
+	r.CounterFunc("hgs_cache_eventlist_hits_total",
+		"Positive answers served from cached boundary micro-eventlists (subset of hits).",
+		stat(func(s CacheStats) int64 { return s.EventlistHits }))
 	r.CounterFunc("hgs_cache_evictions_total",
 		"Entries evicted to stay inside the byte budget.",
 		stat(func(s CacheStats) int64 { return s.Evictions }))
@@ -45,4 +48,7 @@ func (c *Cache) RegisterObs(r *obs.Registry) {
 	r.GaugeFunc("hgs_cache_entries",
 		"Entries currently resident in the cache.",
 		stat(func(s CacheStats) int64 { return int64(s.Entries) }))
+	r.GaugeFunc("hgs_cache_protected_share",
+		"Adaptive protected-segment share of the byte budget (0 in plain-LRU mode).",
+		func() float64 { return c.Stats().ProtectedShare })
 }

@@ -10,19 +10,46 @@ import (
 // micro-delta sharing the DeltaPrefix(DID) under PlacementKey(TSID, SID)
 // of one delta-bearing table (TableDeltas, or TableAux where DID is the
 // leaf index). This is the caching granularity — a snapshot wants all of
-// it, a micro-partition fetch wants one pid of it.
+// it, a micro-partition fetch wants one pid of it. For the eventlist
+// tables (TableEvents, TableAuxEvents) DID is the eventlist index and
+// the group is one boundary eventlist's micro-eventlists.
 type GroupKey struct {
 	Table          string
 	TSID, SID, DID int
 }
 
-// PartKey names a single micro-delta.
+// PartKey names a single micro-delta (or micro-eventlist, for the
+// eventlist tables).
 type PartKey struct {
 	Table               string
 	TSID, SID, DID, PID int
 }
 
 func (p PartKey) group() GroupKey { return GroupKey{p.Table, p.TSID, p.SID, p.DID} }
+
+// isEventTable reports whether a table stores micro-eventlists (decoded
+// as event slices) rather than micro-deltas.
+func isEventTable(table string) bool {
+	return table == TableEvents || table == TableAuxEvents
+}
+
+// scanRef is the prefix scan that fetches every part of a group.
+func (k GroupKey) scanRef() kvstore.ScanRef {
+	prefix := DeltaPrefix(k.DID)
+	if isEventTable(k.Table) {
+		prefix = EventPrefix(k.DID)
+	}
+	return kvstore.ScanRef{Table: k.Table, PKey: PlacementKey(k.TSID, k.SID), Prefix: prefix}
+}
+
+// keyRef is the point read that fetches one part.
+func (k PartKey) keyRef() kvstore.KeyRef {
+	ckey := DeltaCKey(k.DID, k.PID)
+	if isEventTable(k.Table) {
+		ckey = EventCKey(k.DID, k.PID)
+	}
+	return kvstore.KeyRef{Table: k.Table, PKey: PlacementKey(k.TSID, k.SID), CKey: ckey}
+}
 
 // Plan is a deduplicated read set for one retrieval. Add requests in any
 // order — duplicates collapse — then hand the plan to Executor.Exec and
@@ -75,6 +102,33 @@ func (p *Plan) AuxPart(tsid, sid, leaf, pid int) {
 	p.part(PartKey{TableAux, tsid, sid, leaf, pid})
 }
 
+// EventGroup requests every micro-eventlist of boundary eventlist el
+// (one prefix scan, or a cache hit when the list is resident). Decoded
+// eventlists ride the same segmented-LRU cache as deltas, so warm
+// snapshot queries stop re-reading and re-decoding their boundary
+// replay rows.
+func (p *Plan) EventGroup(tsid, sid, el int) {
+	k := GroupKey{TableEvents, tsid, sid, el}
+	if _, ok := p.groupSet[k]; ok {
+		return
+	}
+	p.groupSet[k] = struct{}{}
+	p.groups = append(p.groups, k)
+}
+
+// EventPart requests one micro-eventlist: the TableEvents row at
+// EventCKey(el, pid). Absent rows install negative markers like absent
+// micro-deltas do.
+func (p *Plan) EventPart(tsid, sid, el, pid int) {
+	p.part(PartKey{TableEvents, tsid, sid, el, pid})
+}
+
+// AuxEventPart requests one auxiliary frontier micro-eventlist (1-hop
+// replication): the TableAuxEvents row at EventCKey(el, pid).
+func (p *Plan) AuxEventPart(tsid, sid, el, pid int) {
+	p.part(PartKey{TableAuxEvents, tsid, sid, el, pid})
+}
+
 func (p *Plan) part(k PartKey) {
 	if _, ok := p.partSet[k]; ok {
 		return
@@ -121,17 +175,29 @@ type Part struct {
 	Delta *delta.Delta
 }
 
+// EventPart is one decoded micro-eventlist of a boundary eventlist,
+// identified by pid. Events are shared read-only when the cache is
+// enabled: filter them into new slices, never mutate or re-sort in
+// place.
+type EventPart struct {
+	PID    int
+	Events []graph.Event
+}
+
 // Result answers an executed plan. When the executor runs with a cache,
 // deltas returned through Group and Part are owned by the cache and
 // shared across queries: callers must treat them as immutable — merge
 // them into graphs with Merge (or Delta.ApplyTo, which clones), never
 // Delta.MoveTo. With caching disabled every delta is a private decode
-// and Merge transfers ownership instead of cloning.
+// and Merge transfers ownership instead of cloning. Decoded event
+// slices (EventGroup/EventPart/AuxEventPart) are always read-only.
 type Result struct {
-	groups map[GroupKey][]Part
-	parts  map[PartKey]*delta.Delta
-	gets   map[kvstore.KeyRef][]byte
-	scans  map[kvstore.ScanRef][]kvstore.Row
+	groups      map[GroupKey][]Part
+	parts       map[PartKey]*delta.Delta
+	eventGroups map[GroupKey][]EventPart
+	eventParts  map[PartKey][]graph.Event
+	gets        map[kvstore.KeyRef][]byte
+	scans       map[kvstore.ScanRef][]kvstore.Row
 	// shared records that deltas are (or may be) cache-resident.
 	shared bool
 }
@@ -161,6 +227,26 @@ func (r *Result) Part(tsid, sid, did, pid int) *delta.Delta {
 // AuxPart returns a requested auxiliary micro-delta, nil when absent.
 func (r *Result) AuxPart(tsid, sid, leaf, pid int) *delta.Delta {
 	return r.parts[PartKey{TableAux, tsid, sid, leaf, pid}]
+}
+
+// EventGroup returns the micro-eventlists of a requested boundary
+// eventlist, pid-ascending. The event slices are read-only.
+func (r *Result) EventGroup(tsid, sid, el int) []EventPart {
+	return r.eventGroups[GroupKey{TableEvents, tsid, sid, el}]
+}
+
+// EventPart returns a requested micro-eventlist; ok is false when the
+// row does not exist. The event slice is read-only.
+func (r *Result) EventPart(tsid, sid, el, pid int) ([]graph.Event, bool) {
+	evs, ok := r.eventParts[PartKey{TableEvents, tsid, sid, el, pid}]
+	return evs, ok
+}
+
+// AuxEventPart returns a requested auxiliary micro-eventlist; ok is
+// false when the row does not exist. The event slice is read-only.
+func (r *Result) AuxEventPart(tsid, sid, el, pid int) ([]graph.Event, bool) {
+	evs, ok := r.eventParts[PartKey{TableAuxEvents, tsid, sid, el, pid}]
+	return evs, ok
 }
 
 // Get returns a requested raw row.

@@ -11,7 +11,9 @@
 // machine round-trips, bytes read and simulated wait are functions of
 // the plan and the latency model, not of the host, so a nightly-runner
 // noise excuse does not apply — an increase beyond -max-ratio
-// (default 1.25x) fails. Cache and negative-hit ratios failing to a
+// (default 1.25x) fails. Allocations per retrieval (the parallel
+// experiment's allocs_per_op) ratchet the same way: they are a function
+// of the code and the Go version, not of runner load. Cache and negative-hit ratios failing to a
 // drop beyond -max-ratio-drop (default 0.10) likewise. Wall-clock
 // latency quantiles (p50/p90/p99) are reported for trend reading but
 // never fail the run: shared CI runners make them too noisy to gate on.
@@ -144,6 +146,7 @@ func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
 				{"round_trips", float64(b.RoundTrips), float64(p.RoundTrips)},
 				{"bytes_read", float64(b.BytesRead), float64(p.BytesRead)},
 				{"simwait_seconds", b.SimWaitSeconds * 1000, p.SimWaitSeconds * 1000}, // compare in ms so the floor bites sanely
+				{"allocs_per_op", b.AllocsPerOp, p.AllocsPerOp},
 			}
 			for _, c := range counts {
 				if c.bas < th.NoiseFloor {

@@ -67,6 +67,24 @@ func TestCompareRatioDrop(t *testing.T) {
 	}
 }
 
+func TestCompareAllocsRegression(t *testing.T) {
+	b := pass("w=4", 1000)
+	b.AllocsPerOp = 10_000
+	p := pass("w=4", 1000)
+	p.AllocsPerOp = 15_000 // 1.5x > 1.25x
+	out := Compare(report(b), report(p), defaults)
+	if len(out.Regressions) != 1 || !strings.Contains(out.Regressions[0], "allocs_per_op") {
+		t.Fatalf("regressions = %v, want one allocs_per_op violation", out.Regressions)
+	}
+	// A baseline without the field (older report) must not gate.
+	out = Compare(report(pass("w=4", 1000)), report(p), defaults)
+	for _, r := range out.Regressions {
+		if strings.Contains(r, "allocs_per_op") {
+			t.Fatalf("zero-baseline allocs_per_op gated the run: %v", out.Regressions)
+		}
+	}
+}
+
 func TestCompareNoiseFloorExempts(t *testing.T) {
 	base := report(pass("c sweep", 4))
 	p := pass("c sweep", 12) // 3x, but baseline below the floor
