@@ -10,7 +10,7 @@ GO ?= go
 # incidental drift, not for untested subsystems).
 COVER_FLOOR ?= 60.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel profile
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel bench-serve profile
 
 ci: vet build test test-race fmt-check
 
@@ -78,6 +78,13 @@ bench-reopen:
 # check (set HGS_SCALE>=2 for a meaningful speedup axis on multi-core).
 bench-parallel:
 	$(GO) run ./cmd/hgs-bench -run parallel
+
+# HTTP serve path: an in-process hgs-server driven closed-loop by 12
+# concurrent clients over a weighted query mix; reports achieved QPS,
+# latency quantiles, 429 shed rate and 504 deadline-miss rate (JSON via
+# -json feeds scripts/perfdiff like every other experiment).
+bench-serve:
+	$(GO) run ./cmd/hgs-bench -run serve
 
 # CPU and allocation profiles over the Figure 11 bench workload
 # (snapshot retrieval with parallel fetch — the read hot path). Inspect

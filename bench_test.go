@@ -5,7 +5,11 @@
 // the whole evaluation.
 //
 // Dataset sizes come from bench.DefaultScale (HGS_SCALE multiplies them).
-package hgs
+//
+// This file lives in the external test package: internal/bench drives
+// the HTTP serve experiment through the public hgs API, so an
+// in-package test importing it would be an import cycle.
+package hgs_test
 
 import (
 	"testing"

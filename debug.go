@@ -54,6 +54,14 @@ func (s *Store) debugMux() *http.ServeMux {
 	return mux
 }
 
+// DebugHandler returns the store's observability endpoints as a
+// mountable http.Handler: /metrics (Prometheus text format),
+// /debug/pprof/* (the Go profiler) and /traces (recent plan traces as
+// JSON). ServeDebug serves the same handler on its own listener;
+// DebugHandler exists so an embedding server — cmd/hgs-server mounts it
+// under /debug — exposes one port for queries and telemetry alike.
+func (s *Store) DebugHandler() http.Handler { return s.debugMux() }
+
 // ServeDebug starts the store's debug HTTP server on addr, serving
 // /metrics (Prometheus text format), /debug/pprof/* (the Go profiler)
 // and /traces (recent plan traces as JSON; populated when

@@ -133,9 +133,49 @@
 //	g, _ := store.SnapshotWith(t, &hgs.FetchOptions{Trace: tr})
 //	rec := tr.Record()
 //	fmt.Println(rec.KVReads, rec.CacheHits, rec.NegativeHits)
+//
+// # Serving
+//
+// cmd/hgs-server exposes a Store over HTTP/JSON: every query method has
+// an endpoint, large snapshot and history responses stream as NDJSON,
+// an in-flight limiter sheds overload with 429, and per-request
+// deadlines ride the context plumbing below. The store's observability
+// endpoints (/metrics, /debug/pprof/*, /traces) mount into any mux via
+// Store.DebugHandler. The closed-loop load driver `hgs-bench -run
+// serve` replays workload mixes against a spawned server and reports
+// QPS and latency quantiles. See README "Serving".
+//
+// Every retrieval has a ...Ctx variant (SnapshotCtx, NodeCtx, ...)
+// taking a context.Context whose deadline and cancellation propagate
+// through the fetch layer into the simulated cluster: batched store
+// rounds abandon their waits, decode and materialize workers stop at
+// partition boundaries, and the call returns ctx.Err() promptly without
+// leaking goroutines or polluting the cache. The context-free methods
+// are equivalent to passing context.Background().
+//
+// Failures surface as typed sentinels — ErrNotLoaded, ErrClosed,
+// ErrNodeNotFound, ErrOutOfRange — matched with errors.Is; the server
+// maps them to HTTP statuses (409, 503, 404, 416, plus 504/499 for
+// context.DeadlineExceeded/Canceled).
+//
+// # API stability
+//
+// The options surface splits by lifetime, and new knobs land in the
+// tier they belong to rather than as new method variants:
+//
+//   - Index-construction options (Options.TimespanEvents, Arity,
+//     Compress, ...) are properties of the stored index: persisted with
+//     a DataDir, adopted on reattach, conflicting values rejected.
+//   - Process-runtime options (Options.CacheBytes, MaterializeWorkers,
+//     TracePlans, DebugAddr, ...) are properties of the reading
+//     process: never persisted, kept across a reattach.
+//   - Per-call options travel in FetchOptions — the one options struct
+//     of the query API (Context, Clients, Trace). Nil always means
+//     defaults.
 package hgs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -197,6 +237,23 @@ type (
 	// CacheStats is the decoded-delta cache counter snapshot in
 	// Stats().Cache (hits, negative hits, admissions, protected bytes).
 	CacheStats = fetch.CacheStats
+)
+
+// Typed sentinel errors of the query API, matched with errors.Is. They
+// originate in the core layer (so internal packages can return them)
+// and surface here; the HTTP server maps each to a status code.
+var (
+	// ErrNotLoaded: the store holds no index yet — Load a history
+	// first (HTTP 409).
+	ErrNotLoaded = core.ErrNotLoaded
+	// ErrClosed: the store has been Closed (HTTP 503).
+	ErrClosed = core.ErrClosed
+	// ErrNodeNotFound: the requested node does not exist at the
+	// requested time (HTTP 404).
+	ErrNodeNotFound = core.ErrNodeNotFound
+	// ErrOutOfRange: a requested time lies outside the indexed history
+	// (HTTP 416).
+	ErrOutOfRange = core.ErrOutOfRange
 )
 
 // Event kind constants re-exported for event construction.
@@ -402,9 +459,30 @@ type Store struct {
 	engine   StorageEngine
 	cacheKey string // shared decoded-delta cache registration (DataDir stores)
 
+	// closeMu guards closed; active refcounts in-flight operations so
+	// Close can drain them before tearing the cluster down.
+	closeMu sync.Mutex
+	closed  bool
+	active  sync.WaitGroup
+
 	debugMu sync.Mutex
 	debug   *debugServer
 }
+
+// beginOp registers an in-flight operation. It fails with ErrClosed
+// once Close has begun, and otherwise holds off Close's teardown until
+// the matching endOp.
+func (s *Store) beginOp() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return fmt.Errorf("hgs: %w", ErrClosed)
+	}
+	s.active.Add(1)
+	return nil
+}
+
+func (s *Store) endOp() { s.active.Done() }
 
 // clusterMeta records the cluster shape and storage engine a data
 // directory was created with, so a reopen cannot silently re-shard
@@ -662,6 +740,10 @@ func Open(opts Options) (*Store, error) {
 // Load builds the index over a complete history. Events must be
 // chronological with strictly increasing timestamps.
 func (s *Store) Load(events []Event) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
 	if s.loaded {
 		return fmt.Errorf("hgs: store already loaded; use Append for updates")
 	}
@@ -674,8 +756,27 @@ func (s *Store) Load(events []Event) error {
 
 // Append ingests a batch of new events after the indexed history.
 func (s *Store) Append(events []Event) error {
+	return s.AppendCtx(context.Background(), events)
+}
+
+// AppendCtx is Append honoring a context: cancellation is checked
+// before the ingest starts. A started ingest always runs to completion
+// — aborting it midway would leave a torn index — so the context bounds
+// admission, not the write itself.
+func (s *Store) AppendCtx(ctx context.Context, events []Event) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if !s.loaded {
-		return s.Load(events)
+		if err := s.tgi.BuildAll(events); err != nil {
+			return err
+		}
+		s.loaded = true
+		return s.cluster.Flush()
 	}
 	if err := s.tgi.Append(events); err != nil {
 		return err
@@ -694,9 +795,20 @@ func (s *Store) Durable() bool { return s.durable }
 func (s *Store) Engine() StorageEngine { return s.engine }
 
 // Close flushes and closes the backing storage engines (and shuts down
-// the debug server when one is running). The store must not be used
-// afterwards.
+// the debug server when one is running). In-flight queries are drained
+// first: Close marks the store closed — new operations fail with
+// ErrClosed — then waits for active ones to finish before tearing down
+// the cluster, so a query can never race a disappearing engine. Close
+// is idempotent; the store must not be used afterwards.
 func (s *Store) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.active.Wait()
 	derr := s.stopDebug()
 	releaseSharedCache(s.cacheKey)
 	s.cacheKey = ""
@@ -736,45 +848,171 @@ func (s *Store) Backup(dir string) error {
 
 // Snapshot retrieves the graph as of time tt.
 func (s *Store) Snapshot(tt Time) (*Graph, error) {
-	return s.tgi.GetSnapshot(tt, nil)
+	return s.SnapshotWith(tt, nil)
+}
+
+// SnapshotCtx is Snapshot honoring a context's deadline/cancellation.
+func (s *Store) SnapshotCtx(ctx context.Context, tt Time) (*Graph, error) {
+	return s.SnapshotWith(tt, &FetchOptions{Context: ctx})
 }
 
 // SnapshotWith retrieves a snapshot with explicit fetch options.
 func (s *Store) SnapshotWith(tt Time, opts *FetchOptions) (*Graph, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	return s.tgi.GetSnapshot(tt, opts)
+}
+
+// StreamSnapshot retrieves the snapshot at tt without ever assembling
+// it: each horizontal partition's node states are handed to emit as
+// soon as that partition materializes, possibly concurrently (emit must
+// be safe for concurrent use and must not retain the states past its
+// return). The server's NDJSON snapshot endpoint rides this so
+// arbitrarily large snapshots stream in bounded memory.
+func (s *Store) StreamSnapshot(tt Time, opts *FetchOptions, emit func(sid int, states []*NodeState) error) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.tgi.StreamSnapshot(tt, opts, emit)
 }
 
 // Node retrieves one node's state as of tt (nil if absent).
 func (s *Store) Node(id NodeID, tt Time) (*NodeState, error) {
-	return s.tgi.GetNodeAt(id, tt)
+	return s.NodeWith(id, tt, nil)
+}
+
+// NodeCtx is Node honoring a context's deadline/cancellation.
+func (s *Store) NodeCtx(ctx context.Context, id NodeID, tt Time) (*NodeState, error) {
+	return s.NodeWith(id, tt, &FetchOptions{Context: ctx})
+}
+
+// NodeWith retrieves one node's state with explicit fetch options.
+func (s *Store) NodeWith(id NodeID, tt Time, opts *FetchOptions) (*NodeState, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	return s.tgi.GetNodeAt(id, tt, opts)
 }
 
 // NodeHistory retrieves a node's evolution over [ts, te).
 func (s *Store) NodeHistory(id NodeID, ts, te Time) (*NodeHistory, error) {
-	return s.tgi.GetNodeHistory(id, ts, te, nil)
+	return s.NodeHistoryWith(id, ts, te, nil)
+}
+
+// NodeHistoryCtx is NodeHistory honoring a context's
+// deadline/cancellation.
+func (s *Store) NodeHistoryCtx(ctx context.Context, id NodeID, ts, te Time) (*NodeHistory, error) {
+	return s.NodeHistoryWith(id, ts, te, &FetchOptions{Context: ctx})
+}
+
+// NodeHistoryWith retrieves a node's evolution with explicit fetch
+// options.
+func (s *Store) NodeHistoryWith(id NodeID, ts, te Time, opts *FetchOptions) (*NodeHistory, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	return s.tgi.GetNodeHistory(id, ts, te, opts)
+}
+
+// ChangeTimes returns the timepoints in [ts, te) at which the node
+// changed, read from version chains only (no eventlist fetches).
+func (s *Store) ChangeTimes(id NodeID, ts, te Time) ([]Time, error) {
+	return s.ChangeTimesWith(id, ts, te, nil)
+}
+
+// ChangeTimesCtx is ChangeTimes honoring a context's
+// deadline/cancellation.
+func (s *Store) ChangeTimesCtx(ctx context.Context, id NodeID, ts, te Time) ([]Time, error) {
+	return s.ChangeTimesWith(id, ts, te, &FetchOptions{Context: ctx})
+}
+
+// ChangeTimesWith returns a node's change times with explicit fetch
+// options.
+func (s *Store) ChangeTimesWith(id NodeID, ts, te Time, opts *FetchOptions) ([]Time, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	return s.tgi.ChangeTimes(id, ts, te, opts)
 }
 
 // KHop retrieves the k-hop neighborhood subgraph of id as of tt.
 func (s *Store) KHop(id NodeID, k int, tt Time) (*Graph, error) {
-	return s.tgi.GetKHopNeighborhood(id, k, tt, nil)
+	return s.KHopWith(id, k, tt, nil)
+}
+
+// KHopCtx is KHop honoring a context's deadline/cancellation.
+func (s *Store) KHopCtx(ctx context.Context, id NodeID, k int, tt Time) (*Graph, error) {
+	return s.KHopWith(id, k, tt, &FetchOptions{Context: ctx})
+}
+
+// KHopWith retrieves a k-hop neighborhood with explicit fetch options.
+func (s *Store) KHopWith(id NodeID, k int, tt Time, opts *FetchOptions) (*Graph, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	return s.tgi.GetKHopNeighborhood(id, k, tt, opts)
 }
 
 // KHopHistory retrieves the evolution of id's k-hop neighborhood over
 // [ts, te).
 func (s *Store) KHopHistory(id NodeID, k int, ts, te Time) (*SubgraphHistory, error) {
-	return s.tgi.GetKHopHistory(id, k, ts, te, nil)
+	return s.KHopHistoryWith(id, k, ts, te, nil)
+}
+
+// KHopHistoryCtx is KHopHistory honoring a context's
+// deadline/cancellation.
+func (s *Store) KHopHistoryCtx(ctx context.Context, id NodeID, k int, ts, te Time) (*SubgraphHistory, error) {
+	return s.KHopHistoryWith(id, k, ts, te, &FetchOptions{Context: ctx})
+}
+
+// KHopHistoryWith retrieves a neighborhood evolution with explicit
+// fetch options.
+func (s *Store) KHopHistoryWith(id NodeID, k int, ts, te Time, opts *FetchOptions) (*SubgraphHistory, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	return s.tgi.GetKHopHistory(id, k, ts, te, opts)
 }
 
 // Snapshots retrieves multiple snapshots concurrently.
 func (s *Store) Snapshots(times []Time) ([]*Graph, error) {
-	return s.tgi.GetSnapshotsAt(times, nil)
+	return s.SnapshotsWith(times, nil)
+}
+
+// SnapshotsCtx is Snapshots honoring a context's deadline/cancellation.
+func (s *Store) SnapshotsCtx(ctx context.Context, times []Time) ([]*Graph, error) {
+	return s.SnapshotsWith(times, &FetchOptions{Context: ctx})
+}
+
+// SnapshotsWith retrieves multiple snapshots with explicit fetch
+// options.
+func (s *Store) SnapshotsWith(times []Time, opts *FetchOptions) ([]*Graph, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	return s.tgi.GetSnapshotsAt(times, opts)
 }
 
 // TimeRange returns the [first, last] event times of the indexed history.
 func (s *Store) TimeRange() (Time, Time, error) { return s.tgi.TimeRange() }
 
 // Stats reports storage statistics.
-func (s *Store) Stats() (core.Stats, error) { return s.tgi.Stats() }
+func (s *Store) Stats() (core.Stats, error) {
+	if err := s.beginOp(); err != nil {
+		return core.Stats{}, err
+	}
+	defer s.endOp()
+	return s.tgi.Stats()
+}
 
 // PlanTraces returns the most recent per-query plan traces, oldest
 // first (empty unless Options.TracePlans is set). Each record reports

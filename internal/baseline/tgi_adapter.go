@@ -52,7 +52,7 @@ func (a *TGIAdapter) Snapshot(tt temporal.Time) (*graph.Graph, error) {
 }
 
 func (a *TGIAdapter) StaticNode(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
-	return a.tgi.GetNodeAt(id, tt)
+	return a.tgi.GetNodeAt(id, tt, nil)
 }
 
 func (a *TGIAdapter) NodeVersions(id graph.NodeID, ts, te temporal.Time) (*History, error) {

@@ -114,6 +114,14 @@ type PassMetrics struct {
 	// EventlistHits is the pass's cache-hit delta served from cached
 	// boundary micro-eventlists (subset of CacheHits).
 	EventlistHits int64 `json:"eventlist_hits,omitempty"`
+	// QPS, ShedRate and DeadlineMissRate are reported by the serve
+	// experiment's closed-loop HTTP load driver: achieved successful
+	// requests per second, and the fractions of issued requests shed
+	// with 429 or expired with 504. Wall-clock-dependent (perfdiff
+	// treats QPS as informational, like the latency quantiles).
+	QPS              float64 `json:"qps,omitempty"`
+	ShedRate         float64 `json:"shed_rate,omitempty"`
+	DeadlineMissRate float64 `json:"deadline_miss_rate,omitempty"`
 }
 
 // Result is one regenerated table or figure.

@@ -285,12 +285,48 @@ func TestParallelSmoke(t *testing.T) {
 	}
 }
 
+// TestServeSmoke runs the closed-loop HTTP driver at tiny scale: the
+// spawned server must complete requests from all concurrent clients,
+// stream back rows, and report coherent rates.
+func TestServeSmoke(t *testing.T) {
+	skipIfShort(t)
+	r := ServeBench(tinyScale())
+	if r.ID != "serve" || len(r.Passes) != 1 {
+		t.Fatalf("serve result shape: %+v", r)
+	}
+	p := r.Passes[0]
+	if p.Ops == 0 {
+		t.Fatalf("no successful requests")
+	}
+	if p.QPS <= 0 {
+		t.Fatalf("QPS not reported: %+v", p)
+	}
+	if p.P50Seconds <= 0 || p.P99Seconds < p.P50Seconds {
+		t.Fatalf("quantiles incoherent: p50=%v p99=%v", p.P50Seconds, p.P99Seconds)
+	}
+	if p.ShedRate < 0 || p.ShedRate > 1 || p.DeadlineMissRate < 0 || p.DeadlineMissRate > 1 {
+		t.Fatalf("rates out of range: %+v", p)
+	}
+	if len(r.TableRows) != 1 {
+		t.Fatalf("serve table rows: %d", len(r.TableRows))
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "streamed") && !strings.Contains(n, "streamed 0 ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no streamed rows reported: %v", r.Notes)
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
 		"fig16", "fig17", "cache", "tiering", "reopen", "parallel",
-		"ablation-arity", "ablation-vc",
+		"serve", "ablation-arity", "ablation-vc",
 	}
 	for _, id := range want {
 		if _, ok := Runners[id]; !ok {

@@ -25,10 +25,10 @@ func cacheWorkload(t *core.TGI, probes []temporal.Time, nodes []graph.NodeID, ea
 		}
 	}
 	for _, id := range nodes {
-		if _, err := t.GetNodeAt(id, mid); err != nil {
+		if _, err := t.GetNodeAt(id, mid, nil); err != nil {
 			panic(fmt.Sprintf("bench: cache node fetch: %v", err))
 		}
-		if _, err := t.GetNodeAt(id, early); err != nil {
+		if _, err := t.GetNodeAt(id, early, nil); err != nil {
 			panic(fmt.Sprintf("bench: cache sparse probe: %v", err))
 		}
 	}

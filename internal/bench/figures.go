@@ -661,7 +661,7 @@ var Order = []string{
 	"fig14a", "fig14b", "fig14c",
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
-	"cache", "tiering", "reopen", "parallel",
+	"cache", "tiering", "reopen", "parallel", "serve",
 	"ablation-arity", "ablation-vc",
 }
 
@@ -694,6 +694,7 @@ var Runners = map[string]func(Scale) *Result{
 	"tiering":        TieringBench,
 	"reopen":         ReopenBench,
 	"parallel":       ParallelBench,
+	"serve":          ServeBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

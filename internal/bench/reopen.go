@@ -168,7 +168,7 @@ func reopenPass(dir string, cfg core.Config, recent []temporal.Time, disableWarm
 		}
 	}
 	for _, id := range nodes {
-		if _, err := tgi.GetNodeAt(id, recent[len(recent)-1]); err != nil {
+		if _, err := tgi.GetNodeAt(id, recent[len(recent)-1], nil); err != nil {
 			panic(fmt.Sprintf("bench: reopen node fetch: %v", err))
 		}
 	}

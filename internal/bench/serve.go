@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hgs"
+	"hgs/internal/server"
+	"hgs/internal/workload"
+)
+
+// serveMix is one workload class of the closed-loop driver: a label, a
+// weight in the request mix, and a URL builder over the indexed
+// history.
+type serveMix struct {
+	name   string
+	weight int
+	url    func(rng *rand.Rand, maxNode int64, first, last hgs.Time) string
+}
+
+var serveMixes = []serveMix{
+	{name: "node", weight: 55, url: func(rng *rand.Rand, maxNode int64, first, last hgs.Time) string {
+		return fmt.Sprintf("/v1/node?id=%d&t=%d", rng.Int63n(maxNode), randTime(rng, first, last))
+	}},
+	{name: "change-times", weight: 20, url: func(rng *rand.Rand, maxNode int64, first, last hgs.Time) string {
+		return fmt.Sprintf("/v1/node/changetimes?id=%d&ts=%d&te=%d", rng.Int63n(maxNode), first, last)
+	}},
+	{name: "node-history", weight: 15, url: func(rng *rand.Rand, maxNode int64, first, last hgs.Time) string {
+		ts := randTime(rng, first, last)
+		return fmt.Sprintf("/v1/node/history?id=%d&ts=%d&te=%d", rng.Int63n(maxNode), ts, last)
+	}},
+	{name: "khop", weight: 5, url: func(rng *rand.Rand, maxNode int64, first, last hgs.Time) string {
+		return fmt.Sprintf("/v1/khop?id=%d&k=1&t=%d", rng.Int63n(maxNode), randTime(rng, first, last))
+	}},
+	{name: "snapshot", weight: 5, url: func(rng *rand.Rand, maxNode int64, first, last hgs.Time) string {
+		return fmt.Sprintf("/v1/snapshot?t=%d", randTime(rng, first, last))
+	}},
+}
+
+func randTime(rng *rand.Rand, first, last hgs.Time) hgs.Time {
+	if last <= first {
+		return first
+	}
+	return first + hgs.Time(rng.Int63n(int64(last-first)))
+}
+
+func pickMix(rng *rand.Rand) serveMix {
+	total := 0
+	for _, m := range serveMixes {
+		total += m.weight
+	}
+	n := rng.Intn(total)
+	for _, m := range serveMixes {
+		if n < m.weight {
+			return m
+		}
+		n -= m.weight
+	}
+	return serveMixes[0]
+}
+
+// serveStats aggregates one client's view of the run.
+type serveStats struct {
+	latencies []time.Duration // successful (2xx) requests only
+	ok        int
+	shed      int // 429
+	missed    int // 504
+	failed    int // transport errors and other statuses
+	rows      int // NDJSON lines / body lines read back
+}
+
+// ServeBench measures the HTTP serve path closed-loop: an in-process
+// hgs-server over the Dataset 1 index on an ephemeral port, driven by
+// concurrent clients each issuing a weighted mix of node, change-time,
+// history, k-hop and streamed-snapshot requests as fast as the previous
+// response completes. The in-flight limit is set below the client count
+// so the limiter's 429 shedding is exercised, and the table reports
+// achieved QPS, latency quantiles, shed rate and deadline-miss rate —
+// what the ISSUE's closed-loop acceptance run reads off.
+func ServeBench(sc Scale) *Result {
+	const (
+		clients     = 12
+		maxInFlight = 8
+		perClient   = 120
+	)
+	start := time.Now()
+	res := &Result{
+		ID:    "serve",
+		Title: fmt.Sprintf("HTTP serve path: %d closed-loop clients, %d in-flight slots", clients, maxInFlight),
+	}
+
+	nodes := max(sc.WikiNodes/4, 1_000)
+	events := cachedEvents(fmt.Sprintf("serve-wiki-%d", nodes), func() []hgs.Event {
+		return workload.Wikipedia(workload.WikiConfig{Nodes: nodes, EdgesPerNode: 4, Seed: 7})
+	})
+	// The latency model is on so requests occupy their in-flight slot
+	// for a realistic storage wait: 12 closed-loop clients then hold
+	// more than 8 concurrent requests and the limiter's shedding shows.
+	store, err := hgs.Open(hgs.Options{SimulateLatency: true})
+	if err != nil {
+		panic(fmt.Sprintf("bench: open serve store: %v", err))
+	}
+	defer store.Close()
+	if err := store.Load(events); err != nil {
+		panic(fmt.Sprintf("bench: load serve store: %v", err))
+	}
+	first, last, err := store.TimeRange()
+	if err != nil {
+		panic(fmt.Sprintf("bench: serve time range: %v", err))
+	}
+
+	srv := server.New(store, server.Config{
+		MaxInFlight:    maxInFlight,
+		DefaultTimeout: 5 * time.Second,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(fmt.Sprintf("bench: start server: %v", err))
+	}
+	defer srv.Shutdown(context.Background())
+
+	transport := &http.Transport{MaxIdleConns: clients * 2, MaxIdleConnsPerHost: clients * 2}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	stats := make([]serveStats, clients)
+	wall := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			st := &stats[c]
+			for i := 0; i < perClient; i++ {
+				mix := pickMix(rng)
+				url := "http://" + addr + mix.url(rng, int64(nodes), first, last)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					st.failed++
+					continue
+				}
+				rows := 0
+				scn := bufio.NewScanner(resp.Body)
+				scn.Buffer(make([]byte, 64<<10), 8<<20)
+				for scn.Scan() {
+					rows++
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(t0)
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests:
+					st.shed++
+				case resp.StatusCode == http.StatusGatewayTimeout:
+					st.missed++
+				case resp.StatusCode == http.StatusOK:
+					st.ok++
+					st.rows += rows
+					st.latencies = append(st.latencies, d)
+				case resp.StatusCode == http.StatusNotFound:
+					// A random probe below the node's arrival time: the
+					// request completed correctly, count it served.
+					st.ok++
+					st.latencies = append(st.latencies, d)
+				default:
+					st.failed++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	var all []time.Duration
+	var ok, shed, missed, failed, rows int
+	for _, st := range stats {
+		all = append(all, st.latencies...)
+		ok += st.ok
+		shed += st.shed
+		missed += st.missed
+		failed += st.failed
+		rows += st.rows
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	total := clients * perClient
+	qps := float64(ok) / elapsed.Seconds()
+	shedRate := float64(shed) / float64(total)
+	missRate := float64(missed) / float64(total)
+
+	res.TableHeader = []string{"clients", "requests", "ok", "shed", "deadline-miss", "failed",
+		"qps", "p50", "p90", "p99"}
+	res.TableRows = [][]string{{
+		fmt.Sprint(clients), fmt.Sprint(total), fmt.Sprint(ok), fmt.Sprint(shed),
+		fmt.Sprint(missed), fmt.Sprint(failed), fmt.Sprintf("%.0f", qps),
+		q(0.50).Round(10 * time.Microsecond).String(),
+		q(0.90).Round(10 * time.Microsecond).String(),
+		q(0.99).Round(10 * time.Microsecond).String(),
+	}}
+	res.Passes = []PassMetrics{{
+		Label:            "serve",
+		Ops:              uint64(ok),
+		P50Seconds:       q(0.50).Seconds(),
+		P90Seconds:       q(0.90).Seconds(),
+		P99Seconds:       q(0.99).Seconds(),
+		QPS:              qps,
+		ShedRate:         shedRate,
+		DeadlineMissRate: missRate,
+	}}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("streamed %d response rows; shed rate %.1f%%, deadline-miss rate %.1f%%",
+			rows, 100*shedRate, 100*missRate))
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -129,7 +129,7 @@ func tieringPass(events []graph.Event, hotBytes int64, recent []temporal.Time) (
 			}
 		}
 		for _, id := range nodes {
-			if _, err := tgi.GetNodeAt(id, recent[len(recent)-1]); err != nil {
+			if _, err := tgi.GetNodeAt(id, recent[len(recent)-1], nil); err != nil {
 				panic(fmt.Sprintf("bench: tiering node fetch: %v", err))
 			}
 		}

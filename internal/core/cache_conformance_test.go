@@ -51,7 +51,7 @@ func TestCacheConformance(t *testing.T) {
 			a.snaps = append(a.snaps, g)
 		}
 		for _, id := range ids {
-			ns, err := tgi.GetNodeAt(id, probes[2])
+			ns, err := tgi.GetNodeAt(id, probes[2], nil)
 			if err != nil {
 				t.Fatalf("GetNodeAt(%d): %v", id, err)
 			}
@@ -131,7 +131,7 @@ func TestWarmCacheReducesKVOps(t *testing.T) {
 			}
 		}
 		for _, id := range ids {
-			if _, err := tgi.GetNodeAt(id, probes[1]); err != nil {
+			if _, err := tgi.GetNodeAt(id, probes[1], nil); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -43,7 +43,7 @@ func TestNegativeEntriesInvalidatedOnAppend(t *testing.T) {
 	tgi := buildSmall(t, cfg, events)
 
 	// Cold probe: the node (and its partition's rows) do not exist.
-	ns, err := tgi.GetNodeAt(ghost, end)
+	ns, err := tgi.GetNodeAt(ghost, end, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestNegativeEntriesInvalidatedOnAppend(t *testing.T) {
 	// reads (the probe plans only delta parts — no boundary eventlist at
 	// the final checkpoint).
 	tgi.Store().ResetMetrics()
-	if ns, _ := tgi.GetNodeAt(ghost, end); ns != nil {
+	if ns, _ := tgi.GetNodeAt(ghost, end, nil); ns != nil {
 		t.Fatal("ghost node appeared on re-probe")
 	}
 	if reads := tgi.Store().Metrics().Reads; reads != 0 {
@@ -69,7 +69,7 @@ func TestNegativeEntriesInvalidatedOnAppend(t *testing.T) {
 	if err := tgi.Append([]graph.Event{{Time: end + 10, Kind: graph.AddNode, Node: ghost}}); err != nil {
 		t.Fatal(err)
 	}
-	ns, err = tgi.GetNodeAt(ghost, end+20)
+	ns, err = tgi.GetNodeAt(ghost, end+20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestTracePlansRing(t *testing.T) {
 	if _, err := tgi.GetSnapshotsAt(probes, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tgi.GetNodeAt(3, probes[1]); err != nil {
+	if _, err := tgi.GetNodeAt(3, probes[1], nil); err != nil {
 		t.Fatal(err)
 	}
 	trs := tgi.PlanTraces()
@@ -165,7 +165,7 @@ func TestTracePlansRing(t *testing.T) {
 	}
 
 	for i := 0; i < traceKeep+10; i++ {
-		if _, err := tgi.GetNodeAt(3, probes[1]); err != nil {
+		if _, err := tgi.GetNodeAt(3, probes[1], nil); err != nil {
 			t.Fatal(err)
 		}
 	}

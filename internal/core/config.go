@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -193,8 +194,18 @@ func DeltaGraphConfig() Config {
 	return c
 }
 
-// FetchOptions tune a single retrieval call.
+// FetchOptions tune a single retrieval call. It is the one per-call
+// options struct of the query API: every retrieval method takes it (nil
+// selects all defaults), and new per-call knobs land here rather than
+// as new method variants.
 type FetchOptions struct {
+	// Context carries the call's deadline and cancellation signal. When
+	// it can fire, batched store rounds are issued through the cluster's
+	// cancellable surface, decode/materialize workers stop at partition
+	// boundaries, and the retrieval returns ctx.Err() promptly without
+	// leaking goroutines or installing partial results in the cache.
+	// Nil means context.Background() (never cancelled).
+	Context context.Context
 	// Clients overrides Config.FetchClients when > 0 (the experiments'
 	// parallel fetch factor c).
 	Clients int
@@ -204,6 +215,14 @@ type FetchOptions struct {
 	// wait the call charged. Read it back with Trace.Record once the
 	// call returns.
 	Trace *fetch.Trace
+}
+
+// ctx resolves the call context: the caller's when set, else Background.
+func (o *FetchOptions) ctx() context.Context {
+	if o != nil && o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (c Config) clients(opts *FetchOptions) int {

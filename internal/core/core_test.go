@@ -159,7 +159,7 @@ func TestGetNodeAtMatchesOracle(t *testing.T) {
 			for _, tt := range []temporal.Time{0, 700, 1201, 2000, 3500, 4000} {
 				want := oracle(events, tt)
 				for id := graph.NodeID(0); id < 30; id += 3 {
-					got, err := tgi.GetNodeAt(id, tt)
+					got, err := tgi.GetNodeAt(id, tt, nil)
 					if err != nil {
 						t.Fatalf("GetNodeAt(%d,%d): %v", id, tt, err)
 					}
@@ -241,7 +241,7 @@ func TestChangeTimes(t *testing.T) {
 	events := genHistory(5, 300, 20)
 	tgi := buildSmall(t, smallConfig(), events)
 	for id := graph.NodeID(0); id < 20; id += 5 {
-		got, err := tgi.ChangeTimes(id, 0, 10000)
+		got, err := tgi.ChangeTimes(id, 0, 10000, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sort"
 
 	"hgs/internal/fetch"
@@ -12,12 +14,13 @@ import (
 // (the paper's QPs, Figure 3c): the query manager plans the key set, the
 // fetch executor moves the bytes in per-node batches, and the QPs decode
 // and merge in parallel. The worker pool itself lives in the fetch layer
-// (fetch.Parallel) so the two halves share one implementation.
-func runParallel(c int, tasks []func() error) error {
+// (fetch.ParallelCtx) so the two halves share one implementation;
+// cancellation is checked at task (partition) boundaries.
+func runParallel(ctx context.Context, c int, tasks []func() error) error {
 	if c < 1 {
 		c = 1
 	}
-	return fetch.Parallel(c, len(tasks), func(i int) error { return tasks[i]() })
+	return fetch.ParallelCtx(ctx, c, len(tasks), func(i int) error { return tasks[i]() })
 }
 
 // eventLess is a deterministic total order over events: by time, then by
@@ -76,6 +79,24 @@ func (t *TGI) GetSnapshot(tt temporal.Time, opts *FetchOptions) (*graph.Graph, e
 // getSnapshot is GetSnapshot with an explicit trace, so fan-out
 // retrievals (GetSnapshotsAt, k-hop via snapshot) thread their own.
 func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace) (*graph.Graph, error) {
+	g, err := t.getSnapshotStream(tt, opts, tr, nil)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// getSnapshotStream is the snapshot materialization pipeline. When emit
+// is nil, the per-partition graphs are combined into one Graph and
+// returned. When emit is non-nil, each horizontal partition's owned
+// node states are handed to emit as soon as that partition finishes
+// materializing (concurrently from the worker pool — emit must be safe
+// for concurrent use), nothing is combined, and the returned graph is
+// nil: the streaming path never holds the full snapshot in memory.
+// Emitted states are the partition graphs' own (not cloned); emit must
+// not retain or mutate them past its return unless it copies.
+func (t *TGI) getSnapshotStream(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace, emit func(sid int, states []*graph.NodeState) error) (*graph.Graph, error) {
+	ctx := opts.ctx()
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -94,7 +115,7 @@ func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace)
 			plan.EventGroup(tm.TSID, sid, leaf)
 		}
 	}
-	res, err := t.fx.ExecTraced(plan, clients, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -137,12 +158,27 @@ func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace)
 					}
 				}
 			}
+			if emit != nil {
+				// Stream this partition's owned states out instead of
+				// keeping the graph for the combine step.
+				var states []*graph.NodeState
+				sg.Range(func(nsn *graph.NodeState) bool {
+					if t.sidOf(nsn.ID) == sid {
+						states = append(states, nsn)
+					}
+					return true
+				})
+				return emit(sid, states)
+			}
 			sidGraphs[sid] = sg
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.materializeWorkers(), mergeTasks); err != nil {
+	if err := runParallel(ctx, t.cfg.materializeWorkers(), mergeTasks); err != nil {
 		return nil, err
+	}
+	if emit != nil {
+		return nil, nil
 	}
 	g := graph.New()
 	for sid, sg := range sidGraphs {
@@ -154,6 +190,22 @@ func (t *TGI) getSnapshot(tt temporal.Time, opts *FetchOptions, tr *fetch.Trace)
 		})
 	}
 	return g, nil
+}
+
+// StreamSnapshot retrieves the snapshot at tt like GetSnapshot but
+// never assembles it: each horizontal partition's node states are
+// passed to emit as soon as that partition materializes, possibly
+// concurrently (emit must be safe for concurrent use and must not
+// retain the states). The serve layer's NDJSON snapshot endpoint rides
+// this so arbitrarily large snapshots stream in bounded memory.
+func (t *TGI) StreamSnapshot(tt temporal.Time, opts *FetchOptions, emit func(sid int, states []*graph.NodeState) error) error {
+	tr, done := t.startTrace("snapshot", opts)
+	defer done()
+	if emit == nil {
+		return fmt.Errorf("core: StreamSnapshot requires an emit callback")
+	}
+	_, err := t.getSnapshotStream(tt, opts, tr, emit)
+	return err
 }
 
 // planMicroPartition adds one micro-partition's reconstruction chain —
@@ -195,11 +247,11 @@ func (t *TGI) assembleMicroPartition(res *fetch.Result, tm *TimespanMeta, sid, p
 // micro-partition (tsid, sid, pid): the path micro-deltas plus the
 // boundary micro-eventlist prefix, fetched as a single batched plan.
 // This is the unit of work for node and neighborhood queries.
-func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Time, tr *fetch.Trace) (*graph.Graph, error) {
+func (t *TGI) fetchMicroPartition(ctx context.Context, tm *TimespanMeta, sid, pid int, tt temporal.Time, tr *fetch.Trace) (*graph.Graph, error) {
 	leaf := tm.leafFor(tt)
 	plan := fetch.NewPlan()
 	planMicroPartition(plan, tm, sid, pid, leaf)
-	res, err := t.fx.ExecTraced(plan, 1, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, 1, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -209,15 +261,15 @@ func (t *TGI) fetchMicroPartition(tm *TimespanMeta, sid, pid int, tt temporal.Ti
 // GetNodeAt retrieves the state of a single node at time tt, or nil if
 // the node does not exist then. Only the node's own micro-partition chain
 // is read (the entity-centric access path of Table 1's TGI row).
-func (t *TGI) GetNodeAt(id graph.NodeID, tt temporal.Time) (*graph.NodeState, error) {
-	tr, done := t.startTrace("node-at", nil)
+func (t *TGI) GetNodeAt(id graph.NodeID, tt temporal.Time, opts *FetchOptions) (*graph.NodeState, error) {
+	tr, done := t.startTrace("node-at", opts)
 	defer done()
-	return t.getNodeAt(id, tt, tr)
+	return t.getNodeAt(opts.ctx(), id, tt, tr)
 }
 
 // getNodeAt is GetNodeAt with an explicit trace (threaded by history
 // retrievals for their initial-state fetch).
-func (t *TGI) getNodeAt(id graph.NodeID, tt temporal.Time, tr *fetch.Trace) (*graph.NodeState, error) {
+func (t *TGI) getNodeAt(ctx context.Context, id graph.NodeID, tt temporal.Time, tr *fetch.Trace) (*graph.NodeState, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -227,7 +279,7 @@ func (t *TGI) getNodeAt(id graph.NodeID, tt temporal.Time, tr *fetch.Trace) (*gr
 	if err != nil {
 		return nil, err
 	}
-	g, err := t.fetchMicroPartition(tm, sid, pid, tt, tr)
+	g, err := t.fetchMicroPartition(ctx, tm, sid, pid, tt, tr)
 	if err != nil {
 		return nil, err
 	}

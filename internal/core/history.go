@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"hgs/internal/fetch"
@@ -109,12 +110,12 @@ func (t *TGI) overlappingSpans(gm *GraphMeta, ts, te temporal.Time) ([]*Timespan
 // versionChains fetches the version-chain rows of one node across the
 // given spans in a single batched read, returning the decoded entries
 // per span (nil where the node has no chain in that span).
-func (t *TGI) versionChains(spans []*TimespanMeta, sid int, id graph.NodeID, clients int, tr *fetch.Trace) ([][]vcEntry, error) {
+func (t *TGI) versionChains(ctx context.Context, spans []*TimespanMeta, sid int, id graph.NodeID, clients int, tr *fetch.Trace) ([][]vcEntry, error) {
 	plan := fetch.NewPlan()
 	for _, tm := range spans {
 		plan.Get(TableVersions, placementKey(tm.TSID, sid), nodeCKey(id))
 	}
-	res, err := t.fx.ExecTraced(plan, clients, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -145,12 +146,12 @@ type elRef struct {
 // pool, and returns the chronological, deduplicated events touching id
 // within (ts, te). Decoded event slices may be shared with the cache;
 // filtering copies the kept events into fresh slices.
-func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te temporal.Time, clients int, tr *fetch.Trace) ([]graph.Event, error) {
+func (t *TGI) fetchHistoryEvents(ctx context.Context, refs []elRef, sid int, id graph.NodeID, ts, te temporal.Time, clients int, tr *fetch.Trace) ([]graph.Event, error) {
 	plan := fetch.NewPlan()
 	for _, ref := range refs {
 		plan.EventPart(ref.tm.TSID, sid, ref.el, ref.pid)
 	}
-	res, err := t.fx.ExecTraced(plan, clients, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +174,7 @@ func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te 
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.materializeWorkers(), tasks); err != nil {
+	if err := runParallel(ctx, t.cfg.materializeWorkers(), tasks); err != nil {
 		return nil, err
 	}
 	return mergeSortEvents(lists), nil
@@ -186,11 +187,12 @@ func (t *TGI) fetchHistoryEvents(refs []elRef, sid int, id graph.NodeID, ts, te 
 func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
 	tr, done := t.startTrace("node-history", opts)
 	defer done()
+	ctx := opts.ctx()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
 	}
-	initial, err := t.getNodeAt(id, ts, tr)
+	initial, err := t.getNodeAt(ctx, id, ts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +204,7 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 	if err != nil {
 		return nil, err
 	}
-	chains, err := t.versionChains(spans, sid, id, clients, tr)
+	chains, err := t.versionChains(ctx, spans, sid, id, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +233,7 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 			refs = append(refs, elRef{tm: tm, el: e.el, pid: pid})
 		}
 	}
-	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients, tr)
+	h.Events, err = t.fetchHistoryEvents(ctx, refs, sid, id, ts, te, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -245,11 +247,12 @@ func (t *TGI) GetNodeHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) (*NodeHistory, error) {
 	tr, done := t.startTrace("node-history-scan", opts)
 	defer done()
+	ctx := opts.ctx()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
 		return nil, err
 	}
-	initial, err := t.getNodeAt(id, ts, tr)
+	initial, err := t.getNodeAt(ctx, id, ts, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +277,7 @@ func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *Fe
 			refs = append(refs, elRef{tm: tm, el: el, pid: pid})
 		}
 	}
-	h.Events, err = t.fetchHistoryEvents(refs, sid, id, ts, te, clients, tr)
+	h.Events, err = t.fetchHistoryEvents(ctx, refs, sid, id, ts, te, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -284,8 +287,8 @@ func (t *TGI) GetNodeHistoryScan(id graph.NodeID, ts, te temporal.Time, opts *Fe
 // ChangeTimes returns the timepoints at which the node changed within
 // [ts, te), read from version chains only (one batched read, no
 // eventlist fetches).
-func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Time, error) {
-	tr, done := t.startTrace("change-times", nil)
+func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time, opts *FetchOptions) ([]temporal.Time, error) {
+	tr, done := t.startTrace("change-times", opts)
 	defer done()
 	gm, err := t.loadGraphMeta()
 	if err != nil {
@@ -305,7 +308,7 @@ func (t *TGI) ChangeTimes(id graph.NodeID, ts, te temporal.Time) ([]temporal.Tim
 		}
 		spans = append(spans, tm)
 	}
-	chains, err := t.versionChains(spans, sid, id, t.cfg.clients(nil), tr)
+	chains, err := t.versionChains(opts.ctx(), spans, sid, id, t.cfg.clients(opts), tr)
 	if err != nil {
 		return nil, err
 	}

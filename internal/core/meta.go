@@ -119,7 +119,7 @@ func (t *TGI) loadGraphMeta() (*GraphMeta, error) {
 	}
 	blob, ok := t.store.Get(TableGraph, "graph", "info")
 	if !ok {
-		return nil, fmt.Errorf("core: index has no graph metadata (empty index?)")
+		return nil, fmt.Errorf("core: index has no graph metadata (empty index?): %w", ErrNotLoaded)
 	}
 	gm = &GraphMeta{}
 	if err := json.Unmarshal(blob, gm); err != nil {
@@ -185,7 +185,7 @@ func (t *TGI) timespanFor(tt temporal.Time) (*TimespanMeta, error) {
 		return nil, err
 	}
 	if gm.TimespanCount == 0 {
-		return nil, fmt.Errorf("core: index is empty")
+		return nil, fmt.Errorf("core: index is empty: %w", ErrNotLoaded)
 	}
 	// Spans are contiguous in event order; binary search over starts via
 	// cached metas (span count is small; linear from the end is fine and

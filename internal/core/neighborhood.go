@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -37,6 +38,7 @@ func (t *TGI) GetKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 // getKHopNeighborhood is GetKHopNeighborhood with an explicit trace
 // (threaded by the multipoint and history variants).
 func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts *FetchOptions, tr *fetch.Trace) (*graph.Graph, error) {
+	ctx := opts.ctx()
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -63,7 +65,7 @@ func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 		if len(keys) == 0 {
 			return nil
 		}
-		res, err := t.fx.ExecTraced(plan, t.cfg.clients(opts), tr)
+		res, err := t.fx.ExecCtx(ctx, plan, t.cfg.clients(opts), tr)
 		if err != nil {
 			return err
 		}
@@ -90,7 +92,7 @@ func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 				return nil
 			})
 		}
-		return runParallel(t.cfg.materializeWorkers(), tasks)
+		return runParallel(ctx, t.cfg.materializeWorkers(), tasks)
 	}
 
 	groupOf := func(ids []graph.NodeID) (map[[2]int][]graph.NodeID, error) {
@@ -123,7 +125,7 @@ func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 	// for 1-hop retrieval but incomplete for further expansion, so deeper
 	// queries take the per-partition path.
 	if t.cfg.Replicate1Hop && k == 1 {
-		if err := t.applyAux(tm, states, id, tt, tr); err != nil {
+		if err := t.applyAux(ctx, tm, states, id, tt, tr); err != nil {
 			return nil, err
 		}
 	}
@@ -189,7 +191,7 @@ func (t *TGI) getKHopNeighborhood(id graph.NodeID, k int, tt temporal.Time, opts
 // frontier states at tt. Both aux rows travel in one batched read, and
 // the decoded aux delta shares the decoded-delta cache (hot roots skip
 // the store entirely).
-func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeState, id graph.NodeID, tt temporal.Time, tr *fetch.Trace) error {
+func (t *TGI) applyAux(ctx context.Context, tm *TimespanMeta, states map[graph.NodeID]*graph.NodeState, id graph.NodeID, tt temporal.Time, tr *fetch.Trace) error {
 	sid := t.sidOf(id)
 	pid, err := t.pidOf(tm, sid, id)
 	if err != nil {
@@ -201,7 +203,7 @@ func (t *TGI) applyAux(tm *TimespanMeta, states map[graph.NodeID]*graph.NodeStat
 	if leaf < tm.EventlistCount {
 		plan.AuxEventPart(tm.TSID, sid, leaf, pid)
 	}
-	res, err := t.fx.ExecTraced(plan, 1, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, 1, tr)
 	if err != nil {
 		return err
 	}
@@ -305,6 +307,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.ctx()
 	clients := t.cfg.clients(opts)
 	spans, err := t.overlappingSpans(gm, ts, te)
 	if err != nil {
@@ -320,7 +323,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 			plan.Get(TableVersions, placementKey(tm.TSID, t.sidOf(m)), nodeCKey(m))
 		}
 	}
-	res, err := t.fx.ExecTraced(plan, clients, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +365,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 		keys = append(keys, key)
 		evPlan.EventPart(key.tsid, key.sid, key.el, key.pid)
 	}
-	evRes, err := t.fx.ExecTraced(evPlan, clients, tr)
+	evRes, err := t.fx.ExecCtx(ctx, evPlan, clients, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -390,7 +393,7 @@ func (t *TGI) GetKHopHistory(id graph.NodeID, k int, ts, te temporal.Time, opts 
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.materializeWorkers(), tasks); err != nil {
+	if err := runParallel(ctx, t.cfg.materializeWorkers(), tasks); err != nil {
 		return nil, err
 	}
 	sh.Events = mergeSortEvents(lists)
@@ -411,12 +414,13 @@ func (t *TGI) Get1HopHistory(id graph.NodeID, ts, te temporal.Time, opts *FetchO
 func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
 	tr, done := t.startTrace("khop-at", opts)
 	defer done()
+	ctx := opts.ctx()
 	out := make([]*graph.Graph, len(times))
 	tasks := make([]func() error, 0, len(times))
 	for i, tt := range times {
 		i, tt := i, tt
 		tasks = append(tasks, func() error {
-			g, err := t.getKHopNeighborhood(id, k, tt, &FetchOptions{Clients: 1}, tr)
+			g, err := t.getKHopNeighborhood(id, k, tt, &FetchOptions{Clients: 1, Context: ctx}, tr)
 			if err != nil {
 				return err
 			}
@@ -424,7 +428,7 @@ func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *Fet
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	if err := runParallel(ctx, t.cfg.clients(opts), tasks); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -435,12 +439,13 @@ func (t *TGI) GetKHopAt(id graph.NodeID, k int, times []temporal.Time, opts *Fet
 func (t *TGI) GetSnapshotsAt(times []temporal.Time, opts *FetchOptions) ([]*graph.Graph, error) {
 	tr, done := t.startTrace("snapshots", opts)
 	defer done()
+	ctx := opts.ctx()
 	out := make([]*graph.Graph, len(times))
 	tasks := make([]func() error, 0, len(times))
 	for i, tt := range times {
 		i, tt := i, tt
 		tasks = append(tasks, func() error {
-			g, err := t.getSnapshot(tt, &FetchOptions{Clients: 1}, tr)
+			g, err := t.getSnapshot(tt, &FetchOptions{Clients: 1, Context: ctx}, tr)
 			if err != nil {
 				return err
 			}
@@ -448,7 +453,7 @@ func (t *TGI) GetSnapshotsAt(times []temporal.Time, opts *FetchOptions) ([]*grap
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	if err := runParallel(ctx, t.cfg.clients(opts), tasks); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"hgs/internal/fetch"
@@ -21,13 +22,14 @@ func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) b
 	if err != nil {
 		return nil, err
 	}
+	ctx := opts.ctx()
 	ns := t.cfg.HorizontalPartitions
 	out := make([][]*NodeHistory, ns)
 	tasks := make([]func() error, 0, ns)
 	for sid := 0; sid < ns; sid++ {
 		sid := sid
 		tasks = append(tasks, func() error {
-			histories, err := t.fetchSidHistories(gm, sid, iv, keep, tr)
+			histories, err := t.fetchSidHistories(ctx, gm, sid, iv, keep, tr)
 			if err != nil {
 				return err
 			}
@@ -35,20 +37,20 @@ func (t *TGI) FetchNodeHistories(iv temporal.Interval, keep func(graph.NodeID) b
 			return nil
 		})
 	}
-	if err := runParallel(t.cfg.clients(opts), tasks); err != nil {
+	if err := runParallel(ctx, t.cfg.clients(opts), tasks); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // fetchSidHistories runs one query processor's share of a SoN fetch.
-func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, keep func(graph.NodeID) bool, tr *fetch.Trace) ([]*NodeHistory, error) {
+func (t *TGI) fetchSidHistories(ctx context.Context, gm *GraphMeta, sid int, iv temporal.Interval, keep func(graph.NodeID) bool, tr *fetch.Trace) ([]*NodeHistory, error) {
 	owned := func(id graph.NodeID) bool {
 		return t.sidOf(id) == sid && (keep == nil || keep(id))
 	}
 
 	// 1. Initial states: the sid's partitioned snapshot at iv.Start.
-	init, err := t.fetchSidSnapshot(sid, iv.Start, tr)
+	init, err := t.fetchSidSnapshot(ctx, sid, iv.Start, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +82,7 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 			plan.EventGroup(tsid, sid, el)
 		}
 	}
-	res, err := t.fx.ExecTraced(plan, 1, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, 1, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +140,7 @@ func (t *TGI) fetchSidHistories(gm *GraphMeta, sid int, iv temporal.Interval, ke
 // fetchSidSnapshot reconstructs one horizontal partition's state at tt
 // (the per-sid slice of Algorithm 1): one batched plan for the path
 // delta groups and the boundary eventlist, cache-served where hot.
-func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time, tr *fetch.Trace) (*graph.Graph, error) {
+func (t *TGI) fetchSidSnapshot(ctx context.Context, sid int, tt temporal.Time, tr *fetch.Trace) (*graph.Graph, error) {
 	tm, err := t.timespanFor(tt)
 	if err != nil {
 		return nil, err
@@ -151,7 +153,7 @@ func (t *TGI) fetchSidSnapshot(sid int, tt temporal.Time, tr *fetch.Trace) (*gra
 	if leaf < tm.EventlistCount {
 		plan.EventGroup(tm.TSID, sid, leaf)
 	}
-	res, err := t.fx.ExecTraced(plan, 1, tr)
+	res, err := t.fx.ExecCtx(ctx, plan, 1, tr)
 	if err != nil {
 		return nil, err
 	}

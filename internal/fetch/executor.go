@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -79,6 +80,16 @@ type TracedStore interface {
 	MultiScanStats(refs []kvstore.ScanRef) ([][]kvstore.Row, kvstore.CallStats)
 }
 
+// ContextStore is the optional cancellable read surface of a Store:
+// *kvstore.Cluster implements it. When the plan's context carries a
+// deadline or cancellation signal, the executor routes the batched
+// round through these so node visits stop early; a plain Store is
+// always driven to completion.
+type ContextStore interface {
+	MultiGetStatsCtx(ctx context.Context, refs []kvstore.KeyRef) ([]kvstore.GetResult, kvstore.CallStats)
+	MultiScanStatsCtx(ctx context.Context, refs []kvstore.ScanRef) ([][]kvstore.Row, kvstore.CallStats)
+}
+
 // Executor runs read plans: delta requests are served from the decoded
 // cache when resident, everything else goes to the store as one batched
 // round (a MultiScan and a MultiGet issued concurrently, each charging
@@ -87,17 +98,19 @@ type TracedStore interface {
 // found nothing install negative markers so the next probe of the same
 // absent row skips the store.
 type Executor struct {
-	store  Store
-	traced TracedStore // non-nil when store supports per-call attribution
-	cdc    codec.Codec
-	cache  *Cache
+	store    Store
+	traced   TracedStore  // non-nil when store supports per-call attribution
+	ctxStore ContextStore // non-nil when store supports cancellable reads
+	cdc      codec.Codec
+	cache    *Cache
 }
 
 // NewExecutor builds an executor over a store; cache may be nil
 // (caching disabled).
 func NewExecutor(store Store, cdc codec.Codec, cache *Cache) *Executor {
 	ts, _ := store.(TracedStore)
-	return &Executor{store: store, traced: ts, cdc: cdc, cache: cache}
+	cs, _ := store.(ContextStore)
+	return &Executor{store: store, traced: ts, ctxStore: cs, cdc: cdc, cache: cache}
 }
 
 // Cache returns the executor's delta cache (nil when disabled).
@@ -108,11 +121,28 @@ func (e *Executor) Cache() *Cache { return e.cache }
 // bounded worker pool of the fetch path; core's retrieval sites drive
 // their decode/merge tasks through it too.
 func Parallel(clients, n int, f func(i int) error) error {
+	return ParallelCtx(context.Background(), clients, n, f)
+}
+
+// ParallelCtx is Parallel with cancellation checked at task boundaries:
+// no new task starts once ctx is done, workers drain without running
+// the items already queued, and every worker goroutine has exited by
+// return. A task in flight when cancellation arrives finishes (the unit
+// of work is one partition's decode or merge — bounded, so returns stay
+// prompt); the first error wins, with ctx.Err() reported when no task
+// failed first.
+func ParallelCtx(ctx context.Context, clients, n int, f func(i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if clients > n {
 		clients = n
 	}
 	if clients <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(i); err != nil {
 				return err
 			}
@@ -125,22 +155,34 @@ func Parallel(clients, n int, f func(i int) error) error {
 		firstErr error
 		next     = make(chan int)
 	)
+	done := ctx.Done()
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without working
+				}
 				if err := f(i); err != nil {
 					errOnce.Do(func() { firstErr = err })
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 
@@ -155,6 +197,23 @@ func (e *Executor) Exec(p *Plan, clients int) (*Result, error) {
 // ExecTraced runs the plan like Exec and additionally folds the
 // execution's plan/cache/read breakdown into tr (nil records nothing).
 func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) {
+	return e.ExecCtx(context.Background(), p, clients, tr)
+}
+
+// ExecCtx runs the plan like ExecTraced under a context: the batched
+// store round is issued through the store's cancellable surface when it
+// has one, decode work stops at partition boundaries, and — critically
+// — a round cut short by cancellation installs NOTHING in the cache:
+// a skipped node visit leaves zero-valued results indistinguishable
+// from genuine absence, and admitting those as negative markers would
+// poison every later query with phantom "row does not exist" answers.
+func (e *Executor) ExecCtx(ctx context.Context, p *Plan, clients int, tr *Trace) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if clients < 1 {
 		clients = 1
 	}
@@ -244,6 +303,11 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 		}
 	}
 
+	// A context that can actually fire routes the round through the
+	// store's cancellable surface; Background-driven plans keep the
+	// plain path so existing behavior (and fakes implementing only
+	// Store/TracedStore) is untouched.
+	useCtx := e.ctxStore != nil && ctx.Done() != nil
 	var (
 		scanRows [][]kvstore.Row
 		getVals  []kvstore.GetResult
@@ -253,11 +317,16 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if tr != nil && e.traced != nil {
+			switch {
+			case useCtx:
+				var cs kvstore.CallStats
+				scanRows, cs = e.ctxStore.MultiScanStatsCtx(ctx, scanRefs)
+				tr.addCall(cs)
+			case tr != nil && e.traced != nil:
 				var cs kvstore.CallStats
 				scanRows, cs = e.traced.MultiScanStats(scanRefs)
 				tr.addCall(cs)
-			} else {
+			default:
 				scanRows = e.store.MultiScan(scanRefs)
 			}
 		}()
@@ -266,17 +335,27 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if tr != nil && e.traced != nil {
+			switch {
+			case useCtx:
+				var cs kvstore.CallStats
+				getVals, cs = e.ctxStore.MultiGetStatsCtx(ctx, getRefs)
+				tr.addCall(cs)
+			case tr != nil && e.traced != nil:
 				var cs kvstore.CallStats
 				getVals, cs = e.traced.MultiGetStats(getRefs)
 				tr.addCall(cs)
-			} else {
+			default:
 				getVals = e.store.MultiGet(getRefs)
 			}
 		}()
 	}
 	wg.Wait()
-	if tr != nil && e.traced == nil {
+	// Cancelled mid-round: the result arrays may hold skipped (zero)
+	// entries. Bail before decoding or installing anything.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if tr != nil && e.traced == nil && !useCtx {
 		// No per-call attribution: at least account the bytes moved.
 		var cs kvstore.CallStats
 		for _, rows := range scanRows {
@@ -294,7 +373,7 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 	// 3. Decode the missed deltas and eventlists in parallel, installing
 	// them in the cache as they complete.
 	var mu sync.Mutex
-	if err := Parallel(clients, len(missGroups), func(i int) error {
+	if err := ParallelCtx(ctx, clients, len(missGroups), func(i int) error {
 		k := missGroups[i]
 		rows := scanRows[i]
 		if isEventTable(k.Table) {
@@ -344,7 +423,7 @@ func (e *Executor) ExecTraced(p *Plan, clients int, tr *Trace) (*Result, error) 
 	}); err != nil {
 		return nil, err
 	}
-	if err := Parallel(clients, len(missParts), func(i int) error {
+	if err := ParallelCtx(ctx, clients, len(missParts), func(i int) error {
 		k := missParts[i]
 		gv := getVals[i]
 		if !gv.Found {

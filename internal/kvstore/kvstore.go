@@ -18,6 +18,7 @@
 package kvstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -256,7 +257,14 @@ func (c *Cluster) readReplica(table, pkey string) int {
 // simulateWork charges d of service time. Sub-scheduler-granularity
 // waits busy-spin for accuracy; anything longer sleeps so that many
 // simulated clients can wait concurrently without burning cores.
-func simulateWork(d time.Duration) {
+func simulateWork(d time.Duration) { simulateWorkCtx(context.Background(), d) }
+
+// simulateWorkCtx is simulateWork with an abandonment signal: a sleep
+// is cut short when ctx is cancelled, so a caller holding a deadline is
+// not stuck behind a long simulated disk wait. The service time was
+// already charged to the counters by then — cancellation abandons the
+// wait, it does not refund the work the node performed.
+func simulateWorkCtx(ctx context.Context, d time.Duration) {
 	if d <= 0 {
 		return
 	}
@@ -266,7 +274,16 @@ func simulateWork(d time.Duration) {
 		}
 		return
 	}
-	time.Sleep(d)
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // serve runs f on node idx's engine while holding its service lock and
@@ -283,6 +300,15 @@ func simulateWork(d time.Duration) {
 // serve returns the simulated service time it charged, so batched reads
 // can attribute their exact cost to the calling query (CallStats).
 func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) time.Duration {
+	return c.serveCtx(context.Background(), idx, f)
+}
+
+// serveCtx is serve with cancellable simulated waiting: the service
+// cost is computed and charged to the counters as usual, but the
+// in-process sleep modelling it is abandoned once ctx is cancelled (the
+// node lock releases early — a real server would keep spinning its
+// disk, but nobody is left to wait for it).
+func (c *Cluster) serveCtx(ctx context.Context, idx int, f func(be backend.Backend) (n, coldRows int)) time.Duration {
 	c.roundTrips.Add(1)
 	node := c.nodes[idx]
 	node.mu.Lock()
@@ -296,7 +322,7 @@ func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) t
 		d += time.Duration(cold) * lm.ColdRead
 	}
 	c.simWait.Add(int64(d))
-	simulateWork(d)
+	simulateWorkCtx(ctx, d)
 	return d
 }
 
@@ -447,6 +473,17 @@ func (c *Cluster) MultiGet(refs []KeyRef) []GetResult {
 // simulated wait this call (and only this call) charged to the cluster
 // counters.
 func (c *Cluster) MultiGetStats(refs []KeyRef) ([]GetResult, CallStats) {
+	return c.MultiGetStatsCtx(context.Background(), refs)
+}
+
+// MultiGetStatsCtx is MultiGetStats with cancellation: node visits not
+// yet started when ctx is cancelled are skipped entirely (their results
+// stay zero-valued and nothing is charged for them), and a visit
+// sleeping out its simulated service time wakes early. The caller must
+// check ctx.Err() after the call — results are incomplete once it is
+// non-nil, and a Found=false under cancellation means "unknown", not
+// "absent".
+func (c *Cluster) MultiGetStatsCtx(ctx context.Context, refs []KeyRef) ([]GetResult, CallStats) {
 	out := make([]GetResult, len(refs))
 	var cs CallStats
 	if len(refs) == 0 {
@@ -461,13 +498,16 @@ func (c *Cluster) MultiGetStats(refs []KeyRef) ([]GetResult, CallStats) {
 		wg.Add(1)
 		go func(node int, idxs []int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			reqs := make([]backend.KeyRead, len(idxs))
 			for j, i := range idxs {
 				reqs[j] = refs[i]
 			}
 			tr := c.nodes[node].tr
 			var vals [][]byte
-			d := c.serve(node, func(be backend.Backend) (int, int) {
+			d := c.serveCtx(ctx, node, func(be backend.Backend) (int, int) {
 				cold := 0
 				if tr != nil {
 					vals, cold = tr.MultiGetTier(reqs)
@@ -509,6 +549,13 @@ func (c *Cluster) MultiScan(refs []ScanRef) [][]Row {
 // MultiScanStats is MultiScan with exact per-call attribution (see
 // MultiGetStats).
 func (c *Cluster) MultiScanStats(refs []ScanRef) ([][]Row, CallStats) {
+	return c.MultiScanStatsCtx(context.Background(), refs)
+}
+
+// MultiScanStatsCtx is MultiScanStats with cancellation (see
+// MultiGetStatsCtx): skipped node visits leave nil row slices, so the
+// caller must treat results as incomplete once ctx.Err() is non-nil.
+func (c *Cluster) MultiScanStatsCtx(ctx context.Context, refs []ScanRef) ([][]Row, CallStats) {
 	out := make([][]Row, len(refs))
 	var cs CallStats
 	if len(refs) == 0 {
@@ -523,9 +570,12 @@ func (c *Cluster) MultiScanStats(refs []ScanRef) ([][]Row, CallStats) {
 		wg.Add(1)
 		go func(node int, idxs []int) {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
 			tr := c.nodes[node].tr
 			total := 0
-			d := c.serve(node, func(be backend.Backend) (int, int) {
+			d := c.serveCtx(ctx, node, func(be backend.Backend) (int, int) {
 				cold := 0
 				for _, i := range idxs {
 					var rows []Row

@@ -1,0 +1,713 @@
+// Package server is the HTTP/JSON front end over an hgs.Store: every
+// query method of the store has an endpoint, large snapshot and history
+// responses stream as NDJSON (rows flushed as materialization
+// partitions complete), and the request path composes
+//
+//	limiter -> context deadline -> fetch plan -> streamed response
+//
+// An in-flight limiter sheds overload with 429 before any work starts;
+// admitted requests run under a context carrying the per-request
+// deadline (the ?timeout= query parameter, clamped to Config.MaxTimeout)
+// and the client's cancellation signal, which the store threads through
+// its fetch layer into the simulated cluster. Typed store errors map to
+// HTTP statuses:
+//
+//	hgs.ErrNotLoaded         409 Conflict
+//	hgs.ErrNodeNotFound      404 Not Found
+//	hgs.ErrOutOfRange        416 Requested Range Not Satisfiable
+//	hgs.ErrClosed            503 Service Unavailable
+//	context.DeadlineExceeded 504 Gateway Timeout
+//	context.Canceled         499 (client closed request)
+//
+// The store's observability endpoints (/metrics, /debug/pprof/*,
+// /traces) mount into the same mux, so one port serves queries and
+// telemetry alike. cmd/hgs-server is the binary; hgs-bench -run serve
+// drives a spawned instance closed-loop.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"hgs"
+	"hgs/internal/graph"
+	"hgs/internal/obs"
+)
+
+// Config tunes a Server. The zero value serves with sensible limits.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests; excess
+	// requests are shed immediately with 429 (default 64).
+	MaxInFlight int
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout= parameter (default 5s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 60s).
+	MaxTimeout time.Duration
+	// AnalyticsWorkers sizes the TAF compute pool behind the analytics
+	// endpoints (default 4).
+	AnalyticsWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.AnalyticsWorkers <= 0 {
+		c.AnalyticsWorkers = 4
+	}
+	return c
+}
+
+// StatusClientClosedRequest is the nonstandard status (nginx's 499)
+// reported when the client cancelled mid-request.
+const StatusClientClosedRequest = 499
+
+// Server serves one Store over HTTP.
+type Server struct {
+	store *hgs.Store
+	cfg   Config
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	shed         *obs.Counter
+	deadlineMiss *obs.Counter
+	inflight     *obs.Gauge
+
+	srvMu sync.Mutex
+	ln    net.Listener
+	srv   *http.Server
+}
+
+// New builds a server over store. Its request metrics register into the
+// store's registry, so /metrics reports the serve layer next to the
+// store's own counters.
+func New(store *hgs.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := store.Registry()
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		shed: reg.Counter("hgs_server_shed_total",
+			"Requests rejected with 429 by the in-flight limiter."),
+		deadlineMiss: reg.Counter("hgs_server_deadline_miss_total",
+			"Requests that exceeded their deadline (504)."),
+		inflight: reg.Gauge("hgs_server_inflight",
+			"Requests currently executing."),
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/stats", s.route("stats", s.handleStats))
+	mux.Handle("/v1/timerange", s.route("timerange", s.handleTimeRange))
+	mux.Handle("/v1/snapshot", s.route("snapshot", s.handleSnapshot))
+	mux.Handle("/v1/node", s.route("node", s.handleNode))
+	mux.Handle("/v1/node/history", s.route("node-history", s.handleNodeHistory))
+	mux.Handle("/v1/node/changetimes", s.route("change-times", s.handleChangeTimes))
+	mux.Handle("/v1/khop", s.route("khop", s.handleKHop))
+	mux.Handle("/v1/khop/history", s.route("khop-history", s.handleKHopHistory))
+	mux.Handle("/v1/append", s.route("append", s.handleAppend))
+	mux.Handle("/v1/analytics/top-changers", s.route("top-changers", s.handleTopChangers))
+	// Telemetry rides the same port: the store's debug handler already
+	// serves /metrics, /traces and /debug/pprof/*.
+	dh := store.DebugHandler()
+	mux.Handle("/metrics", dh)
+	mux.Handle("/traces", dh)
+	mux.Handle("/debug/pprof/", dh)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the server's routed handler for embedding.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" for an ephemeral port) and serves in the
+// background until Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	s.srvMu.Lock()
+	defer s.srvMu.Unlock()
+	if s.ln != nil {
+		return "", fmt.Errorf("server: already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.ln, s.srv = ln, srv
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the listener and drains in-flight requests until ctx
+// expires. The store is not closed; that remains the caller's.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.srvMu.Lock()
+	srv := s.srv
+	s.ln, s.srv = nil, nil
+	s.srvMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// httpError carries an explicit status for request-shape problems
+// (missing parameters, bad bodies) that no store sentinel covers.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps an error to its HTTP status: typed store sentinels and
+// context outcomes first, explicit httpErrors next, 500 otherwise.
+func statusOf(err error) int {
+	var he *httpError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, hgs.ErrNodeNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, hgs.ErrOutOfRange):
+		return http.StatusRequestedRangeNotSatisfiable
+	case errors.Is(err, hgs.ErrNotLoaded):
+		return http.StatusConflict
+	case errors.Is(err, hgs.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// statusWriter tracks whether the handler already wrote (streaming
+// responses commit their 200 before the body; a later error can only
+// abort the stream, not change the status).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.status, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers can
+// flush per partition.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// route wraps one endpoint with the serve pipeline: shed over
+// MaxInFlight, derive the request context (client cancellation plus the
+// clamped ?timeout= deadline), run the handler, map its error to a
+// status, and record per-route metrics.
+func (s *Server) route(name string, fn func(http.ResponseWriter, *http.Request) error) http.Handler {
+	reg := s.store.Registry()
+	hist := reg.Histogram("hgs_server_request_seconds",
+		"Wall time of served requests by route.", nil, obs.L("route", name))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Inc()
+			s.count(reg, name, http.StatusTooManyRequests)
+			writeJSONError(w, http.StatusTooManyRequests, "server at capacity")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+
+		timeout := s.cfg.DefaultTimeout
+		if tv := r.URL.Query().Get("timeout"); tv != "" {
+			d, err := time.ParseDuration(tv)
+			if err != nil || d <= 0 {
+				s.count(reg, name, http.StatusBadRequest)
+				writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad timeout %q", tv))
+				return
+			}
+			timeout = d
+		}
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		err := fn(sw, r.WithContext(ctx))
+		hist.Observe(time.Since(start).Seconds())
+
+		code := statusOf(err)
+		if err != nil && !sw.wrote {
+			writeJSONError(sw, code, err.Error())
+		}
+		if err != nil && sw.wrote {
+			code = sw.status // stream already committed its status
+		}
+		if statusOf(err) == http.StatusGatewayTimeout {
+			s.deadlineMiss.Inc()
+		}
+		s.count(reg, name, code)
+	})
+}
+
+func (s *Server) count(reg *obs.Registry, route string, code int) {
+	reg.Counter("hgs_server_requests_total", "Served requests by route and status.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(code))).Inc()
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "code": code})
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// --- parameter parsing --------------------------------------------------
+
+func intParam(r *http.Request, name string) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, badRequest("missing parameter %q", name)
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, badRequest("bad parameter %s=%q", name, v)
+	}
+	return n, nil
+}
+
+func intParamDefault(r *http.Request, name string, def int64) (int64, error) {
+	if r.URL.Query().Get(name) == "" {
+		return def, nil
+	}
+	return intParam(r, name)
+}
+
+// checkRange rejects timepoints outside the indexed history with
+// ErrOutOfRange. The core index clamps instead (a query below the first
+// event returns the empty graph); at the HTTP boundary an explicit 416
+// beats silently serving the clamped answer.
+func (s *Server) checkRange(times ...hgs.Time) error {
+	first, last, err := s.store.TimeRange()
+	if err != nil {
+		return err
+	}
+	for _, tt := range times {
+		if tt < first || tt > last {
+			return fmt.Errorf("t=%d outside indexed range [%d, %d]: %w",
+				tt, first, last, hgs.ErrOutOfRange)
+		}
+	}
+	return nil
+}
+
+// --- response shapes ----------------------------------------------------
+
+// EdgeJSON is one incident edge of a node row. Out reports direction
+// (true: the row's node is the source).
+type EdgeJSON struct {
+	Other hgs.NodeID `json:"other"`
+	Out   bool       `json:"out"`
+	Attrs hgs.Attrs  `json:"attrs,omitempty"`
+}
+
+// NodeJSON is one node state: an NDJSON row of snapshot responses and
+// the body of /v1/node.
+type NodeJSON struct {
+	ID    hgs.NodeID `json:"id"`
+	Attrs hgs.Attrs  `json:"attrs,omitempty"`
+	Edges []EdgeJSON `json:"edges,omitempty"`
+}
+
+// EventJSON is one change, as emitted by history endpoints and accepted
+// by /v1/append.
+type EventJSON struct {
+	Time  hgs.Time   `json:"time"`
+	Kind  string     `json:"kind"`
+	Node  hgs.NodeID `json:"node"`
+	Other hgs.NodeID `json:"other,omitempty"`
+	Key   string     `json:"key,omitempty"`
+	Value string     `json:"value,omitempty"`
+}
+
+var kindNames = map[hgs.EventKind]string{
+	hgs.AddNode: "add-node", hgs.RemoveNode: "remove-node",
+	hgs.AddEdge: "add-edge", hgs.RemoveEdge: "remove-edge",
+	hgs.SetNodeAttr: "set-node-attr", hgs.DelNodeAttr: "del-node-attr",
+	hgs.SetEdgeAttr: "set-edge-attr", hgs.DelEdgeAttr: "del-edge-attr",
+}
+
+var kindValues = func() map[string]hgs.EventKind {
+	m := make(map[string]hgs.EventKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+func nodeJSON(ns *hgs.NodeState) NodeJSON {
+	row := NodeJSON{ID: ns.ID, Attrs: ns.Attrs}
+	if len(ns.Edges) > 0 {
+		row.Edges = make([]EdgeJSON, 0, len(ns.Edges))
+		for k, es := range ns.Edges {
+			var attrs hgs.Attrs
+			if es != nil {
+				attrs = es.Attrs
+			}
+			row.Edges = append(row.Edges, EdgeJSON{Other: k.Other, Out: k.Out, Attrs: attrs})
+		}
+		sort.Slice(row.Edges, func(i, j int) bool {
+			if row.Edges[i].Other != row.Edges[j].Other {
+				return row.Edges[i].Other < row.Edges[j].Other
+			}
+			return row.Edges[i].Out && !row.Edges[j].Out
+		})
+	}
+	return row
+}
+
+func eventJSON(e hgs.Event) EventJSON {
+	return EventJSON{Time: e.Time, Kind: kindNames[e.Kind], Node: e.Node,
+		Other: e.Other, Key: e.Key, Value: e.Value}
+}
+
+func (e EventJSON) event() (hgs.Event, error) {
+	k, ok := kindValues[e.Kind]
+	if !ok {
+		return hgs.Event{}, badRequest("unknown event kind %q", e.Kind)
+	}
+	return hgs.Event{Time: e.Time, Kind: k, Node: e.Node, Other: e.Other,
+		Key: e.Key, Value: e.Value}, nil
+}
+
+func graphJSON(g *hgs.Graph) []NodeJSON {
+	rows := make([]NodeJSON, 0, g.NumNodes())
+	for _, id := range g.NodeIDs() {
+		rows = append(rows, nodeJSON(g.Node(id)))
+	}
+	return rows
+}
+
+// --- endpoints ----------------------------------------------------------
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	st, err := s.store.Stats()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, st)
+}
+
+func (s *Server) handleTimeRange(w http.ResponseWriter, r *http.Request) error {
+	first, last, err := s.store.TimeRange()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]hgs.Time{"first": first, "last": last})
+}
+
+// handleSnapshot streams the snapshot at ?t= as NDJSON, one node row
+// per line, rows written (and flushed) as each horizontal partition
+// finishes materializing — the response starts before the last
+// partition is done and total memory stays bounded by partition size.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) error {
+	tt, err := intParam(r, "t")
+	if err != nil {
+		return err
+	}
+	if err := s.checkRange(hgs.Time(tt)); err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	var started bool
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	err = s.store.StreamSnapshot(hgs.Time(tt), &hgs.FetchOptions{Context: r.Context()},
+		func(sid int, states []*hgs.NodeState) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if !started {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				started = true
+			}
+			for _, ns := range states {
+				if err := enc.Encode(nodeJSON(ns)); err != nil {
+					return err
+				}
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			return nil
+		})
+	return err
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) error {
+	id, err := intParam(r, "id")
+	if err != nil {
+		return err
+	}
+	tt, err := intParam(r, "t")
+	if err != nil {
+		return err
+	}
+	if err := s.checkRange(hgs.Time(tt)); err != nil {
+		return err
+	}
+	ns, err := s.store.NodeCtx(r.Context(), hgs.NodeID(id), hgs.Time(tt))
+	if err != nil {
+		return err
+	}
+	if ns == nil {
+		return fmt.Errorf("node %d at t=%d: %w", id, tt, hgs.ErrNodeNotFound)
+	}
+	return writeJSON(w, nodeJSON(ns))
+}
+
+// handleNodeHistory streams a node's history over [ts, te) as NDJSON:
+// first a line holding the initial state (null when absent), then one
+// line per event.
+func (s *Server) handleNodeHistory(w http.ResponseWriter, r *http.Request) error {
+	id, err := intParam(r, "id")
+	if err != nil {
+		return err
+	}
+	ts, err := intParam(r, "ts")
+	if err != nil {
+		return err
+	}
+	te, err := intParam(r, "te")
+	if err != nil {
+		return err
+	}
+	h, err := s.store.NodeHistoryCtx(r.Context(), hgs.NodeID(id), hgs.Time(ts), hgs.Time(te))
+	if err != nil {
+		return err
+	}
+	if h.Initial == nil && len(h.Events) == 0 {
+		return fmt.Errorf("node %d in [%d, %d): %w", id, ts, te, hgs.ErrNodeNotFound)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	var initial any
+	if h.Initial != nil {
+		initial = nodeJSON(h.Initial)
+	}
+	if err := enc.Encode(map[string]any{"initial": initial, "events": len(h.Events)}); err != nil {
+		return err
+	}
+	fl, _ := w.(http.Flusher)
+	for i, e := range h.Events {
+		if err := enc.Encode(eventJSON(e)); err != nil {
+			return err
+		}
+		if fl != nil && (i+1)%1024 == 0 {
+			fl.Flush()
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleChangeTimes(w http.ResponseWriter, r *http.Request) error {
+	id, err := intParam(r, "id")
+	if err != nil {
+		return err
+	}
+	ts, err := intParam(r, "ts")
+	if err != nil {
+		return err
+	}
+	te, err := intParam(r, "te")
+	if err != nil {
+		return err
+	}
+	times, err := s.store.ChangeTimesCtx(r.Context(), hgs.NodeID(id), hgs.Time(ts), hgs.Time(te))
+	if err != nil {
+		return err
+	}
+	if times == nil {
+		times = []hgs.Time{}
+	}
+	return writeJSON(w, times)
+}
+
+func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) error {
+	id, err := intParam(r, "id")
+	if err != nil {
+		return err
+	}
+	k, err := intParamDefault(r, "k", 1)
+	if err != nil {
+		return err
+	}
+	tt, err := intParam(r, "t")
+	if err != nil {
+		return err
+	}
+	if err := s.checkRange(hgs.Time(tt)); err != nil {
+		return err
+	}
+	g, err := s.store.KHopCtx(r.Context(), hgs.NodeID(id), int(k), hgs.Time(tt))
+	if err != nil {
+		return err
+	}
+	if !g.Has(hgs.NodeID(id)) {
+		return fmt.Errorf("node %d at t=%d: %w", id, tt, hgs.ErrNodeNotFound)
+	}
+	return writeJSON(w, graphJSON(g))
+}
+
+func (s *Server) handleKHopHistory(w http.ResponseWriter, r *http.Request) error {
+	id, err := intParam(r, "id")
+	if err != nil {
+		return err
+	}
+	k, err := intParamDefault(r, "k", 1)
+	if err != nil {
+		return err
+	}
+	ts, err := intParam(r, "ts")
+	if err != nil {
+		return err
+	}
+	te, err := intParam(r, "te")
+	if err != nil {
+		return err
+	}
+	sh, err := s.store.KHopHistoryCtx(r.Context(), hgs.NodeID(id), int(k), hgs.Time(ts), hgs.Time(te))
+	if err != nil {
+		return err
+	}
+	evs := make([]EventJSON, 0, len(sh.Events))
+	for _, e := range sh.Events {
+		evs = append(evs, eventJSON(e))
+	}
+	return writeJSON(w, map[string]any{
+		"root":     sh.Root,
+		"k":        sh.K,
+		"interval": sh.Interval,
+		"members":  sh.Members,
+		"initial":  graphJSON(sh.Initial),
+		"events":   evs,
+	})
+}
+
+// handleAppend ingests new events: POST {"events": [...]}. The request
+// context bounds admission only — a started ingest runs to completion.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return &httpError{code: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	var body struct {
+		Events []EventJSON `json:"events"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return badRequest("bad body: %v", err)
+	}
+	if len(body.Events) == 0 {
+		return badRequest("no events")
+	}
+	events := make([]hgs.Event, 0, len(body.Events))
+	for _, ej := range body.Events {
+		e, err := ej.event()
+		if err != nil {
+			return err
+		}
+		events = append(events, e)
+	}
+	if err := s.store.AppendCtx(r.Context(), events); err != nil {
+		return err
+	}
+	return writeJSON(w, map[string]int{"appended": len(events)})
+}
+
+// handleTopChangers is the analytics entry point: a TAF
+// set-of-temporal-nodes pass over [ts, te) ranking nodes by recorded
+// change count (?limit= bounds the list, default 10).
+func (s *Server) handleTopChangers(w http.ResponseWriter, r *http.Request) error {
+	ts, err := intParam(r, "ts")
+	if err != nil {
+		return err
+	}
+	te, err := intParam(r, "te")
+	if err != nil {
+		return err
+	}
+	limit, err := intParamDefault(r, "limit", 10)
+	if err != nil {
+		return err
+	}
+	son, err := s.store.Analytics(s.cfg.AnalyticsWorkers).SON().
+		Timeslice(hgs.NewInterval(hgs.Time(ts), hgs.Time(te))).Fetch()
+	if err != nil {
+		return err
+	}
+	type changer struct {
+		ID      graph.NodeID `json:"id"`
+		Changes int          `json:"changes"`
+	}
+	var rows []changer
+	for _, nt := range son.Collect() {
+		if n := len(nt.Events()); n > 0 {
+			rows = append(rows, changer{ID: nt.ID(), Changes: n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Changes != rows[j].Changes {
+			return rows[i].Changes > rows[j].Changes
+		}
+		return rows[i].ID < rows[j].ID
+	})
+	if int64(len(rows)) > limit {
+		rows = rows[:limit]
+	}
+	if rows == nil {
+		rows = []changer{}
+	}
+	return writeJSON(w, rows)
+}

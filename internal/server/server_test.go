@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hgs"
+	"hgs/internal/workload"
+)
+
+// testServer builds an in-memory store over a small synthetic history
+// and serves it on an ephemeral port.
+func testServer(t *testing.T, cfg Config) (*Server, *hgs.Store, string) {
+	t.Helper()
+	store, err := hgs.Open(hgs.Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 300, EdgesPerNode: 3, Seed: 11})
+	if err := store.Load(events); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	srv := New(store, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, store, addr
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	scn := bufio.NewScanner(resp.Body)
+	scn.Buffer(make([]byte, 64<<10), 8<<20)
+	for scn.Scan() {
+		sb.WriteString(scn.Text())
+		sb.WriteString("\n")
+	}
+	return resp, sb.String()
+}
+
+func TestStatusMapping(t *testing.T) {
+	_, store, addr := testServer(t, Config{})
+	first, last, err := store.TimeRange()
+	if err != nil {
+		t.Fatalf("time range: %v", err)
+	}
+	mid := (first + last) / 2
+
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"ok", fmt.Sprintf("http://%s/v1/node?id=0&t=%d", addr, mid), http.StatusOK},
+		{"missing-param", fmt.Sprintf("http://%s/v1/node?id=0", addr), http.StatusBadRequest},
+		{"bad-param", fmt.Sprintf("http://%s/v1/node?id=zap&t=%d", addr, mid), http.StatusBadRequest},
+		{"bad-timeout", fmt.Sprintf("http://%s/v1/node?id=0&t=%d&timeout=never", addr, mid), http.StatusBadRequest},
+		{"node-not-found", fmt.Sprintf("http://%s/v1/node?id=999999&t=%d", addr, mid), http.StatusNotFound},
+		{"out-of-range", fmt.Sprintf("http://%s/v1/node?id=0&t=%d", addr, last+10_000), http.StatusRequestedRangeNotSatisfiable},
+		{"deadline", fmt.Sprintf("http://%s/v1/snapshot?t=%d&timeout=1ns", addr, mid), http.StatusGatewayTimeout},
+		{"khop-not-found", fmt.Sprintf("http://%s/v1/khop?id=999999&t=%d", addr, mid), http.StatusNotFound},
+		{"timerange", fmt.Sprintf("http://%s/v1/timerange", addr), http.StatusOK},
+		{"stats", fmt.Sprintf("http://%s/v1/stats", addr), http.StatusOK},
+		{"append-get", fmt.Sprintf("http://%s/v1/append", addr), http.StatusMethodNotAllowed},
+		{"metrics", fmt.Sprintf("http://%s/metrics", addr), http.StatusOK},
+	}
+	for _, tc := range cases {
+		resp, body := get(t, tc.url)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d want %d (body %.120s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+func TestClosedStoreMapsTo503(t *testing.T) {
+	_, store, addr := testServer(t, Config{})
+	if err := store.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	resp, _ := get(t, fmt.Sprintf("http://%s/v1/node?id=0&t=50", addr))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query after Close: got %d want 503", resp.StatusCode)
+	}
+}
+
+// TestSnapshotStreamsAllRows checks the NDJSON snapshot against the
+// in-process retrieval: same node count, one valid JSON row per line.
+func TestSnapshotStreamsAllRows(t *testing.T) {
+	_, store, addr := testServer(t, Config{})
+	_, last, _ := store.TimeRange()
+	g, err := store.Snapshot(last)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	resp, body := get(t, fmt.Sprintf("http://%s/v1/snapshot?t=%d", addr, last))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot endpoint: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("no streamed rows")
+	}
+	if len(lines) != g.NumNodes() {
+		t.Fatalf("streamed %d rows, snapshot has %d nodes", len(lines), g.NumNodes())
+	}
+	seen := make(map[hgs.NodeID]bool)
+	for _, ln := range lines {
+		var row NodeJSON
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("bad NDJSON row %q: %v", ln, err)
+		}
+		if seen[row.ID] {
+			t.Fatalf("node %d emitted twice", row.ID)
+		}
+		seen[row.ID] = true
+		if !g.Has(row.ID) {
+			t.Fatalf("streamed node %d not in snapshot", row.ID)
+		}
+	}
+}
+
+// TestShedding fills every in-flight slot directly and checks the next
+// request is rejected with 429 without touching the store.
+func TestShedding(t *testing.T) {
+	srv, _, addr := testServer(t, Config{MaxInFlight: 2})
+	srv.sem <- struct{}{}
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem; <-srv.sem }()
+	resp, body := get(t, fmt.Sprintf("http://%s/v1/timerange", addr))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full limiter: got %d want 429 (body %s)", resp.StatusCode, body)
+	}
+	if srv.shed.Value() == 0 {
+		t.Fatalf("shed counter not incremented")
+	}
+}
+
+// TestConcurrentClients drives the server with more clients than
+// in-flight slots: every request must finish with a sanctioned status
+// and at least one must be shed.
+func TestConcurrentClients(t *testing.T) {
+	_, store, addr := testServer(t, Config{MaxInFlight: 2})
+	_, last, _ := store.TimeRange()
+	const clients, per = 8, 30
+	var wg sync.WaitGroup
+	codes := make(chan int, clients*per)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := http.Get(fmt.Sprintf("http://%s/v1/snapshot?t=%d", addr, last))
+				if err != nil {
+					codes <- -1
+					continue
+				}
+				scn := bufio.NewScanner(resp.Body)
+				scn.Buffer(make([]byte, 64<<10), 8<<20)
+				for scn.Scan() {
+				}
+				resp.Body.Close()
+				codes <- resp.StatusCode
+			}
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	var ok, shed int
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if ok == 0 {
+		t.Fatalf("no request succeeded")
+	}
+	if shed == 0 {
+		t.Fatalf("no request shed with %d clients over 2 slots", clients)
+	}
+}
+
+func TestAppendAndHistory(t *testing.T) {
+	_, store, addr := testServer(t, Config{})
+	_, last, _ := store.TimeRange()
+	body := fmt.Sprintf(`{"events":[
+		{"time":%d,"kind":"add-node","node":77777},
+		{"time":%d,"kind":"set-node-attr","node":77777,"key":"name","value":"late"},
+		{"time":%d,"kind":"add-edge","node":77777,"other":0}]}`,
+		last+1, last+2, last+3)
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/append", addr), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d", resp.StatusCode)
+	}
+	// The appended node is queryable through the API.
+	r2, out := get(t, fmt.Sprintf("http://%s/v1/node?id=77777&t=%d", addr, last+3))
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("node after append: %d", r2.StatusCode)
+	}
+	if !strings.Contains(out, `"name":"late"`) {
+		t.Fatalf("appended attr missing: %s", out)
+	}
+	r3, hist := get(t, fmt.Sprintf("http://%s/v1/node/history?id=77777&ts=%d&te=%d", addr, last, last+10))
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("history after append: %d", r3.StatusCode)
+	}
+	if got := strings.Count(hist, "\n"); got != 4 { // header line + 3 events
+		t.Fatalf("history lines: got %d want 4 (%s)", got, hist)
+	}
+	// The store handle agrees with what HTTP served.
+	times, err := store.ChangeTimes(77777, last, last+10)
+	if err != nil || len(times) != 3 {
+		t.Fatalf("ChangeTimes after append: %v %v", times, err)
+	}
+	// Unknown kinds are rejected before touching the store.
+	bad, err := http.Post(fmt.Sprintf("http://%s/v1/append", addr), "application/json",
+		strings.NewReader(`{"events":[{"time":1,"kind":"explode","node":1}]}`))
+	if err != nil {
+		t.Fatalf("bad append: %v", err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: got %d want 400", bad.StatusCode)
+	}
+}
+
+func TestChangeTimesAndAnalytics(t *testing.T) {
+	_, store, addr := testServer(t, Config{})
+	first, last, _ := store.TimeRange()
+	resp, body := get(t, fmt.Sprintf("http://%s/v1/node/changetimes?id=0&ts=%d&te=%d", addr, first, last+1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changetimes: %d", resp.StatusCode)
+	}
+	var times []hgs.Time
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &times); err != nil {
+		t.Fatalf("changetimes body: %v", err)
+	}
+	resp2, body2 := get(t, fmt.Sprintf("http://%s/v1/analytics/top-changers?ts=%d&te=%d&limit=5", addr, first, last+1))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("top-changers: %d", resp2.StatusCode)
+	}
+	var rows []struct {
+		ID      hgs.NodeID `json:"id"`
+		Changes int        `json:"changes"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body2)), &rows); err != nil {
+		t.Fatalf("top-changers body: %v", err)
+	}
+	if len(rows) == 0 || len(rows) > 5 {
+		t.Fatalf("top-changers rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Changes > rows[i-1].Changes {
+			t.Fatalf("top-changers not sorted: %v", rows)
+		}
+	}
+}

@@ -176,6 +176,17 @@ func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
 				out.Info = append(out.Info, fmt.Sprintf(
 					"%s: p99 %.4fs -> %.4fs (wall clock; not gated)", name, b.P99Seconds, p.P99Seconds))
 			}
+			// Serve-path throughput and shedding: wall-clock-dependent
+			// like the quantiles, so surfaced but never gated.
+			if b.QPS > 0 && p.QPS < b.QPS/2 {
+				out.Info = append(out.Info, fmt.Sprintf(
+					"%s: QPS %.0f -> %.0f (wall clock; not gated)", name, b.QPS, p.QPS))
+			}
+			if b.QPS > 0 || p.QPS > 0 {
+				out.Info = append(out.Info, fmt.Sprintf(
+					"%s: serve pass qps=%.0f shed=%.1f%% deadline-miss=%.1f%%",
+					name, p.QPS, 100*p.ShedRate, 100*p.DeadlineMissRate))
+			}
 		}
 	}
 	for k := range base {
