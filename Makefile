@@ -10,7 +10,7 @@ GO ?= go
 # incidental drift, not for untested subsystems).
 COVER_FLOOR ?= 60.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel bench-serve profile
+.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel bench-serve bench-rebalance profile
 
 ci: vet build test test-race fmt-check
 
@@ -85,6 +85,13 @@ bench-parallel:
 # -json feeds scripts/perfdiff like every other experiment).
 bench-serve:
 	$(GO) run ./cmd/hgs-bench -run serve
+
+# Node lifecycle: query latency during a live node-add (partitions
+# streamed under the rebalance rate limit), rows moved vs the
+# consistent-hashing movement bound, and the degraded-read rate with a
+# replica down — every phase byte-identical to the healthy baseline.
+bench-rebalance:
+	$(GO) run ./cmd/hgs-bench -run rebalance
 
 # CPU and allocation profiles over the Figure 11 bench workload
 # (snapshot retrieval with parallel fetch — the read hot path). Inspect

@@ -34,6 +34,13 @@
 //
 //	hgs-inspect -dataset wiki -nodes 10000 -trace
 //
+// -topology appends the placement state — per-node virtual-node
+// count, key share, stored bytes, pending hinted writes, and any
+// under-replicated partitions — for the freshly built or reattached
+// store:
+//
+//	hgs-inspect -data /tmp/hgs-wiki -topology
+//
 // -metrics replaces the human report with the store's complete metric
 // state in the Prometheus text exposition format — the same bytes the
 // embedded debug server serves on /metrics — after running the usual
@@ -72,6 +79,7 @@ func main() {
 	backup := flag.String("backup", "", "after inspecting, copy the quiesced store into this fresh directory")
 	trace := flag.Bool("trace", false, "record per-query plan traces and print each probe's plan/cache/KV breakdown")
 	metrics := flag.Bool("metrics", false, "dump the store's metrics in Prometheus text format on stdout instead of the human report")
+	topology := flag.Bool("topology", false, "print the placement topology: per-node vnode count, key share, stored bytes, under-replicated partitions")
 	flag.Parse()
 
 	// With -metrics the human report is silenced and stdout carries only
@@ -133,6 +141,7 @@ func main() {
 			fmt.Fprintf(banner, "reattached to existing index in %s (engine %s; no rebuild; dataset/index flags come from the store)\n",
 				*dataDir, probe.Engine())
 			inspect(probe, report)
+			dumpTopology(probe, *topology, os.Stdout)
 			dumpMetrics(probe, *metrics)
 			runBackup(probe, *backup)
 			if err := probe.Close(); err != nil {
@@ -176,6 +185,7 @@ func main() {
 		log.Fatal(err)
 	}
 	inspect(store, report)
+	dumpTopology(store, *topology, os.Stdout)
 	dumpMetrics(store, *metrics)
 	runBackup(store, *backup)
 	if err := store.Close(); err != nil {
@@ -192,6 +202,42 @@ func runBackup(store *hgs.Store, dir string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("backup    : copied store into %s (open it with -data %s)\n", dir, dir)
+}
+
+// dumpTopology prints the placement state when -topology is set: one
+// line per storage node (vnode count, key share, stored bytes, pending
+// hints) plus the partition totals. Works on a freshly built store and
+// on a reattached -data directory alike.
+func dumpTopology(store *hgs.Store, enabled bool, out io.Writer) {
+	if !enabled {
+		return
+	}
+	info, err := store.Topology()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "topology  : %d nodes, r=%d, %d vnodes/node, %d partitions",
+		len(info.Nodes), info.Replication, info.VirtualNodes, info.Partitions)
+	if info.Rebalancing {
+		fmt.Fprint(out, " (rebalancing)")
+	}
+	fmt.Fprintln(out)
+	for _, n := range info.Nodes {
+		state := "up"
+		if n.Down {
+			state = "DOWN"
+		}
+		fmt.Fprintf(out, "  node %-4d: %3d vnodes  %5.1f%% key share  %8d KB stored  %s",
+			n.ID, n.VirtualNodes, 100*n.KeyShare, n.StoredBytes/1024, state)
+		if n.PendingHints > 0 {
+			fmt.Fprintf(out, "  (%d hinted writes pending)", n.PendingHints)
+		}
+		fmt.Fprintln(out)
+	}
+	if info.UnderReplicated > 0 {
+		fmt.Fprintf(out, "  UNDER-REPLICATED: %d of %d partitions below r=%d\n",
+			info.UnderReplicated, info.Partitions, info.Replication)
+	}
 }
 
 // dumpMetrics writes the Prometheus exposition to stdout when -metrics

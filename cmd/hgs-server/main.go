@@ -36,6 +36,7 @@ func main() {
 		data        = flag.String("data", "", "durable store directory (empty: in-memory)")
 		engine      = flag.String("engine", "", "storage engine: memory, disk, tiered (default: auto)")
 		machines    = flag.Int("machines", 0, "storage cluster size (new stores)")
+		replication = flag.Int("replication", 0, "replicas per partition (new stores; r>=2 keeps queries alive through /admin/node/fail)")
 		gen         = flag.Int("gen", 0, "load a synthetic history of this many nodes if the store is empty")
 		cacheMB     = flag.Int64("cache-mb", 0, "decoded-delta cache budget in MiB (0: default, <0: off)")
 		tracePlans  = flag.Bool("trace", false, "keep recent plan traces (served on /traces)")
@@ -54,11 +55,12 @@ func main() {
 		cacheBytes = *cacheMB << 20
 	}
 	store, err := hgs.Open(hgs.Options{
-		DataDir:    *data,
-		Engine:     hgs.StorageEngine(*engine),
-		Machines:   *machines,
-		CacheBytes: cacheBytes,
-		TracePlans: *tracePlans,
+		DataDir:     *data,
+		Engine:      hgs.StorageEngine(*engine),
+		Machines:    *machines,
+		Replication: *replication,
+		CacheBytes:  cacheBytes,
+		TracePlans:  *tracePlans,
 	})
 	if err != nil {
 		log.Fatalf("open store: %v", err)

@@ -193,6 +193,7 @@ import (
 	"hgs/internal/kvstore"
 	"hgs/internal/obs"
 	"hgs/internal/partition"
+	"hgs/internal/ring"
 	"hgs/internal/sparklite"
 	"hgs/internal/taf"
 	"hgs/internal/temporal"
@@ -329,6 +330,16 @@ type Options struct {
 	Machines int
 	// Replication is the storage replication factor r (default 1).
 	Replication int
+	// VirtualNodes is the number of points each storage node projects
+	// onto the consistent-hash placement ring (default 64). Placement
+	// depends on it, so the value is persisted with a DataDir store and
+	// an explicitly conflicting value is rejected on reopen.
+	VirtualNodes int
+	// RebalanceRate caps the background data streaming of a topology
+	// change (AddStorageNode/RemoveStorageNode) in bytes per second, the
+	// CompactRate convention: zero picks the 8 MiB/s default, negative
+	// disables the limit. A runtime knob, not persisted.
+	RebalanceRate int64
 	// SimulateLatency enables the storage latency model (off for unit
 	// tests, on for benchmarks).
 	SimulateLatency bool
@@ -484,23 +495,52 @@ func (s *Store) beginOp() error {
 
 func (s *Store) endOp() { s.active.Done() }
 
-// clusterMeta records the cluster shape and storage engine a data
+// clusterMeta records the cluster topology and storage engine a data
 // directory was created with, so a reopen cannot silently re-shard
 // persisted partitions or misread them through the wrong engine.
+// Placement names the partition-to-node mapping scheme ("ring" is the
+// only current one); Nodes is the explicit member set — a topology
+// change (AddStorageNode/RemoveStorageNode) rewrites it at the
+// rebalancer's commit point — and VirtualNodes the ring's per-node
+// point count, both of which the placement depends on.
 type clusterMeta struct {
-	Machines    int    `json:"machines"`
-	Replication int    `json:"replication"`
-	Engine      string `json:"engine,omitempty"`
+	Machines     int    `json:"machines"`
+	Replication  int    `json:"replication"`
+	Engine       string `json:"engine,omitempty"`
+	Placement    string `json:"placement,omitempty"`
+	Nodes        []int  `json:"nodes,omitempty"`
+	VirtualNodes int    `json:"virtual_nodes,omitempty"`
 }
 
-// resolveClusterMeta reconciles the requested shape and engine with
+// placementRing is the clusterMeta.Placement value of the
+// consistent-hash ring scheme.
+const placementRing = "ring"
+
+// resolvedMeta is resolveClusterMeta's outcome: the topology to open
+// with, and whether cluster.json still needs to be written.
+type resolvedMeta struct {
+	nodes       []int
+	replication int
+	vnodes      int
+	engine      StorageEngine
+	needsWrite  bool
+}
+
+// resolveClusterMeta reconciles the requested topology and engine with
 // those stored in dataDir. Explicit options conflicting with persisted
 // values are an error; unset options adopt them (directories from
 // before the engine was recorded read as EngineDisk). needsWrite
 // reports that no shape file exists yet — it is written by
 // writeClusterMeta only after the store opens successfully, so a failed
 // Open cannot stamp a shape into an otherwise empty directory.
-func resolveClusterMeta(dataDir string, opts Options, machines, replication int) (m, r int, eng StorageEngine, needsWrite bool, err error) {
+//
+// Directories from before consistent-hash placement (no "placement"
+// field) are refused outright: their partitions were placed by node
+// modulo, so opening them through the ring would silently misroute
+// every read to nodes that do not hold the data. Rebuild such a store
+// by re-loading its event history.
+func resolveClusterMeta(dataDir string, opts Options, machines, replication, vnodes int) (resolvedMeta, error) {
+	fail := func(err error) (resolvedMeta, error) { return resolvedMeta{}, err }
 	requested := opts.Engine
 	if requested == EngineAuto {
 		requested = EngineDisk
@@ -511,44 +551,77 @@ func resolveClusterMeta(dataDir string, opts Options, machines, replication int)
 	case err == nil:
 		var cm clusterMeta
 		if err := json.Unmarshal(blob, &cm); err != nil {
-			return 0, 0, "", false, fmt.Errorf("hgs: corrupt %s: %w", path, err)
+			return fail(fmt.Errorf("hgs: corrupt %s: %w", path, err))
 		}
-		if cm.Machines < 1 || cm.Replication < 1 {
-			return 0, 0, "", false, fmt.Errorf("hgs: corrupt %s: invalid shape m=%d r=%d", path, cm.Machines, cm.Replication)
+		if cm.Placement == "" {
+			return fail(fmt.Errorf("hgs: data dir %s predates consistent-hash placement; its partitions were placed by node modulo and cannot be read through the ring — rebuild the store from its event history", dataDir))
+		}
+		if cm.Placement != placementRing {
+			return fail(fmt.Errorf("hgs: corrupt %s: unknown placement %q", path, cm.Placement))
+		}
+		if cm.Machines < 1 || cm.Replication < 1 || len(cm.Nodes) != cm.Machines || cm.VirtualNodes < 1 {
+			return fail(fmt.Errorf("hgs: corrupt %s: invalid topology m=%d r=%d nodes=%v vnodes=%d", path, cm.Machines, cm.Replication, cm.Nodes, cm.VirtualNodes))
 		}
 		if opts.Machines > 0 && opts.Machines != cm.Machines {
-			return 0, 0, "", false, fmt.Errorf("hgs: data dir %s was created with %d machines, not %d", dataDir, cm.Machines, opts.Machines)
+			return fail(fmt.Errorf("hgs: data dir %s was created with %d machines, not %d", dataDir, cm.Machines, opts.Machines))
 		}
 		if opts.Replication > 0 && opts.Replication != cm.Replication {
-			return 0, 0, "", false, fmt.Errorf("hgs: data dir %s was created with replication %d, not %d", dataDir, cm.Replication, opts.Replication)
+			return fail(fmt.Errorf("hgs: data dir %s was created with replication %d, not %d", dataDir, cm.Replication, opts.Replication))
+		}
+		if opts.VirtualNodes > 0 && opts.VirtualNodes != cm.VirtualNodes {
+			return fail(fmt.Errorf("hgs: data dir %s was created with %d virtual nodes, not %d", dataDir, cm.VirtualNodes, opts.VirtualNodes))
 		}
 		stored := StorageEngine(cm.Engine)
 		if stored == EngineAuto {
 			stored = EngineDisk // legacy directory, engine not recorded
 		}
 		if !stored.valid() || stored == EngineMemory {
-			return 0, 0, "", false, fmt.Errorf("hgs: corrupt %s: invalid engine %q", path, cm.Engine)
+			return fail(fmt.Errorf("hgs: corrupt %s: invalid engine %q", path, cm.Engine))
 		}
 		if opts.Engine != EngineAuto && requested != stored {
-			return 0, 0, "", false, fmt.Errorf("hgs: data dir %s was created with the %s engine, not %s", dataDir, stored, requested)
+			return fail(fmt.Errorf("hgs: data dir %s was created with the %s engine, not %s", dataDir, stored, requested))
 		}
-		return cm.Machines, cm.Replication, stored, false, nil
+		return resolvedMeta{
+			nodes:       cm.Nodes,
+			replication: cm.Replication,
+			vnodes:      cm.VirtualNodes,
+			engine:      stored,
+		}, nil
 	case errors.Is(err, os.ErrNotExist):
-		return machines, replication, requested, true, nil
+		nodes := make([]int, machines)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		return resolvedMeta{
+			nodes:       nodes,
+			replication: replication,
+			vnodes:      vnodes,
+			engine:      requested,
+			needsWrite:  true,
+		}, nil
 	default:
-		return 0, 0, "", false, fmt.Errorf("hgs: %w", err)
+		return fail(fmt.Errorf("hgs: %w", err))
 	}
 }
 
-// writeClusterMeta persists the shape durably: tmp file + fsync +
+// writeClusterMeta persists the topology durably: tmp file + fsync +
 // rename + directory fsync, so a crash leaves either no shape file or
 // a complete one — a partial cluster.json would silently re-shard the
-// store on the next open.
-func writeClusterMeta(dataDir string, machines, replication int, engine StorageEngine) error {
+// store on the next open. The same path commits topology changes: the
+// rebalancer rewrites the node set here before dropping any
+// relinquished partition copy.
+func writeClusterMeta(dataDir string, nodes []int, replication, vnodes int, engine StorageEngine) error {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
 		return fmt.Errorf("hgs: %w", err)
 	}
-	blob, _ := json.Marshal(clusterMeta{Machines: machines, Replication: replication, Engine: string(engine)})
+	blob, _ := json.Marshal(clusterMeta{
+		Machines:     len(nodes),
+		Replication:  replication,
+		Engine:       string(engine),
+		Placement:    placementRing,
+		Nodes:        nodes,
+		VirtualNodes: vnodes,
+	})
 	path := filepath.Join(dataDir, "cluster.json")
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -646,6 +719,10 @@ func Open(opts Options) (*Store, error) {
 	if replication < 1 {
 		replication = 1
 	}
+	vnodes := opts.VirtualNodes
+	if vnodes < 1 {
+		vnodes = ring.DefaultVirtualNodes
+	}
 	lat := kvstore.LatencyModel{}
 	if opts.SimulateLatency {
 		lat = kvstore.DefaultLatency()
@@ -677,12 +754,23 @@ func Open(opts Options) (*Store, error) {
 		writeShape bool
 		engine     = EngineMemory
 		cacheKey   string
+		commit     func(nodes []int) error
 	)
+	nodes := make([]int, machines)
+	for i := range nodes {
+		nodes[i] = i
+	}
 	if opts.DataDir != "" {
-		var err error
-		machines, replication, engine, writeShape, err = resolveClusterMeta(opts.DataDir, opts, machines, replication)
+		rm, err := resolveClusterMeta(opts.DataDir, opts, machines, replication, vnodes)
 		if err != nil {
 			return nil, err
+		}
+		nodes, replication, vnodes, engine, writeShape = rm.nodes, rm.replication, rm.vnodes, rm.engine, rm.needsWrite
+		// Topology changes persist the new node set at the rebalancer's
+		// commit point, before any relinquished copy is dropped.
+		dataDir, eng, r, vn := opts.DataDir, engine, replication, vnodes
+		commit = func(nodes []int) error {
+			return writeClusterMeta(dataDir, nodes, r, vn, eng)
 		}
 		switch engine {
 		case EngineDisk:
@@ -699,7 +787,13 @@ func Open(opts Options) (*Store, error) {
 		cacheKey, cfg.Cache = acquireSharedCache(opts.DataDir, core.CacheBudget(opts.CacheBytes))
 	}
 	cluster, err := kvstore.Open(kvstore.Config{
-		Machines: machines, Replication: replication, Latency: lat, Backend: factory,
+		Nodes:            nodes,
+		Replication:      replication,
+		VirtualNodes:     vnodes,
+		RebalanceRate:    opts.RebalanceRate,
+		Latency:          lat,
+		Backend:          factory,
+		OnTopologyCommit: commit,
 	})
 	if err != nil {
 		releaseSharedCache(cacheKey)
@@ -713,7 +807,7 @@ func Open(opts Options) (*Store, error) {
 		return nil, err
 	}
 	if writeShape {
-		if err := writeClusterMeta(opts.DataDir, machines, replication, engine); err != nil {
+		if err := writeClusterMeta(opts.DataDir, nodes, replication, vnodes, engine); err != nil {
 			cluster.Close()
 			releaseSharedCache(cacheKey)
 			return nil, err
@@ -843,7 +937,7 @@ func (s *Store) Backup(dir string) error {
 	// The metadata is written last: a backup without cluster.json is
 	// visibly incomplete rather than silently openable.
 	cfg := s.cluster.Config()
-	return writeClusterMeta(dir, cfg.Machines, cfg.Replication, s.engine)
+	return writeClusterMeta(dir, cfg.Nodes, cfg.Replication, cfg.VirtualNodes, s.engine)
 }
 
 // Snapshot retrieves the graph as of time tt.
@@ -1026,6 +1120,120 @@ func (s *Store) TGI() *core.TGI { return s.tgi }
 
 // Cluster exposes the backing store (metrics, latency toggling).
 func (s *Store) Cluster() *kvstore.Cluster { return s.cluster }
+
+// Topology types and fault injection, re-exported from the storage
+// layer so callers stay within the hgs surface.
+type (
+	// TopologyInfo describes the cluster placement: per-node ring
+	// weight, health and hints, plus under-replicated partitions.
+	TopologyInfo = kvstore.TopologyInfo
+	// StorageNodeInfo is one storage node's entry in a TopologyInfo.
+	StorageNodeInfo = kvstore.NodeInfo
+	// Fault is a per-node fault-injection profile: visits error with
+	// probability ErrRate and are slowed by ExtraLatency.
+	Fault = kvstore.Fault
+)
+
+// Topology sentinels, matched with errors.Is.
+var (
+	// ErrUnknownStorageNode: a topology or fault operation named a
+	// storage node that is not in the cluster (HTTP 404).
+	ErrUnknownStorageNode = kvstore.ErrUnknownNode
+	// ErrDuplicateStorageNode: AddStorageNode named an existing node
+	// (HTTP 409).
+	ErrDuplicateStorageNode = kvstore.ErrDuplicateNode
+	// ErrRebalancing: a topology change is already streaming (HTTP 409).
+	ErrRebalancing = kvstore.ErrRebalancing
+	// ErrTooFewNodes: removal would leave fewer nodes than the
+	// replication factor (HTTP 409).
+	ErrTooFewNodes = kvstore.ErrTooFewNodes
+)
+
+// Topology inspects the storage cluster: ring share, health, stored
+// bytes and pending hints per node, plus how many partitions currently
+// have a down replica. An inspection sweep over the node engines, not
+// a hot path.
+func (s *Store) Topology() (TopologyInfo, error) {
+	if err := s.beginOp(); err != nil {
+		return TopologyInfo{}, err
+	}
+	defer s.endOp()
+	return s.cluster.Topology(), nil
+}
+
+// AddStorageNode grows the cluster by one node and starts the
+// background rebalance that streams it the partitions the ring now
+// assigns to it (rate-limited by Options.RebalanceRate). Queries keep
+// running throughout: every partition is served by its old or new
+// owner until its handoff commits. On a durable store the new topology
+// is persisted before any old copy is dropped. Returns once the
+// migration is underway; WaitRebalance blocks until it completes.
+func (s *Store) AddStorageNode(id int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.cluster.AddNode(id)
+}
+
+// RemoveStorageNode decommissions a storage node: the background
+// rebalance streams every partition it owns to the post-removal
+// owners, then closes and drops the node. Refuses to shrink below the
+// replication factor.
+func (s *Store) RemoveStorageNode(id int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.cluster.RemoveNode(id)
+}
+
+// FailStorageNode marks a storage node down: reads fail over to the
+// remaining replicas (Stats().StoreMetrics counts DegradedReads and
+// Failovers), writes queue hinted handoffs. The node's data is kept.
+func (s *Store) FailStorageNode(id int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.cluster.FailNode(id)
+}
+
+// ReviveStorageNode brings a failed node back, replaying the writes it
+// missed before it serves again.
+func (s *Store) ReviveStorageNode(id int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.cluster.ReviveNode(id)
+}
+
+// InjectFault installs (nil clears) a fault profile on a storage node:
+// unlike FailStorageNode the node keeps serving, but visits error with
+// the configured probability and carry the configured extra latency —
+// the knob degraded-read tests and benchmarks drive.
+func (s *Store) InjectFault(id int, f *Fault) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.cluster.InjectFault(id, f)
+}
+
+// Rebalancing reports whether a background topology migration is
+// running.
+func (s *Store) Rebalancing() bool { return s.cluster.Rebalancing() }
+
+// WaitRebalance blocks until the in-flight topology migration (if any)
+// completes and returns its outcome.
+func (s *Store) WaitRebalance() error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	return s.cluster.WaitRebalance()
+}
 
 // Analytics opens a TAF session with the given number of compute
 // workers (the paper's Spark cluster size).

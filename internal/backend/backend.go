@@ -161,6 +161,16 @@ type TierReader interface {
 	ScanPrefixTier(table, pkey, prefix string) (rows []Row, coldRows int)
 }
 
+// TableLister is an optional interface of engines that can enumerate
+// the tables they hold rows for. The cluster's rebalancer walks
+// Tables + PartitionKeys to build its move plan when the ring changes;
+// engines without it are skipped (their data stays put and keeps being
+// served through the pre-change routing, so correctness is preserved —
+// only movement is).
+type TableLister interface {
+	Tables() []string
+}
+
 // Backuper is an optional interface of durable engines that can write a
 // consistent copy of their on-disk state into a fresh directory. Backup
 // must tolerate concurrent foreground operations: the engine snapshots

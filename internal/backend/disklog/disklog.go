@@ -792,6 +792,20 @@ func (s *Store) PartitionKeys(table string) []string {
 	return out
 }
 
+// Tables returns the sorted table names holding at least one partition
+// (backend.TableLister).
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mustOpenLocked()
+	out := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // StoredBytes returns the logical live bytes held by this engine.
 func (s *Store) StoredBytes() int64 {
 	s.mu.Lock()

@@ -169,6 +169,17 @@ func (s *Store) HasPartition(table, pkey string) bool {
 	return ok
 }
 
+// Tables returns the sorted table names holding at least one partition
+// (backend.TableLister).
+func (s *Store) Tables() []string {
+	out := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // PartitionKeys returns the sorted partition keys of a table.
 func (s *Store) PartitionKeys(table string) []string {
 	t, ok := s.tables[table]

@@ -885,6 +885,29 @@ func (s *Store) PartitionKeys(table string) []string {
 	return out
 }
 
+// Tables returns the union of both tiers' table names, sorted
+// (backend.TableLister).
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	s.mustOpenLocked()
+	hot := s.hot.Tables()
+	s.mu.Unlock()
+	cold := s.cold.Tables()
+	seen := make(map[string]struct{}, len(hot)+len(cold))
+	out := make([]string, 0, len(hot)+len(cold))
+	for _, t := range hot {
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	for _, t := range cold {
+		if _, dup := seen[t]; !dup {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // StoredBytes returns the logical live bytes across both tiers,
 // counting rows resident in both exactly once. It waits out an
 // in-flight flush chunk so the accounting is never torn.

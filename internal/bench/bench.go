@@ -122,6 +122,15 @@ type PassMetrics struct {
 	QPS              float64 `json:"qps,omitempty"`
 	ShedRate         float64 `json:"shed_rate,omitempty"`
 	DeadlineMissRate float64 `json:"deadline_miss_rate,omitempty"`
+	// RowsMoved and RelocatedShare are reported by the rebalance
+	// experiment's node-add phase: rows streamed to their new owners and
+	// the fraction of partitions whose owner set changed. Deterministic
+	// for a fixed scale, so perfdiff ratchets RowsMoved like the KV
+	// counts. DegradedReads counts reads answered off the preferred
+	// replica (informational: a function of failure timing, not cost).
+	RowsMoved      int64   `json:"rows_moved,omitempty"`
+	RelocatedShare float64 `json:"relocated_share,omitempty"`
+	DegradedReads  int64   `json:"degraded_reads,omitempty"`
 }
 
 // Result is one regenerated table or figure.

@@ -321,12 +321,63 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestRebalanceSmoke is the acceptance bar of the node-lifecycle
+// subsystem, run by `make test-full`: a node joins under live traffic
+// and every phase's query answers digest equal to the healthy baseline
+// (no query observes a missing partition mid-handoff), the migration
+// stays within ~2x the consistent-hashing movement bound, and a
+// replica-down phase answers via degraded reads.
+func TestRebalanceSmoke(t *testing.T) {
+	skipIfShort(t)
+	passes := RebalancePasses(tinyScale())
+	if len(passes) != 3 {
+		t.Fatalf("got %d passes, want 3", len(passes))
+	}
+	base, add, degraded := passes[0], passes[1], passes[2]
+	if base.Label != "baseline" || add.Label != "node-add" || degraded.Label != "degraded" {
+		t.Fatalf("pass labels: %q %q %q", base.Label, add.Label, degraded.Label)
+	}
+	for _, p := range passes {
+		if p.Digest != base.Digest {
+			t.Fatalf("%s phase digest %016x differs from baseline %016x (query saw wrong or missing rows)",
+				p.Label, p.Digest, base.Digest)
+		}
+		if p.Ops == 0 || p.P99 <= 0 || p.P99 < p.P50 {
+			t.Fatalf("%s phase latency incoherent: %+v", p.Label, p)
+		}
+	}
+	if add.RowsMoved == 0 || add.PartitionsMoved == 0 {
+		t.Fatalf("node-add moved nothing: %+v", add)
+	}
+	if add.RelocatedShare > 2*add.TheoryShare {
+		t.Fatalf("node-add relocated %.1f%% of keys, above 2x the ~%.1f%% consistent-hashing bound",
+			100*add.RelocatedShare, 100*add.TheoryShare)
+	}
+	if degraded.DegradedReads == 0 {
+		t.Fatalf("degraded phase recorded no degraded reads: %+v", degraded)
+	}
+	if base.DegradedReads != 0 || base.Failovers != 0 || base.RowsMoved != 0 {
+		t.Fatalf("baseline phase not clean: %+v", base)
+	}
+
+	r := RebalanceBench(tinyScale())
+	checkResult(t, r, 2)
+	if len(r.Passes) != 3 {
+		t.Fatalf("rebalance result carries %d passes, want 3", len(r.Passes))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("byte-identical across baseline/node-add/degraded phases: true")) {
+		t.Fatal("rebalance result missing the byte-identity note")
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
 		"fig16", "fig17", "cache", "tiering", "reopen", "parallel",
-		"serve", "ablation-arity", "ablation-vc",
+		"serve", "rebalance", "ablation-arity", "ablation-vc",
 	}
 	for _, id := range want {
 		if _, ok := Runners[id]; !ok {

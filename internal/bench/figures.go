@@ -661,7 +661,7 @@ var Order = []string{
 	"fig14a", "fig14b", "fig14c",
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
-	"cache", "tiering", "reopen", "parallel", "serve",
+	"cache", "tiering", "reopen", "parallel", "serve", "rebalance",
 	"ablation-arity", "ablation-vc",
 }
 
@@ -695,6 +695,7 @@ var Runners = map[string]func(Scale) *Result{
 	"reopen":         ReopenBench,
 	"parallel":       ParallelBench,
 	"serve":          ServeBench,
+	"rebalance":      RebalanceBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

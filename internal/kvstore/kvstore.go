@@ -2,14 +2,24 @@
 // Temporal Graph Index. The paper uses an Apache Cassandra cluster; this
 // package reproduces the properties its evaluation depends on:
 //
-//   - data placement by partition key across m storage machines,
-//   - replication factor r with reads served by any replica,
+//   - data placement by partition key across m storage machines, on a
+//     consistent-hash ring (internal/ring) so the node set can change
+//     shape at runtime with bounded data movement,
+//   - replication factor r with replication-aware reads: one replica
+//     serves, failing over to the next on a down or faulty node,
+//     write-all with hinted handoff for replicas that are down,
 //   - rows sorted by clustering key within a partition, so that all
 //     micro-partitions of one delta scan contiguously (paper §4.4 item 5),
 //   - per-machine serialized service with a tunable cost model (base cost
 //     per operation plus per-KB transfer cost), which yields the parallel
 //     fetch speedups and saturation of Figures 11–12,
-//   - read/write/byte counters for the cost accounting of Table 1.
+//   - read/write/byte counters for the cost accounting of Table 1,
+//   - node lifecycle: AddNode/RemoveNode trigger a background rebalance
+//     that streams only the moved partitions between node engines under
+//     a rate limit, serving every partition from its old or new owner
+//     until the handoff commits (see topology.go),
+//   - per-node fault injection (FailNode/ReviveNode, InjectFault) so
+//     tests and benchmarks cover degraded reads.
 //
 // Each node's actual row storage is a pluggable backend.Backend: the
 // default in-memory memtable keeps the store a pure simulation, while a
@@ -30,6 +40,7 @@ import (
 
 	"hgs/internal/backend"
 	"hgs/internal/backend/memtable"
+	"hgs/internal/ring"
 )
 
 // LatencyModel charges simulated service time per storage operation.
@@ -69,26 +80,76 @@ func (lm LatencyModel) Cost(n int) time.Duration {
 // Config describes a cluster.
 type Config struct {
 	// Machines is the number of storage nodes (paper parameter m).
+	// Ignored when Nodes is set.
 	Machines int
+	// Nodes, when non-empty, names the storage nodes explicitly (a
+	// reattached durable cluster whose membership changed since
+	// creation). Empty means nodes 0..Machines-1.
+	Nodes []int
 	// Replication is the number of replicas per partition (paper r).
 	Replication int
+	// VirtualNodes is the number of points each node projects onto the
+	// placement ring; zero picks ring.DefaultVirtualNodes. Placement
+	// depends on it, so durable stores must reopen with the value they
+	// were created with.
+	VirtualNodes int
+	// RebalanceRate caps topology-change data streaming in bytes per
+	// second, the CompactRate convention: zero picks the 8 MiB/s
+	// default, negative disables the limit.
+	RebalanceRate int64
 	// Latency is the per-node service cost model.
 	Latency LatencyModel
 	// Backend creates the storage engine of each node. Nil uses the
-	// in-memory memtable engine.
+	// in-memory memtable engine. AddNode calls it with fresh node ids at
+	// runtime.
 	Backend backend.Factory
+	// OnTopologyCommit, when set, persists a topology change: the
+	// rebalancer calls it with the post-change node set after every
+	// moved partition has been copied to its new owners and before any
+	// old copy is dropped — so a crash around the commit point leaves
+	// either the old topology with complete old placement, or the new
+	// topology with complete new placement. An error skips the drop
+	// phase (old copies are kept) and surfaces from WaitRebalance.
+	OnTopologyCommit func(nodes []int) error
 }
+
+// defaultRebalanceRate is the rebalancer's streaming budget when
+// Config.RebalanceRate is zero.
+const defaultRebalanceRate = 8 << 20
 
 // Validate normalizes the configuration.
 func (c *Config) normalize() {
-	if c.Machines < 1 {
-		c.Machines = 1
+	if len(c.Nodes) == 0 {
+		if c.Machines < 1 {
+			c.Machines = 1
+		}
+		c.Nodes = make([]int, c.Machines)
+		for i := range c.Nodes {
+			c.Nodes[i] = i
+		}
+	} else {
+		ns := append([]int(nil), c.Nodes...)
+		sort.Ints(ns)
+		dst := ns[:0]
+		for i, n := range ns {
+			if i == 0 || n != ns[i-1] {
+				dst = append(dst, n)
+			}
+		}
+		c.Nodes = dst
 	}
+	c.Machines = len(c.Nodes)
 	if c.Replication < 1 {
 		c.Replication = 1
 	}
 	if c.Replication > c.Machines {
 		c.Replication = c.Machines
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = ring.DefaultVirtualNodes
+	}
+	if c.RebalanceRate == 0 {
+		c.RebalanceRate = defaultRebalanceRate
 	}
 }
 
@@ -97,6 +158,16 @@ func (c *Config) normalize() {
 // RoundTrips counts physical node visits — a MultiGet touching two
 // machines is many Reads but two RoundTrips. SimWait is the total
 // simulated service time charged by the latency model.
+//
+// The replication-awareness counters: Failovers counts replica visits
+// that failed (node down or injected fault) during reads; DegradedReads
+// counts reads that could not be served by their rotation-preferred
+// replica and were answered by another one. UnderReplicatedWrites
+// counts logical writes that reached fewer live replicas than the
+// replication factor; HintedWrites counts the per-replica mutations
+// queued for a down node (replayed when it is revived). All four stay
+// zero while every node is healthy. Rebalanced* count the background
+// rebalancer's partition streaming; RebalanceActive is a 0/1 gauge.
 //
 // The Tier* fields aggregate the per-tier counters of engines that
 // implement backend.TierCounting (the tiered hot/cold backend); they
@@ -119,6 +190,16 @@ type Metrics struct {
 	RoundTrips   int64
 	SimWait      time.Duration
 
+	Failovers             int64
+	DegradedReads         int64
+	UnderReplicatedWrites int64
+	HintedWrites          int64
+
+	RebalancedPartitions int64
+	RebalancedRows       int64
+	RebalancedBytes      int64
+	RebalanceActive      int64
+
 	TierHotReads    int64
 	TierColdReads   int64
 	FlushedBytes    int64
@@ -133,26 +214,105 @@ type Metrics struct {
 // Row is one clustered row inside a partition.
 type Row = backend.Row
 
+// hintOp enumerates the mutations a hinted handoff can carry.
+type hintOp byte
+
+const (
+	hintPut hintOp = iota
+	hintDelete
+	hintDrop
+)
+
+// hint is one mutation a down replica missed, replayed on revive.
+type hint struct {
+	op                hintOp
+	table, pkey, ckey string
+	value             []byte
+}
+
 // storageNode is one machine. A mutex serializes service, modelling a
 // single-disk server; the simulated service time is charged while the
 // lock is held so concurrent clients queue exactly as they would on a
 // busy node.
 type storageNode struct {
+	id int
+
 	mu sync.Mutex
 	be backend.Backend
-	// tc and tr are the engine's optional tier interfaces, asserted once
+	// closed marks the engine torn down (node removed from the cluster);
+	// a straggler routed here before the ring swap fails over instead of
+	// touching a closed engine.
+	closed bool
+	// tc, tr and tl are the engine's optional interfaces, asserted once
 	// at open so the serve hot path avoids a type switch per operation:
 	// tc aggregates cumulative counters into Metrics, tr reports each
-	// read's exact cold-row count for the latency surcharge.
+	// read's exact cold-row count for the latency surcharge, tl lets the
+	// rebalancer enumerate partitions.
 	tc backend.TierCounting
 	tr backend.TierReader
+	tl backend.TableLister
+
+	// down simulates a failed machine: every visit errors until revive.
+	down atomic.Bool
+	// fault, when non-nil, injects probabilistic errors and/or a latency
+	// spike into each visit (InjectFault).
+	fault  atomic.Pointer[Fault]
+	faultN atomic.Uint64
+
+	// hints queues mutations the node missed while down, replayed in
+	// order by ReviveNode.
+	hintMu sync.Mutex
+	hints  []hint
+}
+
+func newStorageNode(id int, be backend.Backend) *storageNode {
+	n := &storageNode{id: id, be: be}
+	n.tc, _ = be.(backend.TierCounting)
+	n.tr, _ = be.(backend.TierReader)
+	n.tl, _ = be.(backend.TableLister)
+	return n
+}
+
+// addHint queues one missed mutation for replay on revive.
+func (n *storageNode) addHint(h hint) {
+	n.hintMu.Lock()
+	n.hints = append(n.hints, h)
+	n.hintMu.Unlock()
 }
 
 // Cluster is the distributed store.
 type Cluster struct {
 	cfg     Config
-	nodes   []*storageNode
 	latency atomic.Pointer[LatencyModel]
+
+	// topoMu guards the routing state: the node map, the active ring,
+	// and — during a rebalance — the pre-change ring plus the set of
+	// partitions whose handoff has committed. Operations resolve their
+	// routes under a read lock and release it before visiting nodes.
+	topoMu  sync.RWMutex
+	nodes   map[int]*storageNode
+	ring    *ring.Ring
+	oldRing *ring.Ring      // non-nil while a rebalance is migrating
+	moved   map[string]bool // partitions already handed off (key: table\0pkey)
+	rebDone chan struct{}   // closed when the active rebalance finishes
+	rebErr  error
+	// rebActive covers the whole background migration including the
+	// post-commit drop phase (oldRing alone clears at the ring swap).
+	rebActive  atomic.Bool
+	rebalances atomic.Int64
+
+	// readGate tracks in-flight reads: each read holds the read side
+	// from route resolution to the last node visit, and the rebalancer
+	// takes the write side once — after the ring swap, before dropping
+	// relinquished copies — so no read routed under the old ring can
+	// reach a partition after its old copy is dropped.
+	readGate sync.RWMutex
+	// writeGate serializes writes against partition copies: writers hold
+	// the read side from route resolution through the last replica
+	// apply; the rebalancer holds the write side while copying one
+	// partition (and while dropping), so a copy can never interleave
+	// with a write and overwrite a newer value with the one it read.
+	writeGate sync.RWMutex
 
 	rr uint64 // round-robin replica selector
 
@@ -162,6 +322,14 @@ type Cluster struct {
 	bytesWritten atomic.Int64
 	roundTrips   atomic.Int64
 	simWait      atomic.Int64 // nanoseconds
+
+	failovers       atomic.Int64
+	degradedReads   atomic.Int64
+	underRepWrites  atomic.Int64
+	hintedWrites    atomic.Int64
+	rebalancedParts atomic.Int64
+	rebalancedRows  atomic.Int64
+	rebalancedBytes atomic.Int64
 
 	// tierBase is the engines' cumulative tier-counter totals at the
 	// last ResetMetrics, so Metrics reports deltas like the atomic
@@ -179,19 +347,20 @@ func Open(cfg Config) (*Cluster, error) {
 	if factory == nil {
 		factory = memtable.Factory()
 	}
-	c := &Cluster{cfg: cfg, nodes: make([]*storageNode, cfg.Machines)}
-	for i := range c.nodes {
-		be, err := factory(i)
+	c := &Cluster{
+		cfg:   cfg,
+		nodes: make(map[int]*storageNode, len(cfg.Nodes)),
+		ring:  ring.New(cfg.Nodes, cfg.VirtualNodes, cfg.Replication),
+	}
+	for _, id := range cfg.Nodes {
+		be, err := factory(id)
 		if err != nil {
-			for _, n := range c.nodes[:i] {
+			for _, n := range c.nodes {
 				n.be.Close()
 			}
-			return nil, fmt.Errorf("kvstore: open node %d: %w", i, err)
+			return nil, fmt.Errorf("kvstore: open node %d: %w", id, err)
 		}
-		node := &storageNode{be: be}
-		node.tc, _ = be.(backend.TierCounting)
-		node.tr, _ = be.(backend.TierReader)
-		c.nodes[i] = node
+		c.nodes[id] = newStorageNode(id, be)
 	}
 	lm := cfg.Latency
 	c.latency.Store(&lm)
@@ -219,11 +388,47 @@ func (c *Cluster) SetLatency(lm LatencyModel) {
 // Latency returns the current latency model.
 func (c *Cluster) Latency() LatencyModel { return *c.latency.Load() }
 
-// Config returns the cluster configuration.
-func (c *Cluster) Config() Config { return c.cfg }
+// Config returns the cluster configuration with Nodes/Machines
+// reflecting the current membership (which AddNode/RemoveNode change at
+// runtime).
+func (c *Cluster) Config() Config {
+	cfg := c.cfg
+	cfg.Nodes = c.NodeIDs()
+	cfg.Machines = len(cfg.Nodes)
+	return cfg
+}
 
-// Machines returns the number of storage nodes.
-func (c *Cluster) Machines() int { return c.cfg.Machines }
+// Machines returns the number of storage nodes currently in the cluster.
+func (c *Cluster) Machines() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return len(c.nodes)
+}
+
+// NodeIDs returns the ids of the current storage nodes, sorted.
+func (c *Cluster) NodeIDs() []int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// nodeList snapshots the node handles, sorted by id, for whole-cluster
+// sweeps (flush, close, metrics aggregation).
+func (c *Cluster) nodeList() []*storageNode {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	out := make([]*storageNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
 
 func hashKey(table, pkey string) uint64 {
 	h := fnv.New64a()
@@ -233,25 +438,88 @@ func hashKey(table, pkey string) uint64 {
 	return h.Sum64()
 }
 
-// replicas returns the node indexes holding the partition, primary first.
-func (c *Cluster) replicas(table, pkey string) []int {
-	primary := int(hashKey(table, pkey) % uint64(c.cfg.Machines))
-	out := make([]int, c.cfg.Replication)
-	for i := range out {
-		out[i] = (primary + i) % c.cfg.Machines
-	}
-	return out
+// KeyHash exposes the partition-key hash the placement ring consumes
+// (benchmarks compare placement schemes over the real key population).
+func KeyHash(table, pkey string) uint64 { return hashKey(table, pkey) }
+
+func partKey(table, pkey string) string { return table + "\x00" + pkey }
+
+// routeStack sizes the stack-backed routing buffers: replica sets and
+// old∪new owner unions fit without allocating for any plausible
+// replication factor.
+const routeStack = 8
+
+// route is a resolved owner list: ids and live node handles, aligned.
+// The arrays keep hot-path routing allocation-free (the old replicas()
+// helper allocated a fresh slice per Get/Put).
+type route struct {
+	ids   []int
+	nodes []*storageNode
+	idArr [routeStack]int
+	ndArr [routeStack]*storageNode
 }
 
-// readReplica picks the replica to serve a read, rotating to spread load
-// across replicas (this is where r>1 increases read capacity, Fig 12c).
-func (c *Cluster) readReplica(table, pkey string) int {
-	reps := c.replicas(table, pkey)
-	if len(reps) == 1 {
-		return reps[0]
+// resolve maps owner ids to live handles, dropping ids with no node
+// (possible only transiently around a removal).
+func (rt *route) resolve(c *Cluster, ids []int) {
+	rt.nodes = rt.ndArr[:0]
+	rt.ids = rt.idArr[:0]
+	for _, id := range ids {
+		if n := c.nodes[id]; n != nil {
+			rt.ids = append(rt.ids, id)
+			rt.nodes = append(rt.nodes, n)
+		}
 	}
-	n := atomic.AddUint64(&c.rr, 1)
-	return reps[n%uint64(len(reps))]
+}
+
+// readRoute resolves the owners a read of (table, pkey) may be served
+// by: the pre-change ring while the partition's handoff is pending,
+// the active ring otherwise.
+func (c *Cluster) readRoute(table, pkey string, rt *route) {
+	h := hashKey(table, pkey)
+	var buf [routeStack]int
+	c.topoMu.RLock()
+	r := c.ring
+	if c.oldRing != nil && !c.moved[partKey(table, pkey)] {
+		r = c.oldRing
+	}
+	rt.resolve(c, r.Lookup(h, buf[:0]))
+	c.topoMu.RUnlock()
+}
+
+// writeRoute resolves the replicas a write must reach: the union of old
+// and new owners while the partition's handoff is pending (dual-write),
+// the active ring's owners otherwise.
+func (c *Cluster) writeRoute(table, pkey string, rt *route) {
+	h := hashKey(table, pkey)
+	var buf, old [routeStack]int
+	c.topoMu.RLock()
+	ids := c.ring.Lookup(h, buf[:0])
+	if c.oldRing != nil && !c.moved[partKey(table, pkey)] {
+		for _, id := range c.oldRing.Lookup(h, old[:0]) {
+			dup := false
+			for _, x := range ids {
+				if x == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ids = append(ids, id)
+			}
+		}
+	}
+	rt.resolve(c, ids)
+	c.topoMu.RUnlock()
+}
+
+// ReplicasOf returns the node ids currently owning the partition,
+// primary first. Inspection surface (property tests, topology dumps) —
+// the data path routes through the allocation-free internal helpers.
+func (c *Cluster) ReplicasOf(table, pkey string) []int {
+	var rt route
+	c.readRoute(table, pkey, &rt)
+	return append([]int(nil), rt.ids...)
 }
 
 // simulateWork charges d of service time. Sub-scheduler-granularity
@@ -286,8 +554,16 @@ func simulateWorkCtx(ctx context.Context, d time.Duration) {
 	}
 }
 
-// serve runs f on node idx's engine while holding its service lock and
-// charges the operation cost for the byte count f reports, plus the
+// errNodeDown is the visit outcome on a failed (or removed) node;
+// errNodeFault on an injected transient error. Readers fail over to the
+// next replica on either, writers hint the mutation.
+var (
+	errNodeDown  = errors.New("kvstore: node unavailable")
+	errNodeFault = errors.New("kvstore: injected node fault")
+)
+
+// serveNode runs f on the node's engine while holding its service lock
+// and charges the operation cost for the byte count f reports, plus the
 // cold-read surcharge for each row f reports as served from a disk
 // tier. The cold count comes from the engine's own per-call accounting
 // (backend.TierReader) — never from diffing the engine's cumulative
@@ -297,25 +573,44 @@ func simulateWorkCtx(ctx context.Context, d time.Duration) {
 // server: a node moving many bytes is busy for proportionally long, so
 // cluster size m and replication r bound the achievable parallel-fetch
 // speedup (paper Figures 11–12).
-// serve returns the simulated service time it charged, so batched reads
-// can attribute their exact cost to the calling query (CallStats).
-func (c *Cluster) serve(idx int, f func(be backend.Backend) (n, coldRows int)) time.Duration {
-	return c.serveCtx(context.Background(), idx, f)
+//
+// A down node refuses the visit without charge; an injected fault burns
+// a base-op of service time before erroring (the request did reach the
+// machine). serveNode returns the simulated service time it charged, so
+// batched reads can attribute their exact cost to the calling query
+// (CallStats).
+func (c *Cluster) serveNode(node *storageNode, f func(be backend.Backend) (n, coldRows int)) (time.Duration, error) {
+	return c.serveNodeCtx(context.Background(), node, f)
 }
 
-// serveCtx is serve with cancellable simulated waiting: the service
-// cost is computed and charged to the counters as usual, but the
-// in-process sleep modelling it is abandoned once ctx is cancelled (the
-// node lock releases early — a real server would keep spinning its
+// serveNodeCtx is serveNode with cancellable simulated waiting: the
+// service cost is computed and charged to the counters as usual, but
+// the in-process sleep modelling it is abandoned once ctx is cancelled
+// (the node lock releases early — a real server would keep spinning its
 // disk, but nobody is left to wait for it).
-func (c *Cluster) serveCtx(ctx context.Context, idx int, f func(be backend.Backend) (n, coldRows int)) time.Duration {
+func (c *Cluster) serveNodeCtx(ctx context.Context, node *storageNode, f func(be backend.Backend) (n, coldRows int)) (time.Duration, error) {
+	if node.down.Load() {
+		return 0, errNodeDown
+	}
 	c.roundTrips.Add(1)
-	node := c.nodes[idx]
 	node.mu.Lock()
 	defer node.mu.Unlock()
+	if node.closed || node.down.Load() {
+		return 0, errNodeDown
+	}
 	lm := c.Latency()
+	var extra time.Duration
+	if fl := node.fault.Load(); fl != nil {
+		extra = fl.ExtraLatency
+		if fl.fires(node) {
+			d := lm.Cost(0) + extra
+			c.simWait.Add(int64(d))
+			simulateWorkCtx(ctx, d)
+			return d, errNodeFault
+		}
+	}
 	n, cold := f(node.be)
-	d := lm.Cost(n)
+	d := lm.Cost(n) + extra
 	if lm.Enabled && cold > 0 {
 		// Each row the operation pulled from the cold tier pays the
 		// disk-seek surcharge the hot tier would have absorbed.
@@ -323,7 +618,47 @@ func (c *Cluster) serveCtx(ctx context.Context, idx int, f func(be backend.Backe
 	}
 	c.simWait.Add(int64(d))
 	simulateWorkCtx(ctx, d)
-	return d
+	return d, nil
+}
+
+// applyWrite runs one mutation on every replica of the route: live
+// replicas serve it, down or faulting ones get it queued as a hint
+// (replayed on revive) and the write is counted under-replicated.
+func (c *Cluster) applyWrite(rt *route, bytes int, mk func() hint) {
+	short := false
+	for _, node := range rt.nodes {
+		h := mk()
+		if node.down.Load() {
+			node.addHint(h)
+			c.hintedWrites.Add(1)
+			short = true
+			continue
+		}
+		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
+			applyHint(be, h)
+			return bytes, 0
+		})
+		if err != nil {
+			node.addHint(h)
+			c.hintedWrites.Add(1)
+			short = true
+		}
+	}
+	if short {
+		c.underRepWrites.Add(1)
+	}
+}
+
+// applyHint runs one queued mutation against an engine.
+func applyHint(be backend.Backend, h hint) {
+	switch h.op {
+	case hintPut:
+		be.Put(h.table, h.pkey, h.ckey, h.value)
+	case hintDelete:
+		be.Delete(h.table, h.pkey, h.ckey)
+	case hintDrop:
+		be.DropPartition(h.table, h.pkey)
+	}
 }
 
 // Put writes value under (table, pkey, ckey) on every replica,
@@ -331,60 +666,113 @@ func (c *Cluster) serveCtx(ctx context.Context, idx int, f func(be backend.Backe
 func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
 	v := make([]byte, len(value))
 	copy(v, value)
-	for _, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(be backend.Backend) (int, int) {
-			be.Put(table, pkey, ckey, v)
-			return len(v), 0
-		})
-	}
+	c.writeGate.RLock()
+	defer c.writeGate.RUnlock()
+	var rt route
+	c.writeRoute(table, pkey, &rt)
+	c.applyWrite(&rt, len(v), func() hint {
+		return hint{op: hintPut, table: table, pkey: pkey, ckey: ckey, value: v}
+	})
 	c.writes.Add(1)
 	c.bytesWritten.Add(int64(len(v)))
 }
 
-// Get reads the row at (table, pkey, ckey) from one replica. The returned
-// slice is the caller's to keep.
+// Get reads the row at (table, pkey, ckey) from one replica, failing
+// over to the next on a down or faulting node. The returned slice is
+// the caller's to keep.
 func (c *Cluster) Get(table, pkey, ckey string) ([]byte, bool) {
+	c.readGate.RLock()
+	defer c.readGate.RUnlock()
+	var rt route
+	c.readRoute(table, pkey, &rt)
 	var out []byte
 	found := false
-	idx := c.readReplica(table, pkey)
-	tr := c.nodes[idx].tr
-	c.serve(idx, func(be backend.Backend) (int, int) {
-		cold := 0
-		if tr != nil {
-			out, found, cold = tr.GetTier(table, pkey, ckey)
-		} else {
-			out, found = be.Get(table, pkey, ckey)
-		}
-		return len(out), cold
+	_, ok := c.readOne(&rt, func(node *storageNode) (int, error) {
+		tr := node.tr
+		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
+			cold := 0
+			if tr != nil {
+				out, found, cold = tr.GetTier(table, pkey, ckey)
+			} else {
+				out, found = be.Get(table, pkey, ckey)
+			}
+			return len(out), cold
+		})
+		return len(out), err
 	})
 	c.reads.Add(1)
+	if !ok {
+		return nil, false
+	}
 	if found {
 		c.bytesRead.Add(int64(len(out)))
 	}
 	return out, found
 }
 
+// readOne serves a read from the first responsive replica, starting at
+// the round-robin rotation point (this is where r>1 increases read
+// capacity, Fig 12c) and failing over clockwise. Each failed visit
+// counts a Failover; an answer from any replica other than the rotation
+// choice counts a DegradedRead. Returns false when every replica
+// refused.
+func (c *Cluster) readOne(rt *route, visit func(node *storageNode) (int, error)) (int, bool) {
+	n := len(rt.nodes)
+	if n == 0 {
+		return 0, false
+	}
+	start := 0
+	if n > 1 {
+		start = int(atomic.AddUint64(&c.rr, 1) % uint64(n))
+	}
+	failed := 0
+	for i := 0; i < n; i++ {
+		node := rt.nodes[(start+i)%n]
+		bytes, err := visit(node)
+		if err != nil {
+			failed++
+			continue
+		}
+		if failed > 0 {
+			c.failovers.Add(int64(failed))
+			c.degradedReads.Add(1)
+		}
+		return bytes, true
+	}
+	c.failovers.Add(int64(failed))
+	return 0, false
+}
+
 // ScanPrefix returns all rows in the partition whose clustering key starts
 // with prefix, in clustering order, as one contiguous scan (single
-// operation cost plus bytes).
+// operation cost plus bytes), served by the first responsive replica.
 func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
+	c.readGate.RLock()
+	defer c.readGate.RUnlock()
+	var rt route
+	c.readRoute(table, pkey, &rt)
 	var out []Row
-	total := 0
-	idx := c.readReplica(table, pkey)
-	tr := c.nodes[idx].tr
-	c.serve(idx, func(be backend.Backend) (int, int) {
-		cold := 0
-		if tr != nil {
-			out, cold = tr.ScanPrefixTier(table, pkey, prefix)
-		} else {
-			out = be.ScanPrefix(table, pkey, prefix)
-		}
-		for _, r := range out {
-			total += len(r.Value)
-		}
-		return total, cold
+	total, ok := c.readOne(&rt, func(node *storageNode) (int, error) {
+		tr := node.tr
+		total := 0
+		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
+			cold := 0
+			if tr != nil {
+				out, cold = tr.ScanPrefixTier(table, pkey, prefix)
+			} else {
+				out = be.ScanPrefix(table, pkey, prefix)
+			}
+			for _, r := range out {
+				total += len(r.Value)
+			}
+			return total, cold
+		})
+		return total, err
 	})
 	c.reads.Add(1)
+	if !ok {
+		return nil
+	}
 	c.bytesRead.Add(int64(total))
 	return out
 }
@@ -437,24 +825,67 @@ func (cs *CallStats) add(reads, bytes int64, wait time.Duration) {
 	cs.SimWait += wait
 }
 
+// batch is one storage node's share of a batched read.
+type batch struct {
+	node *storageNode
+	idxs []int
+}
+
 // groupByNode picks a read replica once per partition (so all keys of a
 // partition travel in the same request) and groups request indexes by
-// the chosen storage node.
-func (c *Cluster) groupByNode(n int, at func(i int) (table, pkey string)) map[int][]int {
+// the chosen storage node. Partitions whose rotation-preferred replica
+// is down are assigned the next live replica and counted as degraded;
+// partitions with no live replica are left out entirely (their results
+// stay zero-valued, like a store miss).
+func (c *Cluster) groupByNode(n int, at func(i int) (table, pkey string)) map[int]*batch {
 	type part struct{ table, pkey string }
-	nodeOf := make(map[part]int)
-	batches := make(map[int][]int)
+	nodeOf := make(map[part]*storageNode)
+	batches := make(map[int]*batch)
+	var rt route
 	for i := 0; i < n; i++ {
 		table, pkey := at(i)
 		k := part{table, pkey}
-		node, ok := nodeOf[k]
-		if !ok {
-			node = c.readReplica(table, pkey)
+		node, seen := nodeOf[k]
+		if !seen {
+			c.readRoute(table, pkey, &rt)
+			node = c.pickRead(&rt)
 			nodeOf[k] = node
 		}
-		batches[node] = append(batches[node], i)
+		if node == nil {
+			continue
+		}
+		b := batches[node.id]
+		if b == nil {
+			b = &batch{node: node}
+			batches[node.id] = b
+		}
+		b.idxs = append(b.idxs, i)
 	}
 	return batches
+}
+
+// pickRead chooses the replica to serve one partition's reads: the
+// rotation choice when live, else the next live replica (counted as a
+// degraded read), else nil.
+func (c *Cluster) pickRead(rt *route) *storageNode {
+	n := len(rt.nodes)
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	if n > 1 {
+		start = int(atomic.AddUint64(&c.rr, 1) % uint64(n))
+	}
+	for i := 0; i < n; i++ {
+		node := rt.nodes[(start+i)%n]
+		if !node.down.Load() {
+			if i > 0 {
+				c.degradedReads.Add(1)
+			}
+			return node
+		}
+	}
+	return nil
 }
 
 // MultiGet reads a batch of rows, grouping the keys per storage node and
@@ -482,32 +913,35 @@ func (c *Cluster) MultiGetStats(refs []KeyRef) ([]GetResult, CallStats) {
 // sleeping out its simulated service time wakes early. The caller must
 // check ctx.Err() after the call — results are incomplete once it is
 // non-nil, and a Found=false under cancellation means "unknown", not
-// "absent".
+// "absent". A batch whose node fails mid-visit is retried key by key
+// against the remaining replicas (Failovers counts the lost visit).
 func (c *Cluster) MultiGetStatsCtx(ctx context.Context, refs []KeyRef) ([]GetResult, CallStats) {
 	out := make([]GetResult, len(refs))
 	var cs CallStats
 	if len(refs) == 0 {
 		return out, cs
 	}
+	c.readGate.RLock()
+	defer c.readGate.RUnlock()
 	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
 	var (
 		wg   sync.WaitGroup
 		csMu sync.Mutex
 	)
-	for node, idxs := range batches {
+	for _, b := range batches {
 		wg.Add(1)
-		go func(node int, idxs []int) {
+		go func(b *batch) {
 			defer wg.Done()
 			if ctx.Err() != nil {
 				return
 			}
-			reqs := make([]backend.KeyRead, len(idxs))
-			for j, i := range idxs {
+			reqs := make([]backend.KeyRead, len(b.idxs))
+			for j, i := range b.idxs {
 				reqs[j] = refs[i]
 			}
-			tr := c.nodes[node].tr
+			tr := b.node.tr
 			var vals [][]byte
-			d := c.serveCtx(ctx, node, func(be backend.Backend) (int, int) {
+			d, err := c.serveNodeCtx(ctx, b.node, func(be backend.Backend) (int, int) {
 				cold := 0
 				if tr != nil {
 					vals, cold = tr.MultiGetTier(reqs)
@@ -520,22 +954,73 @@ func (c *Cluster) MultiGetStatsCtx(ctx context.Context, refs []KeyRef) ([]GetRes
 				}
 				return n, cold
 			})
+			if err != nil {
+				// The whole node visit failed (it went down or errored
+				// under us): retry each key against the other replicas.
+				c.failovers.Add(1)
+				for _, i := range b.idxs {
+					c.retryGet(ctx, refs[i], b.node, out, i, &cs, &csMu)
+				}
+				return
+			}
 			total := 0
-			for j, i := range idxs {
+			for j, i := range b.idxs {
 				if v := vals[j]; v != nil {
 					out[i] = GetResult{Value: v, Found: true}
 					total += len(v)
 				}
 			}
-			c.reads.Add(int64(len(idxs)))
+			c.reads.Add(int64(len(b.idxs)))
 			c.bytesRead.Add(int64(total))
 			csMu.Lock()
-			cs.add(int64(len(idxs)), int64(total), d)
+			cs.add(int64(len(b.idxs)), int64(total), d)
 			csMu.Unlock()
-		}(node, idxs)
+		}(b)
 	}
 	wg.Wait()
 	return out, cs
+}
+
+// retryGet re-serves one key of a failed batch from the remaining
+// replicas, with the same counter accounting a point Get would have.
+func (c *Cluster) retryGet(ctx context.Context, ref KeyRef, exclude *storageNode, out []GetResult, i int, cs *CallStats, csMu *sync.Mutex) {
+	var rt route
+	c.readRoute(ref.Table, ref.PKey, &rt)
+	var val []byte
+	found := false
+	served := false
+	for _, node := range rt.nodes {
+		if node == exclude {
+			continue
+		}
+		tr := node.tr
+		d, err := c.serveNodeCtx(ctx, node, func(be backend.Backend) (int, int) {
+			cold := 0
+			if tr != nil {
+				val, found, cold = tr.GetTier(ref.Table, ref.PKey, ref.CKey)
+			} else {
+				val, found = be.Get(ref.Table, ref.PKey, ref.CKey)
+			}
+			return len(val), cold
+		})
+		if err != nil {
+			c.failovers.Add(1)
+			continue
+		}
+		served = true
+		c.degradedReads.Add(1)
+		c.reads.Add(1)
+		if found {
+			c.bytesRead.Add(int64(len(val)))
+		}
+		csMu.Lock()
+		cs.add(1, int64(len(val)), d)
+		csMu.Unlock()
+		break
+	}
+	if served && found {
+		out[i] = GetResult{Value: val, Found: true}
+	}
 }
 
 // MultiScan runs a batch of prefix scans, grouped per storage node like
@@ -561,23 +1046,25 @@ func (c *Cluster) MultiScanStatsCtx(ctx context.Context, refs []ScanRef) ([][]Ro
 	if len(refs) == 0 {
 		return out, cs
 	}
+	c.readGate.RLock()
+	defer c.readGate.RUnlock()
 	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
 	var (
 		wg   sync.WaitGroup
 		csMu sync.Mutex
 	)
-	for node, idxs := range batches {
+	for _, b := range batches {
 		wg.Add(1)
-		go func(node int, idxs []int) {
+		go func(b *batch) {
 			defer wg.Done()
 			if ctx.Err() != nil {
 				return
 			}
-			tr := c.nodes[node].tr
+			tr := b.node.tr
 			total := 0
-			d := c.serveCtx(ctx, node, func(be backend.Backend) (int, int) {
+			d, err := c.serveNodeCtx(ctx, b.node, func(be backend.Backend) (int, int) {
 				cold := 0
-				for _, i := range idxs {
+				for _, i := range b.idxs {
 					var rows []Row
 					if tr != nil {
 						var scanCold int
@@ -593,28 +1080,99 @@ func (c *Cluster) MultiScanStatsCtx(ctx context.Context, refs []ScanRef) ([][]Ro
 				}
 				return total, cold
 			})
-			c.reads.Add(int64(len(idxs)))
+			if err != nil {
+				c.failovers.Add(1)
+				for _, i := range b.idxs {
+					out[i] = nil // a partial write from inside the failed visit is discarded
+					c.retryScan(ctx, refs[i], b.node, out, i, &cs, &csMu)
+				}
+				return
+			}
+			c.reads.Add(int64(len(b.idxs)))
 			c.bytesRead.Add(int64(total))
 			csMu.Lock()
-			cs.add(int64(len(idxs)), int64(total), d)
+			cs.add(int64(len(b.idxs)), int64(total), d)
 			csMu.Unlock()
-		}(node, idxs)
+		}(b)
 	}
 	wg.Wait()
 	return out, cs
 }
 
-// Delete removes a row from all replicas; it reports whether the row
-// existed on the primary.
-func (c *Cluster) Delete(table, pkey, ckey string) bool {
-	existed := false
-	for ri, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(be backend.Backend) (int, int) {
-			if be.Delete(table, pkey, ckey) && ri == 0 {
-				existed = true
+// retryScan re-serves one scan of a failed batch from the remaining
+// replicas.
+func (c *Cluster) retryScan(ctx context.Context, ref ScanRef, exclude *storageNode, out [][]Row, i int, cs *CallStats, csMu *sync.Mutex) {
+	var rt route
+	c.readRoute(ref.Table, ref.PKey, &rt)
+	for _, node := range rt.nodes {
+		if node == exclude {
+			continue
+		}
+		tr := node.tr
+		var rows []Row
+		total := 0
+		d, err := c.serveNodeCtx(ctx, node, func(be backend.Backend) (int, int) {
+			cold := 0
+			if tr != nil {
+				rows, cold = tr.ScanPrefixTier(ref.Table, ref.PKey, ref.Prefix)
+			} else {
+				rows = be.ScanPrefix(ref.Table, ref.PKey, ref.Prefix)
 			}
+			for _, r := range rows {
+				total += len(r.Value)
+			}
+			return total, cold
+		})
+		if err != nil {
+			c.failovers.Add(1)
+			continue
+		}
+		c.degradedReads.Add(1)
+		c.reads.Add(1)
+		c.bytesRead.Add(int64(total))
+		out[i] = rows
+		csMu.Lock()
+		cs.add(1, int64(total), d)
+		csMu.Unlock()
+		return
+	}
+}
+
+// Delete removes a row from all replicas; it reports whether the row
+// existed on the first replica that applied the delete.
+func (c *Cluster) Delete(table, pkey, ckey string) bool {
+	c.writeGate.RLock()
+	defer c.writeGate.RUnlock()
+	var rt route
+	c.writeRoute(table, pkey, &rt)
+	existed := false
+	first := true
+	short := false
+	for _, node := range rt.nodes {
+		if node.down.Load() {
+			node.addHint(hint{op: hintDelete, table: table, pkey: pkey, ckey: ckey})
+			c.hintedWrites.Add(1)
+			short = true
+			continue
+		}
+		var ex bool
+		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
+			ex = be.Delete(table, pkey, ckey)
 			return 0, 0
 		})
+		if err != nil {
+			node.addHint(hint{op: hintDelete, table: table, pkey: pkey, ckey: ckey})
+			c.hintedWrites.Add(1)
+			short = true
+			continue
+		}
+		if first {
+			existed = ex
+			first = false
+		}
+	}
+	if short {
+		c.underRepWrites.Add(1)
 	}
 	c.writes.Add(1)
 	return existed
@@ -622,12 +1180,13 @@ func (c *Cluster) Delete(table, pkey, ckey string) bool {
 
 // DropPartition removes an entire partition from all replicas.
 func (c *Cluster) DropPartition(table, pkey string) {
-	for _, idx := range c.replicas(table, pkey) {
-		c.serve(idx, func(be backend.Backend) (int, int) {
-			be.DropPartition(table, pkey)
-			return 0, 0
-		})
-	}
+	c.writeGate.RLock()
+	defer c.writeGate.RUnlock()
+	var rt route
+	c.writeRoute(table, pkey, &rt)
+	c.applyWrite(&rt, 0, func() hint {
+		return hint{op: hintDrop, table: table, pkey: pkey}
+	})
 	c.writes.Add(1)
 }
 
@@ -635,10 +1194,12 @@ func (c *Cluster) DropPartition(table, pkey string) {
 // sorted. Intended for inspection and maintenance, not the data path.
 func (c *Cluster) PartitionKeys(table string) []string {
 	seen := make(map[string]struct{})
-	for _, node := range c.nodes {
+	for _, node := range c.nodeList() {
 		node.mu.Lock()
-		for _, pk := range node.be.PartitionKeys(table) {
-			seen[pk] = struct{}{}
+		if !node.closed {
+			for _, pk := range node.be.PartitionKeys(table) {
+				seen[pk] = struct{}{}
+			}
 		}
 		node.mu.Unlock()
 	}
@@ -654,27 +1215,38 @@ func (c *Cluster) PartitionKeys(table string) []string {
 // engines) and returns the first error encountered.
 func (c *Cluster) Flush() error {
 	var firstErr error
-	for i, node := range c.nodes {
+	for _, node := range c.nodeList() {
 		node.mu.Lock()
-		err := node.be.Flush()
+		var err error
+		if !node.closed {
+			err = node.be.Flush()
+		}
 		node.mu.Unlock()
 		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("kvstore: flush node %d: %w", i, err)
+			firstErr = fmt.Errorf("kvstore: flush node %d: %w", node.id, err)
 		}
 	}
 	return firstErr
 }
 
-// Close flushes and closes every node's engine. The cluster must not be
-// used afterwards.
+// Close flushes and closes every node's engine, waiting out an active
+// rebalance first (its streaming must not race the teardown). The
+// cluster must not be used afterwards.
 func (c *Cluster) Close() error {
 	var errs []error
-	for i, node := range c.nodes {
+	if err := c.WaitRebalance(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, node := range c.nodeList() {
 		node.mu.Lock()
-		err := node.be.Close()
+		var err error
+		if !node.closed {
+			node.closed = true
+			err = node.be.Close()
+		}
 		node.mu.Unlock()
 		if err != nil {
-			errs = append(errs, fmt.Errorf("kvstore: close node %d: %w", i, err))
+			errs = append(errs, fmt.Errorf("kvstore: close node %d: %w", node.id, err))
 		}
 	}
 	return errors.Join(errs...)
@@ -684,7 +1256,7 @@ func (c *Cluster) Close() error {
 // that tracks them.
 func (c *Cluster) tierTotals() backend.TierCounters {
 	var t backend.TierCounters
-	for _, node := range c.nodes {
+	for _, node := range c.nodeList() {
 		if node.tc == nil {
 			continue
 		}
@@ -709,6 +1281,10 @@ func (c *Cluster) Metrics() Metrics {
 	c.tierBaseMu.Lock()
 	base := c.tierBase
 	c.tierBaseMu.Unlock()
+	active := int64(0)
+	if c.Rebalancing() {
+		active = 1
+	}
 	return Metrics{
 		Reads:        c.reads.Load(),
 		Writes:       c.writes.Load(),
@@ -716,6 +1292,16 @@ func (c *Cluster) Metrics() Metrics {
 		BytesWritten: c.bytesWritten.Load(),
 		RoundTrips:   c.roundTrips.Load(),
 		SimWait:      time.Duration(c.simWait.Load()),
+
+		Failovers:             c.failovers.Load(),
+		DegradedReads:         c.degradedReads.Load(),
+		UnderReplicatedWrites: c.underRepWrites.Load(),
+		HintedWrites:          c.hintedWrites.Load(),
+
+		RebalancedPartitions: c.rebalancedParts.Load(),
+		RebalancedRows:       c.rebalancedRows.Load(),
+		RebalancedBytes:      c.rebalancedBytes.Load(),
+		RebalanceActive:      active,
 
 		TierHotReads:    tiers.HotHits - base.HotHits,
 		TierColdReads:   tiers.ColdReads - base.ColdReads,
@@ -739,6 +1325,13 @@ func (c *Cluster) ResetMetrics() {
 	c.bytesWritten.Store(0)
 	c.roundTrips.Store(0)
 	c.simWait.Store(0)
+	c.failovers.Store(0)
+	c.degradedReads.Store(0)
+	c.underRepWrites.Store(0)
+	c.hintedWrites.Store(0)
+	c.rebalancedParts.Store(0)
+	c.rebalancedRows.Store(0)
+	c.rebalancedBytes.Store(0)
 	totals := c.tierTotals()
 	c.tierBaseMu.Lock()
 	c.tierBase = totals
@@ -752,15 +1345,19 @@ func (c *Cluster) ResetMetrics() {
 // including reads served by the node being copied — proceed while a
 // large backup streams; the caller must not issue writes concurrently
 // if the backup is to be cluster-consistent. Engines that are not
-// durable (no Backuper) fail the backup.
+// durable (no Backuper) fail the backup, as does an in-flight topology
+// change (the copy would mix placements).
 func (c *Cluster) Backup(dir string) error {
-	for i, node := range c.nodes {
+	if c.Rebalancing() {
+		return fmt.Errorf("kvstore: backup: %w", ErrRebalancing)
+	}
+	for _, node := range c.nodeList() {
 		b, ok := node.be.(backend.Backuper)
 		if !ok {
-			return fmt.Errorf("kvstore: backup: node %d engine (%T) is not durable", i, node.be)
+			return fmt.Errorf("kvstore: backup: node %d engine (%T) is not durable", node.id, node.be)
 		}
-		if err := b.Backup(filepath.Join(dir, backend.NodeDir(i))); err != nil {
-			return fmt.Errorf("kvstore: backup node %d: %w", i, err)
+		if err := b.Backup(filepath.Join(dir, backend.NodeDir(node.id))); err != nil {
+			return fmt.Errorf("kvstore: backup node %d: %w", node.id, err)
 		}
 	}
 	return nil
@@ -770,9 +1367,11 @@ func (c *Cluster) Backup(dir string) error {
 // replicas (sum of every node engine's live bytes).
 func (c *Cluster) StoredBytes() int64 {
 	var total int64
-	for _, node := range c.nodes {
+	for _, node := range c.nodeList() {
 		node.mu.Lock()
-		total += node.be.StoredBytes()
+		if !node.closed {
+			total += node.be.StoredBytes()
+		}
 		node.mu.Unlock()
 	}
 	return total
@@ -785,5 +1384,5 @@ func (c *Cluster) LogicalBytes() int64 {
 }
 
 func (c *Cluster) String() string {
-	return fmt.Sprintf("kvstore(m=%d, r=%d)", c.cfg.Machines, c.cfg.Replication)
+	return fmt.Sprintf("kvstore(m=%d, r=%d)", c.Machines(), c.cfg.Replication)
 }

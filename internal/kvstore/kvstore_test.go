@@ -87,7 +87,7 @@ func TestReplicationServesAfterPrimaryOnly(t *testing.T) {
 
 func TestReplicasDistinctAndStable(t *testing.T) {
 	c := newTestCluster(4, 3)
-	reps := c.replicas("t", "somekey")
+	reps := c.ReplicasOf("t", "somekey")
 	if len(reps) != 3 {
 		t.Fatalf("want 3 replicas, got %d", len(reps))
 	}
@@ -98,7 +98,7 @@ func TestReplicasDistinctAndStable(t *testing.T) {
 		}
 		seen[r] = true
 	}
-	reps2 := c.replicas("t", "somekey")
+	reps2 := c.ReplicasOf("t", "somekey")
 	for i := range reps {
 		if reps[i] != reps2[i] {
 			t.Fatal("replica placement not deterministic")

@@ -38,8 +38,56 @@ func (c *Cluster) RegisterObs(r *obs.Registry) {
 		"Physical bytes currently stored across all replicas.",
 		func() float64 { return float64(c.StoredBytes()) })
 	r.GaugeFunc("hgs_kv_machines",
-		"Storage nodes in the cluster.",
-		func() float64 { return float64(c.cfg.Machines) })
+		"Storage nodes currently in the cluster.",
+		func() float64 { return float64(c.Machines()) })
+
+	r.CounterFunc("hgs_kv_failovers_total",
+		"Replica visits that failed during reads (node down or injected fault).",
+		func() float64 { return float64(c.failovers.Load()) })
+	r.CounterFunc("hgs_kv_degraded_reads_total",
+		"Reads answered by a replica other than the rotation-preferred one.",
+		func() float64 { return float64(c.degradedReads.Load()) })
+	r.CounterFunc("hgs_kv_under_replicated_writes_total",
+		"Logical writes that reached fewer live replicas than the replication factor.",
+		func() float64 { return float64(c.underRepWrites.Load()) })
+	r.CounterFunc("hgs_kv_hinted_writes_total",
+		"Per-replica mutations queued as hinted handoff for a down node.",
+		func() float64 { return float64(c.hintedWrites.Load()) })
+
+	r.GaugeFunc("hgs_ring_nodes",
+		"Nodes on the placement ring.",
+		func() float64 { return float64(c.Machines()) })
+	r.GaugeFunc("hgs_ring_nodes_down",
+		"Nodes currently marked failed.",
+		func() float64 {
+			down := 0
+			for _, n := range c.nodeList() {
+				if n.down.Load() {
+					down++
+				}
+			}
+			return float64(down)
+		})
+	r.GaugeFunc("hgs_ring_rebalance_active",
+		"1 while a background topology migration is streaming.",
+		func() float64 {
+			if c.Rebalancing() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("hgs_ring_rebalances_total",
+		"Topology changes (node add/remove) started.",
+		func() float64 { return float64(c.rebalances.Load()) })
+	r.CounterFunc("hgs_ring_rebalanced_partitions_total",
+		"Partitions streamed to new owners by the rebalancer.",
+		func() float64 { return float64(c.rebalancedParts.Load()) })
+	r.CounterFunc("hgs_ring_rebalanced_rows_total",
+		"Rows streamed to new owners by the rebalancer.",
+		func() float64 { return float64(c.rebalancedRows.Load()) })
+	r.CounterFunc("hgs_ring_rebalanced_bytes_total",
+		"Bytes streamed to new owners by the rebalancer.",
+		func() float64 { return float64(c.rebalancedBytes.Load()) })
 
 	r.CounterFunc("hgs_tier_hot_reads_total",
 		"Row lookups served from the memory tier of tiered engines.",

@@ -1,0 +1,600 @@
+package kvstore
+
+// Node lifecycle, fault injection and the background rebalancer.
+//
+// AddNode/RemoveNode compute the ring diff and hand it to a background
+// goroutine that streams only the partitions whose owner set changed,
+// one partition at a time, under a byte-rate limit. While the migration
+// runs the cluster routes reads through the pre-change ring until each
+// partition's handoff commits and duplicates writes to the union of old
+// and new owners, so no query ever observes a missing partition. The
+// gate protocol against concurrent traffic is documented on the
+// Cluster fields (readGate/writeGate in kvstore.go).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"hgs/internal/backend"
+	"hgs/internal/backend/memtable"
+	"hgs/internal/ring"
+)
+
+var (
+	// ErrUnknownNode reports a topology or fault operation naming a node
+	// that is not in the cluster.
+	ErrUnknownNode = errors.New("kvstore: unknown node")
+	// ErrDuplicateNode reports an AddNode for an id already present.
+	ErrDuplicateNode = errors.New("kvstore: node already in cluster")
+	// ErrRebalancing reports a topology change attempted while a
+	// previous one is still streaming.
+	ErrRebalancing = errors.New("kvstore: rebalance in progress")
+	// ErrTooFewNodes reports a RemoveNode that would leave fewer nodes
+	// than the replication factor.
+	ErrTooFewNodes = errors.New("kvstore: removal would leave fewer nodes than replication factor")
+)
+
+// Fault is a per-node fault injection profile (InjectFault): each node
+// visit errors with probability ErrRate (deterministically spread — a
+// rate of 0.25 fails exactly every 4th visit) and is slowed by
+// ExtraLatency whether or not it errors. Failed visits still charge a
+// base operation of simulated service time: the request reached the
+// machine.
+type Fault struct {
+	ErrRate      float64
+	ExtraLatency time.Duration
+}
+
+// fires reports whether this visit should error, advancing the node's
+// deterministic fault counter.
+func (f *Fault) fires(n *storageNode) bool {
+	if f.ErrRate <= 0 {
+		return false
+	}
+	if f.ErrRate >= 1 {
+		return true
+	}
+	k := n.faultN.Add(1)
+	return int64(float64(k)*f.ErrRate) != int64(float64(k-1)*f.ErrRate)
+}
+
+// nodeAt returns the live handle for a node id, nil if absent.
+func (c *Cluster) nodeAt(id int) *storageNode {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.nodes[id]
+}
+
+// FailNode marks a node down: every replica visit to it errors until
+// ReviveNode. Reads fail over to the remaining replicas; writes queue
+// hints. The node's engine is left untouched.
+func (c *Cluster) FailNode(id int) error {
+	node := c.nodeAt(id)
+	if node == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	node.down.Store(true)
+	return nil
+}
+
+// ReviveNode brings a failed node back: the mutations it missed (hinted
+// handoff) are replayed in order against its engine, then the node
+// resumes serving. Replay happens under the node's service lock, so no
+// read can observe the node live but behind its hints.
+func (c *Cluster) ReviveNode(id int) error {
+	node := c.nodeAt(id)
+	if node == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	if node.closed {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	// Drain-replay until empty: a writer that saw the node down may
+	// append one more hint while we replay the previous batch.
+	for {
+		node.hintMu.Lock()
+		hs := node.hints
+		node.hints = nil
+		node.hintMu.Unlock()
+		if len(hs) == 0 {
+			break
+		}
+		for _, h := range hs {
+			applyHint(node.be, h)
+		}
+	}
+	node.down.Store(false)
+	return nil
+}
+
+// InjectFault installs (or, with nil, clears) a fault profile on a
+// node. Unlike FailNode the node stays a valid read target — a faulting
+// visit errors and the read fails over, which is how tests exercise the
+// failover path without taking a replica fully out.
+func (c *Cluster) InjectFault(id int, f *Fault) error {
+	node := c.nodeAt(id)
+	if node == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	node.fault.Store(f)
+	return nil
+}
+
+// NodeDown reports whether the node is currently marked failed.
+func (c *Cluster) NodeDown(id int) bool {
+	node := c.nodeAt(id)
+	return node != nil && node.down.Load()
+}
+
+// AddNode creates a new storage node (engine from the configured
+// factory) and starts the background rebalance that streams the
+// partitions the ring now assigns to it. It returns once the migration
+// is underway; WaitRebalance blocks until it finishes.
+func (c *Cluster) AddNode(id int) error {
+	if id < 0 {
+		return fmt.Errorf("kvstore: add node: id must be >= 0, got %d", id)
+	}
+	if c.rebActive.Load() {
+		return ErrRebalancing
+	}
+	factory := c.cfg.Backend
+	if factory == nil {
+		factory = memtable.Factory()
+	}
+	c.topoMu.Lock()
+	if _, ok := c.nodes[id]; ok {
+		c.topoMu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
+	}
+	be, err := factory(id)
+	if err != nil {
+		c.topoMu.Unlock()
+		return fmt.Errorf("kvstore: add node %d: %w", id, err)
+	}
+	c.nodes[id] = newStorageNode(id, be)
+	c.beginRebalanceLocked(c.ring.With(id))
+	c.topoMu.Unlock()
+	go c.rebalance(-1)
+	return nil
+}
+
+// RemoveNode starts decommissioning a node: the background rebalance
+// streams every partition it owns to the post-removal owners, then
+// closes and drops the node. Refuses to shrink below the replication
+// factor. Reads keep being served by the retiring node until each
+// partition's handoff commits.
+func (c *Cluster) RemoveNode(id int) error {
+	if c.rebActive.Load() {
+		return ErrRebalancing
+	}
+	c.topoMu.Lock()
+	if _, ok := c.nodes[id]; !ok {
+		c.topoMu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if len(c.nodes)-1 < c.cfg.Replication {
+		c.topoMu.Unlock()
+		return fmt.Errorf("%w: have %d nodes, replication %d", ErrTooFewNodes, len(c.nodes), c.cfg.Replication)
+	}
+	c.beginRebalanceLocked(c.ring.Without(id))
+	c.topoMu.Unlock()
+	go c.rebalance(id)
+	return nil
+}
+
+// beginRebalanceLocked swaps in the post-change ring and arms the
+// migration state. Caller holds topoMu and has already checked
+// rebActive; reads route through oldRing until partitions land in
+// moved, writes go to the union of both rings' owners.
+func (c *Cluster) beginRebalanceLocked(next *ring.Ring) {
+	c.rebActive.Store(true)
+	c.oldRing = c.ring
+	c.ring = next
+	c.moved = make(map[string]bool)
+	c.rebDone = make(chan struct{})
+	c.rebErr = nil
+	c.rebalances.Add(1)
+}
+
+// Rebalancing reports whether a background topology migration is
+// running (including its final drop phase).
+func (c *Cluster) Rebalancing() bool { return c.rebActive.Load() }
+
+// WaitRebalance blocks until the in-flight topology migration (if any)
+// finishes and returns its error. The error persists until the next
+// topology change, so a later caller still observes a failed commit.
+func (c *Cluster) WaitRebalance() error {
+	c.topoMu.RLock()
+	done := c.rebDone
+	c.topoMu.RUnlock()
+	if done != nil {
+		<-done
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.rebErr
+}
+
+// pendingMove is one partition whose owner set changes with the ring.
+type pendingMove struct {
+	table, pkey string
+	adds, drops []int // new-only and old-only owner ids
+}
+
+// rebalance is the background migration: plan the moved partitions,
+// stream each one under the write gate and the rate limit, commit the
+// new topology, then drop the relinquished copies and (for a removal)
+// retire the node. retiring is the node being removed, -1 for an add.
+func (c *Cluster) rebalance(retiring int) {
+	defer func() {
+		c.topoMu.RLock()
+		done := c.rebDone
+		c.topoMu.RUnlock()
+		c.rebActive.Store(false)
+		close(done)
+	}()
+
+	moves := c.planMoves()
+
+	// Stream one partition at a time. The write gate is held only
+	// across a single partition's copy, so foreground writes stall at
+	// most one partition's worth of streaming.
+	var debt time.Duration
+	rate := c.cfg.RebalanceRate
+	for i := range moves {
+		n := c.movePartition(&moves[i])
+		if rate > 0 && n > 0 {
+			debt += time.Duration(n) * time.Second / time.Duration(rate)
+			if debt > 2*time.Millisecond {
+				time.Sleep(debt)
+				debt = 0
+			}
+		}
+	}
+
+	// Commit point: persist the post-change node set before any old
+	// copy is dropped. On failure, keep the old copies (the persisted
+	// topology still describes them) and surface the error.
+	var commitErr error
+	if c.cfg.OnTopologyCommit != nil {
+		c.topoMu.RLock()
+		ids := c.ring.Nodes()
+		c.topoMu.RUnlock()
+		if err := c.cfg.OnTopologyCommit(ids); err != nil {
+			commitErr = fmt.Errorf("kvstore: commit topology: %w", err)
+		}
+	}
+
+	// Swap to single-ring routing, then flush every read that resolved
+	// its route under the old ring before touching any old copy.
+	c.topoMu.Lock()
+	c.oldRing = nil
+	c.moved = nil
+	c.rebErr = commitErr
+	c.topoMu.Unlock()
+	c.readGate.Lock()
+	c.readGate.Unlock() //nolint:staticcheck // empty critical section is the barrier
+
+	if commitErr == nil {
+		// Writers that routed under the dual-ring union must finish
+		// before their old-owner copies are dropped out from under the
+		// accounting; after this barrier all traffic is new-ring only.
+		c.writeGate.Lock()
+		c.writeGate.Unlock() //nolint:staticcheck // barrier, as above
+		for i := range moves {
+			c.dropOldCopies(&moves[i])
+		}
+	}
+
+	if retiring >= 0 {
+		node := c.nodeAt(retiring)
+		if node != nil {
+			node.mu.Lock()
+			if !node.closed {
+				node.closed = true
+				err := node.be.Close()
+				if err != nil && commitErr == nil {
+					c.topoMu.Lock()
+					c.rebErr = fmt.Errorf("kvstore: retire node %d: %w", retiring, err)
+					c.topoMu.Unlock()
+				}
+			}
+			node.mu.Unlock()
+			c.topoMu.Lock()
+			delete(c.nodes, retiring)
+			c.topoMu.Unlock()
+		}
+	}
+}
+
+// planMoves enumerates every partition in the cluster (engines
+// implementing backend.TableLister), computes its owner sets under the
+// old and new rings, and returns the partitions whose set changed.
+// Partitions whose owners are unchanged are committed as moved
+// immediately so reads route through the new ring without waiting
+// behind the streaming queue.
+func (c *Cluster) planMoves() []pendingMove {
+	c.topoMu.RLock()
+	oldR, newR := c.oldRing, c.ring
+	nodes := make([]*storageNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.topoMu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+
+	seen := make(map[string]bool)
+	var moves []pendingMove
+	var settled []string
+	var oldBuf, newBuf [routeStack]int
+	for _, node := range nodes {
+		if node.tl == nil || !oldR.Has(node.id) {
+			continue
+		}
+		node.mu.Lock()
+		if node.closed {
+			node.mu.Unlock()
+			continue
+		}
+		type tp struct{ table, pkey string }
+		var parts []tp
+		for _, table := range node.tl.Tables() {
+			for _, pk := range node.be.PartitionKeys(table) {
+				parts = append(parts, tp{table, pk})
+			}
+		}
+		node.mu.Unlock()
+		for _, p := range parts {
+			k := partKey(p.table, p.pkey)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			h := hashKey(p.table, p.pkey)
+			oldIDs := oldR.Lookup(h, oldBuf[:0])
+			newIDs := newR.Lookup(h, newBuf[:0])
+			adds := diffIDs(newIDs, oldIDs)
+			drops := diffIDs(oldIDs, newIDs)
+			if len(adds) == 0 && len(drops) == 0 {
+				settled = append(settled, k)
+				continue
+			}
+			moves = append(moves, pendingMove{table: p.table, pkey: p.pkey, adds: adds, drops: drops})
+		}
+	}
+	if len(settled) > 0 {
+		c.topoMu.Lock()
+		if c.moved != nil {
+			for _, k := range settled {
+				c.moved[k] = true
+			}
+		}
+		c.topoMu.Unlock()
+	}
+	return moves
+}
+
+// diffIDs returns the ids in a that are not in b (both are tiny).
+func diffIDs(a, b []int) []int {
+	var out []int
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// movePartition copies one partition to its new owners and commits its
+// handoff, all under the write gate so no foreground write can
+// interleave with the copy (a write landing between "read rows" and
+// "put rows" on the destination would be overwritten by the stale
+// copy). Returns the byte volume streamed, for the rate limiter.
+func (c *Cluster) movePartition(m *pendingMove) int64 {
+	c.writeGate.Lock()
+	defer c.writeGate.Unlock()
+
+	// Read the partition from the first live old owner. With every old
+	// owner down (or removed while failed) the rows are unrecoverable;
+	// the handoff still commits so routing converges.
+	c.topoMu.RLock()
+	oldR := c.oldRing
+	c.topoMu.RUnlock()
+	if oldR == nil {
+		return 0 // cluster shutting down mid-plan
+	}
+	var srcBuf [routeStack]int
+	var rows []backend.Row
+	got := false
+	for _, id := range oldR.Lookup(hashKey(m.table, m.pkey), srcBuf[:0]) {
+		node := c.nodeAt(id)
+		if node == nil || node.down.Load() {
+			continue
+		}
+		node.mu.Lock()
+		if !node.closed {
+			rows = node.be.ScanPrefix(m.table, m.pkey, "")
+			got = true
+		}
+		node.mu.Unlock()
+		if got {
+			break
+		}
+	}
+
+	var bytes int64
+	if got && len(rows) > 0 {
+		for _, r := range rows {
+			bytes += int64(len(r.CKey) + len(r.Value))
+		}
+		for _, id := range m.adds {
+			node := c.nodeAt(id)
+			if node == nil {
+				continue
+			}
+			if node.down.Load() {
+				// The new owner is down: hint every row so revive
+				// replays the handoff.
+				for _, r := range rows {
+					node.addHint(hint{op: hintPut, table: m.table, pkey: m.pkey, ckey: r.CKey, value: r.Value})
+				}
+				c.hintedWrites.Add(int64(len(rows)))
+				continue
+			}
+			node.mu.Lock()
+			if !node.closed {
+				for _, r := range rows {
+					node.be.Put(m.table, m.pkey, r.CKey, r.Value)
+				}
+			}
+			node.mu.Unlock()
+		}
+	}
+
+	c.topoMu.Lock()
+	if c.moved != nil {
+		c.moved[partKey(m.table, m.pkey)] = true
+	}
+	c.topoMu.Unlock()
+
+	c.rebalancedParts.Add(1)
+	c.rebalancedRows.Add(int64(len(rows)))
+	c.rebalancedBytes.Add(bytes)
+	return bytes
+}
+
+// dropOldCopies removes the partition from the owners the new ring
+// relinquished. Runs after the post-commit read/write barriers, so no
+// in-flight operation can still be routed at these copies. A down old
+// owner gets the drop hinted, keeping its revive-replay consistent
+// with the new placement.
+func (c *Cluster) dropOldCopies(m *pendingMove) {
+	for _, id := range m.drops {
+		node := c.nodeAt(id)
+		if node == nil {
+			continue
+		}
+		if node.down.Load() {
+			node.addHint(hint{op: hintDrop, table: m.table, pkey: m.pkey})
+			continue
+		}
+		node.mu.Lock()
+		if !node.closed {
+			node.be.DropPartition(m.table, m.pkey)
+		}
+		node.mu.Unlock()
+	}
+}
+
+// NodeInfo describes one storage node in a topology dump.
+type NodeInfo struct {
+	ID           int     `json:"id"`
+	VirtualNodes int     `json:"virtual_nodes"`
+	KeyShare     float64 `json:"key_share"` // fraction of the hash space this node is primary for
+	Down         bool    `json:"down"`
+	StoredBytes  int64   `json:"stored_bytes"`
+	PendingHints int     `json:"pending_hints"`
+}
+
+// TopologyInfo is a point-in-time description of cluster placement:
+// per-node ring weight and health plus the partitions currently
+// under-replicated (at least one replica down or hinted).
+type TopologyInfo struct {
+	Replication     int        `json:"replication"`
+	VirtualNodes    int        `json:"virtual_nodes"`
+	Rebalancing     bool       `json:"rebalancing"`
+	Nodes           []NodeInfo `json:"nodes"`
+	Partitions      int        `json:"partitions"`
+	UnderReplicated int        `json:"under_replicated"`
+}
+
+// Topology inspects the cluster: ring shares and health per node, and a
+// sweep over every partition counting the ones with a down replica.
+// The sweep enumerates engines (TableLister), so it is an inspection
+// surface, not a hot path.
+func (c *Cluster) Topology() TopologyInfo {
+	c.topoMu.RLock()
+	r := c.ring
+	nodes := make([]*storageNode, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.topoMu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+
+	shares := r.Shares()
+	info := TopologyInfo{
+		Replication:  c.cfg.Replication,
+		VirtualNodes: r.VirtualNodes(),
+		Rebalancing:  c.Rebalancing(),
+	}
+	for _, node := range nodes {
+		node.hintMu.Lock()
+		hints := len(node.hints)
+		node.hintMu.Unlock()
+		node.mu.Lock()
+		var stored int64
+		if !node.closed {
+			stored = node.be.StoredBytes()
+		}
+		node.mu.Unlock()
+		info.Nodes = append(info.Nodes, NodeInfo{
+			ID:           node.id,
+			VirtualNodes: r.PointsOf(node.id),
+			KeyShare:     shares[node.id],
+			Down:         node.down.Load(),
+			StoredBytes:  stored,
+			PendingHints: hints,
+		})
+	}
+
+	// Partition sweep: owners under the active ring, counted
+	// under-replicated when any owner is down.
+	seen := make(map[string]bool)
+	var buf [routeStack]int
+	for _, node := range nodes {
+		if node.tl == nil {
+			continue
+		}
+		node.mu.Lock()
+		if node.closed {
+			node.mu.Unlock()
+			continue
+		}
+		type tp struct{ table, pkey string }
+		var parts []tp
+		for _, table := range node.tl.Tables() {
+			for _, pk := range node.be.PartitionKeys(table) {
+				parts = append(parts, tp{table, pk})
+			}
+		}
+		node.mu.Unlock()
+		for _, p := range parts {
+			k := partKey(p.table, p.pkey)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			info.Partitions++
+			for _, id := range r.Lookup(hashKey(p.table, p.pkey), buf[:0]) {
+				owner := c.nodeAt(id)
+				if owner == nil || owner.down.Load() {
+					info.UnderReplicated++
+					break
+				}
+			}
+		}
+	}
+	return info
+}

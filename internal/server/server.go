@@ -121,6 +121,16 @@ func New(store *hgs.Store, cfg Config) *Server {
 	mux.Handle("/v1/khop/history", s.route("khop-history", s.handleKHopHistory))
 	mux.Handle("/v1/append", s.route("append", s.handleAppend))
 	mux.Handle("/v1/analytics/top-changers", s.route("top-changers", s.handleTopChangers))
+	// Topology administration: inspect placement, change membership,
+	// inject replica failures. Mutating endpoints are POST-only and map
+	// topology sentinels like the query endpoints map store sentinels
+	// (unknown node 404, duplicate/rebalancing/too-few-nodes 409).
+	mux.Handle("/admin/topology", s.route("topology", s.handleTopology))
+	mux.Handle("/admin/node/add", s.route("node-add", s.nodeOp(s.store.AddStorageNode)))
+	mux.Handle("/admin/node/remove", s.route("node-remove", s.nodeOp(s.store.RemoveStorageNode)))
+	mux.Handle("/admin/node/fail", s.route("node-fail", s.nodeOp(s.store.FailStorageNode)))
+	mux.Handle("/admin/node/revive", s.route("node-revive", s.nodeOp(s.store.ReviveStorageNode)))
+	mux.Handle("/admin/rebalance/wait", s.route("rebalance-wait", s.handleRebalanceWait))
 	// Telemetry rides the same port: the store's debug handler already
 	// serves /metrics, /traces and /debug/pprof/*.
 	dh := store.DebugHandler()
@@ -189,6 +199,12 @@ func statusOf(err error) int {
 		return he.code
 	case errors.Is(err, hgs.ErrNodeNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, hgs.ErrUnknownStorageNode):
+		return http.StatusNotFound
+	case errors.Is(err, hgs.ErrDuplicateStorageNode),
+		errors.Is(err, hgs.ErrRebalancing),
+		errors.Is(err, hgs.ErrTooFewNodes):
+		return http.StatusConflict
 	case errors.Is(err, hgs.ErrOutOfRange):
 		return http.StatusRequestedRangeNotSatisfiable
 	case errors.Is(err, hgs.ErrNotLoaded):
@@ -635,6 +651,51 @@ func (s *Server) handleKHopHistory(w http.ResponseWriter, r *http.Request) error
 		"initial":  graphJSON(sh.Initial),
 		"events":   evs,
 	})
+}
+
+// handleTopology reports cluster placement: per-node ring share,
+// health, stored bytes and pending hints, plus under-replicated
+// partition counts (hgs-inspect -topology prints the same data).
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) error {
+	info, err := s.store.Topology()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, info)
+}
+
+// nodeOp adapts one id-keyed topology operation (add/remove/fail/
+// revive) into a POST endpoint.
+func (s *Server) nodeOp(op func(id int) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		if r.Method != http.MethodPost {
+			return &httpError{code: http.StatusMethodNotAllowed, msg: "POST required"}
+		}
+		id, err := intParam(r, "id")
+		if err != nil {
+			return err
+		}
+		if err := op(int(id)); err != nil {
+			return err
+		}
+		return writeJSON(w, map[string]any{"node": id, "rebalancing": s.store.Rebalancing()})
+	}
+}
+
+// handleRebalanceWait blocks until the in-flight topology migration
+// finishes (or the request deadline expires) and reports its outcome.
+func (s *Server) handleRebalanceWait(w http.ResponseWriter, r *http.Request) error {
+	done := make(chan error, 1)
+	go func() { done <- s.store.WaitRebalance() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+		return writeJSON(w, map[string]any{"rebalancing": false})
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
 }
 
 // handleAppend ingests new events: POST {"events": [...]}. The request

@@ -286,3 +286,100 @@ func TestChangeTimesAndAnalytics(t *testing.T) {
 		}
 	}
 }
+
+// TestAdminTopologyEndpoints drives the topology admin surface over
+// HTTP: inspect, fail/revive (degraded queries must still answer), a
+// live node add with rebalance wait, and the sentinel status mapping.
+func TestAdminTopologyEndpoints(t *testing.T) {
+	store, err := hgs.Open(hgs.Options{Machines: 3, Replication: 2})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 300, EdgesPerNode: 3, Seed: 11})
+	if err := store.Load(events); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	srv := New(store, Config{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	post := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(fmt.Sprintf("http://%s%s", addr, path), "", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		scn := bufio.NewScanner(resp.Body)
+		for scn.Scan() {
+			sb.WriteString(scn.Text())
+		}
+		return resp, sb.String()
+	}
+
+	resp, body := get(t, fmt.Sprintf("http://%s/admin/topology", addr))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("topology: %d %s", resp.StatusCode, body)
+	}
+	var info hgs.TopologyInfo
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &info); err != nil {
+		t.Fatalf("topology body: %v", err)
+	}
+	if len(info.Nodes) != 3 || info.Replication != 2 || info.UnderReplicated != 0 {
+		t.Fatalf("topology: %+v", info)
+	}
+
+	if resp, body := post("/admin/node/fail?id=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail: %d %s", resp.StatusCode, body)
+	}
+	_, last, _ := store.TimeRange()
+	if resp, _ := get(t, fmt.Sprintf("http://%s/v1/node?id=0&t=%d", addr, last)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query: %d", resp.StatusCode)
+	}
+	resp, body = get(t, fmt.Sprintf("http://%s/admin/topology", addr))
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &info); err != nil {
+		t.Fatalf("topology body: %v", err)
+	}
+	if !info.Nodes[1].Down || info.UnderReplicated == 0 {
+		t.Fatalf("topology after fail: %+v", info)
+	}
+	if resp, body := post("/admin/node/revive?id=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("revive: %d %s", resp.StatusCode, body)
+	}
+
+	if resp, body := post("/admin/node/add?id=3"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := post("/admin/rebalance/wait?timeout=30s"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance wait: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, fmt.Sprintf("http://%s/admin/topology", addr))
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &info); err != nil {
+		t.Fatalf("topology body: %v", err)
+	}
+	if len(info.Nodes) != 4 {
+		t.Fatalf("topology after add: %+v", info)
+	}
+	if resp, _ := get(t, fmt.Sprintf("http://%s/v1/node?id=0&t=%d", addr, last)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-rebalance query: %d", resp.StatusCode)
+	}
+
+	// Sentinel mapping.
+	if resp, _ := post("/admin/node/fail?id=99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fail unknown: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/admin/node/add?id=0"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("add duplicate: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, fmt.Sprintf("http://%s/admin/node/add?id=9", addr)); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET add: %d", resp.StatusCode)
+	}
+}

@@ -147,6 +147,7 @@ func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
 				{"bytes_read", float64(b.BytesRead), float64(p.BytesRead)},
 				{"simwait_seconds", b.SimWaitSeconds * 1000, p.SimWaitSeconds * 1000}, // compare in ms so the floor bites sanely
 				{"allocs_per_op", b.AllocsPerOp, p.AllocsPerOp},
+				{"rows_moved", float64(b.RowsMoved), float64(p.RowsMoved)},
 			}
 			for _, c := range counts {
 				if c.bas < th.NoiseFloor {
@@ -186,6 +187,13 @@ func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
 				out.Info = append(out.Info, fmt.Sprintf(
 					"%s: serve pass qps=%.0f shed=%.1f%% deadline-miss=%.1f%%",
 					name, p.QPS, 100*p.ShedRate, 100*p.DeadlineMissRate))
+			}
+			// Degraded reads depend on failure timing, not query cost:
+			// surfaced but never gated.
+			if b.DegradedReads > 0 || p.DegradedReads > 0 {
+				out.Info = append(out.Info, fmt.Sprintf(
+					"%s: degraded reads %d -> %d (replica-down detours; not gated)",
+					name, b.DegradedReads, p.DegradedReads))
 			}
 		}
 	}

@@ -1,0 +1,303 @@
+package hgs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hgs/internal/workload"
+)
+
+// TestDegradedReadsAllQueryPaths is the replication acceptance test:
+// with r=2, every query path must answer byte-identically to the
+// healthy cluster no matter which single storage node is down, with the
+// failovers visible in the metrics — and the counters must stop growing
+// once the node is revived.
+func TestDegradedReadsAllQueryPaths(t *testing.T) {
+	opts := smallOptions()
+	opts.Machines = 3
+	opts.Replication = 2
+	opts.CacheBytes = -1 // force every query to the KV layer
+	store, events := loadWiki(t, opts, 700)
+	defer store.Close()
+	lo, hi, err := store.TimeRange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (lo + hi) / 2
+
+	type answers struct {
+		snap    *Graph
+		node    *NodeState
+		hist    *NodeHistory
+		khop    *Graph
+		changes []Time
+	}
+	query := func() answers {
+		t.Helper()
+		var a answers
+		if a.snap, err = store.Snapshot(mid); err != nil {
+			t.Fatal(err)
+		}
+		if a.node, err = store.Node(5, hi); err != nil {
+			t.Fatal(err)
+		}
+		if a.hist, err = store.NodeHistory(5, lo, hi+1); err != nil {
+			t.Fatal(err)
+		}
+		if a.khop, err = store.KHop(5, 2, mid); err != nil {
+			t.Fatal(err)
+		}
+		if a.changes, err = store.ChangeTimes(5, lo, hi+1); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	healthy := query()
+	if !healthy.snap.Equal(mustGraph(events, mid)) {
+		t.Fatal("healthy snapshot mismatch")
+	}
+
+	for _, down := range store.Cluster().NodeIDs() {
+		if err := store.FailStorageNode(down); err != nil {
+			t.Fatal(err)
+		}
+		store.Cluster().ResetMetrics()
+		got := query()
+		if !got.snap.Equal(healthy.snap) {
+			t.Fatalf("node %d down: snapshot diverged", down)
+		}
+		if (got.node == nil) != (healthy.node == nil) || (got.node != nil && !got.node.Equal(healthy.node)) {
+			t.Fatalf("node %d down: node state diverged", down)
+		}
+		if got.hist.StateAt(mid) == nil != (healthy.hist.StateAt(mid) == nil) {
+			t.Fatalf("node %d down: history diverged", down)
+		}
+		if !got.khop.Equal(healthy.khop) {
+			t.Fatalf("node %d down: k-hop diverged", down)
+		}
+		if !reflect.DeepEqual(got.changes, healthy.changes) {
+			t.Fatalf("node %d down: change times diverged", down)
+		}
+		// Batched reads route around the down replica at planning time
+		// (DegradedReads counts that), so Failovers — failed visits —
+		// need not move on these paths; DegradedReads is the signal.
+		m := store.Cluster().Metrics()
+		if m.DegradedReads == 0 {
+			t.Fatalf("node %d down: expected degraded reads, got %+v", down, m)
+		}
+		info, err := store.Topology()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.UnderReplicated == 0 {
+			t.Fatalf("node %d down: topology reports no under-replicated partitions", down)
+		}
+		if err := store.ReviveStorageNode(down); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store.Cluster().ResetMetrics()
+	query()
+	if m := store.Cluster().Metrics(); m.DegradedReads != 0 || m.Failovers != 0 {
+		t.Fatalf("counters kept growing after revive: %+v", m)
+	}
+}
+
+// TestInjectFaultQueriesSurvive drives the per-replica error injector:
+// every visit to node 0 errors, yet queries answer correctly via
+// failover.
+func TestInjectFaultQueriesSurvive(t *testing.T) {
+	opts := smallOptions()
+	opts.Replication = 2
+	store, events := loadWiki(t, opts, 500)
+	defer store.Close()
+	if err := store.InjectFault(0, &Fault{ErrRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, hi, _ := store.TimeRange()
+	g, err := store.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(mustGraph(events, hi)) {
+		t.Fatal("snapshot under injected fault diverged")
+	}
+	if m := store.Cluster().Metrics(); m.Failovers == 0 {
+		t.Fatalf("expected failovers under injected fault: %+v", m)
+	}
+	if err := store.InjectFault(0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddNodePersistsTopology grows a durable store and verifies the
+// committed topology survives a reopen — and that the relocated
+// partitions are found where the new ring says they are.
+func TestAddNodePersistsTopology(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOptions()
+	opts.DataDir = dir
+	opts.RebalanceRate = -1
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 500, EdgesPerNode: 3, Seed: 9})
+	store, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	_, hi, _ := store.TimeRange()
+	want, err := store.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := store.AddStorageNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WaitRebalance(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := store.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("post-rebalance snapshot diverged")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "cluster.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm clusterMeta
+	if err := json.Unmarshal(blob, &cm); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Machines != 3 || !reflect.DeepEqual(cm.Nodes, []int{0, 1, 2}) || cm.Placement != placementRing {
+		t.Fatalf("persisted topology: %+v", cm)
+	}
+
+	re, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Cluster().Machines(); got != 3 {
+		t.Fatalf("reopened machines = %d", got)
+	}
+	g, err = re.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("reopened snapshot diverged")
+	}
+}
+
+// TestRemoveNodePersistsTopology shrinks a durable store and reopens it.
+func TestRemoveNodePersistsTopology(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOptions()
+	opts.Machines = 3
+	opts.DataDir = dir
+	opts.RebalanceRate = -1
+	events := workload.Wikipedia(workload.WikiConfig{Nodes: 400, EdgesPerNode: 3, Seed: 11})
+	store, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Load(events); err != nil {
+		t.Fatal(err)
+	}
+	_, hi, _ := store.TimeRange()
+	want, err := store.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RemoveStorageNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WaitRebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Cluster().NodeIDs(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("reopened nodes = %v", got)
+	}
+	g, err := re.Snapshot(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(want) {
+		t.Fatal("post-removal snapshot diverged")
+	}
+}
+
+// TestLegacyPlacementRefused: a cluster.json without the placement
+// field marks a mod-m-placed directory; opening it through the ring
+// would misroute every read, so Open must refuse.
+func TestLegacyPlacementRefused(t *testing.T) {
+	dir := t.TempDir()
+	blob, _ := json.Marshal(map[string]any{"machines": 2, "replication": 1, "engine": "disk"})
+	if err := os.WriteFile(filepath.Join(dir, "cluster.json"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Options{DataDir: dir})
+	if err == nil {
+		t.Fatal("legacy directory must be refused")
+	}
+}
+
+// TestVirtualNodesConflictRejected: placement depends on the vnode
+// count, so an explicit conflicting value must be rejected on reopen.
+func TestVirtualNodesConflictRejected(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(Options{DataDir: dir, VirtualNodes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{DataDir: dir, VirtualNodes: 16}); err == nil {
+		t.Fatal("conflicting VirtualNodes must be rejected")
+	}
+	re, err := Open(Options{DataDir: dir}) // unset adopts the stored value
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+}
+
+// TestTopologyGuardErrors checks the hgs-level sentinels.
+func TestTopologyGuardErrors(t *testing.T) {
+	opts := smallOptions()
+	opts.Replication = 2
+	store, _ := loadWiki(t, opts, 200)
+	defer store.Close()
+	if err := store.FailStorageNode(9); !errors.Is(err, ErrUnknownStorageNode) {
+		t.Fatalf("FailStorageNode(9): %v", err)
+	}
+	if err := store.AddStorageNode(0); !errors.Is(err, ErrDuplicateStorageNode) {
+		t.Fatalf("AddStorageNode(0): %v", err)
+	}
+	if err := store.RemoveStorageNode(1); !errors.Is(err, ErrTooFewNodes) {
+		t.Fatalf("RemoveStorageNode(1): %v", err)
+	}
+}
