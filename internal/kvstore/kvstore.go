@@ -259,8 +259,9 @@ type storageNode struct {
 	fault  atomic.Pointer[Fault]
 	faultN atomic.Uint64
 
-	// hints queues mutations the node missed while down, replayed in
-	// order by ReviveNode.
+	// hints queues mutations the node missed while down (or refused
+	// through a persistent injected fault), replayed in order by
+	// ReviveNode or when InjectFault clears the profile.
 	hintMu sync.Mutex
 	hints  []hint
 }
@@ -273,8 +274,27 @@ func newStorageNode(id int, be backend.Backend) *storageNode {
 	return n
 }
 
-// addHint queues one missed mutation for replay on revive.
-func (n *storageNode) addHint(h hint) {
+// queueHint queues one missed mutation for replay on revive, iff the
+// node is still down. The down check happens under hintMu — the same
+// lock ReviveNode holds for its final drain-and-flip — so a hint can
+// never be appended after revive decided the queue was empty: the
+// writer either lands in a batch the revive loop replays, or observes
+// down==false here and must apply the write directly.
+func (n *storageNode) queueHint(h hint) bool {
+	n.hintMu.Lock()
+	defer n.hintMu.Unlock()
+	if !n.down.Load() {
+		return false
+	}
+	n.hints = append(n.hints, h)
+	return true
+}
+
+// forceHint queues a mutation unconditionally — for writes that could
+// not be applied to a live node (persistent injected fault, node being
+// torn down). Such hints are replayed when the fault profile clears
+// (InjectFault) or the node is revived.
+func (n *storageNode) forceHint(h hint) {
 	n.hintMu.Lock()
 	n.hints = append(n.hints, h)
 	n.hintMu.Unlock()
@@ -621,25 +641,52 @@ func (c *Cluster) serveNodeCtx(ctx context.Context, node *storageNode, f func(be
 	return d, nil
 }
 
+// writeFaultAttempts bounds a write's visits to a replica with an
+// injected fault profile: faults model transient per-visit errors
+// (deterministically spread by rate), so retrying a few times lands a
+// success for any ErrRate below ~0.75. Only a node that keeps erroring
+// (effectively ErrRate 1) falls back to the hint queue.
+const writeFaultAttempts = 4
+
+// writeReplica applies one mutation to a single replica. A down node
+// gets it queued as a hint (replayed on revive); an injected transient
+// fault is retried rather than hinted, because hints on a node that
+// never goes through ReviveNode would sit unreplayed while the node
+// keeps serving reads; a node that errors persistently gets the hint
+// force-queued for replay when its fault profile clears. visit runs the
+// mutation on the engine and reports the byte volume to charge.
+// Returns whether the mutation ended up hinted instead of applied.
+func (c *Cluster) writeReplica(node *storageNode, h hint, visit func(be backend.Backend) int) bool {
+	for attempt := 0; attempt < writeFaultAttempts; attempt++ {
+		if node.down.Load() && node.queueHint(h) {
+			return true
+		}
+		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
+			return visit(be), 0
+		})
+		if err == nil {
+			return false
+		}
+		// errNodeFault: retry — the next visit likely succeeds.
+		// errNodeDown: loop back to the queueHint path; if the node was
+		// concurrently revived instead, the next visit applies directly.
+	}
+	node.forceHint(h)
+	return true
+}
+
 // applyWrite runs one mutation on every replica of the route: live
-// replicas serve it, down or faulting ones get it queued as a hint
-// (replayed on revive) and the write is counted under-replicated.
+// replicas serve it (retrying transient injected faults), down ones get
+// it queued as a hint (replayed on revive) and the write is counted
+// under-replicated.
 func (c *Cluster) applyWrite(rt *route, bytes int, mk func() hint) {
 	short := false
 	for _, node := range rt.nodes {
 		h := mk()
-		if node.down.Load() {
-			node.addHint(h)
-			c.hintedWrites.Add(1)
-			short = true
-			continue
-		}
-		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
+		if c.writeReplica(node, h, func(be backend.Backend) int {
 			applyHint(be, h)
-			return bytes, 0
-		})
-		if err != nil {
-			node.addHint(h)
+			return bytes
+		}) {
 			c.hintedWrites.Add(1)
 			short = true
 		}
@@ -1139,37 +1186,30 @@ func (c *Cluster) retryScan(ctx context.Context, ref ScanRef, exclude *storageNo
 }
 
 // Delete removes a row from all replicas; it reports whether the row
-// existed on the first replica that applied the delete.
+// existed on any replica that applied the delete. Any-of (rather than
+// first-of) matters during a rebalance dual-write window: writeRoute
+// lists the new-ring owners first, and a new owner whose handoff has
+// not landed yet legitimately lacks the row while the old owner still
+// holds it.
 func (c *Cluster) Delete(table, pkey, ckey string) bool {
 	c.writeGate.RLock()
 	defer c.writeGate.RUnlock()
 	var rt route
 	c.writeRoute(table, pkey, &rt)
 	existed := false
-	first := true
 	short := false
 	for _, node := range rt.nodes {
-		if node.down.Load() {
-			node.addHint(hint{op: hintDelete, table: table, pkey: pkey, ckey: ckey})
-			c.hintedWrites.Add(1)
-			short = true
-			continue
-		}
 		var ex bool
-		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
-			ex = be.Delete(table, pkey, ckey)
-			return 0, 0
-		})
-		if err != nil {
-			node.addHint(hint{op: hintDelete, table: table, pkey: pkey, ckey: ckey})
+		if c.writeReplica(node, hint{op: hintDelete, table: table, pkey: pkey, ckey: ckey},
+			func(be backend.Backend) int {
+				ex = be.Delete(table, pkey, ckey)
+				return 0
+			}) {
 			c.hintedWrites.Add(1)
 			short = true
 			continue
 		}
-		if first {
-			existed = ex
-			first = false
-		}
+		existed = existed || ex
 	}
 	if short {
 		c.underRepWrites.Add(1)

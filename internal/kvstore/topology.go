@@ -94,34 +94,68 @@ func (c *Cluster) ReviveNode(id int) error {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	// Drain-replay until empty: a writer that saw the node down may
-	// append one more hint while we replay the previous batch.
+	// append one more hint while we replay the previous batch. The final
+	// empty check and the down flip happen under hintMu together, and
+	// writers append through queueHint, which re-checks down under the
+	// same lock — so every hint either lands in a batch this loop
+	// replays, or the writer observes down==false and applies directly.
 	for {
 		node.hintMu.Lock()
+		if len(node.hints) == 0 {
+			node.down.Store(false)
+			node.hintMu.Unlock()
+			return nil
+		}
 		hs := node.hints
 		node.hints = nil
 		node.hintMu.Unlock()
-		if len(hs) == 0 {
-			break
-		}
 		for _, h := range hs {
 			applyHint(node.be, h)
 		}
 	}
-	node.down.Store(false)
-	return nil
 }
 
 // InjectFault installs (or, with nil, clears) a fault profile on a
 // node. Unlike FailNode the node stays a valid read target — a faulting
 // visit errors and the read fails over, which is how tests exercise the
-// failover path without taking a replica fully out.
+// failover path without taking a replica fully out. Clearing the
+// profile replays any hints writes force-queued against a persistently
+// erroring node (writeReplica), so the node does not keep serving reads
+// while silently missing mutations: unlike FailNode hints, these would
+// otherwise wait for a ReviveNode that never comes.
 func (c *Cluster) InjectFault(id int, f *Fault) error {
 	node := c.nodeAt(id)
 	if node == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	node.fault.Store(f)
+	if f == nil || f.ErrRate <= 0 {
+		c.replayHints(node)
+	}
 	return nil
+}
+
+// replayHints applies a live node's queued hints under its service
+// lock. A down node keeps its hints for ReviveNode, which replays them
+// and flips the node back up atomically.
+func (c *Cluster) replayHints(node *storageNode) {
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	if node.closed || node.down.Load() {
+		return
+	}
+	for {
+		node.hintMu.Lock()
+		hs := node.hints
+		node.hints = nil
+		node.hintMu.Unlock()
+		if len(hs) == 0 {
+			return
+		}
+		for _, h := range hs {
+			applyHint(node.be, h)
+		}
+	}
 }
 
 // NodeDown reports whether the node is currently marked failed.
@@ -138,14 +172,18 @@ func (c *Cluster) AddNode(id int) error {
 	if id < 0 {
 		return fmt.Errorf("kvstore: add node: id must be >= 0, got %d", id)
 	}
-	if c.rebActive.Load() {
-		return ErrRebalancing
-	}
 	factory := c.cfg.Backend
 	if factory == nil {
 		factory = memtable.Factory()
 	}
+	// The rebActive check and beginRebalanceLocked's set must be one
+	// critical section under topoMu: two concurrent topology calls must
+	// not both pass the check and arm two overlapping migrations.
 	c.topoMu.Lock()
+	if c.rebActive.Load() {
+		c.topoMu.Unlock()
+		return ErrRebalancing
+	}
 	if _, ok := c.nodes[id]; ok {
 		c.topoMu.Unlock()
 		return fmt.Errorf("%w: %d", ErrDuplicateNode, id)
@@ -168,10 +206,12 @@ func (c *Cluster) AddNode(id int) error {
 // factor. Reads keep being served by the retiring node until each
 // partition's handoff commits.
 func (c *Cluster) RemoveNode(id int) error {
+	// Check-and-arm under topoMu, as in AddNode: see the comment there.
+	c.topoMu.Lock()
 	if c.rebActive.Load() {
+		c.topoMu.Unlock()
 		return ErrRebalancing
 	}
-	c.topoMu.Lock()
 	if _, ok := c.nodes[id]; !ok {
 		c.topoMu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
@@ -290,14 +330,17 @@ func (c *Cluster) rebalance(retiring int) {
 		}
 	}
 
-	if retiring >= 0 {
+	// On a failed commit the retiring node is kept too, still serving its
+	// copies: the persisted topology lists it, and closing it would make
+	// the live cluster diverge from what a restart recovers. A later
+	// RemoveNode (after the operator fixes the commit path) retires it.
+	if retiring >= 0 && commitErr == nil {
 		node := c.nodeAt(retiring)
 		if node != nil {
 			node.mu.Lock()
 			if !node.closed {
 				node.closed = true
-				err := node.be.Close()
-				if err != nil && commitErr == nil {
+				if err := node.be.Close(); err != nil {
 					c.topoMu.Lock()
 					c.rebErr = fmt.Errorf("kvstore: retire node %d: %w", retiring, err)
 					c.topoMu.Unlock()
@@ -443,22 +486,22 @@ func (c *Cluster) movePartition(m *pendingMove) int64 {
 			if node == nil {
 				continue
 			}
-			if node.down.Load() {
-				// The new owner is down: hint every row so revive
-				// replays the handoff.
-				for _, r := range rows {
-					node.addHint(hint{op: hintPut, table: m.table, pkey: m.pkey, ckey: r.CKey, value: r.Value})
+			// A down new owner gets each row hinted so revive replays
+			// the handoff; queueHint re-checks down under hintMu, so a
+			// concurrent revive cannot strand a hint — rows it refuses
+			// are applied directly to the now-live engine.
+			for _, r := range rows {
+				h := hint{op: hintPut, table: m.table, pkey: m.pkey, ckey: r.CKey, value: r.Value}
+				if node.down.Load() && node.queueHint(h) {
+					c.hintedWrites.Add(1)
+					continue
 				}
-				c.hintedWrites.Add(int64(len(rows)))
-				continue
-			}
-			node.mu.Lock()
-			if !node.closed {
-				for _, r := range rows {
+				node.mu.Lock()
+				if !node.closed {
 					node.be.Put(m.table, m.pkey, r.CKey, r.Value)
 				}
+				node.mu.Unlock()
 			}
-			node.mu.Unlock()
 		}
 	}
 
@@ -485,8 +528,7 @@ func (c *Cluster) dropOldCopies(m *pendingMove) {
 		if node == nil {
 			continue
 		}
-		if node.down.Load() {
-			node.addHint(hint{op: hintDrop, table: m.table, pkey: m.pkey})
+		if node.down.Load() && node.queueHint(hint{op: hintDrop, table: m.table, pkey: m.pkey}) {
 			continue
 		}
 		node.mu.Lock()

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -299,6 +300,184 @@ func TestAddNodeUnderLiveTraffic(t *testing.T) {
 		if v, ok := c.Get("t", pk, "c"); ok && string(v) != "vc-"+pk {
 			t.Fatalf("mid-rebalance write corrupted for %s: %q", pk, v)
 		}
+	}
+}
+
+// TestConcurrentTopologyCallsSerialized races several AddNode calls:
+// the rebActive check-and-arm is one critical section under topoMu, so
+// the losers must see ErrRebalancing and two migrations can never
+// overlap (the double-begin corrupted handoff state and double-closed
+// rebDone before the check moved under the lock).
+func TestConcurrentTopologyCallsSerialized(t *testing.T) {
+	c := NewCluster(Config{Machines: 3, Replication: 2, RebalanceRate: -1})
+	defer c.Close()
+	check := fillCluster(t, c, 30)
+	id := 3
+	for round := 0; round < 10; round++ {
+		var wg sync.WaitGroup
+		var errs [3]error
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = c.AddNode(id + i)
+			}(i)
+		}
+		wg.Wait()
+		added := 0
+		for _, err := range errs {
+			switch {
+			case err == nil:
+				added++
+			case errors.Is(err, ErrRebalancing):
+			default:
+				t.Fatal(err)
+			}
+		}
+		if added == 0 {
+			t.Fatal("no AddNode won the race")
+		}
+		if err := c.WaitRebalance(); err != nil {
+			t.Fatal(err)
+		}
+		// Shrink back to the base set so rounds don't accumulate nodes.
+		for i, err := range errs {
+			if err != nil {
+				continue
+			}
+			for {
+				rmErr := c.RemoveNode(id + i)
+				if rmErr == nil {
+					break
+				}
+				if !errors.Is(rmErr, ErrRebalancing) {
+					t.Fatal(rmErr)
+				}
+				c.WaitRebalance()
+			}
+			if err := c.WaitRebalance(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		id += 3
+	}
+	check()
+}
+
+// TestReviveConcurrentWritesNotLost hammers writes against a replica
+// that flaps down/up: the hint append re-checks down under the same
+// lock as revive's final drain, so no mutation may strand in the hint
+// queue while the node serves reads.
+func TestReviveConcurrentWritesNotLost(t *testing.T) {
+	c := newTestCluster(2, 2)
+	defer c.Close()
+	const n = 300
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.FailNode(0)
+			c.ReviveNode(0)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		pk := fmt.Sprintf("p%04d", i)
+		c.Put("t", pk, "k", []byte("v-"+pk))
+	}
+	close(stop)
+	wg.Wait()
+	if err := c.ReviveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	// Force every read onto node 0: each write must have been applied or
+	// replayed there, never left queued.
+	c.FailNode(1)
+	for i := 0; i < n; i++ {
+		pk := fmt.Sprintf("p%04d", i)
+		if v, ok := c.Get("t", pk, "k"); !ok || string(v) != "v-"+pk {
+			t.Fatalf("write lost on flapping replica: %s ok=%v v=%q", pk, ok, v)
+		}
+	}
+}
+
+// TestPersistentFaultWritesReplayOnClear drives writes into a replica
+// whose every visit errors: the mutations hint, and clearing the fault
+// profile replays them (a faulting node never passes through
+// ReviveNode, which used to leave such hints stranded forever).
+func TestPersistentFaultWritesReplayOnClear(t *testing.T) {
+	c := newTestCluster(2, 2)
+	defer c.Close()
+	if err := c.InjectFault(0, &Fault{ErrRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pk := fmt.Sprintf("p%02d", i)
+		c.Put("t", pk, "k", []byte("v-"+pk))
+	}
+	if m := c.Metrics(); m.HintedWrites == 0 || m.UnderReplicatedWrites == 0 {
+		t.Fatalf("writes against a persistent fault should hint, got %+v", m)
+	}
+	if err := c.InjectFault(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.FailNode(1) // force every read onto the previously faulty node
+	for i := 0; i < 20; i++ {
+		pk := fmt.Sprintf("p%02d", i)
+		if v, ok := c.Get("t", pk, "k"); !ok || string(v) != "v-"+pk {
+			t.Fatalf("hint not replayed on fault clear for %s: ok=%v v=%q", pk, ok, v)
+		}
+	}
+}
+
+// TestTransientFaultWritesRetry: a fault profile below the retry budget
+// must not hint at all — the write lands on every replica by retrying.
+func TestTransientFaultWritesRetry(t *testing.T) {
+	c := newTestCluster(2, 2)
+	defer c.Close()
+	if err := c.InjectFault(0, &Fault{ErrRate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pk := fmt.Sprintf("p%02d", i)
+		c.Put("t", pk, "k", []byte("v-"+pk))
+	}
+	if m := c.Metrics(); m.HintedWrites != 0 {
+		t.Fatalf("transient faults should be retried, not hinted: %+v", m)
+	}
+	c.InjectFault(0, nil)
+	c.FailNode(1)
+	for i := 0; i < 20; i++ {
+		pk := fmt.Sprintf("p%02d", i)
+		if v, ok := c.Get("t", pk, "k"); !ok || string(v) != "v-"+pk {
+			t.Fatalf("retried write missing on %s: ok=%v v=%q", pk, ok, v)
+		}
+	}
+}
+
+// TestDeleteReportsExistedAcrossReplicas: Delete must OR "existed" over
+// the replicas, since during a handoff the first-listed (new-ring)
+// owner may not hold the row yet while an old owner does.
+func TestDeleteReportsExistedAcrossReplicas(t *testing.T) {
+	c := newTestCluster(2, 2)
+	defer c.Close()
+	c.Put("t", "p", "k", []byte("v"))
+	// Model a replica that has not received the partition yet by erasing
+	// the row from the first write-route owner's engine directly.
+	var rt route
+	c.writeRoute("t", "p", &rt)
+	rt.nodes[0].be.Delete("t", "p", "k")
+	if !c.Delete("t", "p", "k") {
+		t.Fatal("Delete should report existed while any replica held the row")
+	}
+	if c.Delete("t", "p", "k") {
+		t.Fatal("second Delete should report not-existed")
 	}
 }
 
