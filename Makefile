@@ -6,11 +6,16 @@
 GO ?= go
 
 # Fail `make cover` when total -short statement coverage drops below
-# this floor (the tree sits around 71%; the floor leaves headroom for
-# incidental drift, not for untested subsystems).
-COVER_FLOOR ?= 60.0
+# this floor (the tree sits around 69%; the floor leaves headroom for
+# incidental drift, not for untested subsystems). The replicated
+# kvstore and the placement ring carry their own floors — their tests
+# are the consistency acceptance surface, so a regression there must
+# not hide inside an unchanged total.
+COVER_FLOOR ?= 65.0
+KVSTORE_FLOOR ?= 78.0
+RING_FLOOR ?= 82.0
 
-.PHONY: ci vet build test test-race test-full cover fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel bench-serve bench-rebalance profile
+.PHONY: ci vet build test test-race test-full cover fuzz fmt-check fmt docs-check bench bench-cache bench-tiering bench-reopen bench-parallel bench-serve bench-rebalance bench-quorum profile
 
 ci: vet build test test-race fmt-check
 
@@ -29,15 +34,23 @@ test-race:
 test-full:
 	$(GO) test ./...
 
-# Total -short statement coverage with a hard floor; prints the
+# Total -short statement coverage with hard floors (total plus the
+# kvstore/ring per-package floors, scripts/coverfloor); prints the
 # per-function summary so CI logs show what regressed.
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
 	@$(GO) tool cover -func=coverage.out | tail -20
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
-	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
-	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 < f+0) }' && \
-		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; } || true
+	$(GO) run ./scripts/coverfloor -profile coverage.out -total $(COVER_FLOOR) \
+		-pkg hgs/internal/kvstore=$(KVSTORE_FLOOR) -pkg hgs/internal/ring=$(RING_FLOOR)
+
+# Brief native fuzzing of the decode and placement invariants (the same
+# targets `make test` replays against the committed corpora). CI runs
+# this on every push; the nightly chaos job fuzzes longer.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/codec/ -fuzz FuzzUnframe -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/codec/ -fuzz FuzzDecodeDelta -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/ring/ -fuzz FuzzRingLookup -fuzztime $(FUZZTIME) -run '^$$'
 
 fmt-check:
 	@files="$$(gofmt -l .)"; \
@@ -92,6 +105,13 @@ bench-serve:
 # replica down — every phase byte-identical to the healthy baseline.
 bench-rebalance:
 	$(GO) run ./cmd/hgs-bench -run rebalance
+
+# Consistency: quorum-read amplification and latency vs the R=1
+# baseline (healthy, one replica down, concurrent anti-entropy sweep),
+# and write-all vs W=1 latency with a slow replica — read phases must
+# answer bit-identically and repair nothing while healthy.
+bench-quorum:
+	$(GO) run ./cmd/hgs-bench -run quorum
 
 # CPU and allocation profiles over the Figure 11 bench workload
 # (snapshot retrieval with parallel fetch — the read hot path). Inspect

@@ -340,6 +340,25 @@ type Options struct {
 	// CompactRate convention: zero picks the 8 MiB/s default, negative
 	// disables the limit. A runtime knob, not persisted.
 	RebalanceRate int64
+	// ReadQuorum is the number of replicas a storage read consults (R).
+	// The default 1 reads one replica (failing over past down nodes);
+	// with R > 1 reads fan out, answer with the newest version by stamp
+	// and repair stale replicas in the background. Clamped to
+	// [1, Replication]. A runtime knob, not persisted.
+	ReadQuorum int
+	// WriteQuorum is the number of replica acknowledgements a storage
+	// write waits for (W); default waits for all. With W < Replication
+	// the write returns after W live replicas applied it, the rest
+	// complete in the background. R+W > Replication keeps reads
+	// covering the latest write. A runtime knob, not persisted.
+	WriteQuorum int
+	// AntiEntropyInterval, when positive, runs the storage cluster's
+	// background replica comparator at this period: per-partition merkle
+	// digests across replicas, streaming only divergent partitions
+	// (rate-limited by RebalanceRate). Zero disables the loop;
+	// Store.RepairPartitions triggers a sweep on demand. A runtime
+	// knob, not persisted.
+	AntiEntropyInterval time.Duration
 	// SimulateLatency enables the storage latency model (off for unit
 	// tests, on for benchmarks).
 	SimulateLatency bool
@@ -786,14 +805,22 @@ func Open(opts Options) (*Store, error) {
 		// Handles over the same DataDir share one decoded-delta cache.
 		cacheKey, cfg.Cache = acquireSharedCache(opts.DataDir, core.CacheBudget(opts.CacheBytes))
 	}
+	hintDir := ""
+	if opts.DataDir != "" {
+		hintDir = filepath.Join(opts.DataDir, "hints")
+	}
 	cluster, err := kvstore.Open(kvstore.Config{
-		Nodes:            nodes,
-		Replication:      replication,
-		VirtualNodes:     vnodes,
-		RebalanceRate:    opts.RebalanceRate,
-		Latency:          lat,
-		Backend:          factory,
-		OnTopologyCommit: commit,
+		Nodes:               nodes,
+		Replication:         replication,
+		ReadQuorum:          opts.ReadQuorum,
+		WriteQuorum:         opts.WriteQuorum,
+		HintDir:             hintDir,
+		AntiEntropyInterval: opts.AntiEntropyInterval,
+		VirtualNodes:        vnodes,
+		RebalanceRate:       opts.RebalanceRate,
+		Latency:             lat,
+		Backend:             factory,
+		OnTopologyCommit:    commit,
 	})
 	if err != nil {
 		releaseSharedCache(cacheKey)
@@ -1132,6 +1159,9 @@ type (
 	// Fault is a per-node fault-injection profile: visits error with
 	// probability ErrRate and are slowed by ExtraLatency.
 	Fault = kvstore.Fault
+	// RepairStats summarizes one anti-entropy sweep: partitions found
+	// divergent and converged, plus the rows and bytes streamed.
+	RepairStats = kvstore.RepairStats
 )
 
 // Topology sentinels, matched with errors.Is.
@@ -1147,6 +1177,9 @@ var (
 	// ErrTooFewNodes: removal would leave fewer nodes than the
 	// replication factor (HTTP 409).
 	ErrTooFewNodes = kvstore.ErrTooFewNodes
+	// ErrRepairRunning: an anti-entropy sweep is already in progress
+	// (HTTP 409).
+	ErrRepairRunning = kvstore.ErrRepairRunning
 )
 
 // Topology inspects the storage cluster: ring share, health, stored
@@ -1219,6 +1252,21 @@ func (s *Store) InjectFault(id int, f *Fault) error {
 	}
 	defer s.endOp()
 	return s.cluster.InjectFault(id, f)
+}
+
+// RepairPartitions runs one anti-entropy sweep over the storage
+// cluster: replicas exchange merkle-style per-partition digests and
+// only divergent partitions are re-streamed (newest row version wins,
+// rate-limited by Options.RebalanceRate). Returns what the sweep
+// converged — all zero on a healthy cluster. Fails with
+// ErrRepairRunning when a sweep is already in progress and
+// ErrRebalancing while a topology change is streaming.
+func (s *Store) RepairPartitions() (RepairStats, error) {
+	if err := s.beginOp(); err != nil {
+		return RepairStats{}, err
+	}
+	defer s.endOp()
+	return s.cluster.RepairPartitions()
 }
 
 // Rebalancing reports whether a background topology migration is

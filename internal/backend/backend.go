@@ -19,7 +19,9 @@
 package backend
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 )
@@ -169,6 +171,34 @@ type TierReader interface {
 // only movement is).
 type TableLister interface {
 	Tables() []string
+}
+
+// DigestRows computes the canonical digest of a partition's rows for
+// anti-entropy comparison: FNV-1a over length-prefixed clustering keys
+// and values, in clustering order. Every engine must digest identical
+// rows identically, so replicas on different engine types can still be
+// compared — which is why this helper, not the engines, defines the
+// byte layout.
+func DigestRows(rows []Row) uint64 {
+	h := fnv.New64a()
+	var n [4]byte
+	for _, r := range rows {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(r.CKey)))
+		h.Write(n[:])
+		h.Write([]byte(r.CKey))
+		binary.LittleEndian.PutUint32(n[:], uint32(len(r.Value)))
+		h.Write(n[:])
+		h.Write(r.Value)
+	}
+	return h.Sum64()
+}
+
+// Digester is an optional interface of engines that can digest one
+// partition without materializing caller-owned row copies the way
+// ScanPrefix must. The result must equal DigestRows over the
+// partition's rows. Engines without it are digested through a scan.
+type Digester interface {
+	DigestPartition(table, pkey string) uint64
 }
 
 // Backuper is an optional interface of durable engines that can write a

@@ -194,6 +194,17 @@ func (s *Store) PartitionKeys(table string) []string {
 	return out
 }
 
+// DigestPartition digests one partition for anti-entropy comparison
+// straight off the sorted row slice — no per-row value copies the way
+// a ScanPrefix-then-DigestRows round trip would allocate.
+func (s *Store) DigestPartition(table, pkey string) uint64 {
+	p := s.partitionFor(table, pkey, false)
+	if p == nil {
+		return backend.DigestRows(nil)
+	}
+	return backend.DigestRows(p.rows)
+}
+
 // StoredBytes returns the logical live bytes held by this engine.
 func (s *Store) StoredBytes() int64 { return s.stored }
 

@@ -131,6 +131,14 @@ type PassMetrics struct {
 	RowsMoved      int64   `json:"rows_moved,omitempty"`
 	RelocatedShare float64 `json:"relocated_share,omitempty"`
 	DegradedReads  int64   `json:"degraded_reads,omitempty"`
+	// KVWrites, ReadRepairs and AntiEntropyBytes are reported by the
+	// quorum experiment. ReadRepairs is ratcheted with a zero baseline:
+	// a healthy serving path that starts repairing divergence is a
+	// regression however small the count. AntiEntropyBytes depends on
+	// sweep/serve interleaving, so perfdiff treats it as informational.
+	KVWrites         int64 `json:"kv_writes,omitempty"`
+	ReadRepairs      int64 `json:"read_repairs,omitempty"`
+	AntiEntropyBytes int64 `json:"anti_entropy_bytes,omitempty"`
 }
 
 // Result is one regenerated table or figure.

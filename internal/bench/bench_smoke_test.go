@@ -372,12 +372,84 @@ func TestRebalanceSmoke(t *testing.T) {
 	}
 }
 
+// TestQuorumSmoke is the acceptance bar of the consistency subsystem,
+// run by `make test-full`: quorum reads answer bit-identically to the
+// R=1 baseline (healthy, degraded, and concurrent with an anti-entropy
+// sweep), a healthy cluster repairs nothing, R=2 roughly doubles
+// replica visits, and W=1 shields callers from a slow replica that
+// write-all has to wait for.
+func TestQuorumSmoke(t *testing.T) {
+	skipIfShort(t)
+	passes := QuorumPasses(tinyScale())
+	if len(passes) != 6 {
+		t.Fatalf("got %d passes, want 6", len(passes))
+	}
+	labels := []string{"read-r1", "read-r2", "read-r2-degraded", "read-r2-antientropy",
+		"write-w3-slow-replica", "write-w1-slow-replica"}
+	for i, p := range passes {
+		if p.Label != labels[i] {
+			t.Fatalf("pass %d labelled %q, want %q", i, p.Label, labels[i])
+		}
+	}
+	base := passes[0]
+	for _, p := range passes[:4] {
+		if p.Digest != base.Digest {
+			t.Fatalf("%s phase digest %016x differs from baseline %016x (quorum read lost or corrupted rows)",
+				p.Label, p.Digest, base.Digest)
+		}
+		if p.Ops == 0 || p.P99 <= 0 || p.P99 < p.P50 {
+			t.Fatalf("%s phase latency incoherent: %+v", p.Label, p)
+		}
+		if p.ReadRepairs != 0 {
+			t.Fatalf("%s phase repaired %d rows on a healthy workload — replicas diverged during serving",
+				p.Label, p.ReadRepairs)
+		}
+	}
+	r1, r2 := passes[0], passes[1]
+	if r2.RoundTrips <= r1.RoundTrips {
+		t.Fatalf("R=2 did not amplify replica visits: %d vs %d", r2.RoundTrips, r1.RoundTrips)
+	}
+	if passes[2].Failovers == 0 {
+		t.Fatalf("degraded phase saw no failovers: %+v", passes[2])
+	}
+	if passes[3].AEBytes != 0 || passes[3].AERows != 0 {
+		t.Fatalf("anti-entropy streamed %d rows/%d bytes on a consistent cluster", passes[3].AERows, passes[3].AEBytes)
+	}
+	wAll, w1 := passes[4], passes[5]
+	if wAll.Writes != quorumWriteOps || w1.Writes != quorumWriteOps {
+		t.Fatalf("write passes lost writes: %d and %d, want %d", wAll.Writes, w1.Writes, int64(quorumWriteOps))
+	}
+	// Every write reaches all 3 replicas eventually (Quiesce before the
+	// metrics read), whatever the ack quorum.
+	for _, p := range passes[4:] {
+		if p.RoundTrips < int64(quorumWriteOps*quorumReplication) {
+			t.Fatalf("%s: %d round-trips, want >= %d (3 replicas per write)",
+				p.Label, p.RoundTrips, quorumWriteOps*quorumReplication)
+		}
+	}
+	if w1.P99 >= wAll.P99 {
+		t.Fatalf("W=1 p99 (%.0fµs) not below write-all p99 (%.0fµs) with a +300µs replica",
+			w1.P99*1e6, wAll.P99*1e6)
+	}
+
+	r := QuorumBench(tinyScale())
+	checkResult(t, r, 2)
+	if len(r.Passes) != 6 {
+		t.Fatalf("quorum result carries %d passes, want 6", len(r.Passes))
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("answers bit-identical: true")) {
+		t.Fatal("quorum result missing the bit-identity note")
+	}
+}
+
 func TestRunnersComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14a", "fig14b", "fig14c", "fig15a", "fig15b", "fig15c",
 		"fig16", "fig17", "cache", "tiering", "reopen", "parallel",
-		"serve", "rebalance", "ablation-arity", "ablation-vc",
+		"serve", "rebalance", "quorum", "ablation-arity", "ablation-vc",
 	}
 	for _, id := range want {
 		if _, ok := Runners[id]; !ok {

@@ -662,7 +662,7 @@ var Order = []string{
 	"fig15a", "fig15b", "fig15c",
 	"fig16", "fig17",
 	"cache", "tiering", "reopen", "parallel", "serve", "rebalance",
-	"ablation-arity", "ablation-vc",
+	"quorum", "ablation-arity", "ablation-vc",
 }
 
 // All runs every experiment in paper order.
@@ -696,6 +696,7 @@ var Runners = map[string]func(Scale) *Result{
 	"parallel":       ParallelBench,
 	"serve":          ServeBench,
 	"rebalance":      RebalanceBench,
+	"quorum":         QuorumBench,
 	"ablation-arity": AblationArity,
 	"ablation-vc":    AblationVersionChains,
 }

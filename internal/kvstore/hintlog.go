@@ -1,0 +1,245 @@
+package kvstore
+
+// Durable hinted handoff. Every hint queued for a node is mirrored to a
+// per-node append-only log under Config.HintDir, so the queue survives
+// a process restart: hints pending at Open are replayed (stamp-guarded)
+// straight into the node's engine before the cluster serves traffic,
+// and the log is truncated whenever the in-memory queue fully drains
+// (revive, fault-clear). The record framing follows the disklog WAL:
+//
+//	[u32 payload length][u32 IEEE CRC32 of payload][payload]
+//
+// both little-endian, payload =
+//
+//	[op byte][u32 len][table][u32 len][pkey][u32 len][ckey][u32 len][value]
+//
+// A torn tail (partial record, bad CRC) is truncated at the last good
+// record on open — the tail hint was not acknowledged as hinted
+// durably, and the write that queued it was already counted
+// under-replicated, so dropping it is the crash semantics hints always
+// had, just with a far smaller window. Appends fsync before returning:
+// hints are rare (a replica was down), so the write path only pays the
+// sync when already degraded.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// hintRecHeader is the per-record framing overhead: payload length and
+// CRC32, both little-endian u32.
+const hintRecHeader = 8
+
+// maxHintRecord guards decode against a corrupt length prefix.
+const maxHintRecord = 1 << 30
+
+// hintFileName names node id's hint log inside Config.HintDir.
+func hintFileName(id int) string { return fmt.Sprintf("node-%03d.hints", id) }
+
+// hintLog is one node's durable hint queue. All methods are called with
+// the owning node's hintMu held (append/reset) or during single-threaded
+// open/teardown, so the type needs no lock of its own.
+type hintLog struct {
+	f    *os.File
+	path string
+	// size is the current valid length; appends extend it, reset zeroes
+	// it. Kept in memory so reset can skip the syscall when already
+	// empty (the common case: every drain after the first).
+	size int64
+}
+
+// openHintLog opens (creating if needed) the hint log at path and
+// decodes its pending records, truncating a torn tail. The returned
+// hints are in append order.
+func openHintLog(path string) (*hintLog, []hint, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var pending []hint
+	off := 0
+	for off+hintRecHeader <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxHintRecord || off+hintRecHeader+n > len(data) {
+			break
+		}
+		payload := data[off+hintRecHeader : off+hintRecHeader+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		h, ok := decodeHint(payload)
+		if !ok {
+			break
+		}
+		pending = append(pending, h)
+		off += hintRecHeader + n
+	}
+	if int64(off) != int64(len(data)) {
+		// Torn tail: drop everything past the last good record.
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &hintLog{f: f, path: path, size: int64(off)}, pending, nil
+}
+
+// encodeHint serializes one hint payload.
+func encodeHint(h hint) []byte {
+	n := 1 + 4*4 + len(h.table) + len(h.pkey) + len(h.ckey) + len(h.value)
+	out := make([]byte, 0, n)
+	out = append(out, byte(h.op))
+	for _, s := range []string{h.table, h.pkey, h.ckey} {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(h.value)))
+	out = append(out, h.value...)
+	return out
+}
+
+// decodeHint parses one hint payload, reporting malformed input.
+func decodeHint(p []byte) (hint, bool) {
+	var h hint
+	if len(p) < 1 {
+		return h, false
+	}
+	op := hintOp(p[0])
+	if op > hintDrop {
+		return h, false
+	}
+	h.op = op
+	p = p[1:]
+	next := func() ([]byte, bool) {
+		if len(p) < 4 {
+			return nil, false
+		}
+		n := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if n > maxHintRecord || n > len(p) {
+			return nil, false
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, true
+	}
+	fields := make([][]byte, 4)
+	for i := range fields {
+		b, ok := next()
+		if !ok {
+			return h, false
+		}
+		fields[i] = b
+	}
+	if len(p) != 0 {
+		return h, false
+	}
+	h.table = string(fields[0])
+	h.pkey = string(fields[1])
+	h.ckey = string(fields[2])
+	if len(fields[3]) > 0 {
+		h.value = append([]byte(nil), fields[3]...)
+	}
+	return h, true
+}
+
+// append durably records one queued hint. Errors are swallowed after
+// marking the log broken by closing it — in-memory hints still replay
+// on revive; only restart durability degrades, matching the pre-log
+// behavior rather than failing the write.
+func (l *hintLog) append(h hint) {
+	if l.f == nil {
+		return
+	}
+	payload := encodeHint(h)
+	rec := make([]byte, hintRecHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	copy(rec[hintRecHeader:], payload)
+	if _, err := l.f.Write(rec); err != nil {
+		l.f.Close()
+		l.f = nil
+		return
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		l.f = nil
+		return
+	}
+	l.size += int64(len(rec))
+}
+
+// reset marks every record replayed: the in-memory queue drained, so
+// the log restarts empty.
+func (l *hintLog) reset() {
+	if l.f == nil || l.size == 0 {
+		return
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.f.Close()
+		l.f = nil
+		return
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.f.Close()
+		l.f = nil
+		return
+	}
+	l.f.Sync()
+	l.size = 0
+}
+
+// Close releases the file handle.
+func (l *hintLog) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// removeFile closes the log and deletes it from disk (node retired).
+func (l *hintLog) removeFile() {
+	l.Close()
+	os.Remove(l.path)
+}
+
+// attachHintLog opens node's durable hint log under cfg.HintDir. With
+// replay set (cluster open), records pending from the previous process
+// are applied stamp-guarded to the node's engine — the node starts
+// live, so its missed mutations must land before traffic does. AddNode
+// attaches without replay: a brand-new node has no legitimate pending
+// hints, and a stale file left by an earlier incarnation of the id must
+// not resurrect rows. Either way the log restarts empty.
+func (c *Cluster) attachHintLog(node *storageNode, replay bool) error {
+	hl, pending, err := openHintLog(filepath.Join(c.cfg.HintDir, hintFileName(node.id)))
+	if err != nil {
+		return fmt.Errorf("kvstore: hint log node %d: %w", node.id, err)
+	}
+	if replay {
+		for _, h := range pending {
+			replayHint(node.be, h)
+		}
+	}
+	hl.reset()
+	node.hlog = hl
+	return nil
+}

@@ -88,6 +88,29 @@ type Config struct {
 	Nodes []int
 	// Replication is the number of replicas per partition (paper r).
 	Replication int
+	// ReadQuorum is the number of replicas a read consults (R). The
+	// default 1 preserves read-one behavior; with R > 1 reads fan out,
+	// return the newest version by stamp and queue read-repair for
+	// replicas observed stale. Clamped to [1, Replication].
+	ReadQuorum int
+	// WriteQuorum is the number of replica acknowledgements a write
+	// waits for (W). The default (0) waits for every replica, today's
+	// write-all behavior; with W < Replication the write returns after
+	// W live replicas applied it and the rest complete in the
+	// background. Clamped to [1, Replication]. R+W > Replication gives
+	// read-your-writes through the quorum intersection.
+	WriteQuorum int
+	// HintDir, when non-empty, persists each node's hinted-handoff
+	// queue to a per-node log under this directory (length-prefixed
+	// CRC32 records, disklog-style), so hints survive a process restart:
+	// they are replayed on revive and on reopen. Empty keeps hints
+	// in memory only.
+	HintDir string
+	// AntiEntropyInterval, when positive, runs a background
+	// anti-entropy sweep (RepairPartitions) at this period. Zero
+	// disables the loop; RepairPartitions can still be called
+	// explicitly.
+	AntiEntropyInterval time.Duration
 	// VirtualNodes is the number of points each node projects onto the
 	// placement ring; zero picks ring.DefaultVirtualNodes. Placement
 	// depends on it, so durable stores must reopen with the value they
@@ -151,6 +174,23 @@ func (c *Config) normalize() {
 	if c.RebalanceRate == 0 {
 		c.RebalanceRate = defaultRebalanceRate
 	}
+	c.ReadQuorum = clampQuorum(c.ReadQuorum, 1, c.Replication)
+	c.WriteQuorum = clampQuorum(c.WriteQuorum, c.Replication, c.Replication)
+}
+
+// clampQuorum normalizes a quorum knob: zero picks def, anything else
+// is clamped to [1, max].
+func clampQuorum(q, def, max int) int {
+	if q == 0 {
+		return def
+	}
+	if q < 1 {
+		return 1
+	}
+	if q > max {
+		return max
+	}
+	return q
 }
 
 // Metrics is a snapshot of cluster-wide counters. Reads and Writes count
@@ -194,6 +234,17 @@ type Metrics struct {
 	DegradedReads         int64
 	UnderReplicatedWrites int64
 	HintedWrites          int64
+
+	// ReadRepairs counts rows rewritten on a stale replica after a
+	// quorum read observed divergence (zero on a healthy cluster).
+	// The AntiEntropy* counters track the background comparator:
+	// sweeps run, partitions found divergent and repaired, and the
+	// rows/bytes streamed to converge them.
+	ReadRepairs           int64
+	AntiEntropyRuns       int64
+	AntiEntropyPartitions int64
+	AntiEntropyRows       int64
+	AntiEntropyBytes      int64
 
 	RebalancedPartitions int64
 	RebalancedRows       int64
@@ -261,9 +312,12 @@ type storageNode struct {
 
 	// hints queues mutations the node missed while down (or refused
 	// through a persistent injected fault), replayed in order by
-	// ReviveNode or when InjectFault clears the profile.
+	// ReviveNode or when InjectFault clears the profile. With a
+	// configured HintDir every queued hint is mirrored to hlog, so the
+	// queue also survives a process restart (replayed at Open).
 	hintMu sync.Mutex
 	hints  []hint
+	hlog   *hintLog
 }
 
 func newStorageNode(id int, be backend.Backend) *storageNode {
@@ -287,6 +341,9 @@ func (n *storageNode) queueHint(h hint) bool {
 		return false
 	}
 	n.hints = append(n.hints, h)
+	if n.hlog != nil {
+		n.hlog.append(h)
+	}
 	return true
 }
 
@@ -297,7 +354,19 @@ func (n *storageNode) queueHint(h hint) bool {
 func (n *storageNode) forceHint(h hint) {
 	n.hintMu.Lock()
 	n.hints = append(n.hints, h)
+	if n.hlog != nil {
+		n.hlog.append(h)
+	}
 	n.hintMu.Unlock()
+}
+
+// drainedHints marks the hint queue fully replayed: the durable log's
+// records are all applied, so the log restarts empty. Caller holds
+// hintMu with len(hints) == 0.
+func (n *storageNode) drainedHints() {
+	if n.hlog != nil {
+		n.hlog.reset()
+	}
 }
 
 // Cluster is the distributed store.
@@ -336,6 +405,26 @@ type Cluster struct {
 
 	rr uint64 // round-robin replica selector
 
+	// stamp is the cluster-wide write sequence (see stamp.go): every
+	// mutation takes the next value, so any two versions of a row order
+	// by stamp. readQ/writeQ are the runtime quorum knobs (SetQuorum).
+	stamp  atomic.Uint64
+	readQ  atomic.Int32
+	writeQ atomic.Int32
+
+	// repairCh feeds the background read-repair worker; pendingRepairs
+	// tracks enqueued-but-unapplied tasks so tests can quiesce. stopCh
+	// ends the worker and the anti-entropy loop; bg waits them out.
+	repairCh       chan repairTask
+	pendingRepairs atomic.Int64
+	stopOnce       sync.Once
+	stopCh         chan struct{}
+	bg             sync.WaitGroup
+
+	// aeActive serializes anti-entropy sweeps (background loop vs
+	// explicit RepairPartitions calls).
+	aeActive atomic.Bool
+
 	reads        atomic.Int64
 	writes       atomic.Int64
 	bytesRead    atomic.Int64
@@ -347,6 +436,11 @@ type Cluster struct {
 	degradedReads   atomic.Int64
 	underRepWrites  atomic.Int64
 	hintedWrites    atomic.Int64
+	readRepairs     atomic.Int64
+	aeRuns          atomic.Int64
+	aeParts         atomic.Int64
+	aeRows          atomic.Int64
+	aeBytes         atomic.Int64
 	rebalancedParts atomic.Int64
 	rebalancedRows  atomic.Int64
 	rebalancedBytes atomic.Int64
@@ -368,23 +462,63 @@ func Open(cfg Config) (*Cluster, error) {
 		factory = memtable.Factory()
 	}
 	c := &Cluster{
-		cfg:   cfg,
-		nodes: make(map[int]*storageNode, len(cfg.Nodes)),
-		ring:  ring.New(cfg.Nodes, cfg.VirtualNodes, cfg.Replication),
+		cfg:      cfg,
+		nodes:    make(map[int]*storageNode, len(cfg.Nodes)),
+		ring:     ring.New(cfg.Nodes, cfg.VirtualNodes, cfg.Replication),
+		repairCh: make(chan repairTask, repairQueueDepth),
+		stopCh:   make(chan struct{}),
+	}
+	// Seed the write-sequence stamp from the wall clock so stamps stay
+	// monotone across process restarts without scanning the engines for
+	// the previous maximum (the counter advances one per write, far
+	// slower than nanoseconds pass between sessions).
+	c.stamp.Store(uint64(time.Now().UnixNano()))
+	c.readQ.Store(int32(cfg.ReadQuorum))
+	c.writeQ.Store(int32(cfg.WriteQuorum))
+	fail := func(err error) (*Cluster, error) {
+		for _, n := range c.nodes {
+			n.be.Close()
+			if n.hlog != nil {
+				n.hlog.Close()
+			}
+		}
+		return nil, err
 	}
 	for _, id := range cfg.Nodes {
 		be, err := factory(id)
 		if err != nil {
-			for _, n := range c.nodes {
-				n.be.Close()
-			}
-			return nil, fmt.Errorf("kvstore: open node %d: %w", id, err)
+			return fail(fmt.Errorf("kvstore: open node %d: %w", id, err))
 		}
-		c.nodes[id] = newStorageNode(id, be)
+		node := newStorageNode(id, be)
+		c.nodes[id] = node
+		if cfg.HintDir != "" {
+			if err := c.attachHintLog(node, true); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	lm := cfg.Latency
 	c.latency.Store(&lm)
+	c.bg.Add(1)
+	go c.repairWorker()
+	if cfg.AntiEntropyInterval > 0 {
+		c.bg.Add(1)
+		go c.antiEntropyLoop(cfg.AntiEntropyInterval)
+	}
 	return c, nil
+}
+
+// SetQuorum changes the read/write quorum at runtime (benchmarks sweep
+// R/W over one dataset). Zero restores the defaults (R=1, W=all);
+// values are clamped to [1, Replication].
+func (c *Cluster) SetQuorum(read, write int) {
+	c.readQ.Store(int32(clampQuorum(read, 1, c.cfg.Replication)))
+	c.writeQ.Store(int32(clampQuorum(write, c.cfg.Replication, c.cfg.Replication)))
+}
+
+// Quorum returns the active read and write quorum.
+func (c *Cluster) Quorum() (read, write int) {
+	return int(c.readQ.Load()), int(c.writeQ.Load())
 }
 
 // NewCluster builds a cluster per the configuration, panicking if a
@@ -696,6 +830,63 @@ func (c *Cluster) applyWrite(rt *route, bytes int, mk func() hint) {
 	}
 }
 
+// applyWriteQuorum fans one mutation out to every replica in parallel
+// and returns once w live replicas acknowledged (or every replica
+// responded). The stragglers keep running in the background; a
+// completion goroutine releases the write gate's read side only after
+// the last replica finished, so the rebalancer's and Close's barriers
+// still wait out every in-flight apply. Caller holds writeGate.RLock
+// and must NOT release it — ownership passes to the completion
+// goroutine.
+//
+// Cross-replica write order is not serialized between concurrent
+// writers to the same key once tails run in the background; replica
+// application is last-write-wins by stamp under replay/repair, and a
+// transiently stale replica is healed by read-repair or anti-entropy.
+func (c *Cluster) applyWriteQuorum(rt *route, bytes int, mk func() hint, w int) {
+	n := len(rt.nodes)
+	if n == 0 {
+		c.writeGate.RUnlock()
+		return
+	}
+	if w > n {
+		w = n
+	}
+	res := make(chan bool, n)
+	var pending sync.WaitGroup
+	var short atomic.Bool
+	pending.Add(n)
+	for _, node := range rt.nodes {
+		go func(node *storageNode) {
+			defer pending.Done()
+			h := mk()
+			hinted := c.writeReplica(node, h, func(be backend.Backend) int {
+				applyHint(be, h)
+				return bytes
+			})
+			if hinted {
+				c.hintedWrites.Add(1)
+				short.Store(true)
+			}
+			res <- !hinted
+		}(node)
+	}
+	go func() {
+		pending.Wait()
+		if short.Load() {
+			c.underRepWrites.Add(1)
+		}
+		c.writeGate.RUnlock()
+	}()
+	acks, replies := 0, 0
+	for replies < n && acks < w {
+		if <-res {
+			acks++
+		}
+		replies++
+	}
+}
+
 // applyHint runs one queued mutation against an engine.
 func applyHint(be backend.Backend, h hint) {
 	switch h.op {
@@ -708,30 +899,63 @@ func applyHint(be backend.Backend, h hint) {
 	}
 }
 
-// Put writes value under (table, pkey, ckey) on every replica,
-// overwriting an existing row.
-func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
-	v := make([]byte, len(value))
-	copy(v, value)
-	c.writeGate.RLock()
-	defer c.writeGate.RUnlock()
-	var rt route
-	c.writeRoute(table, pkey, &rt)
-	c.applyWrite(&rt, len(v), func() hint {
-		return hint{op: hintPut, table: table, pkey: pkey, ckey: ckey, value: v}
-	})
-	c.writes.Add(1)
-	c.bytesWritten.Add(int64(len(v)))
+// replayHint is applyHint guarded by the version stamp: a put whose
+// stamp is older than the row already present is skipped. Replayed
+// hints (revive, fault-clear, reopen) can interleave with writes the
+// node accepted live, so blind application could roll a row back.
+func replayHint(be backend.Backend, h hint) {
+	if h.op == hintPut {
+		if cur, ok := be.Get(h.table, h.pkey, h.ckey); ok && stampOf(cur) > stampOf(h.value) {
+			return
+		}
+	}
+	applyHint(be, h)
 }
 
-// Get reads the row at (table, pkey, ckey) from one replica, failing
-// over to the next on a down or faulting node. The returned slice is
-// the caller's to keep.
+// Put writes value under (table, pkey, ckey) on every replica,
+// overwriting an existing row. With the default write quorum the call
+// returns after every replica applied (or hinted) the write; with
+// WriteQuorum w < r it returns after w live acknowledgements and the
+// remaining replicas complete in the background.
+func (c *Cluster) Put(table, pkey, ckey string, value []byte) {
+	v := wrapStamp(c.stamp.Add(1), value)
+	c.writeGate.RLock()
+	var rt route
+	c.writeRoute(table, pkey, &rt)
+	mk := func() hint {
+		return hint{op: hintPut, table: table, pkey: pkey, ckey: ckey, value: v}
+	}
+	if w := int(c.writeQ.Load()); w < len(rt.nodes) {
+		c.applyWriteQuorum(&rt, len(v), mk, w) // releases writeGate when the tail finishes
+	} else {
+		c.applyWrite(&rt, len(v), mk)
+		c.writeGate.RUnlock()
+	}
+	c.writes.Add(1)
+	c.bytesWritten.Add(int64(len(value)))
+}
+
+// Get reads the row at (table, pkey, ckey). With the default read
+// quorum one replica serves, failing over to the next on a down or
+// faulting node; with ReadQuorum > 1 the read consults that many
+// replicas, answers with the newest version by stamp, and queues
+// asynchronous read-repair for any replica observed stale. The
+// returned slice is the caller's to keep.
 func (c *Cluster) Get(table, pkey, ckey string) ([]byte, bool) {
 	c.readGate.RLock()
 	defer c.readGate.RUnlock()
 	var rt route
 	c.readRoute(table, pkey, &rt)
+	if r := int(c.readQ.Load()); r > 1 {
+		stored, found, _, _ := c.quorumGet(context.Background(), &rt, r, table, pkey, ckey)
+		c.reads.Add(1)
+		if !found {
+			return nil, false
+		}
+		_, val := splitStamp(stored)
+		c.bytesRead.Add(int64(len(val)))
+		return val, true
+	}
 	var out []byte
 	found := false
 	_, ok := c.readOne(&rt, func(node *storageNode) (int, error) {
@@ -748,13 +972,12 @@ func (c *Cluster) Get(table, pkey, ckey string) ([]byte, bool) {
 		return len(out), err
 	})
 	c.reads.Add(1)
-	if !ok {
+	if !ok || !found {
 		return nil, false
 	}
-	if found {
-		c.bytesRead.Add(int64(len(out)))
-	}
-	return out, found
+	_, val := splitStamp(out)
+	c.bytesRead.Add(int64(len(val)))
+	return val, true
 }
 
 // readOne serves a read from the first responsive replica, starting at
@@ -793,13 +1016,22 @@ func (c *Cluster) readOne(rt *route, visit func(node *storageNode) (int, error))
 // ScanPrefix returns all rows in the partition whose clustering key starts
 // with prefix, in clustering order, as one contiguous scan (single
 // operation cost plus bytes), served by the first responsive replica.
+// With ReadQuorum > 1 the scan consults that many replicas, merges the
+// newest version of every row by stamp and queues read-repair for
+// replicas observed stale or missing rows.
 func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
 	c.readGate.RLock()
 	defer c.readGate.RUnlock()
 	var rt route
 	c.readRoute(table, pkey, &rt)
+	if r := int(c.readQ.Load()); r > 1 {
+		rows, _, _ := c.quorumScan(context.Background(), &rt, r, table, pkey, prefix)
+		c.reads.Add(1)
+		c.bytesRead.Add(int64(unwrapRows(rows)))
+		return rows
+	}
 	var out []Row
-	total, ok := c.readOne(&rt, func(node *storageNode) (int, error) {
+	_, ok := c.readOne(&rt, func(node *storageNode) (int, error) {
 		tr := node.tr
 		total := 0
 		_, err := c.serveNode(node, func(be backend.Backend) (int, int) {
@@ -820,7 +1052,7 @@ func (c *Cluster) ScanPrefix(table, pkey, prefix string) []Row {
 	if !ok {
 		return nil
 	}
-	c.bytesRead.Add(int64(total))
+	c.bytesRead.Add(int64(unwrapRows(out)))
 	return out
 }
 
@@ -970,11 +1202,13 @@ func (c *Cluster) MultiGetStatsCtx(ctx context.Context, refs []KeyRef) ([]GetRes
 	}
 	c.readGate.RLock()
 	defer c.readGate.RUnlock()
+	var csMu sync.Mutex
+	if r := int(c.readQ.Load()); r > 1 {
+		c.multiGetQuorum(ctx, refs, r, out, &cs, &csMu)
+		return out, cs
+	}
 	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
-	var (
-		wg   sync.WaitGroup
-		csMu sync.Mutex
-	)
+	var wg sync.WaitGroup
 	for _, b := range batches {
 		wg.Add(1)
 		go func(b *batch) {
@@ -1013,8 +1247,9 @@ func (c *Cluster) MultiGetStatsCtx(ctx context.Context, refs []KeyRef) ([]GetRes
 			total := 0
 			for j, i := range b.idxs {
 				if v := vals[j]; v != nil {
-					out[i] = GetResult{Value: v, Found: true}
-					total += len(v)
+					_, val := splitStamp(v)
+					out[i] = GetResult{Value: val, Found: true}
+					total += len(val)
 				}
 			}
 			c.reads.Add(int64(len(b.idxs)))
@@ -1055,6 +1290,7 @@ func (c *Cluster) retryGet(ctx context.Context, ref KeyRef, exclude *storageNode
 			continue
 		}
 		served = true
+		_, val = splitStamp(val)
 		c.degradedReads.Add(1)
 		c.reads.Add(1)
 		if found {
@@ -1095,11 +1331,13 @@ func (c *Cluster) MultiScanStatsCtx(ctx context.Context, refs []ScanRef) ([][]Ro
 	}
 	c.readGate.RLock()
 	defer c.readGate.RUnlock()
+	var csMu sync.Mutex
+	if r := int(c.readQ.Load()); r > 1 {
+		c.multiScanQuorum(ctx, refs, r, out, &cs, &csMu)
+		return out, cs
+	}
 	batches := c.groupByNode(len(refs), func(i int) (string, string) { return refs[i].Table, refs[i].PKey })
-	var (
-		wg   sync.WaitGroup
-		csMu sync.Mutex
-	)
+	var wg sync.WaitGroup
 	for _, b := range batches {
 		wg.Add(1)
 		go func(b *batch) {
@@ -1134,6 +1372,10 @@ func (c *Cluster) MultiScanStatsCtx(ctx context.Context, refs []ScanRef) ([][]Ro
 					c.retryScan(ctx, refs[i], b.node, out, i, &cs, &csMu)
 				}
 				return
+			}
+			total = 0
+			for _, i := range b.idxs {
+				total += unwrapRows(out[i])
 			}
 			c.reads.Add(int64(len(b.idxs)))
 			c.bytesRead.Add(int64(total))
@@ -1174,6 +1416,7 @@ func (c *Cluster) retryScan(ctx context.Context, ref ScanRef, exclude *storageNo
 			c.failovers.Add(1)
 			continue
 		}
+		total = unwrapRows(rows)
 		c.degradedReads.Add(1)
 		c.reads.Add(1)
 		c.bytesRead.Add(int64(total))
@@ -1269,14 +1512,34 @@ func (c *Cluster) Flush() error {
 	return firstErr
 }
 
+// Quiesce blocks until background write activity settles: quorum-write
+// tails still completing on remaining replicas have landed and the
+// asynchronous read-repair queue is empty. Rebalances and anti-entropy
+// sweeps are not waited on — use WaitRebalance and RepairPartitions for
+// those. Useful before comparing replicas or reading repair metrics.
+func (c *Cluster) Quiesce() {
+	c.writeGate.Lock()
+	c.writeGate.Unlock() //nolint:staticcheck // empty critical section is the tail barrier
+	for c.pendingRepairs.Load() != 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 // Close flushes and closes every node's engine, waiting out an active
-// rebalance first (its streaming must not race the teardown). The
-// cluster must not be used afterwards.
+// rebalance first (its streaming must not race the teardown), then the
+// background workers (read-repair, anti-entropy) and any quorum-write
+// tails still completing. The cluster must not be used afterwards.
 func (c *Cluster) Close() error {
 	var errs []error
 	if err := c.WaitRebalance(); err != nil {
 		errs = append(errs, err)
 	}
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.bg.Wait()
+	// Barrier: a write returned at quorum may still have replica applies
+	// in flight; they hold the write gate's read side until done.
+	c.writeGate.Lock()
+	c.writeGate.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	for _, node := range c.nodeList() {
 		node.mu.Lock()
 		var err error
@@ -1288,6 +1551,14 @@ func (c *Cluster) Close() error {
 		if err != nil {
 			errs = append(errs, fmt.Errorf("kvstore: close node %d: %w", node.id, err))
 		}
+		node.hintMu.Lock()
+		if node.hlog != nil {
+			if err := node.hlog.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("kvstore: close hint log %d: %w", node.id, err))
+			}
+			node.hlog = nil
+		}
+		node.hintMu.Unlock()
 	}
 	return errors.Join(errs...)
 }
@@ -1338,6 +1609,12 @@ func (c *Cluster) Metrics() Metrics {
 		UnderReplicatedWrites: c.underRepWrites.Load(),
 		HintedWrites:          c.hintedWrites.Load(),
 
+		ReadRepairs:           c.readRepairs.Load(),
+		AntiEntropyRuns:       c.aeRuns.Load(),
+		AntiEntropyPartitions: c.aeParts.Load(),
+		AntiEntropyRows:       c.aeRows.Load(),
+		AntiEntropyBytes:      c.aeBytes.Load(),
+
 		RebalancedPartitions: c.rebalancedParts.Load(),
 		RebalancedRows:       c.rebalancedRows.Load(),
 		RebalancedBytes:      c.rebalancedBytes.Load(),
@@ -1369,6 +1646,11 @@ func (c *Cluster) ResetMetrics() {
 	c.degradedReads.Store(0)
 	c.underRepWrites.Store(0)
 	c.hintedWrites.Store(0)
+	c.readRepairs.Store(0)
+	c.aeRuns.Store(0)
+	c.aeParts.Store(0)
+	c.aeRows.Store(0)
+	c.aeBytes.Store(0)
 	c.rebalancedParts.Store(0)
 	c.rebalancedRows.Store(0)
 	c.rebalancedBytes.Store(0)

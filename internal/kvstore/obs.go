@@ -53,6 +53,24 @@ func (c *Cluster) RegisterObs(r *obs.Registry) {
 	r.CounterFunc("hgs_kv_hinted_writes_total",
 		"Per-replica mutations queued as hinted handoff for a down node.",
 		func() float64 { return float64(c.hintedWrites.Load()) })
+	r.CounterFunc("hgs_kv_read_repairs_total",
+		"Rows rewritten on a stale replica after a quorum read observed divergence.",
+		func() float64 { return float64(c.readRepairs.Load()) })
+	r.GaugeFunc("hgs_kv_pending_repairs",
+		"Read-repair tasks queued but not yet applied.",
+		func() float64 { return float64(c.pendingRepairs.Load()) })
+	r.CounterFunc("hgs_kv_antientropy_runs_total",
+		"Anti-entropy sweeps completed.",
+		func() float64 { return float64(c.aeRuns.Load()) })
+	r.CounterFunc("hgs_kv_antientropy_partitions_total",
+		"Partitions found divergent and converged by anti-entropy.",
+		func() float64 { return float64(c.aeParts.Load()) })
+	r.CounterFunc("hgs_kv_antientropy_rows_total",
+		"Rows streamed between replicas by anti-entropy repair.",
+		func() float64 { return float64(c.aeRows.Load()) })
+	r.CounterFunc("hgs_kv_antientropy_bytes_total",
+		"Bytes streamed between replicas by anti-entropy repair.",
+		func() float64 { return float64(c.aeBytes.Load()) })
 
 	r.GaugeFunc("hgs_ring_nodes",
 		"Nodes on the placement ring.",

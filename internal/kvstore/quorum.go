@@ -1,0 +1,371 @@
+package kvstore
+
+// Quorum reads and asynchronous read-repair.
+//
+// With ReadQuorum R > 1 a read consults R replicas instead of one,
+// merges their answers by version stamp (stamp.go) and returns the
+// newest. Any replica observed stale — an older stamp, or the row
+// missing entirely — gets the winning version queued for background
+// repair. Repairs are applied by a single worker goroutine under the
+// write gate's read side (so they respect the rebalancer's barriers)
+// and are stamp-guarded, so a repair racing a newer foreground write
+// can never roll a row back. The repair queue is bounded and lossy:
+// a dropped repair is re-detected by the next quorum read of the key,
+// or converged by anti-entropy.
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hgs/internal/backend"
+)
+
+// repairQueueDepth bounds the read-repair backlog. Overflow drops the
+// task (anti-entropy is the backstop), never blocks the read path.
+const repairQueueDepth = 1024
+
+// repairTask is one stale row observed by a quorum read: write value
+// (stored form, stamp included) to node unless the node has moved on.
+type repairTask struct {
+	table, pkey, ckey string
+	value             []byte
+	node              *storageNode
+}
+
+// newerThan orders two stored versions: the higher stamp wins, and a
+// stamp tie (only possible for pre-envelope rows, which all read as
+// stamp 0) breaks by byte order so equal-stamp divergence still
+// converges to one deterministic winner everywhere.
+func newerThan(a, b []byte) bool {
+	sa, sb := stampOf(a), stampOf(b)
+	if sa != sb {
+		return sa > sb
+	}
+	return bytes.Compare(a, b) > 0
+}
+
+// enqueueRepair hands a stale-replica observation to the repair worker,
+// dropping it if the queue is full.
+func (c *Cluster) enqueueRepair(t repairTask) {
+	c.pendingRepairs.Add(1)
+	select {
+	case c.repairCh <- t:
+	default:
+		c.pendingRepairs.Add(-1)
+	}
+}
+
+// PendingRepairs returns the number of read-repair tasks queued but not
+// yet applied — tests quiesce on it reaching zero.
+func (c *Cluster) PendingRepairs() int64 { return c.pendingRepairs.Load() }
+
+// repairWorker drains the read-repair queue until Close.
+func (c *Cluster) repairWorker() {
+	defer c.bg.Done()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case t := <-c.repairCh:
+			c.applyRepair(t)
+			c.pendingRepairs.Add(-1)
+		}
+	}
+}
+
+// applyRepair writes the winning version to the stale replica, unless
+// the replica no longer owns the partition (topology moved on), is down
+// (revive replays hints instead), or already holds something at least
+// as new (a foreground write landed since the read observed staleness).
+// Repair traffic is background work: it charges no latency and no
+// logical counters beyond Metrics.ReadRepairs.
+func (c *Cluster) applyRepair(t repairTask) {
+	c.writeGate.RLock()
+	defer c.writeGate.RUnlock()
+	var rt route
+	c.writeRoute(t.table, t.pkey, &rt)
+	owns := false
+	for _, n := range rt.nodes {
+		if n == t.node {
+			owns = true
+			break
+		}
+	}
+	if !owns || t.node.down.Load() {
+		return
+	}
+	t.node.mu.Lock()
+	defer t.node.mu.Unlock()
+	if t.node.closed || t.node.down.Load() {
+		return
+	}
+	if cur, ok := t.node.be.Get(t.table, t.pkey, t.ckey); ok && !newerThan(t.value, cur) {
+		return
+	}
+	t.node.be.Put(t.table, t.pkey, t.ckey, t.value)
+	c.readRepairs.Add(1)
+}
+
+// replicaResp is one replica's answer to a quorum point read.
+type replicaResp struct {
+	node   *storageNode
+	stored []byte
+	found  bool
+}
+
+// quorumGet serves one key from up to want replicas, starting at the
+// round-robin rotation point and failing over clockwise past refusing
+// nodes, then merges by stamp. Failed visits count Failovers; needing a
+// replica beyond the first want counts a DegradedRead. Returns the
+// winning stored (stamped) value, whether any replica had the row, the
+// number of node visits and the simulated wait charged. Caller holds
+// readGate.RLock.
+func (c *Cluster) quorumGet(ctx context.Context, rt *route, want int, table, pkey, ckey string) ([]byte, bool, int, time.Duration) {
+	n := len(rt.nodes)
+	if n == 0 {
+		return nil, false, 0, 0
+	}
+	if want > n {
+		want = n
+	}
+	start := 0
+	if n > 1 {
+		start = int(atomic.AddUint64(&c.rr, 1) % uint64(n))
+	}
+	var (
+		got    []replicaResp
+		wait   time.Duration
+		failed int
+	)
+	visits := 0
+	for i := 0; i < n && len(got) < want; i++ {
+		node := rt.nodes[(start+i)%n]
+		var out []byte
+		found := false
+		tr := node.tr
+		d, err := c.serveNodeCtx(ctx, node, func(be backend.Backend) (int, int) {
+			cold := 0
+			if tr != nil {
+				out, found, cold = tr.GetTier(table, pkey, ckey)
+			} else {
+				out, found = be.Get(table, pkey, ckey)
+			}
+			return len(out), cold
+		})
+		visits++
+		wait += d
+		if err != nil {
+			failed++
+			continue
+		}
+		got = append(got, replicaResp{node: node, stored: out, found: found})
+	}
+	if failed > 0 {
+		c.failovers.Add(int64(failed))
+		if len(got) > 0 {
+			c.degradedReads.Add(1)
+		}
+	}
+	stored, found := c.mergeGet(got, table, pkey, ckey)
+	return stored, found, visits, wait
+}
+
+// mergeGet picks the newest version among the replica answers and
+// queues read-repair for every replica that returned an older version
+// or no row at all. A key absent on every consulted replica merges to
+// not-found (deletes carry no tombstones; see the anti-entropy notes).
+func (c *Cluster) mergeGet(got []replicaResp, table, pkey, ckey string) ([]byte, bool) {
+	var win []byte
+	found := false
+	for _, g := range got {
+		if !g.found {
+			continue
+		}
+		if !found || newerThan(g.stored, win) {
+			win = g.stored
+			found = true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	for _, g := range got {
+		if !g.found || newerThan(win, g.stored) {
+			c.enqueueRepair(repairTask{table: table, pkey: pkey, ckey: ckey, value: win, node: g.node})
+		}
+	}
+	return win, true
+}
+
+// quorumScan serves one prefix scan from up to want replicas and merges
+// per clustering key by stamp: for every row, the newest version any
+// consulted replica holds wins, and replicas missing it (or holding an
+// older one) get it queued for repair. A row present on one replica and
+// absent on another is treated as present — the store keeps no
+// tombstones, so a scan cannot distinguish "deleted here" from "never
+// arrived here". Returns stored (stamped) rows in clustering order,
+// the number of node visits and the simulated wait. Caller holds
+// readGate.RLock.
+func (c *Cluster) quorumScan(ctx context.Context, rt *route, want int, table, pkey, prefix string) ([]Row, int, time.Duration) {
+	n := len(rt.nodes)
+	if n == 0 {
+		return nil, 0, 0
+	}
+	if want > n {
+		want = n
+	}
+	start := 0
+	if n > 1 {
+		start = int(atomic.AddUint64(&c.rr, 1) % uint64(n))
+	}
+	type scanResp struct {
+		node *storageNode
+		rows []Row
+	}
+	var (
+		got    []scanResp
+		wait   time.Duration
+		failed int
+	)
+	visits := 0
+	for i := 0; i < n && len(got) < want; i++ {
+		node := rt.nodes[(start+i)%n]
+		var rows []Row
+		tr := node.tr
+		d, err := c.serveNodeCtx(ctx, node, func(be backend.Backend) (int, int) {
+			cold := 0
+			if tr != nil {
+				rows, cold = tr.ScanPrefixTier(table, pkey, prefix)
+			} else {
+				rows = be.ScanPrefix(table, pkey, prefix)
+			}
+			total := 0
+			for _, r := range rows {
+				total += len(r.Value)
+			}
+			return total, cold
+		})
+		visits++
+		wait += d
+		if err != nil {
+			failed++
+			continue
+		}
+		got = append(got, scanResp{node: node, rows: rows})
+	}
+	if failed > 0 {
+		c.failovers.Add(int64(failed))
+		if len(got) > 0 {
+			c.degradedReads.Add(1)
+		}
+	}
+	if len(got) == 0 {
+		return nil, visits, wait
+	}
+	if len(got) == 1 {
+		return got[0].rows, visits, wait
+	}
+	win := make(map[string][]byte)
+	for _, g := range got {
+		for _, r := range g.rows {
+			if cur, ok := win[r.CKey]; !ok || newerThan(r.Value, cur) {
+				win[r.CKey] = r.Value
+			}
+		}
+	}
+	for _, g := range got {
+		have := make(map[string][]byte, len(g.rows))
+		for _, r := range g.rows {
+			have[r.CKey] = r.Value
+		}
+		for ck, v := range win {
+			if cur, ok := have[ck]; !ok || newerThan(v, cur) {
+				c.enqueueRepair(repairTask{table: table, pkey: pkey, ckey: ck, value: v, node: g.node})
+			}
+		}
+	}
+	out := make([]Row, 0, len(win))
+	for ck, v := range win {
+		out = append(out, Row{CKey: ck, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CKey < out[j].CKey })
+	return out, visits, wait
+}
+
+// multiGetQuorum is the ReadQuorum > 1 body of MultiGetStatsCtx: each
+// partition's keys are served concurrently through the per-key quorum
+// path (quorum reads trade the single-visit batching of the R=1 path
+// for R visits per key — divergence detection needs every replica's
+// answer per key). Caller holds readGate.RLock.
+func (c *Cluster) multiGetQuorum(ctx context.Context, refs []KeyRef, r int, out []GetResult, cs *CallStats, csMu *sync.Mutex) {
+	type part struct{ table, pkey string }
+	groups := make(map[part][]int)
+	for i, ref := range refs {
+		k := part{ref.Table, ref.PKey}
+		groups[k] = append(groups[k], i)
+	}
+	var wg sync.WaitGroup
+	for k, idxs := range groups {
+		wg.Add(1)
+		go func(k part, idxs []int) {
+			defer wg.Done()
+			var rt route
+			c.readRoute(k.table, k.pkey, &rt)
+			for _, i := range idxs {
+				if ctx.Err() != nil {
+					return
+				}
+				stored, found, visits, d := c.quorumGet(ctx, &rt, r, k.table, k.pkey, refs[i].CKey)
+				c.reads.Add(1)
+				nb := 0
+				if found {
+					_, val := splitStamp(stored)
+					out[i] = GetResult{Value: val, Found: true}
+					nb = len(val)
+					c.bytesRead.Add(int64(nb))
+				}
+				csMu.Lock()
+				cs.Reads++
+				cs.RoundTrips += int64(visits)
+				cs.BytesRead += int64(nb)
+				cs.SimWait += d
+				csMu.Unlock()
+			}
+		}(k, idxs)
+	}
+	wg.Wait()
+}
+
+// multiScanQuorum is the ReadQuorum > 1 body of MultiScanStatsCtx: the
+// scans run concurrently, each through the merging quorum scan. Caller
+// holds readGate.RLock.
+func (c *Cluster) multiScanQuorum(ctx context.Context, refs []ScanRef, r int, out [][]Row, cs *CallStats, csMu *sync.Mutex) {
+	var wg sync.WaitGroup
+	for i := range refs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			var rt route
+			c.readRoute(refs[i].Table, refs[i].PKey, &rt)
+			rows, visits, d := c.quorumScan(ctx, &rt, r, refs[i].Table, refs[i].PKey, refs[i].Prefix)
+			c.reads.Add(1)
+			total := unwrapRows(rows)
+			c.bytesRead.Add(int64(total))
+			out[i] = rows
+			csMu.Lock()
+			cs.Reads++
+			cs.RoundTrips += int64(visits)
+			cs.BytesRead += int64(total)
+			cs.SimWait += d
+			csMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}

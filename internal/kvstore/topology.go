@@ -80,28 +80,32 @@ func (c *Cluster) FailNode(id int) error {
 }
 
 // ReviveNode brings a failed node back: the mutations it missed (hinted
-// handoff) are replayed in order against its engine, then the node
-// resumes serving. Replay happens under the node's service lock, so no
-// read can observe the node live but behind its hints.
+// handoff) are delivered through the current ring — to the node itself
+// where it still owns the partition, and to whichever replicas own it
+// now where a rebalance moved it away while the node was down. The node
+// stays marked down (reads keep failing over) until its queue is empty,
+// so no read can observe it live but behind its hints.
 func (c *Cluster) ReviveNode(id int) error {
 	node := c.nodeAt(id)
 	if node == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
 	node.mu.Lock()
-	defer node.mu.Unlock()
-	if node.closed {
+	closed := node.closed
+	node.mu.Unlock()
+	if closed {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
-	// Drain-replay until empty: a writer that saw the node down may
-	// append one more hint while we replay the previous batch. The final
+	// Drain-deliver until empty: a writer that saw the node down may
+	// append one more hint while we deliver the previous batch. The final
 	// empty check and the down flip happen under hintMu together, and
 	// writers append through queueHint, which re-checks down under the
 	// same lock — so every hint either lands in a batch this loop
-	// replays, or the writer observes down==false and applies directly.
+	// delivers, or the writer observes down==false and applies directly.
 	for {
 		node.hintMu.Lock()
 		if len(node.hints) == 0 {
+			node.drainedHints()
 			node.down.Store(false)
 			node.hintMu.Unlock()
 			return nil
@@ -110,8 +114,45 @@ func (c *Cluster) ReviveNode(id int) error {
 		node.hints = nil
 		node.hintMu.Unlock()
 		for _, h := range hs {
-			applyHint(node.be, h)
+			c.deliverHint(node, h)
 		}
+	}
+}
+
+// deliverHint re-routes one queued mutation through the current ring.
+// The partition's owner set may have changed while the hint waited
+// (node down, persistent fault, decommission), so applying it to the
+// origin node alone could strand the write on a non-owner — invisible
+// to reads and anti-entropy — or lose it to a later queued drop. Puts
+// and deletes go to every current owner, stamp-guarded so an old hint
+// never rolls back a newer row; a queued drop stays local, because it
+// describes the origin's own relinquished copy while the current
+// owners' copies are live.
+//
+// The origin is applied directly even while still marked down (this IS
+// its replay path); other down owners get the hint queued for their own
+// revival. Only one node's service lock is held at a time, so
+// deliveries from concurrent revives cannot deadlock.
+func (c *Cluster) deliverHint(origin *storageNode, h hint) {
+	if h.op == hintDrop {
+		origin.mu.Lock()
+		if !origin.closed {
+			origin.be.DropPartition(h.table, h.pkey)
+		}
+		origin.mu.Unlock()
+		return
+	}
+	var rt route
+	c.writeRoute(h.table, h.pkey, &rt)
+	for _, node := range rt.nodes {
+		if node != origin && node.down.Load() && node.queueHint(h) {
+			continue
+		}
+		node.mu.Lock()
+		if !node.closed {
+			replayHint(node.be, h)
+		}
+		node.mu.Unlock()
 	}
 }
 
@@ -135,25 +176,28 @@ func (c *Cluster) InjectFault(id int, f *Fault) error {
 	return nil
 }
 
-// replayHints applies a live node's queued hints under its service
-// lock. A down node keeps its hints for ReviveNode, which replays them
-// and flips the node back up atomically.
+// replayHints delivers a live node's queued hints through the current
+// ring (deliverHint). A down node keeps its hints for ReviveNode, which
+// delivers them and flips the node back up atomically.
 func (c *Cluster) replayHints(node *storageNode) {
 	node.mu.Lock()
-	defer node.mu.Unlock()
-	if node.closed || node.down.Load() {
+	closed := node.closed
+	node.mu.Unlock()
+	if closed || node.down.Load() {
 		return
 	}
 	for {
 		node.hintMu.Lock()
 		hs := node.hints
 		node.hints = nil
-		node.hintMu.Unlock()
 		if len(hs) == 0 {
+			node.drainedHints()
+			node.hintMu.Unlock()
 			return
 		}
+		node.hintMu.Unlock()
 		for _, h := range hs {
-			applyHint(node.be, h)
+			c.deliverHint(node, h)
 		}
 	}
 }
@@ -193,7 +237,15 @@ func (c *Cluster) AddNode(id int) error {
 		c.topoMu.Unlock()
 		return fmt.Errorf("kvstore: add node %d: %w", id, err)
 	}
-	c.nodes[id] = newStorageNode(id, be)
+	node := newStorageNode(id, be)
+	if c.cfg.HintDir != "" {
+		if err := c.attachHintLog(node, false); err != nil {
+			be.Close()
+			c.topoMu.Unlock()
+			return fmt.Errorf("kvstore: add node %d: %w", id, err)
+		}
+	}
+	c.nodes[id] = node
 	c.beginRebalanceLocked(c.ring.With(id))
 	c.topoMu.Unlock()
 	go c.rebalance(-1)
@@ -337,6 +389,23 @@ func (c *Cluster) rebalance(retiring int) {
 	if retiring >= 0 && commitErr == nil {
 		node := c.nodeAt(retiring)
 		if node != nil {
+			// Writes the retiring node refused through a persistent fault
+			// (or missed while transiently down) live only in its hint
+			// queue. Deliver them through the committed ring before the
+			// node closes — dropping the queue with the node would lose
+			// acknowledged-elsewhere-as-hinted writes for good.
+			for {
+				node.hintMu.Lock()
+				hs := node.hints
+				node.hints = nil
+				node.hintMu.Unlock()
+				if len(hs) == 0 {
+					break
+				}
+				for _, h := range hs {
+					c.deliverHint(node, h)
+				}
+			}
 			node.mu.Lock()
 			if !node.closed {
 				node.closed = true
@@ -347,6 +416,12 @@ func (c *Cluster) rebalance(retiring int) {
 				}
 			}
 			node.mu.Unlock()
+			node.hintMu.Lock()
+			if node.hlog != nil {
+				node.hlog.removeFile()
+				node.hlog = nil
+			}
+			node.hintMu.Unlock()
 			c.topoMu.Lock()
 			delete(c.nodes, retiring)
 			c.topoMu.Unlock()
@@ -448,9 +523,12 @@ func (c *Cluster) movePartition(m *pendingMove) int64 {
 	c.writeGate.Lock()
 	defer c.writeGate.Unlock()
 
-	// Read the partition from the first live old owner. With every old
-	// owner down (or removed while failed) the rows are unrecoverable;
-	// the handoff still commits so routing converges.
+	// Merge the partition across every live old owner, newest stamp per
+	// ckey: replicas can disagree mid-churn (a straggler write applied or
+	// hinted on one copy only), and streaming a single possibly-stale
+	// copy while dropOldCopies discards the rest would lose the newer
+	// row. With every old owner down (or removed while failed) the rows
+	// are unrecoverable; the handoff still commits so routing converges.
 	c.topoMu.RLock()
 	oldR := c.oldRing
 	c.topoMu.RUnlock()
@@ -460,19 +538,29 @@ func (c *Cluster) movePartition(m *pendingMove) int64 {
 	var srcBuf [routeStack]int
 	var rows []backend.Row
 	got := false
+	rowAt := make(map[string]int)
 	for _, id := range oldR.Lookup(hashKey(m.table, m.pkey), srcBuf[:0]) {
 		node := c.nodeAt(id)
 		if node == nil || node.down.Load() {
 			continue
 		}
 		node.mu.Lock()
-		if !node.closed {
-			rows = node.be.ScanPrefix(m.table, m.pkey, "")
-			got = true
+		if node.closed {
+			node.mu.Unlock()
+			continue
 		}
+		nrows := node.be.ScanPrefix(m.table, m.pkey, "")
 		node.mu.Unlock()
-		if got {
-			break
+		got = true
+		for _, r := range nrows {
+			if j, ok := rowAt[r.CKey]; ok {
+				if newerThan(r.Value, rows[j].Value) {
+					rows[j] = r
+				}
+				continue
+			}
+			rowAt[r.CKey] = len(rows)
+			rows = append(rows, r)
 		}
 	}
 
@@ -489,7 +577,10 @@ func (c *Cluster) movePartition(m *pendingMove) int64 {
 			// A down new owner gets each row hinted so revive replays
 			// the handoff; queueHint re-checks down under hintMu, so a
 			// concurrent revive cannot strand a hint — rows it refuses
-			// are applied directly to the now-live engine.
+			// are applied directly to the now-live engine. Application is
+			// stamp-guarded (replayHint): a hint delivery landing on the
+			// destination between our source read and this write must not
+			// be rolled back by the older streamed copy.
 			for _, r := range rows {
 				h := hint{op: hintPut, table: m.table, pkey: m.pkey, ckey: r.CKey, value: r.Value}
 				if node.down.Load() && node.queueHint(h) {
@@ -498,7 +589,7 @@ func (c *Cluster) movePartition(m *pendingMove) int64 {
 				}
 				node.mu.Lock()
 				if !node.closed {
-					node.be.Put(m.table, m.pkey, r.CKey, r.Value)
+					replayHint(node.be, h)
 				}
 				node.mu.Unlock()
 			}

@@ -1,0 +1,68 @@
+package ring
+
+// FuzzRingLookup drives New/Lookup with arbitrary node sets, vnode
+// counts, replication factors, and key hashes, asserting the placement
+// contract the kvstore layer depends on:
+//
+//   - Lookup is total: every key resolves to min(replicas, |nodes|)
+//     owners on a non-empty ring (and none on an empty one);
+//   - owners are distinct nodes, all members of the ring;
+//   - lookups are deterministic, including through the buf reuse path.
+
+import "testing"
+
+func FuzzRingLookup(f *testing.F) {
+	f.Add([]byte{0, 1, 2}, 64, 3, uint64(12345))
+	f.Add([]byte{}, 8, 2, uint64(0))
+	f.Add([]byte{5, 5, 5}, 1, 4, uint64(1)<<63)
+	f.Add([]byte{9, 3, 7, 3, 1, 250}, 0, 1, ^uint64(0))
+	f.Fuzz(func(t *testing.T, rawNodes []byte, vnodes, replicas int, h uint64) {
+		if len(rawNodes) > 64 {
+			rawNodes = rawNodes[:64] // keep ring construction cheap
+		}
+		nodes := make([]int, len(rawNodes))
+		distinct := map[int]bool{}
+		for i, b := range rawNodes {
+			nodes[i] = int(b)
+			distinct[int(b)] = true
+		}
+		vnodes %= 129
+		replicas %= 8
+		r := New(nodes, vnodes, replicas)
+
+		want := replicas
+		if want < 1 {
+			want = 1 // New clamps replicas to at least one owner
+		}
+		if want > len(distinct) {
+			want = len(distinct)
+		}
+		owners := r.Lookup(h, nil)
+		if len(owners) != want {
+			t.Fatalf("Lookup returned %d owners, want %d (%d distinct nodes, replicas=%d)",
+				len(owners), want, len(distinct), replicas)
+		}
+		seen := map[int]bool{}
+		for _, id := range owners {
+			if !distinct[id] {
+				t.Fatalf("owner %d is not a ring member", id)
+			}
+			if seen[id] {
+				t.Fatalf("owner %d returned twice for one key", id)
+			}
+			seen[id] = true
+		}
+		// Deterministic, and the buf-reuse fast path agrees with the
+		// allocating path.
+		buf := make([]int, 0, 8)
+		again := r.Lookup(h, buf)
+		if len(again) != len(owners) {
+			t.Fatalf("repeat lookup returned %d owners, first returned %d", len(again), len(owners))
+		}
+		for i := range owners {
+			if owners[i] != again[i] {
+				t.Fatalf("lookup not deterministic at owner %d: %d vs %d", i, owners[i], again[i])
+			}
+		}
+	})
+}

@@ -131,6 +131,7 @@ func New(store *hgs.Store, cfg Config) *Server {
 	mux.Handle("/admin/node/fail", s.route("node-fail", s.nodeOp(s.store.FailStorageNode)))
 	mux.Handle("/admin/node/revive", s.route("node-revive", s.nodeOp(s.store.ReviveStorageNode)))
 	mux.Handle("/admin/rebalance/wait", s.route("rebalance-wait", s.handleRebalanceWait))
+	mux.Handle("/admin/repair", s.route("repair", s.handleRepair))
 	// Telemetry rides the same port: the store's debug handler already
 	// serves /metrics, /traces and /debug/pprof/*.
 	dh := store.DebugHandler()
@@ -203,6 +204,7 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, hgs.ErrDuplicateStorageNode),
 		errors.Is(err, hgs.ErrRebalancing),
+		errors.Is(err, hgs.ErrRepairRunning),
 		errors.Is(err, hgs.ErrTooFewNodes):
 		return http.StatusConflict
 	case errors.Is(err, hgs.ErrOutOfRange):
@@ -680,6 +682,20 @@ func (s *Server) nodeOp(op func(id int) error) func(http.ResponseWriter, *http.R
 		}
 		return writeJSON(w, map[string]any{"node": id, "rebalancing": s.store.Rebalancing()})
 	}
+}
+
+// handleRepair runs one anti-entropy sweep (POST) and reports what it
+// converged. A sweep already in progress or a streaming topology
+// change maps to 409 like the other admin conflicts.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return &httpError{code: http.StatusMethodNotAllowed, msg: "POST required"}
+	}
+	stats, err := s.store.RepairPartitions()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, stats)
 }
 
 // handleRebalanceWait blocks until the in-flight topology migration

@@ -1,0 +1,152 @@
+// Command coverfloor is the coverage gate of `make cover`: it parses a
+// Go coverage profile and fails when total statement coverage drops
+// below the repo floor, or when a named package drops below its own
+// floor. Per-package floors pin the subsystems whose tests are the
+// acceptance surface (the replicated kvstore, the placement ring) so a
+// regression there cannot hide inside an unchanged total.
+//
+// Usage (from the repository root):
+//
+//	go run ./scripts/coverfloor -profile coverage.out -total 65 \
+//	    -pkg hgs/internal/kvstore=78 -pkg hgs/internal/ring=82
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block is one profile entry's statement weight and execution flag.
+type block struct {
+	stmts int
+	hit   bool
+}
+
+// pkgFloors collects repeated -pkg import/path=floor flags.
+type pkgFloors map[string]float64
+
+func (p pkgFloors) String() string { return fmt.Sprintf("%v", map[string]float64(p)) }
+
+func (p pkgFloors) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want package=floor, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("floor for %s: %w", name, err)
+	}
+	p[name] = f
+	return nil
+}
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "coverage profile to check")
+	total := flag.Float64("total", 0, "minimum total statement coverage in percent")
+	floors := pkgFloors{}
+	flag.Var(floors, "pkg", "per-package floor as importpath=percent (repeatable)")
+	flag.Parse()
+
+	blocks, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coverfloor: %v\n", err)
+		os.Exit(1)
+	}
+
+	perPkg := map[string][2]int{} // package -> {covered, total} statements
+	var covered, stmts int
+	for key, b := range blocks {
+		pkg := path.Dir(strings.SplitN(key, ":", 2)[0])
+		agg := perPkg[pkg]
+		agg[1] += b.stmts
+		stmts += b.stmts
+		if b.hit {
+			agg[0] += b.stmts
+			covered += b.stmts
+		}
+		perPkg[pkg] = agg
+	}
+	if stmts == 0 {
+		fmt.Fprintln(os.Stderr, "coverfloor: profile holds no statements")
+		os.Exit(1)
+	}
+
+	failed := false
+	pct := 100 * float64(covered) / float64(stmts)
+	fmt.Printf("total coverage: %.1f%% (floor: %.1f%%)\n", pct, *total)
+	if pct < *total {
+		fmt.Printf("FAIL: total coverage %.1f%% is below the %.1f%% floor\n", pct, *total)
+		failed = true
+	}
+	names := make([]string, 0, len(floors))
+	for name := range floors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		agg, ok := perPkg[name]
+		if !ok || agg[1] == 0 {
+			fmt.Printf("FAIL: package %s not present in the profile\n", name)
+			failed = true
+			continue
+		}
+		pct := 100 * float64(agg[0]) / float64(agg[1])
+		fmt.Printf("%s coverage: %.1f%% (floor: %.1f%%)\n", name, pct, floors[name])
+		if pct < floors[name] {
+			fmt.Printf("FAIL: %s coverage %.1f%% is below its %.1f%% floor\n", name, pct, floors[name])
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// readProfile parses a coverage profile, deduplicating blocks by
+// position (a merged ./... profile can restate a block; any hit wins,
+// matching `go tool cover -func` semantics for mode: set).
+func readProfile(name string) (map[string]block, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	blocks := map[string]block{}
+	sc := bufio.NewScanner(f)
+	buf := make([]byte, 1<<20)
+	sc.Buffer(buf, len(buf))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		pos, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s: malformed line %q", name, line)
+		}
+		stmts, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: statement count in %q: %w", name, line, err)
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: hit count in %q: %w", name, line, err)
+		}
+		b := blocks[pos]
+		b.stmts = stmts
+		b.hit = b.hit || count > 0
+		blocks[pos] = b
+	}
+	return blocks, sc.Err()
+}

@@ -148,6 +148,7 @@ func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
 				{"simwait_seconds", b.SimWaitSeconds * 1000, p.SimWaitSeconds * 1000}, // compare in ms so the floor bites sanely
 				{"allocs_per_op", b.AllocsPerOp, p.AllocsPerOp},
 				{"rows_moved", float64(b.RowsMoved), float64(p.RowsMoved)},
+				{"kv_writes", float64(b.KVWrites), float64(p.KVWrites)},
 			}
 			for _, c := range counts {
 				if c.bas < th.NoiseFloor {
@@ -158,6 +159,26 @@ func Compare(baseline, current *bench.Report, th Thresholds) Outcome {
 						"%s: %s %.0f -> %.0f (%.2fx > %.2fx allowed)",
 						name, c.metric, c.bas, c.cur, c.cur/c.bas, th.MaxRatio))
 				}
+			}
+			// Read-repairs ratchet against a zero baseline with no noise
+			// floor: a healthy serving path that starts finding divergence
+			// to repair is a correctness regression at any count.
+			if b.ReadRepairs == 0 && p.ReadRepairs > 0 {
+				out.Regressions = append(out.Regressions, fmt.Sprintf(
+					"%s: read_repairs 0 -> %d (healthy passes must not repair divergence)",
+					name, p.ReadRepairs))
+			} else if p.ReadRepairs > 0 && float64(p.ReadRepairs) > float64(b.ReadRepairs)*th.MaxRatio {
+				out.Regressions = append(out.Regressions, fmt.Sprintf(
+					"%s: read_repairs %d -> %d (%.2fx > %.2fx allowed)",
+					name, b.ReadRepairs, p.ReadRepairs,
+					float64(p.ReadRepairs)/float64(b.ReadRepairs), th.MaxRatio))
+			}
+			// Anti-entropy volume depends on sweep/serve interleaving:
+			// surfaced but never gated.
+			if b.AntiEntropyBytes > 0 || p.AntiEntropyBytes > 0 {
+				out.Info = append(out.Info, fmt.Sprintf(
+					"%s: anti-entropy bytes %d -> %d (repair traffic; not gated)",
+					name, b.AntiEntropyBytes, p.AntiEntropyBytes))
 			}
 			for _, c := range []struct {
 				metric   string

@@ -57,6 +57,51 @@ func TestCompareSimWaitRegression(t *testing.T) {
 	}
 }
 
+func TestCompareReadRepairsZeroBaseline(t *testing.T) {
+	base := report(pass("read-r2", 1000))
+	p := pass("read-r2", 1000)
+	p.ReadRepairs = 1 // far below the noise floor, still a regression
+	out := Compare(base, report(p), defaults)
+	if len(out.Regressions) != 1 || !strings.Contains(out.Regressions[0], "read_repairs 0 -> 1") {
+		t.Fatalf("regressions = %v, want the zero-baseline read_repairs violation", out.Regressions)
+	}
+}
+
+func TestCompareReadRepairsRatio(t *testing.T) {
+	b := pass("read-r2", 1000)
+	b.ReadRepairs = 100
+	p := pass("read-r2", 1000)
+	p.ReadRepairs = 110 // inside 1.25x of a nonzero baseline
+	out := Compare(report(b), report(p), defaults)
+	if len(out.Regressions) != 0 {
+		t.Fatalf("regressions = %v, want none inside the ratio", out.Regressions)
+	}
+	p.ReadRepairs = 200 // 2x
+	out = Compare(report(b), report(p), defaults)
+	if len(out.Regressions) != 1 || !strings.Contains(out.Regressions[0], "read_repairs") {
+		t.Fatalf("regressions = %v, want one read_repairs violation", out.Regressions)
+	}
+}
+
+func TestCompareAntiEntropyBytesNeverGate(t *testing.T) {
+	b := pass("read-r2-antientropy", 1000)
+	p := pass("read-r2-antientropy", 1000)
+	p.AntiEntropyBytes = 1 << 30 // huge, but informational only
+	out := Compare(report(b), report(p), defaults)
+	if len(out.Regressions) != 0 {
+		t.Fatalf("regressions = %v, want none for anti-entropy bytes", out.Regressions)
+	}
+	found := false
+	for _, line := range out.Info {
+		if strings.Contains(line, "anti-entropy bytes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("info = %v, want the anti-entropy bytes line", out.Info)
+	}
+}
+
 func TestCompareRatioDrop(t *testing.T) {
 	base := report(pass("c sweep", 1000))
 	p := pass("c sweep", 1000)
